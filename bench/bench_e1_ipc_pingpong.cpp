@@ -1,0 +1,185 @@
+// E1 — IPC cost vs message size (figure).
+//
+// Paper §2.2: the microkernel has ONE primitive, optimised until cheap; the
+// VMM offers several mechanisms, each with its own price. This bench
+// ping-pongs a payload between two protection domains over every mechanism
+// and prints per-round-trip simulated cycles across payload sizes.
+//
+// Expected shape: L4 register IPC is the floor; string IPC and grant-copy
+// grow linearly with size; the page flip is flat (size-independent) but
+// starts expensive — so flipping wins only for large payloads.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/experiments/table.h"
+#include "src/hw/machine.h"
+#include "src/ukernel/kernel.h"
+#include "src/vmm/hypervisor.h"
+
+namespace {
+
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::ThreadId;
+
+constexpr int kRounds = 100;
+
+// --- Microkernel side -------------------------------------------------------
+
+struct UkSetup {
+  hwsim::Machine machine{hwsim::MakeX86Platform(), 16 << 20};
+  std::unique_ptr<ukern::Kernel> kernel;
+  ThreadId client;
+  ThreadId server;
+  static constexpr hwsim::Vaddr kClientWin = 0x100000;
+  static constexpr hwsim::Vaddr kServerWin = 0x200000;
+
+  UkSetup() {
+    kernel = std::make_unique<ukern::Kernel>(machine);
+    auto MakeSide = [&](hwsim::Vaddr window, ukern::IpcHandler handler) {
+      auto task = kernel->CreateTask(ThreadId::Invalid());
+      auto thread = kernel->CreateThread(*task, 128, std::move(handler));
+      ukern::Task* t = kernel->FindTask(*task);
+      for (int i = 0; i < 32; ++i) {
+        auto frame = machine.memory().AllocFrame(*task);
+        const hwsim::Vaddr va = window + static_cast<uint64_t>(i) * machine.memory().page_size();
+        (void)t->space.Map(va, *frame, hwsim::PtePerms{true, true});
+        kernel->mapdb().AddRoot(*task, t->space.VpnOf(va), *frame);
+      }
+      (void)kernel->SetRecvBuffer(*thread, window,
+                                  32 * static_cast<uint32_t>(machine.memory().page_size()));
+      return *thread;
+    };
+    server = MakeSide(kServerWin, [](ThreadId, ukern::IpcMessage msg) {
+      // Echo server: replies with a payload of the same size.
+      ukern::IpcMessage reply;
+      reply.regs[0] = msg.regs[0];
+      reply.reg_count = 1;
+      if (msg.has_string) {
+        reply.has_string = true;
+        reply.string = ukern::StringItem{kServerWin, msg.string.len};
+      }
+      return reply;
+    });
+    client = MakeSide(kClientWin, nullptr);
+  }
+
+  // Round trip carrying `bytes` each way (0 = registers only).
+  uint64_t RoundTrip(uint32_t bytes) {
+    ukern::IpcMessage msg = ukern::IpcMessage::Short(1);
+    if (bytes > 0) {
+      msg.has_string = true;
+      msg.string = ukern::StringItem{kClientWin, bytes};
+    }
+    const uint64_t t0 = machine.Now();
+    ukern::IpcMessage reply = kernel->Call(client, server, msg);
+    if (reply.status != Err::kNone) {
+      std::fprintf(stderr, "l4 round trip failed: %s\n", ukvm::ErrName(reply.status));
+    }
+    return machine.Now() - t0;
+  }
+};
+
+// --- VMM side ----------------------------------------------------------------
+
+struct VmmSetup {
+  hwsim::Machine machine{hwsim::MakeX86Platform(), 16 << 20};
+  std::unique_ptr<uvmm::Hypervisor> hv;
+  DomainId a, b;
+  uint32_t a_to_b_port = 0;  // a's sending port
+  uint32_t b_port = 0;       // b's receiving port
+
+  VmmSetup() {
+    hv = std::make_unique<uvmm::Hypervisor>(machine);
+    a = *hv->CreateDomain("A", 256, true);
+    b = *hv->CreateDomain("B", 256, false);
+    (void)hv->HcSetUpcall(b, [](uint32_t) { /* payload consumed by caller */ });
+    auto unbound = hv->HcEvtchnAllocUnbound(b, a);
+    b_port = *unbound;
+    a_to_b_port = *hv->HcEvtchnBind(a, b, *unbound);
+  }
+
+  // Round trip via grant-copy: A copies `bytes` into B's granted page,
+  // notifies; B copies a reply back; A is notified.
+  uint64_t RoundTripCopy(uint32_t bytes) {
+    const auto page = static_cast<uint32_t>(machine.memory().page_size());
+    const uint64_t t0 = machine.Now();
+    // Payloads larger than a page need one grant + copy per page, exactly
+    // as a real backend would loop over ring descriptors.
+    auto CopyLeg = [&](DomainId from, DomainId to) {
+      uint32_t left = bytes;
+      uvmm::Pfn pfn = 10;
+      while (true) {
+        auto ref = hv->HcGrantAccess(to, from, pfn, /*writable=*/true);
+        const uint32_t chunk = std::min(left, page);
+        if (chunk > 0) {
+          (void)hv->HcGrantCopy(from, to, *ref, 0, pfn, 0, chunk, /*to_grant=*/true);
+          left -= chunk;
+        }
+        (void)hv->HcGrantEnd(to, *ref);
+        if (left == 0) {
+          break;
+        }
+        ++pfn;
+      }
+    };
+    CopyLeg(a, b);
+    (void)hv->HcEvtchnSend(a, a_to_b_port);
+    CopyLeg(b, a);
+    (void)hv->HcEvtchnSend(b, b_port);
+    return machine.Now() - t0;
+  }
+
+  // Round trip via page flipping: A flips a page to B and B flips one back.
+  uint64_t RoundTripFlip(uvmm::Pfn& a_pfn, uvmm::Pfn& b_pfn) {
+    const uint64_t t0 = machine.Now();
+    auto slot_b = hv->HcGrantTransferSlot(b, a, b_pfn);
+    (void)hv->HcGrantTransfer(a, a_pfn, b, *slot_b);
+    (void)hv->HcEvtchnSend(a, a_to_b_port);
+    auto slot_a = hv->HcGrantTransferSlot(a, b, a_pfn);
+    (void)hv->HcGrantTransfer(b, b_pfn, a, *slot_a);
+    (void)hv->HcEvtchnSend(b, b_port);
+    return machine.Now() - t0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  uharness::PrintHeading("E1", "IPC round-trip cost vs payload size, by mechanism");
+
+  UkSetup uk;
+  VmmSetup vmm;
+
+  const std::vector<uint32_t> sizes = {0, 64, 256, 1024, 4096, 16384, 65536};
+  uharness::Table table(
+      "cycles per round trip (mean of 100)",
+      {"payload B", "l4 ipc (regs/string)", "xen evtchn+grant-copy", "xen evtchn+page-flip"});
+
+  for (uint32_t size : sizes) {
+    uint64_t l4 = 0, copy = 0, flip = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      l4 += uk.RoundTrip(size);
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      copy += vmm.RoundTripCopy(size);
+    }
+    // Page flips move whole pages regardless of payload; pfn pair cycles.
+    uvmm::Pfn a_pfn = 20, b_pfn = 20;
+    for (int r = 0; r < kRounds; ++r) {
+      flip += vmm.RoundTripFlip(a_pfn, b_pfn);
+    }
+    const uint32_t pages = (size + 4095) / 4096;
+    const uint64_t flip_total = (flip / kRounds) * std::max(1u, pages);
+    table.AddRow({uharness::FmtInt(size), uharness::FmtInt(l4 / kRounds),
+                  uharness::FmtInt(copy / kRounds), uharness::FmtInt(flip_total)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: the single L4 primitive is the floor at small sizes; copy-based\n"
+      "mechanisms scale with bytes; the page flip is size-independent per page, so it\n"
+      "only wins once payloads approach page multiples — and it is never free.\n");
+  return 0;
+}

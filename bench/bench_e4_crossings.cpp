@@ -1,0 +1,168 @@
+// E4 — protection-domain crossing equivalence (table).
+//
+// Paper §3.2's conclusion: "A Xen-based system performs essentially the
+// same number of IPC operations as a comparable microkernel-based system
+// (such as L4Linux)." The same deterministic mixed workload (syscalls +
+// file churn + datagram sends) runs on the native baseline, the
+// microkernel, and the VMM; the crossing ledger reports what each
+// architecture really did.
+
+#include <cstdio>
+
+#include "src/experiments/table.h"
+#include "src/stacks/native_stack.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace {
+
+struct StackRun {
+  std::string name;
+  ukvm::CrossingSnapshot crossings;
+  uint64_t cycles = 0;
+  double success = 0;
+};
+
+template <typename StackT>
+StackRun Run(const char* name, StackT& stack, minios::Os& os) {
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  StackRun run;
+  run.name = name;
+  const auto before = stack.machine().ledger().Snapshot();
+  uwork::WorkloadResult result;
+  auto pid = os.Spawn("workload");
+  result = uwork::RunMixedWorkload(stack.machine(), os, *pid, 80);
+  stack.machine().RunUntilIdle();
+  run.crossings = ukvm::DiffSnapshots(before, stack.machine().ledger().Snapshot());
+  run.cycles = result.cycles;
+  run.success = result.SuccessRate();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  uharness::PrintHeading("E4", "crossings for the identical mixed workload, per architecture");
+
+  std::vector<StackRun> runs;
+  {
+    ustack::NativeStack stack;
+    runs.push_back(Run("native", stack, stack.os()));
+  }
+  {
+    ustack::UkernelStack stack;
+    StackRun run;
+    stack.RunAsApp(0, [&] { run = Run("ukernel", stack, stack.guest_os(0)); });
+    runs.push_back(run);
+  }
+  {
+    ustack::VmmStack stack;
+    StackRun run;
+    stack.RunAsApp(0, [&] { run = Run("vmm (page-flip rx)", stack, stack.guest_os(0)); });
+    runs.push_back(run);
+  }
+
+  // Per-kind crossing counts.
+  {
+    std::vector<std::string> columns = {"crossing kind"};
+    for (const auto& run : runs) {
+      columns.push_back(run.name);
+    }
+    uharness::Table table("crossings by kind (identical workload)", columns);
+    for (size_t k = 0; k < ukvm::kCrossingKindCount; ++k) {
+      std::vector<std::string> row = {
+          ukvm::CrossingKindName(static_cast<ukvm::CrossingKind>(k))};
+      for (const auto& run : runs) {
+        row.push_back(uharness::FmtInt(run.crossings.kind_counts[k]));
+      }
+      table.AddRow(row);
+    }
+    std::vector<std::string> total_row = {"TOTAL (IPC-like)"};
+    for (const auto& run : runs) {
+      total_row.push_back(uharness::FmtInt(run.crossings.IpcLikeCount()));
+    }
+    table.AddRow(total_row);
+    std::vector<std::string> cycles_row = {"workload cycles"};
+    for (const auto& run : runs) {
+      cycles_row.push_back(uharness::FmtInt(run.cycles));
+    }
+    table.AddRow(cycles_row);
+    table.Print();
+  }
+
+  // Per-mechanism detail for the two contenders.
+  for (size_t i = 1; i < runs.size(); ++i) {
+    uharness::Table table(runs[i].name + ": mechanisms", {"mechanism", "count", "bytes moved"});
+    for (const auto& mech : runs[i].crossings.mechanisms) {
+      if (mech.count > 0) {
+        table.AddRow({mech.name, uharness::FmtInt(mech.count), uharness::FmtInt(mech.bytes)});
+      }
+    }
+    table.Print();
+  }
+
+  // Crossing counts per workload *type*: where do the two systems diverge?
+  {
+    struct Mix {
+      const char* name;
+      std::function<void(hwsim::Machine&, minios::Os&, ukvm::ProcessId)> run;
+    };
+    std::vector<Mix> mixes = {
+        {"syscall-only (500 null)",
+         [](hwsim::Machine& m, minios::Os& os, ukvm::ProcessId pid) {
+           (void)uwork::RunNullSyscalls(m, os, pid, 500);
+         }},
+        {"disk-only (8 files x 2 KiB)",
+         [](hwsim::Machine& m, minios::Os& os, ukvm::ProcessId pid) {
+           (void)uwork::RunFileChurn(m, os, pid, 8, 2048, "mx");
+         }},
+        {"net-only (100 x 512 B send)",
+         [](hwsim::Machine& m, minios::Os& os, ukvm::ProcessId pid) {
+           (void)uwork::RunUdpSend(m, os, pid, 80, 512, 100);
+         }},
+    };
+    uharness::Table table("IPC-like crossings by workload type",
+                          {"workload", "ukernel", "vmm", "vmm/ukernel"});
+    for (auto& mix : mixes) {
+      uint64_t uk = 0;
+      uint64_t vm = 0;
+      {
+        ustack::UkernelStack stack;
+        uwork::WireHost wire(stack.machine(), stack.nic());
+        const auto before = stack.machine().ledger().Snapshot();
+        stack.RunAsApp(0, [&] {
+          auto pid = stack.guest_os(0).Spawn("w");
+          mix.run(stack.machine(), stack.guest_os(0), *pid);
+        });
+        stack.machine().RunUntilIdle();
+        uk = ukvm::DiffSnapshots(before, stack.machine().ledger().Snapshot()).IpcLikeCount();
+      }
+      {
+        ustack::VmmStack stack;
+        uwork::WireHost wire(stack.machine(), stack.nic());
+        const auto before = stack.machine().ledger().Snapshot();
+        stack.RunAsApp(0, [&] {
+          auto pid = stack.guest_os(0).Spawn("w");
+          mix.run(stack.machine(), stack.guest_os(0), *pid);
+        });
+        stack.machine().RunUntilIdle();
+        vm = ukvm::DiffSnapshots(before, stack.machine().ledger().Snapshot()).IpcLikeCount();
+      }
+      table.AddRow({mix.name, uharness::FmtInt(uk), uharness::FmtInt(vm),
+                    uharness::FmtDouble(static_cast<double>(vm) / static_cast<double>(uk))});
+    }
+    table.Print();
+  }
+
+  const double ratio = static_cast<double>(runs[2].crossings.IpcLikeCount()) /
+                       static_cast<double>(runs[1].crossings.IpcLikeCount());
+  std::printf(
+      "\nVMM/microkernel IPC-like crossing ratio: %.2f\n"
+      "Shape check: both protected systems cross domains orders of magnitude more than\n"
+      "native, and within a small factor of each other — the paper's point that the VMM\n"
+      "did not make IPC go away, it renamed it.\n",
+      ratio);
+  return 0;
+}

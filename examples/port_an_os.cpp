@@ -1,0 +1,99 @@
+// Example: one OS, three substrates — the port layer in action.
+//
+// MiniOS contains no substrate-specific code; everything architectural
+// lives behind minios::ArchPort. This example boots the same OS on the bare
+// machine, on the microkernel, and on the VMM, runs the same program, and
+// shows what each port turned the program's system calls into. It then
+// boots the microkernel stack on every simulated platform to demonstrate
+// the §2.2 portability claim.
+//
+//   ./build/examples/port_an_os
+
+#include <cstdio>
+
+#include "src/experiments/table.h"
+#include "src/stacks/native_stack.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+
+namespace {
+
+// The "application": completely ordinary MiniOS user code.
+void TheProgram(minios::Os& os, ukvm::ProcessId pid) {
+  std::vector<uint8_t> hello = {'h', 'i', '\n'};
+  (void)os.Write(pid, 1, hello);                       // console
+  const auto fd = os.Create(pid, "notes.txt");         // storage
+  std::vector<uint8_t> note = {'p', 'o', 'r', 't'};
+  (void)os.Write(pid, fd, note);
+  (void)os.Close(pid, fd);
+  (void)os.NetSend(pid, 80, 7, note);                  // network
+  (void)os.GetPid(pid);
+}
+
+void Report(const char* substrate, hwsim::Machine& machine,
+            const ukvm::CrossingSnapshot& before) {
+  const auto diff = ukvm::DiffSnapshots(before, machine.ledger().Snapshot());
+  std::printf("\n[%s] the same five-line program became:\n", substrate);
+  for (const auto& mech : diff.mechanisms) {
+    if (mech.count > 0) {
+      std::printf("    %-22s x%llu\n", mech.name.c_str(),
+                  static_cast<unsigned long long>(mech.count));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("port_an_os: the ArchPort boundary keeps MiniOS substrate-agnostic\n");
+
+  {
+    ustack::NativeStack stack;
+    auto pid = stack.os().Spawn("program");
+    const auto before = stack.machine().ledger().Snapshot();
+    TheProgram(stack.os(), *pid);
+    stack.machine().RunUntilIdle();
+    Report("native port", stack.machine(), before);
+  }
+  {
+    ustack::UkernelStack stack;
+    auto pid = stack.guest_os(0).Spawn("program");
+    const auto before = stack.machine().ledger().Snapshot();
+    stack.RunAsApp(0, [&] { TheProgram(stack.guest_os(0), *pid); });
+    stack.machine().RunUntilIdle();
+    Report("ukernel port (L4Linux-style)", stack.machine(), before);
+  }
+  {
+    ustack::VmmStack stack;
+    auto pid = stack.guest_os(0).Spawn("program");
+    const auto before = stack.machine().ledger().Snapshot();
+    stack.RunAsApp(0, [&] { TheProgram(stack.guest_os(0), *pid); });
+    stack.machine().RunUntilIdle();
+    Report("vmm port (paravirtual)", stack.machine(), before);
+  }
+
+  // The portability sweep: identical sources, six platforms.
+  uharness::Table table("microkernel stack across platforms (no code changes)",
+                        {"platform", "page size", "program ran"});
+  for (const hwsim::Platform& platform : hwsim::AllPlatforms()) {
+    ustack::UkernelStack::Config config;
+    config.platform = platform;
+    ustack::UkernelStack stack(config);
+    bool ok = stack.guest(0).booted;
+    if (ok) {
+      stack.RunAsApp(0, [&] {
+        auto pid = stack.guest_os(0).Spawn("program");
+        TheProgram(stack.guest_os(0), *pid);
+        ok = stack.guest_os(0).Open(*pid, "notes.txt") >= 0;
+      });
+    }
+    table.AddRow({platform.name, uharness::FmtInt(platform.page_size()), ok ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf(
+      "\n'Software that is written for an L4 microkernel naturally runs on nine\n"
+      "different processor platforms' (section 2.2) — here, six simulated ones,\n"
+      "from a single source tree.\n");
+  return 0;
+}

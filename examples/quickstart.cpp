@@ -1,0 +1,84 @@
+// Quickstart: boots all three systems — native MiniOS, MiniOS on the
+// L4-style microkernel (L4Linux-style), and MiniOS as a paravirtual guest
+// of the Xen-style VMM — runs the same small workload on each, and prints
+// what the paper argues about: how many protection-domain crossings each
+// architecture performed, by which mechanisms.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/experiments/table.h"
+#include "src/stacks/native_stack.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace {
+
+struct RunOutcome {
+  uwork::WorkloadResult work;
+  ukvm::CrossingSnapshot crossings;
+};
+
+template <typename StackT>
+RunOutcome RunWorkload(StackT& stack, minios::Os& os, hwsim::Machine& machine) {
+  uwork::WireHost wire(machine, stack.nic());
+  auto pid = os.Spawn("quickstart");
+  const ukvm::CrossingSnapshot before = machine.ledger().Snapshot();
+  RunOutcome outcome;
+  outcome.work = uwork::RunMixedWorkload(machine, os, *pid, /*dst_port=*/40);
+  machine.RunUntilIdle();
+  outcome.crossings = ukvm::DiffSnapshots(before, machine.ledger().Snapshot());
+  return outcome;
+}
+
+void PrintOutcome(const char* name, const RunOutcome& outcome) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("workload: %llu/%llu ops succeeded, %s simulated cycles\n",
+              static_cast<unsigned long long>(outcome.work.ops_succeeded),
+              static_cast<unsigned long long>(outcome.work.ops_attempted),
+              uharness::FmtCycles(outcome.work.cycles).c_str());
+  uharness::Table table(std::string(name) + ": crossings by mechanism",
+                        {"mechanism", "kind", "count", "bytes"});
+  for (const auto& mech : outcome.crossings.mechanisms) {
+    if (mech.count == 0) {
+      continue;
+    }
+    table.AddRow({mech.name, ukvm::CrossingKindName(mech.kind), uharness::FmtInt(mech.count),
+                  uharness::FmtInt(mech.bytes)});
+  }
+  table.Print();
+  std::printf("total crossings (IPC-like): %s\n",
+              uharness::FmtInt(outcome.crossings.IpcLikeCount()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ukvm quickstart: one OS, three substrates\n");
+
+  // 1. Native baseline.
+  ustack::NativeStack native;
+  RunOutcome native_out = RunWorkload(native, native.os(), native.machine());
+  PrintOutcome("native", native_out);
+
+  // 2. Microkernel (L4Linux-style).
+  ustack::UkernelStack uk;
+  RunOutcome uk_out;
+  uk.RunAsApp(0, [&] { uk_out = RunWorkload(uk, uk.guest_os(0), uk.machine()); });
+  PrintOutcome("microkernel", uk_out);
+
+  // 3. VMM (Xen-style, page-flipping receive path).
+  ustack::VmmStack vmm;
+  RunOutcome vmm_out;
+  vmm.RunAsApp(0, [&] { vmm_out = RunWorkload(vmm, vmm.guest_os(0), vmm.machine()); });
+  PrintOutcome("vmm", vmm_out);
+
+  std::printf(
+      "\nHeiser et al.'s point (section 3.2): the VMM performs essentially the same\n"
+      "number of IPC operations as the microkernel — it just calls them hypercalls,\n"
+      "event channels, and page flips.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Example: anatomy of one network receive through Xen-style split drivers.
+//
+// Walks a single packet from the wire to a guest application, narrating
+// every protection-domain crossing on the way — the round trip through Dom0
+// that §3.2 of Heiser et al. identifies as "nothing else than a form of
+// asynchronous IPC". Run it twice to compare the page-flipping and
+// grant-copy receive paths.
+//
+//   ./build/examples/split_driver_io
+
+#include <cstdio>
+
+#include "src/experiments/table.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+
+namespace {
+
+void TraceOnePacket(ustack::RxMode mode) {
+  std::printf("\n=== receive path with %s ===\n", ustack::RxModeName(mode));
+
+  ustack::VmmStack::Config config;
+  config.rx_mode = mode;
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+
+  auto& machine = stack.machine();
+  auto& ledger = machine.ledger();
+
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("listener");
+    (void)os.NetBind(*pid, 40);
+
+    const auto before = ledger.Snapshot();
+    const uint64_t t0 = machine.Now();
+    const uint64_t dom0_before = machine.accounting().CyclesOf(stack.dom0());
+
+    // One 1460-byte packet arrives from the wire.
+    wire.StartStream(/*dst_port=*/40, /*payload_size=*/1460, /*interval=*/10, /*count=*/1);
+    machine.RunUntilIdle();
+
+    std::vector<uint8_t> buf(2048);
+    const auto n = os.NetRecv(*pid, 40, buf);
+    std::printf("guest application received %lld bytes\n", static_cast<long long>(n));
+
+    const auto diff = ukvm::DiffSnapshots(before, ledger.Snapshot());
+    uharness::Table table("crossings for ONE inbound packet",
+                          {"mechanism", "kind", "count", "bytes"});
+    for (const auto& mech : diff.mechanisms) {
+      if (mech.count > 0) {
+        table.AddRow({mech.name, ukvm::CrossingKindName(mech.kind),
+                      uharness::FmtInt(mech.count), uharness::FmtInt(mech.bytes)});
+      }
+    }
+    table.Print();
+    std::printf("elapsed: %s simulated cycles; Dom0 consumed %s of them\n",
+                uharness::FmtCycles(machine.Now() - t0).c_str(),
+                uharness::FmtCycles(machine.accounting().CyclesOf(stack.dom0()) - dom0_before)
+                    .c_str());
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "split_driver_io: one packet, wire -> NIC -> Dom0 driver -> netback -> %s\n"
+      "-> netfront -> guest netstack -> application.\n",
+      "flip/copy");
+  TraceOnePacket(ustack::RxMode::kPageFlip);
+  TraceOnePacket(ustack::RxMode::kGrantCopy);
+  std::printf(
+      "\nNote the round trip: hardware IRQ to Dom0, then an event-channel notification\n"
+      "back into the guest — at least one inter-VM round trip per I/O, exactly the\n"
+      "paper's point about Xen's Dom0 architecture.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "src/core/error.h"
+
+namespace ukvm {
+
+const char* ErrName(Err err) {
+  switch (err) {
+    case Err::kNone:
+      return "OK";
+    case Err::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Err::kNotFound:
+      return "NOT_FOUND";
+    case Err::kNoMemory:
+      return "NO_MEMORY";
+    case Err::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case Err::kWouldBlock:
+      return "WOULD_BLOCK";
+    case Err::kTimedOut:
+      return "TIMED_OUT";
+    case Err::kBusy:
+      return "BUSY";
+    case Err::kAborted:
+      return "ABORTED";
+    case Err::kBadHandle:
+      return "BAD_HANDLE";
+    case Err::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Err::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Err::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Err::kFault:
+      return "FAULT";
+    case Err::kDead:
+      return "DEAD";
+    case Err::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ukvm

@@ -1,0 +1,95 @@
+// Error handling primitives used throughout the project.
+//
+// Kernels cannot throw across protection boundaries, so all fallible
+// interfaces return either a bare `Err` or a `Result<T>` (value-or-error).
+// This mirrors the zx_status_t / fit::result idiom of production kernels.
+
+#ifndef UKVM_SRC_CORE_ERROR_H_
+#define UKVM_SRC_CORE_ERROR_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace ukvm {
+
+// Error codes. `kNone` is success for interfaces that return a bare Err.
+enum class Err {
+  kNone = 0,
+  kInvalidArgument,
+  kNotFound,
+  kNoMemory,
+  kPermissionDenied,
+  kWouldBlock,
+  kTimedOut,
+  kBusy,
+  kAborted,
+  kBadHandle,
+  kOutOfRange,
+  kAlreadyExists,
+  kNotSupported,
+  kFault,        // memory access violation / unresolvable page fault
+  kDead,         // peer protection domain has been destroyed
+  kQuotaExceeded,
+};
+
+// Human-readable name for an error code (stable, for logs and test output).
+const char* ErrName(Err err);
+
+// Value-or-error. Intentionally minimal: implicit construction from both the
+// value type and Err, checked access.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Err err) : repr_(err) { assert(err != Err::kNone); }  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  Err error() const { return ok() ? Err::kNone : std::get<Err>(repr_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(repr_) : std::move(fallback); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Err> repr_;
+};
+
+// Uniform error extraction for UKVM_TRY: works on bare Err and on Result<T>.
+inline Err GetErr(Err err) { return err; }
+template <typename T>
+Err GetErr(const Result<T>& result) {
+  return result.error();
+}
+
+// Propagate-on-error helper: evaluates a Result/Err expression and returns
+// its error code from the enclosing function on failure.
+#define UKVM_TRY(expr)                                                 \
+  do {                                                                 \
+    if (auto ukvm_try_err_ = ::ukvm::GetErr((expr));                   \
+        ukvm_try_err_ != ::ukvm::Err::kNone) {                         \
+      return ukvm_try_err_;                                            \
+    }                                                                  \
+  } while (0)
+
+}  // namespace ukvm
+
+#endif  // UKVM_SRC_CORE_ERROR_H_

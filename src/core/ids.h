@@ -1,0 +1,71 @@
+// Strong identifier types shared across the microkernel and VMM stacks.
+//
+// Both kernels manage protection domains, schedulable entities, and
+// capabilities/handles; using distinct C++ types for each identifier class
+// prevents the classic bug of passing a thread id where a domain id is
+// expected. All ids are cheap value types.
+
+#ifndef UKVM_SRC_CORE_IDS_H_
+#define UKVM_SRC_CORE_IDS_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ukvm {
+
+// A strongly-typed wrapper around a 32-bit identifier. `Tag` is a phantom
+// type that makes ids of different classes mutually unassignable.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr Id Invalid() { return Id(); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr uint32_t kInvalidValue = 0xffffffffu;
+  uint32_t value_ = kInvalidValue;
+};
+
+// A protection domain: an address space plus the resources delegated to it.
+// In the microkernel stack this is a task/address space; in the VMM stack a
+// virtual machine (domain in Xen terminology); the privileged kernel itself
+// is also a domain for accounting purposes.
+struct DomainTag {};
+using DomainId = Id<DomainTag>;
+
+// A schedulable execution context (kernel thread or virtual CPU).
+struct ThreadTag {};
+using ThreadId = Id<ThreadTag>;
+
+// A guest-OS process running inside a MiniOS instance.
+struct ProcessTag {};
+using ProcessId = Id<ProcessTag>;
+
+// A hardware interrupt line on the simulated machine.
+struct IrqTag {};
+using IrqLine = Id<IrqTag>;
+
+// Well-known accounting domains used by the simulated hardware before any
+// kernel has defined its own domains.
+inline constexpr DomainId kHardwareDomain{0xfffffffeu};
+
+}  // namespace ukvm
+
+// Hashing support so ids can key unordered containers.
+template <typename Tag>
+struct std::hash<ukvm::Id<Tag>> {
+  size_t operator()(const ukvm::Id<Tag>& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+
+#endif  // UKVM_SRC_CORE_IDS_H_

@@ -1,0 +1,44 @@
+// Minimal leveled logging. Experiments run millions of simulated operations,
+// so logging must be cheap when disabled: the macro checks the level before
+// evaluating any arguments.
+
+#ifndef UKVM_SRC_CORE_LOG_H_
+#define UKVM_SRC_CORE_LOG_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ukvm {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// printf-style sink; prepends the level tag. Not for hot paths.
+void LogMessage(LogLevel level, const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace ukvm
+
+#define UKVM_LOG(level, ...)                              \
+  do {                                                    \
+    if ((level) >= ::ukvm::GetLogLevel()) {               \
+      ::ukvm::LogMessage((level), __VA_ARGS__);           \
+    }                                                     \
+  } while (0)
+
+#define UKVM_TRACE(...) UKVM_LOG(::ukvm::LogLevel::kTrace, __VA_ARGS__)
+#define UKVM_DEBUG(...) UKVM_LOG(::ukvm::LogLevel::kDebug, __VA_ARGS__)
+#define UKVM_INFO(...) UKVM_LOG(::ukvm::LogLevel::kInfo, __VA_ARGS__)
+#define UKVM_WARN(...) UKVM_LOG(::ukvm::LogLevel::kWarn, __VA_ARGS__)
+#define UKVM_ERROR(...) UKVM_LOG(::ukvm::LogLevel::kError, __VA_ARGS__)
+
+#endif  // UKVM_SRC_CORE_LOG_H_

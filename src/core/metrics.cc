@@ -1,0 +1,74 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ukvm {
+
+void CpuAccounting::Charge(DomainId domain, uint64_t cycles) {
+  cycles_[domain] += cycles;
+  total_ += cycles;
+}
+
+uint64_t CpuAccounting::CyclesOf(DomainId domain) const {
+  auto it = cycles_.find(domain);
+  return it == cycles_.end() ? 0 : it->second;
+}
+
+double CpuAccounting::ShareOf(DomainId domain) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(CyclesOf(domain)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<DomainId, uint64_t>> CpuAccounting::ByDomain() const {
+  std::vector<std::pair<DomainId, uint64_t>> out(cycles_.begin(), cycles_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first.value() < b.first.value();
+  });
+  return out;
+}
+
+void CpuAccounting::Reset() {
+  cycles_.clear();
+  total_ = 0;
+}
+
+uint32_t Counters::Intern(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  values_.push_back(0);
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+void Counters::Add(uint32_t id, uint64_t delta) {
+  assert(id < values_.size());
+  values_[id] += delta;
+}
+
+void Counters::AddNamed(std::string_view name, uint64_t delta) { Add(Intern(name), delta); }
+
+uint64_t Counters::Get(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? 0 : values_[it->second];
+}
+
+std::vector<std::pair<std::string, uint64_t>> Counters::All() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    out.emplace_back(names_[i], values_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Counters::Reset() { std::fill(values_.begin(), values_.end(), 0); }
+
+}  // namespace ukvm

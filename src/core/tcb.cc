@@ -1,0 +1,65 @@
+#include "src/core/tcb.h"
+
+#include <fstream>
+#include <string>
+
+#ifndef UKVM_SOURCE_DIR
+#define UKVM_SOURCE_DIR "."
+#endif
+
+namespace ukvm {
+
+const char* TrustClassName(TrustClass trust) {
+  switch (trust) {
+    case TrustClass::kPrivileged:
+      return "privileged";
+    case TrustClass::kCriticalPath:
+      return "critical-path";
+    case TrustClass::kIsolated:
+      return "isolated";
+  }
+  return "?";
+}
+
+const char* RepoSourceDir() { return UKVM_SOURCE_DIR; }
+
+uint64_t CountSourceLines(const std::string& repo_relative_path) {
+  std::ifstream in(std::string(UKVM_SOURCE_DIR) + "/" + repo_relative_path);
+  if (!in) {
+    return 0;
+  }
+  uint64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Count non-blank lines only; comments count, they must be maintained too.
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+TcbReport BuildTcbReport(const std::string& configuration,
+                         const std::vector<TcbComponent>& components) {
+  TcbReport report;
+  report.configuration = configuration;
+  for (const TcbComponent& component : components) {
+    TcbRow row;
+    row.component = component.name;
+    row.trust = component.trust;
+    for (const std::string& file : component.source_files) {
+      row.lines += CountSourceLines(file);
+    }
+    report.total_lines += row.lines;
+    if (component.trust == TrustClass::kPrivileged) {
+      report.privileged_lines += row.lines;
+      report.critical_lines += row.lines;
+    } else if (component.trust == TrustClass::kCriticalPath) {
+      report.critical_lines += row.lines;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace ukvm

@@ -1,0 +1,66 @@
+// Trusted-computing-base inventory (experiments E7 and E8).
+//
+// Goldberg's reliability argument — "the VMM is likely to be correct
+// [because it] is likely to be a very small program" — and the paper's
+// super-VM critique (a Dom0 running a legacy OS "re-introduces a large
+// number of software bugs") are both claims about how much code sits inside
+// the trust boundary of each configuration. This module lets every stack
+// declare its components (name, privilege, source files) and produces a
+// report with *actual* line counts of this repository's implementation, so
+// TCB comparisons are grounded in the code that really runs.
+
+#ifndef UKVM_SRC_CORE_TCB_H_
+#define UKVM_SRC_CORE_TCB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ukvm {
+
+// How a component relates to the trust boundary of a configuration.
+enum class TrustClass {
+  kPrivileged,     // runs in the most privileged mode (kernel / hypervisor)
+  kCriticalPath,   // unprivileged but its failure takes down system services
+                   // for many clients (e.g. Dom0, a root file server)
+  kIsolated,       // failure affects only its own clients
+};
+
+const char* TrustClassName(TrustClass trust);
+
+// One component of a system configuration.
+struct TcbComponent {
+  std::string name;
+  TrustClass trust = TrustClass::kIsolated;
+  // Paths relative to the repository root; lines are counted from disk.
+  std::vector<std::string> source_files;
+};
+
+struct TcbRow {
+  std::string component;
+  TrustClass trust = TrustClass::kIsolated;
+  uint64_t lines = 0;
+};
+
+struct TcbReport {
+  std::string configuration;
+  std::vector<TcbRow> rows;
+  uint64_t privileged_lines = 0;
+  uint64_t critical_lines = 0;    // privileged + critical-path
+  uint64_t total_lines = 0;
+};
+
+// Counts non-blank source lines of `repo_relative_path`; returns 0 if the
+// file cannot be read (e.g. when running outside the source tree).
+uint64_t CountSourceLines(const std::string& repo_relative_path);
+
+// Builds a report by counting the lines of every component's files.
+TcbReport BuildTcbReport(const std::string& configuration,
+                         const std::vector<TcbComponent>& components);
+
+// Absolute path of the repository root baked in at build time.
+const char* RepoSourceDir();
+
+}  // namespace ukvm
+
+#endif  // UKVM_SRC_CORE_TCB_H_

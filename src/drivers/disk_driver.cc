@@ -1,0 +1,53 @@
+#include "src/drivers/disk_driver.h"
+
+namespace udrv {
+
+using ukvm::Err;
+
+DiskDriver::DiskDriver(hwsim::Machine& machine, hwsim::Disk& disk)
+    : machine_(machine), disk_(disk) {}
+
+uint32_t DiskDriver::blocks_per_page() const {
+  return static_cast<uint32_t>(machine_.memory().page_size() / disk_.config().block_size);
+}
+
+Err DiskDriver::Read(uint64_t lba, uint32_t blocks, hwsim::Frame frame, DoneCallback done) {
+  return Submit(/*is_write=*/false, lba, blocks, frame, std::move(done));
+}
+
+Err DiskDriver::Write(uint64_t lba, uint32_t blocks, hwsim::Frame frame, DoneCallback done) {
+  return Submit(/*is_write=*/true, lba, blocks, frame, std::move(done));
+}
+
+Err DiskDriver::Submit(bool is_write, uint64_t lba, uint32_t blocks, hwsim::Frame frame,
+                       DoneCallback done) {
+  if (blocks == 0 || blocks > blocks_per_page()) {
+    return Err::kInvalidArgument;
+  }
+  machine_.Charge(machine_.costs().mmio_access);  // queue the request
+  const hwsim::Paddr addr = machine_.memory().FrameBase(frame);
+  auto id = is_write ? disk_.SubmitWrite(lba, blocks, addr) : disk_.SubmitRead(lba, blocks, addr);
+  if (!id.ok()) {
+    return id.error();
+  }
+  pending_.emplace(*id, std::move(done));
+  return Err::kNone;
+}
+
+void DiskDriver::OnInterrupt() {
+  machine_.Charge(machine_.costs().mmio_access);
+  while (auto completion = disk_.TakeCompletion()) {
+    auto it = pending_.find(completion->request_id);
+    if (it == pending_.end()) {
+      continue;
+    }
+    DoneCallback done = std::move(it->second);
+    pending_.erase(it);
+    ++completed_;
+    if (done) {
+      done(completion->status);
+    }
+  }
+}
+
+}  // namespace udrv

@@ -1,0 +1,50 @@
+// Disk device driver: asynchronous request/completion with per-request
+// callbacks. Like the NIC driver, it runs unmodified as a microkernel
+// user-level server and inside Dom0.
+
+#ifndef UKVM_SRC_DRIVERS_DISK_DRIVER_H_
+#define UKVM_SRC_DRIVERS_DISK_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/core/error.h"
+#include "src/hw/disk.h"
+#include "src/hw/machine.h"
+
+namespace udrv {
+
+class DiskDriver {
+ public:
+  using DoneCallback = std::function<void(ukvm::Err status)>;
+
+  DiskDriver(hwsim::Machine& machine, hwsim::Disk& disk);
+
+  DiskDriver(const DiskDriver&) = delete;
+  DiskDriver& operator=(const DiskDriver&) = delete;
+
+  // Reads `blocks` blocks at `lba` into `frame` (must fit in one page).
+  ukvm::Err Read(uint64_t lba, uint32_t blocks, hwsim::Frame frame, DoneCallback done);
+  ukvm::Err Write(uint64_t lba, uint32_t blocks, hwsim::Frame frame, DoneCallback done);
+
+  // Interrupt service routine: completes finished requests.
+  void OnInterrupt();
+
+  uint32_t blocks_per_page() const;
+  uint64_t requests_completed() const { return completed_; }
+  size_t inflight() const { return pending_.size(); }
+
+ private:
+  ukvm::Err Submit(bool is_write, uint64_t lba, uint32_t blocks, hwsim::Frame frame,
+                   DoneCallback done);
+
+  hwsim::Machine& machine_;
+  hwsim::Disk& disk_;
+  std::unordered_map<uint64_t, DoneCallback> pending_;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace udrv
+
+#endif  // UKVM_SRC_DRIVERS_DISK_DRIVER_H_

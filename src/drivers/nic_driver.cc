@@ -1,0 +1,93 @@
+#include "src/drivers/nic_driver.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace udrv {
+
+using ukvm::Err;
+
+NicDriver::NicDriver(hwsim::Machine& machine, hwsim::Nic& nic, std::vector<hwsim::Frame> pool)
+    : machine_(machine), nic_(nic) {
+  assert(pool.size() >= 2);
+  const size_t rx_count = pool.size() / 2;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (i < rx_count) {
+      PostRx(pool[i]);
+    } else {
+      tx_free_.push_back(pool[i]);
+    }
+  }
+}
+
+void NicDriver::PostRx(hwsim::Frame frame) {
+  const hwsim::Paddr addr = machine_.memory().FrameBase(frame);
+  const auto len = static_cast<uint32_t>(
+      std::min<uint64_t>(machine_.memory().page_size(), nic_.config().mtu));
+  if (nic_.PostRxBuffer(addr, len) == Err::kNone) {
+    rx_posted_[addr] = frame;
+  }
+}
+
+Err NicDriver::SendFrame(hwsim::Frame frame, uint32_t len) {
+  machine_.Charge(machine_.costs().mmio_access);  // ring doorbell
+  const Err err = nic_.Transmit(machine_.memory().FrameBase(frame), len);
+  if (err == Err::kNone) {
+    tx_inflight_[machine_.memory().FrameBase(frame)] = frame;
+    ++tx_sent_;
+  }
+  return err;
+}
+
+Err NicDriver::SendCopy(std::span<const uint8_t> payload) {
+  if (tx_free_.empty()) {
+    return Err::kBusy;
+  }
+  if (payload.size() > machine_.memory().page_size() || payload.size() > nic_.config().mtu) {
+    return Err::kInvalidArgument;
+  }
+  const hwsim::Frame frame = tx_free_.front();
+  tx_free_.pop_front();
+  machine_.ChargeCopy(payload.size());
+  machine_.memory().Write(machine_.memory().FrameBase(frame), payload);
+  const Err err = SendFrame(frame, static_cast<uint32_t>(payload.size()));
+  if (err != Err::kNone) {
+    tx_free_.push_back(frame);
+  }
+  return err;
+}
+
+void NicDriver::OnInterrupt() {
+  machine_.Charge(machine_.costs().mmio_access);  // read interrupt status
+  while (auto rx = nic_.TakeRxCompletion()) {
+    auto it = rx_posted_.find(rx->addr);
+    if (it == rx_posted_.end()) {
+      UKVM_WARN("nic driver: rx completion for unknown buffer");
+      continue;
+    }
+    const hwsim::Frame frame = it->second;
+    rx_posted_.erase(it);
+    ++rx_delivered_;
+    if (rx_callback_) {
+      rx_callback_(frame, rx->len);
+    }
+    // The consumer is done with (or has replaced) the frame; repost it. The
+    // mapping may have been updated by ReplaceRxFrame during the callback.
+    PostRx(frame_after_replace_.valid_for == frame ? frame_after_replace_.replacement : frame);
+    frame_after_replace_ = {};
+  }
+  while (auto tx = nic_.TakeTxCompletion()) {
+    auto it = tx_inflight_.find(tx->addr);
+    if (it != tx_inflight_.end()) {
+      tx_free_.push_back(it->second);
+      tx_inflight_.erase(it);
+    }
+  }
+}
+
+void NicDriver::ReplaceRxFrame(hwsim::Frame old_frame, hwsim::Frame new_frame) {
+  frame_after_replace_ = Replacement{old_frame, new_frame};
+}
+
+}  // namespace udrv

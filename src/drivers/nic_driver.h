@@ -1,0 +1,79 @@
+// NIC device driver.
+//
+// The same driver code runs in two homes — as a user-level driver server on
+// the microkernel and inside Dom0 on the VMM (FHN+04's "encapsulate legacy
+// device drivers" arrangement) — which is itself a portability data point
+// for experiment E6. It owns a pool of frames for rx/tx staging, services
+// completion interrupts, and hands received frames to a callback.
+
+#ifndef UKVM_SRC_DRIVERS_NIC_DRIVER_H_
+#define UKVM_SRC_DRIVERS_NIC_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/hw/machine.h"
+#include "src/hw/nic.h"
+
+namespace udrv {
+
+class NicDriver {
+ public:
+  // Received frame: the staging frame holding the packet and its length.
+  // The callback must consume (copy/flip) the data before returning; the
+  // driver re-posts the buffer afterwards.
+  using RxCallback = std::function<void(hwsim::Frame frame, uint32_t len)>;
+
+  // `pool` are frames owned by the driver's domain, split evenly between
+  // rx buffers and tx staging.
+  NicDriver(hwsim::Machine& machine, hwsim::Nic& nic, std::vector<hwsim::Frame> pool);
+
+  NicDriver(const NicDriver&) = delete;
+  NicDriver& operator=(const NicDriver&) = delete;
+
+  void SetRxCallback(RxCallback cb) { rx_callback_ = std::move(cb); }
+
+  // Transmits `len` bytes already staged in `frame` (zero-copy path).
+  ukvm::Err SendFrame(hwsim::Frame frame, uint32_t len);
+
+  // Convenience: stages `payload` into a free tx frame and transmits.
+  ukvm::Err SendCopy(std::span<const uint8_t> payload);
+
+  // Interrupt service routine: drains rx/tx completions.
+  void OnInterrupt();
+
+  // Replaces a staging frame with another (used after a page flip took the
+  // frame away).
+  void ReplaceRxFrame(hwsim::Frame old_frame, hwsim::Frame new_frame);
+
+  uint64_t rx_delivered() const { return rx_delivered_; }
+  uint64_t tx_sent() const { return tx_sent_; }
+  size_t free_tx_frames() const { return tx_free_.size(); }
+
+ private:
+  struct Replacement {
+    hwsim::Frame valid_for = static_cast<hwsim::Frame>(-1);
+    hwsim::Frame replacement = 0;
+  };
+
+  void PostRx(hwsim::Frame frame);
+
+  hwsim::Machine& machine_;
+  hwsim::Nic& nic_;
+  RxCallback rx_callback_;
+  std::deque<hwsim::Frame> tx_free_;
+  std::unordered_map<hwsim::Paddr, hwsim::Frame> rx_posted_;  // paddr -> frame
+  std::unordered_map<hwsim::Paddr, hwsim::Frame> tx_inflight_;
+  Replacement frame_after_replace_;
+  uint64_t rx_delivered_ = 0;
+  uint64_t tx_sent_ = 0;
+};
+
+}  // namespace udrv
+
+#endif  // UKVM_SRC_DRIVERS_NIC_DRIVER_H_

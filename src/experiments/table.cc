@@ -1,0 +1,87 @@
+#include "src/experiments/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uharness {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n%s\n", title_.c_str());
+  auto print_sep = [&] {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) {
+        std::printf("-");
+      }
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  std::printf("|");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf(" %-*s |", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  print_sep();
+  for (const auto& row : rows_) {
+    std::printf("|");
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  print_sep();
+}
+
+std::string FmtInt(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FmtDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string FmtCycles(uint64_t cycles) { return FmtInt(cycles); }
+
+void PrintHeading(const std::string& experiment_id, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace uharness

@@ -1,0 +1,39 @@
+// Plain-text table and series printing for the experiment binaries: every
+// bench target prints the rows/series of the table or figure it regenerates.
+
+#ifndef UKVM_SRC_EXPERIMENTS_TABLE_H_
+#define UKVM_SRC_EXPERIMENTS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uharness {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers.
+std::string FmtInt(uint64_t value);
+std::string FmtDouble(double value, int precision = 2);
+std::string FmtPercent(double fraction, int precision = 1);
+std::string FmtCycles(uint64_t cycles);
+
+// Section header for a bench binary's stdout.
+void PrintHeading(const std::string& experiment_id, const std::string& description);
+
+}  // namespace uharness
+
+#endif  // UKVM_SRC_EXPERIMENTS_TABLE_H_

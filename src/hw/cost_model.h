@@ -1,0 +1,61 @@
+// Architectural cost model.
+//
+// The simulation is structural, not instruction-level: software runs as real
+// C++ but every architecturally significant operation (trap, address-space
+// switch, TLB refill, page-table update, byte copy, ...) charges a number of
+// cycles drawn from this table. Absolute values are calibrated to
+// early-2000s x86 folklore (Liedtke's IPC papers, the Xen SOSP'03 paper,
+// Cherkasova & Gardner's measurements); what matters for the experiments is
+// the *relative* structure, e.g. that a page flip has a large
+// size-independent fixed cost while a copy scales with bytes.
+
+#ifndef UKVM_SRC_HW_COST_MODEL_H_
+#define UKVM_SRC_HW_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace hwsim {
+
+struct CostModel {
+  // Privilege transitions.
+  uint64_t trap_entry = 350;          // int/exception into the privileged kernel
+  uint64_t trap_return = 250;         // iret back to less privileged mode
+  uint64_t fast_trap_entry = 120;     // trap gate direct to guest kernel (no VMM)
+  uint64_t fast_trap_return = 100;
+  uint64_t hypercall_entry = 300;     // paravirtual call into the hypervisor
+  uint64_t hypercall_return = 220;
+
+  // MMU.
+  uint64_t address_space_switch = 550;  // page-table base reload
+  uint64_t tlb_flush_full = 200;        // flush operation itself
+  uint64_t tlb_miss_walk = 90;          // hardware page-walk on a miss
+  uint64_t pte_write = 25;              // one page-table entry update
+  uint64_t tlb_shootdown = 900;         // cross-domain invalidate (IPI + flush)
+
+  // Segmentation (zero-cost on platforms without it).
+  uint64_t segment_reload = 60;         // one selector reload incl. descriptor check
+
+  // Data movement: cycles per 64-byte cache line moved by the CPU.
+  uint64_t copy_per_line = 12;
+  // Device DMA cost per line (charged to the hardware domain).
+  uint64_t dma_per_line = 4;
+
+  // Events and devices.
+  uint64_t interrupt_dispatch = 400;    // controller ack + vectoring
+  uint64_t mmio_access = 150;           // one device register access
+  uint64_t schedule_decision = 180;     // picking the next runnable entity
+
+  // Fixed per-operation kernel bookkeeping costs.
+  uint64_t kernel_op = 80;              // validate args, locate objects, etc.
+
+  // Cycles to copy `bytes` with the CPU.
+  constexpr uint64_t CopyCost(uint64_t bytes) const {
+    return ((bytes + 63) / 64) * copy_per_line;
+  }
+  // Cycles for a device to DMA `bytes`.
+  constexpr uint64_t DmaCost(uint64_t bytes) const { return ((bytes + 63) / 64) * dma_per_line; }
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_COST_MODEL_H_

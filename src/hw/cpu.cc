@@ -1,0 +1,95 @@
+#include "src/hw/cpu.h"
+
+#include <functional>
+
+#include "src/hw/machine.h"
+
+namespace hwsim {
+
+const char* PrivLevelName(PrivLevel level) {
+  switch (level) {
+    case PrivLevel::kPrivileged:
+      return "privileged";
+    case PrivLevel::kGuestKernel:
+      return "guest-kernel";
+    case PrivLevel::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+Cpu::Cpu(Machine& machine, uint32_t tlb_entries) : machine_(machine), tlb_(tlb_entries) {}
+
+void Cpu::SwitchAddressSpace(PageTable* space) {
+  if (space == address_space_) {
+    return;
+  }
+  address_space_ = space;
+  ++context_switches_;
+  machine_.Charge(machine_.costs().address_space_switch);
+  if (machine_.platform().tagged_tlb) {
+    // ASID-tagged TLB: entries survive, distinguished by their tag.
+    tlb_salt_ = std::hash<const void*>{}(space) & ~uint64_t{0xffffffff};
+  } else {
+    tlb_salt_ = 0;
+    tlb_.FlushAll();
+    machine_.Charge(machine_.costs().tlb_flush_full);
+  }
+}
+
+void Cpu::SwitchAddressSpaceSmall(PageTable* space) {
+  if (space == address_space_) {
+    return;
+  }
+  address_space_ = space;
+  // Entries of this space live at different linear addresses (its segment
+  // base relocates them); the salt reproduces that distinctness.
+  tlb_salt_ = std::hash<const void*>{}(space) & ~uint64_t{0xffffffff};
+  ++context_switches_;
+  // Segment remap: reload the four data-segment registers; no TLB flush.
+  ChargeSegmentReloads(4);
+}
+
+ukvm::Result<Translation> Cpu::Translate(Vaddr va, bool write, bool user_access) {
+  if (address_space_ == nullptr) {
+    return ukvm::Err::kFault;
+  }
+  const Vaddr vpn = (va >> address_space_->page_shift()) ^ tlb_salt_;
+  const uint64_t offset = va & (address_space_->page_size() - 1);
+
+  if (auto hit = tlb_.Lookup(vpn)) {
+    if ((write && !hit->writable) || (user_access && !hit->user)) {
+      // Permission upgrade requires the page tables; fall through to a walk
+      // so dirty-bit emulation and copy-on-write schemes can work.
+    } else {
+      return Translation{machine_.memory().FrameBase(hit->frame) + offset, hit->frame,
+                         hit->writable, hit->user};
+    }
+  }
+
+  // TLB miss (or permission recheck): walk the page table.
+  machine_.Charge(machine_.costs().tlb_miss_walk);
+  Pte* pte = address_space_->Walk(va);
+  if (pte == nullptr || !pte->present) {
+    return ukvm::Err::kFault;
+  }
+  if (write && !pte->writable) {
+    return ukvm::Err::kFault;
+  }
+  if (user_access && !pte->user) {
+    return ukvm::Err::kFault;
+  }
+  pte->accessed = true;
+  if (write) {
+    pte->dirty = true;
+  }
+  tlb_.Insert(vpn, pte->frame, pte->writable, pte->user);
+  return Translation{machine_.memory().FrameBase(pte->frame) + offset, pte->frame, pte->writable,
+                     pte->user};
+}
+
+void Cpu::ChargeSegmentReloads(uint32_t count) {
+  machine_.Charge(machine_.costs().segment_reload * count);
+}
+
+}  // namespace hwsim

@@ -1,0 +1,97 @@
+// The simulated CPU: privilege mode, current protection domain, current
+// address space, TLB, and segment state.
+//
+// The CPU does not fetch instructions — guest code runs as real C++ — but
+// it owns everything architectural that the experiments measure: whose
+// cycles are being consumed (current domain), what a translation costs
+// (TLB + page walk), and what an address-space switch costs (base reload +
+// flush + refill misses).
+
+#ifndef UKVM_SRC_HW_CPU_H_
+#define UKVM_SRC_HW_CPU_H_
+
+#include <cstdint>
+
+#include "src/core/error.h"
+#include "src/core/ids.h"
+#include "src/hw/paging.h"
+#include "src/hw/segmentation.h"
+#include "src/hw/tlb.h"
+
+namespace hwsim {
+
+class Machine;
+
+// Privilege levels. kGuestKernel models x86 ring 1 / ia64 PL1, the ring
+// classic paravirtualization parks the guest kernel in.
+enum class PrivLevel : uint8_t {
+  kPrivileged = 0,  // microkernel / hypervisor
+  kGuestKernel = 1,
+  kUser = 3,
+};
+
+const char* PrivLevelName(PrivLevel level);
+
+class Cpu {
+ public:
+  Cpu(Machine& machine, uint32_t tlb_entries);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  ukvm::DomainId current_domain() const { return domain_; }
+  PrivLevel mode() const { return mode_; }
+  bool interrupts_enabled() const { return interrupts_enabled_; }
+  PageTable* address_space() const { return address_space_; }
+  SegmentState* segments() const { return segments_; }
+  Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
+
+  // Re-attributes subsequent cycle charges without any architectural cost
+  // (the kernel flipping its accounting pointer).
+  void SetDomain(ukvm::DomainId domain) { domain_ = domain; }
+  void SetMode(PrivLevel mode) { mode_ = mode; }
+  void SetInterruptsEnabled(bool enabled) { interrupts_enabled_ = enabled; }
+  void SetSegments(SegmentState* segments) { segments_ = segments; }
+
+  // Loads a new page-table base: charges the switch cost and flushes the
+  // TLB (unless the platform has a tagged TLB). Passing the current space
+  // is a no-op. Does not change the accounting domain; call SetDomain.
+  void SwitchAddressSpace(PageTable* space);
+
+  // Liedtke's small-spaces switch [Lie95]: the new protection domain is
+  // reached by segment remapping inside the shared page table, so neither
+  // the page-table base nor the TLB is touched — only segment registers
+  // reload. Valid only on platforms with segmentation; the kernel decides
+  // eligibility. Translation still uses `space` (the small space's view).
+  void SwitchAddressSpaceSmall(PageTable* space);
+
+  // Translates `va` through TLB and page tables, charging miss costs and
+  // setting accessed/dirty bits. Fails with kFault on missing/forbidden
+  // mappings — the caller decides whether to raise a page-fault trap.
+  ukvm::Result<Translation> Translate(Vaddr va, bool write, bool user_access);
+
+  // Charges the cost of reloading `count` segment registers (zero-cost on
+  // platforms without segmentation).
+  void ChargeSegmentReloads(uint32_t count);
+
+  uint64_t context_switches() const { return context_switches_; }
+
+ private:
+  Machine& machine_;
+  ukvm::DomainId domain_ = ukvm::DomainId::Invalid();
+  PrivLevel mode_ = PrivLevel::kPrivileged;
+  bool interrupts_enabled_ = false;
+  PageTable* address_space_ = nullptr;
+  SegmentState* segments_ = nullptr;
+  Tlb tlb_;
+  // Distinguishes TLB entries of different small spaces sharing one page
+  // table: models the distinct linear addresses produced by their segment
+  // bases. XORed into the TLB key.
+  uint64_t tlb_salt_ = 0;
+  uint64_t context_switches_ = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_CPU_H_

@@ -1,0 +1,81 @@
+#include "src/hw/disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hwsim {
+
+Disk::Disk(Machine& machine, ukvm::IrqLine line, Config config)
+    : machine_(machine), line_(line), config_(config) {
+  backing_.assign(config_.capacity_blocks * config_.block_size, 0);
+}
+
+ukvm::Result<uint64_t> Disk::SubmitRead(uint64_t lba, uint32_t blocks, Paddr dest) {
+  return Submit(Op::kRead, lba, blocks, dest);
+}
+
+ukvm::Result<uint64_t> Disk::SubmitWrite(uint64_t lba, uint32_t blocks, Paddr src) {
+  return Submit(Op::kWrite, lba, blocks, src);
+}
+
+ukvm::Result<uint64_t> Disk::Submit(Op op, uint64_t lba, uint32_t blocks, Paddr mem_addr) {
+  if (blocks == 0) {
+    return ukvm::Err::kInvalidArgument;
+  }
+  if (lba + blocks > config_.capacity_blocks) {
+    return ukvm::Err::kOutOfRange;
+  }
+  const uint64_t bytes = uint64_t{blocks} * config_.block_size;
+  if (mem_addr + bytes > machine_.memory().size_bytes()) {
+    return ukvm::Err::kOutOfRange;
+  }
+  const uint64_t request_id = next_request_id_++;
+  const uint64_t service_time = config_.fixed_latency + blocks * config_.per_block_latency +
+                                machine_.costs().DmaCost(bytes);
+  busy_until_ = std::max(busy_until_, machine_.Now()) + service_time;
+  machine_.AccountOnly(ukvm::kHardwareDomain, machine_.costs().DmaCost(bytes));
+
+  machine_.ScheduleAt(busy_until_, [this, op, lba, bytes, mem_addr, request_id] {
+    const uint64_t disk_off = lba * config_.block_size;
+    if (op == Op::kRead) {
+      machine_.memory().Write(mem_addr, std::span<const uint8_t>(&backing_[disk_off], bytes));
+    } else {
+      std::vector<uint8_t> tmp(bytes);
+      machine_.memory().Read(mem_addr, tmp);
+      std::memcpy(&backing_[disk_off], tmp.data(), bytes);
+    }
+    completions_.push_back(Completion{request_id, op, ukvm::Err::kNone});
+    ++completed_;
+    machine_.irq_controller().Assert(line_);
+  });
+  return request_id;
+}
+
+std::optional<Disk::Completion> Disk::TakeCompletion() {
+  if (completions_.empty()) {
+    return std::nullopt;
+  }
+  Completion completion = completions_.front();
+  completions_.pop_front();
+  return completion;
+}
+
+ukvm::Err Disk::ReadBacking(uint64_t lba, std::span<uint8_t> out) const {
+  const uint64_t off = lba * config_.block_size;
+  if (off + out.size() > backing_.size()) {
+    return ukvm::Err::kOutOfRange;
+  }
+  std::memcpy(out.data(), &backing_[off], out.size());
+  return ukvm::Err::kNone;
+}
+
+ukvm::Err Disk::WriteBacking(uint64_t lba, std::span<const uint8_t> in) {
+  const uint64_t off = lba * config_.block_size;
+  if (off + in.size() > backing_.size()) {
+    return ukvm::Err::kOutOfRange;
+  }
+  std::memcpy(&backing_[off], in.data(), in.size());
+  return ukvm::Err::kNone;
+}
+
+}  // namespace hwsim

@@ -1,0 +1,50 @@
+#include "src/hw/interrupts.h"
+
+#include <cassert>
+
+namespace hwsim {
+
+InterruptController::InterruptController(uint32_t lines)
+    : pending_(lines, false), masked_(lines, false) {
+  assert(lines > 0);
+}
+
+void InterruptController::Assert(ukvm::IrqLine line) {
+  assert(LineInRange(line));
+  if (!pending_[line.value()]) {
+    pending_[line.value()] = true;
+    ++asserts_;
+  }
+}
+
+void InterruptController::SetMask(ukvm::IrqLine line, bool masked) {
+  assert(LineInRange(line));
+  masked_[line.value()] = masked;
+}
+
+bool InterruptController::IsMasked(ukvm::IrqLine line) const {
+  assert(LineInRange(line));
+  return masked_[line.value()];
+}
+
+std::optional<ukvm::IrqLine> InterruptController::TakePending() {
+  for (uint32_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i] && !masked_[i]) {
+      pending_[i] = false;
+      ++deliveries_;
+      return ukvm::IrqLine(i);
+    }
+  }
+  return std::nullopt;
+}
+
+bool InterruptController::AnyDeliverable() const {
+  for (uint32_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i] && !masked_[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hwsim

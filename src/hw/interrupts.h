@@ -1,0 +1,53 @@
+// Interrupt controller: edge-triggered lines with per-line masking.
+//
+// Devices assert lines; the machine drains pending unmasked lines into the
+// registered TrapHandler at interrupt-delivery points. In the VMM stack the
+// hypervisor owns this controller and forwards events to Dom0's virtualized
+// interrupt controller (paper section 2.2, primitive 9); in the microkernel
+// stack interrupts are converted to IPC messages to user-level driver
+// threads.
+
+#ifndef UKVM_SRC_HW_INTERRUPTS_H_
+#define UKVM_SRC_HW_INTERRUPTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/ids.h"
+
+namespace hwsim {
+
+class InterruptController {
+ public:
+  explicit InterruptController(uint32_t lines);
+
+  uint32_t num_lines() const { return static_cast<uint32_t>(pending_.size()); }
+
+  // Device-side: asserts a line (idempotent while pending).
+  void Assert(ukvm::IrqLine line);
+
+  // Masking (masked lines stay pending but are not delivered).
+  void SetMask(ukvm::IrqLine line, bool masked);
+  bool IsMasked(ukvm::IrqLine line) const;
+
+  // Takes the lowest-numbered pending unmasked line, clearing its pending
+  // bit (edge-triggered semantics); nullopt if none.
+  std::optional<ukvm::IrqLine> TakePending();
+
+  bool AnyDeliverable() const;
+  uint64_t asserts() const { return asserts_; }
+  uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  bool LineInRange(ukvm::IrqLine line) const { return line.value() < pending_.size(); }
+
+  std::vector<bool> pending_;
+  std::vector<bool> masked_;
+  uint64_t asserts_ = 0;
+  uint64_t deliveries_ = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_INTERRUPTS_H_

@@ -1,0 +1,130 @@
+#include "src/hw/machine.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace hwsim {
+
+Machine::Machine(Platform platform, uint64_t memory_bytes)
+    : platform_(std::move(platform)),
+      memory_(memory_bytes, platform_.page_shift),
+      irq_controller_(platform_.irq_lines),
+      cpu_(*this, platform_.tlb_entries) {}
+
+void Machine::Charge(uint64_t cycles) { ChargeTo(cpu_.current_domain(), cycles); }
+
+void Machine::ChargeTo(ukvm::DomainId domain, uint64_t cycles) {
+  if (cycles == 0) {
+    return;
+  }
+  accounting_.Charge(domain.valid() ? domain : ukvm::kHardwareDomain, cycles);
+  now_ += cycles;
+}
+
+void Machine::AccountOnly(ukvm::DomainId domain, uint64_t cycles) {
+  if (cycles == 0) {
+    return;
+  }
+  accounting_.Charge(domain.valid() ? domain : ukvm::kHardwareDomain, cycles);
+}
+
+Machine::EventId Machine::ScheduleAt(uint64_t time, std::function<void()> fn) {
+  const EventId id = next_event_id_++;
+  events_.push(Event{time < now_ ? now_ : time, id, std::move(fn)});
+  return id;
+}
+
+Machine::EventId Machine::ScheduleAfter(uint64_t delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Machine::CancelEvent(EventId id) { cancelled_.insert(id); }
+
+bool Machine::HasPendingEvents() const { return events_.size() > cancelled_.size(); }
+
+void Machine::AdvanceClockTo(uint64_t time) {
+  if (time > now_) {
+    accounting_.Charge(kIdleDomain, time - now_);
+    now_ = time;
+  }
+}
+
+bool Machine::RunNextEvent() {
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    if (auto it = cancelled_.find(event.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    AdvanceClockTo(event.time);
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Machine::RunUntilIdle(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!RunNextEvent()) {
+      return;
+    }
+    DeliverPendingInterrupts();
+  }
+  UKVM_WARN("RunUntilIdle: stopped after %llu events",
+            static_cast<unsigned long long>(max_events));
+}
+
+void Machine::RunFor(uint64_t cycles) {
+  const uint64_t deadline = now_ + cycles;
+  while (now_ < deadline) {
+    if (events_.empty()) {
+      AdvanceClockTo(deadline);
+      return;
+    }
+    const uint64_t next_time = events_.top().time;
+    if (next_time > deadline) {
+      AdvanceClockTo(deadline);
+      return;
+    }
+    RunNextEvent();
+    DeliverPendingInterrupts();
+  }
+}
+
+ukvm::Err Machine::WaitUntil(const std::function<bool()>& pred, uint64_t timeout_cycles) {
+  const uint64_t deadline = now_ + timeout_cycles;
+  while (!pred()) {
+    if (now_ >= deadline) {
+      return ukvm::Err::kTimedOut;
+    }
+    if (!HasPendingEvents()) {
+      return ukvm::Err::kWouldBlock;  // nothing can ever satisfy the predicate
+    }
+    RunNextEvent();
+    DeliverPendingInterrupts();
+  }
+  return ukvm::Err::kNone;
+}
+
+void Machine::RaiseTrap(TrapFrame& frame) {
+  assert(trap_handler_ != nullptr && "no privileged software booted");
+  Charge(costs().trap_entry);
+  trap_handler_->HandleTrap(frame);
+  Charge(costs().trap_return);
+}
+
+void Machine::DeliverPendingInterrupts() {
+  if (trap_handler_ == nullptr || !cpu_.interrupts_enabled() || in_interrupt_delivery_) {
+    return;
+  }
+  in_interrupt_delivery_ = true;
+  while (auto line = irq_controller_.TakePending()) {
+    Charge(costs().interrupt_dispatch);
+    trap_handler_->HandleInterrupt(*line);
+  }
+  in_interrupt_delivery_ = false;
+}
+
+}  // namespace hwsim

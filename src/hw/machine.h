@@ -1,0 +1,141 @@
+// The simulated machine: one CPU, physical memory, an interrupt controller,
+// a virtual clock, and a discrete-event queue for devices.
+//
+// Execution model: software (kernels, guests, applications) runs as real
+// C++ invoked through kernel entry points; each architectural operation
+// charges cycles to the CPU's current domain, advancing the clock. Device
+// activity is scheduled on the event queue at absolute times and is drained
+// by the Run*/Wait* family; events never fire re-entrantly inside Charge(),
+// which keeps the simulation deterministic and the call stack sane.
+
+#ifndef UKVM_SRC_HW_MACHINE_H_
+#define UKVM_SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/crossings.h"
+#include "src/core/error.h"
+#include "src/core/ids.h"
+#include "src/core/metrics.h"
+#include "src/hw/cpu.h"
+#include "src/hw/interrupts.h"
+#include "src/hw/memory.h"
+#include "src/hw/platform.h"
+#include "src/hw/trap.h"
+
+namespace hwsim {
+
+// Accounting domain used while the CPU waits for devices with nothing to run.
+inline constexpr ukvm::DomainId kIdleDomain{0xfffffffdu};
+
+// Simulated cycles per microsecond (a ~2 GHz core); used to convert device
+// latencies and experiment durations.
+inline constexpr uint64_t kCyclesPerUs = 2000;
+
+class Machine {
+ public:
+  Machine(Platform platform, uint64_t memory_bytes);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const Platform& platform() const { return platform_; }
+  const CostModel& costs() const { return platform_.costs; }
+  PhysicalMemory& memory() { return memory_; }
+  InterruptController& irq_controller() { return irq_controller_; }
+  Cpu& cpu() { return cpu_; }
+  ukvm::CrossingLedger& ledger() { return ledger_; }
+  ukvm::CpuAccounting& accounting() { return accounting_; }
+  ukvm::Counters& counters() { return counters_; }
+
+  // --- Clock and cycle charging -------------------------------------------
+
+  uint64_t Now() const { return now_; }
+
+  // Charges `cycles` to the CPU's current domain and advances the clock.
+  void Charge(uint64_t cycles);
+
+  // Charges to an explicit domain (e.g. kernel work on behalf of a domain)
+  // and advances the clock.
+  void ChargeTo(ukvm::DomainId domain, uint64_t cycles);
+
+  // Attributes cycles without advancing the clock — for work that proceeds
+  // concurrently with the CPU, such as device DMA.
+  void AccountOnly(ukvm::DomainId domain, uint64_t cycles);
+
+  // Charges the CPU cost of copying `bytes`.
+  void ChargeCopy(uint64_t bytes) { Charge(costs().CopyCost(bytes)); }
+
+  // --- Event queue ---------------------------------------------------------
+
+  using EventId = uint64_t;
+  EventId ScheduleAt(uint64_t time, std::function<void()> fn);
+  EventId ScheduleAfter(uint64_t delay, std::function<void()> fn);
+  void CancelEvent(EventId id);
+  bool HasPendingEvents() const;
+
+  // Runs the next due event, advancing the clock to its time (idle cycles
+  // are attributed to kIdleDomain). False if the queue is empty.
+  bool RunNextEvent();
+
+  // Drains events until the queue is empty or `max_events` have run.
+  void RunUntilIdle(uint64_t max_events = 1'000'000);
+
+  // Processes events until the clock reaches Now()+cycles; idle gaps are
+  // skipped (and attributed to kIdleDomain). Pending interrupts are
+  // delivered between events if the CPU has them enabled.
+  void RunFor(uint64_t cycles);
+
+  // Advances events until `pred()` is true; kTimedOut after `timeout_cycles`.
+  ukvm::Err WaitUntil(const std::function<bool()>& pred, uint64_t timeout_cycles);
+
+  // --- Traps and interrupts ------------------------------------------------
+
+  void SetTrapHandler(TrapHandler* handler) { trap_handler_ = handler; }
+  TrapHandler* trap_handler() const { return trap_handler_; }
+
+  // Raises a synchronous trap: charges the entry cost, invokes the handler
+  // (which may mutate the frame), charges the return cost.
+  void RaiseTrap(TrapFrame& frame);
+
+  // Delivers all pending unmasked interrupts through the trap handler if
+  // the CPU has interrupts enabled. Kernels call this at safe points.
+  void DeliverPendingInterrupts();
+
+ private:
+  struct Event {
+    uint64_t time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  void AdvanceClockTo(uint64_t time);
+
+  Platform platform_;
+  PhysicalMemory memory_;
+  InterruptController irq_controller_;
+  Cpu cpu_;
+  ukvm::CrossingLedger ledger_;
+  ukvm::CpuAccounting accounting_;
+  ukvm::Counters counters_;
+  TrapHandler* trap_handler_ = nullptr;
+
+  uint64_t now_ = 0;
+  EventId next_event_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_set<EventId> cancelled_;
+  bool in_interrupt_delivery_ = false;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_MACHINE_H_

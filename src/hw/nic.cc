@@ -1,0 +1,86 @@
+#include "src/hw/nic.h"
+
+#include <algorithm>
+
+#include "src/core/log.h"
+
+namespace hwsim {
+
+Nic::Nic(Machine& machine, ukvm::IrqLine line, Config config)
+    : machine_(machine), line_(line), config_(config) {}
+
+ukvm::Err Nic::PostRxBuffer(Paddr addr, uint32_t len) {
+  if (len == 0 || addr + len > machine_.memory().size_bytes()) {
+    return ukvm::Err::kOutOfRange;
+  }
+  if (rx_buffers_.size() >= config_.rx_queue_depth) {
+    return ukvm::Err::kBusy;
+  }
+  rx_buffers_.push_back(Buffer{addr, len});
+  return ukvm::Err::kNone;
+}
+
+ukvm::Err Nic::Transmit(Paddr addr, uint32_t len) {
+  if (len == 0 || len > config_.mtu) {
+    return ukvm::Err::kInvalidArgument;
+  }
+  std::vector<uint8_t> packet(len);
+  if (machine_.memory().Read(addr, packet) != ukvm::Err::kNone) {
+    return ukvm::Err::kOutOfRange;
+  }
+  const uint64_t dma = machine_.costs().DmaCost(len);
+  machine_.AccountOnly(ukvm::kHardwareDomain, dma);
+  ++tx_packets_;
+
+  // TX completion after the DMA engine has drained the buffer.
+  machine_.ScheduleAfter(dma, [this, addr, len] {
+    tx_completions_.push_back(NicTxCompletion{addr, len});
+    machine_.irq_controller().Assert(line_);
+  });
+
+  // The packet reaches the peer after DMA + propagation.
+  machine_.ScheduleAfter(dma + config_.wire_latency, [this, packet = std::move(packet)]() mutable {
+    if (peer_) {
+      peer_(std::move(packet));
+    }
+  });
+  return ukvm::Err::kNone;
+}
+
+std::optional<NicRxCompletion> Nic::TakeRxCompletion() {
+  if (rx_completions_.empty()) {
+    return std::nullopt;
+  }
+  NicRxCompletion completion = rx_completions_.front();
+  rx_completions_.pop_front();
+  return completion;
+}
+
+std::optional<NicTxCompletion> Nic::TakeTxCompletion() {
+  if (tx_completions_.empty()) {
+    return std::nullopt;
+  }
+  NicTxCompletion completion = tx_completions_.front();
+  tx_completions_.pop_front();
+  return completion;
+}
+
+void Nic::InjectPacket(std::span<const uint8_t> bytes) {
+  if (rx_buffers_.empty()) {
+    ++rx_drops_;
+    return;
+  }
+  Buffer buffer = rx_buffers_.front();
+  rx_buffers_.pop_front();
+  const auto len = static_cast<uint32_t>(std::min<uint64_t>(bytes.size(), buffer.len));
+  machine_.memory().Write(buffer.addr, bytes.subspan(0, len));
+  const uint64_t dma = machine_.costs().DmaCost(len);
+  machine_.AccountOnly(ukvm::kHardwareDomain, dma);
+  ++rx_packets_;
+  machine_.ScheduleAfter(dma, [this, buffer, len] {
+    rx_completions_.push_back(NicRxCompletion{buffer.addr, len});
+    machine_.irq_controller().Assert(line_);
+  });
+}
+
+}  // namespace hwsim

@@ -1,0 +1,101 @@
+// Simulated network interface with DMA rings and a pluggable wire.
+//
+// This is the device underneath experiment E3 (the Cherkasova & Gardner
+// reproduction): packets DMA'd to/from physical memory, a completion IRQ
+// per packet (drivers may coalesce by draining multiple completions per
+// interrupt), and a wire modelled as a latency + peer callback so traffic
+// generators and sinks can be attached.
+
+#ifndef UKVM_SRC_HW_NIC_H_
+#define UKVM_SRC_HW_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/core/ids.h"
+#include "src/hw/machine.h"
+
+namespace hwsim {
+
+struct NicRxCompletion {
+  Paddr addr = 0;    // the posted buffer the packet was DMA'd into
+  uint32_t len = 0;  // bytes received
+};
+
+struct NicTxCompletion {
+  Paddr addr = 0;
+  uint32_t len = 0;
+};
+
+class Nic {
+ public:
+  struct Config {
+    uint32_t mtu = 1514;
+    uint32_t rx_queue_depth = 256;
+    uint64_t wire_latency = 20 * kCyclesPerUs;  // one-way propagation
+  };
+
+  Nic(Machine& machine, ukvm::IrqLine line, Config config);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  // --- Driver interface ----------------------------------------------------
+
+  // Posts a receive buffer; incoming packets fill buffers in FIFO order.
+  ukvm::Err PostRxBuffer(Paddr addr, uint32_t len);
+
+  // Transmits `len` bytes DMA'd from `addr`. The packet reaches the peer
+  // after DMA + wire latency; a TX completion IRQ fires after DMA.
+  ukvm::Err Transmit(Paddr addr, uint32_t len);
+
+  std::optional<NicRxCompletion> TakeRxCompletion();
+  std::optional<NicTxCompletion> TakeTxCompletion();
+
+  // --- Wire interface ------------------------------------------------------
+
+  using PacketSink = std::function<void(std::vector<uint8_t>)>;
+
+  // Where transmitted packets go (a peer NIC's InjectPacket, or a sink).
+  void SetPeer(PacketSink sink) { peer_ = std::move(sink); }
+
+  // A packet arriving from the wire: DMA'd into the next posted rx buffer
+  // (truncated to the buffer), then an RX completion + IRQ. Dropped (and
+  // counted) if no buffer is posted.
+  void InjectPacket(std::span<const uint8_t> bytes);
+
+  // --- Introspection -------------------------------------------------------
+
+  const Config& config() const { return config_; }
+  ukvm::IrqLine line() const { return line_; }
+  uint64_t tx_packets() const { return tx_packets_; }
+  uint64_t rx_packets() const { return rx_packets_; }
+  uint64_t rx_drops() const { return rx_drops_; }
+  size_t posted_rx_buffers() const { return rx_buffers_.size(); }
+
+ private:
+  struct Buffer {
+    Paddr addr;
+    uint32_t len;
+  };
+
+  Machine& machine_;
+  ukvm::IrqLine line_;
+  Config config_;
+  PacketSink peer_;
+  std::deque<Buffer> rx_buffers_;
+  std::deque<NicRxCompletion> rx_completions_;
+  std::deque<NicTxCompletion> tx_completions_;
+  uint64_t tx_packets_ = 0;
+  uint64_t rx_packets_ = 0;
+  uint64_t rx_drops_ = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_NIC_H_

@@ -1,0 +1,99 @@
+#include "src/hw/paging.h"
+
+#include <cassert>
+
+namespace hwsim {
+
+PageTable::PageTable(uint32_t page_shift, uint32_t vaddr_bits)
+    : page_shift_(page_shift), vaddr_bits_(vaddr_bits) {
+  assert(vaddr_bits_ > page_shift_);
+}
+
+uint64_t PageTable::max_va() const {
+  if (vaddr_bits_ >= 64) {
+    return ~uint64_t{0};
+  }
+  return uint64_t{1} << vaddr_bits_;
+}
+
+ukvm::Err PageTable::Map(Vaddr va, Frame frame, PtePerms perms) {
+  if (!VaInRange(va)) {
+    return ukvm::Err::kOutOfRange;
+  }
+  Pte& pte = WalkCreate(va);
+  if (!pte.present) {
+    ++mapped_pages_;
+  }
+  pte.frame = frame;
+  pte.present = true;
+  pte.writable = perms.writable;
+  pte.user = perms.user;
+  pte.accessed = false;
+  pte.dirty = false;
+  return ukvm::Err::kNone;
+}
+
+ukvm::Err PageTable::Unmap(Vaddr va) {
+  if (!VaInRange(va)) {
+    return ukvm::Err::kOutOfRange;
+  }
+  Pte* pte = Walk(va);
+  if (pte == nullptr || !pte->present) {
+    return ukvm::Err::kNotFound;
+  }
+  *pte = Pte{};
+  --mapped_pages_;
+  return ukvm::Err::kNone;
+}
+
+ukvm::Result<Pte> PageTable::Lookup(Vaddr va) const {
+  if (!VaInRange(va)) {
+    return ukvm::Err::kOutOfRange;
+  }
+  const Pte* pte = Walk(va);
+  if (pte == nullptr || !pte->present) {
+    return ukvm::Err::kNotFound;
+  }
+  return *pte;
+}
+
+Pte& PageTable::WalkCreate(Vaddr va) {
+  const Vaddr vpn = VpnOf(va);
+  const uint64_t dir = vpn >> kLeafBits;
+  auto& leaf = directory_[dir];
+  if (!leaf) {
+    leaf = std::make_unique<LeafTable>();
+  }
+  return leaf->entries[vpn & (kLeafSize - 1)];
+}
+
+Pte* PageTable::Walk(Vaddr va) {
+  const Vaddr vpn = VpnOf(va);
+  auto it = directory_.find(vpn >> kLeafBits);
+  if (it == directory_.end()) {
+    return nullptr;
+  }
+  return &it->second->entries[vpn & (kLeafSize - 1)];
+}
+
+const Pte* PageTable::Walk(Vaddr va) const {
+  const Vaddr vpn = VpnOf(va);
+  auto it = directory_.find(vpn >> kLeafBits);
+  if (it == directory_.end()) {
+    return nullptr;
+  }
+  return &it->second->entries[vpn & (kLeafSize - 1)];
+}
+
+void PageTable::ForEachMapping(const std::function<void(Vaddr vpn, const Pte&)>& fn) const {
+  for (const auto& [dir, leaf] : directory_) {
+    for (uint64_t slot = 0; slot < kLeafSize; ++slot) {
+      const Pte& pte = leaf->entries[slot];
+      if (pte.present) {
+        fn((dir << kLeafBits) | slot, pte);
+      }
+    }
+  }
+}
+
+}  // namespace hwsim

@@ -1,0 +1,94 @@
+// Page tables: a two-level radix structure, hardware-walkable.
+//
+// Each protection domain owns a PageTable; the MMU (src/hw/mmu in cpu.cc)
+// consults it on TLB misses. The VMM's paravirtual page-table interface
+// validates and applies guest updates to these same structures, and the
+// microkernel's mapping database records map/grant relationships over them,
+// so both kernels exercise real page-table state transitions.
+
+#ifndef UKVM_SRC_HW_PAGING_H_
+#define UKVM_SRC_HW_PAGING_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/hw/memory.h"
+
+namespace hwsim {
+
+// One page-table entry.
+struct Pte {
+  Frame frame = 0;
+  bool present = false;
+  bool writable = false;
+  bool user = false;      // accessible from user mode
+  bool accessed = false;  // set by the MMU on translation
+  bool dirty = false;     // set by the MMU on write translation
+};
+
+struct PtePerms {
+  bool writable = false;
+  bool user = true;
+};
+
+// Result of a translation attempt.
+struct Translation {
+  Paddr paddr = 0;
+  Frame frame = 0;
+  bool writable = false;
+  bool user = false;
+};
+
+class PageTable {
+ public:
+  PageTable(uint32_t page_shift, uint32_t vaddr_bits);
+
+  // Installs a mapping, overwriting any existing one at `va`.
+  ukvm::Err Map(Vaddr va, Frame frame, PtePerms perms);
+  ukvm::Err Unmap(Vaddr va);
+
+  // Pure lookup without access/dirty side effects; kNotFound if unmapped.
+  ukvm::Result<Pte> Lookup(Vaddr va) const;
+
+  // Walks to the PTE, creating intermediate levels; used by the MMU (to set
+  // accessed/dirty) and by the hypervisor's PT-update validation.
+  Pte& WalkCreate(Vaddr va);
+  // Walks without creating; nullptr if the leaf table is absent.
+  Pte* Walk(Vaddr va);
+  const Pte* Walk(Vaddr va) const;
+
+  // Visits every present mapping (vpn, pte).
+  void ForEachMapping(const std::function<void(Vaddr vpn, const Pte&)>& fn) const;
+
+  uint64_t mapped_pages() const { return mapped_pages_; }
+  uint32_t page_shift() const { return page_shift_; }
+  uint64_t max_va() const;
+
+  Vaddr VpnOf(Vaddr va) const { return va >> page_shift_; }
+  Vaddr PageBase(Vaddr va) const { return va & ~(page_size() - 1); }
+  uint64_t page_size() const { return uint64_t{1} << page_shift_; }
+
+ private:
+  static constexpr uint32_t kLeafBits = 10;  // 1024 PTEs per leaf table
+  static constexpr uint64_t kLeafSize = uint64_t{1} << kLeafBits;
+
+  struct LeafTable {
+    std::vector<Pte> entries;
+    LeafTable() : entries(kLeafSize) {}
+  };
+
+  bool VaInRange(Vaddr va) const { return va < max_va(); }
+
+  uint32_t page_shift_;
+  uint32_t vaddr_bits_;
+  uint64_t mapped_pages_ = 0;
+  std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory_;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_PAGING_H_

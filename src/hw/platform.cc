@@ -1,0 +1,129 @@
+#include "src/hw/platform.h"
+
+namespace hwsim {
+
+Platform MakeX86Platform() {
+  Platform p;
+  p.name = "x86-32";
+  p.page_shift = 12;
+  p.vaddr_bits = 32;
+  p.tlb_entries = 64;
+  p.has_segmentation = true;
+  p.software_loaded_tlb = false;
+  p.has_guest_ring = true;
+  p.irq_lines = 16;
+  // Defaults in CostModel are calibrated to a ~2 GHz Pentium-4-era core.
+  return p;
+}
+
+Platform MakeArmPlatform() {
+  Platform p;
+  p.name = "arm-v5";
+  p.page_shift = 12;
+  p.vaddr_bits = 32;
+  p.tlb_entries = 32;
+  p.has_segmentation = false;
+  p.software_loaded_tlb = false;
+  p.has_guest_ring = false;
+  p.irq_lines = 32;
+  p.costs.trap_entry = 120;  // exception entry is cheap on ARM
+  p.costs.trap_return = 100;
+  p.costs.fast_trap_entry = 60;
+  p.costs.fast_trap_return = 50;
+  p.costs.hypercall_entry = 110;
+  p.costs.hypercall_return = 90;
+  p.costs.address_space_switch = 900;  // untagged VIVT caches make AS switches dear
+  p.costs.segment_reload = 0;
+  return p;
+}
+
+Platform MakePowerPcPlatform() {
+  Platform p;
+  p.name = "ppc-64";
+  p.page_shift = 12;
+  p.vaddr_bits = 64;
+  p.tlb_entries = 128;
+  p.has_segmentation = false;
+  p.software_loaded_tlb = false;
+  p.has_guest_ring = false;
+  p.irq_lines = 64;
+  p.costs.trap_entry = 200;
+  p.costs.trap_return = 160;
+  p.costs.fast_trap_entry = 110;  // lightweight system-call entry
+  p.costs.fast_trap_return = 90;
+  p.costs.address_space_switch = 300;  // hashed page table, no full TLB flush
+  p.costs.tlb_miss_walk = 160;         // hash-table walk is slower
+  p.costs.segment_reload = 0;
+  return p;
+}
+
+Platform MakeItaniumPlatform() {
+  Platform p;
+  p.name = "ia64";
+  p.page_shift = 14;  // 16 KiB pages
+  p.vaddr_bits = 64;
+  p.tlb_entries = 96;
+  p.has_segmentation = false;
+  p.software_loaded_tlb = true;
+  p.tagged_tlb = true;
+  p.has_guest_ring = true;  // ia64 has four privilege levels
+  p.irq_lines = 64;
+  p.costs.trap_entry = 250;
+  p.costs.trap_return = 200;
+  p.costs.fast_trap_entry = 140;  // epc-style light entry
+  p.costs.fast_trap_return = 110;
+  p.costs.tlb_miss_walk = 220;  // software refill handler
+  p.costs.address_space_switch = 250;  // region registers, no flush
+  p.costs.segment_reload = 0;
+  return p;
+}
+
+Platform MakeMipsPlatform() {
+  Platform p;
+  p.name = "mips-r4k";
+  p.page_shift = 12;
+  p.vaddr_bits = 40;
+  p.tlb_entries = 48;
+  p.has_segmentation = false;
+  p.software_loaded_tlb = true;
+  p.tagged_tlb = true;
+  p.has_guest_ring = false;
+  p.irq_lines = 8;
+  p.costs.trap_entry = 100;
+  p.costs.trap_return = 80;
+  p.costs.fast_trap_entry = 55;
+  p.costs.fast_trap_return = 45;
+  p.costs.tlb_miss_walk = 180;
+  p.costs.address_space_switch = 120;  // ASID-tagged TLB, no flush
+  p.costs.tlb_flush_full = 0;          // never needed with ASIDs
+  p.costs.segment_reload = 0;
+  return p;
+}
+
+Platform MakeAlphaPlatform() {
+  Platform p;
+  p.name = "alpha-ev6";
+  p.page_shift = 13;  // 8 KiB pages
+  p.vaddr_bits = 64;
+  p.tlb_entries = 128;
+  p.has_segmentation = false;
+  p.software_loaded_tlb = true;  // PALcode refill
+  p.tagged_tlb = true;
+  p.has_guest_ring = false;
+  p.irq_lines = 16;
+  p.costs.trap_entry = 90;  // PALcode entry is lightweight
+  p.costs.trap_return = 70;
+  p.costs.fast_trap_entry = 50;  // PALcode callsys fast path
+  p.costs.fast_trap_return = 40;
+  p.costs.tlb_miss_walk = 140;
+  p.costs.address_space_switch = 150;
+  p.costs.segment_reload = 0;
+  return p;
+}
+
+std::vector<Platform> AllPlatforms() {
+  return {MakeX86Platform(),     MakeArmPlatform(),  MakePowerPcPlatform(),
+          MakeItaniumPlatform(), MakeMipsPlatform(), MakeAlphaPlatform()};
+}
+
+}  // namespace hwsim

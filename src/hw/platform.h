@@ -1,0 +1,62 @@
+// Platform descriptors (experiment E6).
+//
+// Section 2.2 of the paper claims L4 software "naturally runs on nine
+// different processor platforms" because the microkernel hides hardware
+// peculiarities, while VMM interfaces are "inherently unportable". To test
+// that, the simulated machine is parameterized by a platform descriptor:
+// page size, availability of segmentation (the x86 feature Xen's fast
+// system-call shortcut depends on), software- vs hardware-loaded TLBs, and
+// per-platform costs. Portable software must not depend on any of these.
+
+#ifndef UKVM_SRC_HW_PLATFORM_H_
+#define UKVM_SRC_HW_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/cost_model.h"
+
+namespace hwsim {
+
+struct Platform {
+  std::string name;
+
+  // Virtual-memory geometry.
+  uint32_t page_shift = 12;      // log2(page size)
+  uint32_t vaddr_bits = 32;      // width of the virtual address space
+  uint32_t tlb_entries = 64;
+
+  // Architectural features.
+  bool has_segmentation = false;     // x86-style segment limits (enables the
+                                     // Xen trap-gate shortcut of section 3.2)
+  bool software_loaded_tlb = false;  // Itanium/MIPS-style: kernel refills TLB
+  bool tagged_tlb = false;           // ASID/region-tagged TLB: address-space
+                                     // switches do not flush it
+  bool has_guest_ring = false;       // a distinct privilege ring between the
+                                     // kernel and user (x86 ring 1), needed
+                                     // for classic paravirtualization
+
+  uint32_t irq_lines = 16;
+
+  CostModel costs;
+
+  uint64_t page_size() const { return uint64_t{1} << page_shift; }
+};
+
+// Factory functions for the platforms the experiments sweep over. These
+// mirror the spread of the nine L4 ports the paper cites: embedded ARM up
+// to large Itanium/PowerPC machines.
+Platform MakeX86Platform();       // 4 KiB pages, segmentation, ring 1
+Platform MakeArmPlatform();       // 4 KiB pages, no segments, no ring 1
+Platform MakePowerPcPlatform();   // 4 KiB pages, hash-TLB-ish costs
+Platform MakeItaniumPlatform();   // 16 KiB pages, software TLB
+Platform MakeMipsPlatform();      // 4 KiB pages, software TLB
+Platform MakeAlphaPlatform();     // 8 KiB pages
+
+// All of the above, for sweeps.
+std::vector<Platform> AllPlatforms();
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_PLATFORM_H_

@@ -1,0 +1,52 @@
+#include "src/hw/segmentation.h"
+
+#include <cassert>
+
+namespace hwsim {
+
+const char* SegmentRegName(SegmentReg reg) {
+  switch (reg) {
+    case SegmentReg::kCs:
+      return "CS";
+    case SegmentReg::kSs:
+      return "SS";
+    case SegmentReg::kDs:
+      return "DS";
+    case SegmentReg::kEs:
+      return "ES";
+    case SegmentReg::kFs:
+      return "FS";
+    case SegmentReg::kGs:
+      return "GS";
+  }
+  return "?";
+}
+
+SegmentState::SegmentState() = default;
+
+void SegmentState::Set(SegmentReg reg, SegmentDescriptor descriptor) {
+  regs_[static_cast<size_t>(reg)] = descriptor;
+}
+
+const SegmentDescriptor& SegmentState::Get(SegmentReg reg) const {
+  return regs_[static_cast<size_t>(reg)];
+}
+
+bool SegmentState::AllExclude(uint64_t range_base, uint64_t range_end) const {
+  assert(range_base < range_end);
+  for (const SegmentDescriptor& descriptor : regs_) {
+    if (!descriptor.Excludes(range_base, range_end)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SegmentState::TruncateAll(uint64_t limit) {
+  for (SegmentDescriptor& descriptor : regs_) {
+    descriptor.base = 0;
+    descriptor.limit = limit;
+  }
+}
+
+}  // namespace hwsim

@@ -1,0 +1,67 @@
+// x86-style segmentation, modelled at the granularity the paper needs.
+//
+// Section 3.2 describes Xen's system-call shortcut: a trap gate that enters
+// the guest kernel directly, skipping the VMM. It is safe only while every
+// active segment's limit excludes the VMM's address range — and because an
+// x86 trap reloads only two of the six segment registers (CS and SS), the
+// VMM cannot re-truncate the other four on the fly. The paper notes that
+// "Linux's latest glibc violates the assumption and renders the shortcut
+// useless" (glibc's TLS support loads full-range GS/DS descriptors). This
+// module models exactly those ingredients: six segment registers,
+// descriptors with base/limit, and the two-of-six reload property.
+
+#ifndef UKVM_SRC_HW_SEGMENTATION_H_
+#define UKVM_SRC_HW_SEGMENTATION_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hwsim {
+
+enum class SegmentReg : uint8_t { kCs = 0, kSs, kDs, kEs, kFs, kGs };
+inline constexpr size_t kSegmentRegCount = 6;
+
+// Number of segment registers an x86 trap-gate transition reloads: CS and
+// SS only. The other four retain whatever the guest last loaded.
+inline constexpr size_t kTrapReloadedSegments = 2;
+
+const char* SegmentRegName(SegmentReg reg);
+
+struct SegmentDescriptor {
+  uint64_t base = 0;
+  uint64_t limit = uint64_t{1} << 32;  // size in bytes; default: flat 4 GiB
+  uint8_t dpl = 3;                     // descriptor privilege level
+
+  uint64_t end() const { return base + limit; }
+
+  // True if no byte of [range_base, range_end) is addressable through this
+  // segment.
+  bool Excludes(uint64_t range_base, uint64_t range_end) const {
+    return end() <= range_base || base >= range_end;
+  }
+};
+
+// The segment state of one protection domain (all six registers).
+class SegmentState {
+ public:
+  SegmentState();
+
+  void Set(SegmentReg reg, SegmentDescriptor descriptor);
+  const SegmentDescriptor& Get(SegmentReg reg) const;
+
+  // True if every register's segment excludes [range_base, range_end) — the
+  // precondition for Xen's trap-gate shortcut to preserve protection.
+  bool AllExclude(uint64_t range_base, uint64_t range_end) const;
+
+  // Truncates all six segments to [0, limit); what Xen's paravirtual setup
+  // does so guests cannot address the hypervisor.
+  void TruncateAll(uint64_t limit);
+
+ private:
+  std::array<SegmentDescriptor, kSegmentRegCount> regs_;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_SEGMENTATION_H_

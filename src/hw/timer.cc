@@ -1,0 +1,38 @@
+#include "src/hw/timer.h"
+
+#include <cassert>
+
+namespace hwsim {
+
+Timer::Timer(Machine& machine, ukvm::IrqLine line) : machine_(machine), line_(line) {}
+
+Timer::~Timer() { Stop(); }
+
+void Timer::Start(uint64_t period_cycles) {
+  assert(period_cycles > 0);
+  Stop();
+  period_ = period_cycles;
+  running_ = true;
+  ScheduleTick();
+}
+
+void Timer::Stop() {
+  if (running_ && pending_event_ != 0) {
+    machine_.CancelEvent(pending_event_);
+  }
+  running_ = false;
+  pending_event_ = 0;
+}
+
+void Timer::ScheduleTick() {
+  pending_event_ = machine_.ScheduleAfter(period_, [this] {
+    if (!running_) {
+      return;
+    }
+    ++ticks_;
+    machine_.irq_controller().Assert(line_);
+    ScheduleTick();
+  });
+}
+
+}  // namespace hwsim

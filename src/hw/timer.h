@@ -1,0 +1,42 @@
+// Programmable periodic timer raising a hardware interrupt line.
+
+#ifndef UKVM_SRC_HW_TIMER_H_
+#define UKVM_SRC_HW_TIMER_H_
+
+#include <cstdint>
+
+#include "src/core/ids.h"
+#include "src/hw/machine.h"
+
+namespace hwsim {
+
+class Timer {
+ public:
+  Timer(Machine& machine, ukvm::IrqLine line);
+  ~Timer();
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)starts periodic ticking every `period_cycles`.
+  void Start(uint64_t period_cycles);
+  void Stop();
+
+  bool running() const { return running_; }
+  uint64_t ticks() const { return ticks_; }
+  ukvm::IrqLine line() const { return line_; }
+
+ private:
+  void ScheduleTick();
+
+  Machine& machine_;
+  ukvm::IrqLine line_;
+  uint64_t period_ = 0;
+  uint64_t ticks_ = 0;
+  bool running_ = false;
+  Machine::EventId pending_event_ = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_TIMER_H_

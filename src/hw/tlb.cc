@@ -1,0 +1,61 @@
+#include "src/hw/tlb.h"
+
+#include <cassert>
+
+namespace hwsim {
+
+Tlb::Tlb(uint32_t capacity) : slots_(capacity) { assert(capacity > 0); }
+
+std::optional<TlbEntry> Tlb::Lookup(Vaddr vpn) {
+  auto it = index_.find(vpn);
+  if (it == index_.end() || !slots_[it->second].valid) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return slots_[it->second];
+}
+
+void Tlb::Insert(Vaddr vpn, Frame frame, bool writable, bool user) {
+  auto it = index_.find(vpn);
+  uint32_t slot;
+  if (it != index_.end()) {
+    slot = it->second;
+  } else {
+    slot = next_victim_;
+    next_victim_ = (next_victim_ + 1) % static_cast<uint32_t>(slots_.size());
+    if (slots_[slot].valid) {
+      index_.erase(slots_[slot].vpn);
+    }
+    index_[vpn] = slot;
+  }
+  slots_[slot] = TlbEntry{vpn, frame, writable, user, true};
+}
+
+void Tlb::FlushAll() {
+  for (TlbEntry& entry : slots_) {
+    entry.valid = false;
+  }
+  index_.clear();
+  ++flushes_;
+}
+
+void Tlb::FlushPage(Vaddr vpn) {
+  auto it = index_.find(vpn);
+  if (it != index_.end()) {
+    slots_[it->second].valid = false;
+    index_.erase(it);
+  }
+}
+
+uint32_t Tlb::valid_entries() const {
+  uint32_t n = 0;
+  for (const TlbEntry& entry : slots_) {
+    if (entry.valid) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hwsim

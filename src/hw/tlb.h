@@ -1,0 +1,55 @@
+// A small fully-associative TLB with FIFO replacement.
+//
+// TLB behaviour matters to the experiments because address-space switches
+// (which both kernels perform on every protection-domain crossing on
+// untagged architectures) flush it, and the subsequent refill cost is part
+// of the true price of a crossing — the effect Liedtke's small-spaces work
+// (cited by the paper as [Lie95]) was designed to avoid.
+
+#ifndef UKVM_SRC_HW_TLB_H_
+#define UKVM_SRC_HW_TLB_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/memory.h"
+
+namespace hwsim {
+
+struct TlbEntry {
+  Vaddr vpn = 0;
+  Frame frame = 0;
+  bool writable = false;
+  bool user = false;
+  bool valid = false;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(uint32_t capacity);
+
+  std::optional<TlbEntry> Lookup(Vaddr vpn);
+  void Insert(Vaddr vpn, Frame frame, bool writable, bool user);
+  void FlushAll();
+  void FlushPage(Vaddr vpn);
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t flushes() const { return flushes_; }
+  uint32_t valid_entries() const;
+
+ private:
+  std::vector<TlbEntry> slots_;
+  std::unordered_map<Vaddr, uint32_t> index_;  // vpn -> slot
+  uint32_t next_victim_ = 0;                   // FIFO hand
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_TLB_H_

@@ -1,0 +1,27 @@
+#include "src/hw/trap.h"
+
+namespace hwsim {
+
+const char* TrapVectorName(TrapVector vector) {
+  switch (vector) {
+    case TrapVector::kDivideError:
+      return "divide-error";
+    case TrapVector::kDebug:
+      return "debug";
+    case TrapVector::kBreakpoint:
+      return "breakpoint";
+    case TrapVector::kInvalidOpcode:
+      return "invalid-opcode";
+    case TrapVector::kGeneralProtection:
+      return "general-protection";
+    case TrapVector::kPageFault:
+      return "page-fault";
+    case TrapVector::kSyscall:
+      return "syscall";
+    case TrapVector::kHypercall:
+      return "hypercall";
+  }
+  return "?";
+}
+
+}  // namespace hwsim

@@ -1,0 +1,59 @@
+// Trap vectors and frames — the hardware/software boundary.
+//
+// Whatever privileged software boots on the machine (the microkernel or the
+// hypervisor) registers a TrapHandler; the CPU delivers exceptions, system
+// calls, hypercalls, and interrupts through it. Section 3.2's observation
+// that "each guest-application exception and system call causes a trap into
+// the VMM" is directly visible here: in the VMM stack this handler is the
+// hypervisor, which then reflects the event into the guest kernel.
+
+#ifndef UKVM_SRC_HW_TRAP_H_
+#define UKVM_SRC_HW_TRAP_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/ids.h"
+#include "src/hw/memory.h"
+
+namespace hwsim {
+
+enum class TrapVector : uint8_t {
+  kDivideError = 0,
+  kDebug,
+  kBreakpoint,
+  kInvalidOpcode,
+  kGeneralProtection,
+  kPageFault,
+  kSyscall,    // the int-0x80 style software interrupt
+  kHypercall,  // paravirtual call into the most privileged software
+};
+
+const char* TrapVectorName(TrapVector vector);
+
+// Register file snapshot carried across a trap. regs[0] doubles as the
+// call number on syscall/hypercall entry and the return value on exit.
+struct TrapFrame {
+  TrapVector vector = TrapVector::kDivideError;
+  uint64_t error_code = 0;
+  Vaddr fault_addr = 0;       // page faults: the faulting virtual address
+  bool write_access = false;  // page faults: was it a write?
+  bool from_user = true;      // privilege level the trap came from
+  std::array<uint64_t, 6> regs{};
+};
+
+// Implemented by the privileged software (microkernel or hypervisor).
+class TrapHandler {
+ public:
+  virtual ~TrapHandler() = default;
+
+  // Handles a synchronous trap; may mutate `frame` (return values in regs).
+  virtual void HandleTrap(TrapFrame& frame) = 0;
+
+  // Handles a hardware interrupt that the machine is delivering.
+  virtual void HandleInterrupt(ukvm::IrqLine line) = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_TRAP_H_

@@ -1,0 +1,76 @@
+// The architecture/port interface: everything MiniOS needs from whatever it
+// runs on.
+//
+// This is the portability boundary of experiment E6. The microkernel port
+// implements it with IPC to user-level servers; the VMM port with
+// netfront/blkfront paravirtual drivers; the native port with direct driver
+// access. MiniOS itself contains no substrate-specific code.
+
+#ifndef UKVM_SRC_OS_ARCH_IF_H_
+#define UKVM_SRC_OS_ARCH_IF_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "src/core/error.h"
+#include "src/core/ids.h"
+#include "src/os/syscall.h"
+
+namespace minios {
+
+class Os;
+
+// A network endpoint: send a packet; receive via an asynchronous handler
+// (the port wires it to IPC-delivered packets, netfront upcalls, or the
+// bare driver's rx path).
+class NetDevice {
+ public:
+  virtual ~NetDevice() = default;
+  using RecvHandler = std::function<void(std::span<const uint8_t> packet)>;
+
+  virtual ukvm::Err Send(std::span<const uint8_t> packet) = 0;
+  virtual void SetRecvHandler(RecvHandler handler) = 0;
+  virtual uint32_t mtu() const = 0;
+};
+
+// A virtual block device (what Parallax serves to its clients; what the
+// microkernel's block server serves via IPC).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint32_t block_size() const = 0;
+  virtual uint64_t capacity_blocks() const = 0;
+  // Synchronous: the port pumps simulated time until completion.
+  virtual ukvm::Err Read(uint64_t lba, uint32_t count, std::span<uint8_t> out) = 0;
+  virtual ukvm::Err Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) = 0;
+};
+
+class ConsoleDevice {
+ public:
+  virtual ~ConsoleDevice() = default;
+  virtual void Write(std::string_view text) = 0;
+};
+
+// The full port: devices plus the system-call entry path.
+class ArchPort {
+ public:
+  virtual ~ArchPort() = default;
+
+  virtual const char* name() const = 0;
+
+  // Routes one application system call into the OS kernel, modelling the
+  // substrate's entry path (trap, IPC, or trap-and-reflect), and returns
+  // the kernel's result. `os` is the MiniOS instance owning `pid`.
+  virtual SyscallRet InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& req) = 0;
+
+  virtual NetDevice* net() = 0;
+  virtual BlockDevice* block() = 0;
+  virtual ConsoleDevice* console() = 0;
+};
+
+}  // namespace minios
+
+#endif  // UKVM_SRC_OS_ARCH_IF_H_

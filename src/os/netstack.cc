@@ -1,0 +1,99 @@
+#include "src/os/netstack.h"
+
+#include <cstring>
+
+namespace minios {
+
+using ukvm::Err;
+using ukvm::Result;
+
+std::vector<uint8_t> BuildPacket(uint16_t dst_port, uint16_t src_port,
+                                 std::span<const uint8_t> payload) {
+  std::vector<uint8_t> packet(kNetHeaderBytes + payload.size());
+  packet[0] = static_cast<uint8_t>(dst_port >> 8);
+  packet[1] = static_cast<uint8_t>(dst_port & 0xff);
+  packet[2] = static_cast<uint8_t>(src_port >> 8);
+  packet[3] = static_cast<uint8_t>(src_port & 0xff);
+  const auto len = static_cast<uint16_t>(payload.size());
+  packet[4] = static_cast<uint8_t>(len >> 8);
+  packet[5] = static_cast<uint8_t>(len & 0xff);
+  std::memcpy(packet.data() + kNetHeaderBytes, payload.data(), payload.size());
+  return packet;
+}
+
+bool ParsePacket(std::span<const uint8_t> packet, ParsedPacket& out) {
+  if (packet.size() < kNetHeaderBytes) {
+    return false;
+  }
+  out.dst_port = static_cast<uint16_t>((packet[0] << 8) | packet[1]);
+  out.src_port = static_cast<uint16_t>((packet[2] << 8) | packet[3]);
+  const auto len = static_cast<uint16_t>((packet[4] << 8) | packet[5]);
+  if (packet.size() < kNetHeaderBytes + len) {
+    return false;
+  }
+  out.payload = packet.subspan(kNetHeaderBytes, len);
+  return true;
+}
+
+NetStack::NetStack(NetDevice& dev) : dev_(dev) {
+  dev_.SetRecvHandler([this](std::span<const uint8_t> packet) { OnPacket(packet); });
+}
+
+Err NetStack::Bind(uint16_t port) {
+  if (sockets_.contains(port)) {
+    return Err::kAlreadyExists;
+  }
+  sockets_.emplace(port, std::deque<std::vector<uint8_t>>{});
+  return Err::kNone;
+}
+
+Err NetStack::Unbind(uint16_t port) {
+  return sockets_.erase(port) > 0 ? Err::kNone : Err::kNotFound;
+}
+
+Err NetStack::Send(uint16_t dst_port, uint16_t src_port, std::span<const uint8_t> payload) {
+  if (payload.size() + kNetHeaderBytes > dev_.mtu()) {
+    return Err::kInvalidArgument;
+  }
+  const std::vector<uint8_t> packet = BuildPacket(dst_port, src_port, payload);
+  const Err err = dev_.Send(packet);
+  if (err == Err::kNone) {
+    ++tx_datagrams_;
+  }
+  return err;
+}
+
+Result<std::vector<uint8_t>> NetStack::Recv(uint16_t port) {
+  auto it = sockets_.find(port);
+  if (it == sockets_.end()) {
+    return Err::kNotFound;
+  }
+  if (it->second.empty()) {
+    return Err::kWouldBlock;
+  }
+  std::vector<uint8_t> payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+size_t NetStack::QueuedOn(uint16_t port) const {
+  auto it = sockets_.find(port);
+  return it == sockets_.end() ? 0 : it->second.size();
+}
+
+void NetStack::OnPacket(std::span<const uint8_t> packet) {
+  ParsedPacket parsed;
+  if (!ParsePacket(packet, parsed)) {
+    ++rx_dropped_;
+    return;
+  }
+  auto it = sockets_.find(parsed.dst_port);
+  if (it == sockets_.end() || it->second.size() >= kMaxQueue) {
+    ++rx_dropped_;
+    return;
+  }
+  it->second.emplace_back(parsed.payload.begin(), parsed.payload.end());
+  ++rx_datagrams_;
+}
+
+}  // namespace minios

@@ -1,0 +1,68 @@
+// A minimal datagram network stack (UDP-like) over a NetDevice.
+//
+// Wire format: a 6-byte header [dst_port:16][src_port:16][len:16] followed
+// by the payload. There is no addressing beyond ports: the experiments run
+// point-to-point wires (guest <-> traffic generator/sink), matching the
+// netperf-style setup of Cherkasova & Gardner's measurements.
+
+#ifndef UKVM_SRC_OS_NETSTACK_H_
+#define UKVM_SRC_OS_NETSTACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/os/arch_if.h"
+
+namespace minios {
+
+inline constexpr uint32_t kNetHeaderBytes = 6;
+
+// Builds a wire packet from header fields + payload.
+std::vector<uint8_t> BuildPacket(uint16_t dst_port, uint16_t src_port,
+                                 std::span<const uint8_t> payload);
+
+// Parses a wire packet; returns false if malformed.
+struct ParsedPacket {
+  uint16_t dst_port = 0;
+  uint16_t src_port = 0;
+  std::span<const uint8_t> payload;
+};
+bool ParsePacket(std::span<const uint8_t> packet, ParsedPacket& out);
+
+class NetStack {
+ public:
+  explicit NetStack(NetDevice& dev);
+
+  // Binds a port; received datagrams for it are queued (bounded).
+  ukvm::Err Bind(uint16_t port);
+  ukvm::Err Unbind(uint16_t port);
+
+  ukvm::Err Send(uint16_t dst_port, uint16_t src_port, std::span<const uint8_t> payload);
+
+  // Non-blocking receive; kWouldBlock when the queue is empty.
+  ukvm::Result<std::vector<uint8_t>> Recv(uint16_t port);
+
+  size_t QueuedOn(uint16_t port) const;
+  uint64_t rx_datagrams() const { return rx_datagrams_; }
+  uint64_t tx_datagrams() const { return tx_datagrams_; }
+  uint64_t rx_dropped() const { return rx_dropped_; }
+
+ private:
+  static constexpr size_t kMaxQueue = 512;
+
+  void OnPacket(std::span<const uint8_t> packet);
+
+  NetDevice& dev_;
+  std::unordered_map<uint16_t, std::deque<std::vector<uint8_t>>> sockets_;
+  uint64_t rx_datagrams_ = 0;
+  uint64_t tx_datagrams_ = 0;
+  uint64_t rx_dropped_ = 0;
+};
+
+}  // namespace minios
+
+#endif  // UKVM_SRC_OS_NETSTACK_H_

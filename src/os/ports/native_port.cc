@@ -1,0 +1,182 @@
+#include "src/os/ports/native_port.h"
+
+#include "src/os/kernel.h"
+
+namespace minios {
+
+using ukvm::Err;
+
+// --- Device adaptors -----------------------------------------------------------
+
+class NativePort::NativeNet : public NetDevice {
+ public:
+  explicit NativeNet(NativePort& port) : port_(port) {}
+
+  Err Send(std::span<const uint8_t> packet) override {
+    // One copy: user payload into the driver's staging frame.
+    return port_.nic_driver_.SendCopy(packet);
+  }
+
+  void SetRecvHandler(RecvHandler handler) override {
+    handler_ = std::move(handler);
+    port_.nic_driver_.SetRxCallback([this](hwsim::Frame frame, uint32_t len) {
+      // One copy out of the rx staging frame into OS memory.
+      std::vector<uint8_t> bytes(len);
+      port_.machine_.memory().Read(port_.machine_.memory().FrameBase(frame), bytes);
+      port_.machine_.ChargeCopy(len);
+      if (handler_) {
+        handler_(bytes);
+      }
+    });
+  }
+
+  uint32_t mtu() const override { return 1514; }
+
+ private:
+  NativePort& port_;
+  RecvHandler handler_;
+};
+
+class NativePort::NativeBlock : public BlockDevice {
+ public:
+  NativeBlock(NativePort& port, hwsim::Frame staging)
+      : port_(port), staging_(staging) {}
+
+  uint32_t block_size() const override { return port_.disk_.config().block_size; }
+  uint64_t capacity_blocks() const override { return port_.disk_.config().capacity_blocks; }
+
+  Err Read(uint64_t lba, uint32_t count, std::span<uint8_t> out) override {
+    const uint32_t bs = block_size();
+    if (out.size() < uint64_t{count} * bs) {
+      return Err::kInvalidArgument;
+    }
+    uint32_t done = 0;
+    while (done < count) {
+      const uint32_t chunk = std::min(count - done, port_.disk_driver_.blocks_per_page());
+      bool finished = false;
+      Err status = Err::kNone;
+      UKVM_TRY(port_.disk_driver_.Read(lba + done, chunk, staging_, [&](Err s) {
+        status = s;
+        finished = true;
+      }));
+      UKVM_TRY(port_.machine_.WaitUntil([&] { return finished; }, 1'000'000'000));
+      if (status != Err::kNone) {
+        return status;
+      }
+      const uint64_t bytes = uint64_t{chunk} * bs;
+      port_.machine_.memory().Read(port_.machine_.memory().FrameBase(staging_),
+                                   out.subspan(uint64_t{done} * bs, bytes));
+      port_.machine_.ChargeCopy(bytes);
+      done += chunk;
+    }
+    return Err::kNone;
+  }
+
+  Err Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) override {
+    const uint32_t bs = block_size();
+    if (in.size() < uint64_t{count} * bs) {
+      return Err::kInvalidArgument;
+    }
+    uint32_t done = 0;
+    while (done < count) {
+      const uint32_t chunk = std::min(count - done, port_.disk_driver_.blocks_per_page());
+      const uint64_t bytes = uint64_t{chunk} * bs;
+      port_.machine_.memory().Write(port_.machine_.memory().FrameBase(staging_),
+                                    in.subspan(uint64_t{done} * bs, bytes));
+      port_.machine_.ChargeCopy(bytes);
+      bool finished = false;
+      Err status = Err::kNone;
+      UKVM_TRY(port_.disk_driver_.Write(lba + done, chunk, staging_, [&](Err s) {
+        status = s;
+        finished = true;
+      }));
+      UKVM_TRY(port_.machine_.WaitUntil([&] { return finished; }, 1'000'000'000));
+      if (status != Err::kNone) {
+        return status;
+      }
+      done += chunk;
+    }
+    return Err::kNone;
+  }
+
+ private:
+  NativePort& port_;
+  hwsim::Frame staging_;
+};
+
+class NativePort::NativeConsole : public ConsoleDevice {
+ public:
+  explicit NativeConsole(NativePort& port) : port_(port) {}
+  void Write(std::string_view text) override {
+    port_.machine_.ChargeCopy(text.size());
+    port_.console_log_.emplace_back(text);
+  }
+
+ private:
+  NativePort& port_;
+};
+
+// --- NativePort ------------------------------------------------------------------
+
+NativePort::NativePort(hwsim::Machine& machine, hwsim::Nic& nic, hwsim::Disk& disk,
+                       ukvm::DomainId os_domain, std::vector<hwsim::Frame> pool)
+    : machine_(machine),
+      os_domain_(os_domain),
+      disk_(disk),
+      nic_driver_(machine, nic, std::vector<hwsim::Frame>(pool.begin(), pool.end() - 1)),
+      disk_driver_(machine, disk),
+      nic_irq_(nic.line()),
+      disk_irq_(disk.line()) {
+  mech_syscall_ = machine_.ledger().InternMechanism("native.syscall", ukvm::CrossingKind::kTrap);
+  mech_irq_ = machine_.ledger().InternMechanism("native.irq", ukvm::CrossingKind::kInterrupt);
+  net_dev_ = std::make_unique<NativeNet>(*this);
+  block_dev_ = std::make_unique<NativeBlock>(*this, pool.back());
+  console_dev_ = std::make_unique<NativeConsole>(*this);
+  machine_.SetTrapHandler(this);
+  machine_.cpu().SetDomain(os_domain_);
+  machine_.cpu().SetInterruptsEnabled(true);
+}
+
+NetDevice* NativePort::net() { return net_dev_.get(); }
+BlockDevice* NativePort::block() { return block_dev_.get(); }
+ConsoleDevice* NativePort::console() { return console_dev_.get(); }
+
+NativePort::~NativePort() {
+  if (machine_.trap_handler() == this) {
+    machine_.SetTrapHandler(nullptr);
+  }
+}
+
+SyscallRet NativePort::InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& req) {
+  const uint64_t t0 = machine_.Now();
+  // Native path: one trap-gate entry straight into the OS kernel — the same
+  // hardware journey as Xen's fast shortcut, with no VMM in the way.
+  machine_.Charge(machine_.costs().fast_trap_entry);
+  machine_.cpu().ChargeSegmentReloads(hwsim::kTrapReloadedSegments);
+  machine_.cpu().SetMode(hwsim::PrivLevel::kPrivileged);
+  // copy_from_user / copy_to_user at the kernel boundary.
+  machine_.ChargeCopy(req.in.size());
+  const SyscallRet ret = os.SyscallImpl(pid, req);
+  machine_.ChargeCopy(req.out.size());
+  machine_.Charge(machine_.costs().fast_trap_return);
+  machine_.cpu().SetMode(hwsim::PrivLevel::kUser);
+  machine_.ledger().Record(mech_syscall_, os_domain_, os_domain_, machine_.Now() - t0, 0);
+  machine_.DeliverPendingInterrupts();
+  return ret;
+}
+
+void NativePort::HandleTrap(hwsim::TrapFrame& frame) {
+  // Only raw hardware exceptions arrive here (syscalls use InvokeSyscall).
+  frame.regs[0] = static_cast<uint64_t>(Err::kNotSupported);
+}
+
+void NativePort::HandleInterrupt(ukvm::IrqLine line) {
+  machine_.ledger().Record(mech_irq_, ukvm::kHardwareDomain, os_domain_, 0, 0);
+  if (line == nic_irq_) {
+    nic_driver_.OnInterrupt();
+  } else if (line == disk_irq_) {
+    disk_driver_.OnInterrupt();
+  }
+}
+
+}  // namespace minios

@@ -1,0 +1,297 @@
+#include "src/os/ports/ukernel_port.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/core/log.h"
+#include "src/os/kernel.h"
+#include "src/os/ports/protocols.h"
+
+namespace minios {
+
+using ukern::IpcMessage;
+using ukvm::Err;
+using ukvm::ThreadId;
+
+// --- Device adaptors -----------------------------------------------------------
+
+// Block device backed by IPC to the user-level block server. Calls are made
+// from the OS server's thread (nested IPC, as L4Linux calls its driver
+// servers).
+class UkernelPort::IpcBlock : public BlockDevice {
+ public:
+  explicit IpcBlock(UkernelPort& port) : port_(port) {}
+
+  uint32_t block_size() const override {
+    FetchInfo();
+    return block_size_;
+  }
+  uint64_t capacity_blocks() const override {
+    FetchInfo();
+    return capacity_;
+  }
+
+  Err Read(uint64_t lba, uint32_t count, std::span<uint8_t> out) override {
+    FetchInfo();
+    if (block_size_ == 0) {
+      return Err::kDead;
+    }
+    if (out.size() < uint64_t{count} * block_size_) {
+      return Err::kInvalidArgument;
+    }
+    const uint32_t max_blocks =
+        std::max<uint32_t>(1, port_.w_.srv_window_len / block_size_);
+    uint32_t done = 0;
+    while (done < count) {
+      const uint32_t chunk = std::min(count - done, max_blocks);
+      IpcMessage msg = IpcMessage::Short(kBlkReadLabel, lba + done, chunk);
+      IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
+      if (reply.status != Err::kNone) {
+        return reply.status;
+      }
+      if (static_cast<int64_t>(reply.regs[0]) < 0) {
+        return ErrOf(static_cast<SyscallRet>(reply.regs[0]));
+      }
+      const uint64_t bytes = uint64_t{chunk} * block_size_;
+      if (reply.string_data.size() < bytes) {
+        return Err::kFault;
+      }
+      std::memcpy(out.data() + uint64_t{done} * block_size_, reply.string_data.data(), bytes);
+      done += chunk;
+    }
+    return Err::kNone;
+  }
+
+  Err Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) override {
+    FetchInfo();
+    if (block_size_ == 0) {
+      return Err::kDead;
+    }
+    if (in.size() < uint64_t{count} * block_size_) {
+      return Err::kInvalidArgument;
+    }
+    const uint32_t max_blocks =
+        std::max<uint32_t>(1, port_.w_.srv_window_len / block_size_);
+    uint32_t done = 0;
+    while (done < count) {
+      const uint32_t chunk = std::min(count - done, max_blocks);
+      const uint64_t bytes = uint64_t{chunk} * block_size_;
+      port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window,
+                       in.subspan(uint64_t{done} * block_size_, bytes));
+      IpcMessage msg = IpcMessage::Short(kBlkWriteLabel, lba + done, chunk);
+      msg.has_string = true;
+      msg.string = ukern::StringItem{port_.w_.srv_window, static_cast<uint32_t>(bytes)};
+      IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
+      if (reply.status != Err::kNone) {
+        return reply.status;
+      }
+      if (static_cast<int64_t>(reply.regs[0]) < 0) {
+        return ErrOf(static_cast<SyscallRet>(reply.regs[0]));
+      }
+      done += chunk;
+    }
+    return Err::kNone;
+  }
+
+ private:
+  void FetchInfo() const {
+    if (info_fetched_) {
+      return;
+    }
+    IpcMessage msg = IpcMessage::Short(kBlkInfoLabel);
+    IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
+    if (reply.status == Err::kNone) {
+      block_size_ = static_cast<uint32_t>(reply.regs[1]);
+      capacity_ = reply.regs[2];
+      info_fetched_ = true;
+    }
+  }
+
+  UkernelPort& port_;
+  mutable bool info_fetched_ = false;
+  mutable uint32_t block_size_ = 0;
+  mutable uint64_t capacity_ = 0;
+};
+
+// Network device backed by IPC to the user-level net driver server.
+class UkernelPort::IpcNet : public NetDevice {
+ public:
+  explicit IpcNet(UkernelPort& port) : port_(port) {}
+
+  Err Send(std::span<const uint8_t> packet) override {
+    if (packet.size() > port_.w_.srv_window_len) {
+      return Err::kInvalidArgument;
+    }
+    port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window, packet);
+    IpcMessage msg = IpcMessage::Short(kNetSendLabel);
+    msg.has_string = true;
+    msg.string = ukern::StringItem{port_.w_.srv_window, static_cast<uint32_t>(packet.size())};
+    IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.net_server, msg);
+    if (reply.status != Err::kNone) {
+      return reply.status;
+    }
+    return static_cast<int64_t>(reply.regs[0]) < 0
+               ? ErrOf(static_cast<SyscallRet>(reply.regs[0]))
+               : Err::kNone;
+  }
+
+  void SetRecvHandler(RecvHandler handler) override { handler_ = std::move(handler); }
+  uint32_t mtu() const override { return 1514; }
+
+  void Deliver(std::span<const uint8_t> packet) {
+    if (handler_) {
+      handler_(packet);
+    }
+  }
+
+ private:
+  UkernelPort& port_;
+  RecvHandler handler_;
+};
+
+class UkernelPort::PortConsole : public ConsoleDevice {
+ public:
+  explicit PortConsole(UkernelPort& port) : port_(port) {}
+  void Write(std::string_view text) override {
+    port_.machine_.ChargeCopy(text.size());
+    port_.console_log_.emplace_back(text);
+  }
+
+ private:
+  UkernelPort& port_;
+};
+
+// --- UkernelPort -----------------------------------------------------------------
+
+UkernelPort::UkernelPort(hwsim::Machine& machine, UkernelPortWiring wiring)
+    : machine_(machine), w_(wiring) {
+  assert(w_.kernel != nullptr);
+  net_dev_ = std::make_unique<IpcNet>(*this);
+  block_dev_ = std::make_unique<IpcBlock>(*this);
+  console_dev_ = std::make_unique<PortConsole>(*this);
+
+  w_.kernel->SetThreadHandler(w_.os_thread, [this](ThreadId sender, IpcMessage msg) {
+    return OsServerEntry(sender, std::move(msg));
+  });
+  w_.kernel->SetThreadHandler(w_.net_rx_thread, [this](ThreadId sender, IpcMessage msg) {
+    return NetRxEntry(sender, std::move(msg));
+  });
+
+  // Register with the net server so inbound packets reach our rx thread.
+  IpcMessage attach = IpcMessage::Short(kNetAttachLabel, w_.net_rx_thread.value());
+  (void)w_.kernel->Call(w_.os_thread, w_.net_server, attach);
+}
+
+UkernelPort::~UkernelPort() = default;
+
+NetDevice* UkernelPort::net() { return net_dev_.get(); }
+BlockDevice* UkernelPort::block() { return block_dev_.get(); }
+ConsoleDevice* UkernelPort::console() { return console_dev_.get(); }
+
+void UkernelPort::SetBlockServer(ThreadId server) { w_.blk_server = server; }
+
+void UkernelPort::SetNetServer(ThreadId server) {
+  w_.net_server = server;
+  // Re-attach our rx thread with the new server.
+  IpcMessage attach = IpcMessage::Short(kNetAttachLabel, w_.net_rx_thread.value());
+  (void)w_.kernel->Call(w_.os_thread, w_.net_server, attach);
+}
+
+uint32_t UkernelPort::max_transfer() const {
+  return std::min(w_.app_window_len, w_.srv_window_len);
+}
+
+void UkernelPort::PokeWindow(ThreadId thread, hwsim::Vaddr va, std::span<const uint8_t> bytes) {
+  // Simulation plumbing, not a charged operation: the bytes notionally
+  // already exist in the task's memory; this materialises them so the
+  // kernel's (charged) string copy moves real data.
+  auto task_id = w_.kernel->TaskOf(thread);
+  if (!task_id.ok()) {
+    return;
+  }
+  ukern::Task* task = w_.kernel->FindTask(*task_id);
+  const uint64_t page = task->space.page_size();
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const hwsim::Vaddr addr = va + done;
+    const size_t chunk = std::min<size_t>(bytes.size() - done, page - (addr & (page - 1)));
+    hwsim::Pte* pte = task->space.Walk(addr);
+    if (pte == nullptr || !pte->present) {
+      UKVM_WARN("ukernel port: window page unmapped at 0x%llx",
+                static_cast<unsigned long long>(addr));
+      return;
+    }
+    machine_.memory().Write(machine_.memory().FrameBase(pte->frame) + (addr & (page - 1)),
+                            bytes.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
+SyscallRet UkernelPort::InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& req) {
+  os_ = &os;
+  if (req.in.size() > w_.app_window_len || req.out.size() > w_.srv_window_len) {
+    return RetOf(Err::kInvalidArgument);
+  }
+  IpcMessage msg;
+  msg.regs[0] = kOsSyscallLabel;
+  msg.regs[1] = pid.value();
+  msg.regs[2] = static_cast<uint64_t>(req.nr);
+  msg.regs[3] = req.a0;
+  msg.regs[4] = req.a1;
+  msg.regs[5] = req.a2;
+  msg.regs[6] = req.in.size();
+  msg.regs[7] = req.out.size();
+  msg.reg_count = 8;
+  if (!req.in.empty()) {
+    PokeWindow(w_.app_thread, w_.app_window, req.in);
+    msg.has_string = true;
+    msg.string = ukern::StringItem{w_.app_window, static_cast<uint32_t>(req.in.size())};
+  }
+  IpcMessage reply = w_.kernel->Call(w_.app_thread, w_.os_thread, msg);
+  if (reply.status != Err::kNone) {
+    return RetOf(reply.status);
+  }
+  if (!req.out.empty() && !reply.string_data.empty()) {
+    const size_t n = std::min(req.out.size(), reply.string_data.size());
+    std::memcpy(req.out.data(), reply.string_data.data(), n);
+  }
+  return static_cast<SyscallRet>(reply.regs[0]);
+}
+
+IpcMessage UkernelPort::OsServerEntry(ThreadId sender, IpcMessage msg) {
+  (void)sender;
+  if (msg.regs[0] != kOsSyscallLabel || os_ == nullptr) {
+    return IpcMessage::Error(Err::kNotSupported);
+  }
+  const ukvm::ProcessId pid{static_cast<uint32_t>(msg.regs[1])};
+  SyscallReq req;
+  req.nr = static_cast<Sys>(msg.regs[2]);
+  req.a0 = msg.regs[3];
+  req.a1 = msg.regs[4];
+  req.a2 = msg.regs[5];
+  req.in = msg.string_data;
+  std::vector<uint8_t> out_buf(msg.regs[7]);
+  req.out = out_buf;
+
+  const SyscallRet ret = os_->SyscallImpl(pid, req);
+
+  IpcMessage reply;
+  reply.regs[0] = static_cast<uint64_t>(ret);
+  reply.reg_count = 1;
+  if (!out_buf.empty() && ret >= 0) {
+    PokeWindow(w_.os_thread, w_.srv_window, out_buf);
+    reply.has_string = true;
+    reply.string = ukern::StringItem{w_.srv_window, static_cast<uint32_t>(out_buf.size())};
+  }
+  return reply;
+}
+
+IpcMessage UkernelPort::NetRxEntry(ThreadId sender, IpcMessage msg) {
+  (void)sender;
+  if (msg.regs[0] == kNetRxLabel) {
+    net_dev_->Deliver(msg.string_data);
+  }
+  return IpcMessage{};
+}
+
+}  // namespace minios

@@ -1,0 +1,56 @@
+// MiniOS system-call ABI.
+//
+// One guest OS, three substrates: the same syscall numbers and argument
+// conventions are used on the native port (direct kernel entry), the
+// microkernel port (each syscall is an IPC to the OS server, as in
+// L4Linux), and the VMM port (each syscall is an int-0x80-style trap
+// through the hypervisor's exception virtualisation). Experiments E2 and
+// E4 rely on this ABI being identical across ports.
+
+#ifndef UKVM_SRC_OS_SYSCALL_H_
+#define UKVM_SRC_OS_SYSCALL_H_
+
+#include <cstdint>
+#include <span>
+
+namespace minios {
+
+enum class Sys : uint32_t {
+  kNull = 0,   // does nothing; measures the bare syscall path (lmbench-style)
+  kExit,
+  kGetPid,
+  kYield,
+  kGetTime,    // simulated cycles since boot
+  kOpen,
+  kCreate,
+  kClose,
+  kRead,
+  kWrite,      // fd 1 = console
+  kUnlink,
+  kStat,
+  kSeek,
+  kNetBind,
+  kNetSend,
+  kNetRecv,    // non-blocking; returns kWouldBlock when empty
+};
+
+const char* SysName(Sys nr);
+
+// A system-call request. Buffer spans model the user/kernel copy boundary;
+// every byte moved through them is charged as a copy by the handling OS.
+struct SyscallReq {
+  Sys nr = Sys::kNull;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+  std::span<const uint8_t> in;  // data travelling into the kernel
+  std::span<uint8_t> out;       // data travelling back to the application
+};
+
+// Return convention: >= 0 success (count / handle / value), < 0 is
+// -static_cast<int64_t>(ukvm::Err).
+using SyscallRet = int64_t;
+
+}  // namespace minios
+
+#endif  // UKVM_SRC_OS_SYSCALL_H_

@@ -1,0 +1,99 @@
+// MiniFS: a small flat-namespace filesystem over a virtual block device.
+//
+// Deliberately cache-less: every file operation turns into block-device
+// traffic, which is the point — file workloads must exercise the storage
+// path of whichever stack MiniOS runs on (IPC to the block server, or
+// blkfront/blkback rings through Dom0/Parallax).
+//
+// On-disk layout (block_size B blocks):
+//   block 0                : superblock
+//   blocks 1..inode_blocks : inode table (128-byte inodes)
+//   then bitmap blocks     : one bit per data block
+//   then data blocks.
+
+#ifndef UKVM_SRC_OS_VFS_H_
+#define UKVM_SRC_OS_VFS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/os/arch_if.h"
+
+namespace minios {
+
+inline constexpr uint32_t kVfsMagic = 0x4D696E46;  // "MinF"
+inline constexpr uint32_t kInodeSize = 128;
+inline constexpr uint32_t kInodeCount = 64;
+inline constexpr uint32_t kMaxName = 31;
+inline constexpr uint32_t kDirectBlocks = 16;
+
+struct VfsStat {
+  std::string name;
+  uint64_t size = 0;
+  uint32_t inode = 0;
+};
+
+class Vfs {
+ public:
+  explicit Vfs(BlockDevice& dev) : dev_(dev) {}
+
+  // Writes a fresh filesystem onto the device.
+  ukvm::Err Format();
+  // Reads and validates the superblock.
+  ukvm::Err Mount();
+  bool mounted() const { return mounted_; }
+
+  ukvm::Result<uint32_t> Create(std::string_view name);
+  ukvm::Result<uint32_t> LookUp(std::string_view name);
+  ukvm::Err Unlink(std::string_view name);
+  ukvm::Result<VfsStat> Stat(uint32_t inode);
+
+  // Reads up to out.size() bytes at `offset`; returns bytes read (0 at EOF).
+  ukvm::Result<uint32_t> ReadAt(uint32_t inode, uint64_t offset, std::span<uint8_t> out);
+  // Writes, extending the file as needed (up to kDirectBlocks blocks).
+  ukvm::Result<uint32_t> WriteAt(uint32_t inode, uint64_t offset, std::span<const uint8_t> in);
+
+  std::vector<VfsStat> List();
+
+  uint64_t MaxFileSize() const { return uint64_t{kDirectBlocks} * dev_.block_size(); }
+
+ private:
+  struct Inode {
+    uint8_t used = 0;
+    char name[kMaxName + 1] = {};
+    uint64_t size = 0;
+    uint32_t blocks[kDirectBlocks] = {};
+  };
+  static_assert(sizeof(Inode) <= kInodeSize);
+
+  uint32_t InodesPerBlock() const { return dev_.block_size() / kInodeSize; }
+  uint32_t InodeTableBlocks() const {
+    return (kInodeCount + InodesPerBlock() - 1) / InodesPerBlock();
+  }
+  uint32_t BitmapStart() const { return 1 + InodeTableBlocks(); }
+  uint32_t BitmapBlocks() const {
+    const auto bits_per_block = dev_.block_size() * 8;
+    return static_cast<uint32_t>((dev_.capacity_blocks() + bits_per_block - 1) / bits_per_block);
+  }
+  uint32_t DataStart() const { return BitmapStart() + BitmapBlocks(); }
+
+  ukvm::Err ReadBlock(uint64_t lba, std::span<uint8_t> out);
+  ukvm::Err WriteBlock(uint64_t lba, std::span<const uint8_t> in);
+
+  ukvm::Result<Inode> LoadInode(uint32_t idx);
+  ukvm::Err StoreInode(uint32_t idx, const Inode& inode);
+
+  ukvm::Result<uint32_t> AllocBlock();
+  ukvm::Err FreeBlock(uint32_t lba);
+
+  BlockDevice& dev_;
+  bool mounted_ = false;
+};
+
+}  // namespace minios
+
+#endif  // UKVM_SRC_OS_VFS_H_

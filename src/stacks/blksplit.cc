@@ -1,0 +1,202 @@
+#include "src/stacks/blksplit.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace ustack {
+
+using ukvm::DomainId;
+using ukvm::Err;
+
+namespace {
+
+constexpr hwsim::Vaddr kBlkMapBase = 0xE800'0000ull;
+constexpr uint32_t kBlkMapSlots = 64;
+constexpr size_t kRingCapacity = 64;
+
+}  // namespace
+
+// --- BlkBack ---------------------------------------------------------------------
+
+BlkBack::BlkBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend,
+                 udrv::DiskDriver& driver, uint64_t slice_blocks, PortMux& mux)
+    : machine_(machine),
+      hv_(hv),
+      backend_(backend),
+      driver_(driver),
+      slice_blocks_(slice_blocks),
+      mux_(mux) {}
+
+uint32_t BlkBack::block_size() const {
+  return static_cast<uint32_t>(machine_.memory().page_size() / driver_.blocks_per_page());
+}
+
+BlkChannel* BlkBack::Connect(DomainId guest) {
+  auto chan = std::make_unique<BlkChannel>();
+  chan->guest = guest;
+  chan->ring = std::make_unique<XenRing<BlkReq, BlkResp>>(machine_, kRingCapacity);
+  auto port = hv_.HcEvtchnAllocUnbound(backend_, guest);
+  if (!port.ok()) {
+    return nullptr;
+  }
+  chan->back_port = *port;
+  chan->slice_base = next_slice_ * slice_blocks_;
+  chan->slice_blocks = slice_blocks_;
+  ++next_slice_;
+  BlkChannel* raw = chan.get();
+  mux_.Route(raw->back_port, [this, raw] { OnKick(*raw); });
+  channels_.push_back(std::move(chan));
+  return raw;
+}
+
+void BlkBack::OnKick(BlkChannel& chan) {
+  while (auto req = chan.ring->PopRequest()) {
+    Err err = Err::kNone;
+    if (req->count == 0 || req->count > driver_.blocks_per_page() ||
+        req->lba + req->count > chan.slice_blocks) {
+      err = Err::kOutOfRange;
+    }
+    hwsim::Vaddr map_va = 0;
+    hwsim::Frame frame = 0;
+    if (err == Err::kNone) {
+      map_va = kBlkMapBase + (map_counter_++ % kBlkMapSlots) * machine_.memory().page_size();
+      err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, !req->is_write);
+      if (err == Err::kNone) {
+        uvmm::Domain* back_dom = hv_.FindDomain(backend_);
+        const hwsim::Pte* pte = back_dom->space.Walk(map_va);
+        assert(pte != nullptr && pte->present);
+        frame = pte->frame;
+      }
+    }
+    if (err != Err::kNone) {
+      chan.ring->PushResponse(BlkResp{req->id, err});
+      (void)hv_.HcEvtchnSend(backend_, chan.back_port);
+      continue;
+    }
+    const uint64_t abs_lba = chan.slice_base + req->lba;
+    const uint64_t id = req->id;
+    const uint32_t gref = req->gref;
+    BlkChannel* chan_ptr = &chan;
+    auto done = [this, chan_ptr, id, gref, map_va](Err status) {
+      (void)hv_.HcGrantUnmap(backend_, chan_ptr->guest, gref, map_va);
+      chan_ptr->ring->PushResponse(BlkResp{id, status});
+      ++served_;
+      (void)hv_.HcEvtchnSend(backend_, chan_ptr->back_port);
+    };
+    const Err submit = req->is_write ? driver_.Write(abs_lba, req->count, frame, done)
+                                     : driver_.Read(abs_lba, req->count, frame, done);
+    if (submit != Err::kNone) {
+      (void)hv_.HcGrantUnmap(backend_, chan.guest, gref, map_va);
+      chan.ring->PushResponse(BlkResp{id, submit});
+      (void)hv_.HcEvtchnSend(backend_, chan.back_port);
+    }
+  }
+}
+
+// --- BlkFront --------------------------------------------------------------------
+
+BlkFront::BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest,
+                   std::vector<uvmm::Pfn> pool, PortMux& mux)
+    : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
+      free_pfns_(pool.begin(), pool.end()) {}
+
+Err BlkFront::Connect(BlkBack& back) {
+  chan_ = back.Connect(guest_);
+  if (chan_ == nullptr) {
+    return Err::kNoMemory;
+  }
+  backend_ = back.backend();
+  block_size_ = back.block_size();
+  capacity_ = chan_->slice_blocks;
+  auto port = hv_.HcEvtchnBind(guest_, backend_, chan_->back_port);
+  if (!port.ok()) {
+    return port.error();
+  }
+  chan_->front_port = *port;
+  mux_.Route(chan_->front_port, [this] { OnResponse(); });
+  return Err::kNone;
+}
+
+void BlkFront::OnResponse() {
+  while (auto resp = chan_->ring->PopResponse()) {
+    completed_[resp->id] = resp->status;
+  }
+}
+
+Err BlkFront::Read(uint64_t lba, uint32_t count, std::span<uint8_t> out) {
+  return DoRequest(/*is_write=*/false, lba, count, out, {});
+}
+
+Err BlkFront::Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) {
+  return DoRequest(/*is_write=*/true, lba, count, {}, in);
+}
+
+Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<uint8_t> out,
+                        std::span<const uint8_t> in) {
+  if (chan_ == nullptr) {
+    return Err::kWouldBlock;
+  }
+  if (block_size_ == 0) {
+    return Err::kInvalidArgument;
+  }
+  const auto span_size = is_write ? in.size() : out.size();
+  if (span_size < uint64_t{count} * block_size_) {
+    return Err::kInvalidArgument;
+  }
+  const uint32_t blocks_per_page =
+      static_cast<uint32_t>(machine_.memory().page_size() / block_size_);
+  uvmm::Domain* dom = hv_.FindDomain(guest_);
+
+  uint32_t done = 0;
+  while (done < count) {
+    if (!hv_.DomainAlive(backend_)) {
+      return Err::kDead;
+    }
+    const uint32_t chunk = std::min(count - done, blocks_per_page);
+    const uint64_t bytes = uint64_t{chunk} * block_size_;
+    if (free_pfns_.empty()) {
+      return Err::kBusy;
+    }
+    const uvmm::Pfn pfn = free_pfns_.front();
+    free_pfns_.pop_front();
+    auto mfn = dom->MfnOf(pfn);
+    assert(mfn.ok());
+
+    if (is_write) {
+      // Guest kernel copies the payload into the I/O page.
+      machine_.memory().Write(machine_.memory().FrameBase(*mfn),
+                              in.subspan(uint64_t{done} * block_size_, bytes));
+      machine_.ChargeCopy(bytes);
+    }
+    auto gref = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/!is_write);
+    if (!gref.ok()) {
+      free_pfns_.push_back(pfn);
+      return gref.error();
+    }
+    const uint64_t id = next_id_++;
+    chan_->ring->PushRequest(BlkReq{id, is_write, lba + done, chunk, *gref});
+    Err err = hv_.HcEvtchnSend(guest_, chan_->front_port);
+    if (err == Err::kNone) {
+      err = machine_.WaitUntil([&] { return completed_.contains(id); }, 2'000'000'000ull);
+    }
+    if (err == Err::kNone) {
+      err = completed_[id];
+      completed_.erase(id);
+    }
+    (void)hv_.HcGrantEnd(guest_, *gref);
+    if (err == Err::kNone && !is_write) {
+      machine_.memory().Read(machine_.memory().FrameBase(*mfn),
+                             out.subspan(uint64_t{done} * block_size_, bytes));
+      machine_.ChargeCopy(bytes);
+    }
+    free_pfns_.push_back(pfn);
+    if (err != Err::kNone) {
+      return err;
+    }
+    done += chunk;
+  }
+  return Err::kNone;
+}
+
+}  // namespace ustack

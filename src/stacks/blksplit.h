@@ -1,0 +1,112 @@
+// The split block driver: blkfront (guest) and blkback (storage domain).
+//
+// The backend serves each connected guest a private virtual-disk slice —
+// the service model of Parallax [WRF+05], the paper's §3.1 example of a
+// VMM-world external service that is structurally identical to a
+// microkernel user-level server. Data moves via grant mapping (the backend
+// maps the guest's I/O page and DMAs directly into/out of it).
+
+#ifndef UKVM_SRC_STACKS_BLKSPLIT_H_
+#define UKVM_SRC_STACKS_BLKSPLIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/drivers/disk_driver.h"
+#include "src/hw/machine.h"
+#include "src/os/arch_if.h"
+#include "src/stacks/port_mux.h"
+#include "src/stacks/xenring.h"
+#include "src/vmm/hypervisor.h"
+
+namespace ustack {
+
+struct BlkReq {
+  uint64_t id = 0;
+  bool is_write = false;
+  uint64_t lba = 0;        // slice-relative
+  uint32_t count = 0;      // blocks (must fit in one page)
+  uint32_t gref = 0;       // guest I/O page
+};
+struct BlkResp {
+  uint64_t id = 0;
+  ukvm::Err status = ukvm::Err::kNone;
+};
+
+struct BlkChannel {
+  ukvm::DomainId guest;
+  std::unique_ptr<XenRing<BlkReq, BlkResp>> ring;
+  uint32_t back_port = 0;
+  uint32_t front_port = 0;
+  uint64_t slice_base = 0;    // first block of this guest's slice
+  uint64_t slice_blocks = 0;  // slice capacity
+};
+
+class BlkBack {
+ public:
+  // The backend partitions the disk into `slice_blocks`-sized virtual disks
+  // handed to guests in connection order.
+  BlkBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, ukvm::DomainId backend,
+          udrv::DiskDriver& driver, uint64_t slice_blocks, PortMux& mux);
+
+  BlkChannel* Connect(ukvm::DomainId guest);
+
+  ukvm::DomainId backend() const { return backend_; }
+  uint32_t block_size() const;
+  uint64_t requests_served() const { return served_; }
+
+ private:
+  void OnKick(BlkChannel& chan);
+
+  hwsim::Machine& machine_;
+  uvmm::Hypervisor& hv_;
+  ukvm::DomainId backend_;
+  udrv::DiskDriver& driver_;
+  uint64_t slice_blocks_;
+  PortMux& mux_;
+  std::vector<std::unique_ptr<BlkChannel>> channels_;
+  uint64_t next_slice_ = 0;
+  uint64_t map_counter_ = 0;
+  uint64_t served_ = 0;
+};
+
+class BlkFront : public minios::BlockDevice {
+ public:
+  // `pool` are guest pfns used as I/O pages.
+  BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, ukvm::DomainId guest,
+           std::vector<uvmm::Pfn> pool, PortMux& mux);
+
+  ukvm::Err Connect(BlkBack& back);
+
+  // --- minios::BlockDevice ------------------------------------------------------
+
+  uint32_t block_size() const override { return block_size_; }
+  uint64_t capacity_blocks() const override { return capacity_; }
+  ukvm::Err Read(uint64_t lba, uint32_t count, std::span<uint8_t> out) override;
+  ukvm::Err Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) override;
+
+ private:
+  ukvm::Err DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<uint8_t> out,
+                      std::span<const uint8_t> in);
+  void OnResponse();
+
+  hwsim::Machine& machine_;
+  uvmm::Hypervisor& hv_;
+  ukvm::DomainId guest_;
+  ukvm::DomainId backend_ = ukvm::DomainId::Invalid();
+  PortMux& mux_;
+  BlkChannel* chan_ = nullptr;
+  std::deque<uvmm::Pfn> free_pfns_;
+  uint32_t block_size_ = 0;
+  uint64_t capacity_ = 0;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, ukvm::Err> completed_;  // id -> status
+};
+
+}  // namespace ustack
+
+#endif  // UKVM_SRC_STACKS_BLKSPLIT_H_

@@ -1,0 +1,264 @@
+#include "src/stacks/netsplit.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+#include "src/os/netstack.h"
+
+namespace ustack {
+
+using ukvm::DomainId;
+using ukvm::Err;
+
+const char* RxModeName(RxMode mode) {
+  return mode == RxMode::kPageFlip ? "page-flip" : "grant-copy";
+}
+
+namespace {
+
+// Scratch VA region in the backend where granted tx pages are mapped.
+constexpr hwsim::Vaddr kBackendMapBase = 0xE000'0000ull;
+constexpr uint32_t kBackendMapSlots = 64;
+constexpr size_t kRingCapacity = 256;
+
+}  // namespace
+
+// --- NetBack ---------------------------------------------------------------------
+
+NetBack::NetBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend,
+                 udrv::NicDriver& driver, RxMode mode, PortMux& mux)
+    : machine_(machine), hv_(hv), backend_(backend), driver_(driver), mode_(mode), mux_(mux) {}
+
+NetChannel* NetBack::Connect(DomainId guest) {
+  auto chan = std::make_unique<NetChannel>();
+  chan->guest = guest;
+  chan->tx_ring = std::make_unique<XenRing<NetTxReq, NetTxResp>>(machine_, kRingCapacity);
+  chan->rx_ring = std::make_unique<XenRing<NetRxReq, NetRxResp>>(machine_, kRingCapacity);
+  auto tx_port = hv_.HcEvtchnAllocUnbound(backend_, guest);
+  auto rx_port = hv_.HcEvtchnAllocUnbound(backend_, guest);
+  if (!tx_port.ok() || !rx_port.ok()) {
+    return nullptr;
+  }
+  chan->back_tx_port = *tx_port;
+  chan->back_rx_port = *rx_port;
+  NetChannel* raw = chan.get();
+  mux_.Route(raw->back_tx_port, [this, raw] { OnTxKick(*raw); });
+  mux_.Route(raw->back_rx_port, [] { /* rx-slot replenish notification */ });
+  channels_.push_back(std::move(chan));
+  return raw;
+}
+
+void NetBack::RoutePort(uint16_t wire_port, DomainId guest) {
+  for (auto& chan : channels_) {
+    if (chan->guest == guest) {
+      wire_routes_[wire_port] = chan.get();
+      return;
+    }
+  }
+}
+
+NetChannel* NetBack::ChannelFor(std::span<const uint8_t> packet) {
+  minios::ParsedPacket parsed;
+  if (minios::ParsePacket(packet, parsed)) {
+    auto it = wire_routes_.find(parsed.dst_port);
+    if (it != wire_routes_.end()) {
+      return it->second;
+    }
+  }
+  return channels_.empty() ? nullptr : channels_.front().get();
+}
+
+void NetBack::OnTxKick(NetChannel& chan) {
+  bool any = false;
+  while (auto req = chan.tx_ring->PopRequest()) {
+    any = true;
+    // Map the guest's granted page, transmit straight out of it (zero-copy
+    // TX), then unmap.
+    const hwsim::Vaddr map_va =
+        kBackendMapBase + (tx_packets_ % kBackendMapSlots) * machine_.memory().page_size();
+    Err err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, /*write=*/false);
+    if (err == Err::kNone) {
+      uvmm::Domain* back_dom = hv_.FindDomain(backend_);
+      const hwsim::Pte* pte = back_dom->space.Walk(map_va);
+      assert(pte != nullptr && pte->present);
+      err = driver_.SendFrame(pte->frame, req->len);
+      (void)hv_.HcGrantUnmap(backend_, chan.guest, req->gref, map_va);
+    }
+    if (err == Err::kNone) {
+      ++tx_packets_;
+    }
+    chan.tx_ring->PushResponse(NetTxResp{req->gref, err});
+  }
+  if (any) {
+    (void)hv_.HcEvtchnSend(backend_, chan.back_tx_port);
+  }
+}
+
+void NetBack::OnPacketReceived(hwsim::Frame frame, uint32_t len) {
+  auto data = machine_.memory().FrameData(frame);
+  NetChannel* chan = ChannelFor(data.subspan(0, len));
+  if (chan == nullptr || !hv_.DomainAlive(chan->guest)) {
+    ++rx_dropped_;
+    return;
+  }
+  auto req = chan->rx_ring->PopRequest();
+  if (!req) {
+    ++rx_dropped_;  // guest has no receive slot posted
+    return;
+  }
+
+  uvmm::Domain* back_dom = hv_.FindDomain(backend_);
+  auto local_pfn = back_dom->PfnOf(frame);
+  if (!local_pfn.ok()) {
+    ++rx_dropped_;
+    return;
+  }
+
+  Err err = Err::kNone;
+  if (mode_ == RxMode::kPageFlip) {
+    // The flip: the packet-bearing page moves to the guest; the guest's
+    // advertised slot page comes back and becomes a future rx buffer.
+    auto exchanged = hv_.HcGrantTransfer(backend_, *local_pfn, chan->guest, req->ref);
+    if (exchanged.ok()) {
+      driver_.ReplaceRxFrame(frame, *exchanged);
+    } else {
+      err = exchanged.error();
+    }
+  } else {
+    err = hv_.HcGrantCopy(backend_, chan->guest, req->ref, /*grant_off=*/0, *local_pfn,
+                          /*local_off=*/0, len, /*to_grant=*/true);
+  }
+  if (err == Err::kNone) {
+    ++rx_delivered_;
+  } else {
+    ++rx_dropped_;
+  }
+  chan->rx_ring->PushResponse(NetRxResp{req->ref, req->pfn, len, err});
+  (void)hv_.HcEvtchnSend(backend_, chan->back_rx_port);
+}
+
+// --- NetFront --------------------------------------------------------------------
+
+NetFront::NetFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest,
+                   std::vector<uvmm::Pfn> pool, PortMux& mux)
+    : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
+      free_pfns_(pool.begin(), pool.end()) {}
+
+Err NetFront::Connect(NetBack& back) {
+  chan_ = back.Connect(guest_);
+  if (chan_ == nullptr) {
+    return Err::kNoMemory;
+  }
+  mode_ = back.mode();
+  // The handshake carries the backend id out of band (as xenstore would).
+  backend_ = back.backend();
+
+  auto tx_port = hv_.HcEvtchnBind(guest_, backend_, chan_->back_tx_port);
+  auto rx_port = hv_.HcEvtchnBind(guest_, backend_, chan_->back_rx_port);
+  if (!tx_port.ok() || !rx_port.ok()) {
+    return Err::kNoMemory;
+  }
+  chan_->front_tx_port = *tx_port;
+  chan_->front_rx_port = *rx_port;
+  mux_.Route(chan_->front_tx_port, [this] { OnTxResponse(); });
+  mux_.Route(chan_->front_rx_port, [this] { OnRxResponse(); });
+
+  // Post half the pool as receive slots; keep the rest for tx staging.
+  const size_t rx_slots = free_pfns_.size() / 2;
+  for (size_t i = 0; i < rx_slots; ++i) {
+    const uvmm::Pfn pfn = free_pfns_.front();
+    free_pfns_.pop_front();
+    PostRxSlot(pfn, /*kick=*/false);
+  }
+  return Err::kNone;
+}
+
+void NetFront::PostRxSlot(uvmm::Pfn pfn, bool kick) {
+  ukvm::Result<uint32_t> ref =
+      mode_ == RxMode::kPageFlip
+          ? hv_.HcGrantTransferSlot(guest_, backend_, pfn)
+          : hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/true);
+  if (!ref.ok()) {
+    UKVM_WARN("netfront: cannot post rx slot: %s", ukvm::ErrName(ref.error()));
+    return;
+  }
+  chan_->rx_ring->PushRequest(NetRxReq{*ref, pfn});
+  if (kick) {
+    (void)hv_.HcEvtchnSend(guest_, chan_->front_rx_port);
+  }
+}
+
+Err NetFront::Send(std::span<const uint8_t> packet) {
+  if (chan_ == nullptr) {
+    return Err::kWouldBlock;
+  }
+  if (packet.size() > machine_.memory().page_size() || packet.size() > mtu()) {
+    return Err::kInvalidArgument;
+  }
+  if (!hv_.DomainAlive(backend_)) {
+    return Err::kDead;
+  }
+  if (free_pfns_.empty()) {
+    return Err::kBusy;
+  }
+  uvmm::Domain* dom = hv_.FindDomain(guest_);
+  const uvmm::Pfn pfn = free_pfns_.front();
+  free_pfns_.pop_front();
+
+  // Guest kernel copies the payload into a DMA-able page.
+  auto mfn = dom->MfnOf(pfn);
+  assert(mfn.ok());
+  machine_.memory().Write(machine_.memory().FrameBase(*mfn), packet);
+  machine_.ChargeCopy(packet.size());
+
+  auto gref = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
+  if (!gref.ok()) {
+    free_pfns_.push_back(pfn);
+    return gref.error();
+  }
+  tx_grants_[*gref] = pfn;
+  chan_->tx_ring->PushRequest(NetTxReq{*gref, static_cast<uint32_t>(packet.size())});
+  const Err err = hv_.HcEvtchnSend(guest_, chan_->front_tx_port);
+  if (err == Err::kNone) {
+    ++tx_sent_;
+  }
+  return err;
+}
+
+void NetFront::OnTxResponse() {
+  while (auto resp = chan_->tx_ring->PopResponse()) {
+    (void)hv_.HcGrantEnd(guest_, resp->gref);
+    auto it = tx_grants_.find(resp->gref);
+    if (it != tx_grants_.end()) {
+      free_pfns_.push_back(it->second);
+      tx_grants_.erase(it);
+    }
+  }
+}
+
+void NetFront::OnRxResponse() {
+  uvmm::Domain* dom = hv_.FindDomain(guest_);
+  while (auto resp = chan_->rx_ring->PopResponse()) {
+    if (resp->status == Err::kNone) {
+      auto mfn = dom->MfnOf(resp->pfn);
+      if (mfn.ok()) {
+        auto data = machine_.memory().FrameData(*mfn);
+        // The guest network stack copies the payload out of the (flipped or
+        // filled) page.
+        std::vector<uint8_t> bytes(data.begin(), data.begin() + resp->len);
+        machine_.ChargeCopy(resp->len);
+        ++rx_received_;
+        if (handler_) {
+          handler_(bytes);
+        }
+      }
+    }
+    if (mode_ == RxMode::kGrantCopy) {
+      (void)hv_.HcGrantEnd(guest_, resp->ref);
+    }
+    // Re-advertise the slot (the flip consumed the old grant entirely).
+    PostRxSlot(resp->pfn, /*kick=*/false);
+  }
+}
+
+}  // namespace ustack

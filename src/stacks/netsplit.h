@@ -1,0 +1,148 @@
+// The split network driver: netfront (guest) and netback (driver domain).
+//
+// This is the I/O architecture of §3.2: "Xen uses a separate virtual
+// machine (called Dom0) to encapsulate legacy device drivers. Hence, any
+// I/O operation implies at least one round-trip communication between the
+// guest VM and Dom0." Transmit uses grant mapping (zero-copy); receive
+// supports both of Xen 2.x's modes:
+//   kPageFlip  — the guest advertises transfer slots and received packets
+//                are flipped into it (fixed cost per packet, the mechanism
+//                behind Cherkasova & Gardner's Dom0-CPU ∝ #flips finding);
+//   kGrantCopy — the backend grant-copies payloads into guest buffers
+//                (cost proportional to bytes).
+
+#ifndef UKVM_SRC_STACKS_NETSPLIT_H_
+#define UKVM_SRC_STACKS_NETSPLIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/drivers/nic_driver.h"
+#include "src/hw/machine.h"
+#include "src/os/arch_if.h"
+#include "src/stacks/port_mux.h"
+#include "src/stacks/xenring.h"
+#include "src/vmm/hypervisor.h"
+
+namespace ustack {
+
+enum class RxMode { kPageFlip, kGrantCopy };
+
+const char* RxModeName(RxMode mode);
+
+struct NetTxReq {
+  uint32_t gref = 0;
+  uint32_t len = 0;
+};
+struct NetTxResp {
+  uint32_t gref = 0;
+  ukvm::Err status = ukvm::Err::kNone;
+};
+struct NetRxReq {
+  uint32_t ref = 0;   // transfer slot (flip) or writable access grant (copy)
+  uvmm::Pfn pfn = 0;  // the guest page behind it
+};
+struct NetRxResp {
+  uint32_t ref = 0;
+  uvmm::Pfn pfn = 0;
+  uint32_t len = 0;
+  ukvm::Err status = ukvm::Err::kNone;
+};
+
+// One frontend/backend connection.
+struct NetChannel {
+  ukvm::DomainId guest;
+  std::unique_ptr<XenRing<NetTxReq, NetTxResp>> tx_ring;
+  std::unique_ptr<XenRing<NetRxReq, NetRxResp>> rx_ring;
+  uint32_t back_tx_port = 0;  // backend-side ports (guest binds against them)
+  uint32_t back_rx_port = 0;
+  uint32_t front_tx_port = 0;  // guest-side ports (filled in by the frontend)
+  uint32_t front_rx_port = 0;
+};
+
+class NetBack {
+ public:
+  // `mux` is the backend domain's upcall demultiplexer; NetBack registers
+  // its ports there. The stack must point the NIC driver's rx callback at
+  // OnPacketReceived.
+  NetBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, ukvm::DomainId backend,
+          udrv::NicDriver& driver, RxMode mode, PortMux& mux);
+
+  // Control plane ("xenstore"): sets up rings and backend event ports for
+  // `guest`. The frontend completes the handshake via NetFront::Connect.
+  NetChannel* Connect(ukvm::DomainId guest);
+
+  // Routes inbound wire packets addressed to `wire_port` to `guest`.
+  void RoutePort(uint16_t wire_port, ukvm::DomainId guest);
+
+  // The NIC driver's rx callback (runs in the backend domain).
+  void OnPacketReceived(hwsim::Frame frame, uint32_t len);
+
+  RxMode mode() const { return mode_; }
+  ukvm::DomainId backend() const { return backend_; }
+  uint64_t tx_packets() const { return tx_packets_; }
+  uint64_t rx_delivered() const { return rx_delivered_; }
+  uint64_t rx_dropped() const { return rx_dropped_; }
+
+ private:
+  void OnTxKick(NetChannel& chan);
+  NetChannel* ChannelFor(std::span<const uint8_t> packet);
+
+  hwsim::Machine& machine_;
+  uvmm::Hypervisor& hv_;
+  ukvm::DomainId backend_;
+  udrv::NicDriver& driver_;
+  RxMode mode_;
+  PortMux& mux_;
+  std::vector<std::unique_ptr<NetChannel>> channels_;
+  std::unordered_map<uint16_t, NetChannel*> wire_routes_;
+  uint64_t tx_packets_ = 0;
+  uint64_t rx_delivered_ = 0;
+  uint64_t rx_dropped_ = 0;
+};
+
+class NetFront : public minios::NetDevice {
+ public:
+  // `pool` are guest pfns dedicated to network I/O (tx staging + rx slots);
+  // `mux` is the guest's upcall demultiplexer.
+  NetFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, ukvm::DomainId guest,
+           std::vector<uvmm::Pfn> pool, PortMux& mux);
+
+  // Completes the split-driver handshake and posts initial rx slots.
+  ukvm::Err Connect(NetBack& back);
+
+  // --- minios::NetDevice ------------------------------------------------------
+
+  ukvm::Err Send(std::span<const uint8_t> packet) override;
+  void SetRecvHandler(RecvHandler handler) override { handler_ = std::move(handler); }
+  uint32_t mtu() const override { return 1514; }
+
+  uint64_t tx_sent() const { return tx_sent_; }
+  uint64_t rx_received() const { return rx_received_; }
+
+ private:
+  void PostRxSlot(uvmm::Pfn pfn, bool kick);
+  void OnTxResponse();
+  void OnRxResponse();
+
+  hwsim::Machine& machine_;
+  uvmm::Hypervisor& hv_;
+  ukvm::DomainId guest_;
+  RxMode mode_ = RxMode::kPageFlip;
+  PortMux& mux_;
+  NetChannel* chan_ = nullptr;
+  ukvm::DomainId backend_ = ukvm::DomainId::Invalid();
+  std::deque<uvmm::Pfn> free_pfns_;
+  std::unordered_map<uint32_t, uvmm::Pfn> tx_grants_;  // gref -> staging pfn
+  RecvHandler handler_;
+  uint64_t tx_sent_ = 0;
+  uint64_t rx_received_ = 0;
+};
+
+}  // namespace ustack
+
+#endif  // UKVM_SRC_STACKS_NETSPLIT_H_

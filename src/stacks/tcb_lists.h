@@ -1,0 +1,27 @@
+// Per-configuration TCB component inventories (experiments E7/E8).
+//
+// Line counts are taken from this repository's actual implementation files
+// at bench time, so the minimality comparison is grounded in the code that
+// really runs in each configuration.
+
+#ifndef UKVM_SRC_STACKS_TCB_LISTS_H_
+#define UKVM_SRC_STACKS_TCB_LISTS_H_
+
+#include <vector>
+
+#include "src/core/tcb.h"
+
+namespace ustack {
+
+// The microkernel configuration: privileged kernel + user-level servers.
+std::vector<ukvm::TcbComponent> UkernelTcbComponents();
+
+// The VMM configuration: hypervisor + Dom0 (legacy OS + drivers + backends).
+std::vector<ukvm::TcbComponent> VmmTcbComponents(bool parallax_storage);
+
+// The native baseline: the whole OS is privileged.
+std::vector<ukvm::TcbComponent> NativeTcbComponents();
+
+}  // namespace ustack
+
+#endif  // UKVM_SRC_STACKS_TCB_LISTS_H_

@@ -1,0 +1,138 @@
+#include "src/stacks/ukernel_stack.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace ustack {
+
+using ukvm::Err;
+
+namespace {
+
+// Guest-visible VA layout.
+constexpr hwsim::Vaddr kAppWindowVa = 0x2000'0000ull;
+constexpr hwsim::Vaddr kSrvWindowVa = 0x4000'0000ull;
+constexpr hwsim::Vaddr kRxWindowVa = 0x4100'0000ull;
+constexpr uint32_t kAppWindowPages = 16;
+constexpr uint32_t kSrvWindowPages = 16;
+constexpr uint32_t kRxWindowPages = 4;
+
+}  // namespace
+
+UkernelStack::UkernelStack(Config config)
+    : machine_(config.platform, config.memory_bytes),
+      nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
+      disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
+  slice_blocks_ = config.slice_blocks;
+  kernel_ = std::make_unique<ukern::Kernel>(machine_);
+  sigma0_ = std::make_unique<Sigma0>(machine_, *kernel_);
+  net_server_ = std::make_unique<UkNetServer>(machine_, *kernel_, *sigma0_, nic_);
+  block_server_ =
+      std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, config.slice_blocks);
+  for (uint32_t i = 0; i < config.num_guests; ++i) {
+    guests_.push_back(MakeGuest("guest" + std::to_string(i)));
+  }
+  machine_.cpu().SetInterruptsEnabled(true);
+}
+
+std::unique_ptr<UkernelStack::Guest> UkernelStack::MakeGuest(const std::string& name) {
+  auto g = std::make_unique<Guest>();
+  const uint32_t page = static_cast<uint32_t>(machine_.memory().page_size());
+
+  auto os_task = kernel_->CreateTask(sigma0_->thread());
+  auto app_task = kernel_->CreateTask(sigma0_->thread());
+  assert(os_task.ok() && app_task.ok());
+  g->os_task = *os_task;
+  g->app_task = *app_task;
+
+  // Placeholder handlers; the port installs the real ones.
+  auto os_thread = kernel_->CreateThread(g->os_task, 200, nullptr);
+  auto rx_thread = kernel_->CreateThread(g->os_task, 210, nullptr);
+  auto app_thread = kernel_->CreateThread(g->app_task, 100, nullptr);
+  assert(os_thread.ok() && rx_thread.ok() && app_thread.ok());
+  g->os_thread = *os_thread;
+  g->net_rx_thread = *rx_thread;
+  g->app_thread = *app_thread;
+
+  // Transfer windows, obtained from sigma0 via real IPC.
+  Err err = sigma0_->RequestPages(g->os_thread, kSrvWindowVa, kSrvWindowPages, true);
+  assert(err == Err::kNone);
+  err = sigma0_->RequestPages(g->net_rx_thread, kRxWindowVa, kRxWindowPages, true);
+  assert(err == Err::kNone);
+  err = sigma0_->RequestPages(g->app_thread, kAppWindowVa, kAppWindowPages, true);
+  assert(err == Err::kNone);
+
+  err = kernel_->SetRecvBuffer(g->os_thread, kSrvWindowVa, kSrvWindowPages * page);
+  assert(err == Err::kNone);
+  err = kernel_->SetRecvBuffer(g->net_rx_thread, kRxWindowVa, kRxWindowPages * page);
+  assert(err == Err::kNone);
+  err = kernel_->SetRecvBuffer(g->app_thread, kAppWindowVa, kAppWindowPages * page);
+  assert(err == Err::kNone);
+  (void)err;
+
+  minios::UkernelPortWiring wiring;
+  wiring.kernel = kernel_.get();
+  wiring.app_thread = g->app_thread;
+  wiring.os_thread = g->os_thread;
+  wiring.net_rx_thread = g->net_rx_thread;
+  wiring.app_window = kAppWindowVa;
+  wiring.app_window_len = kAppWindowPages * page;
+  wiring.srv_window = kSrvWindowVa;
+  wiring.srv_window_len = kSrvWindowPages * page;
+  wiring.blk_server = block_server_->thread();
+  wiring.net_server = net_server_->thread();
+
+  g->port = std::make_unique<minios::UkernelPort>(machine_, wiring);
+  g->os = std::make_unique<minios::Os>(machine_, *g->port, name);
+  const Err boot = g->os->Boot(/*format_disk=*/true);
+  g->booted = boot == Err::kNone;
+  if (!g->booted) {
+    UKVM_WARN("ukernel stack: guest %s failed to boot: %s", name.c_str(), ukvm::ErrName(boot));
+  }
+  return g;
+}
+
+Err UkernelStack::RunAsApp(size_t i, const std::function<void()>& fn) {
+  Guest& g = guest(i);
+  UKVM_TRY(kernel_->ActivateThread(g.app_thread));
+  fn();
+  return Err::kNone;
+}
+
+void UkernelStack::RouteWirePort(uint16_t wire_port, size_t i) {
+  net_server_->RoutePort(wire_port, guest(i).net_rx_thread);
+}
+
+Err UkernelStack::KillBlockServer() { return kernel_->DestroyTask(block_server_->task()); }
+
+Err UkernelStack::KillNetServer() { return kernel_->DestroyTask(net_server_->task()); }
+
+Err UkernelStack::RestartBlockServer() {
+  block_server_ =
+      std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, slice_blocks_);
+  for (auto& g : guests_) {
+    if (g->port != nullptr) {
+      g->port->SetBlockServer(block_server_->thread());
+    }
+  }
+  return Err::kNone;
+}
+
+Err UkernelStack::RestartNetServer() {
+  net_server_ = std::make_unique<UkNetServer>(machine_, *kernel_, *sigma0_, nic_);
+  for (auto& g : guests_) {
+    if (g->port != nullptr && kernel_->ThreadAlive(g->net_rx_thread)) {
+      g->port->SetNetServer(net_server_->thread());
+    }
+  }
+  return Err::kNone;
+}
+
+Err UkernelStack::KillGuest(size_t i) {
+  Guest& g = guest(i);
+  UKVM_TRY(kernel_->DestroyTask(g.app_task));
+  return kernel_->DestroyTask(g.os_task);
+}
+
+}  // namespace ustack

@@ -1,0 +1,100 @@
+// The complete microkernel system: L4-style kernel, sigma0, user-level
+// driver servers, and one or more MiniOS guests whose applications reach
+// the OS server — and the OS server reaches the drivers — purely via IPC.
+
+#ifndef UKVM_SRC_STACKS_UKERNEL_STACK_H_
+#define UKVM_SRC_STACKS_UKERNEL_STACK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/disk.h"
+#include "src/hw/machine.h"
+#include "src/hw/nic.h"
+#include "src/hw/platform.h"
+#include "src/os/kernel.h"
+#include "src/os/ports/ukernel_port.h"
+#include "src/stacks/ukservers.h"
+#include "src/ukernel/kernel.h"
+
+namespace ustack {
+
+class UkernelStack {
+ public:
+  struct Config {
+    hwsim::Platform platform = hwsim::MakeX86Platform();
+    uint64_t memory_bytes = 64ull * 1024 * 1024;
+    uint32_t num_guests = 1;
+    uint64_t slice_blocks = 8192;  // per-client virtual-disk size
+    hwsim::Nic::Config nic;
+    hwsim::Disk::Config disk;
+  };
+
+  struct Guest {
+    ukvm::DomainId os_task;
+    ukvm::DomainId app_task;
+    ukvm::ThreadId os_thread;
+    ukvm::ThreadId app_thread;
+    ukvm::ThreadId net_rx_thread;
+    std::unique_ptr<minios::UkernelPort> port;
+    std::unique_ptr<minios::Os> os;
+    bool booted = false;
+  };
+
+  explicit UkernelStack(Config config);
+  UkernelStack() : UkernelStack(Config{}) {}
+
+  hwsim::Machine& machine() { return machine_; }
+  ukern::Kernel& kernel() { return *kernel_; }
+  hwsim::Nic& nic() { return nic_; }
+  hwsim::Disk& disk() { return disk_; }
+  Sigma0& sigma0() { return *sigma0_; }
+  UkNetServer& net_server() { return *net_server_; }
+  UkBlockServer& block_server() { return *block_server_; }
+
+  size_t num_guests() const { return guests_.size(); }
+  Guest& guest(size_t i) { return *guests_.at(i); }
+  minios::Os& guest_os(size_t i) { return *guests_.at(i)->os; }
+
+  // Runs `fn` in the context of guest `i`'s application thread.
+  ukvm::Err RunAsApp(size_t i, const std::function<void()>& fn);
+
+  // Routes inbound wire traffic for `wire_port` to guest `i`.
+  void RouteWirePort(uint16_t wire_port, size_t i);
+
+  // --- Fault injection (experiment E5) ----------------------------------------
+
+  ukvm::Err KillBlockServer();
+  ukvm::Err KillNetServer();
+  ukvm::Err KillGuest(size_t i);
+
+  // --- Service recovery (multiserver restartability) --------------------------
+
+  // Replaces a dead (or live) server with a fresh instance and re-points
+  // every guest at it. Disk contents survive (the backing store is intact);
+  // slice assignment is re-established on first contact.
+  ukvm::Err RestartBlockServer();
+  ukvm::Err RestartNetServer();
+
+ private:
+  static constexpr uint32_t kNicIrq = 5;
+  static constexpr uint32_t kDiskIrq = 6;
+
+  std::unique_ptr<Guest> MakeGuest(const std::string& name);
+
+  hwsim::Machine machine_;
+  hwsim::Nic nic_;
+  hwsim::Disk disk_;
+  std::unique_ptr<ukern::Kernel> kernel_;
+  std::unique_ptr<Sigma0> sigma0_;
+  std::unique_ptr<UkNetServer> net_server_;
+  std::unique_ptr<UkBlockServer> block_server_;
+  std::vector<std::unique_ptr<Guest>> guests_;
+  uint64_t slice_blocks_ = 8192;
+};
+
+}  // namespace ustack
+
+#endif  // UKVM_SRC_STACKS_UKERNEL_STACK_H_

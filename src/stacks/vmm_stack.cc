@@ -1,0 +1,179 @@
+#include "src/stacks/vmm_stack.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace ustack {
+
+using ukvm::Err;
+
+VmmStack::VmmStack(Config config)
+    : machine_(config.platform, config.memory_bytes),
+      nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
+      disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
+  hv_ = std::make_unique<uvmm::Hypervisor>(machine_);
+
+  // --- Dom0: the privileged driver domain -----------------------------------
+  auto dom0 = hv_->CreateDomain("Dom0", config.dom0_pages, /*privileged=*/true);
+  assert(dom0.ok());
+  dom0_ = *dom0;
+  dom0_mux_ = std::make_unique<PortMux>();
+  Err err = hv_->HcSetUpcall(dom0_, dom0_mux_->AsUpcall());
+  assert(err == Err::kNone);
+
+  // The NIC driver + netback live in Dom0, or in a dedicated driver domain
+  // when disaggregated (the Xen "driver domain" arrangement — structurally
+  // the microkernel's user-level driver server).
+  if (config.net_driver_domain) {
+    auto nd = hv_->CreateDomain("NetDriverVM", config.net_domain_pages, /*privileged=*/true);
+    assert(nd.ok());
+    net_dom_ = *nd;
+    net_mux_ = std::make_unique<PortMux>();
+    err = hv_->HcSetUpcall(net_dom_, net_mux_->AsUpcall());
+    assert(err == Err::kNone);
+  } else {
+    net_dom_ = dom0_;
+  }
+  PortMux& net_mux = config.net_driver_domain ? *net_mux_ : *dom0_mux_;
+  {
+    uvmm::Domain* nd = hv_->FindDomain(net_dom_);
+    std::vector<hwsim::Frame> pool;
+    for (uvmm::Pfn pfn = 0; pfn < 64; ++pfn) {
+      pool.push_back(nd->p2m[pfn]);
+    }
+    nic_driver_ = std::make_unique<udrv::NicDriver>(machine_, nic_, std::move(pool));
+  }
+  netback_ = std::make_unique<NetBack>(machine_, *hv_, net_dom_, *nic_driver_, config.rx_mode,
+                                       net_mux);
+  nic_driver_->SetRxCallback(
+      [this](hwsim::Frame frame, uint32_t len) { netback_->OnPacketReceived(frame, len); });
+
+  // Route the NIC's hardware interrupt into the driver domain as a virtual IRQ.
+  auto nic_port = hv_->HcEvtchnAllocUnbound(net_dom_, net_dom_);
+  assert(nic_port.ok());
+  net_mux.Route(*nic_port, [this] { nic_driver_->OnInterrupt(); });
+  err = hv_->HcBindIrq(net_dom_, nic_.line(), *nic_port);
+  assert(err == Err::kNone);
+
+  // --- Storage backend: Dom0 or a Parallax-style storage VM ------------------
+  parallax_ = config.parallax_storage;
+  storage_pages_ = config.storage_pages;
+  slice_blocks_ = config.slice_blocks;
+  if (config.parallax_storage) {
+    auto sd = hv_->CreateDomain("ParallaxVM", config.storage_pages, /*privileged=*/true);
+    assert(sd.ok());
+    storage_dom_ = *sd;
+    storage_mux_ = std::make_unique<PortMux>();
+    err = hv_->HcSetUpcall(storage_dom_, storage_mux_->AsUpcall());
+    assert(err == Err::kNone);
+  } else {
+    storage_dom_ = dom0_;
+  }
+  PortMux& storage_mux = config.parallax_storage ? *storage_mux_ : *dom0_mux_;
+  disk_driver_ = std::make_unique<udrv::DiskDriver>(machine_, disk_);
+  blkback_ = std::make_unique<BlkBack>(machine_, *hv_, storage_dom_, *disk_driver_,
+                                       config.slice_blocks, storage_mux);
+  auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
+  assert(disk_port.ok());
+  storage_mux.Route(*disk_port, [this] { disk_driver_->OnInterrupt(); });
+  err = hv_->HcBindIrq(storage_dom_, disk_.line(), *disk_port);
+  assert(err == Err::kNone);
+  (void)err;
+
+  // Interrupts must be live before guests boot: their filesystem formatting
+  // already goes through blkfront/blkback and the disk's completion IRQ.
+  machine_.cpu().SetInterruptsEnabled(true);
+
+  // --- Guests -----------------------------------------------------------------
+  for (uint32_t i = 0; i < config.num_guests; ++i) {
+    guests_.push_back(MakeGuest("DomU" + std::to_string(i + 1), config));
+  }
+}
+
+std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
+                                                     const Config& config) {
+  auto g = std::make_unique<Guest>();
+  auto dom = hv_->CreateDomain(name, config.guest_pages, /*privileged=*/false);
+  assert(dom.ok());
+  g->domain = *dom;
+  g->mux = std::make_unique<PortMux>();
+  Err err = hv_->HcSetUpcall(g->domain, g->mux->AsUpcall());
+  assert(err == Err::kNone);
+
+  // Dedicated pfn pools at the top of the guest's pseudo-physical memory.
+  std::vector<uvmm::Pfn> net_pool;
+  std::vector<uvmm::Pfn> blk_pool;
+  for (uvmm::Pfn pfn = config.guest_pages - 64; pfn < config.guest_pages - 8; ++pfn) {
+    net_pool.push_back(pfn);
+  }
+  for (uvmm::Pfn pfn = config.guest_pages - 8; pfn < config.guest_pages; ++pfn) {
+    blk_pool.push_back(pfn);
+  }
+
+  g->netfront = std::make_unique<NetFront>(machine_, *hv_, g->domain, net_pool, *g->mux);
+  err = g->netfront->Connect(*netback_);
+  assert(err == Err::kNone);
+  g->blkfront = std::make_unique<BlkFront>(machine_, *hv_, g->domain, blk_pool, *g->mux);
+  err = g->blkfront->Connect(*blkback_);
+  assert(err == Err::kNone);
+  (void)err;
+
+  g->port = std::make_unique<minios::VmmPort>(machine_, *hv_, g->domain, g->netfront.get(),
+                                              g->blkfront.get(), config.request_fast_syscall);
+  g->os = std::make_unique<minios::Os>(machine_, *g->port, name);
+  const Err boot = g->os->Boot(/*format_disk=*/true);
+  g->booted = boot == Err::kNone;
+  if (!g->booted) {
+    UKVM_WARN("vmm stack: guest %s failed to boot: %s", name.c_str(), ukvm::ErrName(boot));
+  }
+  return g;
+}
+
+Err VmmStack::RunAsApp(size_t i, const std::function<void()>& fn) {
+  return hv_->RunGuestUser(guest(i).domain, fn);
+}
+
+void VmmStack::RouteWirePort(uint16_t wire_port, size_t i) {
+  netback_->RoutePort(wire_port, guest(i).domain);
+}
+
+Err VmmStack::KillStorage() { return hv_->DestroyDomain(storage_dom_); }
+
+Err VmmStack::KillNetDomain() { return hv_->DestroyDomain(net_dom_); }
+
+Err VmmStack::KillDom0() { return hv_->DestroyDomain(dom0_); }
+
+Err VmmStack::KillGuest(size_t i) { return hv_->DestroyDomain(guest(i).domain); }
+
+Err VmmStack::RestartStorage() {
+  if (parallax_) {
+    auto sd = hv_->CreateDomain("ParallaxVM-2", storage_pages_, /*privileged=*/true);
+    if (!sd.ok()) {
+      return sd.error();
+    }
+    storage_dom_ = *sd;
+    storage_mux_ = std::make_unique<PortMux>();
+    UKVM_TRY(hv_->HcSetUpcall(storage_dom_, storage_mux_->AsUpcall()));
+  } else if (!hv_->DomainAlive(dom0_)) {
+    return Err::kDead;  // Dom0-hosted storage cannot outlive Dom0
+  }
+  PortMux& storage_mux = parallax_ ? *storage_mux_ : *dom0_mux_;
+  disk_driver_ = std::make_unique<udrv::DiskDriver>(machine_, disk_);
+  blkback_ = std::make_unique<BlkBack>(machine_, *hv_, storage_dom_, *disk_driver_,
+                                       slice_blocks_, storage_mux);
+  auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
+  if (!disk_port.ok()) {
+    return disk_port.error();
+  }
+  storage_mux.Route(*disk_port, [this] { disk_driver_->OnInterrupt(); });
+  UKVM_TRY(hv_->HcBindIrq(storage_dom_, disk_.line(), *disk_port));
+  for (auto& g : guests_) {
+    if (hv_->DomainAlive(g->domain)) {
+      UKVM_TRY(g->blkfront->Connect(*blkback_));
+    }
+  }
+  return Err::kNone;
+}
+
+}  // namespace ustack

@@ -1,0 +1,130 @@
+// The complete VMM system: Xen-style hypervisor, a privileged Dom0 hosting
+// the legacy drivers and the netback, a storage backend (inside Dom0 or in
+// a separate Parallax-style storage VM), and paravirtualized MiniOS guests
+// reached via split drivers.
+
+#ifndef UKVM_SRC_STACKS_VMM_STACK_H_
+#define UKVM_SRC_STACKS_VMM_STACK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/drivers/disk_driver.h"
+#include "src/drivers/nic_driver.h"
+#include "src/hw/disk.h"
+#include "src/hw/machine.h"
+#include "src/hw/nic.h"
+#include "src/hw/platform.h"
+#include "src/os/kernel.h"
+#include "src/os/ports/vmm_port.h"
+#include "src/stacks/blksplit.h"
+#include "src/stacks/netsplit.h"
+#include "src/stacks/port_mux.h"
+#include "src/vmm/hypervisor.h"
+
+namespace ustack {
+
+class VmmStack {
+ public:
+  struct Config {
+    hwsim::Platform platform = hwsim::MakeX86Platform();
+    uint64_t memory_bytes = 64ull * 1024 * 1024;
+    uint32_t num_guests = 1;
+    uint64_t dom0_pages = 2048;
+    uint64_t guest_pages = 1024;
+    uint64_t storage_pages = 1024;
+    uint64_t slice_blocks = 8192;
+    RxMode rx_mode = RxMode::kPageFlip;
+    bool parallax_storage = false;   // blkback in a separate storage VM
+    bool net_driver_domain = false;  // NIC driver + netback in a separate
+                                     // driver domain instead of Dom0
+    uint64_t net_domain_pages = 1024;
+    bool request_fast_syscall = true;
+    hwsim::Nic::Config nic;
+    hwsim::Disk::Config disk;
+  };
+
+  struct Guest {
+    ukvm::DomainId domain;
+    std::unique_ptr<PortMux> mux;
+    std::unique_ptr<NetFront> netfront;
+    std::unique_ptr<BlkFront> blkfront;
+    std::unique_ptr<minios::VmmPort> port;
+    std::unique_ptr<minios::Os> os;
+    bool booted = false;
+  };
+
+  explicit VmmStack(Config config);
+  VmmStack() : VmmStack(Config{}) {}
+
+  hwsim::Machine& machine() { return machine_; }
+  uvmm::Hypervisor& hv() { return *hv_; }
+  hwsim::Nic& nic() { return nic_; }
+  hwsim::Disk& disk() { return disk_; }
+  ukvm::DomainId dom0() const { return dom0_; }
+  ukvm::DomainId storage_domain() const { return storage_dom_; }
+  // The domain hosting the NIC driver + netback (== dom0 unless
+  // net_driver_domain).
+  ukvm::DomainId net_domain() const { return net_dom_; }
+  NetBack& netback() { return *netback_; }
+  BlkBack& blkback() { return *blkback_; }
+
+  size_t num_guests() const { return guests_.size(); }
+  Guest& guest(size_t i) { return *guests_.at(i); }
+  minios::Os& guest_os(size_t i) { return *guests_.at(i)->os; }
+  minios::VmmPort& guest_port(size_t i) { return *guests_.at(i)->port; }
+
+  // Runs `fn` as guest `i`'s application (guest-user context).
+  ukvm::Err RunAsApp(size_t i, const std::function<void()>& fn);
+
+  // Routes inbound wire traffic for `wire_port` to guest `i`.
+  void RouteWirePort(uint16_t wire_port, size_t i);
+
+  // --- Fault injection (experiment E5) ----------------------------------------
+
+  // Kills the storage service (the Parallax VM, or Dom0 if storage is there).
+  ukvm::Err KillStorage();
+  // Kills the network driver domain (Dom0 unless disaggregated).
+  ukvm::Err KillNetDomain();
+  ukvm::Err KillDom0();
+  ukvm::Err KillGuest(size_t i);
+
+  // --- Service recovery ---------------------------------------------------------
+
+  // Boots a replacement storage backend (a fresh Parallax VM when
+  // disaggregated; rebuilding inside Dom0 otherwise requires Dom0 alive)
+  // and reconnects every guest's blkfront. Disk contents survive.
+  ukvm::Err RestartStorage();
+
+ private:
+  static constexpr uint32_t kNicIrq = 5;
+  static constexpr uint32_t kDiskIrq = 6;
+
+  std::unique_ptr<Guest> MakeGuest(const std::string& name, const Config& config);
+
+  hwsim::Machine machine_;
+  hwsim::Nic nic_;
+  hwsim::Disk disk_;
+  std::unique_ptr<uvmm::Hypervisor> hv_;
+
+  ukvm::DomainId dom0_;
+  ukvm::DomainId storage_dom_;  // == dom0_ unless parallax_storage
+  ukvm::DomainId net_dom_;      // == dom0_ unless net_driver_domain
+  std::unique_ptr<PortMux> dom0_mux_;
+  std::unique_ptr<PortMux> storage_mux_;
+  std::unique_ptr<PortMux> net_mux_;
+  std::unique_ptr<udrv::NicDriver> nic_driver_;
+  std::unique_ptr<udrv::DiskDriver> disk_driver_;
+  std::unique_ptr<NetBack> netback_;
+  std::unique_ptr<BlkBack> blkback_;
+  std::vector<std::unique_ptr<Guest>> guests_;
+  bool parallax_ = false;
+  uint64_t storage_pages_ = 1024;
+  uint64_t slice_blocks_ = 8192;
+};
+
+}  // namespace ustack
+
+#endif  // UKVM_SRC_STACKS_VMM_STACK_H_

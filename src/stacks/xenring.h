@@ -1,0 +1,76 @@
+// Shared-memory descriptor rings, as used between Xen split-driver
+// frontends and backends.
+//
+// A real ring lives in a shared page and is accessed with plain loads and
+// stores; here the structure is a C++ queue and the cost model charges the
+// descriptor copies. Notification still travels out-of-band via event
+// channels — the ring is only the data plane.
+
+#ifndef UKVM_SRC_STACKS_XENRING_H_
+#define UKVM_SRC_STACKS_XENRING_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/hw/machine.h"
+
+namespace ustack {
+
+template <typename Req, typename Resp>
+class XenRing {
+ public:
+  XenRing(hwsim::Machine& machine, size_t capacity) : machine_(machine), capacity_(capacity) {}
+
+  // Frontend side.
+  bool PushRequest(const Req& req) {
+    if (requests_.size() >= capacity_) {
+      return false;
+    }
+    machine_.ChargeCopy(sizeof(Req));
+    requests_.push_back(req);
+    return true;
+  }
+  std::optional<Resp> PopResponse() {
+    if (responses_.empty()) {
+      return std::nullopt;
+    }
+    machine_.ChargeCopy(sizeof(Resp));
+    Resp resp = responses_.front();
+    responses_.pop_front();
+    return resp;
+  }
+
+  // Backend side.
+  std::optional<Req> PopRequest() {
+    if (requests_.empty()) {
+      return std::nullopt;
+    }
+    machine_.ChargeCopy(sizeof(Req));
+    Req req = requests_.front();
+    requests_.pop_front();
+    return req;
+  }
+  bool PushResponse(const Resp& resp) {
+    if (responses_.size() >= capacity_) {
+      return false;
+    }
+    machine_.ChargeCopy(sizeof(Resp));
+    responses_.push_back(resp);
+    return true;
+  }
+
+  size_t pending_requests() const { return requests_.size(); }
+  size_t pending_responses() const { return responses_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  hwsim::Machine& machine_;
+  size_t capacity_;
+  std::deque<Req> requests_;
+  std::deque<Resp> responses_;
+};
+
+}  // namespace ustack
+
+#endif  // UKVM_SRC_STACKS_XENRING_H_

@@ -1,0 +1,719 @@
+#include "src/ukernel/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace ukern {
+
+using ukvm::CrossingKind;
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::IrqLine;
+using ukvm::Result;
+using ukvm::ThreadId;
+
+Kernel::Kernel(hwsim::Machine& machine) : machine_(machine) {
+  auto& ledger = machine_.ledger();
+  mech_.ipc_call = ledger.InternMechanism("l4.ipc.call", CrossingKind::kSyncCall);
+  mech_.ipc_reply = ledger.InternMechanism("l4.ipc.reply", CrossingKind::kSyncReply);
+  mech_.ipc_send = ledger.InternMechanism("l4.ipc.send", CrossingKind::kSyncCall);
+  mech_.ipc_string = ledger.InternMechanism("l4.ipc.string", CrossingKind::kDataTransfer);
+  mech_.ipc_map = ledger.InternMechanism("l4.ipc.map", CrossingKind::kResourceDelegate);
+  mech_.ipc_notify = ledger.InternMechanism("l4.ipc.notify", CrossingKind::kAsyncNotify);
+  mech_.unmap = ledger.InternMechanism("l4.unmap", CrossingKind::kResourceDelegate);
+  mech_.irq_ipc = ledger.InternMechanism("l4.irq.ipc", CrossingKind::kInterrupt);
+  mech_.pf_ipc = ledger.InternMechanism("l4.pf.ipc", CrossingKind::kSyncCall);
+  machine_.SetTrapHandler(this);
+}
+
+Kernel::~Kernel() {
+  if (machine_.trap_handler() == this) {
+    machine_.SetTrapHandler(nullptr);
+  }
+}
+
+// --- Task and thread management ---------------------------------------------
+
+Result<DomainId> Kernel::CreateTask(ThreadId pager) {
+  machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
+  const DomainId id{next_task_id_++};
+  tasks_.emplace(id, std::make_unique<Task>(id, machine_.platform(), pager));
+  if (!root_task_.valid()) {
+    root_task_ = id;
+  }
+  return id;
+}
+
+Err Kernel::DestroyTask(DomainId task) {
+  Task* t = FindTask(task);
+  if (t == nullptr || !t->alive) {
+    return Err::kBadHandle;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
+  t->alive = false;
+  for (ThreadId tid : t->threads) {
+    if (Tcb* tcb = FindThread(tid)) {
+      tcb->state = ThreadState::kDead;
+      run_queue_.Remove(tid);
+    }
+  }
+  // Revoke every mapping in this task's space — including mappings it had
+  // delegated onward, which vanish with it (the microkernel half of the
+  // liability-inversion experiment E5).
+  mapdb_.RemoveAllOf(task, [this](DomainId owner, hwsim::Vaddr vpn) { RevokePte(owner, vpn); });
+  // Drop IRQ routes to its threads.
+  for (auto it = irq_routes_.begin(); it != irq_routes_.end();) {
+    Tcb* tcb = FindThread(it->second);
+    if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+      it = irq_routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (current_thread_.valid()) {
+    Tcb* cur = FindThread(current_thread_);
+    if (cur != nullptr && cur->task == task) {
+      current_thread_ = ThreadId::Invalid();
+      machine_.cpu().SetDomain(kKernelDomain);
+      machine_.cpu().SetMode(hwsim::PrivLevel::kPrivileged);
+    }
+  }
+  return Err::kNone;
+}
+
+Result<ThreadId> Kernel::CreateThread(DomainId task, uint32_t priority, IpcHandler handler) {
+  Task* t = FindTask(task);
+  if (t == nullptr || !t->alive) {
+    return Err::kBadHandle;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
+  const ThreadId id{next_thread_id_++};
+  auto tcb = std::make_unique<Tcb>();
+  tcb->id = id;
+  tcb->task = task;
+  tcb->priority = std::min<uint32_t>(priority, 255);
+  tcb->state = ThreadState::kWaiting;
+  tcb->handler = std::move(handler);
+  threads_.emplace(id, std::move(tcb));
+  t->threads.push_back(id);
+  return id;
+}
+
+Err Kernel::DestroyThread(ThreadId thread) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+    return Err::kBadHandle;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
+  tcb->state = ThreadState::kDead;
+  run_queue_.Remove(thread);
+  if (current_thread_ == thread) {
+    current_thread_ = ThreadId::Invalid();
+  }
+  return Err::kNone;
+}
+
+Err Kernel::SetThreadHandler(ThreadId thread, IpcHandler handler) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+    return Err::kBadHandle;
+  }
+  tcb->handler = std::move(handler);
+  return Err::kNone;
+}
+
+Err Kernel::SetNotifyHandler(ThreadId thread, NotifyHandler handler) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr) {
+    return Err::kBadHandle;
+  }
+  tcb->notify_handler = std::move(handler);
+  return Err::kNone;
+}
+
+Err Kernel::SetRecvBuffer(ThreadId thread, hwsim::Vaddr buffer, uint32_t len) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr) {
+    return Err::kBadHandle;
+  }
+  tcb->recv_buffer = buffer;
+  tcb->recv_buffer_len = len;
+  return Err::kNone;
+}
+
+Err Kernel::SetSmallSpace(DomainId task, bool small) {
+  if (small && !machine_.platform().has_segmentation) {
+    return Err::kNotSupported;
+  }
+  Task* t = FindTask(task);
+  if (t == nullptr || !t->alive) {
+    return Err::kBadHandle;
+  }
+  t->small_space = small;
+  return Err::kNone;
+}
+
+Err Kernel::SetPager(DomainId task, ThreadId pager) {
+  Task* t = FindTask(task);
+  if (t == nullptr || !t->alive) {
+    return Err::kBadHandle;
+  }
+  t->pager = pager;
+  return Err::kNone;
+}
+
+bool Kernel::TaskAlive(DomainId task) const {
+  auto it = tasks_.find(task);
+  return it != tasks_.end() && it->second->alive;
+}
+
+bool Kernel::ThreadAlive(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  return it != threads_.end() && it->second->state != ThreadState::kDead;
+}
+
+Result<DomainId> Kernel::TaskOf(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  if (it == threads_.end()) {
+    return Err::kBadHandle;
+  }
+  return it->second->task;
+}
+
+Task* Kernel::FindTask(DomainId id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+Tcb* Kernel::FindThread(ThreadId id) {
+  auto it = threads_.find(id);
+  return it == threads_.end() ? nullptr : it->second.get();
+}
+
+// --- Kernel entry/exit -------------------------------------------------------
+
+void Kernel::EnterKernel() {
+  machine_.Charge(machine_.costs().trap_entry);
+  machine_.cpu().SetDomain(kKernelDomain);
+  machine_.cpu().SetMode(hwsim::PrivLevel::kPrivileged);
+  machine_.cpu().SetInterruptsEnabled(false);
+}
+
+void Kernel::LeaveKernelTo(ThreadId thread) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+    // Nothing to return to; stay in the kernel (idle).
+    current_thread_ = ThreadId::Invalid();
+    machine_.cpu().SetInterruptsEnabled(true);
+    return;
+  }
+  Task* task = FindTask(tcb->task);
+  assert(task != nullptr);
+  if (task->small_space) {
+    machine_.cpu().SwitchAddressSpaceSmall(&task->space);
+  } else {
+    machine_.cpu().SwitchAddressSpace(&task->space);
+  }
+  machine_.cpu().SetSegments(&task->segments);
+  machine_.cpu().SetDomain(task->id);
+  machine_.cpu().SetMode(hwsim::PrivLevel::kUser);
+  machine_.Charge(machine_.costs().trap_return);
+  current_thread_ = thread;
+  tcb->state = ThreadState::kRunning;
+  machine_.cpu().SetInterruptsEnabled(true);
+  machine_.DeliverPendingInterrupts();
+}
+
+Err Kernel::ActivateThread(ThreadId thread) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+    return Err::kBadHandle;
+  }
+  if (!TaskAlive(tcb->task)) {
+    return Err::kDead;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().schedule_decision);
+  LeaveKernelTo(thread);
+  return Err::kNone;
+}
+
+// --- IPC ----------------------------------------------------------------------
+
+void Kernel::ChargeRegTransfer(const IpcMessage& msg) {
+  machine_.Charge(machine_.costs().CopyCost(uint64_t{msg.reg_count} * 8));
+}
+
+Result<uint64_t> Kernel::TransferString(Tcb& sender, Tcb& receiver, const IpcMessage& msg,
+                                        IpcMessage& delivered) {
+  if (msg.string.len == 0) {
+    return uint64_t{0};
+  }
+  if (msg.string.len > kMaxStringBytes) {
+    return Err::kInvalidArgument;
+  }
+  if (receiver.recv_buffer_len == 0) {
+    return Err::kWouldBlock;  // receiver did not open a string receive window
+  }
+  Task* from = FindTask(sender.task);
+  Task* to = FindTask(receiver.task);
+  assert(from != nullptr && to != nullptr);
+
+  const uint32_t len = std::min(msg.string.len, receiver.recv_buffer_len);
+  const uint64_t page = from->space.page_size();
+  std::vector<uint8_t> bytes(len);
+
+  // Gather from the sender's space page by page.
+  uint32_t done = 0;
+  while (done < len) {
+    const hwsim::Vaddr va = msg.string.snd_base + done;
+    const uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(len - done, page - (va & (page - 1))));
+    machine_.Charge(machine_.costs().tlb_miss_walk);
+    hwsim::Pte* pte = from->space.Walk(va);
+    if (pte == nullptr || !pte->present) {
+      return Err::kFault;
+    }
+    pte->accessed = true;
+    const hwsim::Paddr pa = machine_.memory().FrameBase(pte->frame) + (va & (page - 1));
+    if (machine_.memory().Read(pa, std::span<uint8_t>(&bytes[done], chunk)) != Err::kNone) {
+      return Err::kFault;
+    }
+    done += chunk;
+  }
+
+  // Scatter into the receiver's registered window.
+  done = 0;
+  while (done < len) {
+    const hwsim::Vaddr va = receiver.recv_buffer + done;
+    const uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(len - done, page - (va & (page - 1))));
+    machine_.Charge(machine_.costs().tlb_miss_walk);
+    hwsim::Pte* pte = to->space.Walk(va);
+    if (pte == nullptr || !pte->present || !pte->writable) {
+      return Err::kFault;
+    }
+    pte->accessed = true;
+    pte->dirty = true;
+    const hwsim::Paddr pa = machine_.memory().FrameBase(pte->frame) + (va & (page - 1));
+    if (machine_.memory().Write(pa, std::span<const uint8_t>(&bytes[done], chunk)) != Err::kNone) {
+      return Err::kFault;
+    }
+    done += chunk;
+  }
+
+  machine_.ChargeCopy(len);
+  delivered.string_data = std::move(bytes);
+  return uint64_t{len};
+}
+
+Err Kernel::ApplyMapItem(Task& from, Task& to, const MapItem& item) {
+  const uint64_t page = from.space.page_size();
+  for (uint32_t i = 0; i < item.pages; ++i) {
+    const hwsim::Vaddr snd_va = item.snd_base + uint64_t{i} * page;
+    const hwsim::Vaddr rcv_va = item.rcv_base + uint64_t{i} * page;
+    const hwsim::Vaddr snd_vpn = from.space.VpnOf(snd_va);
+    const hwsim::Vaddr rcv_vpn = to.space.VpnOf(rcv_va);
+
+    MapNode* node = mapdb_.Find(from.id, snd_vpn);
+    hwsim::Pte* pte = from.space.Walk(snd_va);
+    if (node == nullptr || pte == nullptr || !pte->present) {
+      return Err::kPermissionDenied;  // cannot delegate what you don't hold
+    }
+    if (mapdb_.Find(to.id, rcv_vpn) != nullptr) {
+      return Err::kAlreadyExists;
+    }
+    const bool writable = item.writable && pte->writable;  // no privilege amplification
+    const hwsim::Frame frame = pte->frame;
+
+    if (item.grant) {
+      UKVM_TRY(mapdb_.MoveNode(node, to.id, rcv_vpn));
+      from.space.Unmap(snd_va);
+      machine_.Charge(machine_.costs().pte_write);
+      if (machine_.cpu().address_space() == &from.space) {
+        machine_.cpu().tlb().FlushPage(snd_vpn);
+      }
+    } else {
+      mapdb_.AddChild(node, to.id, rcv_vpn, frame);
+    }
+    to.space.Map(rcv_va, frame, hwsim::PtePerms{writable, /*user=*/true});
+    machine_.Charge(machine_.costs().pte_write);
+  }
+  return Err::kNone;
+}
+
+IpcMessage Kernel::InvokeHandler(Tcb& dest, ThreadId sender, IpcMessage&& delivered) {
+  const ThreadId prev = current_thread_;
+  LeaveKernelTo(dest.id);
+  IpcMessage reply = dest.handler ? dest.handler(sender, std::move(delivered)) : IpcMessage{};
+  ++dest.messages_handled;
+  EnterKernel();
+  if (Tcb* d = FindThread(dest.id); d != nullptr && d->state == ThreadState::kRunning) {
+    d->state = ThreadState::kWaiting;
+  }
+  current_thread_ = prev;
+  return reply;
+}
+
+IpcMessage Kernel::Call(ThreadId caller, ThreadId dest, IpcMessage msg) {
+  Tcb* c = FindThread(caller);
+  Tcb* d = FindThread(dest);
+  const uint64_t t0 = machine_.Now();
+  EnterKernel();
+  ++ipc_calls_;
+  machine_.Charge(machine_.costs().kernel_op);
+
+  auto fail = [&](Err err) {
+    IpcMessage reply = IpcMessage::Error(err);
+    if (c != nullptr) {
+      LeaveKernelTo(caller);
+    }
+    return reply;
+  };
+
+  if (c == nullptr || d == nullptr) {
+    return fail(Err::kBadHandle);
+  }
+  if (d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+    return fail(Err::kDead);
+  }
+
+  ChargeRegTransfer(msg);
+
+  IpcMessage delivered = msg;
+  delivered.string_data.clear();
+  if (msg.has_string) {
+    auto moved = TransferString(*c, *d, msg, delivered);
+    if (!moved.ok()) {
+      return fail(moved.error());
+    }
+    machine_.ledger().Record(mech_.ipc_string, c->task, d->task, 0, *moved);
+  }
+  if (!msg.map_items.empty()) {
+    Task* from = FindTask(c->task);
+    Task* to = FindTask(d->task);
+    for (const MapItem& item : msg.map_items) {
+      if (Err err = ApplyMapItem(*from, *to, item); err != Err::kNone) {
+        return fail(err);
+      }
+      machine_.ledger().Record(mech_.ipc_map, c->task, d->task, 0,
+                               uint64_t{item.pages} * from->space.page_size());
+    }
+  }
+
+  machine_.ledger().Record(mech_.ipc_call, c->task, d->task, machine_.Now() - t0, 0);
+
+  IpcMessage reply = InvokeHandler(*d, caller, std::move(delivered));
+
+  // Reply path: transfer back to the caller.
+  const uint64_t t1 = machine_.Now();
+  machine_.Charge(machine_.costs().kernel_op);
+  ChargeRegTransfer(reply);
+  if (reply.has_string) {
+    auto moved = TransferString(*d, *c, reply, reply);
+    if (!moved.ok()) {
+      reply.status = moved.error();
+    } else {
+      machine_.ledger().Record(mech_.ipc_string, d->task, c->task, 0, *moved);
+    }
+  }
+  if (!reply.map_items.empty() && reply.status == Err::kNone) {
+    Task* from = FindTask(d->task);
+    Task* to = FindTask(c->task);
+    for (const MapItem& item : reply.map_items) {
+      if (Err err = ApplyMapItem(*from, *to, item); err != Err::kNone) {
+        reply.status = err;
+        break;
+      }
+      machine_.ledger().Record(mech_.ipc_map, d->task, c->task, 0,
+                               uint64_t{item.pages} * from->space.page_size());
+    }
+  }
+  machine_.ledger().Record(mech_.ipc_reply, d->task, c->task, machine_.Now() - t1, 0);
+  LeaveKernelTo(caller);
+  return reply;
+}
+
+Err Kernel::Send(ThreadId caller, ThreadId dest, IpcMessage msg) {
+  Tcb* c = FindThread(caller);
+  Tcb* d = FindThread(dest);
+  EnterKernel();
+  ++ipc_calls_;
+  machine_.Charge(machine_.costs().kernel_op);
+  if (c == nullptr || d == nullptr) {
+    LeaveKernelTo(caller);
+    return Err::kBadHandle;
+  }
+  if (d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+    LeaveKernelTo(caller);
+    return Err::kDead;
+  }
+  ChargeRegTransfer(msg);
+  IpcMessage delivered = msg;
+  if (msg.has_string) {
+    auto moved = TransferString(*c, *d, msg, delivered);
+    if (!moved.ok()) {
+      LeaveKernelTo(caller);
+      return moved.error();
+    }
+    machine_.ledger().Record(mech_.ipc_string, c->task, d->task, 0, *moved);
+  }
+  machine_.ledger().Record(mech_.ipc_send, c->task, d->task, 0, 0);
+  (void)InvokeHandler(*d, caller, std::move(delivered));
+  LeaveKernelTo(caller);
+  return Err::kNone;
+}
+
+Err Kernel::Notify(ThreadId dest, uint64_t bits) {
+  Tcb* d = FindThread(dest);
+  if (d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+    return Err::kDead;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
+  d->pending_notify_bits |= bits;
+  ++d->notifications;
+  machine_.ledger().Record(mech_.ipc_notify, machine_.cpu().current_domain(), d->task, 0, 0);
+  if (d->notify_handler) {
+    const ThreadId prev = current_thread_;
+    LeaveKernelTo(dest);
+    const uint64_t pending = d->pending_notify_bits;
+    d->pending_notify_bits = 0;
+    d->notify_handler(pending);
+    EnterKernel();
+    current_thread_ = prev;
+    if (prev.valid()) {
+      LeaveKernelTo(prev);
+    }
+  }
+  return Err::kNone;
+}
+
+// --- Memory management ---------------------------------------------------------
+
+Err Kernel::RootMapPhys(DomainId task, hwsim::Vaddr va, hwsim::Frame frame, bool writable) {
+  if (task != root_task_) {
+    return Err::kPermissionDenied;
+  }
+  Task* t = FindTask(task);
+  if (t == nullptr || !t->alive) {
+    return Err::kBadHandle;
+  }
+  const hwsim::Vaddr vpn = t->space.VpnOf(va);
+  if (mapdb_.Find(task, vpn) != nullptr) {
+    return Err::kAlreadyExists;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().pte_write);
+  t->space.Map(va, frame, hwsim::PtePerms{writable, /*user=*/true});
+  mapdb_.AddRoot(task, vpn, frame);
+  return Err::kNone;
+}
+
+void Kernel::RevokePte(DomainId task, hwsim::Vaddr vpn) {
+  Task* t = FindTask(task);
+  if (t == nullptr) {
+    return;
+  }
+  t->space.Unmap(vpn << t->space.page_shift());
+  machine_.ChargeTo(kKernelDomain, machine_.costs().pte_write);
+  if (machine_.cpu().address_space() == &t->space) {
+    machine_.cpu().tlb().FlushPage(vpn);
+  }
+}
+
+Err Kernel::Unmap(DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_self) {
+  Task* t = FindTask(task);
+  if (t == nullptr || !t->alive) {
+    return Err::kBadHandle;
+  }
+  const uint64_t t0 = machine_.Now();
+  EnterKernel();
+  machine_.Charge(machine_.costs().kernel_op);
+  const uint64_t page = t->space.page_size();
+  for (uint32_t i = 0; i < pages; ++i) {
+    const hwsim::Vaddr vpn = t->space.VpnOf(va + uint64_t{i} * page);
+    MapNode* node = mapdb_.Find(task, vpn);
+    if (node == nullptr) {
+      continue;
+    }
+    mapdb_.RemoveSubtree(node, include_self,
+                         [this](DomainId owner, hwsim::Vaddr v) { RevokePte(owner, v); });
+  }
+  machine_.Charge(machine_.costs().tlb_shootdown);
+  machine_.ledger().Record(mech_.unmap, machine_.cpu().current_domain(), task,
+                           machine_.Now() - t0, uint64_t{pages} * page);
+  if (current_thread_.valid()) {
+    LeaveKernelTo(current_thread_);
+  }
+  return Err::kNone;
+}
+
+Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr) {
+    return Err::kBadHandle;
+  }
+  Task* task = FindTask(tcb->task);
+  if (task == nullptr || !task->alive) {
+    return Err::kDead;
+  }
+  if (!task->pager.valid()) {
+    return Err::kFault;
+  }
+  Tcb* pager = FindThread(task->pager);
+  if (pager == nullptr || pager->state == ThreadState::kDead || !TaskAlive(pager->task)) {
+    return Err::kDead;  // pager gone: the fault is unresolvable
+  }
+
+  const uint64_t t0 = machine_.Now();
+  // Synthesized page-fault IPC, as the L4 pager protocol specifies.
+  IpcMessage fault = IpcMessage::Short(kPageFaultLabel, va, write ? 1 : 0);
+  machine_.ledger().Record(mech_.pf_ipc, tcb->task, pager->task, 0, 0);
+  IpcMessage reply = InvokeHandler(*pager, thread, std::move(fault));
+  if (reply.status != Err::kNone) {
+    return reply.status;
+  }
+  // The pager answers with map items targeting the faulter's space.
+  Task* pager_task = FindTask(pager->task);
+  for (const MapItem& item : reply.map_items) {
+    if (Err err = ApplyMapItem(*pager_task, *task, item); err != Err::kNone) {
+      return err;
+    }
+    machine_.ledger().Record(mech_.ipc_map, pager->task, task->id, 0,
+                             uint64_t{item.pages} * task->space.page_size());
+  }
+  machine_.ledger().Record(mech_.ipc_reply, pager->task, tcb->task, machine_.Now() - t0, 0);
+
+  // Verify the fault is now resolved.
+  hwsim::Pte* pte = task->space.Walk(va);
+  if (pte == nullptr || !pte->present || (write && !pte->writable)) {
+    return Err::kFault;
+  }
+  return Err::kNone;
+}
+
+Err Kernel::TouchPage(ThreadId thread, hwsim::Vaddr va, bool write) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+    return Err::kBadHandle;
+  }
+  Task* task = FindTask(tcb->task);
+  hwsim::Pte* pte = task->space.Walk(va);
+  machine_.Charge(machine_.costs().tlb_miss_walk);
+  if (pte != nullptr && pte->present && (!write || pte->writable)) {
+    pte->accessed = true;
+    if (write) {
+      pte->dirty = true;
+    }
+    return Err::kNone;
+  }
+  // Hardware page fault: trap into the kernel, run the pager protocol.
+  machine_.Charge(machine_.costs().trap_entry);
+  const Err err = ResolveFault(thread, va, write);
+  machine_.Charge(machine_.costs().trap_return);
+  return err;
+}
+
+Err Kernel::CopyIn(ThreadId thread, hwsim::Vaddr va, std::span<uint8_t> out) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr) {
+    return Err::kBadHandle;
+  }
+  Task* task = FindTask(tcb->task);
+  const uint64_t page = task->space.page_size();
+  size_t done = 0;
+  while (done < out.size()) {
+    const hwsim::Vaddr addr = va + done;
+    const size_t chunk = std::min<size_t>(out.size() - done, page - (addr & (page - 1)));
+    UKVM_TRY(TouchPage(thread, addr, /*write=*/false));
+    const hwsim::Pte* pte = task->space.Walk(addr);
+    const hwsim::Paddr pa = machine_.memory().FrameBase(pte->frame) + (addr & (page - 1));
+    UKVM_TRY(machine_.memory().Read(pa, out.subspan(done, chunk)));
+    done += chunk;
+  }
+  machine_.ChargeCopy(out.size());
+  return Err::kNone;
+}
+
+Err Kernel::CopyOut(ThreadId thread, hwsim::Vaddr va, std::span<const uint8_t> in) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr) {
+    return Err::kBadHandle;
+  }
+  Task* task = FindTask(tcb->task);
+  const uint64_t page = task->space.page_size();
+  size_t done = 0;
+  while (done < in.size()) {
+    const hwsim::Vaddr addr = va + done;
+    const size_t chunk = std::min<size_t>(in.size() - done, page - (addr & (page - 1)));
+    UKVM_TRY(TouchPage(thread, addr, /*write=*/true));
+    const hwsim::Pte* pte = task->space.Walk(addr);
+    const hwsim::Paddr pa = machine_.memory().FrameBase(pte->frame) + (addr & (page - 1));
+    UKVM_TRY(machine_.memory().Write(pa, in.subspan(done, chunk)));
+    done += chunk;
+  }
+  machine_.ChargeCopy(in.size());
+  return Err::kNone;
+}
+
+// --- Interrupts -----------------------------------------------------------------
+
+Err Kernel::AssociateIrq(IrqLine line, ThreadId handler_thread) {
+  if (!ThreadAlive(handler_thread)) {
+    return Err::kBadHandle;
+  }
+  machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
+  irq_routes_[line] = handler_thread;
+  return Err::kNone;
+}
+
+void Kernel::HandleInterrupt(IrqLine line) {
+  auto it = irq_routes_.find(line);
+  if (it == irq_routes_.end()) {
+    return;  // spurious / unrouted
+  }
+  Tcb* handler = FindThread(it->second);
+  if (handler == nullptr || handler->state == ThreadState::kDead || !TaskAlive(handler->task)) {
+    return;  // driver died; interrupt is dropped
+  }
+  const ThreadId prev = current_thread_;
+  const uint64_t t0 = machine_.Now();
+  EnterKernel();
+  machine_.Charge(machine_.costs().kernel_op);
+  machine_.ledger().Record(mech_.irq_ipc, ukvm::kHardwareDomain, handler->task,
+                           machine_.Now() - t0, 0);
+  IpcMessage msg = IpcMessage::Short(kIrqLabel, line.value());
+  (void)InvokeHandler(*handler, ThreadId::Invalid(), std::move(msg));
+  if (prev.valid()) {
+    LeaveKernelTo(prev);
+  } else {
+    machine_.cpu().SetInterruptsEnabled(true);
+  }
+}
+
+void Kernel::HandleTrap(hwsim::TrapFrame& frame) {
+  switch (frame.vector) {
+    case hwsim::TrapVector::kPageFault: {
+      if (current_thread_.valid()) {
+        frame.regs[0] =
+            static_cast<uint64_t>(ResolveFault(current_thread_, frame.fault_addr,
+                                               frame.write_access));
+      } else {
+        frame.regs[0] = static_cast<uint64_t>(Err::kFault);
+      }
+      break;
+    }
+    default: {
+      // Unhandled exception in user code: the kernel kills the thread.
+      if (current_thread_.valid()) {
+        UKVM_WARN("ukernel: killing thread %u on %s", current_thread_.value(),
+                  hwsim::TrapVectorName(frame.vector));
+        (void)DestroyThread(current_thread_);
+      }
+      frame.regs[0] = static_cast<uint64_t>(Err::kAborted);
+      break;
+    }
+  }
+}
+
+}  // namespace ukern

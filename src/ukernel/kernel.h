@@ -1,0 +1,211 @@
+// The L4-style microkernel.
+//
+// Liedtke's program, quoted in §2.1 of the paper: "minimize the kernel and
+// implement whatever possible outside of the kernel". The kernel therefore
+// provides only: tasks (address spaces), threads, synchronous IPC with
+// string and map/grant items (the single primitive of §2.2), recursive
+// unmap, user-level pager invocation on page faults, and interrupt
+// conversion to IPC. Everything else — drivers, file service, the guest
+// OS personality — lives in user-level servers (see src/stacks).
+//
+// Execution model: servers are passive objects; Kernel::Call performs the
+// full architectural journey (trap in, validate, transfer, address-space
+// switch to the receiver, handler runs in the receiver's domain, reply
+// transfers back) with every step charged to the cost model and recorded in
+// the crossing ledger.
+
+#ifndef UKVM_SRC_UKERNEL_KERNEL_H_
+#define UKVM_SRC_UKERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/core/ids.h"
+#include "src/hw/machine.h"
+#include "src/hw/trap.h"
+#include "src/ukernel/ipc.h"
+#include "src/ukernel/mapdb.h"
+#include "src/ukernel/sched.h"
+#include "src/ukernel/task.h"
+#include "src/ukernel/thread.h"
+
+namespace ukern {
+
+// Syscall numbers — the entire kernel ABI (experiment E7 contrasts this
+// with the VMM's hypercall table).
+enum class SyscallNr : uint32_t {
+  kIpc = 0,          // send/receive/call, with string and map items
+  kUnmap = 1,        // revoke mappings recursively
+  kThreadControl = 2,
+  kTaskControl = 3,
+  kIrqControl = 4,
+  kSchedule = 5,
+};
+inline constexpr uint32_t kSyscallCount = 6;
+
+class Kernel : public hwsim::TrapHandler {
+ public:
+  explicit Kernel(hwsim::Machine& machine);
+  ~Kernel() override;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  hwsim::Machine& machine() { return machine_; }
+  ukvm::DomainId kernel_domain() const { return kKernelDomain; }
+
+  // --- Task and thread management (TaskControl / ThreadControl) ------------
+
+  // Creates a task whose page faults are sent to `pager` (invalid = none;
+  // faults then kill the faulting thread). The first task created becomes
+  // the privileged root task (sigma0/root server) allowed to use
+  // RootMapPhys.
+  ukvm::Result<ukvm::DomainId> CreateTask(ukvm::ThreadId pager);
+  ukvm::Err DestroyTask(ukvm::DomainId task);
+
+  ukvm::Result<ukvm::ThreadId> CreateThread(ukvm::DomainId task, uint32_t priority,
+                                            IpcHandler handler);
+  ukvm::Err DestroyThread(ukvm::ThreadId thread);
+  ukvm::Err SetThreadHandler(ukvm::ThreadId thread, IpcHandler handler);
+  ukvm::Err SetNotifyHandler(ukvm::ThreadId thread, NotifyHandler handler);
+  ukvm::Err SetRecvBuffer(ukvm::ThreadId thread, hwsim::Vaddr buffer, uint32_t len);
+  ukvm::Err SetPager(ukvm::DomainId task, ukvm::ThreadId pager);
+
+  // Marks a task as a Liedtke small space [Lie95] (cited by the paper as
+  // the microkernel answer to address-space-switch costs): switches into it
+  // use segment remapping instead of a page-table reload + TLB flush.
+  // Requires segmentation; kNotSupported otherwise.
+  ukvm::Err SetSmallSpace(ukvm::DomainId task, bool small);
+
+  bool TaskAlive(ukvm::DomainId task) const;
+  bool ThreadAlive(ukvm::ThreadId thread) const;
+  ukvm::Result<ukvm::DomainId> TaskOf(ukvm::ThreadId thread) const;
+
+  // --- IPC (the single primitive) ------------------------------------------
+
+  // Synchronous call: delivers `msg` to `dest`, runs its handler in the
+  // receiver's protection domain, returns the reply to `caller`. The reply's
+  // `status` carries kernel-detected errors (dead partner, bad transfer).
+  IpcMessage Call(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
+
+  // One-way send (no reply transfer back).
+  ukvm::Err Send(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
+
+  // Asynchronous notification bits (delivered immediately to the
+  // destination's notify handler, in its domain).
+  ukvm::Err Notify(ukvm::ThreadId dest, uint64_t bits);
+
+  // --- Memory management ----------------------------------------------------
+
+  // Root-task-only: installs an initial physical mapping (sigma0 building
+  // its idempotent view of memory at boot).
+  ukvm::Err RootMapPhys(ukvm::DomainId task, hwsim::Vaddr va, hwsim::Frame frame, bool writable);
+
+  // Revokes `pages` pages at `va` in `task`'s space: derived mappings always;
+  // the task's own mapping too when `include_self`.
+  ukvm::Err Unmap(ukvm::DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_self);
+
+  // Resolves `va` for `thread`, invoking its task's pager via IPC on a page
+  // fault (the external-pager protocol of §3.1); kFault if unresolvable.
+  ukvm::Err TouchPage(ukvm::ThreadId thread, hwsim::Vaddr va, bool write);
+
+  // Copies between a thread's virtual memory and a caller buffer, resolving
+  // faults through the pager. These are what OS servers use to access their
+  // clients' memory.
+  ukvm::Err CopyIn(ukvm::ThreadId thread, hwsim::Vaddr va, std::span<uint8_t> out);
+  ukvm::Err CopyOut(ukvm::ThreadId thread, hwsim::Vaddr va, std::span<const uint8_t> in);
+
+  // --- Interrupts (IrqControl) ----------------------------------------------
+
+  // Routes `line` to `handler_thread`: on delivery the kernel synthesizes an
+  // IPC with label kIrqLabel and the line number (interrupts become IPC —
+  // the microkernel answer to VMM primitive #9 of §2.2).
+  ukvm::Err AssociateIrq(ukvm::IrqLine line, ukvm::ThreadId handler_thread);
+
+  static constexpr uint64_t kIrqLabel = 0xf000'0000'0000'0000ull;
+  static constexpr uint64_t kPageFaultLabel = 0xf100'0000'0000'0000ull;
+
+  // --- Context activation (what the dispatcher does) -------------------------
+
+  // Switches the CPU to `thread`'s context (address space, accounting
+  // domain, user mode), charging a context switch. Used by stacks to run
+  // client code.
+  ukvm::Err ActivateThread(ukvm::ThreadId thread);
+  ukvm::ThreadId current_thread() const { return current_thread_; }
+
+  RunQueue& run_queue() { return run_queue_; }
+
+  // --- hwsim::TrapHandler -----------------------------------------------------
+
+  void HandleTrap(hwsim::TrapFrame& frame) override;
+  void HandleInterrupt(ukvm::IrqLine line) override;
+
+  // --- Introspection ----------------------------------------------------------
+
+  Task* FindTask(ukvm::DomainId id);
+  Tcb* FindThread(ukvm::ThreadId id);
+  MapDb& mapdb() { return mapdb_; }
+  uint64_t ipc_calls() const { return ipc_calls_; }
+
+ private:
+  static constexpr ukvm::DomainId kKernelDomain{0};
+
+  struct MechanismIds {
+    uint32_t ipc_call;
+    uint32_t ipc_reply;
+    uint32_t ipc_send;
+    uint32_t ipc_string;
+    uint32_t ipc_map;
+    uint32_t ipc_notify;
+    uint32_t unmap;
+    uint32_t irq_ipc;
+    uint32_t pf_ipc;
+  };
+
+  // Charges syscall entry (user -> kernel trap) and sets kernel context.
+  void EnterKernel();
+  // Charges the return to `thread`'s user context and switches to it.
+  void LeaveKernelTo(ukvm::ThreadId thread);
+
+  // Copies message registers (charging per-word cost).
+  void ChargeRegTransfer(const IpcMessage& msg);
+
+  // Performs the string transfer from `sender` to `receiver`'s registered
+  // receive buffer; returns bytes moved or an error.
+  ukvm::Result<uint64_t> TransferString(Tcb& sender, Tcb& receiver, const IpcMessage& msg,
+                                        IpcMessage& delivered);
+
+  // Applies one map/grant item from sender's task to receiver's task.
+  ukvm::Err ApplyMapItem(Task& from, Task& to, const MapItem& item);
+
+  // Invokes `dest`'s handler in its own domain and returns the reply.
+  IpcMessage InvokeHandler(Tcb& dest, ukvm::ThreadId sender, IpcMessage&& delivered);
+
+  // Clears a PTE, with TLB maintenance costs.
+  void RevokePte(ukvm::DomainId task, hwsim::Vaddr vpn);
+
+  ukvm::Err ResolveFault(ukvm::ThreadId thread, hwsim::Vaddr va, bool write);
+
+  hwsim::Machine& machine_;
+  MechanismIds mech_;
+
+  std::unordered_map<ukvm::DomainId, std::unique_ptr<Task>> tasks_;
+  std::unordered_map<ukvm::ThreadId, std::unique_ptr<Tcb>> threads_;
+  std::unordered_map<ukvm::IrqLine, ukvm::ThreadId> irq_routes_;
+  MapDb mapdb_;
+  RunQueue run_queue_;
+
+  uint32_t next_task_id_ = 1;  // 0 is the kernel itself
+  uint32_t next_thread_id_ = 1;
+  ukvm::DomainId root_task_ = ukvm::DomainId::Invalid();
+  ukvm::ThreadId current_thread_ = ukvm::ThreadId::Invalid();
+
+  uint64_t ipc_calls_ = 0;
+};
+
+}  // namespace ukern
+
+#endif  // UKVM_SRC_UKERNEL_KERNEL_H_

@@ -1,0 +1,76 @@
+// A priority round-robin run queue.
+//
+// In the passive-server simulation most control transfer is synchronous
+// (IPC delivers directly to the receiver, as in L4's direct-switch fast
+// path, deliberately bypassing the scheduler). The run queue orders the
+// *clients* — workload threads waiting for CPU. The template form is reused
+// by MiniOS for its process scheduler (BasicRunQueue<ProcessId>).
+
+#ifndef UKVM_SRC_UKERNEL_SCHED_H_
+#define UKVM_SRC_UKERNEL_SCHED_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "src/core/ids.h"
+
+namespace ukern {
+
+template <typename IdT>
+class BasicRunQueue {
+ public:
+  // Enqueues at the tail of `priority`'s bucket (0..255, higher first).
+  void Enqueue(IdT id, uint32_t priority) {
+    buckets_[~priority].push_back(id);
+    ++size_;
+  }
+
+  // Dequeues the head of the highest non-empty priority bucket.
+  std::optional<IdT> PickNext() {
+    while (!buckets_.empty()) {
+      auto it = buckets_.begin();
+      if (it->second.empty()) {
+        buckets_.erase(it);
+        continue;
+      }
+      IdT id = it->second.front();
+      it->second.pop_front();
+      --size_;
+      if (it->second.empty()) {
+        buckets_.erase(it);
+      }
+      return id;
+    }
+    return std::nullopt;
+  }
+
+  // Removes an id wherever it is queued (thread/process exit).
+  void Remove(IdT id) {
+    for (auto& [prio, bucket] : buckets_) {
+      for (auto it = bucket.begin(); it != bucket.end();) {
+        if (*it == id) {
+          it = bucket.erase(it);
+          --size_;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+ private:
+  // Key is ~priority so begin() is the highest priority.
+  std::map<uint32_t, std::deque<IdT>> buckets_;
+  size_t size_ = 0;
+};
+
+using RunQueue = BasicRunQueue<ukvm::ThreadId>;
+
+}  // namespace ukern
+
+#endif  // UKVM_SRC_UKERNEL_SCHED_H_

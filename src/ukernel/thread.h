@@ -1,0 +1,45 @@
+// Thread control blocks (TCBs) for the microkernel.
+
+#ifndef UKVM_SRC_UKERNEL_THREAD_H_
+#define UKVM_SRC_UKERNEL_THREAD_H_
+
+#include <cstdint>
+
+#include "src/core/ids.h"
+#include "src/hw/memory.h"
+#include "src/ukernel/ipc.h"
+
+namespace ukern {
+
+enum class ThreadState : uint8_t {
+  kReady,
+  kRunning,
+  kWaiting,  // blocked in receive (servers sit here between requests)
+  kDead,
+};
+
+struct Tcb {
+  ukvm::ThreadId id;
+  ukvm::DomainId task;
+  uint32_t priority = 128;  // 0..255, higher runs first
+  ThreadState state = ThreadState::kReady;
+
+  // Passive-server model: the handler runs when a message is delivered to
+  // this thread; the kernel performs the protection-domain switches around
+  // the invocation (see Kernel::Call).
+  IpcHandler handler;
+  NotifyHandler notify_handler;
+  uint64_t pending_notify_bits = 0;
+
+  // Receive window for string items, in this thread's address space.
+  hwsim::Vaddr recv_buffer = 0;
+  uint32_t recv_buffer_len = 0;
+
+  // Statistics.
+  uint64_t messages_handled = 0;
+  uint64_t notifications = 0;
+};
+
+}  // namespace ukern
+
+#endif  // UKVM_SRC_UKERNEL_THREAD_H_

@@ -1,0 +1,146 @@
+#include "src/vmm/event_channel.h"
+
+#include <cassert>
+
+namespace uvmm {
+
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::Result;
+
+EventChannelTable::EventChannelTable(DeliverFn deliver) : deliver_(std::move(deliver)) {
+  assert(deliver_);
+}
+
+EventChannelTable::Port* EventChannelTable::FindPort(DomainId domain, uint32_t port) {
+  auto it = ports_.find(domain);
+  if (it == ports_.end() || port >= it->second.size() || !it->second[port].allocated) {
+    return nullptr;
+  }
+  return &it->second[port];
+}
+
+Result<uint32_t> EventChannelTable::AllocUnbound(DomainId owner, DomainId remote) {
+  auto& vec = ports_[owner];
+  const auto port = static_cast<uint32_t>(vec.size());
+  Port p;
+  p.allocated = true;
+  p.connected = false;
+  p.remote_dom = remote;
+  vec.push_back(p);
+  return port;
+}
+
+Result<uint32_t> EventChannelTable::BindInterdomain(DomainId caller, DomainId remote_dom,
+                                                    uint32_t remote_port) {
+  Port* remote = FindPort(remote_dom, remote_port);
+  if (remote == nullptr) {
+    return Err::kNotFound;
+  }
+  if (remote->connected) {
+    return Err::kBusy;
+  }
+  if (remote->remote_dom != caller) {
+    return Err::kPermissionDenied;  // the unbound port was reserved for someone else
+  }
+  auto& vec = ports_[caller];
+  const auto port = static_cast<uint32_t>(vec.size());
+  Port local;
+  local.allocated = true;
+  local.connected = true;
+  local.remote_dom = remote_dom;
+  local.remote_port = remote_port;
+  vec.push_back(local);
+  remote->connected = true;
+  remote->remote_port = port;
+  return port;
+}
+
+Err EventChannelTable::Send(DomainId caller, uint32_t port) {
+  Port* local = FindPort(caller, port);
+  if (local == nullptr) {
+    return Err::kBadHandle;
+  }
+  if (!local->connected) {
+    return Err::kWouldBlock;
+  }
+  Port* remote = FindPort(local->remote_dom, local->remote_port);
+  if (remote == nullptr) {
+    return Err::kDead;  // peer domain was destroyed
+  }
+  ++sends_;
+  if (remote->masked) {
+    remote->pending = true;
+    return Err::kNone;
+  }
+  remote->pending = true;
+  deliver_(local->remote_dom, local->remote_port);
+  return Err::kNone;
+}
+
+Err EventChannelTable::Close(DomainId caller, uint32_t port) {
+  Port* local = FindPort(caller, port);
+  if (local == nullptr) {
+    return Err::kBadHandle;
+  }
+  if (local->connected) {
+    if (Port* remote = FindPort(local->remote_dom, local->remote_port)) {
+      remote->connected = false;
+    }
+  }
+  *local = Port{};
+  return Err::kNone;
+}
+
+Err EventChannelTable::SetMask(DomainId owner, uint32_t port, bool masked) {
+  Port* p = FindPort(owner, port);
+  if (p == nullptr) {
+    return Err::kBadHandle;
+  }
+  p->masked = masked;
+  return Err::kNone;
+}
+
+Result<bool> EventChannelTable::ConsumePending(DomainId owner, uint32_t port) {
+  Port* p = FindPort(owner, port);
+  if (p == nullptr) {
+    return Err::kBadHandle;
+  }
+  const bool was = p->pending;
+  p->pending = false;
+  return was;
+}
+
+void EventChannelTable::CloseAllOf(DomainId domain) {
+  auto it = ports_.find(domain);
+  if (it != ports_.end()) {
+    for (uint32_t port = 0; port < it->second.size(); ++port) {
+      if (it->second[port].allocated) {
+        (void)Close(domain, port);
+      }
+    }
+    ports_.erase(domain);
+  }
+  // Disconnect any surviving peers pointing at the dead domain.
+  for (auto& [dom, vec] : ports_) {
+    for (Port& p : vec) {
+      if (p.allocated && p.connected && p.remote_dom == domain) {
+        p.connected = false;
+      }
+    }
+  }
+}
+
+size_t EventChannelTable::ports_of(DomainId domain) const {
+  auto it = ports_.find(domain);
+  if (it == ports_.end()) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const Port& p : it->second) {
+    n += p.allocated ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace uvmm

@@ -1,0 +1,76 @@
+// Event channels: Xen's asynchronous notification primitive.
+//
+// Hand et al. called this a "simple asynchronous unidirectional event
+// mechanism"; Heiser et al.'s response (§3.2) is that "it is nothing else
+// than a form of asynchronous IPC" — which is why every Send here is
+// recorded in the crossing ledger as an async-notify crossing, directly
+// comparable with the microkernel's Notify.
+
+#ifndef UKVM_SRC_VMM_EVENT_CHANNEL_H_
+#define UKVM_SRC_VMM_EVENT_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/core/ids.h"
+
+namespace uvmm {
+
+class EventChannelTable {
+ public:
+  // `deliver` is the hypervisor's upcall path: schedule/perform a virtual
+  // interrupt into `target` for `port`.
+  using DeliverFn = std::function<void(ukvm::DomainId target, uint32_t port)>;
+
+  explicit EventChannelTable(DeliverFn deliver);
+
+  // Creates a local port that `remote` may later bind to.
+  ukvm::Result<uint32_t> AllocUnbound(ukvm::DomainId owner, ukvm::DomainId remote);
+
+  // Connects a new local port of `caller` to `remote_dom`'s unbound
+  // `remote_port`, completing the channel.
+  ukvm::Result<uint32_t> BindInterdomain(ukvm::DomainId caller, ukvm::DomainId remote_dom,
+                                         uint32_t remote_port);
+
+  // Signals the peer end of `port` (asynchronous, unidirectional).
+  ukvm::Err Send(ukvm::DomainId caller, uint32_t port);
+
+  ukvm::Err Close(ukvm::DomainId caller, uint32_t port);
+
+  // Masking (a masked port accumulates pending state but does not upcall).
+  ukvm::Err SetMask(ukvm::DomainId owner, uint32_t port, bool masked);
+
+  // Consumes the pending bit of a port (guest-side acknowledgement);
+  // returns whether it was pending.
+  ukvm::Result<bool> ConsumePending(ukvm::DomainId owner, uint32_t port);
+
+  // Drops all channels touching `domain` (domain destruction). Peers see
+  // their ports become dangling (Send returns kDead).
+  void CloseAllOf(ukvm::DomainId domain);
+
+  uint64_t sends() const { return sends_; }
+  size_t ports_of(ukvm::DomainId domain) const;
+
+ private:
+  struct Port {
+    bool allocated = false;
+    bool connected = false;
+    ukvm::DomainId remote_dom = ukvm::DomainId::Invalid();
+    uint32_t remote_port = 0;
+    bool pending = false;
+    bool masked = false;
+  };
+
+  Port* FindPort(ukvm::DomainId domain, uint32_t port);
+
+  DeliverFn deliver_;
+  std::unordered_map<ukvm::DomainId, std::vector<Port>> ports_;
+  uint64_t sends_ = 0;
+};
+
+}  // namespace uvmm
+
+#endif  // UKVM_SRC_VMM_EVENT_CHANNEL_H_

@@ -1,0 +1,505 @@
+#include "src/vmm/hypervisor.h"
+
+#include <cassert>
+
+#include "src/core/log.h"
+
+namespace uvmm {
+
+using ukvm::CrossingKind;
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::IrqLine;
+using ukvm::Result;
+
+const char* HypercallName(HypercallNr nr) {
+  switch (nr) {
+    case HypercallNr::kSetTrapTable:
+      return "set_trap_table";
+    case HypercallNr::kMmuUpdate:
+      return "mmu_update";
+    case HypercallNr::kSetSegment:
+      return "set_segment";
+    case HypercallNr::kStackSwitch:
+      return "stack_switch";
+    case HypercallNr::kSchedOp:
+      return "sched_op";
+    case HypercallNr::kEventChannelOp:
+      return "event_channel_op";
+    case HypercallNr::kGrantTableOp:
+      return "grant_table_op";
+    case HypercallNr::kVcpuOp:
+      return "vcpu_op";
+    case HypercallNr::kSetTimerOp:
+      return "set_timer_op";
+    case HypercallNr::kConsoleIo:
+      return "console_io";
+    case HypercallNr::kPhysdevOp:
+      return "physdev_op";
+    case HypercallNr::kDomctl:
+      return "domctl";
+  }
+  return "?";
+}
+
+Hypervisor::Hypervisor(hwsim::Machine& machine) : Hypervisor(machine, Config{}) {}
+
+Hypervisor::Hypervisor(hwsim::Machine& machine, Config config)
+    : machine_(machine),
+      config_(config),
+      sched_(machine),
+      exc_(machine, sched_, kVmmDomain, config.hole_base, config.hole_end),
+      pt_virt_(machine, config.hole_base, config.hole_end) {
+  evtchn_ = std::make_unique<EventChannelTable>(
+      [this](DomainId target, uint32_t port) { DeliverUpcall(target, port); });
+  gnttab_ = std::make_unique<GrantTable>(
+      machine_, [this](DomainId dom) { return FindDomain(dom); });
+  auto& ledger = machine_.ledger();
+  mech_hypercall_ = ledger.InternMechanism("xen.hypercall", CrossingKind::kSyncCall);
+  mech_hypercall_ret_ =
+      ledger.InternMechanism("xen.hypercall.return", CrossingKind::kSyncReply);
+  mech_virq_ = ledger.InternMechanism("xen.virq", CrossingKind::kInterrupt);
+  mech_upcall_ = ledger.InternMechanism("xen.evtchn.send", CrossingKind::kAsyncNotify);
+  machine_.SetTrapHandler(this);
+}
+
+Hypervisor::~Hypervisor() {
+  if (machine_.trap_handler() == this) {
+    machine_.SetTrapHandler(nullptr);
+  }
+}
+
+// --- Domain lifecycle ----------------------------------------------------------
+
+Result<DomainId> Hypervisor::CreateDomain(const std::string& name, uint64_t pages,
+                                          bool privileged) {
+  if (pages == 0 || pages > machine_.memory().free_frames()) {
+    return Err::kNoMemory;
+  }
+  const DomainId id{next_domain_id_++};
+  auto dom = std::make_unique<Domain>(id, name, machine_.platform(), privileged);
+  dom->p2m.reserve(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    auto frame = machine_.memory().AllocFrame(id);
+    assert(frame.ok());
+    dom->p2m.push_back(*frame);
+  }
+  // Paravirtual segment setup: all segments truncated below the hypervisor
+  // hole, so the fast system-call gate can be validated.
+  dom->segments.TruncateAll(config_.hole_base);
+  machine_.ChargeTo(kVmmDomain, machine_.costs().kernel_op * pages / 8 +
+                                     machine_.costs().kernel_op);
+  if (privileged && !dom0_.valid()) {
+    dom0_ = id;
+  }
+  domains_.emplace(id, std::move(dom));
+  return id;
+}
+
+Err Hypervisor::DestroyDomain(DomainId id) {
+  Domain* dom = FindDomain(id);
+  if (dom == nullptr || !dom->alive) {
+    return Err::kBadHandle;
+  }
+  machine_.ChargeTo(kVmmDomain, machine_.costs().kernel_op);
+  dom->alive = false;
+  evtchn_->CloseAllOf(id);
+  gnttab_->DropAllOf(id);
+  for (auto it = irq_bindings_.begin(); it != irq_bindings_.end();) {
+    if (it->second.first == id) {
+      it = irq_bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (hwsim::Frame frame : dom->p2m) {
+    // Frames flipped away now belong to another domain; free only our own.
+    if (machine_.memory().OwnerOf(frame) == id) {
+      (void)machine_.memory().FreeFrame(frame);
+    }
+  }
+  dom->p2m.clear();
+  sched_.Detach(dom);
+  if (machine_.cpu().current_domain() == id) {
+    machine_.cpu().SetDomain(kVmmDomain);
+    machine_.cpu().SetMode(hwsim::PrivLevel::kPrivileged);
+  }
+  return Err::kNone;
+}
+
+Domain* Hypervisor::FindDomain(DomainId dom) {
+  auto it = domains_.find(dom);
+  return it == domains_.end() ? nullptr : it->second.get();
+}
+
+bool Hypervisor::DomainAlive(DomainId dom) {
+  Domain* d = FindDomain(dom);
+  return d != nullptr && d->alive;
+}
+
+// --- Hypercall plumbing -----------------------------------------------------------
+
+Domain* Hypervisor::HypercallProlog(DomainId dom, HypercallNr nr) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr || !d->alive) {
+    return nullptr;
+  }
+  machine_.Charge(machine_.costs().hypercall_entry);
+  sched_.EnterHypervisor();
+  ++d->hypercalls;
+  ++total_hypercalls_;
+  ++hypercall_counts_[static_cast<size_t>(nr)];
+  machine_.ledger().Record(mech_hypercall_, dom, kVmmDomain, machine_.costs().hypercall_entry, 0);
+  return d;
+}
+
+void Hypervisor::HypercallEpilog(Domain* dom) {
+  if (dom != nullptr && dom->alive) {
+    sched_.SwitchTo(*dom, hwsim::PrivLevel::kGuestKernel);
+  }
+  machine_.Charge(machine_.costs().hypercall_return);
+  if (dom != nullptr) {
+    machine_.ledger().Record(mech_hypercall_ret_, kVmmDomain, dom->id,
+                             machine_.costs().hypercall_return, 0);
+  }
+}
+
+uint64_t Hypervisor::HypercallCountOf(HypercallNr nr) const {
+  return hypercall_counts_[static_cast<size_t>(nr)];
+}
+
+// --- Hypercalls ----------------------------------------------------------------------
+
+Err Hypervisor::HcSetTrapTable(DomainId dom,
+                               std::function<uint64_t(hwsim::TrapFrame&)> syscall_entry,
+                               std::function<Err(hwsim::Vaddr, bool)> pagefault_entry,
+                               bool request_fast_trap) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kSetTrapTable);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  d->syscall_entry = std::move(syscall_entry);
+  d->pagefault_entry = std::move(pagefault_entry);
+  d->fast_trap_requested = request_fast_trap;
+  exc_.RecheckFastPath(*d);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+Err Hypervisor::HcSetUpcall(DomainId dom, std::function<void(uint32_t)> upcall) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kVcpuOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  d->evtchn_upcall = std::move(upcall);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+Err Hypervisor::HcSetExceptionHandler(DomainId dom,
+                                      std::function<Err(hwsim::TrapFrame&)> handler) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kSetTrapTable);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  d->exception_entry = std::move(handler);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+Err Hypervisor::HcSetSegment(DomainId dom, hwsim::SegmentReg reg,
+                             hwsim::SegmentDescriptor descriptor) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kSetSegment);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.Charge(machine_.costs().kernel_op);  // descriptor validation
+  d->segments.Set(reg, descriptor);
+  machine_.cpu().ChargeSegmentReloads(1);
+  // The moment any segment stops excluding the hypervisor, the trap-gate
+  // shortcut becomes unsafe and is revoked (§3.2: "Linux's latest glibc
+  // violates the assumption and renders the shortcut useless").
+  exc_.RecheckFastPath(*d);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+Err Hypervisor::HcMmuUpdate(DomainId dom, std::span<const MmuUpdate> updates) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kMmuUpdate);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = pt_virt_.Apply(*d, updates);
+  HypercallEpilog(d);
+  return err;
+}
+
+Result<uint32_t> Hypervisor::HcEvtchnAllocUnbound(DomainId dom, DomainId remote) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kEventChannelOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.Charge(machine_.costs().kernel_op);
+  auto port = evtchn_->AllocUnbound(dom, remote);
+  HypercallEpilog(d);
+  return port;
+}
+
+Result<uint32_t> Hypervisor::HcEvtchnBind(DomainId dom, DomainId remote_dom,
+                                          uint32_t remote_port) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kEventChannelOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.Charge(machine_.costs().kernel_op);
+  auto port = evtchn_->BindInterdomain(dom, remote_dom, remote_port);
+  HypercallEpilog(d);
+  return port;
+}
+
+Err Hypervisor::HcEvtchnSend(DomainId dom, uint32_t port) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kEventChannelOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.Charge(machine_.costs().kernel_op);
+  const uint64_t t0 = machine_.Now();
+  const Err err = evtchn_->Send(dom, port);
+  if (err == Err::kNone) {
+    machine_.ledger().Record(mech_upcall_, dom, DomainId::Invalid(), machine_.Now() - t0, 0);
+  }
+  HypercallEpilog(d);
+  return err;
+}
+
+Err Hypervisor::HcEvtchnClose(DomainId dom, uint32_t port) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kEventChannelOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = evtchn_->Close(dom, port);
+  HypercallEpilog(d);
+  return err;
+}
+
+Err Hypervisor::HcEvtchnMask(DomainId dom, uint32_t port, bool masked) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kEventChannelOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = evtchn_->SetMask(dom, port, masked);
+  HypercallEpilog(d);
+  return err;
+}
+
+Result<uint32_t> Hypervisor::HcGrantAccess(DomainId dom, DomainId grantee, Pfn pfn,
+                                           bool writable) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  auto ref = gnttab_->GrantAccess(dom, grantee, pfn, writable);
+  HypercallEpilog(d);
+  return ref;
+}
+
+Result<uint32_t> Hypervisor::HcGrantTransferSlot(DomainId dom, DomainId grantee, Pfn pfn) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  auto ref = gnttab_->GrantTransfer(dom, grantee, pfn);
+  HypercallEpilog(d);
+  return ref;
+}
+
+Err Hypervisor::HcGrantEnd(DomainId dom, uint32_t ref) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = gnttab_->EndGrant(dom, ref);
+  HypercallEpilog(d);
+  return err;
+}
+
+Err Hypervisor::HcGrantMap(DomainId dom, DomainId granter, uint32_t ref, hwsim::Vaddr va,
+                           bool write) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = gnttab_->MapGrant(dom, granter, ref, va, write);
+  HypercallEpilog(d);
+  return err;
+}
+
+Err Hypervisor::HcGrantUnmap(DomainId dom, DomainId granter, uint32_t ref, hwsim::Vaddr va) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = gnttab_->UnmapGrant(dom, granter, ref, va);
+  HypercallEpilog(d);
+  return err;
+}
+
+Err Hypervisor::HcGrantCopy(DomainId dom, DomainId granter, uint32_t ref, uint64_t grant_off,
+                            Pfn local_pfn, uint64_t local_off, uint32_t len, bool to_grant) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  const Err err = gnttab_->Copy(dom, granter, ref, grant_off, local_pfn, local_off, len, to_grant);
+  HypercallEpilog(d);
+  return err;
+}
+
+Result<hwsim::Frame> Hypervisor::HcGrantTransfer(DomainId dom, Pfn pfn, DomainId granter,
+                                                 uint32_t ref) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kGrantTableOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  auto frame = gnttab_->Transfer(dom, pfn, granter, ref);
+  HypercallEpilog(d);
+  return frame;
+}
+
+Err Hypervisor::HcBindIrq(DomainId dom, IrqLine line, uint32_t port) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kPhysdevOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  Err err = Err::kNone;
+  if (!d->privileged) {
+    err = Err::kPermissionDenied;  // only Dom0/driver domains control hardware
+  } else {
+    irq_bindings_[line] = {dom, port};
+  }
+  HypercallEpilog(d);
+  return err;
+}
+
+Err Hypervisor::HcConsoleIo(DomainId dom, const std::string& text) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kConsoleIo);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.ChargeCopy(text.size());
+  console_log_.push_back(d->name + ": " + text);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+Err Hypervisor::HcSchedYield(DomainId dom) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kSchedOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.Charge(machine_.costs().schedule_decision);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+// --- Guest execution support --------------------------------------------------------
+
+Err Hypervisor::RunGuestUser(DomainId dom, const std::function<void()>& fn) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr || !d->alive) {
+    return Err::kBadHandle;
+  }
+  sched_.SwitchTo(*d, hwsim::PrivLevel::kUser);
+  machine_.cpu().SetInterruptsEnabled(true);
+  machine_.DeliverPendingInterrupts();
+  fn();
+  return Err::kNone;
+}
+
+uint64_t Hypervisor::GuestSyscall(DomainId dom, hwsim::TrapFrame& frame) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr || !d->alive) {
+    return static_cast<uint64_t>(-1);
+  }
+  return exc_.GuestSyscall(*d, frame);
+}
+
+Err Hypervisor::GuestPageFault(DomainId dom, hwsim::Vaddr va, bool write) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr || !d->alive) {
+    return Err::kBadHandle;
+  }
+  return exc_.GuestPageFault(*d, va, write);
+}
+
+Err Hypervisor::GuestException(DomainId dom, hwsim::TrapFrame& frame) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr || !d->alive) {
+    return Err::kBadHandle;
+  }
+  return exc_.GuestException(*d, frame);
+}
+
+// --- Upcall delivery ------------------------------------------------------------------
+
+void Hypervisor::DeliverUpcall(DomainId target, uint32_t port) {
+  Domain* d = FindDomain(target);
+  if (d == nullptr || !d->alive || !d->evtchn_upcall) {
+    return;
+  }
+  // Save the interrupted context, inject the virtual interrupt, restore.
+  Domain* prev = sched_.current();
+  const hwsim::PrivLevel prev_mode = machine_.cpu().mode();
+  const DomainId prev_domain = machine_.cpu().current_domain();
+
+  machine_.Charge(machine_.costs().interrupt_dispatch);
+  sched_.SwitchTo(*d, hwsim::PrivLevel::kGuestKernel);
+  (void)evtchn_->ConsumePending(target, port);
+  ++d->upcalls;
+  d->evtchn_upcall(port);
+
+  if (prev != nullptr && prev->alive && prev != d) {
+    sched_.SwitchTo(*prev, prev_mode);
+  } else if (prev == d) {
+    machine_.cpu().SetMode(prev_mode);
+  } else {
+    machine_.cpu().SetDomain(prev_domain);
+    machine_.cpu().SetMode(prev_mode);
+  }
+}
+
+// --- hwsim::TrapHandler ------------------------------------------------------------------
+
+void Hypervisor::HandleTrap(hwsim::TrapFrame& frame) {
+  const DomainId dom = machine_.cpu().current_domain();
+  switch (frame.vector) {
+    case hwsim::TrapVector::kSyscall:
+      frame.regs[0] = GuestSyscall(dom, frame);
+      break;
+    case hwsim::TrapVector::kPageFault:
+      frame.regs[0] = static_cast<uint64_t>(GuestPageFault(dom, frame.fault_addr,
+                                                           frame.write_access));
+      break;
+    default:
+      frame.regs[0] = static_cast<uint64_t>(GuestException(dom, frame));
+      break;
+  }
+}
+
+void Hypervisor::HandleInterrupt(IrqLine line) {
+  auto it = irq_bindings_.find(line);
+  if (it == irq_bindings_.end()) {
+    return;  // unbound hardware interrupt
+  }
+  const auto [target, port] = it->second;
+  // Interrupt demultiplexing is genuine hypervisor work.
+  machine_.ChargeTo(kVmmDomain, machine_.costs().kernel_op);
+  machine_.ledger().Record(mech_virq_, ukvm::kHardwareDomain, target, 0, 0);
+  Domain* d = FindDomain(target);
+  if (d == nullptr || !d->alive) {
+    return;
+  }
+  DeliverUpcall(target, port);
+}
+
+}  // namespace uvmm

@@ -1,0 +1,191 @@
+// The Xen-style hypervisor.
+//
+// This is the "rich variety of primitives" system of paper §2.2: domains,
+// a twelve-entry hypercall table, event channels, grant tables (map, copy,
+// and page-flip transfer), paravirtual page-table updates, a virtualized
+// interrupt controller routing hardware IRQs to driver domains, exception
+// virtualisation with the fragile fast system-call gate, and a privileged
+// Dom0. Each primitive carries its own validation and security mechanism —
+// the structural contrast with the microkernel's single IPC primitive that
+// experiment E7 tabulates.
+
+#ifndef UKVM_SRC_VMM_HYPERVISOR_H_
+#define UKVM_SRC_VMM_HYPERVISOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/error.h"
+#include "src/core/ids.h"
+#include "src/hw/machine.h"
+#include "src/hw/trap.h"
+#include "src/vmm/domain.h"
+#include "src/vmm/event_channel.h"
+#include "src/vmm/exception_virt.h"
+#include "src/vmm/grant_table.h"
+#include "src/vmm/pt_virt.h"
+#include "src/vmm/sched.h"
+
+namespace uvmm {
+
+// The hypercall table — the VMM ABI (contrast: ukern::SyscallNr has 6
+// entries, and 5 of its 6 are degenerate; IPC does almost everything).
+enum class HypercallNr : uint32_t {
+  kSetTrapTable = 0,
+  kMmuUpdate = 1,
+  kSetSegment = 2,      // set_gdt / update_descriptor
+  kStackSwitch = 3,
+  kSchedOp = 4,
+  kEventChannelOp = 5,
+  kGrantTableOp = 6,
+  kVcpuOp = 7,
+  kSetTimerOp = 8,
+  kConsoleIo = 9,
+  kPhysdevOp = 10,      // interrupt-controller virtualisation
+  kDomctl = 11,         // domain lifecycle (privileged)
+};
+inline constexpr uint32_t kHypercallCount = 12;
+
+const char* HypercallName(HypercallNr nr);
+
+class Hypervisor : public hwsim::TrapHandler {
+ public:
+  struct Config {
+    // The hypervisor hole: a VA range mapped in every domain that guest
+    // segments must exclude (64 MiB at the top of a 32-bit space, as Xen).
+    uint64_t hole_base = 0xFC00'0000ull;
+    uint64_t hole_end = 0x1'0000'0000ull;
+  };
+
+  explicit Hypervisor(hwsim::Machine& machine, Config config);
+  explicit Hypervisor(hwsim::Machine& machine);
+  ~Hypervisor() override;
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  hwsim::Machine& machine() { return machine_; }
+  ukvm::DomainId vmm_domain() const { return kVmmDomain; }
+  const Config& config() const { return config_; }
+
+  // --- Domain lifecycle (Domctl; building a domain is Dom0 tooling) ---------
+
+  // Creates a domain with `pages` frames of pseudo-physical memory. The
+  // first domain created is Dom0 if `privileged`.
+  ukvm::Result<ukvm::DomainId> CreateDomain(const std::string& name, uint64_t pages,
+                                            bool privileged);
+  ukvm::Err DestroyDomain(ukvm::DomainId dom);
+  Domain* FindDomain(ukvm::DomainId dom);
+  bool DomainAlive(ukvm::DomainId dom);
+
+  EventChannelTable& evtchn() { return *evtchn_; }
+  GrantTable& gnttab() { return *gnttab_; }
+  DomainScheduler& sched() { return sched_; }
+  ExceptionVirt& exceptions() { return exc_; }
+
+  // --- Hypercalls ------------------------------------------------------------
+  // Each Hc* models one hypercall from `dom`'s guest kernel: entry/exit
+  // costs, a crossing-ledger record, and the per-domain hypercall counter.
+
+  ukvm::Err HcSetTrapTable(ukvm::DomainId dom,
+                           std::function<uint64_t(hwsim::TrapFrame&)> syscall_entry,
+                           std::function<ukvm::Err(hwsim::Vaddr, bool)> pagefault_entry,
+                           bool request_fast_trap);
+  ukvm::Err HcSetUpcall(ukvm::DomainId dom, std::function<void(uint32_t)> upcall);
+  ukvm::Err HcSetExceptionHandler(ukvm::DomainId dom,
+                                  std::function<ukvm::Err(hwsim::TrapFrame&)> handler);
+  ukvm::Err HcSetSegment(ukvm::DomainId dom, hwsim::SegmentReg reg,
+                         hwsim::SegmentDescriptor descriptor);
+  ukvm::Err HcMmuUpdate(ukvm::DomainId dom, std::span<const MmuUpdate> updates);
+
+  ukvm::Result<uint32_t> HcEvtchnAllocUnbound(ukvm::DomainId dom, ukvm::DomainId remote);
+  ukvm::Result<uint32_t> HcEvtchnBind(ukvm::DomainId dom, ukvm::DomainId remote_dom,
+                                      uint32_t remote_port);
+  ukvm::Err HcEvtchnSend(ukvm::DomainId dom, uint32_t port);
+  ukvm::Err HcEvtchnClose(ukvm::DomainId dom, uint32_t port);
+  ukvm::Err HcEvtchnMask(ukvm::DomainId dom, uint32_t port, bool masked);
+
+  ukvm::Result<uint32_t> HcGrantAccess(ukvm::DomainId dom, ukvm::DomainId grantee, Pfn pfn,
+                                       bool writable);
+  ukvm::Result<uint32_t> HcGrantTransferSlot(ukvm::DomainId dom, ukvm::DomainId grantee, Pfn pfn);
+  ukvm::Err HcGrantEnd(ukvm::DomainId dom, uint32_t ref);
+  ukvm::Err HcGrantMap(ukvm::DomainId dom, ukvm::DomainId granter, uint32_t ref, hwsim::Vaddr va,
+                       bool write);
+  ukvm::Err HcGrantUnmap(ukvm::DomainId dom, ukvm::DomainId granter, uint32_t ref,
+                         hwsim::Vaddr va);
+  ukvm::Err HcGrantCopy(ukvm::DomainId dom, ukvm::DomainId granter, uint32_t ref,
+                        uint64_t grant_off, Pfn local_pfn, uint64_t local_off, uint32_t len,
+                        bool to_grant);
+  ukvm::Result<hwsim::Frame> HcGrantTransfer(ukvm::DomainId dom, Pfn pfn, ukvm::DomainId granter,
+                                             uint32_t ref);
+
+  // Binds hardware interrupt `line` to (`dom`, `port`): PhysdevOp, Dom0 or a
+  // privileged driver domain only.
+  ukvm::Err HcBindIrq(ukvm::DomainId dom, ukvm::IrqLine line, uint32_t port);
+
+  ukvm::Err HcConsoleIo(ukvm::DomainId dom, const std::string& text);
+  ukvm::Err HcSchedYield(ukvm::DomainId dom);
+
+  // --- Guest execution support -------------------------------------------------
+
+  // Runs `fn` as guest-user code of `dom` (context switch in and out).
+  ukvm::Err RunGuestUser(ukvm::DomainId dom, const std::function<void()>& fn);
+
+  // A guest application's system call (experiment E2's measured operation).
+  uint64_t GuestSyscall(ukvm::DomainId dom, hwsim::TrapFrame& frame);
+  ukvm::Err GuestPageFault(ukvm::DomainId dom, hwsim::Vaddr va, bool write);
+  ukvm::Err GuestException(ukvm::DomainId dom, hwsim::TrapFrame& frame);
+
+  // --- hwsim::TrapHandler --------------------------------------------------------
+
+  void HandleTrap(hwsim::TrapFrame& frame) override;
+  void HandleInterrupt(ukvm::IrqLine line) override;
+
+  // --- Introspection ---------------------------------------------------------------
+
+  uint64_t total_hypercalls() const { return total_hypercalls_; }
+  uint64_t HypercallCountOf(HypercallNr nr) const;
+  const std::vector<std::string>& console_log() const { return console_log_; }
+
+ private:
+  static constexpr ukvm::DomainId kVmmDomain{0};
+
+  // Hypercall prolog/epilog. Accounting stays with the calling domain (see
+  // DomainScheduler::EnterHypervisor); mode flips to privileged and back.
+  Domain* HypercallProlog(ukvm::DomainId dom, HypercallNr nr);
+  void HypercallEpilog(Domain* dom);
+
+  // Event-channel upcall delivery (virtual interrupt into the target).
+  void DeliverUpcall(ukvm::DomainId target, uint32_t port);
+
+  hwsim::Machine& machine_;
+  Config config_;
+  DomainScheduler sched_;
+  ExceptionVirt exc_;
+  PtVirt pt_virt_;
+  std::unique_ptr<EventChannelTable> evtchn_;
+  std::unique_ptr<GrantTable> gnttab_;
+
+  std::unordered_map<ukvm::DomainId, std::unique_ptr<Domain>> domains_;
+  std::unordered_map<ukvm::IrqLine, std::pair<ukvm::DomainId, uint32_t>> irq_bindings_;
+  uint32_t next_domain_id_ = 1;  // 0 is the hypervisor itself
+  ukvm::DomainId dom0_ = ukvm::DomainId::Invalid();
+
+  uint32_t mech_hypercall_ = 0;
+  uint32_t mech_hypercall_ret_ = 0;
+  uint32_t mech_virq_ = 0;
+  uint32_t mech_upcall_ = 0;
+  std::array<uint64_t, kHypercallCount> hypercall_counts_{};
+  uint64_t total_hypercalls_ = 0;
+  std::vector<std::string> console_log_;
+};
+
+}  // namespace uvmm
+
+#endif  // UKVM_SRC_VMM_HYPERVISOR_H_

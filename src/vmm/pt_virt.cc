@@ -1,0 +1,49 @@
+#include "src/vmm/pt_virt.h"
+
+namespace uvmm {
+
+using ukvm::Err;
+
+PtVirt::PtVirt(hwsim::Machine& machine, uint64_t hole_base, uint64_t hole_end)
+    : machine_(machine), hole_base_(hole_base), hole_end_(hole_end) {
+  mech_update_ =
+      machine_.ledger().InternMechanism("xen.mmu_update", ukvm::CrossingKind::kResourceDelegate);
+}
+
+Err PtVirt::Apply(Domain& dom, std::span<const MmuUpdate> updates) {
+  // Validation pass: the batch must be entirely legal before any of it is
+  // applied (Xen aborts a bad batch without partial effects on the failing
+  // entry's neighbours; we validate up front for simplicity).
+  for (const MmuUpdate& u : updates) {
+    machine_.Charge(machine_.costs().kernel_op);  // per-update validation
+    if (u.va >= hole_base_ && u.va < hole_end_) {
+      return Err::kPermissionDenied;  // the guest may never map the hypervisor
+    }
+    if (u.present) {
+      auto mfn = dom.MfnOf(u.pfn);
+      if (!mfn.ok()) {
+        return Err::kOutOfRange;
+      }
+      if (machine_.memory().OwnerOf(*mfn) != dom.id) {
+        return Err::kPermissionDenied;  // e.g. the frame was flipped away
+      }
+    }
+  }
+  for (const MmuUpdate& u : updates) {
+    machine_.Charge(machine_.costs().pte_write);
+    if (u.present) {
+      dom.space.Map(u.va, *dom.MfnOf(u.pfn), hwsim::PtePerms{u.writable, /*user=*/true});
+    } else {
+      (void)dom.space.Unmap(u.va);
+      if (machine_.cpu().address_space() == &dom.space) {
+        machine_.cpu().tlb().FlushPage(dom.space.VpnOf(u.va));
+      }
+    }
+    ++updates_applied_;
+  }
+  machine_.ledger().Record(mech_update_, dom.id, dom.id, 0,
+                           updates.size() * machine_.memory().page_size());
+  return Err::kNone;
+}
+
+}  // namespace uvmm

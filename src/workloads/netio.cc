@@ -1,0 +1,50 @@
+#include "src/workloads/netio.h"
+
+#include "src/os/netstack.h"
+
+namespace uwork {
+
+WireHost::WireHost(hwsim::Machine& machine, hwsim::Nic& nic) : machine_(machine), nic_(nic) {
+  nic_.SetPeer([this](std::vector<uint8_t> packet) { OnPacket(std::move(packet)); });
+}
+
+void WireHost::OnPacket(std::vector<uint8_t> packet) {
+  ++packets_received_;
+  bytes_received_ += packet.size();
+  if (echo_) {
+    minios::ParsedPacket parsed;
+    if (minios::ParsePacket(packet, parsed)) {
+      std::vector<uint8_t> reply = minios::BuildPacket(parsed.src_port, parsed.dst_port,
+                                                       parsed.payload);
+      nic_.InjectPacket(reply);
+    }
+  }
+  if (capture_) {
+    captured_.push_back(std::move(packet));
+  }
+}
+
+void WireHost::StartStream(uint16_t dst_port, uint32_t payload_size, uint64_t interval_cycles,
+                           uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  InjectNext(dst_port, payload_size, interval_cycles, count, 0);
+}
+
+void WireHost::InjectNext(uint16_t dst_port, uint32_t payload_size, uint64_t interval_cycles,
+                          uint64_t remaining, uint64_t seq) {
+  machine_.ScheduleAfter(interval_cycles, [=, this] {
+    std::vector<uint8_t> payload(payload_size);
+    for (uint32_t i = 0; i < payload_size; ++i) {
+      payload[i] = PatternByte(seq, i);
+    }
+    nic_.InjectPacket(minios::BuildPacket(dst_port, /*src_port=*/9999, payload));
+    ++packets_injected_;
+    if (remaining > 1) {
+      InjectNext(dst_port, payload_size, interval_cycles, remaining - 1, seq + 1);
+    }
+  });
+}
+
+}  // namespace uwork

@@ -1,0 +1,64 @@
+// Wire-side traffic generation and sinking (the "remote host" of a
+// netperf-style experiment, as in Cherkasova & Gardner's setup).
+
+#ifndef UKVM_SRC_WORKLOADS_NETIO_H_
+#define UKVM_SRC_WORKLOADS_NETIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/hw/nic.h"
+
+namespace uwork {
+
+class WireHost {
+ public:
+  // Attaches to `nic` as its wire peer: transmitted packets arrive here;
+  // injected packets arrive at the NIC.
+  WireHost(hwsim::Machine& machine, hwsim::Nic& nic);
+
+  // --- Sink side --------------------------------------------------------------
+
+  uint64_t packets_received() const { return packets_received_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  void SetCapture(bool capture) { capture_ = capture; }
+  const std::vector<std::vector<uint8_t>>& captured() const { return captured_; }
+
+  // Echo mode: received packets are reflected back with src/dst ports
+  // swapped (for round-trip experiments).
+  void SetEcho(bool echo) { echo_ = echo; }
+
+  // --- Generator side -----------------------------------------------------------
+
+  // Streams `count` datagrams of `payload_size` bytes to `dst_port`, one
+  // every `interval_cycles`. Payload bytes carry a deterministic pattern
+  // checkable by receivers.
+  void StartStream(uint16_t dst_port, uint32_t payload_size, uint64_t interval_cycles,
+                   uint64_t count);
+
+  uint64_t packets_injected() const { return packets_injected_; }
+
+  // The deterministic payload byte at position `i` of stream packet `seq`.
+  static uint8_t PatternByte(uint64_t seq, uint32_t i) {
+    return static_cast<uint8_t>((seq * 131 + i * 7 + 3) & 0xff);
+  }
+
+ private:
+  void OnPacket(std::vector<uint8_t> packet);
+  void InjectNext(uint16_t dst_port, uint32_t payload_size, uint64_t interval_cycles,
+                  uint64_t remaining, uint64_t seq);
+
+  hwsim::Machine& machine_;
+  hwsim::Nic& nic_;
+  bool capture_ = false;
+  bool echo_ = false;
+  uint64_t packets_received_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t packets_injected_ = 0;
+  std::vector<std::vector<uint8_t>> captured_;
+};
+
+}  // namespace uwork
+
+#endif  // UKVM_SRC_WORKLOADS_NETIO_H_

@@ -1,0 +1,141 @@
+#include "src/workloads/oswork.h"
+
+#include <vector>
+
+namespace uwork {
+
+using minios::Os;
+using minios::SyscallRet;
+using ukvm::Err;
+using ukvm::ProcessId;
+
+namespace {
+
+void Note(WorkloadResult& result, SyscallRet ret) {
+  ++result.ops_attempted;
+  if (ret >= 0) {
+    ++result.ops_succeeded;
+  } else if (result.first_error == Err::kNone) {
+    result.first_error = minios::ErrOf(ret);
+  }
+}
+
+void NoteBool(WorkloadResult& result, bool ok, Err err) {
+  ++result.ops_attempted;
+  if (ok) {
+    ++result.ops_succeeded;
+  } else if (result.first_error == Err::kNone) {
+    result.first_error = err;
+  }
+}
+
+}  // namespace
+
+WorkloadResult RunNullSyscalls(hwsim::Machine& machine, Os& os, ProcessId pid, uint64_t count) {
+  WorkloadResult result;
+  const uint64_t t0 = machine.Now();
+  for (uint64_t i = 0; i < count; ++i) {
+    Note(result, os.Null(pid));
+  }
+  result.cycles = machine.Now() - t0;
+  return result;
+}
+
+WorkloadResult RunFileChurn(hwsim::Machine& machine, Os& os, ProcessId pid, uint32_t files,
+                            uint32_t bytes_per_file, const std::string& prefix) {
+  WorkloadResult result;
+  const uint64_t t0 = machine.Now();
+  std::vector<uint8_t> data(bytes_per_file);
+  std::vector<uint8_t> back(bytes_per_file);
+  for (uint32_t f = 0; f < files; ++f) {
+    for (uint32_t i = 0; i < bytes_per_file; ++i) {
+      data[i] = static_cast<uint8_t>((f * 31 + i) & 0xff);
+    }
+    const std::string name = prefix + std::to_string(f);
+    const SyscallRet fd = os.Create(pid, name);
+    Note(result, fd);
+    if (fd < 0) {
+      continue;
+    }
+    Note(result, os.Write(pid, fd, data));
+    Note(result, os.Seek(pid, fd, 0));
+    const SyscallRet nread = os.Read(pid, fd, back);
+    Note(result, nread);
+    NoteBool(result,
+             nread == static_cast<SyscallRet>(bytes_per_file) && back == data,
+             Err::kFault);
+    Note(result, os.Close(pid, fd));
+    Note(result, os.Unlink(pid, name));
+  }
+  result.cycles = machine.Now() - t0;
+  return result;
+}
+
+WorkloadResult RunUdpSend(hwsim::Machine& machine, Os& os, ProcessId pid, uint16_t dst_port,
+                          uint32_t payload_size, uint64_t count) {
+  WorkloadResult result;
+  const uint64_t t0 = machine.Now();
+  std::vector<uint8_t> payload(payload_size);
+  for (uint64_t i = 0; i < count; ++i) {
+    for (uint32_t b = 0; b < payload_size; ++b) {
+      payload[b] = static_cast<uint8_t>((i + b) & 0xff);
+    }
+    Note(result, os.NetSend(pid, dst_port, /*src_port=*/7, payload));
+    // Let DMA/wire events drain so NIC buffers recycle.
+    machine.RunFor(hwsim::kCyclesPerUs);
+  }
+  result.cycles = machine.Now() - t0;
+  return result;
+}
+
+WorkloadResult RunUdpReceive(hwsim::Machine& machine, Os& os, ProcessId pid, uint16_t port,
+                             uint64_t count, uint64_t timeout_cycles) {
+  WorkloadResult result;
+  const uint64_t t0 = machine.Now();
+  const uint64_t deadline = t0 + timeout_cycles;
+  std::vector<uint8_t> buf(2048);
+  while (result.ops_succeeded < count && machine.Now() < deadline) {
+    // Model a blocked receiver: sleep (simulated) until the net stack has
+    // queued a datagram, then issue one receive syscall. The wait itself
+    // costs no guest CPU — that is what a blocking socket buys.
+    if (os.net().QueuedOn(port) == 0) {
+      const Err wait = machine.WaitUntil([&] { return os.net().QueuedOn(port) > 0; },
+                                         deadline - machine.Now());
+      if (wait != Err::kNone) {
+        break;
+      }
+    }
+    const SyscallRet n = os.NetRecv(pid, port, buf);
+    ++result.ops_attempted;
+    if (n >= 0) {
+      ++result.ops_succeeded;
+    } else if (minios::ErrOf(n) != Err::kWouldBlock) {
+      if (result.first_error == Err::kNone) {
+        result.first_error = minios::ErrOf(n);
+      }
+      break;
+    }
+  }
+  result.cycles = machine.Now() - t0;
+  return result;
+}
+
+WorkloadResult RunMixedWorkload(hwsim::Machine& machine, Os& os, ProcessId pid,
+                                uint16_t dst_port) {
+  WorkloadResult result;
+  const uint64_t t0 = machine.Now();
+  auto merge = [&result](const WorkloadResult& r) {
+    result.ops_attempted += r.ops_attempted;
+    result.ops_succeeded += r.ops_succeeded;
+    if (result.first_error == Err::kNone) {
+      result.first_error = r.first_error;
+    }
+  };
+  merge(RunNullSyscalls(machine, os, pid, 200));
+  merge(RunFileChurn(machine, os, pid, /*files=*/4, /*bytes_per_file=*/2048, "mixed"));
+  merge(RunUdpSend(machine, os, pid, dst_port, /*payload_size=*/512, /*count=*/50));
+  result.cycles = machine.Now() - t0;
+  return result;
+}
+
+}  // namespace uwork

@@ -1,0 +1,54 @@
+// OS-level workloads shared by the crossing-count (E4) and fault-isolation
+// (E5) experiments: syscall loops, file churn, and datagram streams, all
+// expressed against the MiniOS API so they run unchanged on every stack.
+
+#ifndef UKVM_SRC_WORKLOADS_OSWORK_H_
+#define UKVM_SRC_WORKLOADS_OSWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/error.h"
+#include "src/os/kernel.h"
+
+namespace uwork {
+
+struct WorkloadResult {
+  uint64_t ops_attempted = 0;
+  uint64_t ops_succeeded = 0;
+  uint64_t cycles = 0;  // simulated cycles consumed by the workload
+  ukvm::Err first_error = ukvm::Err::kNone;
+
+  double SuccessRate() const {
+    return ops_attempted == 0
+               ? 1.0
+               : static_cast<double>(ops_succeeded) / static_cast<double>(ops_attempted);
+  }
+};
+
+// `count` null system calls.
+WorkloadResult RunNullSyscalls(hwsim::Machine& machine, minios::Os& os, ukvm::ProcessId pid,
+                               uint64_t count);
+
+// Creates `files` files, writes `bytes_per_file` to each, reads them back
+// verifying contents, and unlinks them.
+WorkloadResult RunFileChurn(hwsim::Machine& machine, minios::Os& os, ukvm::ProcessId pid,
+                            uint32_t files, uint32_t bytes_per_file, const std::string& prefix);
+
+// Sends `count` datagrams of `payload_size` bytes to `dst_port`.
+WorkloadResult RunUdpSend(hwsim::Machine& machine, minios::Os& os, ukvm::ProcessId pid,
+                          uint16_t dst_port, uint32_t payload_size, uint64_t count);
+
+// Receives until `count` datagrams arrived on `port` or `timeout_cycles`
+// passed (pumping simulated time while waiting).
+WorkloadResult RunUdpReceive(hwsim::Machine& machine, minios::Os& os, ukvm::ProcessId pid,
+                             uint16_t port, uint64_t count, uint64_t timeout_cycles);
+
+// The fixed mixed workload used for the crossing-equivalence experiment:
+// a deterministic blend of null syscalls, file churn, and datagram sends.
+WorkloadResult RunMixedWorkload(hwsim::Machine& machine, minios::Os& os, ukvm::ProcessId pid,
+                                uint16_t dst_port);
+
+}  // namespace uwork
+
+#endif  // UKVM_SRC_WORKLOADS_OSWORK_H_

@@ -1,0 +1,272 @@
+// Tests for the Machine: virtual clock, cycle accounting, the event queue,
+// trap dispatch, interrupt delivery, segmentation, and the CPU's MMU path.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/hw/segmentation.h"
+
+namespace hwsim {
+namespace {
+
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::IrqLine;
+
+Machine MakeMachine() { return Machine(MakeX86Platform(), 1 << 20); }
+
+TEST(Machine, ChargeAdvancesClockAndAccounts) {
+  Machine m = MakeMachine();
+  m.cpu().SetDomain(DomainId(7));
+  m.Charge(100);
+  m.ChargeTo(DomainId(8), 50);
+  EXPECT_EQ(m.Now(), 150u);
+  EXPECT_EQ(m.accounting().CyclesOf(DomainId(7)), 100u);
+  EXPECT_EQ(m.accounting().CyclesOf(DomainId(8)), 50u);
+}
+
+TEST(Machine, AccountOnlyDoesNotAdvanceClock) {
+  Machine m = MakeMachine();
+  m.AccountOnly(DomainId(3), 500);
+  EXPECT_EQ(m.Now(), 0u);
+  EXPECT_EQ(m.accounting().CyclesOf(DomainId(3)), 500u);
+}
+
+TEST(Machine, ChargeWithInvalidDomainGoesToHardware) {
+  Machine m = MakeMachine();
+  m.Charge(10);  // no domain set
+  EXPECT_EQ(m.accounting().CyclesOf(ukvm::kHardwareDomain), 10u);
+}
+
+TEST(Machine, EventsRunInTimeOrder) {
+  Machine m = MakeMachine();
+  std::vector<int> order;
+  m.ScheduleAt(200, [&] { order.push_back(2); });
+  m.ScheduleAt(100, [&] { order.push_back(1); });
+  m.ScheduleAt(300, [&] { order.push_back(3); });
+  m.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(m.Now(), 300u);
+}
+
+TEST(Machine, SameTimeEventsRunFifo) {
+  Machine m = MakeMachine();
+  std::vector<int> order;
+  m.ScheduleAt(100, [&] { order.push_back(1); });
+  m.ScheduleAt(100, [&] { order.push_back(2); });
+  m.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Machine, IdleTimeAttributedToIdleDomain) {
+  Machine m = MakeMachine();
+  m.ScheduleAt(1000, [] {});
+  m.RunUntilIdle();
+  EXPECT_EQ(m.accounting().CyclesOf(kIdleDomain), 1000u);
+}
+
+TEST(Machine, CancelledEventsDoNotRun) {
+  Machine m = MakeMachine();
+  bool ran = false;
+  const auto id = m.ScheduleAfter(50, [&] { ran = true; });
+  m.CancelEvent(id);
+  m.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Machine, RunForStopsAtDeadline) {
+  Machine m = MakeMachine();
+  int fired = 0;
+  m.ScheduleAt(100, [&] { ++fired; });
+  m.ScheduleAt(900, [&] { ++fired; });
+  m.RunFor(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(m.Now(), 500u);
+  EXPECT_TRUE(m.HasPendingEvents());
+}
+
+TEST(Machine, WaitUntilSatisfied) {
+  Machine m = MakeMachine();
+  bool flag = false;
+  m.ScheduleAt(250, [&] { flag = true; });
+  EXPECT_EQ(m.WaitUntil([&] { return flag; }, 1'000'000), Err::kNone);
+  EXPECT_GE(m.Now(), 250u);
+}
+
+TEST(Machine, WaitUntilTimesOut) {
+  Machine m = MakeMachine();
+  // Keep events trickling so the queue is never empty.
+  std::function<void()> tick = [&] { m.ScheduleAfter(100, tick); };
+  m.ScheduleAfter(100, tick);
+  EXPECT_EQ(m.WaitUntil([] { return false; }, 1000), Err::kTimedOut);
+}
+
+TEST(Machine, WaitUntilWouldBlockWithoutEvents) {
+  Machine m = MakeMachine();
+  EXPECT_EQ(m.WaitUntil([] { return false; }, 1000), Err::kWouldBlock);
+}
+
+class RecordingHandler : public TrapHandler {
+ public:
+  void HandleTrap(TrapFrame& frame) override {
+    traps.push_back(frame.vector);
+    frame.regs[0] = 0xBEEF;
+  }
+  void HandleInterrupt(IrqLine line) override { irqs.push_back(line.value()); }
+
+  std::vector<TrapVector> traps;
+  std::vector<uint32_t> irqs;
+};
+
+TEST(Machine, RaiseTrapChargesAndDispatches) {
+  Machine m = MakeMachine();
+  RecordingHandler handler;
+  m.SetTrapHandler(&handler);
+  TrapFrame frame;
+  frame.vector = TrapVector::kSyscall;
+  m.RaiseTrap(frame);
+  EXPECT_EQ(handler.traps.size(), 1u);
+  EXPECT_EQ(frame.regs[0], 0xBEEFu);
+  EXPECT_EQ(m.Now(), m.costs().trap_entry + m.costs().trap_return);
+}
+
+TEST(Machine, InterruptsDeliveredOnlyWhenEnabled) {
+  Machine m = MakeMachine();
+  RecordingHandler handler;
+  m.SetTrapHandler(&handler);
+  m.irq_controller().Assert(IrqLine(3));
+  m.DeliverPendingInterrupts();
+  EXPECT_TRUE(handler.irqs.empty());  // interrupts disabled by default
+  m.cpu().SetInterruptsEnabled(true);
+  m.DeliverPendingInterrupts();
+  ASSERT_EQ(handler.irqs.size(), 1u);
+  EXPECT_EQ(handler.irqs[0], 3u);
+}
+
+TEST(Machine, MaskedInterruptStaysPending) {
+  Machine m = MakeMachine();
+  RecordingHandler handler;
+  m.SetTrapHandler(&handler);
+  m.cpu().SetInterruptsEnabled(true);
+  m.irq_controller().SetMask(IrqLine(4), true);
+  m.irq_controller().Assert(IrqLine(4));
+  m.DeliverPendingInterrupts();
+  EXPECT_TRUE(handler.irqs.empty());
+  m.irq_controller().SetMask(IrqLine(4), false);
+  m.DeliverPendingInterrupts();
+  EXPECT_EQ(handler.irqs.size(), 1u);
+}
+
+TEST(Machine, LowestLineDeliveredFirst) {
+  Machine m = MakeMachine();
+  RecordingHandler handler;
+  m.SetTrapHandler(&handler);
+  m.cpu().SetInterruptsEnabled(true);
+  m.irq_controller().Assert(IrqLine(9));
+  m.irq_controller().Assert(IrqLine(2));
+  m.DeliverPendingInterrupts();
+  ASSERT_EQ(handler.irqs.size(), 2u);
+  EXPECT_EQ(handler.irqs[0], 2u);
+  EXPECT_EQ(handler.irqs[1], 9u);
+}
+
+TEST(Cpu, TranslateHitsAndFaults) {
+  Machine m = MakeMachine();
+  PageTable pt(12, 32);
+  ASSERT_EQ(pt.Map(0x4000, 5, PtePerms{false, true}), Err::kNone);
+  m.cpu().SwitchAddressSpace(&pt);
+
+  auto t = m.cpu().Translate(0x4010, /*write=*/false, /*user_access=*/true);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->paddr, m.memory().FrameBase(5) + 0x10);
+
+  // Write to a read-only page faults.
+  EXPECT_EQ(m.cpu().Translate(0x4010, true, true).error(), Err::kFault);
+  // Unmapped page faults.
+  EXPECT_EQ(m.cpu().Translate(0x9000, false, true).error(), Err::kFault);
+}
+
+TEST(Cpu, TranslateSetsAccessedAndDirty) {
+  Machine m = MakeMachine();
+  PageTable pt(12, 32);
+  ASSERT_EQ(pt.Map(0x4000, 5, PtePerms{true, true}), Err::kNone);
+  m.cpu().SwitchAddressSpace(&pt);
+  ASSERT_TRUE(m.cpu().Translate(0x4000, true, true).ok());
+  const Pte* pte = pt.Walk(0x4000);
+  EXPECT_TRUE(pte->accessed);
+  EXPECT_TRUE(pte->dirty);
+}
+
+TEST(Cpu, AddressSpaceSwitchFlushesUntaggedTlb) {
+  Machine m = MakeMachine();  // x86: untagged
+  PageTable a(12, 32);
+  PageTable b(12, 32);
+  ASSERT_EQ(a.Map(0x1000, 1, PtePerms{true, true}), Err::kNone);
+  m.cpu().SwitchAddressSpace(&a);
+  ASSERT_TRUE(m.cpu().Translate(0x1000, false, true).ok());
+  EXPECT_EQ(m.cpu().tlb().valid_entries(), 1u);
+  m.cpu().SwitchAddressSpace(&b);
+  EXPECT_EQ(m.cpu().tlb().valid_entries(), 0u);
+}
+
+TEST(Cpu, TaggedTlbSurvivesSwitch) {
+  Machine m(MakeMipsPlatform(), 1 << 20);
+  PageTable a(12, 40);
+  PageTable b(12, 40);
+  ASSERT_EQ(a.Map(0x1000, 1, PtePerms{true, true}), Err::kNone);
+  m.cpu().SwitchAddressSpace(&a);
+  ASSERT_TRUE(m.cpu().Translate(0x1000, false, true).ok());
+  m.cpu().SwitchAddressSpace(&b);
+  EXPECT_EQ(m.cpu().tlb().valid_entries(), 1u);
+}
+
+TEST(Cpu, RedundantSwitchIsFree) {
+  Machine m = MakeMachine();
+  PageTable a(12, 32);
+  m.cpu().SwitchAddressSpace(&a);
+  const uint64_t t = m.Now();
+  m.cpu().SwitchAddressSpace(&a);
+  EXPECT_EQ(m.Now(), t);
+}
+
+TEST(Segmentation, ExclusionChecks) {
+  SegmentState segs;
+  // Default: flat 4 GiB segments do NOT exclude anything.
+  EXPECT_FALSE(segs.AllExclude(0xFC00'0000ull, 0x1'0000'0000ull));
+  segs.TruncateAll(0xFC00'0000ull);
+  EXPECT_TRUE(segs.AllExclude(0xFC00'0000ull, 0x1'0000'0000ull));
+}
+
+TEST(Segmentation, SingleRegisterBreaksExclusion) {
+  SegmentState segs;
+  segs.TruncateAll(0xFC00'0000ull);
+  SegmentDescriptor flat;
+  flat.base = 0;
+  flat.limit = uint64_t{1} << 32;
+  segs.Set(SegmentReg::kGs, flat);  // glibc TLS-style full-range segment
+  EXPECT_FALSE(segs.AllExclude(0xFC00'0000ull, 0x1'0000'0000ull));
+}
+
+TEST(Segmentation, TrapReloadsOnlyTwoOfSix) {
+  // The architectural fact §3.2 hinges on.
+  EXPECT_EQ(kTrapReloadedSegments, 2u);
+  EXPECT_EQ(kSegmentRegCount, 6u);
+}
+
+TEST(Segmentation, DescriptorExcludes) {
+  SegmentDescriptor d;
+  d.base = 0;
+  d.limit = 0x1000;
+  EXPECT_TRUE(d.Excludes(0x1000, 0x2000));
+  EXPECT_FALSE(d.Excludes(0xFFF, 0x2000));
+  SegmentDescriptor high;
+  high.base = 0x8000;
+  high.limit = 0x1000;
+  EXPECT_TRUE(high.Excludes(0, 0x8000));
+  EXPECT_FALSE(high.Excludes(0x8FFF, 0x9000));
+}
+
+}  // namespace
+}  // namespace hwsim

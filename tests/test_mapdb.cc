@@ -1,0 +1,167 @@
+// Tests for the mapping database: the recursive map/grant/unmap structure
+// underlying the microkernel's resource-delegation role of IPC.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/ukernel/mapdb.h"
+
+namespace ukern {
+namespace {
+
+using ukvm::DomainId;
+using ukvm::Err;
+
+TEST(MapDb, AddAndFind) {
+  MapDb db;
+  MapNode* root = db.AddRoot(DomainId(1), 10, 100);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(db.Find(DomainId(1), 10), root);
+  EXPECT_EQ(db.Find(DomainId(1), 11), nullptr);
+  EXPECT_EQ(db.Find(DomainId(2), 10), nullptr);
+  EXPECT_EQ(db.node_count(), 1u);
+}
+
+TEST(MapDb, ChildDerivation) {
+  MapDb db;
+  MapNode* root = db.AddRoot(DomainId(1), 10, 100);
+  MapNode* child = db.AddChild(root, DomainId(2), 20, 100);
+  EXPECT_EQ(child->parent, root);
+  EXPECT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(db.node_count(), 2u);
+}
+
+TEST(MapDb, RemoveSubtreeKeepsSelf) {
+  MapDb db;
+  MapNode* root = db.AddRoot(DomainId(1), 10, 100);
+  db.AddChild(root, DomainId(2), 20, 100);
+  db.AddChild(root, DomainId(3), 30, 100);
+
+  std::set<uint32_t> removed_tasks;
+  db.RemoveSubtree(root, /*include_self=*/false,
+                   [&](DomainId task, hwsim::Vaddr) { removed_tasks.insert(task.value()); });
+  EXPECT_EQ(removed_tasks, (std::set<uint32_t>{2, 3}));
+  EXPECT_EQ(db.node_count(), 1u);
+  EXPECT_NE(db.Find(DomainId(1), 10), nullptr);
+  EXPECT_EQ(db.Find(DomainId(2), 20), nullptr);
+}
+
+TEST(MapDb, RemoveSubtreeIncludingSelf) {
+  MapDb db;
+  MapNode* root = db.AddRoot(DomainId(1), 10, 100);
+  MapNode* child = db.AddChild(root, DomainId(2), 20, 100);
+  db.AddChild(child, DomainId(3), 30, 100);
+
+  int removed = 0;
+  db.RemoveSubtree(child, /*include_self=*/true, [&](DomainId, hwsim::Vaddr) { ++removed; });
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(db.node_count(), 1u);
+  EXPECT_TRUE(root->children.empty());
+}
+
+TEST(MapDb, DeepChainRevocation) {
+  MapDb db;
+  MapNode* node = db.AddRoot(DomainId(0), 0, 55);
+  for (uint32_t i = 1; i <= 20; ++i) {
+    node = db.AddChild(node, DomainId(i), i, 55);
+  }
+  ASSERT_EQ(db.node_count(), 21u);
+  int removed = 0;
+  db.RemoveSubtree(db.Find(DomainId(5), 5), /*include_self=*/true,
+                   [&](DomainId, hwsim::Vaddr) { ++removed; });
+  EXPECT_EQ(removed, 16);  // nodes 5..20
+  EXPECT_EQ(db.node_count(), 5u);
+}
+
+TEST(MapDb, MoveNodeRekeys) {
+  MapDb db;
+  MapNode* root = db.AddRoot(DomainId(1), 10, 100);
+  MapNode* child = db.AddChild(root, DomainId(2), 20, 100);
+  EXPECT_EQ(db.MoveNode(child, DomainId(3), 30), Err::kNone);
+  EXPECT_EQ(db.Find(DomainId(2), 20), nullptr);
+  EXPECT_EQ(db.Find(DomainId(3), 30), child);
+  EXPECT_EQ(child->parent, root);  // derivation ancestry preserved
+}
+
+TEST(MapDb, MoveNodeCollisionFails) {
+  MapDb db;
+  MapNode* a = db.AddRoot(DomainId(1), 10, 100);
+  db.AddRoot(DomainId(2), 20, 200);
+  EXPECT_EQ(db.MoveNode(a, DomainId(2), 20), Err::kAlreadyExists);
+  EXPECT_EQ(db.Find(DomainId(1), 10), a);  // unchanged on failure
+}
+
+TEST(MapDb, RemoveAllOfTask) {
+  MapDb db;
+  MapNode* r1 = db.AddRoot(DomainId(1), 10, 100);
+  MapNode* r2 = db.AddRoot(DomainId(1), 11, 101);
+  db.AddChild(r1, DomainId(2), 20, 100);   // derived into task 2
+  db.AddChild(r2, DomainId(3), 30, 101);   // derived into task 3
+  db.AddRoot(DomainId(4), 40, 400);        // unrelated
+
+  int removed = 0;
+  db.RemoveAllOf(DomainId(1), [&](DomainId, hwsim::Vaddr) { ++removed; });
+  EXPECT_EQ(removed, 4);  // both roots and both derived mappings
+  EXPECT_EQ(db.node_count(), 1u);
+  EXPECT_NE(db.Find(DomainId(4), 40), nullptr);
+  EXPECT_EQ(db.Find(DomainId(2), 20), nullptr);
+}
+
+TEST(MapDb, RemoveAllOfTaskNestedWithinOwnSubtree) {
+  // Task 1 maps to task 2 which maps back into task 1: destruction of task
+  // 1 must not double-remove or leave orphans.
+  MapDb db;
+  MapNode* r = db.AddRoot(DomainId(1), 10, 100);
+  MapNode* c = db.AddChild(r, DomainId(2), 20, 100);
+  db.AddChild(c, DomainId(1), 11, 100);
+  int removed = 0;
+  db.RemoveAllOf(DomainId(1), [&](DomainId, hwsim::Vaddr) { ++removed; });
+  EXPECT_EQ(removed, 3);
+  EXPECT_EQ(db.node_count(), 0u);
+}
+
+// Property: after any random sequence of adds and subtree removals, the
+// index and the forest agree.
+TEST(MapDb, PropertyIndexMatchesForest) {
+  std::mt19937_64 rng(2025);
+  MapDb db;
+  std::vector<MapNode*> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto op = rng() % 10;
+    if (op < 5 || live.empty()) {
+      const DomainId task{static_cast<uint32_t>(rng() % 8)};
+      const hwsim::Vaddr vpn = rng() % 4096;
+      if (db.Find(task, vpn) != nullptr) {
+        continue;
+      }
+      MapNode* node = live.empty() || op % 2 == 0
+                          ? db.AddRoot(task, vpn, rng() % 1000)
+                          : db.AddChild(live[rng() % live.size()], task, vpn, rng() % 1000);
+      live.push_back(node);
+    } else {
+      MapNode* victim = live[rng() % live.size()];
+      std::set<MapNode*> removed;
+      // Collect the subtree that is about to die.
+      std::function<void(MapNode*)> collect = [&](MapNode* n) {
+        removed.insert(n);
+        for (auto& ch : n->children) {
+          collect(ch.get());
+        }
+      };
+      collect(victim);
+      db.RemoveSubtree(victim, /*include_self=*/true, [](DomainId, hwsim::Vaddr) {});
+      std::erase_if(live, [&](MapNode* n) { return removed.contains(n); });
+    }
+    ASSERT_EQ(db.node_count(), live.size());
+    if (!live.empty()) {
+      MapNode* probe = live[rng() % live.size()];
+      ASSERT_EQ(db.Find(probe->task, probe->vpn), probe);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ukern

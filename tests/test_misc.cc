@@ -1,0 +1,109 @@
+// Remaining unit coverage: the priority run queue, the cost model's
+// arithmetic, and platform-descriptor invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hw/cost_model.h"
+#include "src/hw/platform.h"
+#include "src/ukernel/sched.h"
+
+namespace {
+
+using ukvm::ThreadId;
+
+TEST(RunQueue, PriorityOrdering) {
+  ukern::RunQueue q;
+  q.Enqueue(ThreadId(1), 10);
+  q.Enqueue(ThreadId(2), 200);
+  q.Enqueue(ThreadId(3), 100);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.PickNext()->value(), 2u);
+  EXPECT_EQ(q.PickNext()->value(), 3u);
+  EXPECT_EQ(q.PickNext()->value(), 1u);
+  EXPECT_FALSE(q.PickNext().has_value());
+}
+
+TEST(RunQueue, RoundRobinWithinPriority) {
+  ukern::RunQueue q;
+  q.Enqueue(ThreadId(1), 50);
+  q.Enqueue(ThreadId(2), 50);
+  q.Enqueue(ThreadId(3), 50);
+  EXPECT_EQ(q.PickNext()->value(), 1u);
+  q.Enqueue(ThreadId(1), 50);  // re-enqueue at the tail
+  EXPECT_EQ(q.PickNext()->value(), 2u);
+  EXPECT_EQ(q.PickNext()->value(), 3u);
+  EXPECT_EQ(q.PickNext()->value(), 1u);
+}
+
+TEST(RunQueue, RemoveEverywhere) {
+  ukern::RunQueue q;
+  q.Enqueue(ThreadId(7), 10);
+  q.Enqueue(ThreadId(8), 10);
+  q.Enqueue(ThreadId(7), 20);
+  q.Remove(ThreadId(7));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.PickNext()->value(), 8u);
+}
+
+TEST(RunQueue, EmptyBehaviour) {
+  ukern::RunQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.PickNext().has_value());
+  q.Remove(ThreadId(1));  // removing a missing thread is a no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CostModel, CopyCostRoundsUpToCacheLines) {
+  hwsim::CostModel costs;
+  EXPECT_EQ(costs.CopyCost(0), 0u);
+  EXPECT_EQ(costs.CopyCost(1), costs.copy_per_line);
+  EXPECT_EQ(costs.CopyCost(64), costs.copy_per_line);
+  EXPECT_EQ(costs.CopyCost(65), 2 * costs.copy_per_line);
+  EXPECT_EQ(costs.CopyCost(4096), 64 * costs.copy_per_line);
+}
+
+TEST(CostModel, DmaCheaperThanCpuCopy) {
+  hwsim::CostModel costs;
+  EXPECT_LT(costs.DmaCost(4096), costs.CopyCost(4096));
+}
+
+TEST(CostModel, FastTrapCheaperThanFullTrap) {
+  for (const auto& platform : hwsim::AllPlatforms()) {
+    EXPECT_LT(platform.costs.fast_trap_entry, platform.costs.trap_entry) << platform.name;
+    EXPECT_LT(platform.costs.fast_trap_return, platform.costs.trap_return) << platform.name;
+  }
+}
+
+TEST(Platforms, DescriptorsAreDistinctAndSane) {
+  std::set<std::string> names;
+  for (const auto& platform : hwsim::AllPlatforms()) {
+    EXPECT_TRUE(names.insert(platform.name).second) << "duplicate " << platform.name;
+    EXPECT_GE(platform.page_shift, 12u);
+    EXPECT_LE(platform.page_shift, 14u);
+    EXPECT_GT(platform.tlb_entries, 0u);
+    EXPECT_GT(platform.irq_lines, 0u);
+    EXPECT_GE(platform.vaddr_bits, 32u);
+    // Segmentation cost only where segmentation exists.
+    if (!platform.has_segmentation) {
+      EXPECT_EQ(platform.costs.segment_reload, 0u) << platform.name;
+    }
+  }
+  EXPECT_EQ(hwsim::AllPlatforms().size(), 6u);
+}
+
+TEST(Platforms, OnlyX86HasSegmentation) {
+  for (const auto& platform : hwsim::AllPlatforms()) {
+    EXPECT_EQ(platform.has_segmentation, platform.name == "x86-32") << platform.name;
+  }
+}
+
+TEST(Platforms, TaggedTlbPlatformsSkipFlushCosts) {
+  const auto mips = hwsim::MakeMipsPlatform();
+  EXPECT_TRUE(mips.tagged_tlb);
+  const auto x86 = hwsim::MakeX86Platform();
+  EXPECT_FALSE(x86.tagged_tlb);
+}
+
+}  // namespace

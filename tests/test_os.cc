@@ -1,0 +1,354 @@
+// Tests for MiniOS: the VFS, the net stack, processes/fds, and the syscall
+// surface, exercised on the native stack.
+
+#include <gtest/gtest.h>
+
+#include "src/os/netstack.h"
+#include "src/os/vfs.h"
+#include "src/stacks/native_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace minios {
+namespace {
+
+using ukvm::Err;
+using ukvm::ProcessId;
+
+std::span<const uint8_t> Bytes(const char* s) {
+  return {reinterpret_cast<const uint8_t*>(s), strlen(s)};
+}
+
+// --- Packet format --------------------------------------------------------------
+
+TEST(PacketFormat, BuildParseRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3};
+  auto packet = BuildPacket(80, 1024, payload);
+  ParsedPacket parsed;
+  ASSERT_TRUE(ParsePacket(packet, parsed));
+  EXPECT_EQ(parsed.dst_port, 80);
+  EXPECT_EQ(parsed.src_port, 1024);
+  EXPECT_EQ(std::vector<uint8_t>(parsed.payload.begin(), parsed.payload.end()), payload);
+}
+
+TEST(PacketFormat, RejectsShortAndTruncated) {
+  ParsedPacket parsed;
+  std::vector<uint8_t> tiny = {1, 2, 3};
+  EXPECT_FALSE(ParsePacket(tiny, parsed));
+  auto packet = BuildPacket(80, 1024, std::vector<uint8_t>(10));
+  packet.resize(packet.size() - 1);  // truncate payload
+  EXPECT_FALSE(ParsePacket(packet, parsed));
+}
+
+TEST(PacketFormat, EmptyPayloadOk) {
+  auto packet = BuildPacket(5, 6, {});
+  ParsedPacket parsed;
+  ASSERT_TRUE(ParsePacket(packet, parsed));
+  EXPECT_TRUE(parsed.payload.empty());
+}
+
+// --- VFS and syscalls on the native stack ------------------------------------------
+
+class OsTest : public ::testing::Test {
+ protected:
+  OsTest() {
+    pid_ = *stack_.os().Spawn("tester");
+  }
+
+  ustack::NativeStack stack_;
+  ProcessId pid_;
+};
+
+TEST_F(OsTest, NullGetPidGetTime) {
+  EXPECT_EQ(stack_.os().Null(pid_), 0);
+  EXPECT_EQ(stack_.os().GetPid(pid_), static_cast<SyscallRet>(pid_.value()));
+  const SyscallRet t1 = stack_.os().GetTime(pid_);
+  const SyscallRet t2 = stack_.os().GetTime(pid_);
+  EXPECT_GT(t2, t1);  // syscalls consume simulated time
+}
+
+TEST_F(OsTest, ConsoleWrite) {
+  EXPECT_EQ(stack_.os().Write(pid_, 1, Bytes("hello")), 5);
+  const auto& log = stack_.port().console_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back(), "hello");
+}
+
+TEST_F(OsTest, FileCreateWriteReadUnlink) {
+  auto& os = stack_.os();
+  const SyscallRet fd = os.Create(pid_, "data.txt");
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> content(1000);
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<uint8_t>(i % 251);
+  }
+  EXPECT_EQ(os.Write(pid_, fd, content), 1000);
+  EXPECT_EQ(os.Seek(pid_, fd, 0), 0);
+  std::vector<uint8_t> back(1000);
+  EXPECT_EQ(os.Read(pid_, fd, back), 1000);
+  EXPECT_EQ(back, content);
+  EXPECT_EQ(os.Close(pid_, fd), 0);
+  EXPECT_EQ(os.Unlink(pid_, "data.txt"), 0);
+  EXPECT_LT(os.Open(pid_, "data.txt"), 0);
+}
+
+TEST_F(OsTest, OpenMissingFileFails) {
+  EXPECT_EQ(ErrOf(stack_.os().Open(pid_, "ghost")), Err::kNotFound);
+}
+
+TEST_F(OsTest, CreateDuplicateFails) {
+  ASSERT_GE(stack_.os().Create(pid_, "dup"), 0);
+  EXPECT_EQ(ErrOf(stack_.os().Create(pid_, "dup")), Err::kAlreadyExists);
+}
+
+TEST_F(OsTest, ReadAtEofReturnsZero) {
+  auto& os = stack_.os();
+  const SyscallRet fd = os.Create(pid_, "empty");
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> buf(10);
+  EXPECT_EQ(os.Read(pid_, fd, buf), 0);
+}
+
+TEST_F(OsTest, PartialReadAtFileEnd) {
+  auto& os = stack_.os();
+  const SyscallRet fd = os.Create(pid_, "f");
+  std::vector<uint8_t> data(100, 0xAA);
+  ASSERT_EQ(os.Write(pid_, fd, data), 100);
+  ASSERT_EQ(os.Seek(pid_, fd, 90), 90);
+  std::vector<uint8_t> buf(50);
+  EXPECT_EQ(os.Read(pid_, fd, buf), 10);
+}
+
+TEST_F(OsTest, SparseOffsetsAndOverwrite) {
+  auto& os = stack_.os();
+  const SyscallRet fd = os.Create(pid_, "sparse");
+  std::vector<uint8_t> a(600, 0x11);
+  ASSERT_EQ(os.Write(pid_, fd, a), 600);
+  ASSERT_EQ(os.Seek(pid_, fd, 100), 100);
+  std::vector<uint8_t> b(100, 0x22);
+  ASSERT_EQ(os.Write(pid_, fd, b), 100);
+
+  ASSERT_EQ(os.Seek(pid_, fd, 0), 0);
+  std::vector<uint8_t> all(600);
+  ASSERT_EQ(os.Read(pid_, fd, all), 600);
+  EXPECT_EQ(all[99], 0x11);
+  EXPECT_EQ(all[100], 0x22);
+  EXPECT_EQ(all[199], 0x22);
+  EXPECT_EQ(all[200], 0x11);
+}
+
+TEST_F(OsTest, BadFdRejected) {
+  auto& os = stack_.os();
+  std::vector<uint8_t> buf(4);
+  EXPECT_EQ(ErrOf(os.Read(pid_, 99, buf)), Err::kBadHandle);
+  EXPECT_EQ(ErrOf(os.Close(pid_, -1)), Err::kBadHandle);
+}
+
+TEST_F(OsTest, MaxFileSizeEnforced) {
+  auto& os = stack_.os();
+  const SyscallRet fd = os.Create(pid_, "big");
+  ASSERT_GE(fd, 0);
+  const uint64_t max = os.vfs().MaxFileSize();
+  std::vector<uint8_t> chunk(static_cast<size_t>(max), 1);
+  EXPECT_EQ(os.Write(pid_, fd, chunk), static_cast<SyscallRet>(max));
+  std::vector<uint8_t> extra(1, 2);
+  EXPECT_EQ(ErrOf(os.Write(pid_, fd, extra)), Err::kOutOfRange);
+}
+
+TEST_F(OsTest, ExitMakesProcessZombie) {
+  auto& os = stack_.os();
+  EXPECT_EQ(os.Exit(pid_, 3), 0);
+  EXPECT_EQ(ErrOf(os.Null(pid_)), Err::kBadHandle);
+  Process* proc = os.FindProcess(pid_);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->state, ProcState::kZombie);
+  EXPECT_EQ(proc->exit_code, 3);
+}
+
+TEST_F(OsTest, UnknownProcessRejected) {
+  EXPECT_EQ(ErrOf(stack_.os().Null(ProcessId(12345))), Err::kBadHandle);
+}
+
+TEST_F(OsTest, VfsSurvivesRemount) {
+  auto& os = stack_.os();
+  const SyscallRet fd = os.Create(pid_, "persist");
+  std::vector<uint8_t> data = {42, 43, 44};
+  ASSERT_EQ(os.Write(pid_, fd, data), 3);
+  ASSERT_EQ(os.Close(pid_, fd), 0);
+
+  // Re-mount a second VFS instance on the same device.
+  Vfs vfs2(*stack_.port().block());
+  ASSERT_EQ(vfs2.Mount(), Err::kNone);
+  auto inode = vfs2.LookUp("persist");
+  ASSERT_TRUE(inode.ok());
+  std::vector<uint8_t> back(3);
+  ASSERT_TRUE(vfs2.ReadAt(*inode, 0, back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(OsTest, VfsListAndStat) {
+  auto& os = stack_.os();
+  ASSERT_GE(os.Create(pid_, "a"), 0);
+  const SyscallRet fd = os.Create(pid_, "b");
+  std::vector<uint8_t> data(10, 1);
+  ASSERT_EQ(os.Write(pid_, fd, data), 10);
+  const auto list = os.vfs().List();
+  EXPECT_EQ(list.size(), 2u);
+  auto stat = os.vfs().Stat(static_cast<uint32_t>(0));
+  ASSERT_TRUE(stat.ok());
+}
+
+TEST_F(OsTest, MountRejectsUnformattedDevice) {
+  // A VFS on a fresh region of a device without a superblock must fail.
+  ustack::NativeStack other;
+  // Corrupt the superblock.
+  std::vector<uint8_t> junk(512, 0xFF);
+  ASSERT_EQ(other.disk().WriteBacking(0, junk), Err::kNone);
+  Vfs vfs(*other.port().block());
+  EXPECT_EQ(vfs.Mount(), Err::kInvalidArgument);
+}
+
+// --- Cooperative multi-process scheduling --------------------------------------
+
+TEST_F(OsTest, ProgramsInterleaveRoundRobin) {
+  auto& os = stack_.os();
+  auto a = os.Spawn("a");
+  auto b = os.Spawn("b");
+  std::vector<char> order;
+  int a_left = 3, b_left = 3;
+  ASSERT_EQ(os.AttachProgram(*a, [&] {
+    order.push_back('a');
+    (void)os.Null(*a);
+    return --a_left <= 0;
+  }), Err::kNone);
+  ASSERT_EQ(os.AttachProgram(*b, [&] {
+    order.push_back('b');
+    (void)os.Null(*b);
+    return --b_left <= 0;
+  }), Err::kNone);
+  const uint64_t quanta = os.RunPrograms();
+  EXPECT_EQ(quanta, 6u);
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'a', 'b', 'a', 'b'}));
+  EXPECT_EQ(os.FindProcess(*a)->state, ProcState::kZombie);
+  EXPECT_EQ(os.FindProcess(*b)->state, ProcState::kZombie);
+}
+
+TEST_F(OsTest, HigherPriorityProgramRunsFirst) {
+  auto& os = stack_.os();
+  auto low = os.Spawn("low", 10);
+  auto high = os.Spawn("high", 200);
+  std::vector<char> order;
+  int l = 2, h = 2;
+  ASSERT_EQ(os.AttachProgram(*low, [&] {
+    order.push_back('l');
+    return --l <= 0;
+  }), Err::kNone);
+  ASSERT_EQ(os.AttachProgram(*high, [&] {
+    order.push_back('h');
+    return --h <= 0;
+  }), Err::kNone);
+  (void)os.RunPrograms();
+  EXPECT_EQ(order, (std::vector<char>{'h', 'h', 'l', 'l'}));
+}
+
+TEST_F(OsTest, ProgramExitingViaSyscallStopsScheduling) {
+  auto& os = stack_.os();
+  auto a = os.Spawn("a");
+  int steps = 0;
+  ASSERT_EQ(os.AttachProgram(*a, [&] {
+    ++steps;
+    if (steps == 2) {
+      (void)os.Exit(*a, 7);  // process exits mid-program
+    }
+    return false;  // claims not done — the zombie state must win
+  }), Err::kNone);
+  const uint64_t quanta = os.RunPrograms();
+  EXPECT_EQ(quanta, 2u);
+  EXPECT_EQ(os.FindProcess(*a)->exit_code, 7);
+}
+
+TEST_F(OsTest, AttachValidation) {
+  auto& os = stack_.os();
+  EXPECT_EQ(os.AttachProgram(ukvm::ProcessId(999), [] { return true; }), Err::kBadHandle);
+  auto a = os.Spawn("a");
+  EXPECT_EQ(os.AttachProgram(*a, nullptr), Err::kInvalidArgument);
+  (void)os.Exit(*a, 0);
+  EXPECT_EQ(os.AttachProgram(*a, [] { return true; }), Err::kBadHandle);
+}
+
+TEST_F(OsTest, RunawayProgramHitsQuantaGuard) {
+  auto& os = stack_.os();
+  auto a = os.Spawn("a");
+  ASSERT_EQ(os.AttachProgram(*a, [&] {
+    (void)os.Null(*a);
+    return false;  // never finishes
+  }), Err::kNone);
+  EXPECT_EQ(os.RunPrograms(/*max_quanta=*/100), 100u);
+}
+
+// --- Networking through the native stack -------------------------------------------
+
+TEST_F(OsTest, UdpSendReachesWire) {
+  uwork::WireHost wire(stack_.machine(), stack_.nic());
+  wire.SetCapture(true);
+  auto& os = stack_.os();
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  EXPECT_EQ(os.NetSend(pid_, 80, 7, payload), 4);
+  stack_.machine().RunUntilIdle();
+  ASSERT_EQ(wire.packets_received(), 1u);
+  ParsedPacket parsed;
+  ASSERT_TRUE(ParsePacket(wire.captured()[0], parsed));
+  EXPECT_EQ(parsed.dst_port, 80);
+  EXPECT_EQ(std::vector<uint8_t>(parsed.payload.begin(), parsed.payload.end()), payload);
+}
+
+TEST_F(OsTest, UdpReceiveFromWire) {
+  uwork::WireHost wire(stack_.machine(), stack_.nic());
+  auto& os = stack_.os();
+  ASSERT_EQ(os.NetBind(pid_, 40), 0);
+  wire.StartStream(/*dst_port=*/40, /*payload_size=*/100, /*interval=*/1000, /*count=*/5);
+  stack_.machine().RunUntilIdle();
+  std::vector<uint8_t> buf(2048);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(os.NetRecv(pid_, 40, buf), 100) << "packet " << i;
+  }
+  EXPECT_EQ(ErrOf(os.NetRecv(pid_, 40, buf)), Err::kWouldBlock);
+}
+
+TEST_F(OsTest, UdpRecvUnboundPortFails) {
+  std::vector<uint8_t> buf(16);
+  EXPECT_EQ(ErrOf(stack_.os().NetRecv(pid_, 999, buf)), Err::kNotFound);
+}
+
+TEST_F(OsTest, UdpEchoRoundTrip) {
+  uwork::WireHost wire(stack_.machine(), stack_.nic());
+  wire.SetEcho(true);
+  auto& os = stack_.os();
+  ASSERT_EQ(os.NetBind(pid_, 7), 0);
+  std::vector<uint8_t> payload = {9, 9, 9};
+  ASSERT_EQ(os.NetSend(pid_, 80, 7, payload), 3);
+  stack_.machine().RunUntilIdle();
+  std::vector<uint8_t> buf(16);
+  EXPECT_EQ(os.NetRecv(pid_, 7, buf), 3);
+  EXPECT_EQ(buf[0], 9);
+}
+
+TEST_F(OsTest, OversizeDatagramRejected) {
+  std::vector<uint8_t> big(3000);
+  EXPECT_EQ(ErrOf(stack_.os().NetSend(pid_, 80, 7, big)), Err::kInvalidArgument);
+}
+
+TEST_F(OsTest, WorkloadHelpersAllSucceed) {
+  uwork::WireHost wire(stack_.machine(), stack_.nic());
+  auto r1 = uwork::RunNullSyscalls(stack_.machine(), stack_.os(), pid_, 50);
+  EXPECT_EQ(r1.ops_succeeded, 50u);
+  auto r2 = uwork::RunFileChurn(stack_.machine(), stack_.os(), pid_, 3, 1024, "wl");
+  EXPECT_DOUBLE_EQ(r2.SuccessRate(), 1.0);
+  auto r3 = uwork::RunUdpSend(stack_.machine(), stack_.os(), pid_, 80, 256, 10);
+  EXPECT_EQ(r3.ops_succeeded, 10u);
+  stack_.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 10u);
+}
+
+}  // namespace
+}  // namespace minios

@@ -1,0 +1,303 @@
+// Property-based tests: randomised sequences checked against simple models,
+// parameterized across platforms and sizes (gtest TEST_P sweeps).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "src/hw/machine.h"
+#include "src/os/netstack.h"
+#include "src/os/vfs.h"
+#include "src/stacks/native_stack.h"
+#include "src/ukernel/kernel.h"
+#include "src/vmm/hypervisor.h"
+
+namespace {
+
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::ThreadId;
+
+// --- IPC string-transfer integrity across platforms and sizes -----------------
+
+class IpcStringProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IpcStringProperty, RandomPayloadsArriveIntact) {
+  const hwsim::Platform platform = hwsim::AllPlatforms()[GetParam()];
+  hwsim::Machine machine(platform, 32 << 20);
+  ukern::Kernel kernel(machine);
+
+  const auto page = static_cast<uint32_t>(machine.memory().page_size());
+  const uint32_t window_pages = 20;
+
+  std::vector<uint8_t> last_seen;
+  auto MakeSide = [&](hwsim::Vaddr window, ukern::IpcHandler handler) {
+    auto task = kernel.CreateTask(ThreadId::Invalid());
+    auto thread = kernel.CreateThread(*task, 128, std::move(handler));
+    ukern::Task* t = kernel.FindTask(*task);
+    for (uint32_t i = 0; i < window_pages; ++i) {
+      auto frame = machine.memory().AllocFrame(*task);
+      EXPECT_TRUE(frame.ok());
+      const hwsim::Vaddr va = window + uint64_t{i} * page;
+      EXPECT_EQ(t->space.Map(va, *frame, hwsim::PtePerms{true, true}), Err::kNone);
+      kernel.mapdb().AddRoot(*task, t->space.VpnOf(va), *frame);
+    }
+    (void)kernel.SetRecvBuffer(*thread, window, window_pages * page);
+    return *thread;
+  };
+  ThreadId server = MakeSide(0x100000, [&](ThreadId, ukern::IpcMessage msg) {
+    last_seen = msg.string_data;
+    return ukern::IpcMessage{};
+  });
+  ThreadId client = MakeSide(0x400000, nullptr);
+  ukern::Task* client_task = kernel.FindTask(*kernel.TaskOf(client));
+
+  std::mt19937_64 rng(42 + GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const uint32_t offset = static_cast<uint32_t>(rng() % (2 * page));
+    const uint32_t max_len = window_pages * page - offset;
+    const uint32_t len = 1 + static_cast<uint32_t>(rng() % std::min<uint32_t>(max_len, 5 * page));
+
+    std::vector<uint8_t> payload(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      payload[i] = static_cast<uint8_t>(rng());
+    }
+    // Materialise in the client's window at a random offset.
+    uint32_t done = 0;
+    while (done < len) {
+      const hwsim::Vaddr va = 0x400000 + offset + done;
+      const uint32_t chunk =
+          static_cast<uint32_t>(std::min<uint64_t>(len - done, page - (va % page)));
+      const hwsim::Pte* pte = client_task->space.Walk(va);
+      ASSERT_NE(pte, nullptr);
+      machine.memory().Write(machine.memory().FrameBase(pte->frame) + (va % page),
+                             std::span<const uint8_t>(&payload[done], chunk));
+      done += chunk;
+    }
+    ukern::IpcMessage msg = ukern::IpcMessage::Short(1);
+    msg.has_string = true;
+    msg.string = ukern::StringItem{0x400000 + offset, len};
+    ukern::IpcMessage reply = kernel.Call(client, server, msg);
+    ASSERT_EQ(reply.status, Err::kNone) << "round " << round;
+    ASSERT_EQ(last_seen, payload) << "round " << round << " len " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, IpcStringProperty,
+                         ::testing::Range<size_t>(0, hwsim::AllPlatforms().size()));
+
+// --- Grant-table invariants under random operations ------------------------------
+
+TEST(GrantTableProperty, OwnershipAndP2mStayConsistent) {
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 16 << 20);
+  uvmm::Hypervisor hv(machine);
+  DomainId a = *hv.CreateDomain("A", 128, true);
+  DomainId b = *hv.CreateDomain("B", 128, false);
+
+  std::mt19937_64 rng(7);
+  std::vector<std::pair<DomainId, uint32_t>> live_access_refs;  // (granter, ref)
+
+  for (int step = 0; step < 2000; ++step) {
+    const DomainId from = rng() % 2 == 0 ? a : b;
+    const DomainId to = from == a ? b : a;
+    switch (rng() % 4) {
+      case 0: {  // grant access
+        auto ref = hv.HcGrantAccess(from, to, rng() % 128, rng() % 2 == 0);
+        ASSERT_TRUE(ref.ok());
+        live_access_refs.emplace_back(from, *ref);
+        break;
+      }
+      case 1: {  // end a random grant (may be busy/gone — both fine)
+        if (!live_access_refs.empty()) {
+          const size_t idx = rng() % live_access_refs.size();
+          (void)hv.HcGrantEnd(live_access_refs[idx].first, live_access_refs[idx].second);
+          live_access_refs.erase(live_access_refs.begin() + static_cast<ptrdiff_t>(idx));
+        }
+        break;
+      }
+      case 2: {  // copy through a fresh grant
+        auto ref = hv.HcGrantAccess(from, to, rng() % 128, true);
+        ASSERT_TRUE(ref.ok());
+        const uint32_t len = 1 + static_cast<uint32_t>(rng() % 4096);
+        const uint64_t off = rng() % (4096 - std::min(len, 4095u));
+        const uint32_t room = 4096u - static_cast<uint32_t>(off);
+        (void)hv.HcGrantCopy(to, from, *ref, off, rng() % 128, 0, std::min(len, room),
+                             rng() % 2 == 0);
+        (void)hv.HcGrantEnd(from, *ref);
+        break;
+      }
+      default: {  // page flip
+        auto slot = hv.HcGrantTransferSlot(from, to, rng() % 128);
+        ASSERT_TRUE(slot.ok());
+        auto got = hv.HcGrantTransfer(to, rng() % 128, from, *slot);
+        ASSERT_TRUE(got.ok());
+        break;
+      }
+    }
+    // Invariant: every p2m entry is owned by its domain, and no frame
+    // appears in two p2m maps.
+    if (step % 100 == 0) {
+      std::set<hwsim::Frame> seen;
+      for (DomainId dom : {a, b}) {
+        uvmm::Domain* d = hv.FindDomain(dom);
+        for (hwsim::Frame frame : d->p2m) {
+          ASSERT_EQ(machine.memory().OwnerOf(frame), dom) << "step " << step;
+          ASSERT_TRUE(seen.insert(frame).second) << "frame aliased at step " << step;
+        }
+      }
+    }
+  }
+}
+
+// --- VFS against a model filesystem -------------------------------------------------
+
+TEST(VfsProperty, RandomOpsAgreeWithModel) {
+  ustack::NativeStack stack;
+  minios::Vfs& vfs = stack.os().vfs();
+  std::map<std::string, std::vector<uint8_t>> model;
+  std::mt19937_64 rng(99);
+
+  const std::vector<std::string> names = {"a", "b", "c", "d", "e"};
+  for (int step = 0; step < 300; ++step) {
+    const std::string& name = names[rng() % names.size()];
+    switch (rng() % 4) {
+      case 0: {  // create
+        auto inode = vfs.Create(name);
+        if (model.contains(name)) {
+          ASSERT_EQ(inode.error(), Err::kAlreadyExists);
+        } else {
+          ASSERT_TRUE(inode.ok());
+          model[name] = {};
+        }
+        break;
+      }
+      case 1: {  // unlink
+        const Err err = vfs.Unlink(name);
+        ASSERT_EQ(err == Err::kNone, model.erase(name) > 0);
+        break;
+      }
+      case 2: {  // write at random offset (within max file size)
+        auto inode = vfs.LookUp(name);
+        if (!inode.ok()) {
+          ASSERT_FALSE(model.contains(name));
+          break;
+        }
+        auto& file = model[name];
+        const uint64_t max_off = std::min<uint64_t>(file.size(), vfs.MaxFileSize() - 1);
+        const uint64_t off = rng() % (max_off + 1);
+        const uint32_t len =
+            1 + static_cast<uint32_t>(rng() % std::min<uint64_t>(vfs.MaxFileSize() - off, 2000));
+        std::vector<uint8_t> data(len);
+        for (auto& byte : data) {
+          byte = static_cast<uint8_t>(rng());
+        }
+        ASSERT_TRUE(vfs.WriteAt(*inode, off, data).ok());
+        if (file.size() < off + len) {
+          file.resize(off + len);
+        }
+        std::copy(data.begin(), data.end(), file.begin() + static_cast<ptrdiff_t>(off));
+        break;
+      }
+      default: {  // read back and compare
+        auto inode = vfs.LookUp(name);
+        if (!inode.ok()) {
+          break;
+        }
+        const auto& file = model[name];
+        std::vector<uint8_t> back(file.size());
+        auto n = vfs.ReadAt(*inode, 0, back);
+        ASSERT_TRUE(n.ok());
+        ASSERT_EQ(*n, file.size());
+        ASSERT_EQ(back, file) << "file " << name << " step " << step;
+        break;
+      }
+    }
+  }
+}
+
+// --- NetStack FIFO property ----------------------------------------------------------
+
+TEST(NetStackProperty, PerPortFifoPreserved) {
+  // A loopback device delivering synchronously.
+  class Loop : public minios::NetDevice {
+   public:
+    Err Send(std::span<const uint8_t> packet) override {
+      if (handler_) {
+        handler_(packet);
+      }
+      return Err::kNone;
+    }
+    void SetRecvHandler(RecvHandler handler) override { handler_ = std::move(handler); }
+    uint32_t mtu() const override { return 1514; }
+
+   private:
+    RecvHandler handler_;
+  } loop;
+
+  minios::NetStack net(loop);
+  std::map<uint16_t, std::deque<uint8_t>> model;  // port -> expected first bytes
+  std::mt19937_64 rng(123);
+  for (uint16_t port : {10, 20, 30}) {
+    ASSERT_EQ(net.Bind(port), Err::kNone);
+    model[port] = {};
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const uint16_t port = static_cast<uint16_t>(10 * (1 + rng() % 3));
+    if (rng() % 2 == 0) {
+      const auto tag = static_cast<uint8_t>(rng());
+      std::vector<uint8_t> payload = {tag, 1, 2};
+      ASSERT_EQ(net.Send(port, 99, payload), Err::kNone);
+      model[port].push_back(tag);
+    } else {
+      auto got = net.Recv(port);
+      if (model[port].empty()) {
+        ASSERT_EQ(got.error(), Err::kWouldBlock);
+      } else {
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ((*got)[0], model[port].front());
+        model[port].pop_front();
+      }
+    }
+  }
+}
+
+// --- Small spaces keep IPC semantics -------------------------------------------------
+
+TEST(SmallSpaces, SemanticsUnchangedJustCheaper) {
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 8 << 20);
+  ukern::Kernel kernel(machine);
+  auto st = kernel.CreateTask(ThreadId::Invalid());
+  auto server = kernel.CreateThread(*st, 128, [](ThreadId, ukern::IpcMessage m) {
+    ukern::IpcMessage r;
+    r.regs[0] = m.regs[0] * 3;
+    r.reg_count = 1;
+    return r;
+  });
+  auto ct = kernel.CreateTask(ThreadId::Invalid());
+  auto client = kernel.CreateThread(*ct, 128, nullptr);
+
+  const uint64_t t0 = machine.Now();
+  auto reply = kernel.Call(*client, *server, ukern::IpcMessage::Short(7));
+  const uint64_t big_cost = machine.Now() - t0;
+  EXPECT_EQ(reply.regs[0], 21u);
+
+  ASSERT_EQ(kernel.SetSmallSpace(*st, true), Err::kNone);
+  ASSERT_EQ(kernel.SetSmallSpace(*ct, true), Err::kNone);
+  (void)kernel.Call(*client, *server, ukern::IpcMessage::Short(1));  // settle contexts
+  const uint64_t t1 = machine.Now();
+  reply = kernel.Call(*client, *server, ukern::IpcMessage::Short(9));
+  const uint64_t small_cost = machine.Now() - t1;
+  EXPECT_EQ(reply.regs[0], 27u);
+  EXPECT_LT(small_cost, big_cost);
+}
+
+TEST(SmallSpaces, RequiresSegmentation) {
+  hwsim::Machine machine(hwsim::MakeArmPlatform(), 8 << 20);
+  ukern::Kernel kernel(machine);
+  auto task = kernel.CreateTask(ThreadId::Invalid());
+  EXPECT_EQ(kernel.SetSmallSpace(*task, true), Err::kNotSupported);
+  EXPECT_EQ(kernel.SetSmallSpace(*task, false), Err::kNone);
+}
+
+}  // namespace

@@ -1,0 +1,535 @@
+// Integration tests: full microkernel and VMM systems booting MiniOS guests,
+// running workloads, failure injection (the liability-inversion experiment),
+// and the split-driver receive modes.
+
+#include <gtest/gtest.h>
+
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace {
+
+using minios::ErrOf;
+using minios::SyscallRet;
+using ukvm::Err;
+using ukvm::ProcessId;
+
+// --- Microkernel stack ---------------------------------------------------------
+
+TEST(UkernelStack, BootsAndRunsMixedWorkload) {
+  ustack::UkernelStack stack;
+  ASSERT_TRUE(stack.guest(0).booted);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  uwork::WorkloadResult result;
+  ASSERT_EQ(stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    result = uwork::RunMixedWorkload(stack.machine(), stack.guest_os(0), *pid, 80);
+  }), Err::kNone);
+  EXPECT_DOUBLE_EQ(result.SuccessRate(), 1.0);
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 50u);  // the mixed workload's sends
+}
+
+TEST(UkernelStack, SyscallsGoThroughIpc) {
+  ustack::UkernelStack stack;
+  auto& ledger = stack.machine().ledger();
+  const uint64_t calls_before = ledger.StatsFor("l4.ipc.call").count;
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(stack.guest_os(0).Null(*pid), 0);
+    }
+  });
+  // Each syscall is exactly one IPC call (plus its reply).
+  EXPECT_EQ(ledger.StatsFor("l4.ipc.call").count - calls_before, 10u);
+}
+
+TEST(UkernelStack, InboundPacketsReachGuest) {
+  ustack::UkernelStack stack;
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  uwork::WorkloadResult recv;
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("rx");
+    ASSERT_EQ(os.NetBind(*pid, 40), 0);
+    wire.StartStream(40, 200, 50 * hwsim::kCyclesPerUs, 8);
+    recv = uwork::RunUdpReceive(stack.machine(), os, *pid, 40, 8,
+                                /*timeout=*/1'000'000'000ull);
+  });
+  EXPECT_EQ(recv.ops_succeeded, 8u);
+}
+
+TEST(UkernelStack, TwoGuestsAreIsolated) {
+  ustack::UkernelStack::Config config;
+  config.num_guests = 2;
+  ustack::UkernelStack stack(config);
+  ASSERT_TRUE(stack.guest(0).booted);
+  ASSERT_TRUE(stack.guest(1).booted);
+
+  // Guest 0 writes a file; guest 1 must not see it (separate disk slices).
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("a");
+    const SyscallRet fd = stack.guest_os(0).Create(*pid, "secret");
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> data = {1, 2, 3};
+    EXPECT_EQ(stack.guest_os(0).Write(*pid, fd, data), 3);
+  });
+  stack.RunAsApp(1, [&] {
+    auto pid = stack.guest_os(1).Spawn("b");
+    EXPECT_LT(stack.guest_os(1).Open(*pid, "secret"), 0);
+  });
+}
+
+TEST(UkernelStack, KillingBlockServerOnlyBreaksStorage) {
+  ustack::UkernelStack stack;
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  ASSERT_EQ(stack.KillBlockServer(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("app");
+    // Pure-CPU syscalls still work...
+    EXPECT_EQ(os.Null(*pid), 0);
+    // ...networking still works...
+    std::vector<uint8_t> p = {1};
+    EXPECT_EQ(os.NetSend(*pid, 80, 7, p), 1);
+    // ...but storage is dead.
+    EXPECT_EQ(ErrOf(os.Create(*pid, "f")), Err::kDead);
+  });
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 1u);
+}
+
+TEST(UkernelStack, KillingNetServerOnlyBreaksNetworking) {
+  ustack::UkernelStack stack;
+  ASSERT_EQ(stack.KillNetServer(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("app");
+    EXPECT_EQ(os.Null(*pid), 0);
+    std::vector<uint8_t> p = {1};
+    EXPECT_EQ(ErrOf(os.NetSend(*pid, 80, 7, p)), Err::kDead);
+    // Storage still fine.
+    EXPECT_GE(os.Create(*pid, "f"), 0);
+  });
+}
+
+TEST(UkernelStack, KillingOneGuestSparesTheOther) {
+  ustack::UkernelStack::Config config;
+  config.num_guests = 2;
+  ustack::UkernelStack stack(config);
+  ASSERT_EQ(stack.KillGuest(0), Err::kNone);
+  stack.RunAsApp(1, [&] {
+    auto& os = stack.guest_os(1);
+    auto pid = os.Spawn("survivor");
+    EXPECT_EQ(os.Null(*pid), 0);
+    EXPECT_GE(os.Create(*pid, "still-alive"), 0);
+  });
+}
+
+TEST(UkernelStack, DeadGuestSyscallsFail) {
+  ustack::UkernelStack stack;
+  auto pid = stack.guest_os(0).Spawn("app");
+  ASSERT_EQ(stack.KillGuest(0), Err::kNone);
+  EXPECT_EQ(ErrOf(stack.guest_os(0).Null(*pid)), Err::kDead);
+}
+
+// --- VMM stack --------------------------------------------------------------------
+
+TEST(VmmStack, BootsAndRunsMixedWorkload) {
+  ustack::VmmStack stack;
+  ASSERT_TRUE(stack.guest(0).booted);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  uwork::WorkloadResult result;
+  ASSERT_EQ(stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    result = uwork::RunMixedWorkload(stack.machine(), stack.guest_os(0), *pid, 80);
+  }), Err::kNone);
+  EXPECT_DOUBLE_EQ(result.SuccessRate(), 1.0);
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 50u);
+}
+
+TEST(VmmStack, InboundPacketsArriveViaPageFlip) {
+  ustack::VmmStack stack;  // default: page-flip rx
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  uwork::WorkloadResult recv;
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("rx");
+    ASSERT_EQ(os.NetBind(*pid, 40), 0);
+    wire.StartStream(40, 200, 50 * hwsim::kCyclesPerUs, 8);
+    recv = uwork::RunUdpReceive(stack.machine(), os, *pid, 40, 8, 1'000'000'000ull);
+  });
+  EXPECT_EQ(recv.ops_succeeded, 8u);
+  // Page flips really happened, one per packet.
+  EXPECT_GE(stack.machine().counters().Get("xen.page_flips"), 8u);
+}
+
+TEST(VmmStack, InboundPacketsArriveViaGrantCopy) {
+  ustack::VmmStack::Config config;
+  config.rx_mode = ustack::RxMode::kGrantCopy;
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  uwork::WorkloadResult recv;
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("rx");
+    ASSERT_EQ(os.NetBind(*pid, 40), 0);
+    wire.StartStream(40, 200, 50 * hwsim::kCyclesPerUs, 8);
+    recv = uwork::RunUdpReceive(stack.machine(), os, *pid, 40, 8, 1'000'000'000ull);
+  });
+  EXPECT_EQ(recv.ops_succeeded, 8u);
+  EXPECT_EQ(stack.machine().counters().Get("xen.page_flips"), 0u);
+  EXPECT_GE(stack.machine().ledger().StatsFor("xen.gnttab.copy").count, 8u);
+}
+
+TEST(VmmStack, PayloadIntegrityThroughSplitDrivers) {
+  ustack::VmmStack stack;
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("rx");
+    ASSERT_EQ(os.NetBind(*pid, 40), 0);
+    wire.StartStream(40, 333, 50 * hwsim::kCyclesPerUs, 1);
+    stack.machine().RunFor(1000 * hwsim::kCyclesPerUs);
+    std::vector<uint8_t> buf(2048);
+    const SyscallRet n = os.NetRecv(*pid, 40, buf);
+    ASSERT_EQ(n, 333);
+    for (uint32_t i = 0; i < 333; ++i) {
+      ASSERT_EQ(buf[i], uwork::WireHost::PatternByte(0, i)) << "byte " << i;
+    }
+  });
+}
+
+TEST(VmmStack, FastSyscallPathUsedByDefault) {
+  ustack::VmmStack stack;
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(stack.guest_os(0).Null(*pid), 0);
+    }
+  });
+  uvmm::Domain* dom = stack.hv().FindDomain(stack.guest(0).domain);
+  EXPECT_GE(dom->syscalls_fast, 5u);
+}
+
+TEST(VmmStack, GlibcSegmentsForceReflectedSyscalls) {
+  ustack::VmmStack stack;
+  ASSERT_EQ(stack.guest_port(0).LoadGlibcStyleSegments(), Err::kNone);
+  uvmm::Domain* dom = stack.hv().FindDomain(stack.guest(0).domain);
+  const uint64_t reflected_before = dom->syscalls_reflected;
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(stack.guest_os(0).Null(*pid), 0);
+    }
+  });
+  EXPECT_EQ(dom->syscalls_reflected - reflected_before, 5u);
+}
+
+TEST(VmmStack, KillingParallaxOnlyBreaksStorage) {
+  ustack::VmmStack::Config config;
+  config.parallax_storage = true;
+  ustack::VmmStack stack(config);
+  ASSERT_NE(stack.storage_domain(), stack.dom0());
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  ASSERT_EQ(stack.KillStorage(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("app");
+    EXPECT_EQ(os.Null(*pid), 0);
+    std::vector<uint8_t> p = {1};
+    EXPECT_EQ(os.NetSend(*pid, 80, 7, p), 1);  // networking unaffected
+    EXPECT_EQ(ErrOf(os.Create(*pid, "f")), Err::kDead);
+  });
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 1u);
+}
+
+TEST(VmmStack, FullyDisaggregatedSurvivesDriverDeathsIndependently) {
+  // Driver domains for both net and storage: the Xen configuration that is
+  // structurally a microkernel multiserver system.
+  ustack::VmmStack::Config config;
+  config.parallax_storage = true;
+  config.net_driver_domain = true;
+  ustack::VmmStack stack(config);
+  ASSERT_NE(stack.net_domain(), stack.dom0());
+  ASSERT_NE(stack.storage_domain(), stack.dom0());
+  ASSERT_TRUE(stack.guest(0).booted);
+
+  // Kill only the network driver VM.
+  ASSERT_EQ(stack.KillNetDomain(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("probe");
+    EXPECT_EQ(os.Null(*pid), 0);
+    std::vector<uint8_t> p = {1};
+    EXPECT_EQ(ErrOf(os.NetSend(*pid, 80, 7, p)), Err::kDead);
+    EXPECT_GE(os.Create(*pid, "still-works"), 0);  // storage VM unaffected
+  });
+  // Dom0 itself is still alive too.
+  EXPECT_TRUE(stack.hv().DomainAlive(stack.dom0()));
+}
+
+TEST(VmmStack, NetDriverDomainCarriesTraffic) {
+  ustack::VmmStack::Config config;
+  config.net_driver_domain = true;
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("tx");
+    (void)uwork::RunUdpSend(stack.machine(), stack.guest_os(0), *pid, 80, 128, 5);
+  });
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 5u);
+  // The driver-domain CPU, not Dom0's, carried the backend work.
+  EXPECT_GT(stack.machine().accounting().CyclesOf(stack.net_domain()), 0u);
+}
+
+TEST(VmmStack, KillingDom0TakesDownAllIo) {
+  // The super-VM single point of failure (§2.2): without Parallax, Dom0
+  // hosts both drivers; its death kills network AND storage for everyone.
+  ustack::VmmStack stack;
+  ASSERT_EQ(stack.KillDom0(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("app");
+    // CPU-only syscalls survive (the fast trap gate does not touch Dom0).
+    EXPECT_EQ(os.Null(*pid), 0);
+    std::vector<uint8_t> p = {1};
+    EXPECT_EQ(ErrOf(os.NetSend(*pid, 80, 7, p)), Err::kDead);
+    EXPECT_EQ(ErrOf(os.Create(*pid, "f")), Err::kDead);
+  });
+}
+
+TEST(VmmStack, KillingOneGuestSparesTheOther) {
+  ustack::VmmStack::Config config;
+  config.num_guests = 2;
+  ustack::VmmStack stack(config);
+  ASSERT_TRUE(stack.guest(1).booted);
+  ASSERT_EQ(stack.KillGuest(0), Err::kNone);
+  stack.RunAsApp(1, [&] {
+    auto& os = stack.guest_os(1);
+    auto pid = os.Spawn("survivor");
+    EXPECT_EQ(os.Null(*pid), 0);
+    EXPECT_GE(os.Create(*pid, "alive"), 0);
+  });
+}
+
+TEST(VmmStack, GuestsHaveIsolatedDiskSlices) {
+  ustack::VmmStack::Config config;
+  config.num_guests = 2;
+  ustack::VmmStack stack(config);
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("a");
+    const SyscallRet fd = stack.guest_os(0).Create(*pid, "secret");
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> data = {7};
+    EXPECT_EQ(stack.guest_os(0).Write(*pid, fd, data), 1);
+  });
+  stack.RunAsApp(1, [&] {
+    auto pid = stack.guest_os(1).Spawn("b");
+    EXPECT_LT(stack.guest_os(1).Open(*pid, "secret"), 0);
+  });
+}
+
+TEST(VmmStack, TxPacketsFlowThroughDom0) {
+  ustack::VmmStack stack;
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  const uint64_t maps_before = stack.machine().ledger().StatsFor("xen.gnttab.map").count;
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("tx");
+    (void)uwork::RunUdpSend(stack.machine(), stack.guest_os(0), *pid, 80, 256, 10);
+  });
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 10u);
+  // Every TX packet was grant-mapped by netback (zero-copy TX).
+  EXPECT_GE(stack.machine().ledger().StatsFor("xen.gnttab.map").count - maps_before, 10u);
+}
+
+// --- Service restart (multiserver recovery) -------------------------------------
+
+TEST(UkernelStack, BlockServerRestartRestoresServiceAndData) {
+  ustack::UkernelStack stack;
+  ukvm::ProcessId pid;
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    pid = *os.Spawn("app");
+    const SyscallRet fd = os.Create(pid, "precious");
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> data = {9, 8, 7};
+    ASSERT_EQ(os.Write(pid, fd, data), 3);
+    ASSERT_EQ(os.Close(pid, fd), 0);
+  });
+
+  ASSERT_EQ(stack.KillBlockServer(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    EXPECT_EQ(ErrOf(stack.guest_os(0).Open(pid, "precious")), Err::kDead);
+  });
+
+  ASSERT_EQ(stack.RestartBlockServer(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    const SyscallRet fd = os.Open(pid, "precious");
+    ASSERT_GE(fd, 0);  // service back AND data survived the server crash
+    std::vector<uint8_t> back(3);
+    EXPECT_EQ(os.Read(pid, fd, back), 3);
+    EXPECT_EQ(back, (std::vector<uint8_t>{9, 8, 7}));
+  });
+}
+
+TEST(UkernelStack, NetServerRestartRestoresTraffic) {
+  ustack::UkernelStack stack;
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  ASSERT_EQ(stack.KillNetServer(), Err::kNone);
+  ASSERT_EQ(stack.RestartNetServer(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("tx");
+    std::vector<uint8_t> p = {1, 2};
+    EXPECT_EQ(stack.guest_os(0).NetSend(*pid, 80, 7, p), 2);
+  });
+  stack.machine().RunUntilIdle();
+  EXPECT_EQ(wire.packets_received(), 1u);
+}
+
+TEST(VmmStack, ParallaxRestartRestoresServiceAndData) {
+  ustack::VmmStack::Config config;
+  config.parallax_storage = true;
+  ustack::VmmStack stack(config);
+  ukvm::ProcessId pid;
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    pid = *os.Spawn("app");
+    const SyscallRet fd = os.Create(pid, "precious");
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> data = {4, 5, 6};
+    ASSERT_EQ(os.Write(pid, fd, data), 3);
+  });
+
+  ASSERT_EQ(stack.KillStorage(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    EXPECT_EQ(ErrOf(stack.guest_os(0).Open(pid, "precious")), Err::kDead);
+  });
+
+  ASSERT_EQ(stack.RestartStorage(), Err::kNone);
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    const SyscallRet fd = os.Open(pid, "precious");
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> back(3);
+    EXPECT_EQ(os.Read(pid, fd, back), 3);
+    EXPECT_EQ(back, (std::vector<uint8_t>{4, 5, 6}));
+  });
+}
+
+TEST(VmmStack, Dom0HostedStorageCannotRestartAfterDom0Dies) {
+  ustack::VmmStack stack;  // storage inside Dom0
+  ASSERT_EQ(stack.KillDom0(), Err::kNone);
+  EXPECT_EQ(stack.RestartStorage(), Err::kDead);  // nowhere to put it back
+}
+
+// --- Cross-stack comparisons ----------------------------------------------------------
+
+TEST(CrossStack, SameWorkloadSucceedsEverywhere) {
+  uwork::WorkloadResult uk_result;
+  uwork::WorkloadResult vmm_result;
+  {
+    ustack::UkernelStack stack;
+    uwork::WireHost wire(stack.machine(), stack.nic());
+    stack.RunAsApp(0, [&] {
+      auto pid = stack.guest_os(0).Spawn("w");
+      uk_result = uwork::RunMixedWorkload(stack.machine(), stack.guest_os(0), *pid, 80);
+    });
+  }
+  {
+    ustack::VmmStack stack;
+    uwork::WireHost wire(stack.machine(), stack.nic());
+    stack.RunAsApp(0, [&] {
+      auto pid = stack.guest_os(0).Spawn("w");
+      vmm_result = uwork::RunMixedWorkload(stack.machine(), stack.guest_os(0), *pid, 80);
+    });
+  }
+  EXPECT_DOUBLE_EQ(uk_result.SuccessRate(), 1.0);
+  EXPECT_DOUBLE_EQ(vmm_result.SuccessRate(), 1.0);
+  EXPECT_EQ(uk_result.ops_attempted, vmm_result.ops_attempted);
+}
+
+TEST(CrossStack, BothStacksCrossDomainsHeavily) {
+  // The E4 claim, as a coarse invariant: both systems perform the same
+  // order of magnitude of IPC-like crossings for the same workload.
+  uint64_t uk_crossings = 0;
+  uint64_t vmm_crossings = 0;
+  {
+    ustack::UkernelStack stack;
+    uwork::WireHost wire(stack.machine(), stack.nic());
+    const auto before = stack.machine().ledger().Snapshot();
+    stack.RunAsApp(0, [&] {
+      auto pid = stack.guest_os(0).Spawn("w");
+      (void)uwork::RunMixedWorkload(stack.machine(), stack.guest_os(0), *pid, 80);
+    });
+    uk_crossings = ukvm::DiffSnapshots(before, stack.machine().ledger().Snapshot()).IpcLikeCount();
+  }
+  {
+    ustack::VmmStack stack;
+    uwork::WireHost wire(stack.machine(), stack.nic());
+    const auto before = stack.machine().ledger().Snapshot();
+    stack.RunAsApp(0, [&] {
+      auto pid = stack.guest_os(0).Spawn("w");
+      (void)uwork::RunMixedWorkload(stack.machine(), stack.guest_os(0), *pid, 80);
+    });
+    vmm_crossings =
+        ukvm::DiffSnapshots(before, stack.machine().ledger().Snapshot()).IpcLikeCount();
+  }
+  EXPECT_GT(uk_crossings, 500u);
+  EXPECT_GT(vmm_crossings, 500u);
+  EXPECT_LT(vmm_crossings, uk_crossings * 10);
+  EXPECT_LT(uk_crossings, vmm_crossings * 10);
+}
+
+// --- Portability sweep (E6) ------------------------------------------------------------
+
+class PlatformSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PlatformSweep, UkernelStackRunsUnmodifiedEverywhere) {
+  const hwsim::Platform platform = hwsim::AllPlatforms()[GetParam()];
+  ustack::UkernelStack::Config config;
+  config.platform = platform;
+  ustack::UkernelStack stack(config);
+  ASSERT_TRUE(stack.guest(0).booted) << platform.name;
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    auto result = uwork::RunFileChurn(stack.machine(), stack.guest_os(0), *pid, 2, 1024, "p");
+    EXPECT_DOUBLE_EQ(result.SuccessRate(), 1.0) << platform.name;
+  });
+}
+
+TEST_P(PlatformSweep, VmmStackRunsButFastPathNeedsSegmentation) {
+  const hwsim::Platform platform = hwsim::AllPlatforms()[GetParam()];
+  ustack::VmmStack::Config config;
+  config.platform = platform;
+  ustack::VmmStack stack(config);
+  ASSERT_TRUE(stack.guest(0).booted) << platform.name;
+  stack.RunAsApp(0, [&] {
+    auto pid = stack.guest_os(0).Spawn("app");
+    EXPECT_EQ(stack.guest_os(0).Null(*pid), 0);
+  });
+  uvmm::Domain* dom = stack.hv().FindDomain(stack.guest(0).domain);
+  if (platform.has_segmentation) {
+    EXPECT_GT(dom->syscalls_fast, 0u) << platform.name;
+  } else {
+    // The x86 trap-gate trick does not port: everything reflects.
+    EXPECT_EQ(dom->syscalls_fast, 0u) << platform.name;
+    EXPECT_GT(dom->syscalls_reflected, 0u) << platform.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformSweep,
+                         ::testing::Range<size_t>(0, hwsim::AllPlatforms().size()));
+
+}  // namespace

@@ -1,0 +1,545 @@
+// Tests for the L4-style microkernel: tasks, threads, the single IPC
+// primitive in all three of its roles (control transfer, data transfer,
+// resource delegation), the pager protocol, interrupts-as-IPC, and task
+// destruction semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/ukernel/kernel.h"
+
+namespace ukern {
+namespace {
+
+using hwsim::Machine;
+using hwsim::MakeX86Platform;
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::IrqLine;
+using ukvm::ThreadId;
+
+class UkernelTest : public ::testing::Test {
+ protected:
+  UkernelTest() : machine_(MakeX86Platform(), 4 << 20), kernel_(machine_) {}
+
+  // Creates a task with one thread running `handler`; maps `pages` pages of
+  // fresh memory at `window` and registers it as the receive buffer.
+  struct Server {
+    DomainId task;
+    ThreadId thread;
+  };
+
+  Server MakeServer(IpcHandler handler, hwsim::Vaddr window = 0x10000, uint32_t pages = 4) {
+    auto task = kernel_.CreateTask(ThreadId::Invalid());
+    EXPECT_TRUE(task.ok());
+    auto thread = kernel_.CreateThread(*task, 128, std::move(handler));
+    EXPECT_TRUE(thread.ok());
+    MapFresh(*task, window, pages);
+    EXPECT_EQ(kernel_.SetRecvBuffer(
+                  *thread, window,
+                  pages * static_cast<uint32_t>(machine_.memory().page_size())),
+              Err::kNone);
+    return Server{*task, *thread};
+  }
+
+  // Directly provisions pages into a task (test fixture shortcut; the real
+  // stack does this through sigma0 IPC, which test_stacks covers).
+  void MapFresh(DomainId task, hwsim::Vaddr va, uint32_t pages) {
+    for (uint32_t i = 0; i < pages; ++i) {
+      auto frame = machine_.memory().AllocFrame(task);
+      ASSERT_TRUE(frame.ok());
+      Task* t = kernel_.FindTask(task);
+      ASSERT_EQ(t->space.Map(va + i * machine_.memory().page_size(), *frame,
+                             hwsim::PtePerms{true, true}),
+                Err::kNone);
+      // Register in the mapping database as a root so map items can derive
+      // from it.
+      kernel_.mapdb().AddRoot(task, t->space.VpnOf(va + i * machine_.memory().page_size()),
+                              *frame);
+    }
+  }
+
+  // Writes bytes into a task's memory through its page table (free).
+  void Poke(DomainId task, hwsim::Vaddr va, std::span<const uint8_t> bytes) {
+    Task* t = kernel_.FindTask(task);
+    const hwsim::Pte* pte = t->space.Walk(va);
+    ASSERT_NE(pte, nullptr);
+    ASSERT_TRUE(pte->present);
+    machine_.memory().Write(machine_.memory().FrameBase(pte->frame) +
+                                (va & (machine_.memory().page_size() - 1)),
+                            bytes);
+  }
+
+  std::vector<uint8_t> Peek(DomainId task, hwsim::Vaddr va, size_t len) {
+    Task* t = kernel_.FindTask(task);
+    const hwsim::Pte* pte = t->space.Walk(va);
+    EXPECT_NE(pte, nullptr);
+    std::vector<uint8_t> out(len);
+    machine_.memory().Read(machine_.memory().FrameBase(pte->frame) +
+                               (va & (machine_.memory().page_size() - 1)),
+                           out);
+    return out;
+  }
+
+  Machine machine_;
+  Kernel kernel_;
+  ThreadId outer_thread_;  // used by the nested-IPC test
+};
+
+TEST_F(UkernelTest, TaskAndThreadLifecycle) {
+  auto task = kernel_.CreateTask(ThreadId::Invalid());
+  ASSERT_TRUE(task.ok());
+  EXPECT_TRUE(kernel_.TaskAlive(*task));
+  auto thread = kernel_.CreateThread(*task, 10, nullptr);
+  ASSERT_TRUE(thread.ok());
+  EXPECT_TRUE(kernel_.ThreadAlive(*thread));
+  EXPECT_EQ(*kernel_.TaskOf(*thread), *task);
+
+  EXPECT_EQ(kernel_.DestroyThread(*thread), Err::kNone);
+  EXPECT_FALSE(kernel_.ThreadAlive(*thread));
+  EXPECT_EQ(kernel_.DestroyThread(*thread), Err::kBadHandle);
+  EXPECT_EQ(kernel_.DestroyTask(*task), Err::kNone);
+  EXPECT_FALSE(kernel_.TaskAlive(*task));
+}
+
+TEST_F(UkernelTest, CallTransfersRegistersBothWays) {
+  Server echo = MakeServer([](ThreadId, IpcMessage msg) {
+    IpcMessage reply;
+    reply.regs[0] = msg.regs[0] + 1;
+    reply.regs[1] = msg.regs[1] * 2;
+    reply.reg_count = 2;
+    return reply;
+  });
+  Server client = MakeServer(nullptr, 0x20000);
+
+  IpcMessage reply = kernel_.Call(client.thread, echo.thread, IpcMessage::Short(41, 21));
+  EXPECT_EQ(reply.status, Err::kNone);
+  EXPECT_EQ(reply.regs[0], 42u);
+  EXPECT_EQ(reply.regs[1], 42u);
+  EXPECT_EQ(kernel_.ipc_calls(), 1u);
+}
+
+TEST_F(UkernelTest, CallToDeadThreadFails) {
+  Server victim = MakeServer(nullptr);
+  Server client = MakeServer(nullptr, 0x20000);
+  ASSERT_EQ(kernel_.DestroyThread(victim.thread), Err::kNone);
+  IpcMessage reply = kernel_.Call(client.thread, victim.thread, IpcMessage::Short(1));
+  EXPECT_EQ(reply.status, Err::kDead);
+}
+
+TEST_F(UkernelTest, CallToDestroyedTaskFails) {
+  Server victim = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  ASSERT_EQ(kernel_.DestroyTask(victim.task), Err::kNone);
+  IpcMessage reply = kernel_.Call(client.thread, victim.thread, IpcMessage::Short(1));
+  EXPECT_EQ(reply.status, Err::kDead);
+}
+
+TEST_F(UkernelTest, StringTransferMovesRealBytes) {
+  std::vector<uint8_t> seen;
+  Server server = MakeServer([&](ThreadId, IpcMessage msg) {
+    seen = msg.string_data;
+    return IpcMessage{};
+  });
+  Server client = MakeServer(nullptr, 0x20000);
+
+  const std::vector<uint8_t> payload = {10, 20, 30, 40, 50};
+  Poke(client.task, 0x20000, payload);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.has_string = true;
+  msg.string = StringItem{0x20000, 5};
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  ASSERT_EQ(reply.status, Err::kNone);
+  EXPECT_EQ(seen, payload);
+  // The bytes really landed in the server's receive window.
+  EXPECT_EQ(Peek(server.task, 0x10000, 5), payload);
+}
+
+TEST_F(UkernelTest, StringTransferSpansPages) {
+  const auto page = static_cast<uint32_t>(machine_.memory().page_size());
+  std::vector<uint8_t> seen;
+  Server server = MakeServer(
+      [&](ThreadId, IpcMessage msg) {
+        seen = msg.string_data;
+        return IpcMessage{};
+      },
+      0x10000, 4);
+  Server client = MakeServer(nullptr, 0x20000, 4);
+
+  std::vector<uint8_t> payload(page * 2 + 100);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 13);
+  }
+  // Poke page by page.
+  for (uint32_t off = 0; off < payload.size(); off += page) {
+    const auto chunk = std::min<size_t>(page, payload.size() - off);
+    Poke(client.task, 0x20000 + off, std::span<const uint8_t>(&payload[off], chunk));
+  }
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.has_string = true;
+  msg.string = StringItem{0x20000, static_cast<uint32_t>(payload.size())};
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  ASSERT_EQ(reply.status, Err::kNone);
+  EXPECT_EQ(seen, payload);
+}
+
+TEST_F(UkernelTest, StringTransferTruncatesToReceiveWindow) {
+  std::vector<uint8_t> seen;
+  Server server = MakeServer(
+      [&](ThreadId, IpcMessage msg) {
+        seen = msg.string_data;
+        return IpcMessage{};
+      },
+      0x10000, 4);
+  // Shrink the server's registered window to 8 bytes.
+  ASSERT_EQ(kernel_.SetRecvBuffer(server.thread, 0x10000, 8), Err::kNone);
+  Server client = MakeServer(nullptr, 0x20000);
+  std::vector<uint8_t> payload(100, 0x7);
+  Poke(client.task, 0x20000, payload);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.has_string = true;
+  msg.string = StringItem{0x20000, 100};
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  ASSERT_EQ(reply.status, Err::kNone);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST_F(UkernelTest, StringFromUnmappedSourceFaults) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.has_string = true;
+  msg.string = StringItem{0xDEAD0000, 64};
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  EXPECT_EQ(reply.status, Err::kFault);
+}
+
+TEST_F(UkernelTest, StringToReceiverWithoutWindowBlocks) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  ASSERT_EQ(kernel_.SetRecvBuffer(server.thread, 0, 0), Err::kNone);
+  Server client = MakeServer(nullptr, 0x20000);
+  std::vector<uint8_t> payload(16, 1);
+  Poke(client.task, 0x20000, payload);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.has_string = true;
+  msg.string = StringItem{0x20000, 16};
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  EXPECT_EQ(reply.status, Err::kWouldBlock);
+}
+
+TEST_F(UkernelTest, MapItemDelegatesPage) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+
+  // Client maps its window page into the server at 0x80000.
+  const std::vector<uint8_t> tag = {0xCA, 0xFE};
+  Poke(client.task, 0x20000, tag);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.map_items.push_back(MapItem{0x20000, 0x80000, 1, /*writable=*/true, /*grant=*/false});
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  ASSERT_EQ(reply.status, Err::kNone);
+
+  // Both tasks now see the same frame.
+  EXPECT_EQ(Peek(server.task, 0x80000, 2), tag);
+  Task* c = kernel_.FindTask(client.task);
+  Task* s = kernel_.FindTask(server.task);
+  EXPECT_EQ(c->space.Walk(0x20000)->frame, s->space.Walk(0x80000)->frame);
+  // And the database recorded the derivation.
+  EXPECT_NE(kernel_.mapdb().Find(server.task, s->space.VpnOf(0x80000)), nullptr);
+}
+
+TEST_F(UkernelTest, GrantMovesMapping) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.map_items.push_back(MapItem{0x20000, 0x80000, 1, true, /*grant=*/true});
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  ASSERT_EQ(reply.status, Err::kNone);
+
+  Task* c = kernel_.FindTask(client.task);
+  const hwsim::Pte* old_pte = c->space.Walk(0x20000);
+  EXPECT_TRUE(old_pte == nullptr || !old_pte->present);  // sender lost it
+  Task* s = kernel_.FindTask(server.task);
+  EXPECT_TRUE(s->space.Walk(0x80000)->present);
+}
+
+TEST_F(UkernelTest, CannotDelegateUnheldPage) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.map_items.push_back(MapItem{0x90000, 0x80000, 1, true, false});
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  EXPECT_EQ(reply.status, Err::kPermissionDenied);
+}
+
+TEST_F(UkernelTest, NoWritableAmplification) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  // Downgrade the client's page to read-only, then try to map it writable.
+  Task* c = kernel_.FindTask(client.task);
+  hwsim::Pte* pte = c->space.Walk(0x20000);
+  pte->writable = false;
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.map_items.push_back(MapItem{0x20000, 0x80000, 1, /*writable=*/true, false});
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, msg);
+  ASSERT_EQ(reply.status, Err::kNone);
+  Task* s = kernel_.FindTask(server.task);
+  EXPECT_FALSE(s->space.Walk(0x80000)->writable);
+}
+
+TEST_F(UkernelTest, UnmapRevokesDerivedMappings) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.map_items.push_back(MapItem{0x20000, 0x80000, 1, true, false});
+  ASSERT_EQ(kernel_.Call(client.thread, server.thread, msg).status, Err::kNone);
+
+  // Revoke from the client side, keeping its own mapping.
+  ASSERT_EQ(kernel_.Unmap(client.task, 0x20000, 1, /*include_self=*/false), Err::kNone);
+  Task* s = kernel_.FindTask(server.task);
+  const hwsim::Pte* spte = s->space.Walk(0x80000);
+  EXPECT_TRUE(spte == nullptr || !spte->present);
+  Task* c = kernel_.FindTask(client.task);
+  EXPECT_TRUE(c->space.Walk(0x20000)->present);
+}
+
+TEST_F(UkernelTest, DestroyTaskRevokesItsDelegations) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage msg = IpcMessage::Short(1);
+  msg.map_items.push_back(MapItem{0x20000, 0x80000, 1, true, false});
+  ASSERT_EQ(kernel_.Call(client.thread, server.thread, msg).status, Err::kNone);
+
+  ASSERT_EQ(kernel_.DestroyTask(client.task), Err::kNone);
+  // The server's derived view died with the client (the microkernel half of
+  // the liability-inversion story).
+  Task* s = kernel_.FindTask(server.task);
+  const hwsim::Pte* spte = s->space.Walk(0x80000);
+  EXPECT_TRUE(spte == nullptr || !spte->present);
+}
+
+TEST_F(UkernelTest, PagerResolvesFaults) {
+  // A pager that maps a fresh page on every fault.
+  auto pager_task = kernel_.CreateTask(ThreadId::Invalid());
+  ASSERT_TRUE(pager_task.ok());
+  int faults_served = 0;
+  auto pager_thread = kernel_.CreateThread(
+      *pager_task, 255, [&](ThreadId, IpcMessage msg) {
+        EXPECT_EQ(msg.regs[0], Kernel::kPageFaultLabel);
+        const hwsim::Vaddr fault_va = msg.regs[1];
+        auto frame = machine_.memory().AllocFrame(*pager_task);
+        EXPECT_TRUE(frame.ok());
+        Task* pt = kernel_.FindTask(*pager_task);
+        const hwsim::Vaddr src = machine_.memory().FrameBase(*frame);
+        EXPECT_EQ(pt->space.Map(src, *frame, hwsim::PtePerms{true, true}), Err::kNone);
+        kernel_.mapdb().AddRoot(*pager_task, pt->space.VpnOf(src), *frame);
+        IpcMessage reply;
+        reply.map_items.push_back(
+            MapItem{src, fault_va & ~(machine_.memory().page_size() - 1), 1, true, false});
+        ++faults_served;
+        return reply;
+      });
+  ASSERT_TRUE(pager_thread.ok());
+
+  auto faulter_task = kernel_.CreateTask(*pager_thread);
+  auto faulter_thread = kernel_.CreateThread(*faulter_task, 100, nullptr);
+  ASSERT_TRUE(faulter_thread.ok());
+
+  // Touch unmapped memory: the pager resolves it; a second touch is a hit.
+  EXPECT_EQ(kernel_.TouchPage(*faulter_thread, 0x555000, /*write=*/true), Err::kNone);
+  EXPECT_EQ(faults_served, 1);
+  EXPECT_EQ(kernel_.TouchPage(*faulter_thread, 0x555800, true), Err::kNone);
+  EXPECT_EQ(faults_served, 1);  // same page, no second fault
+}
+
+TEST_F(UkernelTest, FaultWithDeadPagerFails) {
+  auto pager_task = kernel_.CreateTask(ThreadId::Invalid());
+  auto pager_thread = kernel_.CreateThread(*pager_task, 255, nullptr);
+  auto faulter_task = kernel_.CreateTask(*pager_thread);
+  auto faulter_thread = kernel_.CreateThread(*faulter_task, 100, nullptr);
+  ASSERT_EQ(kernel_.DestroyTask(*pager_task), Err::kNone);
+  EXPECT_EQ(kernel_.TouchPage(*faulter_thread, 0x555000, true), Err::kDead);
+}
+
+TEST_F(UkernelTest, FaultWithoutPagerFails) {
+  auto task = kernel_.CreateTask(ThreadId::Invalid());
+  auto thread = kernel_.CreateThread(*task, 100, nullptr);
+  EXPECT_EQ(kernel_.TouchPage(*thread, 0x555000, false), Err::kFault);
+}
+
+TEST_F(UkernelTest, CopyInOutThroughPager) {
+  Server server = MakeServer(nullptr);
+  std::vector<uint8_t> data = {5, 6, 7, 8};
+  ASSERT_EQ(kernel_.CopyOut(server.thread, 0x10000 + 100, data), Err::kNone);
+  std::vector<uint8_t> back(4);
+  ASSERT_EQ(kernel_.CopyIn(server.thread, 0x10000 + 100, back), Err::kNone);
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(UkernelTest, InterruptBecomesIpc) {
+  int irq_messages = 0;
+  uint64_t seen_line = 999;
+  Server driver = MakeServer([&](ThreadId sender, IpcMessage msg) {
+    EXPECT_FALSE(sender.valid());  // kernel-synthesized
+    if (msg.regs[0] == Kernel::kIrqLabel) {
+      ++irq_messages;
+      seen_line = msg.regs[1];
+    }
+    return IpcMessage{};
+  });
+  ASSERT_EQ(kernel_.AssociateIrq(IrqLine(7), driver.thread), Err::kNone);
+  machine_.cpu().SetInterruptsEnabled(true);
+  machine_.irq_controller().Assert(IrqLine(7));
+  machine_.DeliverPendingInterrupts();
+  EXPECT_EQ(irq_messages, 1);
+  EXPECT_EQ(seen_line, 7u);
+  EXPECT_EQ(machine_.ledger().StatsFor("l4.irq.ipc").count, 1u);
+}
+
+TEST_F(UkernelTest, IrqToDeadDriverIsDropped) {
+  Server driver = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  ASSERT_EQ(kernel_.AssociateIrq(IrqLine(7), driver.thread), Err::kNone);
+  ASSERT_EQ(kernel_.DestroyTask(driver.task), Err::kNone);
+  machine_.cpu().SetInterruptsEnabled(true);
+  machine_.irq_controller().Assert(IrqLine(7));
+  machine_.DeliverPendingInterrupts();  // must not crash
+  SUCCEED();
+}
+
+TEST_F(UkernelTest, NotifyDeliversBits) {
+  Server server = MakeServer(nullptr);
+  uint64_t got = 0;
+  ASSERT_EQ(kernel_.SetNotifyHandler(server.thread, [&](uint64_t bits) { got |= bits; }),
+            Err::kNone);
+  EXPECT_EQ(kernel_.Notify(server.thread, 0b101), Err::kNone);
+  EXPECT_EQ(got, 0b101u);
+  EXPECT_EQ(machine_.ledger().StatsFor("l4.ipc.notify").count, 1u);
+}
+
+TEST_F(UkernelTest, IpcChargesCycles) {
+  Server server = MakeServer([](ThreadId, IpcMessage) { return IpcMessage{}; });
+  Server client = MakeServer(nullptr, 0x20000);
+  const uint64_t t0 = machine_.Now();
+  (void)kernel_.Call(client.thread, server.thread, IpcMessage::Short(1));
+  const uint64_t elapsed = machine_.Now() - t0;
+  // At least: 2 traps in, 2 returns, 2 address-space switches.
+  const auto& costs = machine_.costs();
+  EXPECT_GE(elapsed, 2 * costs.trap_entry + 2 * costs.trap_return +
+                         2 * costs.address_space_switch);
+}
+
+TEST_F(UkernelTest, ActivateThreadSwitchesContext) {
+  Server a = MakeServer(nullptr, 0x20000);
+  ASSERT_EQ(kernel_.ActivateThread(a.thread), Err::kNone);
+  EXPECT_EQ(machine_.cpu().current_domain(), a.task);
+  EXPECT_EQ(machine_.cpu().mode(), hwsim::PrivLevel::kUser);
+  EXPECT_EQ(kernel_.current_thread(), a.thread);
+}
+
+TEST_F(UkernelTest, OneWaySendDeliversWithoutReply) {
+  int received = 0;
+  Server server = MakeServer([&](ThreadId, IpcMessage msg) {
+    received += static_cast<int>(msg.regs[1]);
+    return IpcMessage{};  // ignored for sends
+  });
+  Server client = MakeServer(nullptr, 0x20000);
+  EXPECT_EQ(kernel_.Send(client.thread, server.thread, IpcMessage::Short(1, 5)), Err::kNone);
+  EXPECT_EQ(kernel_.Send(client.thread, server.thread, IpcMessage::Short(1, 7)), Err::kNone);
+  EXPECT_EQ(received, 12);
+  EXPECT_EQ(machine_.ledger().StatsFor("l4.ipc.send").count, 2u);
+  EXPECT_EQ(machine_.ledger().StatsFor("l4.ipc.reply").count, 0u);
+}
+
+TEST_F(UkernelTest, SendToDeadThreadFails) {
+  Server server = MakeServer(nullptr);
+  Server client = MakeServer(nullptr, 0x20000);
+  ASSERT_EQ(kernel_.DestroyThread(server.thread), Err::kNone);
+  EXPECT_EQ(kernel_.Send(client.thread, server.thread, IpcMessage::Short(1)), Err::kDead);
+}
+
+TEST_F(UkernelTest, CopyInOutCrossPageBoundary) {
+  Server server = MakeServer(nullptr);
+  const auto page = static_cast<uint32_t>(machine_.memory().page_size());
+  std::vector<uint8_t> data(300);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  const hwsim::Vaddr va = 0x10000 + page - 100;  // straddles two pages
+  ASSERT_EQ(kernel_.CopyOut(server.thread, va, data), Err::kNone);
+  std::vector<uint8_t> back(300);
+  ASSERT_EQ(kernel_.CopyIn(server.thread, va, back), Err::kNone);
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(UkernelTest, UnmapIncludeSelfRemovesOwnMapping) {
+  Server server = MakeServer(nullptr);
+  ASSERT_EQ(kernel_.Unmap(server.task, 0x10000, 1, /*include_self=*/true), Err::kNone);
+  Task* t = kernel_.FindTask(server.task);
+  const hwsim::Pte* pte = t->space.Walk(0x10000);
+  EXPECT_TRUE(pte == nullptr || !pte->present);
+  EXPECT_EQ(kernel_.mapdb().Find(server.task, t->space.VpnOf(0x10000)), nullptr);
+}
+
+TEST_F(UkernelTest, NotifyWithoutHandlerAccumulatesBits) {
+  Server server = MakeServer(nullptr);
+  EXPECT_EQ(kernel_.Notify(server.thread, 0b001), Err::kNone);
+  EXPECT_EQ(kernel_.Notify(server.thread, 0b100), Err::kNone);
+  Tcb* tcb = kernel_.FindThread(server.thread);
+  EXPECT_EQ(tcb->pending_notify_bits, 0b101u);
+}
+
+TEST_F(UkernelTest, NotifyToDeadThreadFails) {
+  Server server = MakeServer(nullptr);
+  ASSERT_EQ(kernel_.DestroyThread(server.thread), Err::kNone);
+  EXPECT_EQ(kernel_.Notify(server.thread, 1), Err::kDead);
+}
+
+TEST_F(UkernelTest, NestedIpcDuringHandler) {
+  // A server that, while handling a request, calls a second server —
+  // the L4Linux -> driver-server pattern.
+  Server inner = MakeServer([](ThreadId, IpcMessage msg) {
+    IpcMessage reply;
+    reply.regs[0] = msg.regs[1] * 10;
+    reply.reg_count = 1;
+    return reply;
+  });
+  Server outer = MakeServer([&](ThreadId, IpcMessage msg) {
+    IpcMessage nested = kernel_.Call(outer_thread_, inner.thread,
+                                     IpcMessage::Short(2, msg.regs[1] + 1));
+    IpcMessage reply;
+    reply.regs[0] = nested.regs[0] + 1;
+    reply.reg_count = 1;
+    return reply;
+  }, 0x30000);
+  outer_thread_ = outer.thread;
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage reply = kernel_.Call(client.thread, outer.thread, IpcMessage::Short(1, 4));
+  EXPECT_EQ(reply.status, Err::kNone);
+  EXPECT_EQ(reply.regs[0], 51u);  // (4+1)*10 + 1
+  // The caller context was properly restored through the nesting.
+  EXPECT_EQ(kernel_.current_thread(), client.thread);
+}
+
+TEST_F(UkernelTest, ReplyWithStringReachesCaller) {
+  Server server = MakeServer([&](ThreadId, IpcMessage) {
+    IpcMessage reply;
+    reply.has_string = true;
+    reply.string = StringItem{0x10000, 6};
+    return reply;
+  });
+  const std::vector<uint8_t> data = {1, 1, 2, 3, 5, 8};
+  Poke(server.task, 0x10000, data);
+  Server client = MakeServer(nullptr, 0x20000);
+  IpcMessage reply = kernel_.Call(client.thread, server.thread, IpcMessage::Short(1));
+  ASSERT_EQ(reply.status, Err::kNone);
+  EXPECT_EQ(reply.string_data, data);
+  EXPECT_EQ(Peek(client.task, 0x20000, 6), data);  // landed in caller's window
+}
+
+TEST_F(UkernelTest, SyscallSurfaceIsSixEntries) {
+  // The paper's minimality argument, pinned as a compile-time fact.
+  EXPECT_EQ(kSyscallCount, 6u);
+}
+
+}  // namespace
+}  // namespace ukern
