@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_tests.dir/test_core.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_devices.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_devices.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_harness.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_harness.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_machine.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_machine.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_mapdb.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_mapdb.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_memory_paging.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_memory_paging.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_misc.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_misc.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_os.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_os.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_props.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_props.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_splitdrv.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_splitdrv.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_stacks.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_stacks.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_ukernel.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_ukernel.cc.o.d"
+  "CMakeFiles/ukvm_tests.dir/test_vmm.cc.o"
+  "CMakeFiles/ukvm_tests.dir/test_vmm.cc.o.d"
+  "ukvm_tests"
+  "ukvm_tests.pdb"
+  "ukvm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
