@@ -36,6 +36,10 @@ const char* ErrName(Err err) {
       return "DEAD";
     case Err::kQuotaExceeded:
       return "QUOTA_EXCEEDED";
+    case Err::kRetryExhausted:
+      return "RETRY_EXHAUSTED";
+    case Err::kCorrupted:
+      return "CORRUPTED";
   }
   return "UNKNOWN";
 }

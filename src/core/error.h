@@ -31,7 +31,13 @@ enum class Err {
   kFault,        // memory access violation / unresolvable page fault
   kDead,         // peer protection domain has been destroyed
   kQuotaExceeded,
+  kRetryExhausted,  // bounded retries used up against a persistently failing device
+  kCorrupted,       // data failed integrity checks (bad sector, mangled frame)
 };
+
+// Number of Err enumerators, for exhaustive iteration in tests. Keep in sync
+// with the last enumerator above.
+inline constexpr int kNumErrCodes = static_cast<int>(Err::kCorrupted) + 1;
 
 // Human-readable name for an error code (stable, for logs and test output).
 const char* ErrName(Err err);

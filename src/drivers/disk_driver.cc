@@ -1,11 +1,15 @@
 #include "src/drivers/disk_driver.h"
 
+#include <utility>
+
 namespace udrv {
 
 using ukvm::Err;
 
 DiskDriver::DiskDriver(hwsim::Machine& machine, hwsim::Disk& disk)
-    : machine_(machine), disk_(disk) {}
+    : machine_(machine), disk_(disk), alive_(std::make_shared<bool>(true)) {}
+
+DiskDriver::~DiskDriver() = default;
 
 uint32_t DiskDriver::blocks_per_page() const {
   return static_cast<uint32_t>(machine_.memory().page_size() / disk_.config().block_size);
@@ -24,13 +28,33 @@ Err DiskDriver::Submit(bool is_write, uint64_t lba, uint32_t blocks, hwsim::Fram
   if (blocks == 0 || blocks > blocks_per_page()) {
     return Err::kInvalidArgument;
   }
+  Pending req;
+  req.is_write = is_write;
+  req.lba = lba;
+  req.blocks = blocks;
+  req.frame = frame;
+  req.done = std::move(done);
+  return Issue(req);
+}
+
+Err DiskDriver::Issue(Pending& req) {
   machine_.Charge(machine_.costs().mmio_access);  // queue the request
-  const hwsim::Paddr addr = machine_.memory().FrameBase(frame);
-  auto id = is_write ? disk_.SubmitWrite(lba, blocks, addr) : disk_.SubmitRead(lba, blocks, addr);
+  const hwsim::Paddr addr = machine_.memory().FrameBase(req.frame);
+  auto id = req.is_write ? disk_.SubmitWrite(req.lba, req.blocks, addr)
+                         : disk_.SubmitRead(req.lba, req.blocks, addr);
   if (!id.ok()) {
     return id.error();
   }
-  pending_.emplace(*id, std::move(done));
+  if (policy_.timeout_enabled()) {
+    req.timeout_event = machine_.ScheduleAfter(
+        policy_.timeout_cycles,
+        [this, guard = std::weak_ptr<bool>(alive_), request_id = *id] {
+          if (!guard.expired()) {
+            OnTimeout(request_id);
+          }
+        });
+  }
+  pending_.emplace(*id, std::move(req));
   return Err::kNone;
 }
 
@@ -39,14 +63,70 @@ void DiskDriver::OnInterrupt() {
   while (auto completion = disk_.TakeCompletion()) {
     auto it = pending_.find(completion->request_id);
     if (it == pending_.end()) {
-      continue;
+      continue;  // stale: a timed-out attempt we already resubmitted or failed
     }
-    DoneCallback done = std::move(it->second);
+    Pending req = std::move(it->second);
     pending_.erase(it);
-    ++completed_;
-    if (done) {
-      done(completion->status);
+    if (req.timeout_event != 0) {
+      machine_.CancelEvent(req.timeout_event);
+      req.timeout_event = 0;
     }
+    if (completion->status != Err::kNone) {
+      OnAttemptFailed(std::move(req), completion->status);
+    } else {
+      Finish(req, Err::kNone);
+    }
+  }
+}
+
+void DiskDriver::OnTimeout(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    return;  // completion won the race with the deadline
+  }
+  Pending req = std::move(it->second);
+  pending_.erase(it);
+  req.timeout_event = 0;
+  ++timeouts_;
+  machine_.counters().AddNamed("drv.disk.timeout");
+  OnAttemptFailed(std::move(req), Err::kTimedOut);
+}
+
+void DiskDriver::OnAttemptFailed(Pending req, Err err) {
+  if (req.attempt < policy_.max_attempts) {
+    ++retries_;
+    machine_.counters().AddNamed("drv.disk.retry");
+    const uint64_t backoff = policy_.BackoffFor(req.attempt);
+    ++req.attempt;
+    machine_.ScheduleAfter(
+        backoff, [this, guard = std::weak_ptr<bool>(alive_), req = std::move(req)]() mutable {
+          if (guard.expired()) {
+            return;
+          }
+          const Err submit_err = Issue(req);
+          if (submit_err != Err::kNone) {
+            Finish(req, submit_err);
+          }
+        });
+    return;
+  }
+  // Out of attempts. A silent device reports kTimedOut; a persistently
+  // erroring one reports kRetryExhausted (or its raw status when the policy
+  // never allowed retries in the first place).
+  Err terminal = err;
+  if (err != Err::kTimedOut && policy_.retries_enabled()) {
+    terminal = Err::kRetryExhausted;
+  }
+  if (policy_.retries_enabled()) {
+    machine_.counters().AddNamed("drv.disk.exhausted");
+  }
+  Finish(req, terminal);
+}
+
+void DiskDriver::Finish(Pending& req, Err status) {
+  ++completed_;
+  if (req.done) {
+    req.done(status);
   }
 }
 

@@ -1,15 +1,23 @@
 // Disk device driver: asynchronous request/completion with per-request
 // callbacks. Like the NIC driver, it runs unmodified as a microkernel
 // user-level server and inside Dom0.
+//
+// With a RetryPolicy set, the driver is also the recovery layer: requests
+// that complete with a device error are resubmitted after exponential
+// backoff, and a per-attempt timeout catches completions whose interrupt
+// was lost. Exhausted requests report Err::kRetryExhausted (persistent
+// device errors) or Err::kTimedOut (persistent silence).
 
 #ifndef UKVM_SRC_DRIVERS_DISK_DRIVER_H_
 #define UKVM_SRC_DRIVERS_DISK_DRIVER_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "src/core/error.h"
+#include "src/drivers/retry_policy.h"
 #include "src/hw/disk.h"
 #include "src/hw/machine.h"
 
@@ -20,9 +28,13 @@ class DiskDriver {
   using DoneCallback = std::function<void(ukvm::Err status)>;
 
   DiskDriver(hwsim::Machine& machine, hwsim::Disk& disk);
+  ~DiskDriver();
 
   DiskDriver(const DiskDriver&) = delete;
   DiskDriver& operator=(const DiskDriver&) = delete;
+
+  void SetRetryPolicy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
 
   // Reads `blocks` blocks at `lba` into `frame` (must fit in one page).
   ukvm::Err Read(uint64_t lba, uint32_t blocks, hwsim::Frame frame, DoneCallback done);
@@ -33,16 +45,43 @@ class DiskDriver {
 
   uint32_t blocks_per_page() const;
   uint64_t requests_completed() const { return completed_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t timeouts() const { return timeouts_; }
   size_t inflight() const { return pending_.size(); }
 
  private:
+  struct Pending {
+    bool is_write = false;
+    uint64_t lba = 0;
+    uint32_t blocks = 0;
+    hwsim::Frame frame = 0;
+    DoneCallback done;
+    uint32_t attempt = 1;
+    hwsim::Machine::EventId timeout_event = 0;  // 0 = none armed
+  };
+
   ukvm::Err Submit(bool is_write, uint64_t lba, uint32_t blocks, hwsim::Frame frame,
                    DoneCallback done);
+  // Hands `req` to the device and arms the per-attempt timeout. On success
+  // `req` moves into pending_; on a synchronous submit error `req` is left
+  // intact and the error returned.
+  ukvm::Err Issue(Pending& req);
+  // Failure of one attempt (`err` is the device status or kTimedOut):
+  // retries with backoff or finishes the request with the terminal error.
+  void OnAttemptFailed(Pending req, ukvm::Err err);
+  void OnTimeout(uint64_t request_id);
+  void Finish(Pending& req, ukvm::Err status);
 
   hwsim::Machine& machine_;
   hwsim::Disk& disk_;
-  std::unordered_map<uint64_t, DoneCallback> pending_;
+  RetryPolicy policy_;
+  std::unordered_map<uint64_t, Pending> pending_;  // keyed by device request id
   uint64_t completed_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t timeouts_ = 0;
+  // Guards timeout/backoff events still on the machine queue after the
+  // driver is destroyed (service restarts tear drivers down mid-flight).
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace udrv

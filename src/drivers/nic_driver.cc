@@ -40,6 +40,26 @@ Err NicDriver::SendFrame(hwsim::Frame frame, uint32_t len) {
   return err;
 }
 
+Err NicDriver::SendCopyWithRetry(std::span<const uint8_t> payload) {
+  Err err = SendCopy(payload);
+  uint32_t attempt = 1;
+  while (err == Err::kBusy && attempt < policy_.max_attempts) {
+    // Back off in simulated time, then reclaim any tx slots whose
+    // completions have landed (their interrupts may have been lost).
+    machine_.RunFor(policy_.BackoffFor(attempt));
+    PollTxCompletions();
+    ++retries_;
+    machine_.counters().AddNamed("drv.nic.retry");
+    ++attempt;
+    err = SendCopy(payload);
+  }
+  if (err == Err::kBusy && policy_.retries_enabled()) {
+    machine_.counters().AddNamed("drv.nic.exhausted");
+    return Err::kRetryExhausted;
+  }
+  return err;
+}
+
 Err NicDriver::SendCopy(std::span<const uint8_t> payload) {
   if (tx_free_.empty()) {
     return Err::kBusy;
@@ -77,6 +97,15 @@ void NicDriver::OnInterrupt() {
     PostRx(frame_after_replace_.valid_for == frame ? frame_after_replace_.replacement : frame);
     frame_after_replace_ = {};
   }
+  DrainTxCompletions();
+}
+
+void NicDriver::PollTxCompletions() {
+  machine_.Charge(machine_.costs().mmio_access);  // read tx ring head
+  DrainTxCompletions();
+}
+
+void NicDriver::DrainTxCompletions() {
   while (auto tx = nic_.TakeTxCompletion()) {
     auto it = tx_inflight_.find(tx->addr);
     if (it != tx_inflight_.end()) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/error.h"
+#include "src/drivers/retry_policy.h"
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
 
@@ -38,14 +39,27 @@ class NicDriver {
 
   void SetRxCallback(RxCallback cb) { rx_callback_ = std::move(cb); }
 
+  void SetRetryPolicy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
   // Transmits `len` bytes already staged in `frame` (zero-copy path).
   ukvm::Err SendFrame(hwsim::Frame frame, uint32_t len);
 
   // Convenience: stages `payload` into a free tx frame and transmits.
   ukvm::Err SendCopy(std::span<const uint8_t> payload);
 
+  // SendCopy with the retry policy applied: when the tx ring is starved
+  // (kBusy — e.g. completion interrupts were lost), backs off in simulated
+  // time, reclaims finished tx slots by polling, and tries again. Returns
+  // kRetryExhausted once the attempt budget is spent.
+  ukvm::Err SendCopyWithRetry(std::span<const uint8_t> payload);
+
   // Interrupt service routine: drains rx/tx completions.
   void OnInterrupt();
+
+  // Reclaims finished tx staging frames without touching the rx path (safe
+  // to call from inside request handlers; no re-entrant rx callbacks).
+  void PollTxCompletions();
 
   // Replaces a staging frame with another (used after a page flip took the
   // frame away).
@@ -53,6 +67,7 @@ class NicDriver {
 
   uint64_t rx_delivered() const { return rx_delivered_; }
   uint64_t tx_sent() const { return tx_sent_; }
+  uint64_t retries() const { return retries_; }
   size_t free_tx_frames() const { return tx_free_.size(); }
 
  private:
@@ -63,8 +78,11 @@ class NicDriver {
 
   void PostRx(hwsim::Frame frame);
 
+  void DrainTxCompletions();
+
   hwsim::Machine& machine_;
   hwsim::Nic& nic_;
+  RetryPolicy policy_;
   RxCallback rx_callback_;
   std::deque<hwsim::Frame> tx_free_;
   std::unordered_map<hwsim::Paddr, hwsim::Frame> rx_posted_;  // paddr -> frame
@@ -72,6 +90,7 @@ class NicDriver {
   Replacement frame_after_replace_;
   uint64_t rx_delivered_ = 0;
   uint64_t tx_sent_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace udrv

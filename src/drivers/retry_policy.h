@@ -1,0 +1,32 @@
+// Retry/timeout/backoff policy shared by the device drivers.
+//
+// The drivers run in whichever protection domain the stack puts them in
+// (user-level server or Dom0), so recovery from flaky hardware must live in
+// the driver itself — bounded retries with exponential backoff in simulated
+// cycles, and a per-request timeout so a lost completion interrupt cannot
+// wedge the service forever. The default policy (one attempt, no timeout)
+// preserves the original fire-and-forget behaviour.
+
+#ifndef UKVM_SRC_DRIVERS_RETRY_POLICY_H_
+#define UKVM_SRC_DRIVERS_RETRY_POLICY_H_
+
+#include <cstdint>
+
+namespace udrv {
+
+struct RetryPolicy {
+  uint32_t max_attempts = 1;    // total tries per request (1 = no retry)
+  uint64_t timeout_cycles = 0;  // per-attempt completion deadline (0 = wait forever)
+  uint64_t backoff_cycles = 0;  // delay before attempt k+1 is backoff << (k-1)
+
+  bool retries_enabled() const { return max_attempts > 1; }
+  bool timeout_enabled() const { return timeout_cycles > 0; }
+
+  uint64_t BackoffFor(uint32_t attempt) const {  // attempt is 1-based
+    return attempt == 0 ? backoff_cycles : backoff_cycles << (attempt - 1);
+  }
+};
+
+}  // namespace udrv
+
+#endif  // UKVM_SRC_DRIVERS_RETRY_POLICY_H_

@@ -30,23 +30,42 @@ ukvm::Result<uint64_t> Disk::Submit(Op op, uint64_t lba, uint32_t blocks, Paddr 
     return ukvm::Err::kOutOfRange;
   }
   const uint64_t request_id = next_request_id_++;
-  const uint64_t service_time = config_.fixed_latency + blocks * config_.per_block_latency +
-                                machine_.costs().DmaCost(bytes);
+  uint64_t service_time = config_.fixed_latency + blocks * config_.per_block_latency +
+                          machine_.costs().DmaCost(bytes);
+
+  // Fault decisions happen at submit so the schedule depends only on the
+  // sequence of requests; their effects land with the completion.
+  ukvm::Err injected = ukvm::Err::kNone;
+  bool irq_lost = false;
+  if (faults_ != nullptr) {
+    if (faults_->SpuriousIrq()) {
+      machine_.irq_controller().Assert(line_);
+    }
+    service_time += faults_->DiskExtraLatency();
+    injected = faults_->DiskIoError(op == Op::kWrite);
+    irq_lost = faults_->LoseIrq();
+  }
+
   busy_until_ = std::max(busy_until_, machine_.Now()) + service_time;
   machine_.AccountOnly(ukvm::kHardwareDomain, machine_.costs().DmaCost(bytes));
 
-  machine_.ScheduleAt(busy_until_, [this, op, lba, bytes, mem_addr, request_id] {
+  machine_.ScheduleAt(busy_until_, [this, op, lba, bytes, mem_addr, request_id, injected,
+                                    irq_lost] {
     const uint64_t disk_off = lba * config_.block_size;
-    if (op == Op::kRead) {
-      machine_.memory().Write(mem_addr, std::span<const uint8_t>(&backing_[disk_off], bytes));
-    } else {
-      std::vector<uint8_t> tmp(bytes);
-      machine_.memory().Read(mem_addr, tmp);
-      std::memcpy(&backing_[disk_off], tmp.data(), bytes);
+    if (injected == ukvm::Err::kNone) {
+      if (op == Op::kRead) {
+        machine_.memory().Write(mem_addr, std::span<const uint8_t>(&backing_[disk_off], bytes));
+      } else {
+        std::vector<uint8_t> tmp(bytes);
+        machine_.memory().Read(mem_addr, tmp);
+        std::memcpy(&backing_[disk_off], tmp.data(), bytes);
+      }
     }
-    completions_.push_back(Completion{request_id, op, ukvm::Err::kNone});
+    completions_.push_back(Completion{request_id, op, injected});
     ++completed_;
-    machine_.irq_controller().Assert(line_);
+    if (!irq_lost) {
+      machine_.irq_controller().Assert(line_);
+    }
   });
   return request_id;
 }

@@ -13,6 +13,7 @@
 
 #include "src/core/error.h"
 #include "src/core/ids.h"
+#include "src/hw/fault_injector.h"
 #include "src/hw/machine.h"
 
 namespace hwsim {
@@ -48,6 +49,14 @@ class Disk {
 
   std::optional<Completion> TakeCompletion();
 
+  // --- Fault injection ------------------------------------------------------
+
+  // Attaches a fault injector (nullptr detaches). Not owned. Injected
+  // faults: read errors (kCorrupted), write errors (kFault), latency
+  // spikes, lost completion IRQs, spurious IRQ edges.
+  void SetFaultInjector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() const { return faults_; }
+
   // --- Introspection and test access ---------------------------------------
 
   const Config& config() const { return config_; }
@@ -65,6 +74,7 @@ class Disk {
   Machine& machine_;
   ukvm::IrqLine line_;
   Config config_;
+  FaultInjector* faults_ = nullptr;
   std::vector<uint8_t> backing_;
   std::deque<Completion> completions_;
   uint64_t next_request_id_ = 1;

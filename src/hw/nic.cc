@@ -32,18 +32,35 @@ ukvm::Err Nic::Transmit(Paddr addr, uint32_t len) {
   machine_.AccountOnly(ukvm::kHardwareDomain, dma);
   ++tx_packets_;
 
-  // TX completion after the DMA engine has drained the buffer.
+  // Fault decisions happen at the transmit edge so the schedule depends only
+  // on the sequence of operations, not on event timing.
+  bool dropped = false;
+  if (faults_ != nullptr) {
+    if (faults_->SpuriousIrq()) {
+      machine_.irq_controller().Assert(line_);
+    }
+    dropped = faults_->DropTxFrame();
+    if (!dropped) {
+      faults_->CorruptFrame(packet);
+    }
+  }
+
+  // TX completion after the DMA engine has drained the buffer. The device
+  // cannot see a wire drop, so the completion fires either way.
   machine_.ScheduleAfter(dma, [this, addr, len] {
     tx_completions_.push_back(NicTxCompletion{addr, len});
-    machine_.irq_controller().Assert(line_);
+    RaiseIrq();
   });
 
   // The packet reaches the peer after DMA + propagation.
-  machine_.ScheduleAfter(dma + config_.wire_latency, [this, packet = std::move(packet)]() mutable {
-    if (peer_) {
-      peer_(std::move(packet));
-    }
-  });
+  if (!dropped) {
+    machine_.ScheduleAfter(dma + config_.wire_latency,
+                           [this, packet = std::move(packet)]() mutable {
+      if (peer_) {
+        peer_(std::move(packet));
+      }
+    });
+  }
   return ukvm::Err::kNone;
 }
 
@@ -66,6 +83,9 @@ std::optional<NicTxCompletion> Nic::TakeTxCompletion() {
 }
 
 void Nic::InjectPacket(std::span<const uint8_t> bytes) {
+  if (faults_ != nullptr && faults_->DropRxFrame()) {
+    return;  // lost on the wire before the NIC ever saw it
+  }
   if (rx_buffers_.empty()) {
     ++rx_drops_;
     return;
@@ -73,14 +93,30 @@ void Nic::InjectPacket(std::span<const uint8_t> bytes) {
   Buffer buffer = rx_buffers_.front();
   rx_buffers_.pop_front();
   const auto len = static_cast<uint32_t>(std::min<uint64_t>(bytes.size(), buffer.len));
-  machine_.memory().Write(buffer.addr, bytes.subspan(0, len));
+  if (faults_ != nullptr) {
+    std::vector<uint8_t> mangled(bytes.begin(), bytes.begin() + len);
+    if (faults_->CorruptFrame(mangled)) {
+      machine_.memory().Write(buffer.addr, mangled);
+    } else {
+      machine_.memory().Write(buffer.addr, bytes.subspan(0, len));
+    }
+  } else {
+    machine_.memory().Write(buffer.addr, bytes.subspan(0, len));
+  }
   const uint64_t dma = machine_.costs().DmaCost(len);
   machine_.AccountOnly(ukvm::kHardwareDomain, dma);
   ++rx_packets_;
   machine_.ScheduleAfter(dma, [this, buffer, len] {
     rx_completions_.push_back(NicRxCompletion{buffer.addr, len});
-    machine_.irq_controller().Assert(line_);
+    RaiseIrq();
   });
+}
+
+void Nic::RaiseIrq() {
+  if (faults_ != nullptr && faults_->LoseIrq()) {
+    return;  // completion queued, but the edge never reaches the controller
+  }
+  machine_.irq_controller().Assert(line_);
 }
 
 }  // namespace hwsim

@@ -18,6 +18,7 @@
 
 #include "src/core/error.h"
 #include "src/core/ids.h"
+#include "src/hw/fault_injector.h"
 #include "src/hw/machine.h"
 
 namespace hwsim {
@@ -69,6 +70,15 @@ class Nic {
   // counted) if no buffer is posted.
   void InjectPacket(std::span<const uint8_t> bytes);
 
+  // --- Fault injection -----------------------------------------------------
+
+  // Attaches a fault injector (nullptr detaches). Not owned; must outlive
+  // the NIC or be detached first. Injected faults: tx frames silently lost
+  // on the wire, rx frames dropped before DMA, byte corruption in transit,
+  // lost completion IRQs, spurious IRQ edges.
+  void SetFaultInjector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() const { return faults_; }
+
   // --- Introspection -------------------------------------------------------
 
   const Config& config() const { return config_; }
@@ -79,6 +89,8 @@ class Nic {
   size_t posted_rx_buffers() const { return rx_buffers_.size(); }
 
  private:
+  // Asserts the completion IRQ unless the injector swallows the edge.
+  void RaiseIrq();
   struct Buffer {
     Paddr addr;
     uint32_t len;
@@ -87,6 +99,7 @@ class Nic {
   Machine& machine_;
   ukvm::IrqLine line_;
   Config config_;
+  FaultInjector* faults_ = nullptr;
   PacketSink peer_;
   std::deque<Buffer> rx_buffers_;
   std::deque<NicRxCompletion> rx_completions_;

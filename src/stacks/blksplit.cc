@@ -26,7 +26,8 @@ BlkBack::BlkBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend
       backend_(backend),
       driver_(driver),
       slice_blocks_(slice_blocks),
-      mux_(mux) {}
+      mux_(mux),
+      health_(machine, "vmm.blk") {}
 
 uint32_t BlkBack::block_size() const {
   return static_cast<uint32_t>(machine_.memory().page_size() / driver_.blocks_per_page());
@@ -56,6 +57,8 @@ void BlkBack::OnKick(BlkChannel& chan) {
     if (req->count == 0 || req->count > driver_.blocks_per_page() ||
         req->lba + req->count > chan.slice_blocks) {
       err = Err::kOutOfRange;
+    } else if (health_.ShouldFastFail()) {
+      err = Err::kRetryExhausted;
     }
     hwsim::Vaddr map_va = 0;
     hwsim::Frame frame = 0;
@@ -79,6 +82,11 @@ void BlkBack::OnKick(BlkChannel& chan) {
     const uint32_t gref = req->gref;
     BlkChannel* chan_ptr = &chan;
     auto done = [this, chan_ptr, id, gref, map_va](Err status) {
+      if (status == Err::kNone) {
+        health_.RecordSuccess();
+      } else {
+        health_.RecordFailure();
+      }
       (void)hv_.HcGrantUnmap(backend_, chan_ptr->guest, gref, map_va);
       chan_ptr->ring->PushResponse(BlkResp{id, status});
       ++served_;

@@ -20,6 +20,7 @@
 #include "src/hw/machine.h"
 #include "src/os/arch_if.h"
 #include "src/stacks/port_mux.h"
+#include "src/stacks/watchdog.h"
 #include "src/stacks/xenring.h"
 #include "src/vmm/hypervisor.h"
 
@@ -55,6 +56,11 @@ class BlkBack {
 
   BlkChannel* Connect(ukvm::DomainId guest);
 
+  // Circuit breaker: persistent disk failures make the backend answer ring
+  // requests with kRetryExhausted instead of burning retries per request.
+  void SetDegradePolicy(const DegradePolicy& policy) { health_.SetPolicy(policy); }
+  const ServiceHealth& health() const { return health_; }
+
   ukvm::DomainId backend() const { return backend_; }
   uint32_t block_size() const;
   uint64_t requests_served() const { return served_; }
@@ -69,6 +75,7 @@ class BlkBack {
   uint64_t slice_blocks_;
   PortMux& mux_;
   std::vector<std::unique_ptr<BlkChannel>> channels_;
+  ServiceHealth health_;
   uint64_t next_slice_ = 0;
   uint64_t map_counter_ = 0;
   uint64_t served_ = 0;

@@ -27,7 +27,8 @@ constexpr size_t kRingCapacity = 256;
 
 NetBack::NetBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend,
                  udrv::NicDriver& driver, RxMode mode, PortMux& mux)
-    : machine_(machine), hv_(hv), backend_(backend), driver_(driver), mode_(mode), mux_(mux) {}
+    : machine_(machine), hv_(hv), backend_(backend), driver_(driver), mode_(mode), mux_(mux),
+      health_(machine, "vmm.net") {}
 
 NetChannel* NetBack::Connect(DomainId guest) {
   auto chan = std::make_unique<NetChannel>();
@@ -72,6 +73,10 @@ void NetBack::OnTxKick(NetChannel& chan) {
   bool any = false;
   while (auto req = chan.tx_ring->PopRequest()) {
     any = true;
+    if (health_.ShouldFastFail()) {
+      chan.tx_ring->PushResponse(NetTxResp{req->gref, Err::kRetryExhausted});
+      continue;
+    }
     // Map the guest's granted page, transmit straight out of it (zero-copy
     // TX), then unmap.
     const hwsim::Vaddr map_va =
@@ -82,6 +87,11 @@ void NetBack::OnTxKick(NetChannel& chan) {
       const hwsim::Pte* pte = back_dom->space.Walk(map_va);
       assert(pte != nullptr && pte->present);
       err = driver_.SendFrame(pte->frame, req->len);
+      if (err == Err::kNone) {
+        health_.RecordSuccess();
+      } else {
+        health_.RecordFailure();  // the NIC refused the frame
+      }
       (void)hv_.HcGrantUnmap(backend_, chan.guest, req->gref, map_va);
     }
     if (err == Err::kNone) {

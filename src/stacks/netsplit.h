@@ -25,6 +25,7 @@
 #include "src/hw/machine.h"
 #include "src/os/arch_if.h"
 #include "src/stacks/port_mux.h"
+#include "src/stacks/watchdog.h"
 #include "src/stacks/xenring.h"
 #include "src/vmm/hypervisor.h"
 
@@ -82,6 +83,11 @@ class NetBack {
   // The NIC driver's rx callback (runs in the backend domain).
   void OnPacketReceived(hwsim::Frame frame, uint32_t len);
 
+  // Circuit breaker: persistent transmit failures make the backend answer
+  // tx requests with kRetryExhausted instead of wedging against the device.
+  void SetDegradePolicy(const DegradePolicy& policy) { health_.SetPolicy(policy); }
+  const ServiceHealth& health() const { return health_; }
+
   RxMode mode() const { return mode_; }
   ukvm::DomainId backend() const { return backend_; }
   uint64_t tx_packets() const { return tx_packets_; }
@@ -100,6 +106,7 @@ class NetBack {
   PortMux& mux_;
   std::vector<std::unique_ptr<NetChannel>> channels_;
   std::unordered_map<uint16_t, NetChannel*> wire_routes_;
+  ServiceHealth health_;
   uint64_t tx_packets_ = 0;
   uint64_t rx_delivered_ = 0;
   uint64_t rx_dropped_ = 0;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/core/log.h"
+#include "src/os/ports/protocols.h"
 
 namespace ustack {
 
@@ -17,6 +18,10 @@ constexpr hwsim::Vaddr kRxWindowVa = 0x4100'0000ull;
 constexpr uint32_t kAppWindowPages = 16;
 constexpr uint32_t kSrvWindowPages = 16;
 constexpr uint32_t kRxWindowPages = 4;
+// The watchdog's monitor task (its own protection domain, like any client).
+constexpr hwsim::Vaddr kMonitorWindowVa = 0x6000'0000ull;
+constexpr uint32_t kMonitorWindowPages = 4;
+constexpr uint32_t kProbePayloadBytes = 32;
 
 }  // namespace
 
@@ -25,15 +30,35 @@ UkernelStack::UkernelStack(Config config)
       nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
       disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
   slice_blocks_ = config.slice_blocks;
+  disk_retry_ = config.disk_retry;
+  nic_retry_ = config.nic_retry;
+  degrade_ = config.degrade;
+  if (config.faults.any_enabled()) {
+    ArmFaults(config.faults);
+  }
   kernel_ = std::make_unique<ukern::Kernel>(machine_);
   sigma0_ = std::make_unique<Sigma0>(machine_, *kernel_);
   net_server_ = std::make_unique<UkNetServer>(machine_, *kernel_, *sigma0_, nic_);
   block_server_ =
       std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, config.slice_blocks);
+  ApplyServerPolicies();
   for (uint32_t i = 0; i < config.num_guests; ++i) {
     guests_.push_back(MakeGuest("guest" + std::to_string(i)));
   }
   machine_.cpu().SetInterruptsEnabled(true);
+}
+
+void UkernelStack::ArmFaults(const hwsim::FaultPlan& plan) {
+  fault_injector_ = std::make_unique<hwsim::FaultInjector>(machine_, plan);
+  nic_.SetFaultInjector(fault_injector_.get());
+  disk_.SetFaultInjector(fault_injector_.get());
+}
+
+void UkernelStack::ApplyServerPolicies() {
+  net_server_->SetRetryPolicy(nic_retry_);
+  net_server_->SetDegradePolicy(degrade_);
+  block_server_->SetRetryPolicy(disk_retry_);
+  block_server_->SetDegradePolicy(degrade_);
 }
 
 std::unique_ptr<UkernelStack::Guest> UkernelStack::MakeGuest(const std::string& name) {
@@ -101,6 +126,7 @@ Err UkernelStack::RunAsApp(size_t i, const std::function<void()>& fn) {
 }
 
 void UkernelStack::RouteWirePort(uint16_t wire_port, size_t i) {
+  wire_routes_[wire_port] = i;
   net_server_->RoutePort(wire_port, guest(i).net_rx_thread);
 }
 
@@ -109,8 +135,15 @@ Err UkernelStack::KillBlockServer() { return kernel_->DestroyTask(block_server_-
 Err UkernelStack::KillNetServer() { return kernel_->DestroyTask(net_server_->task()); }
 
 Err UkernelStack::RestartBlockServer() {
+  // Carry the slice table over: a fresh server must not hand client A's
+  // slice to whichever client happens to speak first.
+  auto slices = block_server_->slices();
+  const uint64_t next_slice = block_server_->next_slice();
   block_server_ =
       std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, slice_blocks_);
+  block_server_->RestoreSlices(std::move(slices), next_slice);
+  block_server_->SetRetryPolicy(disk_retry_);
+  block_server_->SetDegradePolicy(degrade_);
   for (auto& g : guests_) {
     if (g->port != nullptr) {
       g->port->SetBlockServer(block_server_->thread());
@@ -121,12 +154,73 @@ Err UkernelStack::RestartBlockServer() {
 
 Err UkernelStack::RestartNetServer() {
   net_server_ = std::make_unique<UkNetServer>(machine_, *kernel_, *sigma0_, nic_);
+  net_server_->SetRetryPolicy(nic_retry_);
+  net_server_->SetDegradePolicy(degrade_);
+  for (const auto& [wire_port, guest_idx] : wire_routes_) {
+    if (guest_idx < guests_.size()) {
+      net_server_->RoutePort(wire_port, guest(guest_idx).net_rx_thread);
+    }
+  }
   for (auto& g : guests_) {
     if (g->port != nullptr && kernel_->ThreadAlive(g->net_rx_thread)) {
       g->port->SetNetServer(net_server_->thread());
     }
   }
   return Err::kNone;
+}
+
+// --- Health probes ---------------------------------------------------------------
+
+Err UkernelStack::EnsureMonitor() {
+  if (monitor_thread_.valid() && kernel_->ThreadAlive(monitor_thread_)) {
+    return Err::kNone;
+  }
+  auto task = kernel_->CreateTask(sigma0_->thread());
+  if (!task.ok()) {
+    return task.error();
+  }
+  monitor_task_ = *task;
+  auto thread = kernel_->CreateThread(monitor_task_, 120, nullptr);
+  if (!thread.ok()) {
+    return thread.error();
+  }
+  monitor_thread_ = *thread;
+  UKVM_TRY(sigma0_->RequestPages(monitor_thread_, kMonitorWindowVa, kMonitorWindowPages,
+                                 /*writable=*/true));
+  return kernel_->SetRecvBuffer(
+      monitor_thread_, kMonitorWindowVa,
+      kMonitorWindowPages * static_cast<uint32_t>(machine_.memory().page_size()));
+}
+
+namespace {
+
+// Both servers reply in the OS syscall convention: regs[0] < 0 is -Err.
+Err ProbeReplyStatus(const ukern::IpcMessage& reply) {
+  if (reply.status != Err::kNone) {
+    return reply.status;
+  }
+  const auto ret = static_cast<int64_t>(reply.regs[0]);
+  return ret < 0 ? minios::ErrOf(static_cast<minios::SyscallRet>(ret)) : Err::kNone;
+}
+
+}  // namespace
+
+Err UkernelStack::ProbeBlockService() {
+  UKVM_TRY(EnsureMonitor());
+  // One real 1-block read of the monitor's own slice, via the ordinary IPC
+  // request path — exactly what a client would send.
+  ukern::IpcMessage msg = ukern::IpcMessage::Short(minios::kBlkReadLabel, 0, 1);
+  return ProbeReplyStatus(kernel_->Call(monitor_thread_, block_server_->thread(), msg));
+}
+
+Err UkernelStack::ProbeNetService() {
+  UKVM_TRY(EnsureMonitor());
+  // One real transmit through the send path (the frame goes out on the
+  // wire; nothing routes back, which is fine for a liveness probe).
+  ukern::IpcMessage msg = ukern::IpcMessage::Short(minios::kNetSendLabel);
+  msg.has_string = true;
+  msg.string = ukern::StringItem{kMonitorWindowVa, kProbePayloadBytes};
+  return ProbeReplyStatus(kernel_->Call(monitor_thread_, net_server_->thread(), msg));
 }
 
 Err UkernelStack::KillGuest(size_t i) {

@@ -8,15 +8,19 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "src/drivers/retry_policy.h"
 #include "src/hw/disk.h"
+#include "src/hw/fault_injector.h"
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
 #include "src/hw/platform.h"
 #include "src/os/kernel.h"
 #include "src/os/ports/ukernel_port.h"
 #include "src/stacks/ukservers.h"
+#include "src/stacks/watchdog.h"
 #include "src/ukernel/kernel.h"
 
 namespace ustack {
@@ -30,6 +34,12 @@ class UkernelStack {
     uint64_t slice_blocks = 8192;  // per-client virtual-disk size
     hwsim::Nic::Config nic;
     hwsim::Disk::Config disk;
+    // Chaos knobs (E15). `faults` attaches a seeded injector to both
+    // devices; the policies harden the driver servers against it.
+    hwsim::FaultPlan faults;
+    udrv::RetryPolicy disk_retry;
+    udrv::RetryPolicy nic_retry;
+    DegradePolicy degrade;
   };
 
   struct Guest {
@@ -73,26 +83,47 @@ class UkernelStack {
   // --- Service recovery (multiserver restartability) --------------------------
 
   // Replaces a dead (or live) server with a fresh instance and re-points
-  // every guest at it. Disk contents survive (the backing store is intact);
-  // slice assignment is re-established on first contact.
+  // every guest at it. Disk contents survive (the backing store is intact)
+  // and the slice table is carried over so clients keep their slices.
   ukvm::Err RestartBlockServer();
   ukvm::Err RestartNetServer();
+
+  // --- Health probes (service watchdog) ----------------------------------------
+  // One request through the service's ordinary IPC interface, issued from a
+  // dedicated monitor task (created lazily on first probe). kNone means the
+  // service answered.
+  ukvm::Err ProbeBlockService();
+  ukvm::Err ProbeNetService();
+
+  // Attaches (or replaces) a seeded fault injector on both devices. Chaos
+  // benches boot the stack clean and arm the plan once steady state holds.
+  void ArmFaults(const hwsim::FaultPlan& plan);
+  hwsim::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
  private:
   static constexpr uint32_t kNicIrq = 5;
   static constexpr uint32_t kDiskIrq = 6;
 
   std::unique_ptr<Guest> MakeGuest(const std::string& name);
+  void ApplyServerPolicies();
+  ukvm::Err EnsureMonitor();
 
   hwsim::Machine machine_;
   hwsim::Nic nic_;
   hwsim::Disk disk_;
+  std::unique_ptr<hwsim::FaultInjector> fault_injector_;
   std::unique_ptr<ukern::Kernel> kernel_;
   std::unique_ptr<Sigma0> sigma0_;
   std::unique_ptr<UkNetServer> net_server_;
   std::unique_ptr<UkBlockServer> block_server_;
   std::vector<std::unique_ptr<Guest>> guests_;
+  std::unordered_map<uint16_t, size_t> wire_routes_;  // re-applied on restart
   uint64_t slice_blocks_ = 8192;
+  udrv::RetryPolicy disk_retry_;
+  udrv::RetryPolicy nic_retry_;
+  DegradePolicy degrade_;
+  ukvm::DomainId monitor_task_ = ukvm::DomainId::Invalid();
+  ukvm::ThreadId monitor_thread_ = ukvm::ThreadId::Invalid();
 };
 
 }  // namespace ustack

@@ -1,6 +1,8 @@
 #include "src/stacks/ukservers.h"
 
 #include <cassert>
+#include <memory>
+#include <utility>
 
 #include "src/core/log.h"
 #include "src/os/kernel.h"
@@ -109,7 +111,7 @@ Err Sigma0::RequestPages(ThreadId requester, hwsim::Vaddr va, uint32_t pages, bo
 
 UkNetServer::UkNetServer(hwsim::Machine& machine, ukern::Kernel& kernel, Sigma0& sigma0,
                          hwsim::Nic& nic)
-    : machine_(machine), kernel_(kernel) {
+    : machine_(machine), kernel_(kernel), health_(machine, "uk.net") {
   auto task = kernel_.CreateTask(sigma0.thread());
   assert(task.ok());
   task_ = *task;
@@ -207,7 +209,15 @@ IpcMessage UkNetServer::Handle(ThreadId sender, IpcMessage msg) {
       return reply;
     }
     case minios::kNetSendLabel: {
-      const Err err = driver_->SendCopy(msg.string_data);
+      if (health_.ShouldFastFail()) {
+        return IpcMessage::Error(Err::kRetryExhausted);
+      }
+      const Err err = driver_->SendCopyWithRetry(msg.string_data);
+      if (err == Err::kNone) {
+        health_.RecordSuccess();
+      } else if (err != Err::kInvalidArgument) {
+        health_.RecordFailure();  // device-path failure, not a bad argument
+      }
       IpcMessage reply;
       reply.regs[0] = static_cast<uint64_t>(minios::RetOf(err));
       if (err == Err::kNone) {
@@ -226,7 +236,8 @@ IpcMessage UkNetServer::Handle(ThreadId sender, IpcMessage msg) {
 
 UkBlockServer::UkBlockServer(hwsim::Machine& machine, ukern::Kernel& kernel, Sigma0& sigma0,
                              hwsim::Disk& disk, uint64_t slice_blocks)
-    : machine_(machine), kernel_(kernel), disk_(disk), slice_blocks_(slice_blocks) {
+    : machine_(machine), kernel_(kernel), disk_(disk), slice_blocks_(slice_blocks),
+      health_(machine, "uk.blk") {
   auto task = kernel_.CreateTask(sigma0.thread());
   assert(task.ok());
   task_ = *task;
@@ -297,18 +308,25 @@ IpcMessage UkBlockServer::Handle(ThreadId sender, IpcMessage msg) {
       if (count == 0 || count > driver_->blocks_per_page() || lba + count > slice_blocks_) {
         return IpcMessage::Error(Err::kOutOfRange);
       }
-      bool finished = false;
-      Err status = Err::kNone;
-      Err err = driver_->Read(*base + lba, count, staging_frame_, [&](Err s) {
-        status = s;
-        finished = true;
+      if (health_.ShouldFastFail()) {
+        return IpcMessage::Error(Err::kRetryExhausted);
+      }
+      // Shared state: a completion that straggles in after we gave up on
+      // it (timeout) must not write through dangling stack references.
+      auto state = std::make_shared<std::pair<bool, Err>>(false, Err::kNone);
+      Err err = driver_->Read(*base + lba, count, staging_frame_, [state](Err s) {
+        state->second = s;
+        state->first = true;
       });
       if (err == Err::kNone) {
-        err = machine_.WaitUntil([&] { return finished; }, 2'000'000'000ull);
+        err = machine_.WaitUntil([&] { return state->first; }, 2'000'000'000ull);
       }
+      const Err status = state->second;
       if (err != Err::kNone || status != Err::kNone) {
+        health_.RecordFailure();
         return IpcMessage::Error(err != Err::kNone ? err : status);
       }
+      health_.RecordSuccess();
       ++served_;
       IpcMessage reply;
       reply.regs[0] = 0;
@@ -330,22 +348,27 @@ IpcMessage UkBlockServer::Handle(ThreadId sender, IpcMessage msg) {
       if (msg.string_data.size() < uint64_t{count} * disk_.config().block_size) {
         return IpcMessage::Error(Err::kInvalidArgument);
       }
+      if (health_.ShouldFastFail()) {
+        return IpcMessage::Error(Err::kRetryExhausted);
+      }
       // The payload landed in our receive window; write straight from its
       // backing frame (zero extra copy).
       ukern::Task* t = kernel_.FindTask(task_);
       const hwsim::Frame window_frame = t->space.Walk(window_va_)->frame;
-      bool finished = false;
-      Err status = Err::kNone;
-      Err err = driver_->Write(*base + lba, count, window_frame, [&](Err s) {
-        status = s;
-        finished = true;
+      auto state = std::make_shared<std::pair<bool, Err>>(false, Err::kNone);
+      Err err = driver_->Write(*base + lba, count, window_frame, [state](Err s) {
+        state->second = s;
+        state->first = true;
       });
       if (err == Err::kNone) {
-        err = machine_.WaitUntil([&] { return finished; }, 2'000'000'000ull);
+        err = machine_.WaitUntil([&] { return state->first; }, 2'000'000'000ull);
       }
+      const Err status = state->second;
       if (err != Err::kNone || status != Err::kNone) {
+        health_.RecordFailure();
         return IpcMessage::Error(err != Err::kNone ? err : status);
       }
+      health_.RecordSuccess();
       ++served_;
       IpcMessage reply;
       reply.regs[0] = 0;

@@ -17,9 +17,11 @@
 #include "src/core/error.h"
 #include "src/drivers/disk_driver.h"
 #include "src/drivers/nic_driver.h"
+#include "src/drivers/retry_policy.h"
 #include "src/hw/disk.h"
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
+#include "src/stacks/watchdog.h"
 #include "src/ukernel/kernel.h"
 
 namespace ustack {
@@ -69,6 +71,13 @@ class UkNetServer {
   // thread (otherwise the first attached client receives them).
   void RoutePort(uint16_t wire_port, ukvm::ThreadId client_rx);
 
+  // Bounded retries for tx-ring starvation (e.g. lost completion IRQs).
+  void SetRetryPolicy(const udrv::RetryPolicy& policy) { driver_->SetRetryPolicy(policy); }
+  // Circuit breaker: after persistent send failures, reply kRetryExhausted
+  // without touching the device until the cooldown passes.
+  void SetDegradePolicy(const DegradePolicy& policy) { health_.SetPolicy(policy); }
+  const ServiceHealth& health() const { return health_; }
+
   uint64_t rx_forwarded() const { return rx_forwarded_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
 
@@ -85,6 +94,7 @@ class UkNetServer {
   std::unordered_map<hwsim::Frame, hwsim::Vaddr> frame_to_va_;
   std::vector<ukvm::ThreadId> clients_;  // attached rx threads
   std::unordered_map<uint16_t, ukvm::ThreadId> wire_routes_;
+  ServiceHealth health_;
   uint64_t rx_forwarded_ = 0;
   uint64_t rx_dropped_ = 0;
 };
@@ -97,6 +107,20 @@ class UkBlockServer {
 
   ukvm::DomainId task() const { return task_; }
   ukvm::ThreadId thread() const { return thread_; }
+
+  void SetRetryPolicy(const udrv::RetryPolicy& policy) { driver_->SetRetryPolicy(policy); }
+  void SetDegradePolicy(const DegradePolicy& policy) { health_.SetPolicy(policy); }
+  const ServiceHealth& health() const { return health_; }
+
+  // Slice-table carry-over for restarts: without it a restarted server
+  // would hand slice 0 to whichever client spoke first, silently exposing
+  // one client's blocks to another.
+  const std::unordered_map<ukvm::DomainId, uint64_t>& slices() const { return slices_; }
+  uint64_t next_slice() const { return next_slice_; }
+  void RestoreSlices(std::unordered_map<ukvm::DomainId, uint64_t> slices, uint64_t next_slice) {
+    slices_ = std::move(slices);
+    next_slice_ = next_slice;
+  }
 
   uint64_t requests_served() const { return served_; }
 
@@ -117,6 +141,7 @@ class UkBlockServer {
   uint64_t slice_blocks_;
   std::unordered_map<ukvm::DomainId, uint64_t> slices_;  // client task -> slice idx
   uint64_t next_slice_ = 0;
+  ServiceHealth health_;
   uint64_t served_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "src/stacks/vmm_stack.h"
 
+#include <array>
 #include <cassert>
+#include <vector>
 
 #include "src/core/log.h"
 
@@ -12,6 +14,12 @@ VmmStack::VmmStack(Config config)
     : machine_(config.platform, config.memory_bytes),
       nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
       disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
+  disk_retry_ = config.disk_retry;
+  nic_retry_ = config.nic_retry;
+  degrade_ = config.degrade;
+  if (config.faults.any_enabled()) {
+    ArmFaults(config.faults);
+  }
   hv_ = std::make_unique<uvmm::Hypervisor>(machine_);
 
   // --- Dom0: the privileged driver domain -----------------------------------
@@ -43,9 +51,11 @@ VmmStack::VmmStack(Config config)
       pool.push_back(nd->p2m[pfn]);
     }
     nic_driver_ = std::make_unique<udrv::NicDriver>(machine_, nic_, std::move(pool));
+    nic_driver_->SetRetryPolicy(nic_retry_);
   }
   netback_ = std::make_unique<NetBack>(machine_, *hv_, net_dom_, *nic_driver_, config.rx_mode,
                                        net_mux);
+  netback_->SetDegradePolicy(degrade_);
   nic_driver_->SetRxCallback(
       [this](hwsim::Frame frame, uint32_t len) { netback_->OnPacketReceived(frame, len); });
 
@@ -72,8 +82,10 @@ VmmStack::VmmStack(Config config)
   }
   PortMux& storage_mux = config.parallax_storage ? *storage_mux_ : *dom0_mux_;
   disk_driver_ = std::make_unique<udrv::DiskDriver>(machine_, disk_);
+  disk_driver_->SetRetryPolicy(disk_retry_);
   blkback_ = std::make_unique<BlkBack>(machine_, *hv_, storage_dom_, *disk_driver_,
                                        config.slice_blocks, storage_mux);
+  blkback_->SetDegradePolicy(degrade_);
   auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
   assert(disk_port.ok());
   storage_mux.Route(*disk_port, [this] { disk_driver_->OnInterrupt(); });
@@ -89,6 +101,12 @@ VmmStack::VmmStack(Config config)
   for (uint32_t i = 0; i < config.num_guests; ++i) {
     guests_.push_back(MakeGuest("DomU" + std::to_string(i + 1), config));
   }
+}
+
+void VmmStack::ArmFaults(const hwsim::FaultPlan& plan) {
+  fault_injector_ = std::make_unique<hwsim::FaultInjector>(machine_, plan);
+  nic_.SetFaultInjector(fault_injector_.get());
+  disk_.SetFaultInjector(fault_injector_.get());
 }
 
 std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
@@ -160,8 +178,10 @@ Err VmmStack::RestartStorage() {
   }
   PortMux& storage_mux = parallax_ ? *storage_mux_ : *dom0_mux_;
   disk_driver_ = std::make_unique<udrv::DiskDriver>(machine_, disk_);
+  disk_driver_->SetRetryPolicy(disk_retry_);
   blkback_ = std::make_unique<BlkBack>(machine_, *hv_, storage_dom_, *disk_driver_,
                                        slice_blocks_, storage_mux);
+  blkback_->SetDegradePolicy(degrade_);
   auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
   if (!disk_port.ok()) {
     return disk_port.error();
@@ -174,6 +194,32 @@ Err VmmStack::RestartStorage() {
     }
   }
   return Err::kNone;
+}
+
+// --- Health probes ---------------------------------------------------------------
+
+Err VmmStack::ProbeStorageService() {
+  for (auto& g : guests_) {
+    if (!hv_->DomainAlive(g->domain)) {
+      continue;
+    }
+    // One real 1-block read through the split-driver ring — the same
+    // round-trip any guest file I/O takes.
+    std::vector<uint8_t> buf(g->blkfront->block_size());
+    return g->blkfront->Read(0, 1, buf);
+  }
+  return Err::kDead;  // no live guest left to probe through
+}
+
+Err VmmStack::ProbeNetService() {
+  for (auto& g : guests_) {
+    if (!hv_->DomainAlive(g->domain)) {
+      continue;
+    }
+    const std::array<uint8_t, 32> probe{};
+    return g->netfront->Send(probe);
+  }
+  return Err::kDead;
 }
 
 }  // namespace ustack

@@ -13,7 +13,9 @@
 
 #include "src/drivers/disk_driver.h"
 #include "src/drivers/nic_driver.h"
+#include "src/drivers/retry_policy.h"
 #include "src/hw/disk.h"
+#include "src/hw/fault_injector.h"
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
 #include "src/hw/platform.h"
@@ -44,6 +46,12 @@ class VmmStack {
     bool request_fast_syscall = true;
     hwsim::Nic::Config nic;
     hwsim::Disk::Config disk;
+    // Chaos knobs (E15): seeded device fault injection plus the driver and
+    // backend hardening policies applied against it.
+    hwsim::FaultPlan faults;
+    udrv::RetryPolicy disk_retry;
+    udrv::RetryPolicy nic_retry;
+    DegradePolicy degrade;
   };
 
   struct Guest {
@@ -98,6 +106,17 @@ class VmmStack {
   // and reconnects every guest's blkfront. Disk contents survive.
   ukvm::Err RestartStorage();
 
+  // --- Health probes (service watchdog) ----------------------------------------
+  // One request through guest 0's ordinary frontend — the same ring
+  // round-trip any application I/O takes. kNone means the backend answered.
+  ukvm::Err ProbeStorageService();
+  ukvm::Err ProbeNetService();
+
+  // Attaches (or replaces) a seeded fault injector on both devices. Chaos
+  // benches boot the stack clean and arm the plan once steady state holds.
+  void ArmFaults(const hwsim::FaultPlan& plan);
+  hwsim::FaultInjector* fault_injector() { return fault_injector_.get(); }
+
  private:
   static constexpr uint32_t kNicIrq = 5;
   static constexpr uint32_t kDiskIrq = 6;
@@ -107,6 +126,7 @@ class VmmStack {
   hwsim::Machine machine_;
   hwsim::Nic nic_;
   hwsim::Disk disk_;
+  std::unique_ptr<hwsim::FaultInjector> fault_injector_;
   std::unique_ptr<uvmm::Hypervisor> hv_;
 
   ukvm::DomainId dom0_;
@@ -123,6 +143,9 @@ class VmmStack {
   bool parallax_ = false;
   uint64_t storage_pages_ = 1024;
   uint64_t slice_blocks_ = 8192;
+  udrv::RetryPolicy disk_retry_;
+  udrv::RetryPolicy nic_retry_;
+  DegradePolicy degrade_;
 };
 
 }  // namespace ustack

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "src/core/crossings.h"
 #include "src/core/error.h"
 #include "src/core/ids.h"
@@ -42,6 +45,19 @@ TEST(Error, NamesAreStable) {
   EXPECT_STREQ(ErrName(Err::kNone), "OK");
   EXPECT_STREQ(ErrName(Err::kNoMemory), "NO_MEMORY");
   EXPECT_STREQ(ErrName(Err::kDead), "DEAD");
+  EXPECT_STREQ(ErrName(Err::kRetryExhausted), "RETRY_EXHAUSTED");
+  EXPECT_STREQ(ErrName(Err::kCorrupted), "CORRUPTED");
+}
+
+TEST(Error, EveryCodeHasADistinctName) {
+  std::set<std::string> seen;
+  for (int code = 0; code < kNumErrCodes; ++code) {
+    const char* name = ErrName(static_cast<Err>(code));
+    ASSERT_NE(name, nullptr) << "code " << code;
+    EXPECT_STRNE(name, "") << "code " << code;
+    EXPECT_STRNE(name, "UNKNOWN") << "code " << code;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name << " for code " << code;
+  }
 }
 
 TEST(Error, ResultHoldsValue) {
