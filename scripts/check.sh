@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full static-analysis / sanitizer gate:
+#
+#   1. strict build (UKVM_WERROR=ON, UKVM_CHECK=ON) + complete test suite;
+#   2. clang-tidy over src/ with the repo's .clang-tidy (skipped with a
+#      notice when no clang-tidy binary is installed);
+#   3. AddressSanitizer+UBSan build (UKVM_SANITIZE=ON) + complete suite.
+#
+# Exits non-zero if any stage that can run fails. Build trees live under
+# build-check/ so the default build/ is left alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== [1/3] strict build (-Werror, UKVM_CHECK=ON) + tests =="
+cmake -B build-check/werror -S . -DUKVM_WERROR=ON -DUKVM_CHECK=ON >/dev/null
+cmake --build build-check/werror -j"${JOBS}"
+ctest --test-dir build-check/werror -j"${JOBS}" --output-on-failure
+
+echo "== [2/3] clang-tidy over src/ =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The strict tree has a fresh compile_commands.json for it to use.
+  cmake -B build-check/werror -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cc' -print0 |
+    xargs -0 -n1 -P"${JOBS}" clang-tidy -p build-check/werror --quiet
+else
+  echo "clang-tidy not installed; skipping lint stage (build+tests still gate)."
+fi
+
+echo "== [3/3] ASan+UBSan build + tests =="
+cmake -B build-check/asan -S . -DUKVM_SANITIZE=ON >/dev/null
+cmake --build build-check/asan -j"${JOBS}"
+ctest --test-dir build-check/asan -j"${JOBS}" --output-on-failure
+
+echo "check.sh: all stages passed."

@@ -1,0 +1,127 @@
+// The auditor: wires the invariant checks and the crossing-discipline
+// linter into a live machine.
+//
+// One Auditor per simulated machine. It owns the ledger's trace stream and
+// fans events out to the linter; it installs the per-instance observer
+// hooks (page-table map/unmap, TLB insert, grant-table / mapdb / PT-virt
+// mutation, device DMA) and decides *when* each class of check runs:
+//
+//  - per crossing: linter observation, plus draining any unmap operations
+//    queued since the last event (a removed PTE must have left the TLB by
+//    the time the next crossing is recorded);
+//  - per PT update: cheap locality checks on the installed PTE (live frame,
+//    privilege, hypervisor hole) — full-table work would be unaffordable on
+//    hot paths;
+//  - per checkpoint (Checkpoint()): every full scan, plus ledger pairing
+//    balance, which is only meaningful at a quiescent point. Checkpoints
+//    also pick up address spaces created since the last one, so per-update
+//    hooks cover new tasks/domains from the next checkpoint on.
+//
+// Destruction detaches every hook, so the auditor may be torn down before
+// the kernels it watches; the stacks order members accordingly.
+
+#ifndef UKVM_SRC_CHECK_AUDITOR_H_
+#define UKVM_SRC_CHECK_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/invariants.h"
+#include "src/check/ledger_lint.h"
+#include "src/hw/machine.h"
+#include "src/hw/paging.h"
+
+namespace ukern {
+class Kernel;
+}
+namespace uvmm {
+class Hypervisor;
+}
+
+// Build-level default for whether stacks enable auditing; the UKVM_CHECK
+// CMake option sets this (ON by default). Falls back to enabled when built
+// outside the project's CMake.
+#ifndef UKVM_CHECK_DEFAULT
+#define UKVM_CHECK_DEFAULT 1
+#endif
+
+namespace ucheck {
+
+class Auditor {
+ public:
+  struct Options {
+    bool lint_crossings = true;   // feed every ledger event to the linter
+    bool check_pt_updates = true; // per-update PTE checks + deferred TLB drains
+    bool check_tlb_inserts = true;
+    bool check_dma = true;
+  };
+
+  explicit Auditor(hwsim::Machine& machine);  // default options
+  Auditor(hwsim::Machine& machine, Options options);
+  ~Auditor();
+
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  // Attach a kernel; installs its mutation hooks and hooks every existing
+  // address space. Call after the kernel has booted.
+  void AttachUkernel(ukern::Kernel& kernel);
+  void AttachVmm(uvmm::Hypervisor& hv);
+
+  // Registers a standalone space (ownership-only discipline) and hooks it.
+  void AttachSpace(ukvm::DomainId domain, hwsim::PageTable& space);
+
+  // Full audit: refresh space hooks, drain deferred checks, run every
+  // invariant scan, and verify the ledger's pairing groups are balanced.
+  // `phase` labels the checkpoint in warnings.
+  void Checkpoint(const std::string& phase);
+
+  // Violations found so far, across both checkers.
+  size_t violation_count() const {
+    return invariants_.violation_count() + lint_.violation_count();
+  }
+  std::vector<std::string> ViolationReports() const;
+  void ClearViolations();
+
+  InvariantAuditor& invariants() { return invariants_; }
+  LedgerLint& lint() { return lint_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void OnCrossing(const ukvm::CrossingEvent& event);
+  void OnPtOp(const hwsim::PageTable* space, ukvm::DomainId domain, SpaceKind kind,
+              hwsim::PageTable::AuditOp op, hwsim::Vaddr vpn, const hwsim::Pte& pte);
+  void DrainPendingUnmaps();
+  // (Re)installs the per-space hook on every live space; idempotent, run at
+  // attach time and every checkpoint so later-created spaces get covered.
+  void RefreshSpaceHooks();
+  void HookSpace(ukvm::DomainId domain, SpaceKind kind, hwsim::PageTable& space);
+
+  hwsim::Machine& machine_;
+  Options options_;
+  InvariantAuditor invariants_;
+  LedgerLint lint_;
+  ukern::Kernel* kernel_ = nullptr;
+  uvmm::Hypervisor* hv_ = nullptr;
+  std::vector<std::pair<ukvm::DomainId, hwsim::PageTable*>> raw_spaces_;
+
+  struct PendingUnmap {
+    const hwsim::PageTable* space;  // pointer-hashed only, never dereferenced
+    hwsim::Vaddr vpn;
+  };
+  std::vector<PendingUnmap> pending_unmaps_;
+
+  // Scan-skipping dirt: set by the grant/mapdb hooks, cleared when the
+  // corresponding full scan runs at a checkpoint.
+  bool grants_dirty_ = true;
+  bool mapdb_dirty_ = true;
+
+  uint64_t checkpoints_ = 0;
+  size_t warned_ = 0;  // violations already reported via UKVM_WARN
+};
+
+}  // namespace ucheck
+
+#endif  // UKVM_SRC_CHECK_AUDITOR_H_

@@ -1,0 +1,370 @@
+#include "src/check/invariants.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/hw/cpu.h"
+#include "src/ukernel/kernel.h"
+#include "src/ukernel/mapdb.h"
+#include "src/ukernel/task.h"
+#include "src/vmm/domain.h"
+#include "src/vmm/grant_table.h"
+#include "src/vmm/hypervisor.h"
+
+namespace ucheck {
+namespace {
+
+// The domain id both kernels reserve for themselves; frames it owns must
+// never become user-accessible and must never be DMA targets.
+constexpr ukvm::DomainId kPrivilegedDomain{0};
+
+std::string Fmt(const char* format, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), format, args...);
+  return std::string(buf);
+}
+
+const char* KindName(SpaceKind kind) {
+  switch (kind) {
+    case SpaceKind::kUkernelTask:
+      return "task";
+    case SpaceKind::kVmmDomain:
+      return "domain";
+    case SpaceKind::kRaw:
+      return "space";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* InvariantName(Invariant rule) {
+  switch (rule) {
+    case Invariant::kTlbStale:
+      return "tlb-stale";
+    case Invariant::kTlbMismatch:
+      return "tlb-mismatch";
+    case Invariant::kFreeFrameMapping:
+      return "free-frame-mapping";
+    case Invariant::kUnownedMapping:
+      return "unowned-mapping";
+    case Invariant::kPrivilegedFrameUserMapped:
+      return "privileged-frame-user-mapped";
+    case Invariant::kHypervisorHoleMapping:
+      return "hypervisor-hole-mapping";
+    case Invariant::kGrantRefcountMismatch:
+      return "grant-refcount-mismatch";
+    case Invariant::kMapDbIncoherent:
+      return "mapdb-incoherent";
+    case Invariant::kDmaToFreeFrame:
+      return "dma-to-free-frame";
+    case Invariant::kDmaToPrivilegedFrame:
+      return "dma-to-privileged-frame";
+  }
+  return "?";
+}
+
+void InvariantAuditor::Flag(Invariant rule, std::string detail) {
+  violations_.push_back(InvariantViolation{rule, std::move(detail), machine_.Now()});
+}
+
+std::vector<InvariantAuditor::SpaceView> InvariantAuditor::Views() const {
+  std::vector<SpaceView> views;
+  if (kernel_ != nullptr) {
+    kernel_->ForEachTask([&](ukern::Task& t) {
+      views.push_back(SpaceView{t.id, SpaceKind::kUkernelTask, &t.space});
+    });
+  }
+  if (hv_ != nullptr) {
+    hv_->ForEachDomain([&](uvmm::Domain& d) {
+      views.push_back(SpaceView{d.id, SpaceKind::kVmmDomain, &d.space});
+    });
+  }
+  for (const auto& [domain, space] : raw_spaces_) {
+    views.push_back(SpaceView{domain, SpaceKind::kRaw, space});
+  }
+  return views;
+}
+
+std::map<std::pair<uint32_t, hwsim::Frame>, uint64_t> InvariantAuditor::GrantMappedFrames() const {
+  std::map<std::pair<uint32_t, hwsim::Frame>, uint64_t> mapped;
+  if (hv_ == nullptr) {
+    return mapped;
+  }
+  hv_->gnttab().ForEachActive([&](const uvmm::GrantTable::GrantView& g) {
+    if (g.active_mappings == 0) {
+      return;
+    }
+    uvmm::Domain* granter = hv_->FindDomain(g.granter);
+    if (granter == nullptr) {
+      return;
+    }
+    auto mfn = granter->MfnOf(g.pfn);
+    if (!mfn.ok()) {
+      return;
+    }
+    mapped[{g.grantee.value(), *mfn}] += g.active_mappings;
+  });
+  return mapped;
+}
+
+void InvariantAuditor::CheckTlbCoherence() {
+  const std::vector<SpaceView> views = Views();
+  hwsim::Cpu& cpu = machine_.cpu();
+  cpu.tlb().ForEachValid([&](const hwsim::TlbEntry& entry) {
+    // Attribute the entry to a space via its salt (the upper 32 key bits).
+    // Unsalted entries belong to the last untagged full switch; salted ones
+    // to whichever live space hashes to that salt. Entries of spaces that
+    // no longer exist cannot be attributed and are skipped.
+    const uint64_t salt = entry.vpn & ~uint64_t{0xffffffff};
+    const hwsim::PageTable* key_space =
+        salt == 0 ? cpu.salt0_space() : nullptr;
+    hwsim::Vaddr vpn = entry.vpn ^ salt;
+    if (salt != 0) {
+      for (const SpaceView& v : views) {
+        if (hwsim::Cpu::TlbSaltOf(v.space) == salt) {
+          key_space = v.space;
+          break;
+        }
+      }
+    }
+    if (key_space == nullptr) {
+      return;
+    }
+    const SpaceView* view = nullptr;
+    for (const SpaceView& v : views) {
+      if (v.space == key_space) {
+        view = &v;
+        break;
+      }
+    }
+    if (view == nullptr) {
+      return;  // salt0 space died; nothing safe to dereference
+    }
+    const hwsim::Pte* pte = view->space->Walk(vpn << view->space->page_shift());
+    if (pte == nullptr || !pte->present) {
+      Flag(Invariant::kTlbStale,
+           Fmt("TLB holds vpn 0x%" PRIx64 " of %s %u but the PTE is gone", vpn,
+               KindName(view->kind), view->domain.value()));
+      return;
+    }
+    if (pte->frame != entry.frame) {
+      Flag(Invariant::kTlbMismatch,
+           Fmt("TLB maps vpn 0x%" PRIx64 " of %s %u to frame %" PRIu64
+               " but the PTE says %" PRIu64,
+               vpn, KindName(view->kind), view->domain.value(), entry.frame, pte->frame));
+      return;
+    }
+    if ((entry.writable && !pte->writable) || (entry.user && !pte->user)) {
+      Flag(Invariant::kTlbMismatch,
+           Fmt("TLB permissions for vpn 0x%" PRIx64 " of %s %u exceed the PTE", vpn,
+               KindName(view->kind), view->domain.value()));
+    }
+  });
+}
+
+void InvariantAuditor::CheckFrameOwnership() {
+  const std::vector<SpaceView> views = Views();
+  const auto grant_mapped = GrantMappedFrames();
+  hwsim::PhysicalMemory& mem = machine_.memory();
+  for (const SpaceView& view : views) {
+    view.space->ForEachMapping([&](hwsim::Vaddr vpn, const hwsim::Pte& pte) {
+      const ukvm::DomainId owner = mem.OwnerOf(pte.frame);
+      if (!owner.valid()) {
+        Flag(Invariant::kFreeFrameMapping,
+             Fmt("%s %u maps vpn 0x%" PRIx64 " to free frame %" PRIu64, KindName(view.kind),
+                 view.domain.value(), vpn, pte.frame));
+        return;
+      }
+      if (owner == view.domain) {
+        return;
+      }
+      switch (view.kind) {
+        case SpaceKind::kUkernelTask: {
+          ukern::MapNode* node = kernel_->mapdb().Find(view.domain, vpn);
+          if (node != nullptr && node->frame == pte.frame) {
+            return;
+          }
+          break;
+        }
+        case SpaceKind::kVmmDomain:
+          if (grant_mapped.contains({view.domain.value(), pte.frame})) {
+            return;
+          }
+          break;
+        case SpaceKind::kRaw:
+          break;
+      }
+      Flag(Invariant::kUnownedMapping,
+           Fmt("%s %u maps vpn 0x%" PRIx64 " to frame %" PRIu64
+               " owned by domain %u with no recorded delegation",
+               KindName(view.kind), view.domain.value(), vpn, pte.frame, owner.value()));
+    });
+  }
+}
+
+void InvariantAuditor::CheckSpace(ukvm::DomainId domain, SpaceKind kind,
+                                  const hwsim::PageTable& space) {
+  space.ForEachMapping([&](hwsim::Vaddr vpn, const hwsim::Pte& pte) {
+    CheckMappedPte(domain, kind, vpn, pte);
+  });
+}
+
+void InvariantAuditor::CheckPrivilegeDiscipline() {
+  const std::vector<SpaceView> views = Views();
+  for (const SpaceView& view : views) {
+    view.space->ForEachMapping([&](hwsim::Vaddr vpn, const hwsim::Pte& pte) {
+      CheckMappedPte(view.domain, view.kind, vpn, pte);
+    });
+  }
+}
+
+void InvariantAuditor::CheckMappedPte(ukvm::DomainId domain, SpaceKind kind, hwsim::Vaddr vpn,
+                                      const hwsim::Pte& pte) {
+  if (!pte.present) {
+    return;
+  }
+  const ukvm::DomainId owner = machine_.memory().OwnerOf(pte.frame);
+  if (!owner.valid()) {
+    Flag(Invariant::kFreeFrameMapping,
+         Fmt("%s %u maps vpn 0x%" PRIx64 " to free frame %" PRIu64, KindName(kind),
+             domain.value(), vpn, pte.frame));
+    return;
+  }
+  if (pte.user && owner == kPrivilegedDomain && domain != kPrivilegedDomain) {
+    Flag(Invariant::kPrivilegedFrameUserMapped,
+         Fmt("%s %u has user-accessible vpn 0x%" PRIx64 " onto kernel-owned frame %" PRIu64,
+             KindName(kind), domain.value(), vpn, pte.frame));
+  }
+  if (kind == SpaceKind::kVmmDomain && hv_ != nullptr) {
+    const uint64_t va = vpn << machine_.memory().page_shift();
+    const auto& config = hv_->config();
+    if (va >= config.hole_base && va < config.hole_end) {
+      Flag(Invariant::kHypervisorHoleMapping,
+           Fmt("domain %u maps va 0x%" PRIx64 " inside the hypervisor hole", domain.value(), va));
+    }
+  }
+}
+
+void InvariantAuditor::CheckGrantRefcounts() {
+  if (hv_ == nullptr) {
+    return;
+  }
+  const auto expected = GrantMappedFrames();
+  // Live foreign-frame PTEs per (grantee, frame) across all guest spaces.
+  std::map<std::pair<uint32_t, hwsim::Frame>, uint64_t> actual;
+  hwsim::PhysicalMemory& mem = machine_.memory();
+  hv_->ForEachDomain([&](uvmm::Domain& d) {
+    d.space.ForEachMapping([&](hwsim::Vaddr vpn, const hwsim::Pte& pte) {
+      (void)vpn;
+      const ukvm::DomainId owner = mem.OwnerOf(pte.frame);
+      if (owner.valid() && owner != d.id) {
+        ++actual[{d.id.value(), pte.frame}];
+      }
+    });
+  });
+  for (const auto& [key, want] : expected) {
+    const auto it = actual.find(key);
+    const uint64_t have = it == actual.end() ? 0 : it->second;
+    if (have != want) {
+      Flag(Invariant::kGrantRefcountMismatch,
+           Fmt("grants to domain %u for frame %" PRIu64 " record %" PRIu64
+               " active mappings but %" PRIu64 " live PTEs exist",
+               key.first, key.second, want, have));
+    }
+  }
+  // Foreign PTEs with no grant at all are CheckFrameOwnership's finding;
+  // reporting them here too would double-count the same defect.
+}
+
+void InvariantAuditor::CheckMapDbCoherence() {
+  if (kernel_ == nullptr) {
+    return;
+  }
+  kernel_->mapdb().ForEachNode([&](const ukern::MapNode& node) {
+    ukern::Task* task = kernel_->FindTask(node.task);
+    if (task == nullptr || !task->alive) {
+      Flag(Invariant::kMapDbIncoherent,
+           Fmt("mapdb node (task %u, vpn 0x%" PRIx64 ") refers to a dead task", node.task.value(),
+               node.vpn));
+      return;
+    }
+    const hwsim::Pte* pte = task->space.Walk(node.vpn << task->space.page_shift());
+    if (pte == nullptr || !pte->present) {
+      Flag(Invariant::kMapDbIncoherent,
+           Fmt("mapdb node (task %u, vpn 0x%" PRIx64 ") has no live PTE", node.task.value(),
+               node.vpn));
+      return;
+    }
+    if (pte->frame != node.frame) {
+      Flag(Invariant::kMapDbIncoherent,
+           Fmt("mapdb node (task %u, vpn 0x%" PRIx64 ") records frame %" PRIu64
+               " but the PTE holds %" PRIu64,
+               node.task.value(), node.vpn, node.frame, pte->frame));
+    }
+  });
+}
+
+void InvariantAuditor::CheckUnmapFlushed(const hwsim::PageTable* space, hwsim::Vaddr vpn) {
+  const hwsim::Cpu& cpu = machine_.cpu();
+  const hwsim::Tlb& tlb = cpu.tlb();
+  if (tlb.Probe(vpn).has_value() && cpu.salt0_space() == space) {
+    Flag(Invariant::kTlbStale,
+         Fmt("unmapped vpn 0x%" PRIx64 " still translatable via the untagged TLB key", vpn));
+  }
+  const uint64_t salt = hwsim::Cpu::TlbSaltOf(space);
+  if (salt != 0 && tlb.Probe(vpn ^ salt).has_value()) {
+    Flag(Invariant::kTlbStale,
+         Fmt("unmapped vpn 0x%" PRIx64 " still translatable via its salted TLB key", vpn));
+  }
+}
+
+void InvariantAuditor::CheckTlbInsert(const hwsim::TlbEntry& entry) {
+  hwsim::Cpu& cpu = machine_.cpu();
+  hwsim::PageTable* space = cpu.address_space();
+  if (space == nullptr) {
+    return;
+  }
+  const hwsim::Vaddr vpn = entry.vpn ^ cpu.tlb_salt();
+  const hwsim::Pte* pte = space->Walk(vpn << space->page_shift());
+  if (pte == nullptr || !pte->present) {
+    Flag(Invariant::kTlbStale,
+         Fmt("TLB insert for vpn 0x%" PRIx64 " with no backing PTE", vpn));
+    return;
+  }
+  if (pte->frame != entry.frame) {
+    Flag(Invariant::kTlbMismatch,
+         Fmt("TLB insert for vpn 0x%" PRIx64 " caches frame %" PRIu64 " but the PTE says %" PRIu64,
+             vpn, entry.frame, pte->frame));
+    return;
+  }
+  if ((entry.writable && !pte->writable) || (entry.user && !pte->user)) {
+    Flag(Invariant::kTlbMismatch,
+         Fmt("TLB insert for vpn 0x%" PRIx64 " grants permissions the PTE withholds", vpn));
+  }
+}
+
+void InvariantAuditor::CheckDmaTarget(const hwsim::Machine::DmaAccess& access) {
+  const ukvm::DomainId owner = machine_.memory().OwnerOf(access.frame);
+  if (!owner.valid()) {
+    Flag(Invariant::kDmaToFreeFrame,
+         Fmt("device DMA %s free frame %" PRIu64 " (initiated under domain %u)",
+             access.to_memory ? "writes" : "reads", access.frame, access.initiator.value()));
+    return;
+  }
+  if (owner == kPrivilegedDomain) {
+    Flag(Invariant::kDmaToPrivilegedFrame,
+         Fmt("device DMA %s kernel-owned frame %" PRIu64 " (initiated under domain %u)",
+             access.to_memory ? "writes" : "reads", access.frame, access.initiator.value()));
+  }
+}
+
+void InvariantAuditor::CheckAll() {
+  CheckTlbCoherence();
+  CheckFrameOwnership();
+  CheckPrivilegeDiscipline();
+  CheckGrantRefcounts();
+  CheckMapDbCoherence();
+}
+
+}  // namespace ucheck

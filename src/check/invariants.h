@@ -1,0 +1,151 @@
+// Isolation-invariant checks over the simulated machine state.
+//
+// The paper's whole argument rests on both kernels actually enforcing
+// protection-domain isolation while they perform their crossings; a
+// simulator that silently leaks a frame across domains or serves stale TLB
+// translations would make every measurement meaningless. The
+// InvariantAuditor walks machine + kernel state and verifies:
+//
+//  - TLB coherence: every valid TLB entry that can be attributed to a live
+//    address space agrees with that space's page table (present, same
+//    frame, permissions not exceeding the PTE);
+//  - frame-ownership exclusivity: a frame mapped into a domain that does
+//    not own it must have a recorded delegation — a mapdb node in the
+//    microkernel stack, an active grant in the VMM stack;
+//  - privilege discipline: no user-accessible PTE may target a frame owned
+//    by the kernel/hypervisor domain; guest spaces may never map the
+//    hypervisor hole; DMA may only target live, unprivileged frames;
+//  - grant-refcount consistency: each grant's active-mapping count matches
+//    the live PTEs actually mapping foreign frames in the grantee's space;
+//  - mapdb coherence: every mapping-database node corresponds to a present
+//    PTE with the recorded frame in a live task.
+//
+// The class holds only non-owning pointers to the kernels; the wiring layer
+// (src/check/auditor.h) decides when checks run.
+
+#ifndef UKVM_SRC_CHECK_INVARIANTS_H_
+#define UKVM_SRC_CHECK_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/ids.h"
+#include "src/hw/machine.h"
+#include "src/hw/paging.h"
+#include "src/hw/tlb.h"
+
+namespace ukern {
+class Kernel;
+}
+namespace uvmm {
+class Hypervisor;
+}
+
+namespace ucheck {
+
+enum class Invariant : uint8_t {
+  kTlbStale,                   // TLB serves a translation the tables revoked
+  kTlbMismatch,                // TLB frame/permissions disagree with the PTE
+  kFreeFrameMapping,           // PTE targets an unallocated frame
+  kUnownedMapping,             // foreign frame mapped without mapdb/grant record
+  kPrivilegedFrameUserMapped,  // user PTE onto a kernel/hypervisor frame
+  kHypervisorHoleMapping,      // guest space maps into the hypervisor hole
+  kGrantRefcountMismatch,      // grant active_mappings != live foreign PTEs
+  kMapDbIncoherent,            // mapdb node without a matching live PTE
+  kDmaToFreeFrame,             // device DMA targets an unallocated frame
+  kDmaToPrivilegedFrame,       // device DMA targets a kernel/hypervisor frame
+};
+
+const char* InvariantName(Invariant rule);
+
+struct InvariantViolation {
+  Invariant rule;
+  std::string detail;  // human-readable specifics with addresses/ids
+  uint64_t time = 0;   // simulated time when the check ran
+};
+
+// What discipline a page table is held to: microkernel task spaces justify
+// foreign frames through the mapping database, VMM domain spaces through
+// grant entries, raw spaces (tests, bare-metal) only through ownership.
+enum class SpaceKind : uint8_t { kUkernelTask, kVmmDomain, kRaw };
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(hwsim::Machine& machine) : machine_(machine) {}
+
+  // Attach the kernel whose state the full scans should cover. Non-owning;
+  // the kernel must outlive the auditor (or be detached by destroying the
+  // auditor first — the stacks order their members accordingly).
+  void AttachUkernel(ukern::Kernel& kernel) { kernel_ = &kernel; }
+  void AttachVmm(uvmm::Hypervisor& hv) { hv_ = &hv; }
+
+  // Registers a standalone space audited under the ownership-only rule.
+  void AttachSpace(ukvm::DomainId domain, hwsim::PageTable& space) {
+    raw_spaces_.emplace_back(domain, &space);
+  }
+
+  // --- Full scans (checkpoint granularity) -----------------------------------
+
+  void CheckTlbCoherence();
+  void CheckFrameOwnership();
+  void CheckPrivilegeDiscipline();
+  void CheckGrantRefcounts();
+  void CheckMapDbCoherence();
+  void CheckAll();
+
+  // Ownership + privilege scan of a single space (used by the paravirtual
+  // PT-update hook, which knows which domain's table just changed).
+  void CheckSpace(ukvm::DomainId domain, SpaceKind kind, const hwsim::PageTable& space);
+
+  // --- Incremental checks (hook granularity) ---------------------------------
+
+  // A PTE was just installed: is the frame live, non-privileged, outside
+  // the hole?
+  void CheckMappedPte(ukvm::DomainId domain, SpaceKind kind, hwsim::Vaddr vpn,
+                      const hwsim::Pte& pte);
+
+  // A PTE was removed earlier this operation: no TLB entry for the page may
+  // survive, under either the raw or the salted key. `space` is only
+  // pointer-hashed, never dereferenced, so the check stays safe after the
+  // space is destroyed (task teardown queues these).
+  void CheckUnmapFlushed(const hwsim::PageTable* space, hwsim::Vaddr vpn);
+
+  // The MMU just inserted a TLB entry: it must agree with the currently
+  // loaded space's PTE.
+  void CheckTlbInsert(const hwsim::TlbEntry& entry);
+
+  // A device DMA touches `access.frame`.
+  void CheckDmaTarget(const hwsim::Machine::DmaAccess& access);
+
+  // --- Results ----------------------------------------------------------------
+
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  size_t violation_count() const { return violations_.size(); }
+  void ClearViolations() { violations_.clear(); }
+
+ private:
+  struct SpaceView {
+    ukvm::DomainId domain;
+    SpaceKind kind;
+    hwsim::PageTable* space;
+  };
+
+  std::vector<SpaceView> Views() const;
+  // Active grant mappings as (grantee, machine frame) -> expected count.
+  std::map<std::pair<uint32_t, hwsim::Frame>, uint64_t> GrantMappedFrames() const;
+
+  void Flag(Invariant rule, std::string detail);
+
+  hwsim::Machine& machine_;
+  ukern::Kernel* kernel_ = nullptr;
+  uvmm::Hypervisor* hv_ = nullptr;
+  std::vector<std::pair<ukvm::DomainId, hwsim::PageTable*>> raw_spaces_;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace ucheck
+
+#endif  // UKVM_SRC_CHECK_INVARIANTS_H_

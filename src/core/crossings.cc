@@ -74,8 +74,6 @@ uint32_t CrossingLedger::InternMechanism(std::string_view name, CrossingKind kin
 
 void CrossingLedger::Record(uint32_t mechanism, DomainId from, DomainId to, uint64_t cycles,
                             uint64_t bytes) {
-  (void)from;
-  (void)to;
   assert(mechanism < slots_.size());
   MechanismSlot& slot = slots_[mechanism];
   slot.count += 1;
@@ -84,6 +82,19 @@ void CrossingLedger::Record(uint32_t mechanism, DomainId from, DomainId to, uint
   kind_counts_[static_cast<size_t>(slot.kind)] += 1;
   total_count_ += 1;
   total_cycles_ += cycles;
+  const uint64_t seq = events_recorded_++;
+  if (sink_) {
+    CrossingEvent event;
+    event.mechanism = mechanism;
+    event.kind = slot.kind;
+    event.from = from;
+    event.to = to;
+    event.cycles = cycles;
+    event.bytes = bytes;
+    event.seq = seq;
+    event.time = now_ ? now_() : 0;
+    sink_(event);
+  }
 }
 
 uint64_t CrossingLedger::CountByKind(CrossingKind kind) const {
@@ -121,6 +132,9 @@ void CrossingLedger::Reset() {
   kind_counts_.fill(0);
   total_count_ = 0;
   total_cycles_ = 0;
+  if (reset_hook_) {
+    reset_hook_();
+  }
 }
 
 }  // namespace ukvm

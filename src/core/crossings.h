@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -69,6 +70,20 @@ struct CrossingSnapshot {
 // Computes `after - before` field-wise (mechanisms matched by name).
 CrossingSnapshot DiffSnapshots(const CrossingSnapshot& before, const CrossingSnapshot& after);
 
+// One crossing as it happened, for stream consumers (the ledger linter in
+// src/check). Only produced while a trace sink is installed; the aggregate
+// counters above are always maintained.
+struct CrossingEvent {
+  uint32_t mechanism = 0;
+  CrossingKind kind = CrossingKind::kKindCount;
+  DomainId from;
+  DomainId to;
+  uint64_t cycles = 0;
+  uint64_t bytes = 0;
+  uint64_t seq = 0;   // ordinal of this event since the ledger was created
+  uint64_t time = 0;  // simulated time at the record call (0 without a clock)
+};
+
 // Records crossings. One ledger per simulated machine; not thread-safe (the
 // simulation is single-threaded and deterministic).
 class CrossingLedger {
@@ -92,6 +107,28 @@ class CrossingLedger {
   CrossingSnapshot Snapshot() const;
   void Reset();
 
+  // --- Trace stream (feeds the crossing-discipline linter) -------------------
+
+  // Installs a per-event observer; pass nullptr to stop tracing. Only one
+  // sink at a time: the auditor owns the stream and fans it out itself.
+  void SetTraceSink(std::function<void(const CrossingEvent&)> sink) { sink_ = std::move(sink); }
+  bool tracing() const { return static_cast<bool>(sink_); }
+
+  // Clock for event timestamps; the owning Machine installs its simulated
+  // clock here. Without one, event times are 0.
+  void SetTimeSource(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  // Observer for Reset(), so stream consumers can drop their running state
+  // in step with the aggregates.
+  void SetResetHook(std::function<void()> hook) { reset_hook_ = std::move(hook); }
+
+  // Mechanism table introspection (ids are dense, [0, mechanism_count)).
+  size_t mechanism_count() const { return slots_.size(); }
+  const std::string& MechanismName(uint32_t id) const { return slots_.at(id).name; }
+  CrossingKind MechanismKind(uint32_t id) const { return slots_.at(id).kind; }
+
+  uint64_t events_recorded() const { return events_recorded_; }
+
  private:
   struct MechanismSlot {
     std::string name;
@@ -106,6 +143,10 @@ class CrossingLedger {
   std::array<uint64_t, kCrossingKindCount> kind_counts_{};
   uint64_t total_count_ = 0;
   uint64_t total_cycles_ = 0;
+  uint64_t events_recorded_ = 0;
+  std::function<void(const CrossingEvent&)> sink_;
+  std::function<uint64_t()> now_;
+  std::function<void()> reset_hook_;
 };
 
 }  // namespace ukvm

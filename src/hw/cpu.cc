@@ -29,9 +29,10 @@ void Cpu::SwitchAddressSpace(PageTable* space) {
   machine_.Charge(machine_.costs().address_space_switch);
   if (machine_.platform().tagged_tlb) {
     // ASID-tagged TLB: entries survive, distinguished by their tag.
-    tlb_salt_ = std::hash<const void*>{}(space) & ~uint64_t{0xffffffff};
+    tlb_salt_ = TlbSaltOf(space);
   } else {
     tlb_salt_ = 0;
+    salt0_space_ = space;
     tlb_.FlushAll();
     machine_.Charge(machine_.costs().tlb_flush_full);
   }
@@ -44,10 +45,20 @@ void Cpu::SwitchAddressSpaceSmall(PageTable* space) {
   address_space_ = space;
   // Entries of this space live at different linear addresses (its segment
   // base relocates them); the salt reproduces that distinctness.
-  tlb_salt_ = std::hash<const void*>{}(space) & ~uint64_t{0xffffffff};
+  tlb_salt_ = TlbSaltOf(space);
   ++context_switches_;
   // Segment remap: reload the four data-segment registers; no TLB flush.
   ChargeSegmentReloads(4);
+}
+
+void Cpu::InvalidatePage(const PageTable* space, Vaddr vpn) {
+  // An entry for this page can live under two keys: the raw vpn (inserted
+  // while the space was loaded untagged, salt 0) or the salted key
+  // (inserted while it was active as a tagged or small space). Salts keep
+  // to the upper 32 bits and vpns below them, so the keys are distinct and
+  // flushing both is exact.
+  tlb_.FlushPage(vpn);
+  tlb_.FlushPage(vpn ^ TlbSaltOf(space));
 }
 
 ukvm::Result<Translation> Cpu::Translate(Vaddr va, bool write, bool user_access) {

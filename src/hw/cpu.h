@@ -11,6 +11,7 @@
 #define UKVM_SRC_HW_CPU_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/core/error.h"
 #include "src/core/ids.h"
@@ -66,6 +67,24 @@ class Cpu {
   // eligibility. Translation still uses `space` (the small space's view).
   void SwitchAddressSpaceSmall(PageTable* space);
 
+  // Invalidates any TLB entry for `vpn` in `space`, whether it was
+  // inserted under the space's tag/segment salt or untagged. Kernels must
+  // use this (not tlb().FlushPage) when revoking a mapping: on tagged-TLB
+  // platforms and under small spaces, entries survive address-space
+  // switches under a salted key, so flushing the raw vpn of the currently
+  // loaded space is not enough.
+  void InvalidatePage(const PageTable* space, Vaddr vpn);
+
+  // The salt that entries of `space` carry when it is active as a tagged
+  // or small space (upper 32 bits only; vpns stay below 2^32).
+  static uint64_t TlbSaltOf(const PageTable* space) {
+    return std::hash<const void*>{}(space) & ~uint64_t{0xffffffff};
+  }
+  uint64_t tlb_salt() const { return tlb_salt_; }
+  // The space whose entries were inserted with salt 0 (the last untagged
+  // full switch); lets auditors attribute unsalted TLB entries.
+  const PageTable* salt0_space() const { return salt0_space_; }
+
   // Translates `va` through TLB and page tables, charging miss costs and
   // setting accessed/dirty bits. Fails with kFault on missing/forbidden
   // mappings — the caller decides whether to raise a page-fault trap.
@@ -89,6 +108,7 @@ class Cpu {
   // table: models the distinct linear addresses produced by their segment
   // bases. XORed into the TLB key.
   uint64_t tlb_salt_ = 0;
+  const PageTable* salt0_space_ = nullptr;
   uint64_t context_switches_ = 0;
 };
 

@@ -30,6 +30,10 @@ ukvm::Result<uint64_t> Disk::Submit(Op op, uint64_t lba, uint32_t blocks, Paddr 
     return ukvm::Err::kOutOfRange;
   }
   const uint64_t request_id = next_request_id_++;
+  auto& mem = machine_.memory();
+  for (Frame f = mem.FrameOf(mem_addr); f <= mem.FrameOf(mem_addr + bytes - 1); ++f) {
+    machine_.NotifyDmaTarget(mem.FrameBase(f), /*to_memory=*/op == Op::kRead);
+  }
   uint64_t service_time = config_.fixed_latency + blocks * config_.per_block_latency +
                           machine_.costs().DmaCost(bytes);
 

@@ -10,7 +10,9 @@ Machine::Machine(Platform platform, uint64_t memory_bytes)
     : platform_(std::move(platform)),
       memory_(memory_bytes, platform_.page_shift),
       irq_controller_(platform_.irq_lines),
-      cpu_(*this, platform_.tlb_entries) {}
+      cpu_(*this, platform_.tlb_entries) {
+  ledger_.SetTimeSource([this] { return now_; });
+}
 
 void Machine::Charge(uint64_t cycles) { ChargeTo(cpu_.current_domain(), cycles); }
 
@@ -113,6 +115,13 @@ void Machine::RaiseTrap(TrapFrame& frame) {
   Charge(costs().trap_entry);
   trap_handler_->HandleTrap(frame);
   Charge(costs().trap_return);
+}
+
+void Machine::NotifyDmaTarget(Paddr target, bool to_memory) {
+  if (!dma_audit_hook_) {
+    return;
+  }
+  dma_audit_hook_(DmaAccess{memory_.FrameOf(target), to_memory, cpu_.current_domain()});
 }
 
 void Machine::DeliverPendingInterrupts() {

@@ -106,6 +106,26 @@ class Machine {
   // the CPU has interrupts enabled. Kernels call this at safe points.
   void DeliverPendingInterrupts();
 
+  // --- DMA auditing ---------------------------------------------------------
+
+  // One device DMA touching physical memory: the frame under `target`,
+  // whether the device writes memory (rx/read) or reads it (tx/write), and
+  // the domain that was running when the transfer was submitted.
+  struct DmaAccess {
+    Frame frame = 0;
+    bool to_memory = false;
+    ukvm::DomainId initiator;
+  };
+
+  // Observer for device DMA; installed by the invariant auditor, nullptr to
+  // detach. Devices report targets via NotifyDmaTarget at submit time.
+  void SetDmaAuditHook(std::function<void(const DmaAccess&)> hook) {
+    dma_audit_hook_ = std::move(hook);
+  }
+
+  // Called by device models for each page a DMA transfer touches.
+  void NotifyDmaTarget(Paddr target, bool to_memory);
+
  private:
   struct Event {
     uint64_t time;
@@ -128,6 +148,7 @@ class Machine {
   ukvm::CpuAccounting accounting_;
   ukvm::Counters counters_;
   TrapHandler* trap_handler_ = nullptr;
+  std::function<void(const DmaAccess&)> dma_audit_hook_;
 
   uint64_t now_ = 0;
   EventId next_event_id_ = 1;

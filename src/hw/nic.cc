@@ -16,6 +16,10 @@ ukvm::Err Nic::PostRxBuffer(Paddr addr, uint32_t len) {
   if (rx_buffers_.size() >= config_.rx_queue_depth) {
     return ukvm::Err::kBusy;
   }
+  auto& mem = machine_.memory();
+  for (Frame f = mem.FrameOf(addr); f <= mem.FrameOf(addr + len - 1); ++f) {
+    machine_.NotifyDmaTarget(mem.FrameBase(f), /*to_memory=*/true);
+  }
   rx_buffers_.push_back(Buffer{addr, len});
   return ukvm::Err::kNone;
 }
@@ -27,6 +31,10 @@ ukvm::Err Nic::Transmit(Paddr addr, uint32_t len) {
   std::vector<uint8_t> packet(len);
   if (machine_.memory().Read(addr, packet) != ukvm::Err::kNone) {
     return ukvm::Err::kOutOfRange;
+  }
+  auto& mem = machine_.memory();
+  for (Frame f = mem.FrameOf(addr); f <= mem.FrameOf(addr + len - 1); ++f) {
+    machine_.NotifyDmaTarget(mem.FrameBase(f), /*to_memory=*/false);
   }
   const uint64_t dma = machine_.costs().DmaCost(len);
   machine_.AccountOnly(ukvm::kHardwareDomain, dma);

@@ -30,6 +30,9 @@ ukvm::Err PageTable::Map(Vaddr va, Frame frame, PtePerms perms) {
   pte.user = perms.user;
   pte.accessed = false;
   pte.dirty = false;
+  if (audit_hook_) {
+    audit_hook_(AuditOp::kMap, VpnOf(va), pte);
+  }
   return ukvm::Err::kNone;
 }
 
@@ -41,8 +44,12 @@ ukvm::Err PageTable::Unmap(Vaddr va) {
   if (pte == nullptr || !pte->present) {
     return ukvm::Err::kNotFound;
   }
+  const Pte removed = *pte;
   *pte = Pte{};
   --mapped_pages_;
+  if (audit_hook_) {
+    audit_hook_(AuditOp::kUnmap, VpnOf(va), removed);
+  }
   return ukvm::Err::kNone;
 }
 

@@ -64,6 +64,16 @@ class PageTable {
   // Visits every present mapping (vpn, pte).
   void ForEachMapping(const std::function<void(Vaddr vpn, const Pte&)>& fn) const;
 
+  // Observer for Map/Unmap on this table. For kMap the PTE is the entry as
+  // installed; for kUnmap it is the entry that was just removed. Installed
+  // per-instance by the invariant auditor; pass nullptr to detach. Direct
+  // WalkCreate writers (the paravirtual PT interface) bypass this and carry
+  // their own hook.
+  enum class AuditOp : uint8_t { kMap, kUnmap };
+  void SetAuditHook(std::function<void(AuditOp, Vaddr vpn, const Pte&)> hook) {
+    audit_hook_ = std::move(hook);
+  }
+
   uint64_t mapped_pages() const { return mapped_pages_; }
   uint32_t page_shift() const { return page_shift_; }
   uint64_t max_va() const;
@@ -87,6 +97,7 @@ class PageTable {
   uint32_t vaddr_bits_;
   uint64_t mapped_pages_ = 0;
   std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory_;
+  std::function<void(AuditOp, Vaddr, const Pte&)> audit_hook_;
 };
 
 }  // namespace hwsim

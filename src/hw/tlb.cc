@@ -30,6 +30,25 @@ void Tlb::Insert(Vaddr vpn, Frame frame, bool writable, bool user) {
     index_[vpn] = slot;
   }
   slots_[slot] = TlbEntry{vpn, frame, writable, user, true};
+  if (insert_hook_) {
+    insert_hook_(slots_[slot]);
+  }
+}
+
+std::optional<TlbEntry> Tlb::Probe(Vaddr vpn) const {
+  auto it = index_.find(vpn);
+  if (it == index_.end() || !slots_[it->second].valid) {
+    return std::nullopt;
+  }
+  return slots_[it->second];
+}
+
+void Tlb::ForEachValid(const std::function<void(const TlbEntry&)>& fn) const {
+  for (const TlbEntry& entry : slots_) {
+    if (entry.valid) {
+      fn(entry);
+    }
+  }
 }
 
 void Tlb::FlushAll() {

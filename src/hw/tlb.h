@@ -10,6 +10,7 @@
 #define UKVM_SRC_HW_TLB_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,18 @@ class Tlb {
   void FlushAll();
   void FlushPage(Vaddr vpn);
 
+  // Side-effect-free lookup for auditors: no hit/miss accounting, no cost.
+  std::optional<TlbEntry> Probe(Vaddr vpn) const;
+
+  // Visits every valid entry (keys as inserted, i.e. salted vpns).
+  void ForEachValid(const std::function<void(const TlbEntry&)>& fn) const;
+
+  // Observer called after each Insert with the entry as stored. Installed
+  // by the invariant auditor; pass nullptr to detach.
+  void SetInsertHook(std::function<void(const TlbEntry&)> hook) {
+    insert_hook_ = std::move(hook);
+  }
+
   uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -48,6 +61,7 @@ class Tlb {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t flushes_ = 0;
+  std::function<void(const TlbEntry&)> insert_hook_;
 };
 
 }  // namespace hwsim

@@ -21,6 +21,9 @@ NativeStack::NativeStack(Config config)
   const ukvm::Err err = os_->Boot(/*format_disk=*/true);
   assert(err == ukvm::Err::kNone);
   (void)err;
+  if (config.audit) {
+    auditor_ = std::make_unique<ucheck::Auditor>(machine_);
+  }
 }
 
 }  // namespace ustack

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "src/check/auditor.h"
 #include "src/hw/disk.h"
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
@@ -23,6 +24,9 @@ class NativeStack {
     uint64_t memory_bytes = 32ull * 1024 * 1024;
     hwsim::Nic::Config nic;
     hwsim::Disk::Config disk;
+    // Constructs the isolation auditor (src/check). The native stack has no
+    // page tables, so only the ledger linter and DMA checks are live.
+    bool audit = UKVM_CHECK_DEFAULT != 0;
   };
 
   explicit NativeStack(Config config);
@@ -33,6 +37,8 @@ class NativeStack {
   hwsim::Disk& disk() { return disk_; }
   minios::NativePort& port() { return *port_; }
   minios::Os& os() { return *os_; }
+  // The isolation auditor; nullptr when the config disabled it.
+  ucheck::Auditor* auditor() { return auditor_.get(); }
 
   // Accounting domain of the whole OS.
   ukvm::DomainId os_domain() const { return kOsDomain; }
@@ -47,6 +53,9 @@ class NativeStack {
   hwsim::Disk disk_;
   std::unique_ptr<minios::NativePort> port_;
   std::unique_ptr<minios::Os> os_;
+  // Declared last: destroyed first, detaching its hooks while the machine
+  // is still alive.
+  std::unique_ptr<ucheck::Auditor> auditor_;
 };
 
 }  // namespace ustack

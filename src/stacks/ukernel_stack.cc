@@ -46,6 +46,10 @@ UkernelStack::UkernelStack(Config config)
     guests_.push_back(MakeGuest("guest" + std::to_string(i)));
   }
   machine_.cpu().SetInterruptsEnabled(true);
+  if (config.audit) {
+    auditor_ = std::make_unique<ucheck::Auditor>(machine_);
+    auditor_->AttachUkernel(*kernel_);
+  }
 }
 
 void UkernelStack::ArmFaults(const hwsim::FaultPlan& plan) {

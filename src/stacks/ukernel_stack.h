@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/check/auditor.h"
 #include "src/drivers/retry_policy.h"
 #include "src/hw/disk.h"
 #include "src/hw/fault_injector.h"
@@ -40,6 +41,10 @@ class UkernelStack {
     udrv::RetryPolicy disk_retry;
     udrv::RetryPolicy nic_retry;
     DegradePolicy degrade;
+    // Constructs the isolation auditor (src/check) over this stack. The
+    // default follows the UKVM_CHECK build option; benches flip it off to
+    // measure hook-free baselines.
+    bool audit = UKVM_CHECK_DEFAULT != 0;
   };
 
   struct Guest {
@@ -63,6 +68,8 @@ class UkernelStack {
   Sigma0& sigma0() { return *sigma0_; }
   UkNetServer& net_server() { return *net_server_; }
   UkBlockServer& block_server() { return *block_server_; }
+  // The isolation auditor; nullptr when the config disabled it.
+  ucheck::Auditor* auditor() { return auditor_.get(); }
 
   size_t num_guests() const { return guests_.size(); }
   Guest& guest(size_t i) { return *guests_.at(i); }
@@ -124,6 +131,9 @@ class UkernelStack {
   DegradePolicy degrade_;
   ukvm::DomainId monitor_task_ = ukvm::DomainId::Invalid();
   ukvm::ThreadId monitor_thread_ = ukvm::ThreadId::Invalid();
+  // Declared last: destroyed first, detaching its hooks while the kernel
+  // and machine are still alive.
+  std::unique_ptr<ucheck::Auditor> auditor_;
 };
 
 }  // namespace ustack

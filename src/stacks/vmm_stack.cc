@@ -101,6 +101,11 @@ VmmStack::VmmStack(Config config)
   for (uint32_t i = 0; i < config.num_guests; ++i) {
     guests_.push_back(MakeGuest("DomU" + std::to_string(i + 1), config));
   }
+
+  if (config.audit) {
+    auditor_ = std::make_unique<ucheck::Auditor>(machine_);
+    auditor_->AttachVmm(*hv_);
+  }
 }
 
 void VmmStack::ArmFaults(const hwsim::FaultPlan& plan) {

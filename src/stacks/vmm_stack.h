@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/auditor.h"
 #include "src/drivers/disk_driver.h"
 #include "src/drivers/nic_driver.h"
 #include "src/drivers/retry_policy.h"
@@ -52,6 +53,10 @@ class VmmStack {
     udrv::RetryPolicy disk_retry;
     udrv::RetryPolicy nic_retry;
     DegradePolicy degrade;
+    // Constructs the isolation auditor (src/check) over this stack. The
+    // default follows the UKVM_CHECK build option; benches flip it off to
+    // measure hook-free baselines.
+    bool audit = UKVM_CHECK_DEFAULT != 0;
   };
 
   struct Guest {
@@ -78,6 +83,8 @@ class VmmStack {
   ukvm::DomainId net_domain() const { return net_dom_; }
   NetBack& netback() { return *netback_; }
   BlkBack& blkback() { return *blkback_; }
+  // The isolation auditor; nullptr when the config disabled it.
+  ucheck::Auditor* auditor() { return auditor_.get(); }
 
   size_t num_guests() const { return guests_.size(); }
   Guest& guest(size_t i) { return *guests_.at(i); }
@@ -146,6 +153,9 @@ class VmmStack {
   udrv::RetryPolicy disk_retry_;
   udrv::RetryPolicy nic_retry_;
   DegradePolicy degrade_;
+  // Declared last: destroyed first, detaching its hooks while the
+  // hypervisor and machine are still alive.
+  std::unique_ptr<ucheck::Auditor> auditor_;
 };
 
 }  // namespace ustack

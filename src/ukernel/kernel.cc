@@ -187,6 +187,14 @@ Task* Kernel::FindTask(DomainId id) {
   return it == tasks_.end() ? nullptr : it->second.get();
 }
 
+void Kernel::ForEachTask(const std::function<void(Task&)>& fn) {
+  for (const auto& [id, task] : tasks_) {
+    if (task->alive) {
+      fn(*task);
+    }
+  }
+}
+
 Tcb* Kernel::FindThread(ThreadId id) {
   auto it = threads_.find(id);
   return it == threads_.end() ? nullptr : it->second.get();
@@ -331,9 +339,9 @@ Err Kernel::ApplyMapItem(Task& from, Task& to, const MapItem& item) {
       UKVM_TRY(mapdb_.MoveNode(node, to.id, rcv_vpn));
       from.space.Unmap(snd_va);
       machine_.Charge(machine_.costs().pte_write);
-      if (machine_.cpu().address_space() == &from.space) {
-        machine_.cpu().tlb().FlushPage(snd_vpn);
-      }
+      // Salt-aware flush: on tagged-TLB platforms (and for small spaces)
+      // the granter's entries outlive address-space switches.
+      machine_.cpu().InvalidatePage(&from.space, snd_vpn);
     } else {
       mapdb_.AddChild(node, to.id, rcv_vpn, frame);
     }
@@ -516,9 +524,9 @@ void Kernel::RevokePte(DomainId task, hwsim::Vaddr vpn) {
   }
   t->space.Unmap(vpn << t->space.page_shift());
   machine_.ChargeTo(kKernelDomain, machine_.costs().pte_write);
-  if (machine_.cpu().address_space() == &t->space) {
-    machine_.cpu().tlb().FlushPage(vpn);
-  }
+  // Salt-aware flush: tagged-TLB entries and small-space entries survive
+  // address-space switches, so the current-space check alone is not enough.
+  machine_.cpu().InvalidatePage(&t->space, vpn);
 }
 
 Err Kernel::Unmap(DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_self) {
@@ -570,6 +578,9 @@ Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
   IpcMessage fault = IpcMessage::Short(kPageFaultLabel, va, write ? 1 : 0);
   machine_.ledger().Record(mech_.pf_ipc, tcb->task, pager->task, 0, 0);
   IpcMessage reply = InvokeHandler(*pager, thread, std::move(fault));
+  // The pager did answer — even an error reply is a reply, so record it
+  // before bailing or the call/reply pairing goes unbalanced.
+  machine_.ledger().Record(mech_.ipc_reply, pager->task, tcb->task, machine_.Now() - t0, 0);
   if (reply.status != Err::kNone) {
     return reply.status;
   }
@@ -582,7 +593,6 @@ Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
     machine_.ledger().Record(mech_.ipc_map, pager->task, task->id, 0,
                              uint64_t{item.pages} * task->space.page_size());
   }
-  machine_.ledger().Record(mech_.ipc_reply, pager->task, tcb->task, machine_.Now() - t0, 0);
 
   // Verify the fault is now resolved.
   hwsim::Pte* pte = task->space.Walk(va);

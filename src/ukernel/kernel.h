@@ -18,6 +18,7 @@
 #define UKVM_SRC_UKERNEL_KERNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -149,6 +150,10 @@ class Kernel : public hwsim::TrapHandler {
   Tcb* FindThread(ukvm::ThreadId id);
   MapDb& mapdb() { return mapdb_; }
   uint64_t ipc_calls() const { return ipc_calls_; }
+
+  // Visits every live task (order unspecified); for the invariant auditor,
+  // which also installs per-space audit hooks, hence the non-const refs.
+  void ForEachTask(const std::function<void(Task&)>& fn);
 
  private:
   static constexpr ukvm::DomainId kKernelDomain{0};

@@ -32,6 +32,9 @@ MapNode* MapDb::AddRoot(ukvm::DomainId task, hwsim::Vaddr vpn, hwsim::Frame fram
   MapNode* raw = node.get();
   roots_.push_back(std::move(node));
   IndexNode(raw);
+  if (audit_hook_) {
+    audit_hook_();
+  }
   return raw;
 }
 
@@ -46,6 +49,9 @@ MapNode* MapDb::AddChild(MapNode* parent, ukvm::DomainId task, hwsim::Vaddr vpn,
   MapNode* raw = node.get();
   parent->children.push_back(std::move(node));
   IndexNode(raw);
+  if (audit_hook_) {
+    audit_hook_();
+  }
   return raw;
 }
 
@@ -60,6 +66,9 @@ ukvm::Err MapDb::MoveNode(MapNode* node, ukvm::DomainId new_task, hwsim::Vaddr n
   node->task = new_task;
   node->vpn = new_vpn;
   IndexNode(node);
+  if (audit_hook_) {
+    audit_hook_();
+  }
   return ukvm::Err::kNone;
 }
 
@@ -96,6 +105,9 @@ void MapDb::RemoveSubtree(MapNode* node, bool include_self, const RemovalFn& on_
     on_remove(node->task, node->vpn);
     DestroyNode(node);
   }
+  if (audit_hook_) {
+    audit_hook_();
+  }
 }
 
 void MapDb::RemoveAllOf(ukvm::DomainId task, const RemovalFn& on_remove) {
@@ -113,6 +125,12 @@ void MapDb::RemoveAllOf(ukvm::DomainId task, const RemovalFn& on_remove) {
     if (node != nullptr) {
       RemoveSubtree(node, /*include_self=*/true, on_remove);
     }
+  }
+}
+
+void MapDb::ForEachNode(const std::function<void(const MapNode&)>& fn) const {
+  for (const auto& [key, node] : index_) {
+    fn(*node);
   }
 }
 

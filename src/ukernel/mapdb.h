@@ -54,6 +54,13 @@ class MapDb {
   // subtrees, which may live in other tasks) — task destruction.
   void RemoveAllOf(ukvm::DomainId task, const RemovalFn& on_remove);
 
+  // Visits every node in the database; for the invariant auditor.
+  void ForEachNode(const std::function<void(const MapNode&)>& fn) const;
+
+  // Observer called after any structural mutation (add, move, remove).
+  // Installed by the auditor; nullptr detaches.
+  void SetAuditHook(std::function<void()> hook) { audit_hook_ = std::move(hook); }
+
   size_t node_count() const { return index_.size(); }
 
  private:
@@ -76,6 +83,7 @@ class MapDb {
 
   std::vector<std::unique_ptr<MapNode>> roots_;
   std::unordered_map<Key, MapNode*, KeyHash> index_;
+  std::function<void()> audit_hook_;
 };
 
 }  // namespace ukern

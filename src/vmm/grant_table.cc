@@ -114,6 +114,9 @@ Err GrantTable::MapGrant(DomainId grantee, DomainId granter, uint32_t ref, hwsim
   e->space.Map(va, *mfn, hwsim::PtePerms{write, /*user=*/true});
   ++entry->active_mappings;
   machine_.ledger().Record(mech_map_, granter, grantee, 0, machine_.memory().page_size());
+  if (audit_hook_) {
+    audit_hook_();
+  }
   return Err::kNone;
 }
 
@@ -128,11 +131,15 @@ Err GrantTable::UnmapGrant(DomainId grantee, DomainId granter, uint32_t ref, hws
   }
   machine_.Charge(machine_.costs().kernel_op + machine_.costs().pte_write);
   e->space.Unmap(va);
-  if (machine_.cpu().address_space() == &e->space) {
-    machine_.cpu().tlb().FlushPage(e->space.VpnOf(va));
-  }
+  // Flush the salted keys too: on tagged-TLB platforms the grantee's entries
+  // survive address-space switches, so guarding on the current space would
+  // leave a stale translation behind.
+  machine_.cpu().InvalidatePage(&e->space, e->space.VpnOf(va));
   --entry->active_mappings;
   machine_.ledger().Record(mech_unmap_, grantee, granter, 0, 0);
+  if (audit_hook_) {
+    audit_hook_();
+  }
   return Err::kNone;
 }
 
@@ -215,6 +222,9 @@ Result<hwsim::Frame> GrantTable::Transfer(DomainId caller, Pfn caller_pfn, Domai
   machine_.ledger().Record(mech_transfer_, caller, granter, 0, machine_.memory().page_size());
   // A transfer grant is single-use.
   *entry = Entry{};
+  if (audit_hook_) {
+    audit_hook_();
+  }
   return *slot_mfn;
 }
 
@@ -224,6 +234,21 @@ void GrantTable::DropAllOf(DomainId domain) {
     for (Entry& entry : table) {
       if (entry.in_use && entry.grantee == domain) {
         entry = Entry{};
+      }
+    }
+  }
+  if (audit_hook_) {
+    audit_hook_();
+  }
+}
+
+void GrantTable::ForEachActive(const std::function<void(const GrantView&)>& fn) const {
+  for (const auto& [granter, table] : tables_) {
+    for (uint32_t ref = 0; ref < table.size(); ++ref) {
+      const Entry& entry = table[ref];
+      if (entry.in_use) {
+        fn(GrantView{granter, ref, entry.grantee, entry.pfn, entry.writable, entry.for_transfer,
+                     entry.active_mappings});
       }
     }
   }

@@ -70,6 +70,26 @@ class GrantTable {
   // Drops all grants issued by or mapped by `domain` (domain destruction).
   void DropAllOf(ukvm::DomainId domain);
 
+  // --- Auditing ---------------------------------------------------------------
+
+  // A read-only view of one live grant entry, for the invariant auditor.
+  struct GrantView {
+    ukvm::DomainId granter;
+    uint32_t ref = 0;
+    ukvm::DomainId grantee;
+    Pfn pfn = 0;
+    bool writable = false;
+    bool for_transfer = false;
+    uint32_t active_mappings = 0;
+  };
+
+  // Visits every in-use grant entry.
+  void ForEachActive(const std::function<void(const GrantView&)>& fn) const;
+
+  // Observer called after any operation that changes grant state (grant,
+  // end, map, unmap, transfer). Installed by the auditor; nullptr detaches.
+  void SetAuditHook(std::function<void()> hook) { audit_hook_ = std::move(hook); }
+
   uint64_t transfers() const { return transfers_; }
   uint64_t copies() const { return copies_; }
   uint64_t copied_bytes() const { return copied_bytes_; }
@@ -100,6 +120,7 @@ class GrantTable {
   uint64_t transfers_ = 0;
   uint64_t copies_ = 0;
   uint64_t copied_bytes_ = 0;
+  std::function<void()> audit_hook_;
 };
 
 }  // namespace uvmm

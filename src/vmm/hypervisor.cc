@@ -137,6 +137,14 @@ bool Hypervisor::DomainAlive(DomainId dom) {
   return d != nullptr && d->alive;
 }
 
+void Hypervisor::ForEachDomain(const std::function<void(Domain&)>& fn) {
+  for (const auto& [id, dom] : domains_) {
+    if (dom->alive) {
+      fn(*dom);
+    }
+  }
+}
+
 // --- Hypercall plumbing -----------------------------------------------------------
 
 Domain* Hypervisor::HypercallProlog(DomainId dom, HypercallNr nr) {

@@ -84,10 +84,15 @@ class Hypervisor : public hwsim::TrapHandler {
   Domain* FindDomain(ukvm::DomainId dom);
   bool DomainAlive(ukvm::DomainId dom);
 
+  // Visits every live domain (order unspecified); for the invariant auditor,
+  // which also installs per-space audit hooks, hence the non-const refs.
+  void ForEachDomain(const std::function<void(Domain&)>& fn);
+
   EventChannelTable& evtchn() { return *evtchn_; }
   GrantTable& gnttab() { return *gnttab_; }
   DomainScheduler& sched() { return sched_; }
   ExceptionVirt& exceptions() { return exc_; }
+  PtVirt& pt_virt() { return pt_virt_; }
 
   // --- Hypercalls ------------------------------------------------------------
   // Each Hc* models one hypercall from `dom`'s guest kernel: entry/exit

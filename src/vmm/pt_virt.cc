@@ -32,17 +32,27 @@ Err PtVirt::Apply(Domain& dom, std::span<const MmuUpdate> updates) {
   for (const MmuUpdate& u : updates) {
     machine_.Charge(machine_.costs().pte_write);
     if (u.present) {
+      // A remap over a live PTE must invalidate the old translation too, or
+      // the TLB keeps serving the previous frame.
+      const hwsim::Pte* old = dom.space.Walk(u.va);
+      if (old != nullptr && old->present) {
+        machine_.cpu().InvalidatePage(&dom.space, dom.space.VpnOf(u.va));
+      }
       dom.space.Map(u.va, *dom.MfnOf(u.pfn), hwsim::PtePerms{u.writable, /*user=*/true});
     } else {
       (void)dom.space.Unmap(u.va);
-      if (machine_.cpu().address_space() == &dom.space) {
-        machine_.cpu().tlb().FlushPage(dom.space.VpnOf(u.va));
-      }
+      // Salt-aware flush: tagged TLBs keep this domain's entries across
+      // switches, so the unmap must invalidate even when another space is
+      // currently loaded.
+      machine_.cpu().InvalidatePage(&dom.space, dom.space.VpnOf(u.va));
     }
     ++updates_applied_;
   }
   machine_.ledger().Record(mech_update_, dom.id, dom.id, 0,
                            updates.size() * machine_.memory().page_size());
+  if (audit_hook_) {
+    audit_hook_(dom);
+  }
   return Err::kNone;
 }
 

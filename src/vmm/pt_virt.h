@@ -38,6 +38,12 @@ class PtVirt {
   ukvm::Err Apply(Domain& dom, std::span<const MmuUpdate> updates);
 
   uint64_t updates_applied() const { return updates_applied_; }
+  uint64_t hole_base() const { return hole_base_; }
+  uint64_t hole_end() const { return hole_end_; }
+
+  // Observer called once per successfully applied batch, after all updates
+  // landed. Installed by the invariant auditor; nullptr detaches.
+  void SetAuditHook(std::function<void(const Domain&)> hook) { audit_hook_ = std::move(hook); }
 
  private:
   hwsim::Machine& machine_;
@@ -45,6 +51,7 @@ class PtVirt {
   uint64_t hole_end_;
   uint32_t mech_update_ = 0;
   uint64_t updates_applied_ = 0;
+  std::function<void(const Domain&)> audit_hook_;
 };
 
 }  // namespace uvmm
