@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_check_overhead.dir/bench_check_overhead.cpp.o"
+  "CMakeFiles/bench_check_overhead.dir/bench_check_overhead.cpp.o.d"
+  "bench_check_overhead"
+  "bench_check_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_check_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_small_spaces.dir/bench_e10_small_spaces.cpp.o"
+  "CMakeFiles/bench_e10_small_spaces.dir/bench_e10_small_spaces.cpp.o.d"
+  "bench_e10_small_spaces"
+  "bench_e10_small_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_small_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_osbench.dir/bench_e11_osbench.cpp.o"
+  "CMakeFiles/bench_e11_osbench.dir/bench_e11_osbench.cpp.o.d"
+  "bench_e11_osbench"
+  "bench_e11_osbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_osbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

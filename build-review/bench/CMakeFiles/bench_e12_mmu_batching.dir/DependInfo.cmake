@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e12_mmu_batching.cpp" "bench/CMakeFiles/bench_e12_mmu_batching.dir/bench_e12_mmu_batching.cpp.o" "gcc" "bench/CMakeFiles/bench_e12_mmu_batching.dir/bench_e12_mmu_batching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stacks/CMakeFiles/ukvm_stacks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/ukvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/experiments/CMakeFiles/ukvm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/ukvm_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/ukvm_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ukernel/CMakeFiles/ukvm_ukernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vmm/CMakeFiles/ukvm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/drivers/CMakeFiles/ukvm_drivers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_mmu_batching.dir/bench_e12_mmu_batching.cpp.o"
+  "CMakeFiles/bench_e12_mmu_batching.dir/bench_e12_mmu_batching.cpp.o.d"
+  "bench_e12_mmu_batching"
+  "bench_e12_mmu_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_mmu_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

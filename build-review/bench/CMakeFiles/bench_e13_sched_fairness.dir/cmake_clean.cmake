@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_sched_fairness.dir/bench_e13_sched_fairness.cpp.o"
+  "CMakeFiles/bench_e13_sched_fairness.dir/bench_e13_sched_fairness.cpp.o.d"
+  "bench_e13_sched_fairness"
+  "bench_e13_sched_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_sched_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

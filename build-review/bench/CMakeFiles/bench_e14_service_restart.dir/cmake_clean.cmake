@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_service_restart.dir/bench_e14_service_restart.cpp.o"
+  "CMakeFiles/bench_e14_service_restart.dir/bench_e14_service_restart.cpp.o.d"
+  "bench_e14_service_restart"
+  "bench_e14_service_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_service_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

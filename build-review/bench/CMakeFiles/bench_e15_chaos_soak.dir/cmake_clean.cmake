@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_chaos_soak.dir/bench_e15_chaos_soak.cpp.o"
+  "CMakeFiles/bench_e15_chaos_soak.dir/bench_e15_chaos_soak.cpp.o.d"
+  "bench_e15_chaos_soak"
+  "bench_e15_chaos_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_chaos_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

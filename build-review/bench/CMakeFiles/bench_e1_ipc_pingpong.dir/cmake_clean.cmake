@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_ipc_pingpong.dir/bench_e1_ipc_pingpong.cpp.o"
+  "CMakeFiles/bench_e1_ipc_pingpong.dir/bench_e1_ipc_pingpong.cpp.o.d"
+  "bench_e1_ipc_pingpong"
+  "bench_e1_ipc_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_ipc_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

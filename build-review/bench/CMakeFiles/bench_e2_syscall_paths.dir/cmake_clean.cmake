@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_syscall_paths.dir/bench_e2_syscall_paths.cpp.o"
+  "CMakeFiles/bench_e2_syscall_paths.dir/bench_e2_syscall_paths.cpp.o.d"
+  "bench_e2_syscall_paths"
+  "bench_e2_syscall_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_syscall_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

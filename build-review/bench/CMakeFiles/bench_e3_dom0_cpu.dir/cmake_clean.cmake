@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_dom0_cpu.dir/bench_e3_dom0_cpu.cpp.o"
+  "CMakeFiles/bench_e3_dom0_cpu.dir/bench_e3_dom0_cpu.cpp.o.d"
+  "bench_e3_dom0_cpu"
+  "bench_e3_dom0_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_dom0_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_crossings.dir/bench_e4_crossings.cpp.o"
+  "CMakeFiles/bench_e4_crossings.dir/bench_e4_crossings.cpp.o.d"
+  "bench_e4_crossings"
+  "bench_e4_crossings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_crossings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_fault_isolation.dir/bench_e5_fault_isolation.cpp.o"
+  "CMakeFiles/bench_e5_fault_isolation.dir/bench_e5_fault_isolation.cpp.o.d"
+  "bench_e5_fault_isolation"
+  "bench_e5_fault_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_fault_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

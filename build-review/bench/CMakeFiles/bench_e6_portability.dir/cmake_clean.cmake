@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_portability.dir/bench_e6_portability.cpp.o"
+  "CMakeFiles/bench_e6_portability.dir/bench_e6_portability.cpp.o.d"
+  "bench_e6_portability"
+  "bench_e6_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_primitives.dir/bench_e7_primitives.cpp.o"
+  "CMakeFiles/bench_e7_primitives.dir/bench_e7_primitives.cpp.o.d"
+  "bench_e7_primitives"
+  "bench_e7_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_tcb_size.dir/bench_e8_tcb_size.cpp.o"
+  "CMakeFiles/bench_e8_tcb_size.dir/bench_e8_tcb_size.cpp.o.d"
+  "bench_e8_tcb_size"
+  "bench_e8_tcb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_tcb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

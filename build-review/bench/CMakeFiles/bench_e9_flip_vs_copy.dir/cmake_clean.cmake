@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_flip_vs_copy.dir/bench_e9_flip_vs_copy.cpp.o"
+  "CMakeFiles/bench_e9_flip_vs_copy.dir/bench_e9_flip_vs_copy.cpp.o.d"
+  "bench_e9_flip_vs_copy"
+  "bench_e9_flip_vs_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_flip_vs_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

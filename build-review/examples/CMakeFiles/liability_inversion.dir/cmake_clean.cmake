@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liability_inversion.dir/liability_inversion.cpp.o"
+  "CMakeFiles/liability_inversion.dir/liability_inversion.cpp.o.d"
+  "liability_inversion"
+  "liability_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liability_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

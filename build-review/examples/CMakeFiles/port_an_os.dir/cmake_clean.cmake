@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_an_os.dir/port_an_os.cpp.o"
+  "CMakeFiles/port_an_os.dir/port_an_os.cpp.o.d"
+  "port_an_os"
+  "port_an_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_an_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_driver_io.dir/split_driver_io.cpp.o"
+  "CMakeFiles/split_driver_io.dir/split_driver_io.cpp.o.d"
+  "split_driver_io"
+  "split_driver_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_driver_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

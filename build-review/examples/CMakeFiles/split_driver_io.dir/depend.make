@@ -1,0 +1,2 @@
+# Empty dependencies file for split_driver_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("hw")
+subdirs("ukernel")
+subdirs("vmm")
+subdirs("check")
+subdirs("drivers")
+subdirs("os")
+subdirs("stacks")
+subdirs("workloads")
+subdirs("experiments")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/auditor.cc" "src/check/CMakeFiles/ukvm_check.dir/auditor.cc.o" "gcc" "src/check/CMakeFiles/ukvm_check.dir/auditor.cc.o.d"
+  "/root/repo/src/check/invariants.cc" "src/check/CMakeFiles/ukvm_check.dir/invariants.cc.o" "gcc" "src/check/CMakeFiles/ukvm_check.dir/invariants.cc.o.d"
+  "/root/repo/src/check/ledger_lint.cc" "src/check/CMakeFiles/ukvm_check.dir/ledger_lint.cc.o" "gcc" "src/check/CMakeFiles/ukvm_check.dir/ledger_lint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ukernel/CMakeFiles/ukvm_ukernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vmm/CMakeFiles/ukvm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_check.dir/auditor.cc.o"
+  "CMakeFiles/ukvm_check.dir/auditor.cc.o.d"
+  "CMakeFiles/ukvm_check.dir/invariants.cc.o"
+  "CMakeFiles/ukvm_check.dir/invariants.cc.o.d"
+  "CMakeFiles/ukvm_check.dir/ledger_lint.cc.o"
+  "CMakeFiles/ukvm_check.dir/ledger_lint.cc.o.d"
+  "libukvm_check.a"
+  "libukvm_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

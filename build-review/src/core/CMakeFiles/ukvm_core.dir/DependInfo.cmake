@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/crossings.cc" "src/core/CMakeFiles/ukvm_core.dir/crossings.cc.o" "gcc" "src/core/CMakeFiles/ukvm_core.dir/crossings.cc.o.d"
+  "/root/repo/src/core/error.cc" "src/core/CMakeFiles/ukvm_core.dir/error.cc.o" "gcc" "src/core/CMakeFiles/ukvm_core.dir/error.cc.o.d"
+  "/root/repo/src/core/log.cc" "src/core/CMakeFiles/ukvm_core.dir/log.cc.o" "gcc" "src/core/CMakeFiles/ukvm_core.dir/log.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/ukvm_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/ukvm_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/tcb.cc" "src/core/CMakeFiles/ukvm_core.dir/tcb.cc.o" "gcc" "src/core/CMakeFiles/ukvm_core.dir/tcb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

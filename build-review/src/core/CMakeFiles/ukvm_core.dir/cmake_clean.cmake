@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_core.dir/crossings.cc.o"
+  "CMakeFiles/ukvm_core.dir/crossings.cc.o.d"
+  "CMakeFiles/ukvm_core.dir/error.cc.o"
+  "CMakeFiles/ukvm_core.dir/error.cc.o.d"
+  "CMakeFiles/ukvm_core.dir/log.cc.o"
+  "CMakeFiles/ukvm_core.dir/log.cc.o.d"
+  "CMakeFiles/ukvm_core.dir/metrics.cc.o"
+  "CMakeFiles/ukvm_core.dir/metrics.cc.o.d"
+  "CMakeFiles/ukvm_core.dir/tcb.cc.o"
+  "CMakeFiles/ukvm_core.dir/tcb.cc.o.d"
+  "libukvm_core.a"
+  "libukvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/disk_driver.cc" "src/drivers/CMakeFiles/ukvm_drivers.dir/disk_driver.cc.o" "gcc" "src/drivers/CMakeFiles/ukvm_drivers.dir/disk_driver.cc.o.d"
+  "/root/repo/src/drivers/nic_driver.cc" "src/drivers/CMakeFiles/ukvm_drivers.dir/nic_driver.cc.o" "gcc" "src/drivers/CMakeFiles/ukvm_drivers.dir/nic_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

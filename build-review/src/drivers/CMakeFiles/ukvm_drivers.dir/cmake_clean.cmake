@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_drivers.dir/disk_driver.cc.o"
+  "CMakeFiles/ukvm_drivers.dir/disk_driver.cc.o.d"
+  "CMakeFiles/ukvm_drivers.dir/nic_driver.cc.o"
+  "CMakeFiles/ukvm_drivers.dir/nic_driver.cc.o.d"
+  "libukvm_drivers.a"
+  "libukvm_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_experiments.dir/table.cc.o"
+  "CMakeFiles/ukvm_experiments.dir/table.cc.o.d"
+  "libukvm_experiments.a"
+  "libukvm_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/ukvm_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/disk.cc" "src/hw/CMakeFiles/ukvm_hw.dir/disk.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/disk.cc.o.d"
+  "/root/repo/src/hw/fault_injector.cc" "src/hw/CMakeFiles/ukvm_hw.dir/fault_injector.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/fault_injector.cc.o.d"
+  "/root/repo/src/hw/interrupts.cc" "src/hw/CMakeFiles/ukvm_hw.dir/interrupts.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/interrupts.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/ukvm_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "src/hw/CMakeFiles/ukvm_hw.dir/memory.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/memory.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/ukvm_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/paging.cc" "src/hw/CMakeFiles/ukvm_hw.dir/paging.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/paging.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/ukvm_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/segmentation.cc" "src/hw/CMakeFiles/ukvm_hw.dir/segmentation.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/segmentation.cc.o.d"
+  "/root/repo/src/hw/timer.cc" "src/hw/CMakeFiles/ukvm_hw.dir/timer.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/timer.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/ukvm_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/tlb.cc.o.d"
+  "/root/repo/src/hw/trap.cc" "src/hw/CMakeFiles/ukvm_hw.dir/trap.cc.o" "gcc" "src/hw/CMakeFiles/ukvm_hw.dir/trap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

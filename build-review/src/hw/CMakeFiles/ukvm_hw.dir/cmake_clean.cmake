@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_hw.dir/cpu.cc.o"
+  "CMakeFiles/ukvm_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/disk.cc.o"
+  "CMakeFiles/ukvm_hw.dir/disk.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/fault_injector.cc.o"
+  "CMakeFiles/ukvm_hw.dir/fault_injector.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/interrupts.cc.o"
+  "CMakeFiles/ukvm_hw.dir/interrupts.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/machine.cc.o"
+  "CMakeFiles/ukvm_hw.dir/machine.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/memory.cc.o"
+  "CMakeFiles/ukvm_hw.dir/memory.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/nic.cc.o"
+  "CMakeFiles/ukvm_hw.dir/nic.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/paging.cc.o"
+  "CMakeFiles/ukvm_hw.dir/paging.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/platform.cc.o"
+  "CMakeFiles/ukvm_hw.dir/platform.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/segmentation.cc.o"
+  "CMakeFiles/ukvm_hw.dir/segmentation.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/timer.cc.o"
+  "CMakeFiles/ukvm_hw.dir/timer.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/tlb.cc.o"
+  "CMakeFiles/ukvm_hw.dir/tlb.cc.o.d"
+  "CMakeFiles/ukvm_hw.dir/trap.cc.o"
+  "CMakeFiles/ukvm_hw.dir/trap.cc.o.d"
+  "libukvm_hw.a"
+  "libukvm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/ukvm_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/ukvm_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/netstack.cc" "src/os/CMakeFiles/ukvm_os.dir/netstack.cc.o" "gcc" "src/os/CMakeFiles/ukvm_os.dir/netstack.cc.o.d"
+  "/root/repo/src/os/ports/native_port.cc" "src/os/CMakeFiles/ukvm_os.dir/ports/native_port.cc.o" "gcc" "src/os/CMakeFiles/ukvm_os.dir/ports/native_port.cc.o.d"
+  "/root/repo/src/os/ports/ukernel_port.cc" "src/os/CMakeFiles/ukvm_os.dir/ports/ukernel_port.cc.o" "gcc" "src/os/CMakeFiles/ukvm_os.dir/ports/ukernel_port.cc.o.d"
+  "/root/repo/src/os/ports/vmm_port.cc" "src/os/CMakeFiles/ukvm_os.dir/ports/vmm_port.cc.o" "gcc" "src/os/CMakeFiles/ukvm_os.dir/ports/vmm_port.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/os/CMakeFiles/ukvm_os.dir/vfs.cc.o" "gcc" "src/os/CMakeFiles/ukvm_os.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ukernel/CMakeFiles/ukvm_ukernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vmm/CMakeFiles/ukvm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/drivers/CMakeFiles/ukvm_drivers.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_os.dir/kernel.cc.o"
+  "CMakeFiles/ukvm_os.dir/kernel.cc.o.d"
+  "CMakeFiles/ukvm_os.dir/netstack.cc.o"
+  "CMakeFiles/ukvm_os.dir/netstack.cc.o.d"
+  "CMakeFiles/ukvm_os.dir/ports/native_port.cc.o"
+  "CMakeFiles/ukvm_os.dir/ports/native_port.cc.o.d"
+  "CMakeFiles/ukvm_os.dir/ports/ukernel_port.cc.o"
+  "CMakeFiles/ukvm_os.dir/ports/ukernel_port.cc.o.d"
+  "CMakeFiles/ukvm_os.dir/ports/vmm_port.cc.o"
+  "CMakeFiles/ukvm_os.dir/ports/vmm_port.cc.o.d"
+  "CMakeFiles/ukvm_os.dir/vfs.cc.o"
+  "CMakeFiles/ukvm_os.dir/vfs.cc.o.d"
+  "libukvm_os.a"
+  "libukvm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stacks/blksplit.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/blksplit.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/blksplit.cc.o.d"
+  "/root/repo/src/stacks/native_stack.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/native_stack.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/native_stack.cc.o.d"
+  "/root/repo/src/stacks/netsplit.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/netsplit.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/netsplit.cc.o.d"
+  "/root/repo/src/stacks/tcb_lists.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/tcb_lists.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/tcb_lists.cc.o.d"
+  "/root/repo/src/stacks/ukernel_stack.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/ukernel_stack.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/ukernel_stack.cc.o.d"
+  "/root/repo/src/stacks/ukservers.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/ukservers.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/ukservers.cc.o.d"
+  "/root/repo/src/stacks/vmm_stack.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/vmm_stack.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/vmm_stack.cc.o.d"
+  "/root/repo/src/stacks/watchdog.cc" "src/stacks/CMakeFiles/ukvm_stacks.dir/watchdog.cc.o" "gcc" "src/stacks/CMakeFiles/ukvm_stacks.dir/watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/check/CMakeFiles/ukvm_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/ukvm_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ukernel/CMakeFiles/ukvm_ukernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vmm/CMakeFiles/ukvm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/drivers/CMakeFiles/ukvm_drivers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

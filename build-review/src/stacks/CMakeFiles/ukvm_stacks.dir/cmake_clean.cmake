@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_stacks.dir/blksplit.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/blksplit.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/native_stack.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/native_stack.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/netsplit.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/netsplit.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/tcb_lists.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/tcb_lists.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/ukernel_stack.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/ukernel_stack.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/ukservers.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/ukservers.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/vmm_stack.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/vmm_stack.cc.o.d"
+  "CMakeFiles/ukvm_stacks.dir/watchdog.cc.o"
+  "CMakeFiles/ukvm_stacks.dir/watchdog.cc.o.d"
+  "libukvm_stacks.a"
+  "libukvm_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ukernel/kernel.cc" "src/ukernel/CMakeFiles/ukvm_ukernel.dir/kernel.cc.o" "gcc" "src/ukernel/CMakeFiles/ukvm_ukernel.dir/kernel.cc.o.d"
+  "/root/repo/src/ukernel/mapdb.cc" "src/ukernel/CMakeFiles/ukvm_ukernel.dir/mapdb.cc.o" "gcc" "src/ukernel/CMakeFiles/ukvm_ukernel.dir/mapdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

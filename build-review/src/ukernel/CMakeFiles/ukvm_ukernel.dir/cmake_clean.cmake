@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_ukernel.dir/kernel.cc.o"
+  "CMakeFiles/ukvm_ukernel.dir/kernel.cc.o.d"
+  "CMakeFiles/ukvm_ukernel.dir/mapdb.cc.o"
+  "CMakeFiles/ukvm_ukernel.dir/mapdb.cc.o.d"
+  "libukvm_ukernel.a"
+  "libukvm_ukernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_ukernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/event_channel.cc" "src/vmm/CMakeFiles/ukvm_vmm.dir/event_channel.cc.o" "gcc" "src/vmm/CMakeFiles/ukvm_vmm.dir/event_channel.cc.o.d"
+  "/root/repo/src/vmm/exception_virt.cc" "src/vmm/CMakeFiles/ukvm_vmm.dir/exception_virt.cc.o" "gcc" "src/vmm/CMakeFiles/ukvm_vmm.dir/exception_virt.cc.o.d"
+  "/root/repo/src/vmm/grant_table.cc" "src/vmm/CMakeFiles/ukvm_vmm.dir/grant_table.cc.o" "gcc" "src/vmm/CMakeFiles/ukvm_vmm.dir/grant_table.cc.o.d"
+  "/root/repo/src/vmm/hypervisor.cc" "src/vmm/CMakeFiles/ukvm_vmm.dir/hypervisor.cc.o" "gcc" "src/vmm/CMakeFiles/ukvm_vmm.dir/hypervisor.cc.o.d"
+  "/root/repo/src/vmm/pt_virt.cc" "src/vmm/CMakeFiles/ukvm_vmm.dir/pt_virt.cc.o" "gcc" "src/vmm/CMakeFiles/ukvm_vmm.dir/pt_virt.cc.o.d"
+  "/root/repo/src/vmm/sched.cc" "src/vmm/CMakeFiles/ukvm_vmm.dir/sched.cc.o" "gcc" "src/vmm/CMakeFiles/ukvm_vmm.dir/sched.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_vmm.dir/event_channel.cc.o"
+  "CMakeFiles/ukvm_vmm.dir/event_channel.cc.o.d"
+  "CMakeFiles/ukvm_vmm.dir/exception_virt.cc.o"
+  "CMakeFiles/ukvm_vmm.dir/exception_virt.cc.o.d"
+  "CMakeFiles/ukvm_vmm.dir/grant_table.cc.o"
+  "CMakeFiles/ukvm_vmm.dir/grant_table.cc.o.d"
+  "CMakeFiles/ukvm_vmm.dir/hypervisor.cc.o"
+  "CMakeFiles/ukvm_vmm.dir/hypervisor.cc.o.d"
+  "CMakeFiles/ukvm_vmm.dir/pt_virt.cc.o"
+  "CMakeFiles/ukvm_vmm.dir/pt_virt.cc.o.d"
+  "CMakeFiles/ukvm_vmm.dir/sched.cc.o"
+  "CMakeFiles/ukvm_vmm.dir/sched.cc.o.d"
+  "libukvm_vmm.a"
+  "libukvm_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

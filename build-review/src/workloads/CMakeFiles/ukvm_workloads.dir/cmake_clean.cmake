@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukvm_workloads.dir/netio.cc.o"
+  "CMakeFiles/ukvm_workloads.dir/netio.cc.o.d"
+  "CMakeFiles/ukvm_workloads.dir/oswork.cc.o"
+  "CMakeFiles/ukvm_workloads.dir/oswork.cc.o.d"
+  "libukvm_workloads.a"
+  "libukvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_check.cc" "tests/CMakeFiles/ukvm_tests.dir/test_check.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_check.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/ukvm_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_devices.cc" "tests/CMakeFiles/ukvm_tests.dir/test_devices.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_devices.cc.o.d"
+  "/root/repo/tests/test_faults.cc" "tests/CMakeFiles/ukvm_tests.dir/test_faults.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_faults.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/ukvm_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/ukvm_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_mapdb.cc" "tests/CMakeFiles/ukvm_tests.dir/test_mapdb.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_mapdb.cc.o.d"
+  "/root/repo/tests/test_memory_paging.cc" "tests/CMakeFiles/ukvm_tests.dir/test_memory_paging.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_memory_paging.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/ukvm_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_os.cc" "tests/CMakeFiles/ukvm_tests.dir/test_os.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_os.cc.o.d"
+  "/root/repo/tests/test_props.cc" "tests/CMakeFiles/ukvm_tests.dir/test_props.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_props.cc.o.d"
+  "/root/repo/tests/test_splitdrv.cc" "tests/CMakeFiles/ukvm_tests.dir/test_splitdrv.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_splitdrv.cc.o.d"
+  "/root/repo/tests/test_stacks.cc" "tests/CMakeFiles/ukvm_tests.dir/test_stacks.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_stacks.cc.o.d"
+  "/root/repo/tests/test_ukernel.cc" "tests/CMakeFiles/ukvm_tests.dir/test_ukernel.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_ukernel.cc.o.d"
+  "/root/repo/tests/test_vmm.cc" "tests/CMakeFiles/ukvm_tests.dir/test_vmm.cc.o" "gcc" "tests/CMakeFiles/ukvm_tests.dir/test_vmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stacks/CMakeFiles/ukvm_stacks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/ukvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/experiments/CMakeFiles/ukvm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/ukvm_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/os/CMakeFiles/ukvm_os.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ukernel/CMakeFiles/ukvm_ukernel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vmm/CMakeFiles/ukvm_vmm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/drivers/CMakeFiles/ukvm_drivers.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hw/CMakeFiles/ukvm_hw.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ukvm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
