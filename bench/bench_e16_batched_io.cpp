@@ -1,0 +1,243 @@
+// E16 — batched split-driver datapath (multicalls, event coalescing, grant
+// recycling).
+//
+// §3.2's per-packet costs — one hypercall round-trip per flip, one event-
+// channel notification per packet, a TLB shootdown per transfer — are not
+// laws of nature; Xen itself amortised them with multicalls, interrupt
+// mitigation, and persistent grants. This experiment reruns E3's receive
+// load with the batch size swept over {1, 4, 16, 64} and reports how the
+// per-packet Dom0 cost, the crossing count, and the hypercall entry count
+// fall as a whole burst shares one hypervisor entry, one notification, and
+// one TLB flush. The E4 VMM/µ-kernel crossing ratio is then recomputed
+// under batching: batching narrows the gap without changing the
+// architecture — the VMM is still doing IPC, just in bulk.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/experiments/table.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace {
+
+constexpr uint16_t kPort = 40;
+constexpr uint32_t kPayload = 1460;
+constexpr uint64_t kIntervalUs = 8;  // E3 figure C's fastest offered rate
+constexpr uint64_t kCount = 600;
+
+struct BatchRun {
+  uint64_t packets = 0;
+  uint64_t flips = 0;
+  uint64_t dom0_cycles = 0;
+  uint64_t guest_cycles = 0;
+  uint64_t vmm_cycles = 0;
+  uint64_t idle_cycles = 0;
+  uint64_t hypercalls = 0;   // hypervisor entries (a multicall counts once)
+  uint64_t subops = 0;       // sub-ops executed under multicalls
+  uint64_t crossings = 0;    // IPC-like ledger crossings
+  uint64_t coalesced = 0;    // event-channel sends absorbed by a pending bit
+  uint64_t irqs = 0;         // NIC interrupts actually raised
+  uint64_t irqs_suppressed = 0;
+  uint64_t shootdowns_deferred = 0;
+  uint64_t busy_cycles() const { return dom0_cycles + guest_cycles + vmm_cycles; }
+  uint64_t PerPacket(uint64_t total) const { return packets == 0 ? 0 : total / packets; }
+};
+
+BatchRun RunBatched(ustack::RxMode mode, uint32_t batch, bool persistent) {
+  ustack::VmmStack::Config config;
+  config.rx_mode = mode;
+  config.io_batch = batch;
+  config.persistent_grants = persistent;
+  ustack::VmmStack stack(config);
+  if (batch > 1) {
+    // NAPI tuning: one poll round should gather ~one batch at the offered
+    // rate (interrupt moderation matched to the load, as ethtool would).
+    // The moderation window is clamped below the NIC's 32-slot rx ring —
+    // moderating past ring capacity just drops packets at the device.
+    const uint64_t window = std::min<uint64_t>(batch, 24);
+    stack.nic_driver().SetInterruptMitigation(
+        true, window * kIntervalUs * hwsim::kCyclesPerUs);
+  }
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(kPort, 0);
+
+  auto& machine = stack.machine();
+  auto& acct = machine.accounting();
+  const ukvm::DomainId dom0 = stack.dom0();
+  const ukvm::DomainId guest = stack.guest(0).domain;
+  const ukvm::DomainId vmm = stack.hv().vmm_domain();
+
+  BatchRun run;
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("netserver");
+    (void)os.NetBind(*pid, kPort);
+
+    const uint64_t dom0_before = acct.CyclesOf(dom0);
+    const uint64_t guest_before = acct.CyclesOf(guest);
+    const uint64_t vmm_before = acct.CyclesOf(vmm);
+    const uint64_t idle_before = acct.CyclesOf(hwsim::kIdleDomain);
+    const uint64_t flips_before = machine.counters().Get("xen.page_flips");
+    const uint64_t hc_before = stack.hv().total_hypercalls();
+    const uint64_t sub_before = stack.hv().multicall_subops();
+    const uint64_t coal_before = stack.hv().evtchn().coalesced_sends();
+    const uint64_t irq_before = stack.nic().irqs_raised();
+    const uint64_t supp_before = stack.nic().irqs_suppressed();
+    const uint64_t defer_before = stack.hv().gnttab().deferred_shootdowns();
+    const auto ledger_before = machine.ledger().Snapshot();
+
+    wire.StartStream(kPort, kPayload, kIntervalUs * hwsim::kCyclesPerUs, kCount);
+    auto recv = uwork::RunUdpReceive(machine, os, *pid, kPort, kCount,
+                                     kCount * kIntervalUs * hwsim::kCyclesPerUs * 20);
+    machine.RunUntilIdle();
+
+    run.packets = recv.ops_succeeded;
+    run.flips = machine.counters().Get("xen.page_flips") - flips_before;
+    run.dom0_cycles = acct.CyclesOf(dom0) - dom0_before;
+    run.guest_cycles = acct.CyclesOf(guest) - guest_before;
+    run.vmm_cycles = acct.CyclesOf(vmm) - vmm_before;
+    run.idle_cycles = acct.CyclesOf(hwsim::kIdleDomain) - idle_before;
+    run.hypercalls = stack.hv().total_hypercalls() - hc_before;
+    run.subops = stack.hv().multicall_subops() - sub_before;
+    run.coalesced = stack.hv().evtchn().coalesced_sends() - coal_before;
+    run.irqs = stack.nic().irqs_raised() - irq_before;
+    run.irqs_suppressed = stack.nic().irqs_suppressed() - supp_before;
+    run.shootdowns_deferred = stack.hv().gnttab().deferred_shootdowns() - defer_before;
+    run.crossings =
+        ukvm::DiffSnapshots(ledger_before, machine.ledger().Snapshot()).IpcLikeCount();
+  });
+  return run;
+}
+
+// The µ-kernel side of E4's comparison, under the identical receive load.
+struct UkRun {
+  uint64_t packets = 0;
+  uint64_t crossings = 0;
+};
+
+UkRun RunUkernelReceive() {
+  ustack::UkernelStack stack;
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(kPort, 0);
+  auto& machine = stack.machine();
+  UkRun run;
+  const auto before = machine.ledger().Snapshot();
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    auto pid = os.Spawn("netserver");
+    (void)os.NetBind(*pid, kPort);
+    wire.StartStream(kPort, kPayload, kIntervalUs * hwsim::kCyclesPerUs, kCount);
+    auto recv = uwork::RunUdpReceive(machine, os, *pid, kPort, kCount,
+                                     kCount * kIntervalUs * hwsim::kCyclesPerUs * 20);
+    machine.RunUntilIdle();
+    run.packets = recv.ops_succeeded;
+  });
+  run.crossings = ukvm::DiffSnapshots(before, machine.ledger().Snapshot()).IpcLikeCount();
+  return run;
+}
+
+double PerPacketD(const BatchRun& run, uint64_t total) {
+  return run.packets == 0 ? 0.0
+                          : static_cast<double>(total) / static_cast<double>(run.packets);
+}
+
+}  // namespace
+
+int main() {
+  uharness::PrintHeading(
+      "E16", "batched datapath: multicalls, event coalescing, grant recycling");
+
+  const std::vector<uint32_t> batches = {1, 4, 16, 64};
+
+  // --- Table A: page-flip RX, batch sweep --------------------------------------
+  uint64_t flip_b1 = 0;
+  uint64_t flip_b16 = 0;
+  {
+    uharness::Table table(
+        "Table A: page-flip RX, 600 x 1460 B @ one per 8us, batch sweep",
+        {"batch", "packets", "Dom0 cyc/pkt", "hc entries/pkt", "subops/pkt",
+         "crossings/pkt", "NIC irqs", "irqs saved", "deferred shootdowns"});
+    for (uint32_t batch : batches) {
+      BatchRun run = RunBatched(ustack::RxMode::kPageFlip, batch, /*persistent=*/false);
+      if (batch == 1) {
+        flip_b1 = run.PerPacket(run.dom0_cycles);
+      }
+      if (batch == 16) {
+        flip_b16 = run.PerPacket(run.dom0_cycles);
+      }
+      table.AddRow({uharness::FmtInt(batch), uharness::FmtInt(run.packets),
+                    uharness::FmtInt(run.PerPacket(run.dom0_cycles)),
+                    uharness::FmtDouble(PerPacketD(run, run.hypercalls)),
+                    uharness::FmtDouble(PerPacketD(run, run.subops)),
+                    uharness::FmtDouble(PerPacketD(run, run.crossings)),
+                    uharness::FmtInt(run.irqs), uharness::FmtInt(run.irqs_suppressed),
+                    uharness::FmtInt(run.shootdowns_deferred)});
+    }
+    table.Print();
+    std::printf(
+        "Expected: Dom0 cyc/pkt falls monotonically with batch (>=2x by batch 16);\n"
+        "hypercall entries/pkt drops below 1 from batch 4 — one multicall, one\n"
+        "notification and one TLB shootdown serve the whole burst.\n");
+  }
+
+  // --- Table B: grant-copy RX, batching + persistent grants --------------------
+  {
+    uharness::Table table(
+        "Table B: grant-copy RX, same load, batching x grant recycling",
+        {"batch", "persistent", "packets", "Dom0 cyc/pkt", "hc entries/pkt",
+         "crossings/pkt"});
+    for (uint32_t batch : batches) {
+      for (bool persistent : {false, true}) {
+        BatchRun run = RunBatched(ustack::RxMode::kGrantCopy, batch, persistent);
+        table.AddRow({uharness::FmtInt(batch), persistent ? "yes" : "no",
+                      uharness::FmtInt(run.packets),
+                      uharness::FmtInt(run.PerPacket(run.dom0_cycles)),
+                      uharness::FmtDouble(PerPacketD(run, run.hypercalls)),
+                      uharness::FmtDouble(PerPacketD(run, run.crossings))});
+      }
+    }
+    table.Print();
+    std::printf(
+        "Expected: persistent grants shave the per-packet grant bookkeeping on top\n"
+        "of batching (steady state re-advertises rx slots with zero hypercalls).\n");
+  }
+
+  // --- Table C: the E4 ratio, recomputed under batching ------------------------
+  {
+    UkRun uk = RunUkernelReceive();
+    const double uk_per_pkt =
+        uk.packets == 0 ? 0.0
+                        : static_cast<double>(uk.crossings) / static_cast<double>(uk.packets);
+    uharness::Table table(
+        "Table C: IPC-like crossings per packet, VMM (page-flip) vs microkernel",
+        {"system", "packets", "crossings/pkt", "vs ukernel"});
+    table.AddRow({"ukernel", uharness::FmtInt(uk.packets), uharness::FmtDouble(uk_per_pkt),
+                  uharness::FmtDouble(1.0)});
+    for (uint32_t batch : batches) {
+      BatchRun run = RunBatched(ustack::RxMode::kPageFlip, batch, /*persistent=*/false);
+      const double per_pkt = PerPacketD(run, run.crossings);
+      table.AddRow({"vmm batch=" + std::to_string(batch), uharness::FmtInt(run.packets),
+                    uharness::FmtDouble(per_pkt),
+                    uharness::FmtDouble(uk_per_pkt == 0.0 ? 0.0 : per_pkt / uk_per_pkt)});
+    }
+    table.Print();
+    std::printf(
+        "Expected: batching shrinks the VMM's crossing count per packet — E4's\n"
+        "\"essentially the same number of IPCs\" equivalence holds at every batch\n"
+        "size; the VMM amortises crossings exactly the way a microkernel would.\n");
+  }
+
+  if (flip_b1 > 0 && flip_b16 > 0) {
+    std::printf("\nDom0 cyc/pkt, batch 1 -> 16 (page flip): %llu -> %llu (%.2fx)\n",
+                static_cast<unsigned long long>(flip_b1),
+                static_cast<unsigned long long>(flip_b16),
+                static_cast<double>(flip_b1) / static_cast<double>(flip_b16));
+  }
+  uharness::WriteJsonIfRequested("E16");
+  return 0;
+}

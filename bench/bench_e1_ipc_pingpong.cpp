@@ -181,5 +181,6 @@ int main() {
       "\nShape check: the single L4 primitive is the floor at small sizes; copy-based\n"
       "mechanisms scale with bytes; the page flip is size-independent per page, so it\n"
       "only wins once payloads approach page multiples — and it is never free.\n");
+  uharness::WriteJsonIfRequested("E1");
   return 0;
 }

@@ -164,5 +164,6 @@ int main() {
       "native, and within a small factor of each other — the paper's point that the VMM\n"
       "did not make IPC go away, it renamed it.\n",
       ratio);
+  uharness::WriteJsonIfRequested("E4");
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the bench suite and runs the experiments that export machine-readable
+# results (E1 IPC ping-pong, E3 Dom0 CPU accounting, E4 crossing counts, E16
+# batched datapath). Each bench writes BENCH_<id>.json into $OUT alongside its
+# human-readable tables on stdout.
+#
+#   OUT=results ./scripts/bench.sh      # default OUT is bench-results/
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+OUT="${OUT:-bench-results}"
+BUILD="${BUILD:-build}"
+
+cmake -B "${BUILD}" -S . >/dev/null
+cmake --build "${BUILD}" -j"${JOBS}" --target \
+  bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings bench_e16_batched_io
+
+mkdir -p "${OUT}"
+export UKVM_BENCH_JSON="${OUT}"
+
+for bench in bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings \
+             bench_e16_batched_io; do
+  echo "== ${bench} =="
+  "${BUILD}/bench/${bench}"
+  echo
+done
+
+echo "JSON results:"
+ls -1 "${OUT}"/BENCH_*.json

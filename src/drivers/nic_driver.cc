@@ -80,6 +80,50 @@ Err NicDriver::SendCopy(std::span<const uint8_t> payload) {
 
 void NicDriver::OnInterrupt() {
   machine_.Charge(machine_.costs().mmio_access);  // read interrupt status
+  if (mitigation_) {
+    if (polling_) {
+      return;  // a poll chain is already running; it will pick the work up
+    }
+    // Mask at the device and switch to polled rounds (NAPI). Completions
+    // arriving meanwhile are latched, not delivered, so a whole burst is
+    // served by this one interrupt.
+    machine_.Charge(machine_.costs().mmio_access);
+    nic_.SetInterruptEnable(false);
+    polling_ = true;
+    PollRound();
+    return;
+  }
+  (void)DrainRxCompletions();
+  DrainTxCompletions();
+}
+
+void NicDriver::PollRound() {
+  ++poll_rounds_;
+  const size_t rx_drained = DrainRxCompletions();
+  const size_t tx_before = tx_free_.size();
+  DrainTxCompletions();
+  if (rx_drained > 0 && drain_hook_) {
+    drain_hook_();  // let the consumer flush its staged batch
+  }
+  if (rx_drained > 0 || tx_free_.size() != tx_before) {
+    machine_.ScheduleAfter(poll_interval_, [this] {
+      if (deferred_ctx_) {
+        deferred_ctx_([this] { PollRound(); });
+      } else {
+        PollRound();
+      }
+    });
+    return;
+  }
+  // Rings ran dry: re-arm the device interrupt and leave polled mode. A
+  // completion latched during this round re-raises the IRQ on re-enable.
+  polling_ = false;
+  machine_.Charge(machine_.costs().mmio_access);
+  nic_.SetInterruptEnable(true);
+}
+
+size_t NicDriver::DrainRxCompletions() {
+  size_t drained = 0;
   while (auto rx = nic_.TakeRxCompletion()) {
     auto it = rx_posted_.find(rx->addr);
     if (it == rx_posted_.end()) {
@@ -89,15 +133,27 @@ void NicDriver::OnInterrupt() {
     const hwsim::Frame frame = it->second;
     rx_posted_.erase(it);
     ++rx_delivered_;
+    ++drained;
     if (rx_callback_) {
       rx_callback_(frame, rx->len);
+    }
+    if (drain_hook_) {
+      continue;  // batch mode: the consumer staged the frame; RepostRx returns it
     }
     // The consumer is done with (or has replaced) the frame; repost it. The
     // mapping may have been updated by ReplaceRxFrame during the callback.
     PostRx(frame_after_replace_.valid_for == frame ? frame_after_replace_.replacement : frame);
     frame_after_replace_ = {};
   }
-  DrainTxCompletions();
+  return drained;
+}
+
+void NicDriver::SetInterruptMitigation(bool on, uint64_t poll_interval) {
+  mitigation_ = on;
+  poll_interval_ = poll_interval;
+  if (!on && !nic_.interrupt_enabled()) {
+    nic_.SetInterruptEnable(true);
+  }
 }
 
 void NicDriver::PollTxCompletions() {

@@ -57,6 +57,30 @@ class NicDriver {
   // Interrupt service routine: drains rx/tx completions.
   void OnInterrupt();
 
+  // NAPI-style interrupt mitigation: the ISR disables the device's
+  // interrupt-enable register, drains the rings in polled rounds spaced
+  // `poll_interval` cycles apart, and re-enables interrupts only once a
+  // round finds both rings empty. Completions arriving while disabled are
+  // latched by the device, not delivered — N per-packet IRQs collapse into
+  // one interrupt plus a polling run.
+  void SetInterruptMitigation(bool on, uint64_t poll_interval = 8 * hwsim::kCyclesPerUs);
+
+  // Batch-consumer mode: while a drain hook is installed, the driver does
+  // NOT repost an rx frame after the rx callback — the consumer stages the
+  // frame and must return it (or a replacement, after a page flip) via
+  // RepostRx. The hook runs after each polled round that delivered frames,
+  // so the consumer can flush its staged batch.
+  void SetBatchDrainHook(std::function<void()> hook) { drain_hook_ = std::move(hook); }
+  void RepostRx(hwsim::Frame frame) { PostRx(frame); }
+
+  // Deferred poll rounds run off machine timer events, outside any domain
+  // context. The owner installs a wrapper that re-enters its domain (e.g.
+  // Hypervisor::RunAsDomainKernel) so drain work is charged like a softirq
+  // to the driver's home, not to whichever domain last ran.
+  void SetDeferredContext(std::function<void(const std::function<void()>&)> ctx) {
+    deferred_ctx_ = std::move(ctx);
+  }
+
   // Reclaims finished tx staging frames without touching the rx path (safe
   // to call from inside request handlers; no re-entrant rx callbacks).
   void PollTxCompletions();
@@ -68,6 +92,7 @@ class NicDriver {
   uint64_t rx_delivered() const { return rx_delivered_; }
   uint64_t tx_sent() const { return tx_sent_; }
   uint64_t retries() const { return retries_; }
+  uint64_t poll_rounds() const { return poll_rounds_; }
   size_t free_tx_frames() const { return tx_free_.size(); }
 
  private:
@@ -79,11 +104,19 @@ class NicDriver {
   void PostRx(hwsim::Frame frame);
 
   void DrainTxCompletions();
+  size_t DrainRxCompletions();
+  void PollRound();
 
   hwsim::Machine& machine_;
   hwsim::Nic& nic_;
   RetryPolicy policy_;
   RxCallback rx_callback_;
+  std::function<void()> drain_hook_;
+  std::function<void(const std::function<void()>&)> deferred_ctx_;
+  bool mitigation_ = false;
+  bool polling_ = false;
+  uint64_t poll_interval_ = 0;
+  uint64_t poll_rounds_ = 0;
   std::deque<hwsim::Frame> tx_free_;
   std::unordered_map<hwsim::Paddr, hwsim::Frame> rx_posted_;  // paddr -> frame
   std::unordered_map<hwsim::Paddr, hwsim::Frame> tx_inflight_;

@@ -2,8 +2,54 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace uharness {
+
+namespace {
+
+struct RecordedTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::vector<RecordedTable>& JsonRegistry() {
+  static std::vector<RecordedTable> registry;
+  return registry;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJsonStringArray(std::FILE* f, const std::vector<std::string>& items) {
+  std::fputc('[', f);
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", JsonEscape(items[i]).c_str());
+  }
+  std::fputc(']', f);
+}
+
+}  // namespace
 
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
@@ -14,6 +60,7 @@ void Table::AddRow(std::vector<std::string> cells) {
 }
 
 void Table::Print() const {
+  JsonRegistry().push_back(RecordedTable{title_, columns_, rows_});
   std::vector<size_t> widths(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) {
     widths[c] = columns_[c].size();
@@ -82,6 +129,38 @@ void PrintHeading(const std::string& experiment_id, const std::string& descripti
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
   std::printf("================================================================\n");
+}
+
+bool WriteJsonIfRequested(const std::string& experiment_id) {
+  const char* dir = std::getenv("UKVM_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') {
+    return false;
+  }
+  const std::string path = std::string(dir) + "/BENCH_" + experiment_id + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "table: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"tables\": [\n",
+               JsonEscape(experiment_id).c_str());
+  const auto& tables = JsonRegistry();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    std::fprintf(f, "    {\n      \"title\": \"%s\",\n      \"columns\": ",
+                 JsonEscape(tables[t].title).c_str());
+    PrintJsonStringArray(f, tables[t].columns);
+    std::fprintf(f, ",\n      \"rows\": [\n");
+    for (size_t r = 0; r < tables[t].rows.size(); ++r) {
+      std::fprintf(f, "        ");
+      PrintJsonStringArray(f, tables[t].rows[r]);
+      std::fprintf(f, "%s\n", r + 1 == tables[t].rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", t + 1 == tables.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n[json] wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace uharness

@@ -34,6 +34,14 @@ std::string FmtCycles(uint64_t cycles);
 // Section header for a bench binary's stdout.
 void PrintHeading(const std::string& experiment_id, const std::string& description);
 
+// Machine-readable export: every Table::Print() also records the table in a
+// process-global registry. When the environment variable UKVM_BENCH_JSON
+// names a directory, this writes the registry as
+// <dir>/BENCH_<experiment_id>.json and returns true; otherwise it is a
+// no-op. Bench binaries call it once at the end of main (scripts/bench.sh
+// sets the variable and collects the files).
+bool WriteJsonIfRequested(const std::string& experiment_id);
+
 }  // namespace uharness
 
 #endif  // UKVM_SRC_EXPERIMENTS_TABLE_H_

@@ -76,9 +76,12 @@ class Cpu {
   void InvalidatePage(const PageTable* space, Vaddr vpn);
 
   // The salt that entries of `space` carry when it is active as a tagged
-  // or small space (upper 32 bits only; vpns stay below 2^32).
+  // or small space (upper 32 bits only; vpns stay below 2^32). Delegates to
+  // the table's monotonic identity rather than hashing the pointer: a hash
+  // could collide for two live spaces (or a recycled allocation), aliasing
+  // their TLB keys and masking a stale-entry violation from the auditor.
   static uint64_t TlbSaltOf(const PageTable* space) {
-    return std::hash<const void*>{}(space) & ~uint64_t{0xffffffff};
+    return space == nullptr ? 0 : space->tlb_salt();
   }
   uint64_t tlb_salt() const { return tlb_salt_; }
   // The space whose entries were inserted with salt 0 (the last untagged

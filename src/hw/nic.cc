@@ -124,7 +124,22 @@ void Nic::RaiseIrq() {
   if (faults_ != nullptr && faults_->LoseIrq()) {
     return;  // completion queued, but the edge never reaches the controller
   }
+  if (!irq_enabled_) {
+    irq_latched_ = true;  // mitigation: the driver is polling, hold the edge
+    ++irqs_suppressed_;
+    return;
+  }
+  ++irqs_raised_;
   machine_.irq_controller().Assert(line_);
+}
+
+void Nic::SetInterruptEnable(bool enabled) {
+  irq_enabled_ = enabled;
+  if (enabled && irq_latched_) {
+    irq_latched_ = false;
+    ++irqs_raised_;
+    machine_.irq_controller().Assert(line_);
+  }
 }
 
 }  // namespace hwsim

@@ -58,6 +58,14 @@ class Nic {
   std::optional<NicRxCompletion> TakeRxCompletion();
   std::optional<NicTxCompletion> TakeTxCompletion();
 
+  // The device's interrupt-enable register (NAPI-style mitigation: the
+  // driver disables it, drains completions by polling, re-enables when the
+  // rings run dry). While disabled, completion edges are latched instead of
+  // asserted; re-enabling with a latched edge raises one IRQ, so a
+  // completion that landed during the re-arm race is never lost.
+  void SetInterruptEnable(bool enabled);
+  bool interrupt_enabled() const { return irq_enabled_; }
+
   // --- Wire interface ------------------------------------------------------
 
   using PacketSink = std::function<void(std::vector<uint8_t>)>;
@@ -86,6 +94,8 @@ class Nic {
   uint64_t tx_packets() const { return tx_packets_; }
   uint64_t rx_packets() const { return rx_packets_; }
   uint64_t rx_drops() const { return rx_drops_; }
+  uint64_t irqs_raised() const { return irqs_raised_; }
+  uint64_t irqs_suppressed() const { return irqs_suppressed_; }
   size_t posted_rx_buffers() const { return rx_buffers_.size(); }
 
  private:
@@ -104,9 +114,13 @@ class Nic {
   std::deque<Buffer> rx_buffers_;
   std::deque<NicRxCompletion> rx_completions_;
   std::deque<NicTxCompletion> tx_completions_;
+  bool irq_enabled_ = true;
+  bool irq_latched_ = false;
   uint64_t tx_packets_ = 0;
   uint64_t rx_packets_ = 0;
   uint64_t rx_drops_ = 0;
+  uint64_t irqs_raised_ = 0;
+  uint64_t irqs_suppressed_ = 0;
 };
 
 }  // namespace hwsim

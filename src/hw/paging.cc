@@ -5,7 +5,7 @@
 namespace hwsim {
 
 PageTable::PageTable(uint32_t page_shift, uint32_t vaddr_bits)
-    : page_shift_(page_shift), vaddr_bits_(vaddr_bits) {
+    : page_shift_(page_shift), vaddr_bits_(vaddr_bits), salt_id_(next_salt_id_++) {
   assert(vaddr_bits_ > page_shift_);
 }
 

@@ -78,6 +78,13 @@ class PageTable {
   uint32_t page_shift() const { return page_shift_; }
   uint64_t max_va() const;
 
+  // The TLB salt entries of this table carry when it is active as a tagged
+  // or small space: a monotonically issued identity in the upper 32 bits
+  // (vpns stay below them). Issued once at construction and never reused,
+  // so two live tables — or a dead table and a new one reallocated at the
+  // same address — can never alias, which a pointer hash cannot promise.
+  uint64_t tlb_salt() const { return salt_id_ << 32; }
+
   Vaddr VpnOf(Vaddr va) const { return va >> page_shift_; }
   Vaddr PageBase(Vaddr va) const { return va & ~(page_size() - 1); }
   uint64_t page_size() const { return uint64_t{1} << page_shift_; }
@@ -93,8 +100,11 @@ class PageTable {
 
   bool VaInRange(Vaddr va) const { return va < max_va(); }
 
+  inline static uint64_t next_salt_id_ = 1;  // 0 stays the untagged salt
+
   uint32_t page_shift_;
   uint32_t vaddr_bits_;
+  uint64_t salt_id_ = 0;
   uint64_t mapped_pages_ = 0;
   std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory_;
   std::function<void(AuditOp, Vaddr, const Pte&)> audit_hook_;

@@ -63,8 +63,21 @@ void BlkBack::OnKick(BlkChannel& chan) {
     hwsim::Vaddr map_va = 0;
     hwsim::Frame frame = 0;
     if (err == Err::kNone) {
-      map_va = kBlkMapBase + (map_counter_++ % kBlkMapSlots) * machine_.memory().page_size();
-      err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, !req->is_write);
+      if (persistent_) {
+        if (auto va = map_cache_.LookupMapping(chan.guest, req->gref)) {
+          map_va = *va;
+        } else {
+          map_va = kBlkMapBase + (kBlkMapSlots + next_persistent_slot_++) *
+                                     machine_.memory().page_size();
+          err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, !req->is_write);
+          if (err == Err::kNone) {
+            map_cache_.InsertMapping(chan.guest, req->gref, map_va);
+          }
+        }
+      } else {
+        map_va = kBlkMapBase + (map_counter_++ % kBlkMapSlots) * machine_.memory().page_size();
+        err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, !req->is_write);
+      }
       if (err == Err::kNone) {
         uvmm::Domain* back_dom = hv_.FindDomain(backend_);
         const hwsim::Pte* pte = back_dom->space.Walk(map_va);
@@ -87,7 +100,9 @@ void BlkBack::OnKick(BlkChannel& chan) {
       } else {
         health_.RecordFailure();
       }
-      (void)hv_.HcGrantUnmap(backend_, chan_ptr->guest, gref, map_va);
+      if (!persistent_) {
+        (void)hv_.HcGrantUnmap(backend_, chan_ptr->guest, gref, map_va);
+      }
       chan_ptr->ring->PushResponse(BlkResp{id, status});
       ++served_;
       (void)hv_.HcEvtchnSend(backend_, chan_ptr->back_port);
@@ -95,7 +110,9 @@ void BlkBack::OnKick(BlkChannel& chan) {
     const Err submit = req->is_write ? driver_.Write(abs_lba, req->count, frame, done)
                                      : driver_.Read(abs_lba, req->count, frame, done);
     if (submit != Err::kNone) {
-      (void)hv_.HcGrantUnmap(backend_, chan.guest, gref, map_va);
+      if (!persistent_) {
+        (void)hv_.HcGrantUnmap(backend_, chan.guest, gref, map_va);
+      }
       chan.ring->PushResponse(BlkResp{id, submit});
       (void)hv_.HcEvtchnSend(backend_, chan.back_port);
     }
@@ -114,6 +131,9 @@ Err BlkFront::Connect(BlkBack& back) {
   if (chan_ == nullptr) {
     return Err::kNoMemory;
   }
+  // Cached grants name the previous backend; a reconnect (e.g. storage
+  // restart) must re-grant against the new one.
+  gref_cache_.Clear();
   backend_ = back.backend();
   block_size_ = back.block_size();
   capacity_ = chan_->slice_blocks;
@@ -177,13 +197,32 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
                               in.subspan(uint64_t{done} * block_size_, bytes));
       machine_.ChargeCopy(bytes);
     }
-    auto gref = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/!is_write);
-    if (!gref.ok()) {
-      free_pfns_.push_back(pfn);
-      return gref.error();
+    // Persistent mode caches one grant per (pfn, direction); the backend's
+    // mapping stays live, so the grant is never ended (EndGrant would see
+    // kBusy anyway while the backend holds it mapped).
+    const bool writable = !is_write;
+    const uint64_t cache_key = uint64_t{pfn} * 2 + (writable ? 1 : 0);
+    uint32_t gref = 0;
+    bool cached_grant = false;
+    if (persistent_) {
+      if (auto hit = gref_cache_.LookupGrant(cache_key)) {
+        gref = *hit;
+        cached_grant = true;
+      }
+    }
+    if (!cached_grant) {
+      auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, writable);
+      if (!fresh.ok()) {
+        free_pfns_.push_back(pfn);
+        return fresh.error();
+      }
+      gref = *fresh;
+      if (persistent_) {
+        gref_cache_.InsertGrant(cache_key, gref);
+      }
     }
     const uint64_t id = next_id_++;
-    chan_->ring->PushRequest(BlkReq{id, is_write, lba + done, chunk, *gref});
+    chan_->ring->PushRequest(BlkReq{id, is_write, lba + done, chunk, gref});
     Err err = hv_.HcEvtchnSend(guest_, chan_->front_port);
     if (err == Err::kNone) {
       err = machine_.WaitUntil([&] { return completed_.contains(id); }, 2'000'000'000ull);
@@ -192,7 +231,9 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       err = completed_[id];
       completed_.erase(id);
     }
-    (void)hv_.HcGrantEnd(guest_, *gref);
+    if (!persistent_) {
+      (void)hv_.HcGrantEnd(guest_, gref);
+    }
     if (err == Err::kNone && !is_write) {
       machine_.memory().Read(machine_.memory().FrameBase(*mfn),
                              out.subspan(uint64_t{done} * block_size_, bytes));

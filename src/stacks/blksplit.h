@@ -22,6 +22,7 @@
 #include "src/stacks/port_mux.h"
 #include "src/stacks/watchdog.h"
 #include "src/stacks/xenring.h"
+#include "src/vmm/grant_table.h"
 #include "src/vmm/hypervisor.h"
 
 namespace ustack {
@@ -56,6 +57,11 @@ class BlkBack {
 
   BlkChannel* Connect(ukvm::DomainId guest);
 
+  // Persistent-grant mode: each guest I/O page stays mapped across requests
+  // ((guest, gref) -> va cache, no unmap on completion). Both ends must
+  // agree — enable it on BlkFront too, or EndGrant returns kBusy.
+  void SetPersistentGrants(bool on) { persistent_ = on; }
+
   // Circuit breaker: persistent disk failures make the backend answer ring
   // requests with kRetryExhausted instead of burning retries per request.
   void SetDegradePolicy(const DegradePolicy& policy) { health_.SetPolicy(policy); }
@@ -64,6 +70,7 @@ class BlkBack {
   ukvm::DomainId backend() const { return backend_; }
   uint32_t block_size() const;
   uint64_t requests_served() const { return served_; }
+  const uvmm::GrantCache& map_cache() const { return map_cache_; }
 
  private:
   void OnKick(BlkChannel& chan);
@@ -76,6 +83,9 @@ class BlkBack {
   PortMux& mux_;
   std::vector<std::unique_ptr<BlkChannel>> channels_;
   ServiceHealth health_;
+  bool persistent_ = false;
+  uvmm::GrantCache map_cache_;  // (guest, gref) -> backend map va
+  uint32_t next_persistent_slot_ = 0;
   uint64_t next_slice_ = 0;
   uint64_t map_counter_ = 0;
   uint64_t served_ = 0;
@@ -96,6 +106,12 @@ class BlkFront : public minios::BlockDevice {
   ukvm::Err Read(uint64_t lba, uint32_t count, std::span<uint8_t> out) override;
   ukvm::Err Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) override;
 
+  // Persistent-grant mode: an I/O page's access grant is cached per
+  // (pfn, direction) and never ended, so steady state issues no grant
+  // hypercalls on the request path. Must match the backend's setting.
+  void SetPersistentGrants(bool on) { persistent_ = on; }
+  const uvmm::GrantCache& gref_cache() const { return gref_cache_; }
+
  private:
   ukvm::Err DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<uint8_t> out,
                       std::span<const uint8_t> in);
@@ -108,6 +124,8 @@ class BlkFront : public minios::BlockDevice {
   PortMux& mux_;
   BlkChannel* chan_ = nullptr;
   std::deque<uvmm::Pfn> free_pfns_;
+  bool persistent_ = false;
+  uvmm::GrantCache gref_cache_;  // pfn*2+writable -> gref
   uint32_t block_size_ = 0;
   uint64_t capacity_ = 0;
   uint64_t next_id_ = 1;

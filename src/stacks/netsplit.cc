@@ -1,5 +1,6 @@
 #include "src/stacks/netsplit.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/core/log.h"
@@ -77,11 +78,27 @@ void NetBack::OnTxKick(NetChannel& chan) {
       chan.tx_ring->PushResponse(NetTxResp{req->gref, Err::kRetryExhausted});
       continue;
     }
-    // Map the guest's granted page, transmit straight out of it (zero-copy
-    // TX), then unmap.
-    const hwsim::Vaddr map_va =
-        kBackendMapBase + (tx_packets_ % kBackendMapSlots) * machine_.memory().page_size();
-    Err err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, /*write=*/false);
+    // Map the guest's granted page and transmit straight out of it
+    // (zero-copy TX). Transient mode unmaps after the send; persistent mode
+    // keeps the mapping and hits the cache on every reuse of the gref.
+    Err err = Err::kNone;
+    hwsim::Vaddr map_va = 0;
+    if (persistent_) {
+      if (auto va = tx_map_cache_.LookupMapping(chan.guest, req->gref)) {
+        map_va = *va;
+      } else {
+        map_va = kBackendMapBase + (kBackendMapSlots + next_persistent_slot_++) *
+                                       machine_.memory().page_size();
+        err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, /*write=*/false);
+        if (err == Err::kNone) {
+          tx_map_cache_.InsertMapping(chan.guest, req->gref, map_va);
+        }
+      }
+    } else {
+      map_va =
+          kBackendMapBase + (tx_packets_ % kBackendMapSlots) * machine_.memory().page_size();
+      err = hv_.HcGrantMap(backend_, chan.guest, req->gref, map_va, /*write=*/false);
+    }
     if (err == Err::kNone) {
       uvmm::Domain* back_dom = hv_.FindDomain(backend_);
       const hwsim::Pte* pte = back_dom->space.Walk(map_va);
@@ -92,7 +109,9 @@ void NetBack::OnTxKick(NetChannel& chan) {
       } else {
         health_.RecordFailure();  // the NIC refused the frame
       }
-      (void)hv_.HcGrantUnmap(backend_, chan.guest, req->gref, map_va);
+      if (!persistent_) {
+        (void)hv_.HcGrantUnmap(backend_, chan.guest, req->gref, map_va);
+      }
     }
     if (err == Err::kNone) {
       ++tx_packets_;
@@ -105,6 +124,121 @@ void NetBack::OnTxKick(NetChannel& chan) {
 }
 
 void NetBack::OnPacketReceived(hwsim::Frame frame, uint32_t len) {
+  if (rx_batch_ > 1) {
+    rx_staged_.push_back(StagedRx{frame, len});
+    if (rx_staged_.size() >= rx_batch_) {
+      FlushRx();
+    }
+    return;
+  }
+  DeliverOne(frame, len);
+}
+
+void NetBack::SetRxBatch(size_t batch) {
+  rx_batch_ = batch == 0 ? 1 : batch;
+  if (rx_staged_.size() >= rx_batch_) {
+    FlushRx();
+  }
+}
+
+void NetBack::FlushRx() {
+  if (rx_staged_.empty()) {
+    return;
+  }
+  std::vector<StagedRx> staged;
+  staged.swap(rx_staged_);
+  ++rx_flushes_;
+  uvmm::Domain* back_dom = hv_.FindDomain(backend_);
+
+  // Partition the burst by destination channel, preserving arrival order.
+  // Frames the driver handed us are returned via RepostRx once delivered
+  // (flip: the exchanged page; copy/drop: the original).
+  std::vector<std::pair<NetChannel*, std::vector<size_t>>> by_chan;
+  for (size_t i = 0; i < staged.size(); ++i) {
+    auto data = machine_.memory().FrameData(staged[i].frame);
+    NetChannel* chan = ChannelFor(data.subspan(0, staged[i].len));
+    if (chan == nullptr || !hv_.DomainAlive(chan->guest)) {
+      ++rx_dropped_;
+      driver_.RepostRx(staged[i].frame);
+      continue;
+    }
+    auto it = std::find_if(by_chan.begin(), by_chan.end(),
+                           [chan](const auto& p) { return p.first == chan; });
+    if (it == by_chan.end()) {
+      by_chan.push_back({chan, {i}});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  for (auto& [chan, idx] : by_chan) {
+    auto reqs = chan->rx_ring->PopRequests(idx.size());
+    std::vector<uvmm::MulticallOp> ops;
+    std::vector<size_t> op_staged;  // staged index per op, parallel to ops
+    std::vector<NetRxReq> op_reqs;
+    std::vector<NetRxResp> resps;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const StagedRx& pkt = staged[idx[k]];
+      if (k >= reqs.size()) {
+        ++rx_dropped_;  // guest has no receive slot posted
+        driver_.RepostRx(pkt.frame);
+        continue;
+      }
+      auto local_pfn = back_dom->PfnOf(pkt.frame);
+      if (!local_pfn.ok()) {
+        ++rx_dropped_;
+        driver_.RepostRx(pkt.frame);
+        // The slot request is consumed; answer it so the guest recycles it.
+        resps.push_back(NetRxResp{reqs[k].ref, reqs[k].pfn, 0, Err::kOutOfRange});
+        continue;
+      }
+      uvmm::MulticallOp op;
+      if (mode_ == RxMode::kPageFlip) {
+        op.kind = uvmm::MulticallOp::Kind::kGrantTransfer;
+        op.peer = chan->guest;
+        op.ref = reqs[k].ref;
+        op.pfn = *local_pfn;
+      } else {
+        op.kind = uvmm::MulticallOp::Kind::kGrantCopy;
+        op.peer = chan->guest;
+        op.ref = reqs[k].ref;
+        op.pfn = *local_pfn;
+        op.len = pkt.len;
+        op.flag = true;  // to_grant
+      }
+      ops.push_back(op);
+      op_staged.push_back(idx[k]);
+      op_reqs.push_back(reqs[k]);
+    }
+
+    // The whole burst's flips (or copies) cross into the hypervisor once;
+    // transfers inside share one deferred TLB shootdown.
+    auto out = hv_.HcMulticall(backend_, ops);
+    for (size_t j = 0; j < ops.size(); ++j) {
+      const StagedRx& pkt = staged[op_staged[j]];
+      const Err st = j < out.results.size() ? out.results[j].status
+                     : out.status != Err::kNone ? out.status
+                                                : Err::kAborted;
+      if (st == Err::kNone) {
+        ++rx_delivered_;
+        driver_.RepostRx(mode_ == RxMode::kPageFlip
+                             ? static_cast<hwsim::Frame>(out.results[j].value)
+                             : pkt.frame);
+      } else {
+        ++rx_dropped_;
+        driver_.RepostRx(pkt.frame);
+      }
+      resps.push_back(NetRxResp{op_reqs[j].ref, op_reqs[j].pfn, pkt.len, st});
+    }
+    if (!resps.empty()) {
+      chan->rx_ring->PushResponses(std::span<const NetRxResp>(resps));
+      // One notification covers the burst (and coalesces with any pending).
+      (void)hv_.HcEvtchnSend(backend_, chan->back_rx_port);
+    }
+  }
+}
+
+void NetBack::DeliverOne(hwsim::Frame frame, uint32_t len) {
   auto data = machine_.memory().FrameData(frame);
   NetChannel* chan = ChannelFor(data.subspan(0, len));
   if (chan == nullptr || !hv_.DomainAlive(chan->guest)) {
@@ -221,13 +355,31 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
   machine_.memory().Write(machine_.memory().FrameBase(*mfn), packet);
   machine_.ChargeCopy(packet.size());
 
-  auto gref = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
-  if (!gref.ok()) {
-    free_pfns_.push_back(pfn);
-    return gref.error();
+  // Persistent mode recycles the staging page's access grant: after the
+  // first send of a given pfn, steady state issues no grant hypercalls here.
+  uint32_t gref = 0;
+  if (persistent_) {
+    if (auto cached = tx_gref_cache_.LookupGrant(pfn)) {
+      gref = *cached;
+    } else {
+      auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
+      if (!fresh.ok()) {
+        free_pfns_.push_back(pfn);
+        return fresh.error();
+      }
+      gref = *fresh;
+      tx_gref_cache_.InsertGrant(pfn, gref);
+    }
+  } else {
+    auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
+    if (!fresh.ok()) {
+      free_pfns_.push_back(pfn);
+      return fresh.error();
+    }
+    gref = *fresh;
   }
-  tx_grants_[*gref] = pfn;
-  chan_->tx_ring->PushRequest(NetTxReq{*gref, static_cast<uint32_t>(packet.size())});
+  tx_grants_[gref] = pfn;
+  chan_->tx_ring->PushRequest(NetTxReq{gref, static_cast<uint32_t>(packet.size())});
   const Err err = hv_.HcEvtchnSend(guest_, chan_->front_tx_port);
   if (err == Err::kNone) {
     ++tx_sent_;
@@ -237,7 +389,10 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
 
 void NetFront::OnTxResponse() {
   while (auto resp = chan_->tx_ring->PopResponse()) {
-    (void)hv_.HcGrantEnd(guest_, resp->gref);
+    if (!persistent_) {
+      // Persistent grants stay live for the next send of the same page.
+      (void)hv_.HcGrantEnd(guest_, resp->gref);
+    }
     auto it = tx_grants_.find(resp->gref);
     if (it != tx_grants_.end()) {
       free_pfns_.push_back(it->second);
@@ -248,26 +403,91 @@ void NetFront::OnTxResponse() {
 
 void NetFront::OnRxResponse() {
   uvmm::Domain* dom = hv_.FindDomain(guest_);
-  while (auto resp = chan_->rx_ring->PopResponse()) {
-    if (resp->status == Err::kNone) {
-      auto mfn = dom->MfnOf(resp->pfn);
+  if (io_batch_ <= 1) {
+    while (auto resp = chan_->rx_ring->PopResponse()) {
+      if (resp->status == Err::kNone) {
+        auto mfn = dom->MfnOf(resp->pfn);
+        if (mfn.ok()) {
+          auto data = machine_.memory().FrameData(*mfn);
+          // The guest network stack copies the payload out of the (flipped
+          // or filled) page.
+          std::vector<uint8_t> bytes(data.begin(), data.begin() + resp->len);
+          machine_.ChargeCopy(resp->len);
+          ++rx_received_;
+          if (handler_) {
+            handler_(bytes);
+          }
+        }
+      }
+      if (mode_ == RxMode::kGrantCopy) {
+        if (persistent_) {
+          // The writable slot grant survives the backend's copy; reuse it.
+          chan_->rx_ring->PushRequest(NetRxReq{resp->ref, resp->pfn});
+          continue;
+        }
+        (void)hv_.HcGrantEnd(guest_, resp->ref);
+      }
+      // Re-advertise the slot (the flip consumed the old grant entirely).
+      PostRxSlot(resp->pfn, /*kick=*/false);
+    }
+    return;
+  }
+
+  // Batched path: drain the whole ring in one pass, then re-advertise every
+  // consumed slot under a single multicall (flip mode needs fresh transfer
+  // grants; copy mode ends+re-grants, or reuses the grant when persistent).
+  auto resps = chan_->rx_ring->PopResponses(chan_->rx_ring->pending_responses());
+  std::vector<uvmm::MulticallOp> ops;
+  std::vector<NetRxReq> reqs;
+  for (const NetRxResp& resp : resps) {
+    if (resp.status == Err::kNone) {
+      auto mfn = dom->MfnOf(resp.pfn);
       if (mfn.ok()) {
         auto data = machine_.memory().FrameData(*mfn);
-        // The guest network stack copies the payload out of the (flipped or
-        // filled) page.
-        std::vector<uint8_t> bytes(data.begin(), data.begin() + resp->len);
-        machine_.ChargeCopy(resp->len);
+        std::vector<uint8_t> bytes(data.begin(), data.begin() + resp.len);
+        machine_.ChargeCopy(resp.len);
         ++rx_received_;
         if (handler_) {
           handler_(bytes);
         }
       }
     }
-    if (mode_ == RxMode::kGrantCopy) {
-      (void)hv_.HcGrantEnd(guest_, resp->ref);
+    if (mode_ == RxMode::kPageFlip) {
+      uvmm::MulticallOp op;
+      op.kind = uvmm::MulticallOp::Kind::kGrantTransferSlot;
+      op.peer = backend_;
+      op.pfn = resp.pfn;
+      ops.push_back(op);
+    } else if (persistent_) {
+      reqs.push_back(NetRxReq{resp.ref, resp.pfn});
+    } else {
+      uvmm::MulticallOp end;
+      end.kind = uvmm::MulticallOp::Kind::kGrantEnd;
+      end.ref = resp.ref;
+      ops.push_back(end);
+      uvmm::MulticallOp acc;
+      acc.kind = uvmm::MulticallOp::Kind::kGrantAccess;
+      acc.peer = backend_;
+      acc.pfn = resp.pfn;
+      acc.flag = true;  // writable
+      ops.push_back(acc);
     }
-    // Re-advertise the slot (the flip consumed the old grant entirely).
-    PostRxSlot(resp->pfn, /*kick=*/false);
+  }
+  if (!ops.empty()) {
+    auto out = hv_.HcMulticall(guest_, ops);
+    for (size_t j = 0; j < out.results.size(); ++j) {
+      if (ops[j].kind == uvmm::MulticallOp::Kind::kGrantEnd) {
+        continue;
+      }
+      if (out.results[j].status == Err::kNone) {
+        reqs.push_back(NetRxReq{static_cast<uint32_t>(out.results[j].value), ops[j].pfn});
+      } else {
+        UKVM_WARN("netfront: cannot post rx slot: %s", ukvm::ErrName(out.results[j].status));
+      }
+    }
+  }
+  if (!reqs.empty()) {
+    chan_->rx_ring->PushRequests(std::span<const NetRxReq>(reqs));
   }
 }
 

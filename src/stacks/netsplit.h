@@ -27,6 +27,7 @@
 #include "src/stacks/port_mux.h"
 #include "src/stacks/watchdog.h"
 #include "src/stacks/xenring.h"
+#include "src/vmm/grant_table.h"
 #include "src/vmm/hypervisor.h"
 
 namespace ustack {
@@ -80,8 +81,22 @@ class NetBack {
   // Routes inbound wire packets addressed to `wire_port` to `guest`.
   void RoutePort(uint16_t wire_port, ukvm::DomainId guest);
 
-  // The NIC driver's rx callback (runs in the backend domain).
+  // The NIC driver's rx callback (runs in the backend domain). With an rx
+  // batch > 1 the packet is staged instead of delivered; FlushRx pushes a
+  // whole burst through one multicall per destination channel.
   void OnPacketReceived(hwsim::Frame frame, uint32_t len);
+
+  // Batch boundary: deliver every staged packet now. Wired as the NIC
+  // driver's batch-drain hook so a poll round's worth of packets becomes
+  // one flush. A batch > 1 also requires the driver's deferred-repost mode
+  // (the backend returns each frame via RepostRx after the flip/copy).
+  void FlushRx();
+  void SetRxBatch(size_t batch);
+
+  // Persistent-grant mode (a real Xen protocol extension): granted tx pages
+  // stay mapped in the backend across packets, keyed by (guest, gref). Both
+  // ends must agree — enable it on NetFront too, or EndGrant returns kBusy.
+  void SetPersistentGrants(bool on) { persistent_ = on; }
 
   // Circuit breaker: persistent transmit failures make the backend answer
   // tx requests with kRetryExhausted instead of wedging against the device.
@@ -93,8 +108,17 @@ class NetBack {
   uint64_t tx_packets() const { return tx_packets_; }
   uint64_t rx_delivered() const { return rx_delivered_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
+  uint64_t rx_flushes() const { return rx_flushes_; }
+  size_t rx_staged() const { return rx_staged_.size(); }
+  const uvmm::GrantCache& tx_map_cache() const { return tx_map_cache_; }
 
  private:
+  struct StagedRx {
+    hwsim::Frame frame = 0;
+    uint32_t len = 0;
+  };
+
+  void DeliverOne(hwsim::Frame frame, uint32_t len);
   void OnTxKick(NetChannel& chan);
   NetChannel* ChannelFor(std::span<const uint8_t> packet);
 
@@ -107,9 +131,15 @@ class NetBack {
   std::vector<std::unique_ptr<NetChannel>> channels_;
   std::unordered_map<uint16_t, NetChannel*> wire_routes_;
   ServiceHealth health_;
+  size_t rx_batch_ = 1;
+  bool persistent_ = false;
+  std::vector<StagedRx> rx_staged_;
+  uvmm::GrantCache tx_map_cache_;   // (guest, gref) -> backend map va
+  uint32_t next_persistent_slot_ = 0;
   uint64_t tx_packets_ = 0;
   uint64_t rx_delivered_ = 0;
   uint64_t rx_dropped_ = 0;
+  uint64_t rx_flushes_ = 0;
 };
 
 class NetFront : public minios::NetDevice {
@@ -128,8 +158,19 @@ class NetFront : public minios::NetDevice {
   void SetRecvHandler(RecvHandler handler) override { handler_ = std::move(handler); }
   uint32_t mtu() const override { return 1514; }
 
+  // An io batch > 1 makes OnRxResponse drain the whole ring per upcall and
+  // re-advertise all consumed slots under one multicall.
+  void SetIoBatch(size_t batch) { io_batch_ = batch; }
+
+  // Persistent-grant mode: tx staging pages keep their access grant across
+  // sends (pfn -> gref cache, no HcGrantEnd); in grant-copy rx the writable
+  // slot grant is simply reused, so steady state posts slots with zero
+  // hypercalls. Must match the backend's setting.
+  void SetPersistentGrants(bool on) { persistent_ = on; }
+
   uint64_t tx_sent() const { return tx_sent_; }
   uint64_t rx_received() const { return rx_received_; }
+  const uvmm::GrantCache& tx_gref_cache() const { return tx_gref_cache_; }
 
  private:
   void PostRxSlot(uvmm::Pfn pfn, bool kick);
@@ -146,6 +187,9 @@ class NetFront : public minios::NetDevice {
   std::deque<uvmm::Pfn> free_pfns_;
   std::unordered_map<uint32_t, uvmm::Pfn> tx_grants_;  // gref -> staging pfn
   RecvHandler handler_;
+  size_t io_batch_ = 1;
+  bool persistent_ = false;
+  uvmm::GrantCache tx_gref_cache_;  // staging pfn -> gref
   uint64_t tx_sent_ = 0;
   uint64_t rx_received_ = 0;
 };

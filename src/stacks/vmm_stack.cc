@@ -58,6 +58,21 @@ VmmStack::VmmStack(Config config)
   netback_->SetDegradePolicy(degrade_);
   nic_driver_->SetRxCallback(
       [this](hwsim::Frame frame, uint32_t len) { netback_->OnPacketReceived(frame, len); });
+  if (config.io_batch > 1) {
+    // Batched datapath: NAPI-style polled drains on the NIC driver, with the
+    // netback's flush as the per-round batch boundary (deferred-repost mode).
+    // Poll rounds are timer events; re-enter the driver domain's kernel
+    // context so their cycles are charged like softirq work.
+    netback_->SetRxBatch(config.io_batch);
+    nic_driver_->SetBatchDrainHook([this] { netback_->FlushRx(); });
+    nic_driver_->SetDeferredContext([this](const std::function<void()>& fn) {
+      (void)hv_->RunAsDomainKernel(net_dom_, fn);
+    });
+    nic_driver_->SetInterruptMitigation(true);
+  }
+  if (config.persistent_grants) {
+    netback_->SetPersistentGrants(true);
+  }
 
   // Route the NIC's hardware interrupt into the driver domain as a virtual IRQ.
   auto nic_port = hv_->HcEvtchnAllocUnbound(net_dom_, net_dom_);
@@ -68,6 +83,7 @@ VmmStack::VmmStack(Config config)
 
   // --- Storage backend: Dom0 or a Parallax-style storage VM ------------------
   parallax_ = config.parallax_storage;
+  persistent_grants_ = config.persistent_grants;
   storage_pages_ = config.storage_pages;
   slice_blocks_ = config.slice_blocks;
   if (config.parallax_storage) {
@@ -86,6 +102,9 @@ VmmStack::VmmStack(Config config)
   blkback_ = std::make_unique<BlkBack>(machine_, *hv_, storage_dom_, *disk_driver_,
                                        config.slice_blocks, storage_mux);
   blkback_->SetDegradePolicy(degrade_);
+  if (config.persistent_grants) {
+    blkback_->SetPersistentGrants(true);
+  }
   auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
   assert(disk_port.ok());
   storage_mux.Route(*disk_port, [this] { disk_driver_->OnInterrupt(); });
@@ -135,9 +154,18 @@ std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
   }
 
   g->netfront = std::make_unique<NetFront>(machine_, *hv_, g->domain, net_pool, *g->mux);
+  if (config.io_batch > 1) {
+    g->netfront->SetIoBatch(config.io_batch);
+  }
+  if (config.persistent_grants) {
+    g->netfront->SetPersistentGrants(true);
+  }
   err = g->netfront->Connect(*netback_);
   assert(err == Err::kNone);
   g->blkfront = std::make_unique<BlkFront>(machine_, *hv_, g->domain, blk_pool, *g->mux);
+  if (config.persistent_grants) {
+    g->blkfront->SetPersistentGrants(true);
+  }
   err = g->blkfront->Connect(*blkback_);
   assert(err == Err::kNone);
   (void)err;
@@ -187,6 +215,9 @@ Err VmmStack::RestartStorage() {
   blkback_ = std::make_unique<BlkBack>(machine_, *hv_, storage_dom_, *disk_driver_,
                                        slice_blocks_, storage_mux);
   blkback_->SetDegradePolicy(degrade_);
+  if (persistent_grants_) {
+    blkback_->SetPersistentGrants(true);
+  }
   auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
   if (!disk_port.ok()) {
     return disk_port.error();

@@ -45,6 +45,16 @@ class VmmStack {
                                      // driver domain instead of Dom0
     uint64_t net_domain_pages = 1024;
     bool request_fast_syscall = true;
+    // E16 batching knobs — both default off, so the unbatched datapath (and
+    // every E1–E15 number measured over it) is untouched.
+    //   io_batch > 1: netback stages rx packets and flushes them through one
+    //   multicall per burst; the NIC driver switches to NAPI-style polled
+    //   drains (masked IRQ) with NetBack::FlushRx as the batch boundary; the
+    //   frontends drain and re-advertise rings in batches of this size.
+    uint32_t io_batch = 1;
+    //   persistent_grants: both ends of the net and blk split drivers keep
+    //   grants/mappings alive across packets (grant recycling).
+    bool persistent_grants = false;
     hwsim::Nic::Config nic;
     hwsim::Disk::Config disk;
     // Chaos knobs (E15): seeded device fault injection plus the driver and
@@ -83,6 +93,8 @@ class VmmStack {
   ukvm::DomainId net_domain() const { return net_dom_; }
   NetBack& netback() { return *netback_; }
   BlkBack& blkback() { return *blkback_; }
+  // The NIC driver (benches tune its poll interval to the offered rate).
+  udrv::NicDriver& nic_driver() { return *nic_driver_; }
   // The isolation auditor; nullptr when the config disabled it.
   ucheck::Auditor* auditor() { return auditor_.get(); }
 
@@ -148,6 +160,7 @@ class VmmStack {
   std::unique_ptr<BlkBack> blkback_;
   std::vector<std::unique_ptr<Guest>> guests_;
   bool parallax_ = false;
+  bool persistent_grants_ = false;
   uint64_t storage_pages_ = 1024;
   uint64_t slice_blocks_ = 8192;
   udrv::RetryPolicy disk_retry_;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "src/hw/machine.h"
 
@@ -58,6 +60,49 @@ class XenRing {
     machine_.ChargeCopy(sizeof(Resp));
     responses_.push_back(resp);
     return true;
+  }
+
+  // --- Batched variants -------------------------------------------------------
+  // One descriptor-array copy per call instead of one per descriptor: the
+  // byte volume charged is identical, but producer and consumer touch the
+  // ring (and later kick/upcall) once per batch. Returns how many fit.
+
+  size_t PushRequests(std::span<const Req> reqs) {
+    const size_t n = std::min(reqs.size(), capacity_ - requests_.size());
+    if (n > 0) {
+      machine_.ChargeCopy(n * sizeof(Req));
+      requests_.insert(requests_.end(), reqs.begin(), reqs.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return n;
+  }
+  std::vector<Req> PopRequests(size_t max) {
+    const size_t n = std::min(max, requests_.size());
+    std::vector<Req> out;
+    if (n > 0) {
+      machine_.ChargeCopy(n * sizeof(Req));
+      out.assign(requests_.begin(), requests_.begin() + static_cast<ptrdiff_t>(n));
+      requests_.erase(requests_.begin(), requests_.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return out;
+  }
+  size_t PushResponses(std::span<const Resp> resps) {
+    const size_t n = std::min(resps.size(), capacity_ - responses_.size());
+    if (n > 0) {
+      machine_.ChargeCopy(n * sizeof(Resp));
+      responses_.insert(responses_.end(), resps.begin(),
+                        resps.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return n;
+  }
+  std::vector<Resp> PopResponses(size_t max) {
+    const size_t n = std::min(max, responses_.size());
+    std::vector<Resp> out;
+    if (n > 0) {
+      machine_.ChargeCopy(n * sizeof(Resp));
+      out.assign(responses_.begin(), responses_.begin() + static_cast<ptrdiff_t>(n));
+      responses_.erase(responses_.begin(), responses_.begin() + static_cast<ptrdiff_t>(n));
+    }
+    return out;
   }
 
   size_t pending_requests() const { return requests_.size(); }

@@ -69,11 +69,16 @@ Err EventChannelTable::Send(DomainId caller, uint32_t port) {
     return Err::kDead;  // peer domain was destroyed
   }
   ++sends_;
-  if (remote->masked) {
-    remote->pending = true;
+  if (remote->pending) {
+    // Already signalled and not yet consumed: the bit latches this Send
+    // too. One upcall (on consume/unmask) covers the whole burst.
+    ++coalesced_sends_;
     return Err::kNone;
   }
   remote->pending = true;
+  if (remote->masked) {
+    return Err::kNone;  // delivered when the owner unmasks
+  }
   deliver_(local->remote_dom, local->remote_port);
   return Err::kNone;
 }
@@ -97,7 +102,12 @@ Err EventChannelTable::SetMask(DomainId owner, uint32_t port, bool masked) {
   if (p == nullptr) {
     return Err::kBadHandle;
   }
+  const bool was_masked = p->masked;
   p->masked = masked;
+  if (was_masked && !masked && p->pending) {
+    // Flush: everything latched while masked becomes one upcall.
+    deliver_(owner, port);
+  }
   return Err::kNone;
 }
 

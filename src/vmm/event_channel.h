@@ -35,12 +35,18 @@ class EventChannelTable {
   ukvm::Result<uint32_t> BindInterdomain(ukvm::DomainId caller, ukvm::DomainId remote_dom,
                                          uint32_t remote_port);
 
-  // Signals the peer end of `port` (asynchronous, unidirectional).
+  // Signals the peer end of `port` (asynchronous, unidirectional). The
+  // pending bit doubles as a coalescing latch: a Send whose peer bit is
+  // already set (masked, or signalled again before the earlier upcall was
+  // consumed) just leaves it set — N notifications collapse into one upcall,
+  // exactly Xen's evtchn_pending bitmap semantics.
   ukvm::Err Send(ukvm::DomainId caller, uint32_t port);
 
   ukvm::Err Close(ukvm::DomainId caller, uint32_t port);
 
   // Masking (a masked port accumulates pending state but does not upcall).
+  // Unmasking a port whose pending bit is set delivers the single deferred
+  // upcall — the flush half of the coalescing protocol.
   ukvm::Err SetMask(ukvm::DomainId owner, uint32_t port, bool masked);
 
   // Consumes the pending bit of a port (guest-side acknowledgement);
@@ -52,6 +58,8 @@ class EventChannelTable {
   void CloseAllOf(ukvm::DomainId domain);
 
   uint64_t sends() const { return sends_; }
+  // Sends absorbed by an already-pending bit (no upcall scheduled).
+  uint64_t coalesced_sends() const { return coalesced_sends_; }
   size_t ports_of(ukvm::DomainId domain) const;
 
  private:
@@ -69,6 +77,7 @@ class EventChannelTable {
   DeliverFn deliver_;
   std::unordered_map<ukvm::DomainId, std::vector<Port>> ports_;
   uint64_t sends_ = 0;
+  uint64_t coalesced_sends_ = 0;
 };
 
 }  // namespace uvmm

@@ -210,8 +210,15 @@ Result<hwsim::Frame> GrantTable::Transfer(DomainId caller, Pfn caller_pfn, Domai
 
   // The flip itself: two ownership changes, two p2m updates, two PTE-level
   // invalidations and a TLB shootdown. Note: no per-byte term whatsoever.
-  machine_.Charge(machine_.costs().kernel_op + 2 * machine_.costs().pte_write +
-                  machine_.costs().tlb_shootdown);
+  // Inside a batch the shootdown is deferred to EndBatch — one flush covers
+  // every flip of the multicall.
+  machine_.Charge(machine_.costs().kernel_op + 2 * machine_.costs().pte_write);
+  if (batch_depth_ > 0) {
+    batch_shootdown_pending_ = true;
+    ++deferred_shootdowns_;
+  } else {
+    machine_.Charge(machine_.costs().tlb_shootdown);
+  }
   (void)machine_.memory().TransferFrame(*caller_mfn, granter);
   (void)machine_.memory().TransferFrame(*slot_mfn, caller);
   g->p2m[entry->pfn] = *caller_mfn;
@@ -228,6 +235,16 @@ Result<hwsim::Frame> GrantTable::Transfer(DomainId caller, Pfn caller_pfn, Domai
   return *slot_mfn;
 }
 
+void GrantTable::BeginBatch() { ++batch_depth_; }
+
+void GrantTable::EndBatch() {
+  assert(batch_depth_ > 0);
+  if (--batch_depth_ == 0 && batch_shootdown_pending_) {
+    machine_.Charge(machine_.costs().tlb_shootdown);
+    batch_shootdown_pending_ = false;
+  }
+}
+
 void GrantTable::DropAllOf(DomainId domain) {
   tables_.erase(domain);
   for (auto& [granter, table] : tables_) {
@@ -240,6 +257,55 @@ void GrantTable::DropAllOf(DomainId domain) {
   if (audit_hook_) {
     audit_hook_();
   }
+}
+
+// --- GrantCache -------------------------------------------------------------------
+
+uint64_t GrantCache::MapKey(DomainId granter, uint32_t ref) {
+  return (uint64_t{granter.value()} << 32) | ref;
+}
+
+std::optional<uint32_t> GrantCache::LookupGrant(uint64_t key) const {
+  auto it = grants_.find(key);
+  if (it == grants_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void GrantCache::InsertGrant(uint64_t key, uint32_t gref) { grants_[key] = gref; }
+
+void GrantCache::DropGrant(uint64_t key) { grants_.erase(key); }
+
+std::optional<hwsim::Vaddr> GrantCache::LookupMapping(DomainId granter, uint32_t ref) const {
+  auto it = mappings_.find(MapKey(granter, ref));
+  if (it == mappings_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void GrantCache::InsertMapping(DomainId granter, uint32_t ref, hwsim::Vaddr va) {
+  mappings_[MapKey(granter, ref)] = va;
+}
+
+void GrantCache::DropMappingsOf(DomainId granter) {
+  for (auto it = mappings_.begin(); it != mappings_.end();) {
+    if (DomainId{static_cast<uint32_t>(it->first >> 32)} == granter) {
+      it = mappings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GrantCache::Clear() {
+  grants_.clear();
+  mappings_.clear();
 }
 
 void GrantTable::ForEachActive(const std::function<void(const GrantView&)>& fn) const {

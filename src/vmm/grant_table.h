@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +71,18 @@ class GrantTable {
   // Drops all grants issued by or mapped by `domain` (domain destruction).
   void DropAllOf(ukvm::DomainId domain);
 
+  // --- Batching ---------------------------------------------------------------
+
+  // Between BeginBatch and EndBatch, Transfer defers its TLB shootdown: the
+  // per-flip charge drops to the ownership/p2m work, and EndBatch charges a
+  // single shootdown covering every flip in the batch (one IPI flush at the
+  // end of a multicall, as Xen's deferred-flush hypercalls do). Safe here
+  // because no guest translates between sub-ops of one hypercall. Nests.
+  void BeginBatch();
+  void EndBatch();
+
+  uint64_t deferred_shootdowns() const { return deferred_shootdowns_; }
+
   // --- Auditing ---------------------------------------------------------------
 
   // A read-only view of one live grant entry, for the invariant auditor.
@@ -120,7 +133,44 @@ class GrantTable {
   uint64_t transfers_ = 0;
   uint64_t copies_ = 0;
   uint64_t copied_bytes_ = 0;
+  uint32_t batch_depth_ = 0;
+  bool batch_shootdown_pending_ = false;
+  uint64_t deferred_shootdowns_ = 0;
   std::function<void()> audit_hook_;
+};
+
+// Persistent-grant recycling cache (Xen's "persistent grants" protocol
+// extension): both ends of a split driver keep steady-state grants alive
+// across I/Os instead of paying grant/map/unmap/end hypercalls per packet.
+// The frontend side remembers pfn -> gref (grant once, reuse forever); the
+// backend side remembers (granter, gref) -> mapped va (map once, never
+// unmap). Pure bookkeeping — the hypercalls it elides are the saving.
+class GrantCache {
+ public:
+  // Frontend: a live grant of one of our pages. `key` is caller-chosen
+  // (usually the pfn; blkfront packs the direction in too).
+  std::optional<uint32_t> LookupGrant(uint64_t key) const;
+  void InsertGrant(uint64_t key, uint32_t gref);
+  void DropGrant(uint64_t key);
+
+  // Backend: a granted page we keep mapped.
+  std::optional<hwsim::Vaddr> LookupMapping(ukvm::DomainId granter, uint32_t ref) const;
+  void InsertMapping(ukvm::DomainId granter, uint32_t ref, hwsim::Vaddr va);
+  void DropMappingsOf(ukvm::DomainId granter);
+
+  void Clear();
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t mappings() const { return mappings_.size(); }
+  size_t grants() const { return grants_.size(); }
+
+ private:
+  static uint64_t MapKey(ukvm::DomainId granter, uint32_t ref);
+
+  std::unordered_map<uint64_t, uint32_t> grants_;       // key -> gref
+  std::unordered_map<uint64_t, hwsim::Vaddr> mappings_; // (granter,ref) -> va
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
 };
 
 }  // namespace uvmm

@@ -38,6 +38,8 @@ const char* HypercallName(HypercallNr nr) {
       return "physdev_op";
     case HypercallNr::kDomctl:
       return "domctl";
+    case HypercallNr::kMulticall:
+      return "multicall";
   }
   return "?";
 }
@@ -374,6 +376,76 @@ Result<hwsim::Frame> Hypervisor::HcGrantTransfer(DomainId dom, Pfn pfn, DomainId
   return frame;
 }
 
+MulticallOutcome Hypervisor::HcMulticall(DomainId dom, std::span<const MulticallOp> ops) {
+  MulticallOutcome out;
+  Domain* d = HypercallProlog(dom, HypercallNr::kMulticall);
+  if (d == nullptr) {
+    out.status = Err::kBadHandle;
+    return out;
+  }
+  out.results.reserve(ops.size());
+  multicall_subops_ += ops.size();
+  // Transfers in the batch share one TLB shootdown, charged at EndBatch.
+  gnttab_->BeginBatch();
+  for (const MulticallOp& op : ops) {
+    MulticallResult r;
+    switch (op.kind) {
+      case MulticallOp::Kind::kGrantAccess: {
+        auto ref = gnttab_->GrantAccess(dom, op.peer, op.pfn, op.flag);
+        r.status = ref.ok() ? Err::kNone : ref.error();
+        r.value = ref.ok() ? *ref : 0;
+        break;
+      }
+      case MulticallOp::Kind::kGrantTransferSlot: {
+        auto ref = gnttab_->GrantTransfer(dom, op.peer, op.pfn);
+        r.status = ref.ok() ? Err::kNone : ref.error();
+        r.value = ref.ok() ? *ref : 0;
+        break;
+      }
+      case MulticallOp::Kind::kGrantEnd:
+        r.status = gnttab_->EndGrant(dom, op.ref);
+        break;
+      case MulticallOp::Kind::kGrantMap:
+        r.status = gnttab_->MapGrant(dom, op.peer, op.ref, op.va, op.flag);
+        break;
+      case MulticallOp::Kind::kGrantUnmap:
+        r.status = gnttab_->UnmapGrant(dom, op.peer, op.ref, op.va);
+        break;
+      case MulticallOp::Kind::kGrantCopy:
+        r.status = gnttab_->Copy(dom, op.peer, op.ref, op.grant_off, op.pfn, op.local_off,
+                                 op.len, op.flag);
+        break;
+      case MulticallOp::Kind::kGrantTransfer: {
+        auto frame = gnttab_->Transfer(dom, op.pfn, op.peer, op.ref);
+        r.status = frame.ok() ? Err::kNone : frame.error();
+        r.value = frame.ok() ? *frame : 0;
+        break;
+      }
+      case MulticallOp::Kind::kEvtchnSend: {
+        machine_.Charge(machine_.costs().kernel_op);
+        const uint64_t t0 = machine_.Now();
+        r.status = evtchn_->Send(dom, op.port);
+        if (r.status == Err::kNone) {
+          machine_.ledger().Record(mech_upcall_, dom, DomainId::Invalid(),
+                                   machine_.Now() - t0, 0);
+        }
+        break;
+      }
+    }
+    out.results.push_back(r);
+    if (r.status != Err::kNone) {
+      // Xen aborts a multicall at the first failing sub-op; earlier sub-ops
+      // stay applied and their results stand.
+      out.status = r.status;
+      break;
+    }
+    ++out.completed;
+  }
+  gnttab_->EndBatch();
+  HypercallEpilog(d);
+  return out;
+}
+
 Err Hypervisor::HcBindIrq(DomainId dom, IrqLine line, uint32_t port) {
   Domain* d = HypercallProlog(dom, HypercallNr::kPhysdevOp);
   if (d == nullptr) {
@@ -421,6 +493,32 @@ Err Hypervisor::RunGuestUser(DomainId dom, const std::function<void()>& fn) {
   machine_.cpu().SetInterruptsEnabled(true);
   machine_.DeliverPendingInterrupts();
   fn();
+  return Err::kNone;
+}
+
+Err Hypervisor::RunAsDomainKernel(DomainId dom, const std::function<void()>& fn) {
+  Domain* d = FindDomain(dom);
+  if (d == nullptr || !d->alive) {
+    return Err::kBadHandle;
+  }
+  // Save/switch/restore as DeliverUpcall does, minus the virtual-interrupt
+  // injection: this is softirq-style deferred work, not an upcall.
+  Domain* prev = sched_.current();
+  const hwsim::PrivLevel prev_mode = machine_.cpu().mode();
+  const DomainId prev_domain = machine_.cpu().current_domain();
+
+  machine_.Charge(machine_.costs().kernel_op);  // softirq dispatch
+  sched_.SwitchTo(*d, hwsim::PrivLevel::kGuestKernel);
+  fn();
+
+  if (prev != nullptr && prev->alive && prev != d) {
+    sched_.SwitchTo(*prev, prev_mode);
+  } else if (prev == d) {
+    machine_.cpu().SetMode(prev_mode);
+  } else {
+    machine_.cpu().SetDomain(prev_domain);
+    machine_.cpu().SetMode(prev_mode);
+  }
   return Err::kNone;
 }
 

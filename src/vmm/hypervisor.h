@@ -1,7 +1,8 @@
 // The Xen-style hypervisor.
 //
 // This is the "rich variety of primitives" system of paper §2.2: domains,
-// a twelve-entry hypercall table, event channels, grant tables (map, copy,
+// a thirteen-entry hypercall table (including Xen's multicall batching
+// entry), event channels, grant tables (map, copy,
 // and page-flip transfer), paravirtual page-table updates, a virtualized
 // interrupt controller routing hardware IRQs to driver domains, exception
 // virtualisation with the fragile fast system-call gate, and a privileged
@@ -34,6 +35,46 @@
 
 namespace uvmm {
 
+// One sub-operation of a multicall batch (Xen's multicall_entry_t, typed).
+// A tagged union over the hot-path grant and event-channel operations; the
+// fields each kind consumes mirror the corresponding Hc* signature.
+struct MulticallOp {
+  enum class Kind : uint8_t {
+    kGrantAccess,        // peer=grantee, pfn, flag=writable -> value=gref
+    kGrantTransferSlot,  // peer=grantee, pfn               -> value=gref
+    kGrantEnd,           // ref
+    kGrantMap,           // peer=granter, ref, va, flag=write
+    kGrantUnmap,         // peer=granter, ref, va
+    kGrantCopy,          // peer=granter, ref, grant_off, pfn, local_off, len, flag=to_grant
+    kGrantTransfer,      // peer=granter, ref, pfn           -> value=received frame
+    kEvtchnSend,         // port
+  };
+  Kind kind = Kind::kEvtchnSend;
+  ukvm::DomainId peer = ukvm::DomainId::Invalid();
+  uint32_t ref = 0;
+  Pfn pfn = 0;
+  hwsim::Vaddr va = 0;
+  uint64_t grant_off = 0;
+  uint64_t local_off = 0;
+  uint32_t len = 0;
+  uint32_t port = 0;
+  bool flag = false;
+};
+
+struct MulticallResult {
+  ukvm::Err status = ukvm::Err::kNone;
+  uint64_t value = 0;  // gref or received frame, per the op kind
+};
+
+struct MulticallOutcome {
+  // kNone when every sub-op succeeded; otherwise the first failure, with
+  // Xen semantics: sub-ops [0, completed) are applied and stay applied.
+  ukvm::Err status = ukvm::Err::kNone;
+  size_t completed = 0;
+  std::vector<MulticallResult> results;  // one per attempted sub-op
+  bool ok() const { return status == ukvm::Err::kNone; }
+};
+
 // The hypercall table — the VMM ABI (contrast: ukern::SyscallNr has 6
 // entries, and 5 of its 6 are degenerate; IPC does almost everything).
 enum class HypercallNr : uint32_t {
@@ -49,8 +90,9 @@ enum class HypercallNr : uint32_t {
   kConsoleIo = 9,
   kPhysdevOp = 10,      // interrupt-controller virtualisation
   kDomctl = 11,         // domain lifecycle (privileged)
+  kMulticall = 12,      // batch of sub-hypercalls, one entry/exit
 };
-inline constexpr uint32_t kHypercallCount = 12;
+inline constexpr uint32_t kHypercallCount = 13;
 
 const char* HypercallName(HypercallNr nr);
 
@@ -130,6 +172,15 @@ class Hypervisor : public hwsim::TrapHandler {
   ukvm::Result<hwsim::Frame> HcGrantTransfer(ukvm::DomainId dom, Pfn pfn, ukvm::DomainId granter,
                                              uint32_t ref);
 
+  // Executes `ops` as one hypercall: a single entry/exit pair (one
+  // hypercall_entry/return charge, one ledger call/reply pair) amortised
+  // over the whole vector, with each sub-op dispatched to the grant-table /
+  // event-channel internals so its own kernel work and mechanism-level
+  // ledger records still happen. Xen semantics on failure: stop at the
+  // first failing sub-op, leave [0, completed) applied. Grant transfers
+  // inside the batch share one deferred TLB shootdown (GrantTable batch).
+  MulticallOutcome HcMulticall(ukvm::DomainId dom, std::span<const MulticallOp> ops);
+
   // Binds hardware interrupt `line` to (`dom`, `port`): PhysdevOp, Dom0 or a
   // privileged driver domain only.
   ukvm::Err HcBindIrq(ukvm::DomainId dom, ukvm::IrqLine line, uint32_t port);
@@ -141,6 +192,12 @@ class Hypervisor : public hwsim::TrapHandler {
 
   // Runs `fn` as guest-user code of `dom` (context switch in and out).
   ukvm::Err RunGuestUser(ukvm::DomainId dom, const std::function<void()>& fn);
+
+  // Runs `fn` in `dom`'s kernel context, saving and restoring the current
+  // one. Deferred driver work (NAPI poll rounds) runs off machine timer
+  // events, outside any domain; it must still be charged to the domain that
+  // owns the driver, the way a softirq is charged to its CPU's current task.
+  ukvm::Err RunAsDomainKernel(ukvm::DomainId dom, const std::function<void()>& fn);
 
   // A guest application's system call (experiment E2's measured operation).
   uint64_t GuestSyscall(ukvm::DomainId dom, hwsim::TrapFrame& frame);
@@ -156,6 +213,9 @@ class Hypervisor : public hwsim::TrapHandler {
 
   uint64_t total_hypercalls() const { return total_hypercalls_; }
   uint64_t HypercallCountOf(HypercallNr nr) const;
+  // Sub-operations executed under multicall batches (per-sub-op accounting;
+  // each multicall itself counts once in total_hypercalls()).
+  uint64_t multicall_subops() const { return multicall_subops_; }
   const std::vector<std::string>& console_log() const { return console_log_; }
 
  private:
@@ -188,6 +248,7 @@ class Hypervisor : public hwsim::TrapHandler {
   uint32_t mech_upcall_ = 0;
   std::array<uint64_t, kHypercallCount> hypercall_counts_{};
   uint64_t total_hypercalls_ = 0;
+  uint64_t multicall_subops_ = 0;
   std::vector<std::string> console_log_;
 };
 
