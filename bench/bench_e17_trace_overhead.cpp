@@ -1,0 +1,213 @@
+// E17: what the flight recorder / histograms / profiler cost.
+//
+// The tracer's contract is that it observes the simulation without
+// perturbing it: no tracer method charges simulated cycles, so a run with
+// tracing on is cycle-for-cycle identical to the same run with tracing off.
+// The first table asserts exactly that (sim delta must be 0 on every row;
+// the process exits nonzero otherwise, and scripts/check.sh gates on it).
+// The real cost is host wall-clock, reported as a ratio.
+//
+// The second half demonstrates the instruments on the netsplit receive
+// path: per-mechanism and end-to-end latency percentiles, cycle-attribution
+// coverage, and — when UKVM_TRACE_DIR is set — a Perfetto-loadable Chrome
+// trace plus flamegraph.pl collapsed stacks.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/experiments/table.h"
+#include "src/experiments/trace_export.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace {
+
+struct RunResult {
+  uint64_t sim_cycles = 0;
+  double host_ms = 0;
+  uint64_t events = 0;      // flight-recorder events captured
+  uint64_t mismatches = 0;  // span discipline violations (must be 0)
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+RunResult RunUkernelIpc(bool trace) {
+  ustack::UkernelStack::Config config;
+  config.audit = false;
+  config.trace.enabled = trace;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::UkernelStack stack(config);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    uwork::RunNullSyscalls(stack.machine(), os, *pid, 2000);
+  });
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  r.sim_cycles = stack.machine().Now();
+  r.host_ms = MsSince(t0);
+  r.events = stack.machine().tracer().events_recorded();
+  r.mismatches = stack.machine().tracer().span_mismatches();
+  return r;
+}
+
+RunResult RunVmmMixed(bool trace) {
+  ustack::VmmStack::Config config;
+  config.audit = false;
+  config.trace.enabled = trace;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::VmmStack stack(config);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    uwork::RunMixedWorkload(stack.machine(), os, *pid, 80);
+  });
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  r.sim_cycles = stack.machine().Now();
+  r.host_ms = MsSince(t0);
+  r.events = stack.machine().tracer().events_recorded();
+  r.mismatches = stack.machine().tracer().span_mismatches();
+  return r;
+}
+
+RunResult RunVmmFlipReceive(bool trace) {
+  ustack::VmmStack::Config config;
+  config.audit = false;
+  config.trace.enabled = trace;
+  config.rx_mode = ustack::RxMode::kPageFlip;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    (void)os.NetBind(*pid, 40);
+    wire.StartStream(40, 1024, 20 * hwsim::kCyclesPerUs, 64);
+    uwork::RunUdpReceive(stack.machine(), os, *pid, 40, 64, 1'000'000'000ull);
+  });
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  r.sim_cycles = stack.machine().Now();
+  r.host_ms = MsSince(t0);
+  r.events = stack.machine().tracer().events_recorded();
+  r.mismatches = stack.machine().tracer().span_mismatches();
+  return r;
+}
+
+// The demonstration run: netsplit receive with tracing on, instruments
+// dumped before the stack dies.
+void ShowInstruments(bool& attribution_ok) {
+  ustack::VmmStack::Config config;
+  config.audit = false;
+  config.trace.enabled = true;
+  config.rx_mode = ustack::RxMode::kPageFlip;
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    (void)os.NetBind(*pid, 40);
+    wire.StartStream(40, 1024, 20 * hwsim::kCyclesPerUs, 64);
+    uwork::RunUdpReceive(stack.machine(), os, *pid, 40, 64, 1'000'000'000ull);
+  });
+  stack.machine().RunUntilIdle();
+
+  const ukvm::Tracer& tracer = stack.machine().tracer();
+  uharness::Table hist("latency histograms (cycles), netsplit flip receive",
+                       {"histogram", "count", "p50", "p90", "p99", "max"});
+  tracer.ForEachHistogram([&hist](const std::string& name, const ukvm::LogHistogram& h) {
+    if (h.count() == 0) {
+      return;
+    }
+    const ukvm::HistogramSnapshot s = h.Snapshot();
+    hist.AddRow({name, uharness::FmtInt(s.count), uharness::FmtInt(s.p50),
+                 uharness::FmtInt(s.p90), uharness::FmtInt(s.p99), uharness::FmtInt(s.max)});
+  });
+  hist.Print();
+
+  const uint64_t total = tracer.profiler().total_cycles();
+  const uint64_t attributed = uharness::AttributedCycles(tracer.profiler());
+  const double coverage = total > 0 ? static_cast<double>(attributed) / total : 0;
+  attribution_ok = coverage >= 0.95;
+
+  uharness::Table prof("cycle attribution (profiler)",
+                       {"accounted cycles", "attributed", "coverage", "events", "dropped"});
+  prof.AddRow({uharness::FmtInt(total), uharness::FmtInt(attributed),
+               uharness::FmtPercent(coverage), uharness::FmtInt(tracer.events_recorded()),
+               uharness::FmtInt(tracer.events_dropped())});
+  prof.Print();
+
+  uharness::WriteTraceFilesIfRequested(tracer, "e17_netsplit", hwsim::kCyclesPerUs);
+}
+
+}  // namespace
+
+int main() {
+  uharness::PrintHeading("E17",
+                         "tracing overhead: flight recorder + histograms + profiler");
+
+  struct Shape {
+    const char* name;
+    std::function<RunResult(bool)> run;
+  };
+  const std::vector<Shape> shapes = {
+      {"E1 ipc-pingpong (ukernel, 2000 syscalls)", RunUkernelIpc},
+      {"E4 mixed blend (vmm, syscalls+files+udp)", RunVmmMixed},
+      {"E9 flip receive (vmm, 64 pkts page-flip)", RunVmmFlipReceive},
+  };
+
+  uharness::Table table("tracing off vs on",
+                        {"workload", "sim cycles (off)", "sim cycles (on)", "sim delta",
+                         "host ms (off)", "host ms (on)", "host overhead", "events",
+                         "span mismatches"});
+
+  bool sim_clean = true;
+  bool spans_clean = true;
+  for (const Shape& shape : shapes) {
+    // Warm-up run to stabilise host timing (allocator, page cache).
+    (void)shape.run(false);
+    const RunResult off = shape.run(false);
+    const RunResult on = shape.run(true);
+    const int64_t delta =
+        static_cast<int64_t>(on.sim_cycles) - static_cast<int64_t>(off.sim_cycles);
+    if (delta != 0) {
+      sim_clean = false;
+    }
+    if (on.mismatches != 0) {
+      spans_clean = false;
+    }
+    const double ratio = off.host_ms > 0 ? on.host_ms / off.host_ms : 0;
+    char overhead[32];
+    std::snprintf(overhead, sizeof overhead, "%.2fx", ratio);
+    char delta_str[32];
+    std::snprintf(delta_str, sizeof delta_str, "%lld", static_cast<long long>(delta));
+    table.AddRow({shape.name, uharness::FmtInt(off.sim_cycles),
+                  uharness::FmtInt(on.sim_cycles), delta_str,
+                  uharness::FmtDouble(off.host_ms, 1), uharness::FmtDouble(on.host_ms, 1),
+                  overhead, uharness::FmtInt(on.events), uharness::FmtInt(on.mismatches)});
+  }
+  table.Print();
+
+  bool attribution_ok = false;
+  ShowInstruments(attribution_ok);
+
+  std::printf(
+      "\nInvariant: tracing must be invisible in simulated time (sim delta == 0 on\n"
+      "every row — the tracer never charges cycles) — %s. Span discipline — %s.\n"
+      "Cycle attribution >= 95%% — %s.\n",
+      sim_clean ? "holds" : "VIOLATED", spans_clean ? "holds" : "VIOLATED",
+      attribution_ok ? "holds" : "VIOLATED");
+  uharness::WriteJsonIfRequested("E17");
+  return sim_clean && spans_clean && attribution_ok ? 0 : 1;
+}

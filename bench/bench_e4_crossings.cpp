@@ -8,8 +8,10 @@
 // architecture really did.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/experiments/table.h"
+#include "src/experiments/trace_export.h"
 #include "src/stacks/native_stack.h"
 #include "src/stacks/ukernel_stack.h"
 #include "src/stacks/vmm_stack.h"
@@ -46,22 +48,39 @@ StackRun Run(const char* name, StackT& stack, minios::Os& os) {
 int main() {
   uharness::PrintHeading("E4", "crossings for the identical mixed workload, per architecture");
 
+  // With UKVM_TRACE_DIR set, the headline runs also record flight-recorder
+  // timelines and profiler stacks (zero simulated-cycle impact; see E17)
+  // and export TRACE_e4_<stack>.json + STACKS_e4_<stack>.txt.
+  const bool trace = std::getenv("UKVM_TRACE_DIR") != nullptr;
+
   std::vector<StackRun> runs;
   {
-    ustack::NativeStack stack;
+    ustack::NativeStack::Config config;
+    config.trace.enabled = trace;
+    ustack::NativeStack stack(config);
     runs.push_back(Run("native", stack, stack.os()));
+    uharness::WriteTraceFilesIfRequested(stack.machine().tracer(), "e4_native",
+                                         hwsim::kCyclesPerUs);
   }
   {
-    ustack::UkernelStack stack;
+    ustack::UkernelStack::Config config;
+    config.trace.enabled = trace;
+    ustack::UkernelStack stack(config);
     StackRun run;
     stack.RunAsApp(0, [&] { run = Run("ukernel", stack, stack.guest_os(0)); });
     runs.push_back(run);
+    uharness::WriteTraceFilesIfRequested(stack.machine().tracer(), "e4_ukernel",
+                                         hwsim::kCyclesPerUs);
   }
   {
-    ustack::VmmStack stack;
+    ustack::VmmStack::Config config;
+    config.trace.enabled = trace;
+    ustack::VmmStack stack(config);
     StackRun run;
     stack.RunAsApp(0, [&] { run = Run("vmm (page-flip rx)", stack, stack.guest_os(0)); });
     runs.push_back(run);
+    uharness::WriteTraceFilesIfRequested(stack.machine().tracer(), "e4_vmm",
+                                         hwsim::kCyclesPerUs);
   }
 
   // Per-kind crossing counts.

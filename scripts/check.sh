@@ -4,7 +4,10 @@
 #   1. strict build (UKVM_WERROR=ON, UKVM_CHECK=ON) + complete test suite;
 #   2. clang-tidy over src/ with the repo's .clang-tidy (skipped with a
 #      notice when no clang-tidy binary is installed);
-#   3. AddressSanitizer+UBSan build (UKVM_SANITIZE=ON) + complete suite.
+#   3. AddressSanitizer+UBSan build (UKVM_SANITIZE=ON) + complete suite;
+#   4. E17 tracing-overhead gate: bench_e17_trace_overhead exits non-zero
+#      if tracing perturbs simulated time by even one cycle, breaks span
+#      discipline, or attributes less than 95% of accounted cycles.
 #
 # Exits non-zero if any stage that can run fails. Build trees live under
 # build-check/ so the default build/ is left alone.
@@ -13,12 +16,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== [1/3] strict build (-Werror, UKVM_CHECK=ON) + tests =="
+echo "== [1/4] strict build (-Werror, UKVM_CHECK=ON) + tests =="
 cmake -B build-check/werror -S . -DUKVM_WERROR=ON -DUKVM_CHECK=ON >/dev/null
 cmake --build build-check/werror -j"${JOBS}"
 ctest --test-dir build-check/werror -j"${JOBS}" --output-on-failure
 
-echo "== [2/3] clang-tidy over src/ =="
+echo "== [2/4] clang-tidy over src/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # The strict tree has a fresh compile_commands.json for it to use.
   cmake -B build-check/werror -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -28,9 +31,13 @@ else
   echo "clang-tidy not installed; skipping lint stage (build+tests still gate)."
 fi
 
-echo "== [3/3] ASan+UBSan build + tests =="
+echo "== [3/4] ASan+UBSan build + tests =="
 cmake -B build-check/asan -S . -DUKVM_SANITIZE=ON >/dev/null
 cmake --build build-check/asan -j"${JOBS}"
 ctest --test-dir build-check/asan -j"${JOBS}" --output-on-failure
+
+echo "== [4/4] E17 tracing zero-perturbation gate =="
+cmake --build build-check/werror -j"${JOBS}" --target bench_e17_trace_overhead
+build-check/werror/bench/bench_e17_trace_overhead
 
 echo "check.sh: all stages passed."

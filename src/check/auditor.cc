@@ -18,7 +18,7 @@ Auditor::Auditor(hwsim::Machine& machine) : Auditor(machine, Options{}) {}
 
 Auditor::Auditor(hwsim::Machine& machine, Options options)
     : machine_(machine), options_(options), invariants_(machine), lint_(machine.ledger()) {
-  machine_.ledger().SetTraceSink(
+  trace_sink_id_ = machine_.ledger().AddTraceSink(
       [this](const ukvm::CrossingEvent& event) { OnCrossing(event); });
   machine_.ledger().SetResetHook([this] { lint_.Reset(); });
   if (options_.check_tlb_inserts) {
@@ -32,7 +32,7 @@ Auditor::Auditor(hwsim::Machine& machine, Options options)
 }
 
 Auditor::~Auditor() {
-  machine_.ledger().SetTraceSink(nullptr);
+  machine_.ledger().RemoveTraceSink(trace_sink_id_);
   machine_.ledger().SetResetHook(nullptr);
   machine_.cpu().tlb().SetInsertHook(nullptr);
   machine_.SetDmaAuditHook(nullptr);

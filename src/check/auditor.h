@@ -103,6 +103,7 @@ class Auditor {
   Options options_;
   InvariantAuditor invariants_;
   LedgerLint lint_;
+  uint32_t trace_sink_id_ = 0;
   ukern::Kernel* kernel_ = nullptr;
   uvmm::Hypervisor* hv_ = nullptr;
   std::vector<std::pair<ukvm::DomainId, hwsim::PageTable*>> raw_spaces_;

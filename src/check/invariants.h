@@ -53,6 +53,8 @@ enum class Invariant : uint8_t {
   kUnownedMapping,             // foreign frame mapped without mapdb/grant record
   kPrivilegedFrameUserMapped,  // user PTE onto a kernel/hypervisor frame
   kHypervisorHoleMapping,      // guest space maps into the hypervisor hole
+                               // (defence-in-depth: MapGrant and mmu_update
+                               // both reject these at the hypercall boundary)
   kGrantRefcountMismatch,      // grant active_mappings != live foreign PTEs
   kMapDbIncoherent,            // mapdb node without a matching live PTE
   kDmaToFreeFrame,             // device DMA targets an unallocated frame

@@ -83,7 +83,7 @@ void CrossingLedger::Record(uint32_t mechanism, DomainId from, DomainId to, uint
   total_count_ += 1;
   total_cycles_ += cycles;
   const uint64_t seq = events_recorded_++;
-  if (sink_) {
+  if (!sinks_.empty()) {
     CrossingEvent event;
     event.mechanism = mechanism;
     event.kind = slot.kind;
@@ -93,8 +93,21 @@ void CrossingLedger::Record(uint32_t mechanism, DomainId from, DomainId to, uint
     event.bytes = bytes;
     event.seq = seq;
     event.time = now_ ? now_() : 0;
-    sink_(event);
+    for (const auto& [id, sink] : sinks_) {
+      sink(event);
+    }
   }
+}
+
+uint32_t CrossingLedger::AddTraceSink(std::function<void(const CrossingEvent&)> sink) {
+  assert(sink);
+  const uint32_t handle = next_sink_id_++;
+  sinks_.emplace_back(handle, std::move(sink));
+  return handle;
+}
+
+void CrossingLedger::RemoveTraceSink(uint32_t handle) {
+  std::erase_if(sinks_, [handle](const auto& entry) { return entry.first == handle; });
 }
 
 uint64_t CrossingLedger::CountByKind(CrossingKind kind) const {

@@ -107,12 +107,16 @@ class CrossingLedger {
   CrossingSnapshot Snapshot() const;
   void Reset();
 
-  // --- Trace stream (feeds the crossing-discipline linter) -------------------
+  // --- Trace stream (feeds the crossing-discipline linter and the flight
+  // --- recorder) --------------------------------------------------------------
 
-  // Installs a per-event observer; pass nullptr to stop tracing. Only one
-  // sink at a time: the auditor owns the stream and fans it out itself.
-  void SetTraceSink(std::function<void(const CrossingEvent&)> sink) { sink_ = std::move(sink); }
-  bool tracing() const { return static_cast<bool>(sink_); }
+  // Adds a per-event observer and returns a handle for RemoveTraceSink.
+  // Any number of sinks may be live at once (the ukvm-check linter and the
+  // E17 flight recorder both observe the same stream); events fan out to
+  // all of them in installation order.
+  uint32_t AddTraceSink(std::function<void(const CrossingEvent&)> sink);
+  void RemoveTraceSink(uint32_t handle);
+  bool tracing() const { return !sinks_.empty(); }
 
   // Clock for event timestamps; the owning Machine installs its simulated
   // clock here. Without one, event times are 0.
@@ -144,7 +148,8 @@ class CrossingLedger {
   uint64_t total_count_ = 0;
   uint64_t total_cycles_ = 0;
   uint64_t events_recorded_ = 0;
-  std::function<void(const CrossingEvent&)> sink_;
+  std::vector<std::pair<uint32_t, std::function<void(const CrossingEvent&)>>> sinks_;
+  uint32_t next_sink_id_ = 1;
   std::function<uint64_t()> now_;
   std::function<void()> reset_hook_;
 };

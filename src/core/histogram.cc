@@ -1,0 +1,44 @@
+#include "src/core/histogram.h"
+
+namespace ukvm {
+
+uint64_t LogHistogram::ValueAtPermille(uint32_t p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const uint64_t target = (count_ * p + 999) / 1000;
+  if (target == 0) {
+    return min_;
+  }
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const uint64_t upper = BucketUpperBound(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot LogHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_;
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  s.p50 = ValueAtPermille(500);
+  s.p90 = ValueAtPermille(900);
+  s.p99 = ValueAtPermille(990);
+  return s;
+}
+
+void LogHistogram::Reset() {
+  counts_.fill(0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace ukvm

@@ -1,0 +1,99 @@
+// Log-bucketed latency histograms (HDR-style).
+//
+// E17 needs latency *distributions* — per-mechanism crossing latency and
+// end-to-end request latency in the split drivers — not just totals. The
+// bucketing scheme follows HdrHistogram: each power-of-two octave is split
+// into a fixed number of linear sub-buckets, so relative error is bounded
+// (< 1/16 here) across the whole range while the bucket count stays small
+// and Record() is a handful of integer ops. No floats anywhere on the hot
+// path, so recording is deterministic and replayable.
+
+#ifndef UKVM_SRC_CORE_HISTOGRAM_H_
+#define UKVM_SRC_CORE_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace ukvm {
+
+// Percentile summary of one histogram, for tables and JSON export.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+};
+
+class LogHistogram {
+ public:
+  // 16 linear sub-buckets per octave: values < 16 land in exact unit
+  // buckets, larger values have bounded ~6% relative error.
+  static constexpr uint32_t kSubBucketBits = 4;
+  static constexpr uint32_t kSubBucketCount = 1u << kSubBucketBits;
+  // Enough octaves to cover the full uint64 range: the top octave's shift
+  // is 63 - 4 = 59, so the largest index is 59 * 16 + 31.
+  static constexpr size_t kBucketCount = 59 * kSubBucketCount + kSubBucketCount * 2;
+
+  // Maps a value to its bucket index. Pure integer math, branch-light.
+  static uint32_t BucketIndex(uint64_t value) {
+    const uint32_t msb = static_cast<uint32_t>(std::bit_width(value | 1)) - 1;
+    if (msb < kSubBucketBits) {
+      return static_cast<uint32_t>(value);  // exact unit buckets below 16
+    }
+    const uint32_t shift = msb - kSubBucketBits;
+    const auto sub = static_cast<uint32_t>(value >> shift);  // in [16, 32)
+    return shift * kSubBucketCount + sub;
+  }
+
+  // Largest value that maps into bucket `index` (inclusive upper bound).
+  static uint64_t BucketUpperBound(uint32_t index) {
+    if (index < kSubBucketCount * 2) {
+      return index;  // unit buckets
+    }
+    const uint32_t shift = index / kSubBucketCount - 1;
+    const uint32_t sub = index % kSubBucketCount + kSubBucketCount;
+    return ((uint64_t{sub} + 1) << shift) - 1;
+  }
+
+  void Record(uint64_t value) {
+    ++counts_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+  uint64_t sum() const { return sum_; }
+
+  // Value at permille `p` in [0, 1000]: the bucket upper bound at which the
+  // cumulative count first reaches ceil(count * p / 1000), clamped to the
+  // exact observed max so p1000 == max().
+  uint64_t ValueAtPermille(uint32_t p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::array<uint64_t, kBucketCount> counts_{};
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace ukvm
+
+#endif  // UKVM_SRC_CORE_HISTOGRAM_H_

@@ -8,6 +8,9 @@ namespace ukvm {
 void CpuAccounting::Charge(DomainId domain, uint64_t cycles) {
   cycles_[domain] += cycles;
   total_ += cycles;
+  if (observer_ != nullptr) {
+    observer_->OnCharge(domain, cycles);
+  }
 }
 
 uint64_t CpuAccounting::CyclesOf(DomainId domain) const {

@@ -21,10 +21,24 @@
 
 namespace ukvm {
 
+// Observes every CpuAccounting::Charge. The cycle-attribution profiler
+// (src/core/trace.h) implements this to tag charges with the active
+// attribution path; the accounting itself never depends on the observer.
+class ChargeObserver {
+ public:
+  virtual ~ChargeObserver() = default;
+  virtual void OnCharge(DomainId domain, uint64_t cycles) = 0;
+};
+
 // Attributes simulated cycles to protection domains.
 class CpuAccounting {
  public:
   void Charge(DomainId domain, uint64_t cycles);
+
+  // Installs (or, with nullptr, removes) a per-charge observer. Observation
+  // is side-effect-free for the accounting: totals are identical with or
+  // without one installed.
+  void SetObserver(ChargeObserver* observer) { observer_ = observer; }
 
   uint64_t CyclesOf(DomainId domain) const;
   uint64_t total_cycles() const { return total_; }
@@ -40,6 +54,7 @@ class CpuAccounting {
  private:
   std::unordered_map<DomainId, uint64_t> cycles_;
   uint64_t total_ = 0;
+  ChargeObserver* observer_ = nullptr;
 };
 
 // Named monotonic counters with cheap hot-path increments via interned ids.

@@ -1,0 +1,251 @@
+#include "src/core/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/crossings.h"
+
+namespace ukvm {
+
+// --- CycleProfiler ---------------------------------------------------------------
+
+CycleProfiler::CycleProfiler() {
+  nodes_.push_back(Node{});  // node 0: the root (empty path)
+}
+
+uint32_t CycleProfiler::InternFrame(std::string_view name) {
+  auto it = frames_by_name_.find(std::string(name));
+  if (it != frames_by_name_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(frame_names_.size());
+  frame_names_.emplace_back(name);
+  frames_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+void CycleProfiler::Push(uint32_t frame) {
+  const uint64_t key = (uint64_t{current_} << 32) | frame;
+  auto it = children_.find(key);
+  uint32_t node;
+  if (it != children_.end()) {
+    node = it->second;
+  } else {
+    node = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{current_, frame});
+    children_.emplace(key, node);
+  }
+  stack_.push_back(node);
+  current_ = node;
+}
+
+void CycleProfiler::Pop() {
+  assert(!stack_.empty());
+  stack_.pop_back();
+  current_ = stack_.empty() ? 0 : stack_.back();
+}
+
+void CycleProfiler::OnCharge(DomainId domain, uint64_t cycles) {
+  cycles_[(uint64_t{domain.value()} << 32) | current_] += cycles;
+  total_cycles_ += cycles;
+}
+
+void CycleProfiler::ForEachAttribution(
+    const std::function<void(DomainId, const std::vector<uint32_t>&, uint64_t)>& fn) const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries(cycles_.begin(), cycles_.end());
+  std::sort(entries.begin(), entries.end());
+  std::vector<uint32_t> path;
+  for (const auto& [key, cycles] : entries) {
+    const DomainId domain{static_cast<uint32_t>(key >> 32)};
+    path.clear();
+    for (uint32_t node = static_cast<uint32_t>(key & 0xffffffffu); node != 0;
+         node = nodes_[node].parent) {
+      path.push_back(nodes_[node].frame);
+    }
+    std::reverse(path.begin(), path.end());
+    fn(domain, path, cycles);
+  }
+}
+
+void CycleProfiler::Reset() {
+  cycles_.clear();
+  total_cycles_ = 0;
+}
+
+// --- Tracer ----------------------------------------------------------------------
+
+Tracer::Tracer() {
+  const uint32_t reserved = InternName("");  // id 0: the "unset" sentinel
+  assert(reserved == 0);
+  (void)reserved;
+}
+
+void Tracer::Enable(const TraceConfig& config) {
+  ring_.assign(config.ring_capacity > 0 ? config.ring_capacity : 1, TraceEvent{});
+  events_recorded_ = 0;
+  open_spans_.clear();
+  span_mismatches_ = 0;
+  for (LogHistogram& h : histograms_) {
+    h.Reset();
+  }
+  profiler_.Reset();
+  enabled_ = true;
+}
+
+void Tracer::Disable() { enabled_ = false; }
+
+uint32_t Tracer::InternName(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void Tracer::RegisterDomain(DomainId domain, std::string_view name) {
+  domain_names_[domain.value()] = std::string(name);
+}
+
+std::string Tracer::DomainName(DomainId domain) const {
+  auto it = domain_names_.find(domain.value());
+  if (it != domain_names_.end()) {
+    return it->second;
+  }
+  if (!domain.valid()) {
+    return "invalid";
+  }
+  return "dom" + std::to_string(domain.value());
+}
+
+void Tracer::Emit(TraceEvent event) {
+  if (!enabled_) {
+    return;
+  }
+  event.seq = events_recorded_;
+  ring_[events_recorded_ % ring_.size()] = event;
+  ++events_recorded_;
+}
+
+uint64_t Tracer::BeginSpan(uint32_t name, DomainId domain) {
+  if (!enabled_) {
+    return 0;
+  }
+  const uint64_t token = next_span_token_++;
+  open_spans_.push_back(OpenSpan{token, name, domain, now_ ? now_() : 0});
+  return token;
+}
+
+void Tracer::EndSpan(uint64_t token) {
+  if (token == 0) {
+    return;
+  }
+  // Spans close LIFO; an out-of-order close (a bug in the instrumentation,
+  // or a span crossing an Enable() reset) discards the opens above it and
+  // counts each as a mismatch.
+  while (!open_spans_.empty() && open_spans_.back().token != token) {
+    open_spans_.pop_back();
+    ++span_mismatches_;
+  }
+  if (open_spans_.empty()) {
+    ++span_mismatches_;
+    return;
+  }
+  const OpenSpan span = open_spans_.back();
+  open_spans_.pop_back();
+  TraceEvent event;
+  event.type = TraceEventType::kSpan;
+  event.name = span.name;
+  event.domain = span.domain;
+  event.time = span.start;
+  event.dur = (now_ ? now_() : 0) - span.start;
+  Emit(event);
+}
+
+void Tracer::Instant(uint32_t name, DomainId domain, uint64_t a, uint64_t b) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent event;
+  event.type = TraceEventType::kInstant;
+  event.name = name;
+  event.domain = domain;
+  event.time = now_ ? now_() : 0;
+  event.a = a;
+  event.b = b;
+  Emit(event);
+}
+
+void Tracer::OnCrossing(const CrossingEvent& crossing, const CrossingLedger& ledger) {
+  if (!enabled_) {
+    return;
+  }
+  if (crossing.mechanism >= mech_name_ids_.size()) {
+    mech_name_ids_.resize(crossing.mechanism + 1, 0);
+    mech_histogram_ids_.resize(crossing.mechanism + 1, kNoHistogram);
+  }
+  uint32_t& name = mech_name_ids_[crossing.mechanism];
+  uint32_t& hist = mech_histogram_ids_[crossing.mechanism];
+  if (name == 0) {
+    const std::string& mech = ledger.MechanismName(crossing.mechanism);
+    name = InternName(mech);
+    hist = InternHistogram("xing." + mech);
+  }
+  TraceEvent event;
+  event.type = TraceEventType::kCrossing;
+  event.name = name;
+  event.domain = crossing.to;
+  event.time = crossing.time;
+  event.dur = crossing.cycles;
+  event.a = crossing.from.value();
+  event.b = crossing.bytes;
+  Emit(event);
+  histograms_[hist].Record(crossing.cycles);
+}
+
+void Tracer::ForEachEvent(const std::function<void(const TraceEvent&)>& fn) const {
+  if (ring_.empty()) {
+    return;
+  }
+  const uint64_t capacity = ring_.size();
+  const uint64_t retained = events_recorded_ < capacity ? events_recorded_ : capacity;
+  const uint64_t first = events_recorded_ - retained;
+  for (uint64_t i = 0; i < retained; ++i) {
+    fn(ring_[(first + i) % capacity]);
+  }
+}
+
+uint64_t Tracer::events_dropped() const {
+  const uint64_t capacity = ring_.size();
+  return events_recorded_ > capacity ? events_recorded_ - capacity : 0;
+}
+
+uint32_t Tracer::InternHistogram(std::string_view name) {
+  auto it = histograms_by_name_.find(std::string(name));
+  if (it != histograms_by_name_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<uint32_t>(histograms_.size());
+  histogram_names_.emplace_back(name);
+  histograms_.emplace_back();
+  histograms_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+void Tracer::ForEachHistogram(
+    const std::function<void(const std::string&, const LogHistogram&)>& fn) const {
+  std::vector<uint32_t> order(histograms_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return histogram_names_[a] < histogram_names_[b];
+  });
+  for (uint32_t id : order) {
+    fn(histogram_names_[id], histograms_[id]);
+  }
+}
+
+}  // namespace ukvm

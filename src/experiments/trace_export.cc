@@ -1,0 +1,156 @@
+#include "src/experiments/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace uharness {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Cycles -> "<us>.<frac>" microseconds with three fixed fraction digits,
+// in pure integer math so the output is bit-stable across platforms.
+std::string CyclesToUs(uint64_t cycles, uint64_t cycles_per_us) {
+  char buf[48];
+  const uint64_t us = cycles / cycles_per_us;
+  const uint64_t frac = (cycles % cycles_per_us) * 1000 / cycles_per_us;
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, us, frac);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const ukvm::Tracer& tracer, uint64_t cycles_per_us) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) {
+      out += ",\n";
+    } else {
+      out += "\n";
+      first = false;
+    }
+  };
+
+  // One "process" per domain that either registered a name or appears in an
+  // event, so Perfetto shows readable track names.
+  std::set<uint32_t> pids;
+  for (const auto& [id, name] : tracer.domain_names()) {
+    pids.insert(id);
+  }
+  tracer.ForEachEvent([&pids](const ukvm::TraceEvent& e) { pids.insert(e.domain.value()); });
+  for (uint32_t pid : pids) {
+    sep();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(pid) + ",\"args\":{\"name\":\"" +
+           JsonEscape(tracer.DomainName(ukvm::DomainId(pid))) + "\"}}";
+  }
+
+  tracer.ForEachEvent([&](const ukvm::TraceEvent& e) {
+    sep();
+    const uint32_t pid = e.domain.value();
+    out += "{\"name\":\"" + JsonEscape(tracer.Name(e.name)) + "\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(pid) +
+           ",\"ts\":" + CyclesToUs(e.time, cycles_per_us);
+    switch (e.type) {
+      case ukvm::TraceEventType::kSpan:
+        out += ",\"ph\":\"X\",\"dur\":" + CyclesToUs(e.dur, cycles_per_us);
+        break;
+      case ukvm::TraceEventType::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case ukvm::TraceEventType::kCrossing:
+        out += ",\"ph\":\"X\",\"dur\":" + CyclesToUs(e.dur, cycles_per_us) +
+               ",\"cat\":\"crossing\"";
+        break;
+    }
+    out += ",\"args\":{\"seq\":" + std::to_string(e.seq) + ",\"a\":" + std::to_string(e.a) +
+           ",\"b\":" + std::to_string(e.b) + "}}";
+  });
+  out += "\n]}\n";
+  return out;
+}
+
+std::string CollapsedStacks(const ukvm::Tracer& tracer) {
+  std::string out;
+  tracer.profiler().ForEachAttribution(
+      [&](ukvm::DomainId domain, const std::vector<uint32_t>& path, uint64_t cycles) {
+        out += tracer.DomainName(domain);
+        if (path.empty()) {
+          out += ";(unattributed)";
+        } else {
+          for (uint32_t frame : path) {
+            out += ';';
+            out += tracer.profiler().FrameName(frame);
+          }
+        }
+        out += ' ';
+        out += std::to_string(cycles);
+        out += '\n';
+      });
+  return out;
+}
+
+uint64_t AttributedCycles(const ukvm::CycleProfiler& profiler) {
+  uint64_t attributed = 0;
+  profiler.ForEachAttribution(
+      [&attributed](ukvm::DomainId, const std::vector<uint32_t>& path, uint64_t cycles) {
+        if (!path.empty()) {
+          attributed += cycles;
+        }
+      });
+  return attributed;
+}
+
+bool WriteTraceFilesIfRequested(const ukvm::Tracer& tracer, const std::string& tag,
+                                uint64_t cycles_per_us) {
+  const char* dir = std::getenv("UKVM_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return false;
+  }
+  const std::string json_path = std::string(dir) + "/TRACE_" + tag + ".json";
+  const std::string stacks_path = std::string(dir) + "/STACKS_" + tag + ".txt";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_export: cannot write %s\n", json_path.c_str());
+    return false;
+  }
+  const std::string json = ChromeTraceJson(tracer, cycles_per_us);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  f = std::fopen(stacks_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_export: cannot write %s\n", stacks_path.c_str());
+    return false;
+  }
+  const std::string stacks = CollapsedStacks(tracer);
+  std::fwrite(stacks.data(), 1, stacks.size(), f);
+  std::fclose(f);
+  std::printf("\n[trace] wrote %s and %s\n", json_path.c_str(), stacks_path.c_str());
+  return true;
+}
+
+}  // namespace uharness

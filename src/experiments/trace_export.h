@@ -1,0 +1,46 @@
+// Exporters for the E17 observability layer (src/core/trace.h):
+//
+//  - ChromeTraceJson: the flight recorder's retained window as Chrome
+//    trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+//    chrome://tracing. Each simulated domain becomes a process (pid = tid =
+//    domain id) named via Tracer::RegisterDomain; spans are complete "X"
+//    events, instants "i", crossings "X" events carrying from-domain and
+//    byte payloads in args.
+//  - CollapsedStacks: the cycle profiler's attributions in flamegraph.pl's
+//    collapsed-stack format, one "domain;frame;... cycles" line each.
+//
+// Both outputs are deterministic: same seed + same Config => byte-identical
+// strings (the tracer stores only simulated time and interned ids, and
+// every unordered container is sorted before export).
+
+#ifndef UKVM_SRC_EXPERIMENTS_TRACE_EXPORT_H_
+#define UKVM_SRC_EXPERIMENTS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/trace.h"
+
+namespace uharness {
+
+// Chrome trace-event JSON. `cycles_per_us` converts simulated cycles to the
+// microsecond timestamps the format expects (hwsim::kCyclesPerUs is 2000).
+std::string ChromeTraceJson(const ukvm::Tracer& tracer, uint64_t cycles_per_us = 2000);
+
+// flamegraph.pl input: "domain;frame1;frame2 cycles" lines. Cycles charged
+// with no frames pushed appear under the pseudo-frame "(unattributed)".
+std::string CollapsedStacks(const ukvm::Tracer& tracer);
+
+// Cycles the profiler attributed to at least one real frame (i.e. excluding
+// the empty path). Coverage = AttributedCycles / profiler.total_cycles().
+uint64_t AttributedCycles(const ukvm::CycleProfiler& profiler);
+
+// When the environment variable UKVM_TRACE_DIR names a directory, writes
+// <dir>/TRACE_<tag>.json and <dir>/STACKS_<tag>.txt and returns true;
+// otherwise a no-op (mirrors WriteJsonIfRequested in table.h).
+bool WriteTraceFilesIfRequested(const ukvm::Tracer& tracer, const std::string& tag,
+                                uint64_t cycles_per_us = 2000);
+
+}  // namespace uharness
+
+#endif  // UKVM_SRC_EXPERIMENTS_TRACE_EXPORT_H_

@@ -92,6 +92,7 @@ class FaultInjector {
     FaultRate rate;
     uint64_t rng_state = 0;
     uint32_t counter_id = 0;
+    uint32_t trace_name = 0;
   };
 
   Stream MakeStream(const FaultRate& rate, uint64_t stream_id, const char* counter_name);

@@ -14,6 +14,9 @@ void InterruptController::Assert(ukvm::IrqLine line) {
   if (!pending_[line.value()]) {
     pending_[line.value()] = true;
     ++asserts_;
+    if (trace_hook_) {
+      trace_hook_(line, /*delivered=*/false);
+    }
   }
 }
 
@@ -32,6 +35,9 @@ std::optional<ukvm::IrqLine> InterruptController::TakePending() {
     if (pending_[i] && !masked_[i]) {
       pending_[i] = false;
       ++deliveries_;
+      if (trace_hook_) {
+        trace_hook_(ukvm::IrqLine(i), /*delivered=*/true);
+      }
       return ukvm::IrqLine(i);
     }
   }

@@ -11,6 +11,7 @@
 #define UKVM_SRC_HW_INTERRUPTS_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -39,6 +40,13 @@ class InterruptController {
   uint64_t asserts() const { return asserts_; }
   uint64_t deliveries() const { return deliveries_; }
 
+  // Observer for the flight recorder: fired on each Assert that latches a
+  // new edge (delivered=false) and on each successful TakePending
+  // (delivered=true). Purely observational — no cycles, no state.
+  void SetTraceHook(std::function<void(ukvm::IrqLine, bool delivered)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
  private:
   bool LineInRange(ukvm::IrqLine line) const { return line.value() < pending_.size(); }
 
@@ -46,6 +54,7 @@ class InterruptController {
   std::vector<bool> masked_;
   uint64_t asserts_ = 0;
   uint64_t deliveries_ = 0;
+  std::function<void(ukvm::IrqLine, bool)> trace_hook_;
 };
 
 }  // namespace hwsim

@@ -12,6 +12,35 @@ Machine::Machine(Platform platform, uint64_t memory_bytes)
       irq_controller_(platform_.irq_lines),
       cpu_(*this, platform_.tlb_entries) {
   ledger_.SetTimeSource([this] { return now_; });
+  tracer_.SetTimeSource([this] { return now_; });
+  trace_idle_frame_ = tracer_.profiler().InternFrame("idle");
+  trace_irq_assert_name_ = tracer_.InternName("irq.assert");
+  trace_irq_deliver_name_ = tracer_.InternName("irq.deliver");
+  irq_controller_.SetTraceHook([this](ukvm::IrqLine line, bool delivered) {
+    tracer_.Instant(delivered ? trace_irq_deliver_name_ : trace_irq_assert_name_,
+                    ukvm::kHardwareDomain, line.value());
+  });
+}
+
+void Machine::EnableTracing(const ukvm::TraceConfig& config) {
+  tracer_.Enable(config);
+  // The tracer lives in core and cannot see this layer's idle constant.
+  tracer_.RegisterDomain(kIdleDomain, "idle");
+  tracer_.RegisterDomain(ukvm::kHardwareDomain, "hardware");
+  if (trace_sink_id_ == 0) {
+    trace_sink_id_ = ledger_.AddTraceSink(
+        [this](const ukvm::CrossingEvent& event) { tracer_.OnCrossing(event, ledger_); });
+  }
+  accounting_.SetObserver(&tracer_.profiler());
+}
+
+void Machine::DisableTracing() {
+  accounting_.SetObserver(nullptr);
+  if (trace_sink_id_ != 0) {
+    ledger_.RemoveTraceSink(trace_sink_id_);
+    trace_sink_id_ = 0;
+  }
+  tracer_.Disable();
 }
 
 void Machine::Charge(uint64_t cycles) { ChargeTo(cpu_.current_domain(), cycles); }
@@ -47,6 +76,7 @@ bool Machine::HasPendingEvents() const { return events_.size() > cancelled_.size
 
 void Machine::AdvanceClockTo(uint64_t time) {
   if (time > now_) {
+    ukvm::ProfScope idle(tracer_, trace_idle_frame_);
     accounting_.Charge(kIdleDomain, time - now_);
     now_ = time;
   }

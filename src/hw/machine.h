@@ -21,6 +21,7 @@
 #include "src/core/error.h"
 #include "src/core/ids.h"
 #include "src/core/metrics.h"
+#include "src/core/trace.h"
 #include "src/hw/cpu.h"
 #include "src/hw/interrupts.h"
 #include "src/hw/memory.h"
@@ -51,6 +52,17 @@ class Machine {
   ukvm::CrossingLedger& ledger() { return ledger_; }
   ukvm::CpuAccounting& accounting() { return accounting_; }
   ukvm::Counters& counters() { return counters_; }
+  ukvm::Tracer& tracer() { return tracer_; }
+  const ukvm::Tracer& tracer() const { return tracer_; }
+
+  // --- Tracing (E17) --------------------------------------------------------
+
+  // Arms the flight recorder, latency histograms, and cycle profiler: hooks
+  // the ledger's trace stream, the IRQ controller, and CPU accounting.
+  // Observation never charges simulated cycles, so enabling this leaves
+  // every sim-cycle number byte-identical (bench_e17_trace_overhead).
+  void EnableTracing(const ukvm::TraceConfig& config);
+  void DisableTracing();
 
   // --- Clock and cycle charging -------------------------------------------
 
@@ -147,6 +159,11 @@ class Machine {
   ukvm::CrossingLedger ledger_;
   ukvm::CpuAccounting accounting_;
   ukvm::Counters counters_;
+  ukvm::Tracer tracer_;
+  uint32_t trace_sink_id_ = 0;
+  uint32_t trace_idle_frame_ = 0;
+  uint32_t trace_irq_assert_name_ = 0;
+  uint32_t trace_irq_deliver_name_ = 0;
   TrapHandler* trap_handler_ = nullptr;
   std::function<void(const DmaAccess&)> dma_audit_hook_;
 

@@ -124,7 +124,9 @@ void BlkBack::OnKick(BlkChannel& chan) {
 BlkFront::BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest,
                    std::vector<uvmm::Pfn> pool, PortMux& mux)
     : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
-      free_pfns_(pool.begin(), pool.end()) {}
+      free_pfns_(pool.begin(), pool.end()) {
+  hist_blk_e2e_ = machine_.tracer().InternHistogram("blk.e2e");
+}
 
 Err BlkFront::Connect(BlkBack& back) {
   chan_ = back.Connect(guest_);
@@ -183,6 +185,7 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
     }
     const uint32_t chunk = std::min(count - done, blocks_per_page);
     const uint64_t bytes = uint64_t{chunk} * block_size_;
+    const uint64_t chunk_t0 = machine_.Now();
     if (free_pfns_.empty()) {
       return Err::kBusy;
     }
@@ -243,6 +246,7 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
     if (err != Err::kNone) {
       return err;
     }
+    machine_.tracer().RecordLatency(hist_blk_e2e_, machine_.Now() - chunk_t0);
     done += chunk;
   }
   return Err::kNone;

@@ -129,6 +129,7 @@ class BlkFront : public minios::BlockDevice {
   uint32_t block_size_ = 0;
   uint64_t capacity_ = 0;
   uint64_t next_id_ = 1;
+  uint32_t hist_blk_e2e_ = 0;  // "blk.e2e": request submit -> completion cycles
   std::unordered_map<uint64_t, ukvm::Err> completed_;  // id -> status
 };
 

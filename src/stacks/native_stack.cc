@@ -8,6 +8,10 @@ NativeStack::NativeStack(Config config)
     : machine_(config.platform, config.memory_bytes),
       nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
       disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
+  if (config.trace.enabled) {
+    machine_.EnableTracing(config.trace);
+  }
+  machine_.tracer().RegisterDomain(kOsDomain, "native-os");
   // Frames for NIC staging plus one disk staging frame.
   std::vector<hwsim::Frame> pool;
   for (int i = 0; i < 33; ++i) {
@@ -18,6 +22,8 @@ NativeStack::NativeStack(Config config)
   port_ = std::make_unique<minios::NativePort>(machine_, nic_, disk_, kOsDomain,
                                                std::move(pool));
   os_ = std::make_unique<minios::Os>(machine_, *port_, "native-os");
+  ukvm::ProfScope boot_frame(machine_.tracer(),
+                             machine_.tracer().profiler().InternFrame("guest.boot"));
   const ukvm::Err err = os_->Boot(/*format_disk=*/true);
   assert(err == ukvm::Err::kNone);
   (void)err;

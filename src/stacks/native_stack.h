@@ -27,6 +27,8 @@ class NativeStack {
     // Constructs the isolation auditor (src/check). The native stack has no
     // page tables, so only the ledger linter and DMA checks are live.
     bool audit = UKVM_CHECK_DEFAULT != 0;
+    // E17 flight recorder / histograms / profiler (off by default).
+    ukvm::TraceConfig trace;
   };
 
   explicit NativeStack(Config config);

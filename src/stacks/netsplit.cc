@@ -29,7 +29,9 @@ constexpr size_t kRingCapacity = 256;
 NetBack::NetBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend,
                  udrv::NicDriver& driver, RxMode mode, PortMux& mux)
     : machine_(machine), hv_(hv), backend_(backend), driver_(driver), mode_(mode), mux_(mux),
-      health_(machine, "vmm.net") {}
+      health_(machine, "vmm.net") {
+  hist_rx_backlog_ = machine_.tracer().InternHistogram("net.rx.backlog");
+}
 
 NetChannel* NetBack::Connect(DomainId guest) {
   auto chan = std::make_unique<NetChannel>();
@@ -125,7 +127,7 @@ void NetBack::OnTxKick(NetChannel& chan) {
 
 void NetBack::OnPacketReceived(hwsim::Frame frame, uint32_t len) {
   if (rx_batch_ > 1) {
-    rx_staged_.push_back(StagedRx{frame, len});
+    rx_staged_.push_back(StagedRx{frame, len, machine_.Now()});
     if (rx_staged_.size() >= rx_batch_) {
       FlushRx();
     }
@@ -221,6 +223,7 @@ void NetBack::FlushRx() {
                                                 : Err::kAborted;
       if (st == Err::kNone) {
         ++rx_delivered_;
+        machine_.tracer().RecordLatency(hist_rx_backlog_, machine_.Now() - pkt.arrived);
         driver_.RepostRx(mode_ == RxMode::kPageFlip
                              ? static_cast<hwsim::Frame>(out.results[j].value)
                              : pkt.frame);
@@ -286,7 +289,9 @@ void NetBack::DeliverOne(hwsim::Frame frame, uint32_t len) {
 NetFront::NetFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest,
                    std::vector<uvmm::Pfn> pool, PortMux& mux)
     : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
-      free_pfns_(pool.begin(), pool.end()) {}
+      free_pfns_(pool.begin(), pool.end()) {
+  hist_tx_e2e_ = machine_.tracer().InternHistogram("net.tx.e2e");
+}
 
 Err NetFront::Connect(NetBack& back) {
   chan_ = back.Connect(guest_);
@@ -378,7 +383,7 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
     }
     gref = *fresh;
   }
-  tx_grants_[gref] = pfn;
+  tx_grants_[gref] = TxGrant{pfn, machine_.Now()};
   chan_->tx_ring->PushRequest(NetTxReq{gref, static_cast<uint32_t>(packet.size())});
   const Err err = hv_.HcEvtchnSend(guest_, chan_->front_tx_port);
   if (err == Err::kNone) {
@@ -395,7 +400,8 @@ void NetFront::OnTxResponse() {
     }
     auto it = tx_grants_.find(resp->gref);
     if (it != tx_grants_.end()) {
-      free_pfns_.push_back(it->second);
+      machine_.tracer().RecordLatency(hist_tx_e2e_, machine_.Now() - it->second.t0);
+      free_pfns_.push_back(it->second.pfn);
       tx_grants_.erase(it);
     }
   }

@@ -116,6 +116,7 @@ class NetBack {
   struct StagedRx {
     hwsim::Frame frame = 0;
     uint32_t len = 0;
+    uint64_t arrived = 0;  // Now() at staging, for the rx-backlog histogram
   };
 
   void DeliverOne(hwsim::Frame frame, uint32_t len);
@@ -140,6 +141,7 @@ class NetBack {
   uint64_t rx_delivered_ = 0;
   uint64_t rx_dropped_ = 0;
   uint64_t rx_flushes_ = 0;
+  uint32_t hist_rx_backlog_ = 0;  // "net.rx.backlog": staging -> delivery cycles
 };
 
 class NetFront : public minios::NetDevice {
@@ -184,14 +186,20 @@ class NetFront : public minios::NetDevice {
   PortMux& mux_;
   NetChannel* chan_ = nullptr;
   ukvm::DomainId backend_ = ukvm::DomainId::Invalid();
+  struct TxGrant {
+    uvmm::Pfn pfn = 0;
+    uint64_t t0 = 0;  // Now() at Send, for the tx end-to-end histogram
+  };
+
   std::deque<uvmm::Pfn> free_pfns_;
-  std::unordered_map<uint32_t, uvmm::Pfn> tx_grants_;  // gref -> staging pfn
+  std::unordered_map<uint32_t, TxGrant> tx_grants_;  // gref -> staging pfn + t0
   RecvHandler handler_;
   size_t io_batch_ = 1;
   bool persistent_ = false;
   uvmm::GrantCache tx_gref_cache_;  // staging pfn -> gref
   uint64_t tx_sent_ = 0;
   uint64_t rx_received_ = 0;
+  uint32_t hist_tx_e2e_ = 0;  // "net.tx.e2e": Send -> tx response cycles
 };
 
 }  // namespace ustack

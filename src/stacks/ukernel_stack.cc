@@ -29,6 +29,9 @@ UkernelStack::UkernelStack(Config config)
     : machine_(config.platform, config.memory_bytes),
       nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
       disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
+  if (config.trace.enabled) {
+    machine_.EnableTracing(config.trace);
+  }
   slice_blocks_ = config.slice_blocks;
   disk_retry_ = config.disk_retry;
   nic_retry_ = config.nic_retry;
@@ -37,10 +40,14 @@ UkernelStack::UkernelStack(Config config)
     ArmFaults(config.faults);
   }
   kernel_ = std::make_unique<ukern::Kernel>(machine_);
+  machine_.tracer().RegisterDomain(kernel_->kernel_domain(), "l4-kernel");
   sigma0_ = std::make_unique<Sigma0>(machine_, *kernel_);
+  machine_.tracer().RegisterDomain(sigma0_->task(), "sigma0");
   net_server_ = std::make_unique<UkNetServer>(machine_, *kernel_, *sigma0_, nic_);
+  machine_.tracer().RegisterDomain(net_server_->task(), "net-server");
   block_server_ =
       std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, config.slice_blocks);
+  machine_.tracer().RegisterDomain(block_server_->task(), "block-server");
   ApplyServerPolicies();
   for (uint32_t i = 0; i < config.num_guests; ++i) {
     guests_.push_back(MakeGuest("guest" + std::to_string(i)));
@@ -74,6 +81,8 @@ std::unique_ptr<UkernelStack::Guest> UkernelStack::MakeGuest(const std::string& 
   assert(os_task.ok() && app_task.ok());
   g->os_task = *os_task;
   g->app_task = *app_task;
+  machine_.tracer().RegisterDomain(g->os_task, name + "-os");
+  machine_.tracer().RegisterDomain(g->app_task, name + "-app");
 
   // Placeholder handlers; the port installs the real ones.
   auto os_thread = kernel_->CreateThread(g->os_task, 200, nullptr);
@@ -114,6 +123,8 @@ std::unique_ptr<UkernelStack::Guest> UkernelStack::MakeGuest(const std::string& 
 
   g->port = std::make_unique<minios::UkernelPort>(machine_, wiring);
   g->os = std::make_unique<minios::Os>(machine_, *g->port, name);
+  ukvm::ProfScope boot_frame(machine_.tracer(),
+                             machine_.tracer().profiler().InternFrame("guest.boot"));
   const Err boot = g->os->Boot(/*format_disk=*/true);
   g->booted = boot == Err::kNone;
   if (!g->booted) {
@@ -124,6 +135,8 @@ std::unique_ptr<UkernelStack::Guest> UkernelStack::MakeGuest(const std::string& 
 
 Err UkernelStack::RunAsApp(size_t i, const std::function<void()>& fn) {
   Guest& g = guest(i);
+  ukvm::ProfScope app_frame(machine_.tracer(),
+                            machine_.tracer().profiler().InternFrame("guest.app"));
   UKVM_TRY(kernel_->ActivateThread(g.app_thread));
   fn();
   return Err::kNone;
@@ -145,6 +158,7 @@ Err UkernelStack::RestartBlockServer() {
   const uint64_t next_slice = block_server_->next_slice();
   block_server_ =
       std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, slice_blocks_);
+  machine_.tracer().RegisterDomain(block_server_->task(), "block-server-2");
   block_server_->RestoreSlices(std::move(slices), next_slice);
   block_server_->SetRetryPolicy(disk_retry_);
   block_server_->SetDegradePolicy(degrade_);
@@ -158,6 +172,7 @@ Err UkernelStack::RestartBlockServer() {
 
 Err UkernelStack::RestartNetServer() {
   net_server_ = std::make_unique<UkNetServer>(machine_, *kernel_, *sigma0_, nic_);
+  machine_.tracer().RegisterDomain(net_server_->task(), "net-server-2");
   net_server_->SetRetryPolicy(nic_retry_);
   net_server_->SetDegradePolicy(degrade_);
   for (const auto& [wire_port, guest_idx] : wire_routes_) {

@@ -14,6 +14,9 @@ VmmStack::VmmStack(Config config)
     : machine_(config.platform, config.memory_bytes),
       nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
       disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
+  if (config.trace.enabled) {
+    machine_.EnableTracing(config.trace);
+  }
   disk_retry_ = config.disk_retry;
   nic_retry_ = config.nic_retry;
   degrade_ = config.degrade;
@@ -21,11 +24,13 @@ VmmStack::VmmStack(Config config)
     ArmFaults(config.faults);
   }
   hv_ = std::make_unique<uvmm::Hypervisor>(machine_);
+  machine_.tracer().RegisterDomain(hv_->vmm_domain(), "xen");
 
   // --- Dom0: the privileged driver domain -----------------------------------
   auto dom0 = hv_->CreateDomain("Dom0", config.dom0_pages, /*privileged=*/true);
   assert(dom0.ok());
   dom0_ = *dom0;
+  machine_.tracer().RegisterDomain(dom0_, "Dom0");
   dom0_mux_ = std::make_unique<PortMux>();
   Err err = hv_->HcSetUpcall(dom0_, dom0_mux_->AsUpcall());
   assert(err == Err::kNone);
@@ -37,6 +42,7 @@ VmmStack::VmmStack(Config config)
     auto nd = hv_->CreateDomain("NetDriverVM", config.net_domain_pages, /*privileged=*/true);
     assert(nd.ok());
     net_dom_ = *nd;
+    machine_.tracer().RegisterDomain(net_dom_, "NetDriverVM");
     net_mux_ = std::make_unique<PortMux>();
     err = hv_->HcSetUpcall(net_dom_, net_mux_->AsUpcall());
     assert(err == Err::kNone);
@@ -90,6 +96,7 @@ VmmStack::VmmStack(Config config)
     auto sd = hv_->CreateDomain("ParallaxVM", config.storage_pages, /*privileged=*/true);
     assert(sd.ok());
     storage_dom_ = *sd;
+    machine_.tracer().RegisterDomain(storage_dom_, "ParallaxVM");
     storage_mux_ = std::make_unique<PortMux>();
     err = hv_->HcSetUpcall(storage_dom_, storage_mux_->AsUpcall());
     assert(err == Err::kNone);
@@ -139,6 +146,7 @@ std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
   auto dom = hv_->CreateDomain(name, config.guest_pages, /*privileged=*/false);
   assert(dom.ok());
   g->domain = *dom;
+  machine_.tracer().RegisterDomain(g->domain, name);
   g->mux = std::make_unique<PortMux>();
   Err err = hv_->HcSetUpcall(g->domain, g->mux->AsUpcall());
   assert(err == Err::kNone);
@@ -173,6 +181,8 @@ std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
   g->port = std::make_unique<minios::VmmPort>(machine_, *hv_, g->domain, g->netfront.get(),
                                               g->blkfront.get(), config.request_fast_syscall);
   g->os = std::make_unique<minios::Os>(machine_, *g->port, name);
+  ukvm::ProfScope boot_frame(machine_.tracer(),
+                             machine_.tracer().profiler().InternFrame("guest.boot"));
   const Err boot = g->os->Boot(/*format_disk=*/true);
   g->booted = boot == Err::kNone;
   if (!g->booted) {
@@ -182,6 +192,8 @@ std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
 }
 
 Err VmmStack::RunAsApp(size_t i, const std::function<void()>& fn) {
+  ukvm::ProfScope app_frame(machine_.tracer(),
+                            machine_.tracer().profiler().InternFrame("guest.app"));
   return hv_->RunGuestUser(guest(i).domain, fn);
 }
 
@@ -204,6 +216,7 @@ Err VmmStack::RestartStorage() {
       return sd.error();
     }
     storage_dom_ = *sd;
+    machine_.tracer().RegisterDomain(storage_dom_, "ParallaxVM-2");
     storage_mux_ = std::make_unique<PortMux>();
     UKVM_TRY(hv_->HcSetUpcall(storage_dom_, storage_mux_->AsUpcall()));
   } else if (!hv_->DomainAlive(dom0_)) {

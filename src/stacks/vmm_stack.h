@@ -67,6 +67,10 @@ class VmmStack {
     // default follows the UKVM_CHECK build option; benches flip it off to
     // measure hook-free baselines.
     bool audit = UKVM_CHECK_DEFAULT != 0;
+    // E17 flight recorder / histograms / profiler. Off by default; with
+    // tracing off, the instrumented paths charge exactly the same simulated
+    // cycles as before the tracer existed.
+    ukvm::TraceConfig trace;
   };
 
   struct Guest {

@@ -25,6 +25,20 @@ Kernel::Kernel(hwsim::Machine& machine) : machine_(machine) {
   mech_.unmap = ledger.InternMechanism("l4.unmap", CrossingKind::kResourceDelegate);
   mech_.irq_ipc = ledger.InternMechanism("l4.irq.ipc", CrossingKind::kInterrupt);
   mech_.pf_ipc = ledger.InternMechanism("l4.pf.ipc", CrossingKind::kSyncCall);
+  ukvm::Tracer& tracer = machine_.tracer();
+  ukvm::CycleProfiler& prof = tracer.profiler();
+  trace_.call_name = tracer.InternName("l4.ipc.call");
+  trace_.call_frame = prof.InternFrame("l4.ipc.call");
+  trace_.send_name = tracer.InternName("l4.ipc.send");
+  trace_.send_frame = prof.InternFrame("l4.ipc.send");
+  trace_.notify_name = tracer.InternName("l4.ipc.notify");
+  trace_.notify_frame = prof.InternFrame("l4.ipc.notify");
+  trace_.unmap_name = tracer.InternName("l4.unmap");
+  trace_.unmap_frame = prof.InternFrame("l4.unmap");
+  trace_.irq_name = tracer.InternName("l4.irq.ipc");
+  trace_.irq_frame = prof.InternFrame("l4.irq.ipc");
+  trace_.pf_name = tracer.InternName("l4.pf.ipc");
+  trace_.pf_frame = prof.InternFrame("l4.pf.ipc");
   machine_.SetTrapHandler(this);
 }
 
@@ -367,6 +381,9 @@ IpcMessage Kernel::InvokeHandler(Tcb& dest, ThreadId sender, IpcMessage&& delive
 IpcMessage Kernel::Call(ThreadId caller, ThreadId dest, IpcMessage msg) {
   Tcb* c = FindThread(caller);
   Tcb* d = FindThread(dest);
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.call_name,
+                             c != nullptr ? c->task : DomainId::Invalid());
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.call_frame);
   const uint64_t t0 = machine_.Now();
   EnterKernel();
   ++ipc_calls_;
@@ -446,6 +463,9 @@ IpcMessage Kernel::Call(ThreadId caller, ThreadId dest, IpcMessage msg) {
 Err Kernel::Send(ThreadId caller, ThreadId dest, IpcMessage msg) {
   Tcb* c = FindThread(caller);
   Tcb* d = FindThread(dest);
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.send_name,
+                             c != nullptr ? c->task : DomainId::Invalid());
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.send_frame);
   EnterKernel();
   ++ipc_calls_;
   machine_.Charge(machine_.costs().kernel_op);
@@ -478,6 +498,8 @@ Err Kernel::Notify(ThreadId dest, uint64_t bits) {
   if (d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
     return Err::kDead;
   }
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.notify_name, d->task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.notify_frame);
   machine_.ChargeTo(kKernelDomain, machine_.costs().kernel_op);
   d->pending_notify_bits |= bits;
   ++d->notifications;
@@ -534,6 +556,8 @@ Err Kernel::Unmap(DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_s
   if (t == nullptr || !t->alive) {
     return Err::kBadHandle;
   }
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.unmap_name, task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.unmap_frame);
   const uint64_t t0 = machine_.Now();
   EnterKernel();
   machine_.Charge(machine_.costs().kernel_op);
@@ -573,6 +597,8 @@ Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
     return Err::kDead;  // pager gone: the fault is unresolvable
   }
 
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.pf_name, tcb->task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.pf_frame);
   const uint64_t t0 = machine_.Now();
   // Synthesized page-fault IPC, as the L4 pager protocol specifies.
   IpcMessage fault = IpcMessage::Short(kPageFaultLabel, va, write ? 1 : 0);
@@ -687,6 +713,8 @@ void Kernel::HandleInterrupt(IrqLine line) {
     return;  // driver died; interrupt is dropped
   }
   const ThreadId prev = current_thread_;
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.irq_name, handler->task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.irq_frame);
   const uint64_t t0 = machine_.Now();
   EnterKernel();
   machine_.Charge(machine_.costs().kernel_op);

@@ -69,6 +69,9 @@ Err EventChannelTable::Send(DomainId caller, uint32_t port) {
     return Err::kDead;  // peer domain was destroyed
   }
   ++sends_;
+  if (trace_hook_) {
+    trace_hook_(local->remote_dom, local->remote_port, remote->pending);
+  }
   if (remote->pending) {
     // Already signalled and not yet consumed: the bit latches this Send
     // too. One upcall (on consume/unmask) covers the whole burst.

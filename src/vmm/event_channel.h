@@ -62,6 +62,14 @@ class EventChannelTable {
   uint64_t coalesced_sends() const { return coalesced_sends_; }
   size_t ports_of(ukvm::DomainId domain) const;
 
+  // Flight-recorder observer, fired on every successful Send with the
+  // target end of the channel and whether the send coalesced into an
+  // already-pending bit. Purely observational.
+  void SetTraceHook(
+      std::function<void(ukvm::DomainId target, uint32_t port, bool coalesced)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
  private:
   struct Port {
     bool allocated = false;
@@ -75,6 +83,7 @@ class EventChannelTable {
   Port* FindPort(ukvm::DomainId domain, uint32_t port);
 
   DeliverFn deliver_;
+  std::function<void(ukvm::DomainId, uint32_t, bool)> trace_hook_;
   std::unordered_map<ukvm::DomainId, std::vector<Port>> ports_;
   uint64_t sends_ = 0;
   uint64_t coalesced_sends_ = 0;

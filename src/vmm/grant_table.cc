@@ -106,6 +106,9 @@ Err GrantTable::MapGrant(DomainId grantee, DomainId granter, uint32_t ref, hwsim
   if (write && !entry->writable) {
     return Err::kPermissionDenied;
   }
+  if (va >= hole_base_ && va < hole_end_) {
+    return Err::kPermissionDenied;  // no guest mapping inside the hypervisor hole
+  }
   auto mfn = g->MfnOf(entry->pfn);
   if (!mfn.ok()) {
     return Err::kOutOfRange;

@@ -58,6 +58,7 @@ class DomainScheduler {
   hwsim::Machine& machine_;
   Domain* current_ = nullptr;
   uint64_t switches_ = 0;
+  uint32_t trace_switch_name_ = 0;  // lazily interned (0 = unset)
   std::unordered_map<ukvm::DomainId, uint32_t> weights_;
 };
 

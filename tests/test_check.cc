@@ -177,16 +177,25 @@ TEST(CheckMutation, GrantRefcountMismatchFlagged) {
   EXPECT_GE(CountInvariant(*stack.auditor(), Invariant::kGrantRefcountMismatch), 1u);
 }
 
-TEST(CheckMutation, GrantMapIntoHypervisorHoleFlagged) {
-  // MapGrant validates frame ownership but (unlike mmu_update) not the
-  // hypervisor hole — exactly the gap the auditor closes.
+TEST(CheckMutation, GrantMapIntoHypervisorHoleRejectedAndFlagged) {
+  // MapGrant validates the hypervisor hole itself (as mmu_update always
+  // has); the auditor's kHypervisorHoleMapping rule stays behind it as
+  // defence-in-depth against mappings that bypass the hypercall.
   ustack::VmmStack stack;
   ASSERT_NE(stack.auditor(), nullptr);
   const DomainId guest = stack.guest(0).domain;
   auto ref = stack.hv().HcGrantAccess(guest, stack.dom0(), /*pfn=*/5, /*writable=*/true);
   ASSERT_TRUE(ref.ok());
   const hwsim::Vaddr hole_va = stack.hv().config().hole_base;
-  ASSERT_EQ(stack.hv().HcGrantMap(stack.dom0(), guest, *ref, hole_va, true), Err::kNone);
+  EXPECT_EQ(stack.hv().HcGrantMap(stack.dom0(), guest, *ref, hole_va, true),
+            Err::kPermissionDenied);
+  EXPECT_EQ(CountInvariant(*stack.auditor(), Invariant::kHypervisorHoleMapping), 0u);
+
+  // Corruption: install the hole mapping directly, bypassing MapGrant.
+  uvmm::Domain* dom0 = stack.hv().FindDomain(stack.dom0());
+  ASSERT_NE(dom0, nullptr);
+  dom0->space.Map(hole_va, dom0->p2m[5], hwsim::PtePerms{true, true});
+  stack.auditor()->Checkpoint("mutation");
   EXPECT_GE(CountInvariant(*stack.auditor(), Invariant::kHypervisorHoleMapping), 1u);
 }
 
