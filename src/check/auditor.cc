@@ -22,8 +22,12 @@ Auditor::Auditor(hwsim::Machine& machine, Options options)
       [this](const ukvm::CrossingEvent& event) { OnCrossing(event); });
   machine_.ledger().SetResetHook([this] { lint_.Reset(); });
   if (options_.check_tlb_inserts) {
-    machine_.cpu().tlb().SetInsertHook(
-        [this](const hwsim::TlbEntry& entry) { invariants_.CheckTlbInsert(entry); });
+    // Every vCPU's TLB, not just the boot CPU's: remote shootdown targets
+    // refill their TLBs too.
+    for (uint32_t v = 0; v < machine_.num_vcpus(); ++v) {
+      machine_.cpu(v).tlb().SetInsertHook(
+          [this](const hwsim::TlbEntry& entry) { invariants_.CheckTlbInsert(entry); });
+    }
   }
   if (options_.check_dma) {
     machine_.SetDmaAuditHook(
@@ -34,7 +38,9 @@ Auditor::Auditor(hwsim::Machine& machine, Options options)
 Auditor::~Auditor() {
   machine_.ledger().RemoveTraceSink(trace_sink_id_);
   machine_.ledger().SetResetHook(nullptr);
-  machine_.cpu().tlb().SetInsertHook(nullptr);
+  for (uint32_t v = 0; v < machine_.num_vcpus(); ++v) {
+    machine_.cpu(v).tlb().SetInsertHook(nullptr);
+  }
   machine_.SetDmaAuditHook(nullptr);
   if (kernel_ != nullptr) {
     kernel_->mapdb().SetAuditHook(nullptr);
@@ -77,6 +83,12 @@ void Auditor::AttachSpace(ukvm::DomainId domain, hwsim::PageTable& space) {
   raw_spaces_.emplace_back(domain, &space);
   invariants_.AttachSpace(domain, space);
   HookSpace(domain, SpaceKind::kRaw, space);
+}
+
+void Auditor::DetachSpace(hwsim::PageTable& space) {
+  space.SetAuditHook(nullptr);
+  std::erase_if(raw_spaces_, [sp = &space](const auto& e) { return e.second == sp; });
+  invariants_.DetachSpace(&space);
 }
 
 void Auditor::HookSpace(ukvm::DomainId domain, SpaceKind kind, hwsim::PageTable& space) {
@@ -132,7 +144,12 @@ void Auditor::Checkpoint(const std::string& phase) {
   ++checkpoints_;
   RefreshSpaceHooks();
   DrainPendingUnmaps();
-  invariants_.CheckTlbCoherence();
+  if (options_.incremental_tlb) {
+    invariants_.CheckTlbCoherenceSince(tlb_stamps_);
+  } else {
+    invariants_.CheckTlbCoherence();
+  }
+  invariants_.CheckShootdownAcks();
   invariants_.CheckFrameOwnership();
   invariants_.CheckPrivilegeDiscipline();
   if (grants_dirty_) {

@@ -55,6 +55,11 @@ class Auditor {
     bool check_pt_updates = true; // per-update PTE checks + deferred TLB drains
     bool check_tlb_inserts = true;
     bool check_dma = true;
+    // Checkpoint TLB sweeps audit only entries inserted since the previous
+    // checkpoint (per vCPU). Staleness from unmaps is caught by the
+    // deferred-unmap drains, so coverage is unchanged; set false to force
+    // the full sweep every time.
+    bool incremental_tlb = true;
   };
 
   explicit Auditor(hwsim::Machine& machine);  // default options
@@ -71,6 +76,11 @@ class Auditor {
 
   // Registers a standalone space (ownership-only discipline) and hooks it.
   void AttachSpace(ukvm::DomainId domain, hwsim::PageTable& space);
+
+  // Unhooks and unregisters a raw space before it is destroyed. Deferred
+  // unmap probes already queued for it stay queued — they resolve through
+  // the machine's dead-space registry, never the table itself.
+  void DetachSpace(hwsim::PageTable& space);
 
   // Full audit: refresh space hooks, drain deferred checks, run every
   // invariant scan, and verify the ledger's pairing groups are balanced.
@@ -118,6 +128,9 @@ class Auditor {
   // corresponding full scan runs at a checkpoint.
   bool grants_dirty_ = true;
   bool mapdb_dirty_ = true;
+
+  // Per-vCPU TLB insert stamps consumed by the incremental coherence sweep.
+  std::vector<uint64_t> tlb_stamps_;
 
   uint64_t checkpoints_ = 0;
   size_t warned_ = 0;  // violations already reported via UKVM_WARN

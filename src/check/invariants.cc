@@ -1,5 +1,6 @@
 #include "src/check/invariants.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -60,6 +61,10 @@ const char* InvariantName(Invariant rule) {
       return "dma-to-free-frame";
     case Invariant::kDmaToPrivilegedFrame:
       return "dma-to-privileged-frame";
+    case Invariant::kStaleTlbAfterDestroy:
+      return "stale-tlb-after-destroy";
+    case Invariant::kUnackedShootdown:
+      return "unacked-shootdown";
   }
   return "?";
 }
@@ -108,58 +113,108 @@ std::map<std::pair<uint32_t, hwsim::Frame>, uint64_t> InvariantAuditor::GrantMap
   return mapped;
 }
 
-void InvariantAuditor::CheckTlbCoherence() {
-  const std::vector<SpaceView> views = Views();
-  hwsim::Cpu& cpu = machine_.cpu();
-  cpu.tlb().ForEachValid([&](const hwsim::TlbEntry& entry) {
-    // Attribute the entry to a space via its salt (the upper 32 key bits).
-    // Unsalted entries belong to the last untagged full switch; salted ones
-    // to whichever live space hashes to that salt. Entries of spaces that
-    // no longer exist cannot be attributed and are skipped.
-    const uint64_t salt = entry.vpn & ~uint64_t{0xffffffff};
-    const hwsim::PageTable* key_space =
-        salt == 0 ? cpu.salt0_space() : nullptr;
-    hwsim::Vaddr vpn = entry.vpn ^ salt;
-    if (salt != 0) {
-      for (const SpaceView& v : views) {
-        if (hwsim::Cpu::TlbSaltOf(v.space) == salt) {
-          key_space = v.space;
-          break;
-        }
-      }
-    }
-    if (key_space == nullptr) {
-      return;
-    }
-    const SpaceView* view = nullptr;
+void InvariantAuditor::AuditTlbEntry(uint32_t vcpu, const std::vector<SpaceView>& views,
+                                     const hwsim::TlbEntry& entry) {
+  // Attribute the entry to a space via its salt (the upper 32 key bits).
+  // Unsalted entries belong to that vCPU's last untagged full switch;
+  // salted ones to whichever live space holds that salt. Entries whose
+  // space died are violations (the death shootdown should have flushed
+  // them); entries attributable to nothing at all land on the explicit
+  // skip list rather than vanishing silently.
+  const hwsim::Cpu& cpu = machine_.cpu(vcpu);
+  const uint64_t salt = entry.vpn & ~uint64_t{0xffffffff};
+  const hwsim::PageTable* key_space = salt == 0 ? cpu.salt0_space() : nullptr;
+  const hwsim::Vaddr vpn = entry.vpn ^ salt;
+  if (salt != 0) {
     for (const SpaceView& v : views) {
-      if (v.space == key_space) {
-        view = &v;
+      if (hwsim::Cpu::TlbSaltOf(v.space) == salt) {
+        key_space = v.space;
         break;
       }
     }
-    if (view == nullptr) {
-      return;  // salt0 space died; nothing safe to dereference
-    }
-    const hwsim::Pte* pte = view->space->Walk(vpn << view->space->page_shift());
-    if (pte == nullptr || !pte->present) {
-      Flag(Invariant::kTlbStale,
-           Fmt("TLB holds vpn 0x%" PRIx64 " of %s %u but the PTE is gone", vpn,
-               KindName(view->kind), view->domain.value()));
+    if (key_space == nullptr) {
+      if (machine_.FindDeadSpaceBySalt(salt) != nullptr) {
+        ++tlb_entries_audited_;
+        Flag(Invariant::kStaleTlbAfterDestroy,
+             Fmt("vcpu %u TLB still holds vpn 0x%" PRIx64
+                 " of a destroyed space (salt id %" PRIu64 ")",
+                 vcpu, vpn, salt >> 32));
+        return;
+      }
+      // Unknown salt: the space vanished without a death shootdown (raw
+      // spaces in tests). Nothing safe to dereference — count it.
+      ++tlb_entries_skipped_;
       return;
     }
-    if (pte->frame != entry.frame) {
-      Flag(Invariant::kTlbMismatch,
-           Fmt("TLB maps vpn 0x%" PRIx64 " of %s %u to frame %" PRIu64
-               " but the PTE says %" PRIu64,
-               vpn, KindName(view->kind), view->domain.value(), entry.frame, pte->frame));
+  }
+  if (key_space == nullptr) {
+    ++tlb_entries_skipped_;  // untagged entry with no recorded salt0 space
+    return;
+  }
+  const SpaceView* view = nullptr;
+  for (const SpaceView& v : views) {
+    if (v.space == key_space) {
+      view = &v;
+      break;
+    }
+  }
+  if (view == nullptr) {
+    if (machine_.IsDeadSpace(key_space)) {
+      ++tlb_entries_audited_;
+      Flag(Invariant::kStaleTlbAfterDestroy,
+           Fmt("vcpu %u TLB still holds untagged vpn 0x%" PRIx64 " of a destroyed space", vcpu,
+               vpn));
       return;
     }
-    if ((entry.writable && !pte->writable) || (entry.user && !pte->user)) {
-      Flag(Invariant::kTlbMismatch,
-           Fmt("TLB permissions for vpn 0x%" PRIx64 " of %s %u exceed the PTE", vpn,
-               KindName(view->kind), view->domain.value()));
-    }
+    ++tlb_entries_skipped_;  // salt0 space gone without a death record
+    return;
+  }
+  ++tlb_entries_audited_;
+  const hwsim::Pte* pte = view->space->Walk(vpn << view->space->page_shift());
+  if (pte == nullptr || !pte->present) {
+    Flag(Invariant::kTlbStale,
+         Fmt("vcpu %u TLB holds vpn 0x%" PRIx64 " of %s %u but the PTE is gone", vcpu, vpn,
+             KindName(view->kind), view->domain.value()));
+    return;
+  }
+  if (pte->frame != entry.frame) {
+    Flag(Invariant::kTlbMismatch,
+         Fmt("vcpu %u TLB maps vpn 0x%" PRIx64 " of %s %u to frame %" PRIu64
+             " but the PTE says %" PRIu64,
+             vcpu, vpn, KindName(view->kind), view->domain.value(), entry.frame, pte->frame));
+    return;
+  }
+  if ((entry.writable && !pte->writable) || (entry.user && !pte->user)) {
+    Flag(Invariant::kTlbMismatch,
+         Fmt("vcpu %u TLB permissions for vpn 0x%" PRIx64 " of %s %u exceed the PTE", vcpu, vpn,
+             KindName(view->kind), view->domain.value()));
+  }
+}
+
+void InvariantAuditor::CheckTlbCoherence() {
+  const std::vector<SpaceView> views = Views();
+  for (uint32_t v = 0; v < machine_.num_vcpus(); ++v) {
+    machine_.cpu(v).tlb().ForEachValid(
+        [&](const hwsim::TlbEntry& entry) { AuditTlbEntry(v, views, entry); });
+  }
+}
+
+void InvariantAuditor::CheckTlbCoherenceSince(std::vector<uint64_t>& stamps) {
+  stamps.resize(machine_.num_vcpus(), 0);
+  const std::vector<SpaceView> views = Views();
+  for (uint32_t v = 0; v < machine_.num_vcpus(); ++v) {
+    const hwsim::Tlb& tlb = machine_.cpu(v).tlb();
+    tlb.ForEachValidSince(stamps[v],
+                          [&](const hwsim::TlbEntry& entry) { AuditTlbEntry(v, views, entry); });
+    stamps[v] = tlb.insert_seq();
+  }
+}
+
+void InvariantAuditor::CheckShootdownAcks() {
+  machine_.ForEachUnackedShootdown([&](uint64_t id, uint32_t initiator, uint32_t outstanding) {
+    Flag(Invariant::kUnackedShootdown,
+         Fmt("shootdown %" PRIu64 " begun on vcpu %u still awaits %u ack(s)", id, initiator,
+             outstanding));
   });
 }
 
@@ -306,16 +361,47 @@ void InvariantAuditor::CheckMapDbCoherence() {
 }
 
 void InvariantAuditor::CheckUnmapFlushed(const hwsim::PageTable* space, hwsim::Vaddr vpn) {
-  const hwsim::Cpu& cpu = machine_.cpu();
-  const hwsim::Tlb& tlb = cpu.tlb();
-  if (tlb.Probe(vpn).has_value() && cpu.salt0_space() == space) {
-    Flag(Invariant::kTlbStale,
-         Fmt("unmapped vpn 0x%" PRIx64 " still translatable via the untagged TLB key", vpn));
+  // The dead-space registry knows the salt of a destroyed space without
+  // touching the (possibly freed) PageTable; only live spaces are
+  // dereferenced for theirs. Recycling makes two probes unverifiable, and
+  // both are skipped rather than guessed at:
+  //  - the heap address of a destroyed table can be reused by a live one,
+  //    so a pointer in both the registry and the live views is ambiguous;
+  //  - a dead space's salt can be re-acquired (after the death shootdown
+  //    fully acked) by a live space that legitimately maps the same vpn.
+  const std::vector<SpaceView> views = Views();
+  const bool live = std::any_of(views.begin(), views.end(),
+                                [space](const SpaceView& v) { return v.space == space; });
+  const hwsim::Machine::DeadSpace* dead = nullptr;
+  for (const auto& ds : machine_.dead_spaces()) {
+    if (ds.space == space) {
+      dead = &ds;
+      break;
+    }
   }
-  const uint64_t salt = hwsim::Cpu::TlbSaltOf(space);
-  if (salt != 0 && tlb.Probe(vpn ^ salt).has_value()) {
-    Flag(Invariant::kTlbStale,
-         Fmt("unmapped vpn 0x%" PRIx64 " still translatable via its salted TLB key", vpn));
+  if (live && dead != nullptr) {
+    return;  // pointer reused: the queued probe's target is gone
+  }
+  const uint64_t salt = dead != nullptr ? dead->salt : hwsim::Cpu::TlbSaltOf(space);
+  bool salt_recycled = false;
+  if (dead != nullptr && salt != 0) {
+    salt_recycled = std::any_of(views.begin(), views.end(), [salt](const SpaceView& v) {
+      return hwsim::Cpu::TlbSaltOf(v.space) == salt;
+    });
+  }
+  for (uint32_t v = 0; v < machine_.num_vcpus(); ++v) {
+    const hwsim::Cpu& cpu = machine_.cpu(v);
+    const hwsim::Tlb& tlb = cpu.tlb();
+    if (tlb.Probe(vpn).has_value() && cpu.salt0_space() == space) {
+      Flag(Invariant::kTlbStale,
+           Fmt("unmapped vpn 0x%" PRIx64 " still translatable via vcpu %u's untagged TLB key", vpn,
+               v));
+    }
+    if (salt != 0 && !salt_recycled && tlb.Probe(vpn ^ salt).has_value()) {
+      Flag(Invariant::kTlbStale,
+           Fmt("unmapped vpn 0x%" PRIx64 " still translatable via vcpu %u's salted TLB key", vpn,
+               v));
+    }
   }
 }
 
@@ -365,6 +451,7 @@ void InvariantAuditor::CheckAll() {
   CheckPrivilegeDiscipline();
   CheckGrantRefcounts();
   CheckMapDbCoherence();
+  CheckShootdownAcks();
 }
 
 }  // namespace ucheck

@@ -18,7 +18,10 @@
 //  - grant-refcount consistency: each grant's active-mapping count matches
 //    the live PTEs actually mapping foreign frames in the grantee's space;
 //  - mapdb coherence: every mapping-database node corresponds to a present
-//    PTE with the recorded frame in a live task.
+//    PTE with the recorded frame in a live task;
+//  - shootdown discipline (E18): a TLB entry attributable to a destroyed
+//    address space is a violation on any vCPU, and no shootdown round may
+//    be left waiting for acks at a checkpoint.
 //
 // The class holds only non-owning pointers to the kernels; the wiring layer
 // (src/check/auditor.h) decides when checks run.
@@ -59,6 +62,8 @@ enum class Invariant : uint8_t {
   kMapDbIncoherent,            // mapdb node without a matching live PTE
   kDmaToFreeFrame,             // device DMA targets an unallocated frame
   kDmaToPrivilegedFrame,       // device DMA targets a kernel/hypervisor frame
+  kStaleTlbAfterDestroy,       // TLB entry attributable to a destroyed space
+  kUnackedShootdown,           // shootdown round still awaiting vCPU acks
 };
 
 const char* InvariantName(Invariant rule);
@@ -89,6 +94,11 @@ class InvariantAuditor {
     raw_spaces_.emplace_back(domain, &space);
   }
 
+  // Unregisters a raw space about to be destroyed (pointer compared only).
+  void DetachSpace(const hwsim::PageTable* space) {
+    std::erase_if(raw_spaces_, [space](const auto& e) { return e.second == space; });
+  }
+
   // --- Full scans (checkpoint granularity) -----------------------------------
 
   void CheckTlbCoherence();
@@ -97,6 +107,19 @@ class InvariantAuditor {
   void CheckGrantRefcounts();
   void CheckMapDbCoherence();
   void CheckAll();
+
+  // Incremental TLB-coherence sweep: audits only entries inserted since the
+  // stamps recorded in `stamps` (one per vCPU; resized on first use) and
+  // advances the stamps to the present. Staleness introduced by unmaps is
+  // the deferred-unmap probes' job, so full and incremental sweeps flag
+  // identical violation sets on coherent histories while the incremental
+  // path touches strictly fewer entries (closes the ROADMAP item).
+  void CheckTlbCoherenceSince(std::vector<uint64_t>& stamps);
+
+  // Every shootdown round must eventually collect all its acks; a request
+  // still outstanding at a checkpoint means some vCPU may serve stale
+  // translations indefinitely.
+  void CheckShootdownAcks();
 
   // Ownership + privilege scan of a single space (used by the paravirtual
   // PT-update hook, which knows which domain's table just changed).
@@ -128,6 +151,14 @@ class InvariantAuditor {
   size_t violation_count() const { return violations_.size(); }
   void ClearViolations() { violations_.clear(); }
 
+  // TLB-sweep coverage counters (cumulative across sweeps). An audited
+  // entry was attributed and verified; a skipped entry could not be
+  // attributed to any live or dead space — the skip list is explicit, not
+  // a silent `return`, so tests can pin down exactly what the auditor does
+  // not see.
+  uint64_t tlb_entries_audited() const { return tlb_entries_audited_; }
+  uint64_t tlb_entries_skipped() const { return tlb_entries_skipped_; }
+
  private:
   struct SpaceView {
     ukvm::DomainId domain;
@@ -139,6 +170,11 @@ class InvariantAuditor {
   // Active grant mappings as (grantee, machine frame) -> expected count.
   std::map<std::pair<uint32_t, hwsim::Frame>, uint64_t> GrantMappedFrames() const;
 
+  // Audits one TLB entry of `vcpu` against the live views and the
+  // dead-space registry; shared by the full and incremental sweeps.
+  void AuditTlbEntry(uint32_t vcpu, const std::vector<SpaceView>& views,
+                     const hwsim::TlbEntry& entry);
+
   void Flag(Invariant rule, std::string detail);
 
   hwsim::Machine& machine_;
@@ -146,6 +182,8 @@ class InvariantAuditor {
   uvmm::Hypervisor* hv_ = nullptr;
   std::vector<std::pair<ukvm::DomainId, hwsim::PageTable*>> raw_spaces_;
   std::vector<InvariantViolation> violations_;
+  uint64_t tlb_entries_audited_ = 0;
+  uint64_t tlb_entries_skipped_ = 0;
 };
 
 }  // namespace ucheck

@@ -28,9 +28,11 @@ struct CostModel {
   // MMU.
   uint64_t address_space_switch = 550;  // page-table base reload
   uint64_t tlb_flush_full = 200;        // flush operation itself
+  uint64_t tlb_flush_page = 40;         // single-page invalidate (invlpg)
   uint64_t tlb_miss_walk = 90;          // hardware page-walk on a miss
   uint64_t pte_write = 25;              // one page-table entry update
   uint64_t tlb_shootdown = 900;         // cross-domain invalidate (IPI + flush)
+  uint64_t ipi_send = 450;              // one inter-processor interrupt (APIC write + bus)
 
   // Segmentation (zero-cost on platforms without it).
   uint64_t segment_reload = 60;         // one selector reload incl. descriptor check

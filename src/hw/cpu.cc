@@ -18,7 +18,8 @@ const char* PrivLevelName(PrivLevel level) {
   return "?";
 }
 
-Cpu::Cpu(Machine& machine, uint32_t tlb_entries) : machine_(machine), tlb_(tlb_entries) {}
+Cpu::Cpu(Machine& machine, uint32_t tlb_entries, uint32_t vcpu_id)
+    : machine_(machine), vcpu_id_(vcpu_id), tlb_(tlb_entries) {}
 
 void Cpu::SwitchAddressSpace(PageTable* space) {
   if (space == address_space_) {
@@ -59,6 +60,28 @@ void Cpu::InvalidatePage(const PageTable* space, Vaddr vpn) {
   // flushing both is exact.
   tlb_.FlushPage(vpn);
   tlb_.FlushPage(vpn ^ TlbSaltOf(space));
+}
+
+void Cpu::InvalidatePageKeyed(uint64_t salt, Vaddr vpn) {
+  tlb_.FlushPage(vpn);
+  if (salt != 0) {
+    tlb_.FlushPage(vpn ^ salt);
+  }
+}
+
+uint32_t Cpu::FlushSpaceEntries(const PageTable* space, uint64_t salt) {
+  const bool owns_salt0 = salt0_space_ == space && space != nullptr;
+  const uint32_t flushed = tlb_.FlushIf([&](const TlbEntry& entry) {
+    const uint64_t entry_salt = entry.vpn & ~uint64_t{0xffffffff};
+    if (salt != 0 && entry_salt == salt) {
+      return true;
+    }
+    return entry_salt == 0 && owns_salt0;
+  });
+  if (owns_salt0) {
+    salt0_space_ = nullptr;
+  }
+  return flushed;
 }
 
 ukvm::Result<Translation> Cpu::Translate(Vaddr va, bool write, bool user_access) {

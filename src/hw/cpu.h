@@ -35,11 +35,12 @@ const char* PrivLevelName(PrivLevel level);
 
 class Cpu {
  public:
-  Cpu(Machine& machine, uint32_t tlb_entries);
+  Cpu(Machine& machine, uint32_t tlb_entries, uint32_t vcpu_id = 0);
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
+  uint32_t vcpu_id() const { return vcpu_id_; }
   ukvm::DomainId current_domain() const { return domain_; }
   PrivLevel mode() const { return mode_; }
   bool interrupts_enabled() const { return interrupts_enabled_; }
@@ -75,6 +76,19 @@ class Cpu {
   // loaded space is not enough.
   void InvalidatePage(const PageTable* space, Vaddr vpn);
 
+  // Same invalidation given only the space's salt — used by the machine's
+  // shootdown protocol, whose requests must stay valid after the space
+  // object is gone (death shootdowns outlive the table).
+  void InvalidatePageKeyed(uint64_t salt, Vaddr vpn);
+
+  // Drops every entry attributable to `space` (salted key, or raw key if
+  // this vCPU's last untagged switch loaded it) and forgets the salt-0
+  // attribution. Pointer compared, never dereferenced; `salt` is passed in
+  // by the caller for the same lifetime reason as InvalidatePageKeyed.
+  // Returns the number of entries dropped. No cycles are charged — the
+  // shootdown protocol prices the flush.
+  uint32_t FlushSpaceEntries(const PageTable* space, uint64_t salt);
+
   // The salt that entries of `space` carry when it is active as a tagged
   // or small space (upper 32 bits only; vpns stay below 2^32). Delegates to
   // the table's monotonic identity rather than hashing the pointer: a hash
@@ -101,6 +115,7 @@ class Cpu {
 
  private:
   Machine& machine_;
+  uint32_t vcpu_id_ = 0;
   ukvm::DomainId domain_ = ukvm::DomainId::Invalid();
   PrivLevel mode_ = PrivLevel::kPrivileged;
   bool interrupts_enabled_ = false;

@@ -53,4 +53,32 @@ bool InterruptController::AnyDeliverable() const {
   return false;
 }
 
+IpiController::IpiController(uint32_t num_vcpus)
+    : pending_(num_vcpus, std::vector<bool>(kIpiVectorCount, false)) {
+  assert(num_vcpus > 0);
+}
+
+void IpiController::Post(uint32_t vcpu, IpiVector vec) {
+  assert(vcpu < pending_.size());
+  if (!pending_[vcpu][static_cast<size_t>(vec)]) {
+    pending_[vcpu][static_cast<size_t>(vec)] = true;
+    ++posted_;
+  }
+}
+
+bool IpiController::Pending(uint32_t vcpu, IpiVector vec) const {
+  assert(vcpu < pending_.size());
+  return pending_[vcpu][static_cast<size_t>(vec)];
+}
+
+bool IpiController::TakePending(uint32_t vcpu, IpiVector vec) {
+  assert(vcpu < pending_.size());
+  if (!pending_[vcpu][static_cast<size_t>(vec)]) {
+    return false;
+  }
+  pending_[vcpu][static_cast<size_t>(vec)] = false;
+  ++delivered_;
+  return true;
+}
+
 }  // namespace hwsim

@@ -57,6 +57,36 @@ class InterruptController {
   std::function<void(ukvm::IrqLine, bool)> trace_hook_;
 };
 
+// Inter-processor interrupt vectors. Unlike device lines these are
+// CPU-to-CPU: the machine's shootdown protocol posts kTlbShootdown at the
+// target vCPUs, which drain their latched vectors at delivery points.
+enum class IpiVector : uint8_t {
+  kTlbShootdown = 0,
+};
+inline constexpr uint32_t kIpiVectorCount = 1;
+
+class IpiController {
+ public:
+  explicit IpiController(uint32_t num_vcpus);
+
+  uint32_t num_vcpus() const { return static_cast<uint32_t>(pending_.size()); }
+
+  // Latches `vec` at `vcpu` (idempotent while pending).
+  void Post(uint32_t vcpu, IpiVector vec);
+  bool Pending(uint32_t vcpu, IpiVector vec) const;
+  // Clears and returns whether `vec` was pending at `vcpu`.
+  bool TakePending(uint32_t vcpu, IpiVector vec);
+
+  uint64_t posted() const { return posted_; }
+  uint64_t delivered() const { return delivered_; }
+
+ private:
+  // pending_[vcpu][vector]
+  std::vector<std::vector<bool>> pending_;
+  uint64_t posted_ = 0;
+  uint64_t delivered_ = 0;
+};
+
 }  // namespace hwsim
 
 #endif  // UKVM_SRC_HW_INTERRUPTS_H_

@@ -1,16 +1,25 @@
 #include "src/hw/machine.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/core/log.h"
 
 namespace hwsim {
 
-Machine::Machine(Platform platform, uint64_t memory_bytes)
+Machine::Machine(Platform platform, uint64_t memory_bytes, uint32_t num_vcpus)
     : platform_(std::move(platform)),
       memory_(memory_bytes, platform_.page_shift),
       irq_controller_(platform_.irq_lines),
-      cpu_(*this, platform_.tlb_entries) {
+      ipis_(num_vcpus == 0 ? 1 : num_vcpus),
+      vcpu_accounting_(num_vcpus == 0 ? 1 : num_vcpus) {
+  if (num_vcpus == 0) {
+    num_vcpus = 1;
+  }
+  cpus_.reserve(num_vcpus);
+  for (uint32_t v = 0; v < num_vcpus; ++v) {
+    cpus_.push_back(std::make_unique<Cpu>(*this, platform_.tlb_entries, v));
+  }
   ledger_.SetTimeSource([this] { return now_; });
   tracer_.SetTimeSource([this] { return now_; });
   trace_idle_frame_ = tracer_.profiler().InternFrame("idle");
@@ -43,21 +52,29 @@ void Machine::DisableTracing() {
   tracer_.Disable();
 }
 
-void Machine::Charge(uint64_t cycles) { ChargeTo(cpu_.current_domain(), cycles); }
+void Machine::Charge(uint64_t cycles) { ChargeTo(cpu().current_domain(), cycles); }
 
 void Machine::ChargeTo(ukvm::DomainId domain, uint64_t cycles) {
   if (cycles == 0) {
     return;
   }
-  accounting_.Charge(domain.valid() ? domain : ukvm::kHardwareDomain, cycles);
+  const ukvm::DomainId billed = domain.valid() ? domain : ukvm::kHardwareDomain;
+  accounting_.Charge(billed, cycles);
+  vcpu_accounting_[current_vcpu_].Charge(billed, cycles);
   now_ += cycles;
 }
 
 void Machine::AccountOnly(ukvm::DomainId domain, uint64_t cycles) {
+  AccountToVcpu(current_vcpu_, domain, cycles);
+}
+
+void Machine::AccountToVcpu(uint32_t vcpu, ukvm::DomainId domain, uint64_t cycles) {
   if (cycles == 0) {
     return;
   }
-  accounting_.Charge(domain.valid() ? domain : ukvm::kHardwareDomain, cycles);
+  const ukvm::DomainId billed = domain.valid() ? domain : ukvm::kHardwareDomain;
+  accounting_.Charge(billed, cycles);
+  vcpu_accounting_[vcpu].Charge(billed, cycles);
 }
 
 Machine::EventId Machine::ScheduleAt(uint64_t time, std::function<void()> fn) {
@@ -78,6 +95,7 @@ void Machine::AdvanceClockTo(uint64_t time) {
   if (time > now_) {
     ukvm::ProfScope idle(tracer_, trace_idle_frame_);
     accounting_.Charge(kIdleDomain, time - now_);
+    vcpu_accounting_[current_vcpu_].Charge(kIdleDomain, time - now_);
     now_ = time;
   }
 }
@@ -140,6 +158,189 @@ ukvm::Err Machine::WaitUntil(const std::function<bool()>& pred, uint64_t timeout
   return ukvm::Err::kNone;
 }
 
+uint32_t Machine::SwitchVcpu(uint32_t vcpu) {
+  assert(vcpu < num_vcpus());
+  const uint32_t previous = current_vcpu_;
+  current_vcpu_ = vcpu;
+  if (ipis_.Pending(vcpu, IpiVector::kTlbShootdown)) {
+    DeliverShootdownIpis(vcpu);
+  }
+  return previous;
+}
+
+uint64_t Machine::BeginTlbShootdown(const PageTable* space, std::span<const Vaddr> vpns,
+                                    bool space_dying) {
+  const uint64_t salt = Cpu::TlbSaltOf(space);
+  ++shootdown_stats_.requests;
+  shootdown_stats_.pages_requested += vpns.size();
+  if (vpns.empty()) {
+    ++shootdown_stats_.full_flushes;
+  }
+
+  // Local invalidation. The caller's unmap path usually did this already
+  // (and charged for it); repeating it is idempotent and free, and covers
+  // direct protocol users.
+  Cpu& self = cpu();
+  if (vpns.empty()) {
+    self.FlushSpaceEntries(space, salt);
+  } else {
+    for (const Vaddr vpn : vpns) {
+      self.InvalidatePageKeyed(salt, vpn);
+    }
+  }
+
+  const uint64_t id = next_shootdown_id_++;
+  if (num_vcpus() == 1) {
+    return id;  // nobody else to notify; complete, nothing stored or charged
+  }
+
+  ShootdownRequest req;
+  req.space = space;
+  req.salt = salt;
+  req.vpns.assign(vpns.begin(), vpns.end());
+  req.space_dying = space_dying;
+  req.initiator = current_vcpu_;
+  req.pending.assign(num_vcpus(), false);
+  for (uint32_t v = 0; v < num_vcpus(); ++v) {
+    if (v == current_vcpu_) {
+      continue;
+    }
+    req.pending[v] = true;
+    ++req.outstanding;
+    ipis_.Post(v, IpiVector::kTlbShootdown);
+    ++shootdown_stats_.ipis_sent;
+    Charge(costs().ipi_send);
+  }
+  shootdowns_.emplace(id, std::move(req));
+  return id;
+}
+
+void Machine::DeliverShootdownIpis(uint32_t vcpu) {
+  ipis_.TakePending(vcpu, IpiVector::kTlbShootdown);
+  Cpu& target = *cpus_[vcpu];
+  for (auto& [id, req] : shootdowns_) {
+    if (!req.pending[vcpu]) {
+      continue;
+    }
+    uint64_t cost = costs().interrupt_dispatch;
+    if (req.vpns.empty()) {
+      target.FlushSpaceEntries(req.space, req.salt);
+      cost += costs().tlb_flush_full;
+    } else {
+      for (const Vaddr vpn : req.vpns) {
+        target.InvalidatePageKeyed(req.salt, vpn);
+      }
+      cost += costs().tlb_flush_page * req.vpns.size();
+    }
+    // The handler runs concurrently with the (spinning) initiator, so the
+    // clock does not advance; the cycles bill to whatever the target vCPU
+    // was running when the IPI hit.
+    AccountToVcpu(vcpu, target.current_domain(), cost);
+    req.pending[vcpu] = false;
+    --req.outstanding;
+    if (cost > req.max_target_cost) {
+      req.max_target_cost = cost;
+    }
+    ++shootdown_stats_.remote_acks;
+  }
+}
+
+void Machine::WaitTlbShootdown(uint64_t id) {
+  auto it = shootdowns_.find(id);
+  if (it == shootdowns_.end()) {
+    return;
+  }
+  for (uint32_t v = 0; v < num_vcpus(); ++v) {
+    if (it->second.pending[v]) {
+      DeliverShootdownIpis(v);
+    }
+  }
+  // The initiator spun until the slowest target acked.
+  Charge(it->second.max_target_cost);
+  shootdowns_.erase(it);
+}
+
+bool Machine::ShootdownComplete(uint64_t id) const {
+  const auto it = shootdowns_.find(id);
+  return it == shootdowns_.end() || it->second.outstanding == 0;
+}
+
+uint64_t Machine::TlbShootdown(const PageTable* space, std::span<const Vaddr> vpns,
+                               bool space_dying) {
+  const uint64_t id = BeginTlbShootdown(space, vpns, space_dying);
+  WaitTlbShootdown(id);
+  return id;
+}
+
+void Machine::ShootdownSpaceDeath(const PageTable* space) {
+  if (space == nullptr) {
+    return;
+  }
+  // Idempotency is per table *instance*, not per pointer: the allocator can
+  // hand a new table a destroyed one's address (and the salt registry its
+  // salt id, once quarantine lifts), and that new table's death still needs
+  // its own flush round.
+  for (const DeadSpace& dead : dead_spaces_) {
+    if (dead.instance == space->instance_id()) {
+      return;
+    }
+  }
+  const uint64_t salt = Cpu::TlbSaltOf(space);
+  dead_spaces_.push_back(DeadSpace{space, salt, space->instance_id(), false});
+  const size_t record = dead_spaces_.size() - 1;
+  const uint64_t id = BeginTlbShootdown(space, {}, /*space_dying=*/true);
+  WaitTlbShootdown(id);
+  dead_spaces_[record].flush_acked = true;
+  // Every vCPU acked the death flush: the salt id may leave quarantine
+  // once the table object itself is gone.
+  TlbSaltRegistry::Release(salt >> 32);
+}
+
+const Machine::DeadSpace* Machine::FindDeadSpaceBySalt(uint64_t salt) const {
+  for (const DeadSpace& dead : dead_spaces_) {
+    if (dead.salt == salt) {
+      return &dead;
+    }
+  }
+  return nullptr;
+}
+
+bool Machine::IsDeadSpace(const PageTable* space) const {
+  for (const DeadSpace& dead : dead_spaces_) {
+    if (dead.space == space) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Machine::unacked_shootdowns() const {
+  size_t n = 0;
+  for (const auto& [id, req] : shootdowns_) {
+    if (req.outstanding > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Machine::ForEachUnackedShootdown(
+    const std::function<void(uint64_t, uint32_t, uint32_t)>& fn) const {
+  // Sorted so the auditor's reports are deterministic.
+  std::vector<uint64_t> ids;
+  ids.reserve(shootdowns_.size());
+  for (const auto& [id, req] : shootdowns_) {
+    if (req.outstanding > 0) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const uint64_t id : ids) {
+    const ShootdownRequest& req = shootdowns_.at(id);
+    fn(id, req.initiator, req.outstanding);
+  }
+}
+
 void Machine::RaiseTrap(TrapFrame& frame) {
   assert(trap_handler_ != nullptr && "no privileged software booted");
   Charge(costs().trap_entry);
@@ -151,11 +352,11 @@ void Machine::NotifyDmaTarget(Paddr target, bool to_memory) {
   if (!dma_audit_hook_) {
     return;
   }
-  dma_audit_hook_(DmaAccess{memory_.FrameOf(target), to_memory, cpu_.current_domain()});
+  dma_audit_hook_(DmaAccess{memory_.FrameOf(target), to_memory, cpu().current_domain()});
 }
 
 void Machine::DeliverPendingInterrupts() {
-  if (trap_handler_ == nullptr || !cpu_.interrupts_enabled() || in_interrupt_delivery_) {
+  if (trap_handler_ == nullptr || !cpu().interrupts_enabled() || in_interrupt_delivery_) {
     return;
   }
   in_interrupt_delivery_ = true;

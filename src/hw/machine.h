@@ -1,4 +1,4 @@
-// The simulated machine: one CPU, physical memory, an interrupt controller,
+// The simulated machine: N vCPUs, physical memory, an interrupt controller,
 // a virtual clock, and a discrete-event queue for devices.
 //
 // Execution model: software (kernels, guests, applications) runs as real
@@ -13,7 +13,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -39,7 +42,7 @@ inline constexpr uint64_t kCyclesPerUs = 2000;
 
 class Machine {
  public:
-  Machine(Platform platform, uint64_t memory_bytes);
+  Machine(Platform platform, uint64_t memory_bytes, uint32_t num_vcpus = 1);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -48,12 +51,33 @@ class Machine {
   const CostModel& costs() const { return platform_.costs; }
   PhysicalMemory& memory() { return memory_; }
   InterruptController& irq_controller() { return irq_controller_; }
-  Cpu& cpu() { return cpu_; }
+  IpiController& ipis() { return ipis_; }
+  // The vCPU software is currently running on. Single-vCPU machines (the
+  // default) behave exactly as before: one CPU, never switched.
+  Cpu& cpu() { return *cpus_[current_vcpu_]; }
+  const Cpu& cpu() const { return *cpus_[current_vcpu_]; }
+  Cpu& cpu(uint32_t vcpu) { return *cpus_[vcpu]; }
+  const Cpu& cpu(uint32_t vcpu) const { return *cpus_[vcpu]; }
+  uint32_t num_vcpus() const { return static_cast<uint32_t>(cpus_.size()); }
+  uint32_t current_vcpu() const { return current_vcpu_; }
   ukvm::CrossingLedger& ledger() { return ledger_; }
   ukvm::CpuAccounting& accounting() { return accounting_; }
+  // Per-vCPU attribution (charges land on both this and the global table).
+  ukvm::CpuAccounting& vcpu_accounting(uint32_t vcpu) { return vcpu_accounting_[vcpu]; }
   ukvm::Counters& counters() { return counters_; }
   ukvm::Tracer& tracer() { return tracer_; }
   const ukvm::Tracer& tracer() const { return tracer_; }
+
+  // Moves execution to another vCPU (bookkeeping only — the cost of getting
+  // there, if any, is the caller's to model). Returns the previous index.
+  // Pending shootdown IPIs latched at the destination are delivered first,
+  // as a real core drains its IPI queue when it next opens interrupts.
+  uint32_t SwitchVcpu(uint32_t vcpu);
+  // Round-robin step to the next vCPU; returns the new index.
+  uint32_t NextVcpu() {
+    SwitchVcpu((current_vcpu_ + 1) % num_vcpus());
+    return current_vcpu_;
+  }
 
   // --- Tracing (E17) --------------------------------------------------------
 
@@ -105,6 +129,72 @@ class Machine {
   // Advances events until `pred()` is true; kTimedOut after `timeout_cycles`.
   ukvm::Err WaitUntil(const std::function<bool()>& pred, uint64_t timeout_cycles);
 
+  // --- TLB shootdown (E18) --------------------------------------------------
+  //
+  // Multi-vCPU TLB coherence: when a mapping is revoked (or a whole space
+  // dies), every other vCPU may hold stale entries, so the initiator sends
+  // IPIs and spins until all targets flushed and acked. With one vCPU the
+  // protocol charges nothing at all, keeping single-vCPU experiments
+  // byte-identical; the caller's existing local flush charges still apply.
+
+  struct ShootdownStats {
+    uint64_t requests = 0;
+    uint64_t full_flushes = 0;     // whole-space (death) requests
+    uint64_t pages_requested = 0;  // page-granular vpns across all requests
+    uint64_t ipis_sent = 0;
+    uint64_t remote_acks = 0;
+  };
+
+  // Starts a shootdown round for `vpns` of `space` (empty span = flush the
+  // space's every entry): invalidates locally, posts kTlbShootdown IPIs to
+  // every other vCPU and charges the APIC sends to the current domain.
+  // Returns a request id for WaitTlbShootdown. `space` is captured by salt
+  // and pointer identity only — never dereferenced after this call — so
+  // requests stay valid across the space's destruction.
+  uint64_t BeginTlbShootdown(const PageTable* space, std::span<const Vaddr> vpns,
+                             bool space_dying);
+
+  // Delivers any pending shootdown IPIs at `vcpu`: flushes the requested
+  // entries from its TLB, attributes the handler cost to whatever that vCPU
+  // is running (concurrently — the clock does not advance) and acks.
+  void DeliverShootdownIpis(uint32_t vcpu);
+
+  // Initiator side: delivers outstanding IPIs for `id` on their targets and
+  // charges the spin-wait (the slowest target's handler cost) to the
+  // current domain. No-op for unknown/already-completed ids.
+  void WaitTlbShootdown(uint64_t id);
+
+  bool ShootdownComplete(uint64_t id) const;
+
+  // Begin + Wait. The common synchronous case.
+  uint64_t TlbShootdown(const PageTable* space, std::span<const Vaddr> vpns,
+                        bool space_dying = false);
+
+  // Full address-space death: records the space in the dead-space registry
+  // (the auditor flags any TLB entry still attributable to it), runs a
+  // whole-space shootdown round, and releases the space's salt id to the
+  // recycling quarantine once every vCPU acked. Idempotent per space.
+  void ShootdownSpaceDeath(const PageTable* space);
+
+  // Dead-space registry: spaces whose death shootdown ran. Pointers are
+  // identity only — the PageTable object may be long gone.
+  struct DeadSpace {
+    const PageTable* space;
+    uint64_t salt;
+    uint64_t instance;  // PageTable::instance_id(): survives pointer AND salt reuse
+    bool flush_acked;
+  };
+  const std::vector<DeadSpace>& dead_spaces() const { return dead_spaces_; }
+  const DeadSpace* FindDeadSpaceBySalt(uint64_t salt) const;
+  bool IsDeadSpace(const PageTable* space) const;
+
+  // In-flight (not fully acked) shootdown requests, for the auditor.
+  size_t unacked_shootdowns() const;
+  void ForEachUnackedShootdown(
+      const std::function<void(uint64_t id, uint32_t initiator, uint32_t outstanding)>& fn) const;
+
+  const ShootdownStats& shootdown_stats() const { return shootdown_stats_; }
+
   // --- Traps and interrupts ------------------------------------------------
 
   void SetTrapHandler(TrapHandler* handler) { trap_handler_ = handler; }
@@ -150,14 +240,34 @@ class Machine {
     }
   };
 
+  struct ShootdownRequest {
+    const PageTable* space;  // identity only, never dereferenced
+    uint64_t salt;
+    std::vector<Vaddr> vpns;  // empty = whole-space flush
+    bool space_dying;
+    uint32_t initiator;
+    std::vector<bool> pending;  // per vCPU
+    uint32_t outstanding = 0;
+    uint64_t max_target_cost = 0;
+  };
+
   void AdvanceClockTo(uint64_t time);
+  // Attributes concurrent work done at `vcpu` (no clock advance).
+  void AccountToVcpu(uint32_t vcpu, ukvm::DomainId domain, uint64_t cycles);
 
   Platform platform_;
   PhysicalMemory memory_;
   InterruptController irq_controller_;
-  Cpu cpu_;
+  IpiController ipis_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  uint32_t current_vcpu_ = 0;
   ukvm::CrossingLedger ledger_;
   ukvm::CpuAccounting accounting_;
+  std::vector<ukvm::CpuAccounting> vcpu_accounting_;
+  std::unordered_map<uint64_t, ShootdownRequest> shootdowns_;
+  uint64_t next_shootdown_id_ = 1;
+  std::vector<DeadSpace> dead_spaces_;
+  ShootdownStats shootdown_stats_;
   ukvm::Counters counters_;
   ukvm::Tracer tracer_;
   uint32_t trace_sink_id_ = 0;

@@ -4,10 +4,58 @@
 
 namespace hwsim {
 
+TlbSaltRegistry::State& TlbSaltRegistry::state() {
+  static State s;
+  return s;
+}
+
+uint64_t TlbSaltRegistry::Acquire() {
+  State& s = state();
+  if (!s.free.empty()) {
+    const uint64_t id = s.free.back();
+    s.free.pop_back();
+    ++s.reuses;
+    return id;
+  }
+  return s.next_id++;
+}
+
+void TlbSaltRegistry::Retire(uint64_t salt_id) {
+  State& s = state();
+  if (auto it = s.released.find(salt_id); it != s.released.end()) {
+    s.released.erase(it);
+    s.free.push_back(salt_id);
+    return;
+  }
+  s.retired.insert(salt_id);
+}
+
+void TlbSaltRegistry::Release(uint64_t salt_id) {
+  State& s = state();
+  if (auto it = s.retired.find(salt_id); it != s.retired.end()) {
+    s.retired.erase(it);
+    s.free.push_back(salt_id);
+    return;
+  }
+  s.released.insert(salt_id);
+}
+
+bool TlbSaltRegistry::IsQuarantined(uint64_t salt_id) {
+  return state().retired.contains(salt_id);
+}
+
+size_t TlbSaltRegistry::quarantined_count() { return state().retired.size(); }
+
+uint64_t TlbSaltRegistry::reuses() { return state().reuses; }
+
 PageTable::PageTable(uint32_t page_shift, uint32_t vaddr_bits)
-    : page_shift_(page_shift), vaddr_bits_(vaddr_bits), salt_id_(next_salt_id_++) {
+    : page_shift_(page_shift), vaddr_bits_(vaddr_bits), salt_id_(TlbSaltRegistry::Acquire()) {
+  static uint64_t next_instance_id = 0;
+  instance_id_ = ++next_instance_id;
   assert(vaddr_bits_ > page_shift_);
 }
+
+PageTable::~PageTable() { TlbSaltRegistry::Retire(salt_id_); }
 
 uint64_t PageTable::max_va() const {
   if (vaddr_bits_ >= 64) {

@@ -13,12 +13,43 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/error.h"
 #include "src/hw/memory.h"
 
 namespace hwsim {
+
+// Issues the TLB salt identities page tables carry (upper 32 key bits).
+// Recycling is double-gated: an id returns to the free pool only after the
+// table is destroyed (Retire) AND the machine's shootdown protocol reports
+// every vCPU acknowledged the space's death flush (Release). Until both
+// happen the id is quarantined, so a new table can never alias TLB keys
+// with entries of a dead space that some vCPU might still hold.
+class TlbSaltRegistry {
+ public:
+  static uint64_t Acquire();
+  // The table carrying `salt_id` was destroyed.
+  static void Retire(uint64_t salt_id);
+  // Every vCPU acked the death shootdown for the space carrying `salt_id`.
+  static void Release(uint64_t salt_id);
+
+  // Retired without a completed death shootdown: not reusable.
+  static bool IsQuarantined(uint64_t salt_id);
+  static size_t quarantined_count();
+  static uint64_t reuses();
+
+ private:
+  struct State {
+    uint64_t next_id = 1;  // 0 stays the untagged salt
+    std::vector<uint64_t> free;
+    std::unordered_set<uint64_t> retired;   // destroyed, awaiting Release
+    std::unordered_set<uint64_t> released;  // acked, table still alive
+    uint64_t reuses = 0;
+  };
+  static State& state();
+};
 
 // One page-table entry.
 struct Pte {
@@ -46,6 +77,10 @@ struct Translation {
 class PageTable {
  public:
   PageTable(uint32_t page_shift, uint32_t vaddr_bits);
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
 
   // Installs a mapping, overwriting any existing one at `va`.
   ukvm::Err Map(Vaddr va, Frame frame, PtePerms perms);
@@ -79,11 +114,18 @@ class PageTable {
   uint64_t max_va() const;
 
   // The TLB salt entries of this table carry when it is active as a tagged
-  // or small space: a monotonically issued identity in the upper 32 bits
-  // (vpns stay below them). Issued once at construction and never reused,
-  // so two live tables — or a dead table and a new one reallocated at the
-  // same address — can never alias, which a pointer hash cannot promise.
+  // or small space: an identity in the upper 32 bits (vpns stay below
+  // them) issued by TlbSaltRegistry at construction. Two live tables — or
+  // a dead table and a new one reallocated at the same address — can never
+  // alias, which a pointer hash cannot promise; recycling of dead ids is
+  // quarantined behind the shootdown-ack gate (see TlbSaltRegistry).
   uint64_t tlb_salt() const { return salt_id_ << 32; }
+
+  // Process-unique, never-recycled construction number. Salt ids leave
+  // quarantine once a death shootdown fully acks, and the allocator can
+  // hand a new table the old one's address, so across time both can alias;
+  // this is the identity that cannot (used by the dead-space registry).
+  uint64_t instance_id() const { return instance_id_; }
 
   Vaddr VpnOf(Vaddr va) const { return va >> page_shift_; }
   Vaddr PageBase(Vaddr va) const { return va & ~(page_size() - 1); }
@@ -100,11 +142,10 @@ class PageTable {
 
   bool VaInRange(Vaddr va) const { return va < max_va(); }
 
-  inline static uint64_t next_salt_id_ = 1;  // 0 stays the untagged salt
-
   uint32_t page_shift_;
   uint32_t vaddr_bits_;
   uint64_t salt_id_ = 0;
+  uint64_t instance_id_ = 0;
   uint64_t mapped_pages_ = 0;
   std::unordered_map<uint64_t, std::unique_ptr<LeafTable>> directory_;
   std::function<void(AuditOp, Vaddr, const Pte&)> audit_hook_;

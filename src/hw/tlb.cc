@@ -29,10 +29,22 @@ void Tlb::Insert(Vaddr vpn, Frame frame, bool writable, bool user) {
     }
     index_[vpn] = slot;
   }
-  slots_[slot] = TlbEntry{vpn, frame, writable, user, true};
+  slots_[slot] = TlbEntry{vpn, frame, writable, user, true, ++insert_seq_};
   if (insert_hook_) {
     insert_hook_(slots_[slot]);
   }
+}
+
+uint32_t Tlb::FlushIf(const std::function<bool(const TlbEntry&)>& pred) {
+  uint32_t flushed = 0;
+  for (TlbEntry& entry : slots_) {
+    if (entry.valid && pred(entry)) {
+      index_.erase(entry.vpn);
+      entry.valid = false;
+      ++flushed;
+    }
+  }
+  return flushed;
 }
 
 std::optional<TlbEntry> Tlb::Probe(Vaddr vpn) const {
@@ -46,6 +58,15 @@ std::optional<TlbEntry> Tlb::Probe(Vaddr vpn) const {
 void Tlb::ForEachValid(const std::function<void(const TlbEntry&)>& fn) const {
   for (const TlbEntry& entry : slots_) {
     if (entry.valid) {
+      fn(entry);
+    }
+  }
+}
+
+void Tlb::ForEachValidSince(uint64_t after,
+                            const std::function<void(const TlbEntry&)>& fn) const {
+  for (const TlbEntry& entry : slots_) {
+    if (entry.valid && entry.stamp > after) {
       fn(entry);
     }
   }

@@ -25,6 +25,9 @@ struct TlbEntry {
   bool writable = false;
   bool user = false;
   bool valid = false;
+  // Monotonic insertion stamp (per TLB); lets the auditor's incremental
+  // coherence sweep visit only entries inserted since its last checkpoint.
+  uint64_t stamp = 0;
 };
 
 class Tlb {
@@ -39,8 +42,14 @@ class Tlb {
   // Side-effect-free lookup for auditors: no hit/miss accounting, no cost.
   std::optional<TlbEntry> Probe(Vaddr vpn) const;
 
+  // Invalidates every valid entry matching `pred`; returns how many.
+  uint32_t FlushIf(const std::function<bool(const TlbEntry&)>& pred);
+
   // Visits every valid entry (keys as inserted, i.e. salted vpns).
   void ForEachValid(const std::function<void(const TlbEntry&)>& fn) const;
+
+  // Visits every valid entry inserted after stamp `after` (exclusive).
+  void ForEachValidSince(uint64_t after, const std::function<void(const TlbEntry&)>& fn) const;
 
   // Observer called after each Insert with the entry as stored. Installed
   // by the invariant auditor; pass nullptr to detach.
@@ -49,6 +58,8 @@ class Tlb {
   }
 
   uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  // Stamp of the most recent insert; entries carry stamps in (0, insert_seq].
+  uint64_t insert_seq() const { return insert_seq_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t flushes() const { return flushes_; }
@@ -58,6 +69,7 @@ class Tlb {
   std::vector<TlbEntry> slots_;
   std::unordered_map<Vaddr, uint32_t> index_;  // vpn -> slot
   uint32_t next_victim_ = 0;                   // FIFO hand
+  uint64_t insert_seq_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t flushes_ = 0;

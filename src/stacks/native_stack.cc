@@ -5,7 +5,7 @@
 namespace ustack {
 
 NativeStack::NativeStack(Config config)
-    : machine_(config.platform, config.memory_bytes),
+    : machine_(config.platform, config.memory_bytes, config.num_vcpus),
       nic_(machine_, ukvm::IrqLine(kNicIrq), config.nic),
       disk_(machine_, ukvm::IrqLine(kDiskIrq), config.disk) {
   if (config.trace.enabled) {

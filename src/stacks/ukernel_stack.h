@@ -31,6 +31,7 @@ class UkernelStack {
   struct Config {
     hwsim::Platform platform = hwsim::MakeX86Platform();
     uint64_t memory_bytes = 64ull * 1024 * 1024;
+    uint32_t num_vcpus = 1;  // >1 arms the TLB shootdown protocol (E18)
     uint32_t num_guests = 1;
     uint64_t slice_blocks = 8192;  // per-client virtual-disk size
     hwsim::Nic::Config nic;

@@ -34,6 +34,7 @@ class VmmStack {
   struct Config {
     hwsim::Platform platform = hwsim::MakeX86Platform();
     uint64_t memory_bytes = 64ull * 1024 * 1024;
+    uint32_t num_vcpus = 1;  // >1 arms the TLB shootdown protocol (E18)
     uint32_t num_guests = 1;
     uint64_t dom0_pages = 2048;
     uint64_t guest_pages = 1024;

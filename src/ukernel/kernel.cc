@@ -77,6 +77,10 @@ Err Kernel::DestroyTask(DomainId task) {
   // delegated onward, which vanish with it (the microkernel half of the
   // liability-inversion experiment E5).
   mapdb_.RemoveAllOf(task, [this](DomainId owner, hwsim::Vaddr vpn) { RevokePte(owner, vpn); });
+  FlushShootdowns();
+  // The space itself dies: run the full shootdown protocol so every vCPU
+  // drops its entries, then quarantine the TLB salt until all acks are in.
+  machine_.ShootdownSpaceDeath(&t->space);
   // Drop IRQ routes to its threads.
   for (auto it = irq_routes_.begin(); it != irq_routes_.end();) {
     Tcb* tcb = FindThread(it->second);
@@ -354,8 +358,10 @@ Err Kernel::ApplyMapItem(Task& from, Task& to, const MapItem& item) {
       from.space.Unmap(snd_va);
       machine_.Charge(machine_.costs().pte_write);
       // Salt-aware flush: on tagged-TLB platforms (and for small spaces)
-      // the granter's entries outlive address-space switches.
+      // the granter's entries outlive address-space switches. Remote vCPUs
+      // must drop it too before the receiver relies on exclusivity.
       machine_.cpu().InvalidatePage(&from.space, snd_vpn);
+      machine_.TlbShootdown(&from.space, {&snd_vpn, 1});
     } else {
       mapdb_.AddChild(node, to.id, rcv_vpn, frame);
     }
@@ -549,6 +555,29 @@ void Kernel::RevokePte(DomainId task, hwsim::Vaddr vpn) {
   // Salt-aware flush: tagged-TLB entries and small-space entries survive
   // address-space switches, so the current-space check alone is not enough.
   machine_.cpu().InvalidatePage(&t->space, vpn);
+  pending_shootdown_.emplace_back(&t->space, vpn);
+}
+
+void Kernel::FlushShootdowns() {
+  if (pending_shootdown_.empty()) {
+    return;
+  }
+  // Group queued revocations by space (first-seen order, so charging stays
+  // deterministic) and run one IPI round per space.
+  std::vector<std::pair<const hwsim::PageTable*, std::vector<hwsim::Vaddr>>> groups;
+  for (const auto& [space, vpn] : pending_shootdown_) {
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [space = space](const auto& g) { return g.first == space; });
+    if (it == groups.end()) {
+      groups.emplace_back(space, std::vector<hwsim::Vaddr>{vpn});
+    } else {
+      it->second.push_back(vpn);
+    }
+  }
+  pending_shootdown_.clear();
+  for (const auto& [space, vpns] : groups) {
+    machine_.TlbShootdown(space, vpns);
+  }
 }
 
 Err Kernel::Unmap(DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_self) {
@@ -572,6 +601,7 @@ Err Kernel::Unmap(DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_s
                          [this](DomainId owner, hwsim::Vaddr v) { RevokePte(owner, v); });
   }
   machine_.Charge(machine_.costs().tlb_shootdown);
+  FlushShootdowns();
   machine_.ledger().Record(mech_.unmap, machine_.cpu().current_domain(), task,
                            machine_.Now() - t0, uint64_t{pages} * page);
   if (current_thread_.valid()) {

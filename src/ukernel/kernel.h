@@ -206,8 +206,15 @@ class Kernel : public hwsim::TrapHandler {
   // Invokes `dest`'s handler in its own domain and returns the reply.
   IpcMessage InvokeHandler(Tcb& dest, ukvm::ThreadId sender, IpcMessage&& delivered);
 
-  // Clears a PTE, with TLB maintenance costs.
+  // Clears a PTE, with TLB maintenance costs. Queues the page for the next
+  // FlushShootdowns round so remote vCPUs drop it too.
   void RevokePte(ukvm::DomainId task, hwsim::Vaddr vpn);
+
+  // Kernel-mediated unmap IPIs: one machine shootdown round per space
+  // covering every revocation queued since the last flush. Unmap and
+  // DestroyTask call this once per operation, amortising the IPI cost over
+  // the whole revocation batch.
+  void FlushShootdowns();
 
   ukvm::Err ResolveFault(ukvm::ThreadId thread, hwsim::Vaddr va, bool write);
 
@@ -220,6 +227,10 @@ class Kernel : public hwsim::TrapHandler {
   std::unordered_map<ukvm::IrqLine, ukvm::ThreadId> irq_routes_;
   MapDb mapdb_;
   RunQueue run_queue_;
+
+  // Revocations awaiting their cross-vCPU shootdown round (space is
+  // pointer identity only — flushed before any space can die).
+  std::vector<std::pair<const hwsim::PageTable*, hwsim::Vaddr>> pending_shootdown_;
 
   uint32_t next_task_id_ = 1;  // 0 is the kernel itself
   uint32_t next_thread_id_ = 1;

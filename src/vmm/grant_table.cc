@@ -138,6 +138,9 @@ Err GrantTable::UnmapGrant(DomainId grantee, DomainId granter, uint32_t ref, hws
   // survive address-space switches, so guarding on the current space would
   // leave a stale translation behind.
   machine_.cpu().InvalidatePage(&e->space, e->space.VpnOf(va));
+  // Other vCPUs may cache the revoked translation as well (free at 1 vCPU).
+  const hwsim::Vaddr unmapped_vpn = e->space.VpnOf(va);
+  machine_.TlbShootdown(&e->space, {&unmapped_vpn, 1});
   --entry->active_mappings;
   machine_.ledger().Record(mech_unmap_, grantee, granter, 0, 0);
   if (audit_hook_) {

@@ -40,6 +40,8 @@ const char* HypercallName(HypercallNr nr) {
       return "domctl";
     case HypercallNr::kMulticall:
       return "multicall";
+    case HypercallNr::kTlbShootdown:
+      return "tlb_shootdown";
   }
   return "?";
 }
@@ -123,6 +125,10 @@ Err Hypervisor::DestroyDomain(DomainId id) {
   }
   machine_.ChargeTo(kVmmDomain, machine_.costs().kernel_op);
   dom->alive = false;
+  // Address-space death: every vCPU must drop the domain's translations
+  // before its frames are freed and recycled. Registers the space in the
+  // machine's dead-space registry and quarantine-releases its TLB salt.
+  machine_.ShootdownSpaceDeath(&dom->space);
   evtchn_->CloseAllOf(id);
   gnttab_->DropAllOf(id);
   for (auto it = irq_bindings_.begin(); it != irq_bindings_.end();) {
@@ -413,6 +419,26 @@ Result<hwsim::Frame> Hypervisor::HcGrantTransfer(DomainId dom, Pfn pfn, DomainId
   return frame;
 }
 
+Err Hypervisor::HcTlbShootdown(DomainId dom, std::span<const hwsim::Vaddr> vas) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kTlbShootdown);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  machine_.Charge(machine_.costs().kernel_op);  // validate the batch
+  std::vector<hwsim::Vaddr> vpns;
+  vpns.reserve(vas.size());
+  for (const hwsim::Vaddr va : vas) {
+    vpns.push_back(d->space.VpnOf(va));
+  }
+  // Local invalidation is priced like the guest's own invlpg loop; the
+  // machine protocol adds the IPI round (free on a single-vCPU machine).
+  machine_.Charge(vpns.empty() ? machine_.costs().tlb_flush_full
+                               : machine_.costs().tlb_flush_page * vpns.size());
+  machine_.TlbShootdown(&d->space, vpns);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
 MulticallOutcome Hypervisor::HcMulticall(DomainId dom, std::span<const MulticallOp> ops) {
   MulticallOutcome out;
   Domain* d = HypercallProlog(dom, HypercallNr::kMulticall);
@@ -424,6 +450,8 @@ MulticallOutcome Hypervisor::HcMulticall(DomainId dom, std::span<const Multicall
   multicall_subops_ += ops.size();
   // Transfers in the batch share one TLB shootdown, charged at EndBatch.
   gnttab_->BeginBatch();
+  // kTlbShootdown sub-ops likewise coalesce into one deferred IPI round.
+  std::vector<hwsim::Vaddr> shootdown_vpns;
   for (const MulticallOp& op : ops) {
     MulticallResult r;
     switch (op.kind) {
@@ -468,6 +496,16 @@ MulticallOutcome Hypervisor::HcMulticall(DomainId dom, std::span<const Multicall
         }
         break;
       }
+      case MulticallOp::Kind::kTlbShootdown: {
+        // Queue `len` pages starting at va; the flush itself (local invlpg
+        // loop + one shared IPI round) happens after the batch completes.
+        machine_.Charge(machine_.costs().kernel_op);
+        const uint32_t pages = op.len == 0 ? 1 : op.len;
+        for (uint32_t i = 0; i < pages; ++i) {
+          shootdown_vpns.push_back(d->space.VpnOf(op.va) + i);
+        }
+        break;
+      }
     }
     out.results.push_back(r);
     if (r.status != Err::kNone) {
@@ -479,6 +517,10 @@ MulticallOutcome Hypervisor::HcMulticall(DomainId dom, std::span<const Multicall
     ++out.completed;
   }
   gnttab_->EndBatch();
+  if (!shootdown_vpns.empty()) {
+    machine_.Charge(machine_.costs().tlb_flush_page * shootdown_vpns.size());
+    machine_.TlbShootdown(&d->space, shootdown_vpns);
+  }
   HypercallEpilog(d);
   return out;
 }

@@ -48,6 +48,7 @@ struct MulticallOp {
     kGrantCopy,          // peer=granter, ref, grant_off, pfn, local_off, len, flag=to_grant
     kGrantTransfer,      // peer=granter, ref, pfn           -> value=received frame
     kEvtchnSend,         // port
+    kTlbShootdown,       // va, len=pages: queue for one deferred flush round
   };
   Kind kind = Kind::kEvtchnSend;
   ukvm::DomainId peer = ukvm::DomainId::Invalid();
@@ -91,8 +92,9 @@ enum class HypercallNr : uint32_t {
   kPhysdevOp = 10,      // interrupt-controller virtualisation
   kDomctl = 11,         // domain lifecycle (privileged)
   kMulticall = 12,      // batch of sub-hypercalls, one entry/exit
+  kTlbShootdown = 13,   // multi-vCPU TLB flush of the caller's own pages
 };
-inline constexpr uint32_t kHypercallCount = 13;
+inline constexpr uint32_t kHypercallCount = 14;
 
 const char* HypercallName(HypercallNr nr);
 
@@ -171,6 +173,12 @@ class Hypervisor : public hwsim::TrapHandler {
                         bool to_grant);
   ukvm::Result<hwsim::Frame> HcGrantTransfer(ukvm::DomainId dom, Pfn pfn, ukvm::DomainId granter,
                                              uint32_t ref);
+
+  // Flushes `vas` (page-aligned or not; one page each) of the caller's own
+  // address space from every vCPU's TLB: one hypercall, one IPI round for
+  // the whole span. Guests call this after batching their own PTE updates
+  // — the multi-vCPU analogue of Xen's UVMF_TLB_FLUSH|ALL flags.
+  ukvm::Err HcTlbShootdown(ukvm::DomainId dom, std::span<const hwsim::Vaddr> vas);
 
   // Executes `ops` as one hypercall: a single entry/exit pair (one
   // hypercall_entry/return charge, one ledger call/reply pair) amortised

@@ -1,5 +1,7 @@
 #include "src/vmm/pt_virt.h"
 
+#include <vector>
+
 namespace uvmm {
 
 using ukvm::Err;
@@ -29,6 +31,9 @@ Err PtVirt::Apply(Domain& dom, std::span<const MmuUpdate> updates) {
       }
     }
   }
+  // Revoked or downgraded translations must leave every vCPU's TLB, not
+  // just the local one; the whole batch shares a single shootdown round.
+  std::vector<hwsim::Vaddr> revoked_vpns;
   for (const MmuUpdate& u : updates) {
     machine_.Charge(machine_.costs().pte_write);
     if (u.present) {
@@ -37,6 +42,7 @@ Err PtVirt::Apply(Domain& dom, std::span<const MmuUpdate> updates) {
       const hwsim::Pte* old = dom.space.Walk(u.va);
       if (old != nullptr && old->present) {
         machine_.cpu().InvalidatePage(&dom.space, dom.space.VpnOf(u.va));
+        revoked_vpns.push_back(dom.space.VpnOf(u.va));
       }
       dom.space.Map(u.va, *dom.MfnOf(u.pfn), hwsim::PtePerms{u.writable, /*user=*/true});
     } else {
@@ -45,8 +51,12 @@ Err PtVirt::Apply(Domain& dom, std::span<const MmuUpdate> updates) {
       // switches, so the unmap must invalidate even when another space is
       // currently loaded.
       machine_.cpu().InvalidatePage(&dom.space, dom.space.VpnOf(u.va));
+      revoked_vpns.push_back(dom.space.VpnOf(u.va));
     }
     ++updates_applied_;
+  }
+  if (!revoked_vpns.empty()) {
+    machine_.TlbShootdown(&dom.space, revoked_vpns);
   }
   machine_.ledger().Record(mech_update_, dom.id, dom.id, 0,
                            updates.size() * machine_.memory().page_size());

@@ -108,6 +108,111 @@ TEST(CheckMutation, TlbFrameMismatchFlagged) {
   EXPECT_GE(CountInvariant(f.auditor, Invariant::kTlbMismatch), 1u);
 }
 
+// --- E18: shootdown discipline ---------------------------------------------------
+
+TEST(CheckMutation, StaleTlbAfterDestroyFlagged) {
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 8ull * 1024 * 1024, 2);
+  Auditor::Options opts;
+  opts.check_tlb_inserts = false;  // we plant the entry by hand below
+  Auditor auditor(machine, opts);
+
+  uint64_t salt = 0;
+  {
+    hwsim::PageTable space(machine.platform().page_shift, machine.platform().vaddr_bits);
+    salt = space.tlb_salt();
+    machine.ShootdownSpaceDeath(&space);
+  }
+  auditor.Checkpoint("after-death");
+  ASSERT_EQ(auditor.violation_count(), 0u);
+
+  // Corruption: a vCPU that ignored the death shootdown still caches a
+  // translation under the dead space's salt.
+  machine.cpu(0).tlb().Insert(0x123 ^ salt, 7, false, false);
+  auditor.Checkpoint("mutation");
+  EXPECT_GE(CountInvariant(auditor, Invariant::kStaleTlbAfterDestroy), 1u);
+}
+
+TEST(CheckMutation, UnackedShootdownFlagged) {
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 8ull * 1024 * 1024, 2);
+  Auditor auditor(machine);
+  hwsim::PageTable space(machine.platform().page_shift, machine.platform().vaddr_bits);
+  machine.cpu().SetDomain(DomainId(1));
+
+  // Corruption: an initiator that never waits for its acks.
+  const hwsim::Vaddr vpn = 5;
+  const uint64_t id = machine.BeginTlbShootdown(&space, {&vpn, 1}, false);
+  auditor.Checkpoint("mutation");
+  EXPECT_GE(CountInvariant(auditor, Invariant::kUnackedShootdown), 1u);
+
+  // Completing the protocol clears the condition.
+  machine.WaitTlbShootdown(id);
+  auditor.ClearViolations();
+  auditor.Checkpoint("completed");
+  EXPECT_EQ(CountInvariant(auditor, Invariant::kUnackedShootdown), 0u);
+}
+
+TEST(CheckRegression, UnattributableTlbEntrySkippedExplicitly) {
+  // A TLB entry whose space vanished without a death shootdown has no live
+  // view and no dead-space record: the auditor cannot dereference anything,
+  // so it must land on the explicit skip counter — not flag, not vanish.
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 8ull * 1024 * 1024);
+  Auditor::Options opts;
+  opts.check_tlb_inserts = false;
+  Auditor auditor(machine, opts);
+
+  uint64_t salt = 0;
+  {
+    hwsim::PageTable space(machine.platform().page_shift, machine.platform().vaddr_bits);
+    salt = space.tlb_salt();
+  }  // destroyed, no ShootdownSpaceDeath: salt quarantined, no dead record
+  machine.cpu().tlb().Insert(0x42 ^ salt, 7, false, false);
+  const uint64_t skipped_before = auditor.invariants().tlb_entries_skipped();
+  auditor.Checkpoint("unattributable");
+  EXPECT_EQ(auditor.violation_count(), 0u);
+  EXPECT_GE(auditor.invariants().tlb_entries_skipped(), skipped_before + 1);
+}
+
+TEST(CheckIncremental, CheckpointAuditsOnlyNewEntries) {
+  // Same history under a full-sweep auditor and an incremental one: the
+  // second checkpoint re-audits everything under full sweeps but only the
+  // one new entry under incremental ones.
+  for (const bool incremental : {false, true}) {
+    hwsim::Machine machine(hwsim::MakeX86Platform(), 8ull * 1024 * 1024);
+    // The auditor detaches its space hooks on destruction, so the space
+    // must outlive it (same member order as the stacks).
+    hwsim::PageTable space(machine.platform().page_shift, machine.platform().vaddr_bits);
+    Auditor::Options opts;
+    opts.incremental_tlb = incremental;
+    Auditor auditor(machine, opts);
+    auditor.AttachSpace(DomainId{7}, space);
+    machine.cpu().SetDomain(DomainId{7});
+    machine.cpu().SwitchAddressSpace(&space);
+
+    for (hwsim::Vaddr va = 0x1000'0000; va < 0x1000'3000; va += 0x1000) {
+      auto frame = machine.memory().AllocFrame(DomainId{7});
+      ASSERT_TRUE(frame.ok());
+      ASSERT_EQ(space.Map(va, *frame, {true, true}), Err::kNone);
+      ASSERT_TRUE(machine.cpu().Translate(va, false, false).ok());
+    }
+    auditor.Checkpoint("first");
+    const uint64_t after_first = auditor.invariants().tlb_entries_audited();
+
+    auto frame = machine.memory().AllocFrame(DomainId{7});
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(space.Map(0x2000'0000, *frame, {true, true}), Err::kNone);
+    ASSERT_TRUE(machine.cpu().Translate(0x2000'0000, false, false).ok());
+    auditor.Checkpoint("second");
+    const uint64_t second_sweep = auditor.invariants().tlb_entries_audited() - after_first;
+
+    EXPECT_EQ(auditor.violation_count(), 0u);
+    if (incremental) {
+      EXPECT_EQ(second_sweep, 1u);  // just the new entry
+    } else {
+      EXPECT_EQ(second_sweep, 4u);  // the whole TLB again
+    }
+  }
+}
+
 // --- Frame ownership and privilege ---------------------------------------------
 
 TEST(CheckMutation, MappingFreeFrameFlagged) {

@@ -1,0 +1,569 @@
+// E18 cross-stack lifecycle fuzzer.
+//
+// Seeded, fully deterministic map/unmap/grant/transfer/destroy/shootdown
+// sequences against all three stacks' memory paths, with the invariant
+// auditor attached throughout. Two properties per seed:
+//
+//  1. auditor-clean: no isolation invariant fires at any checkpoint — the
+//     shootdown protocol really does keep every vCPU's TLB coherent with
+//     the page tables through arbitrary interleavings of revocation and
+//     address-space death;
+//  2. byte-identical determinism: two runs of the same seed produce the
+//     same digest (clock, per-domain cycles, per-vCPU TLB traffic,
+//     shootdown counters). Nondeterminism here would invalidate every
+//     cycle number the experiments report.
+//
+// ctest runs a fixed bank of seeds (kDefaultSeeds per stack); set
+// UKVM_FUZZ_SEEDS=<n> for a longer sweep (scripts/check.sh does).
+//
+// The digest deliberately excludes absolute TLB salt ids and the
+// TlbSaltRegistry counters: the registry is process-global, so a second
+// run inside the same test binary legitimately sees different ids.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/auditor.h"
+#include "src/check/invariants.h"
+#include "src/hw/machine.h"
+#include "src/hw/platform.h"
+#include "src/ukernel/ipc.h"
+#include "src/ukernel/kernel.h"
+#include "src/ukernel/mapdb.h"
+#include "src/ukernel/task.h"
+#include "src/vmm/domain.h"
+#include "src/vmm/hypervisor.h"
+#include "src/vmm/pt_virt.h"
+
+namespace {
+
+using ucheck::Auditor;
+using ucheck::Invariant;
+using ukvm::DomainId;
+using ukvm::Err;
+using ukvm::ThreadId;
+
+// --- Deterministic PRNG and digest ----------------------------------------------
+
+struct SplitMix64 {
+  uint64_t state;
+  explicit SplitMix64(uint64_t seed) : state(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  bool Chance(uint32_t percent) { return Below(100) < percent; }
+};
+
+struct Digest {
+  uint64_t value = 0x243f6a8885a308d3ull;
+  void Mix(uint64_t v) { value ^= v + 0x9e3779b97f4a7c15ull + (value << 6) + (value >> 2); }
+};
+
+struct FuzzResult {
+  uint64_t digest = 0;
+  size_t violations = 0;
+  std::vector<std::string> reports;
+  uint64_t tlb_audited = 0;
+  uint64_t tlb_skipped = 0;
+  std::map<Invariant, size_t> by_rule;
+};
+
+void FinishDigest(hwsim::Machine& machine, Auditor& auditor, FuzzResult& out) {
+  auditor.Checkpoint("fuzz-final");
+  Digest d;
+  d.Mix(machine.Now());
+  for (const auto& [dom, cycles] : machine.accounting().ByDomain()) {
+    d.Mix(dom.value());
+    d.Mix(cycles);
+  }
+  for (uint32_t v = 0; v < machine.num_vcpus(); ++v) {
+    const hwsim::Tlb& tlb = machine.cpu(v).tlb();
+    d.Mix(tlb.hits());
+    d.Mix(tlb.misses());
+    d.Mix(tlb.flushes());
+    d.Mix(tlb.insert_seq());
+    for (const auto& [dom, cycles] : machine.vcpu_accounting(v).ByDomain()) {
+      d.Mix(dom.value());
+      d.Mix(cycles);
+    }
+  }
+  const auto& ss = machine.shootdown_stats();
+  d.Mix(ss.requests);
+  d.Mix(ss.full_flushes);
+  d.Mix(ss.pages_requested);
+  d.Mix(ss.ipis_sent);
+  d.Mix(ss.remote_acks);
+  d.Mix(auditor.violation_count());
+  out.digest = d.value;
+  out.violations = auditor.violation_count();
+  out.reports = auditor.ViolationReports();
+  out.tlb_audited = auditor.invariants().tlb_entries_audited();
+  out.tlb_skipped = auditor.invariants().tlb_entries_skipped();
+  for (const auto& v : auditor.invariants().violations()) {
+    ++out.by_rule[v.rule];
+  }
+}
+
+uint32_t VcpusForSeed(uint64_t seed) { return 1 + static_cast<uint32_t>(seed % 4); }
+
+// Alternate an untagged-TLB platform with a tagged one so both the salt-0
+// and the salted attribution/flush paths see fuzz traffic.
+hwsim::Platform PlatformForSeed(uint64_t seed) {
+  return (seed % 2) == 0 ? hwsim::MakeX86Platform() : hwsim::MakeItaniumPlatform();
+}
+
+// --- Native: raw spaces straight on the machine ----------------------------------
+
+FuzzResult RunNativeFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+  SplitMix64 rng(seed * 2 + 1);
+  hwsim::Machine machine(PlatformForSeed(seed), 16ull * 1024 * 1024, VcpusForSeed(seed));
+
+  // Declared before the auditor: it detaches its space hooks on destruction,
+  // so every table still attached at scope exit must outlive it.
+  struct Space {
+    std::unique_ptr<hwsim::PageTable> table;
+    DomainId domain;
+    std::vector<hwsim::Vaddr> mapped;  // page-aligned VAs with live PTEs
+    hwsim::Vaddr next_va;
+  };
+  std::vector<Space> spaces;
+  uint32_t next_dom = 1;
+
+  Auditor::Options opts;
+  opts.incremental_tlb = incremental_tlb;
+  Auditor auditor(machine, opts);
+  const uint64_t page = machine.memory().page_size();
+
+  auto make_space = [&] {
+    Space s;
+    s.table = std::make_unique<hwsim::PageTable>(machine.platform().page_shift,
+                                                 machine.platform().vaddr_bits);
+    s.domain = DomainId{next_dom++};
+    s.next_va = 0x0100'0000;
+    auditor.AttachSpace(s.domain, *s.table);
+    spaces.push_back(std::move(s));
+  };
+  make_space();
+  make_space();
+
+  for (uint32_t step = 0; step < steps; ++step) {
+    Space& s = spaces[rng.Below(spaces.size())];
+    machine.cpu().SetDomain(s.domain);
+    const uint64_t op = rng.Below(100);
+    if (op < 30) {  // map a fresh page
+      auto frame = machine.memory().AllocFrame(s.domain);
+      if (!frame.ok()) {
+        continue;
+      }
+      const hwsim::Vaddr va = s.next_va;
+      s.next_va += page;
+      EXPECT_EQ(s.table->Map(va, *frame, hwsim::PtePerms{rng.Chance(50), true}), Err::kNone)
+          << "seed " << seed;
+      machine.Charge(machine.costs().pte_write);
+      s.mapped.push_back(va);
+    } else if (op < 55 && !s.mapped.empty()) {  // touch: fill this vCPU's TLB
+      machine.cpu().SwitchAddressSpace(s.table.get());
+      (void)machine.cpu().Translate(s.mapped[rng.Below(s.mapped.size())], false, false);
+    } else if (op < 75 && !s.mapped.empty()) {  // revoke + cross-vCPU shootdown
+      const size_t pick = rng.Below(s.mapped.size());
+      const hwsim::Vaddr va = s.mapped[pick];
+      s.mapped.erase(s.mapped.begin() + static_cast<ptrdiff_t>(pick));
+      const hwsim::Pte* pte = s.table->Walk(va);
+      const hwsim::Frame frame = pte->frame;
+      EXPECT_EQ(s.table->Unmap(va), Err::kNone);
+      machine.Charge(machine.costs().pte_write);
+      const hwsim::Vaddr vpn = s.table->VpnOf(va);
+      machine.cpu().InvalidatePage(s.table.get(), vpn);
+      machine.TlbShootdown(s.table.get(), {&vpn, 1});
+      machine.memory().FreeFrame(frame);
+    } else if (op < 85) {  // migrate
+      machine.SwitchVcpu(static_cast<uint32_t>(rng.Below(machine.num_vcpus())));
+    } else if (op < 92 && spaces.size() < 6) {  // new address space
+      make_space();
+    } else if (spaces.size() > 1) {  // full address-space death
+      const size_t pick = rng.Below(spaces.size());
+      Space& victim = spaces[pick];
+      std::vector<hwsim::Frame> frames;
+      victim.table->ForEachMapping(
+          [&](hwsim::Vaddr, const hwsim::Pte& pte) { frames.push_back(pte.frame); });
+      machine.ShootdownSpaceDeath(victim.table.get());
+      auditor.DetachSpace(*victim.table);
+      for (uint32_t v = 0; v < machine.num_vcpus(); ++v) {
+        if (machine.cpu(v).address_space() == victim.table.get()) {
+          machine.cpu(v).SwitchAddressSpace(nullptr);
+        }
+      }
+      for (hwsim::Frame f : frames) {
+        machine.memory().FreeFrame(f);
+      }
+      spaces.erase(spaces.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    if (step % 64 == 63) {
+      auditor.Checkpoint("fuzz-periodic");
+    }
+  }
+
+  FuzzResult out;
+  FinishDigest(machine, auditor, out);
+  return out;
+}
+
+// --- Microkernel: tasks, IPC map/grant items, recursive unmap --------------------
+
+FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+  SplitMix64 rng(seed * 2 + 1);
+  hwsim::Machine machine(PlatformForSeed(seed), 16ull * 1024 * 1024, VcpusForSeed(seed));
+  ukern::Kernel kernel(machine);
+  Auditor::Options opts;
+  opts.incremental_tlb = incremental_tlb;
+  Auditor auditor(machine, opts);
+  auditor.AttachUkernel(kernel);
+
+  struct FuzzTask {
+    DomainId task;
+    ThreadId thread;
+    hwsim::Vaddr next_va;
+    std::vector<hwsim::Vaddr> roots;    // provisioned here; only die via our ops
+    std::vector<hwsim::Vaddr> derived;  // received via map items (may go stale)
+  };
+  std::vector<FuzzTask> tasks;
+  const uint64_t page = machine.memory().page_size();
+
+  auto make_task = [&]() -> bool {
+    auto task = kernel.CreateTask(ThreadId::Invalid());
+    if (!task.ok()) {
+      return false;
+    }
+    auto thread =
+        kernel.CreateThread(*task, 128, [](ThreadId, ukern::IpcMessage) { return ukern::IpcMessage{}; });
+    if (!thread.ok()) {
+      return false;
+    }
+    tasks.push_back(FuzzTask{*task, *thread, 0x0100'0000, {}, {}});
+    return true;
+  };
+  EXPECT_TRUE(make_task()) << "seed " << seed;  // the root task
+  EXPECT_TRUE(make_task()) << "seed " << seed;
+
+  auto provision = [&](FuzzTask& t) {
+    auto frame = machine.memory().AllocFrame(t.task);
+    if (!frame.ok()) {
+      return;
+    }
+    ukern::Task* kt = kernel.FindTask(t.task);
+    const hwsim::Vaddr va = t.next_va;
+    t.next_va += page;
+    EXPECT_EQ(kt->space.Map(va, *frame, hwsim::PtePerms{true, true}), Err::kNone);
+    kernel.mapdb().AddRoot(t.task, kt->space.VpnOf(va), *frame);
+    t.roots.push_back(va);
+  };
+
+  for (uint32_t step = 0; step < steps; ++step) {
+    FuzzTask& t = tasks[rng.Below(tasks.size())];
+    const uint64_t op = rng.Below(100);
+    if (op < 20) {  // provision a fresh root page
+      provision(t);
+    } else if (op < 45 && !t.roots.empty() && tasks.size() > 1) {  // delegate via IPC
+      FuzzTask& dst = tasks[rng.Below(tasks.size())];
+      if (dst.task == t.task) {
+        continue;
+      }
+      const size_t pick = rng.Below(t.roots.size());
+      const hwsim::Vaddr snd_va = t.roots[pick];
+      const hwsim::Vaddr rcv_va = dst.next_va;
+      dst.next_va += page;
+      const bool grant = rng.Chance(30);
+      ukern::IpcMessage msg;
+      msg.map_items.push_back(ukern::MapItem{snd_va, rcv_va, 1, rng.Chance(70), grant});
+      const ukern::IpcMessage reply = kernel.Call(t.thread, dst.thread, msg);
+      if (reply.status == Err::kNone) {
+        dst.derived.push_back(rcv_va);
+        if (grant) {
+          t.roots.erase(t.roots.begin() + static_cast<ptrdiff_t>(pick));
+          // The moved node is a root of dst now; dst may re-delegate it.
+          dst.roots.push_back(rcv_va);
+          dst.derived.pop_back();
+        }
+      }
+    } else if (op < 60 && !t.roots.empty()) {  // touch through the MMU
+      (void)kernel.TouchPage(t.thread, t.roots[rng.Below(t.roots.size())], rng.Chance(50));
+    } else if (op < 80) {  // recursive unmap (kernel-mediated IPIs)
+      std::vector<hwsim::Vaddr>& pool = (rng.Chance(50) || t.derived.empty()) ? t.roots : t.derived;
+      if (pool.empty()) {
+        continue;
+      }
+      const size_t pick = rng.Below(pool.size());
+      const hwsim::Vaddr va = pool[pick];
+      const bool include_self = rng.Chance(60);
+      (void)kernel.Unmap(t.task, va, 1, include_self);
+      if (include_self) {
+        pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    } else if (op < 88) {  // migrate
+      machine.SwitchVcpu(static_cast<uint32_t>(rng.Below(machine.num_vcpus())));
+    } else if (op < 94 && tasks.size() < 5) {
+      (void)make_task();
+    } else if (tasks.size() > 2) {  // task death (never the root task)
+      const size_t pick = 1 + rng.Below(tasks.size() - 1);
+      (void)kernel.DestroyTask(tasks[pick].task);
+      tasks.erase(tasks.begin() + static_cast<ptrdiff_t>(pick));
+      // Other tasks' derived lists may now name revoked pages; later ops on
+      // them fail benignly inside the kernel, which is part of the fuzz.
+    }
+    if (step % 64 == 63) {
+      auditor.Checkpoint("fuzz-periodic");
+    }
+  }
+
+  FuzzResult out;
+  FinishDigest(machine, auditor, out);
+  return out;
+}
+
+// --- VMM: domains, grants, transfers, paravirtual PT updates ---------------------
+
+FuzzResult RunVmmFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+  SplitMix64 rng(seed * 2 + 1);
+  hwsim::Machine machine(PlatformForSeed(seed), 32ull * 1024 * 1024, VcpusForSeed(seed));
+  uvmm::Hypervisor hv(machine);
+  Auditor::Options opts;
+  opts.incremental_tlb = incremental_tlb;
+  Auditor auditor(machine, opts);
+  auditor.AttachVmm(hv);
+
+  // Pfn partitions per domain (32 pages each): PT updates map pfns 0..7,
+  // access grants share 8..15, transfers flip 16..31 — so a transferred
+  // frame is never also reachable through a PTE or an active grant.
+  constexpr uvmm::Pfn kMmuPfns = 8;
+  constexpr uvmm::Pfn kGrantBase = 8, kGrantPfns = 8;
+  constexpr uvmm::Pfn kFlipBase = 16, kFlipPfns = 16;
+
+  struct GrantMap {
+    DomainId granter;
+    uint32_t ref;
+    hwsim::Vaddr va;
+  };
+  struct Dom {
+    DomainId id;
+    hwsim::Vaddr next_mmu_va = 0x0010'0000;
+    hwsim::Vaddr next_grant_va = 0xE000'0000;
+    std::vector<hwsim::Vaddr> mmu_mapped;
+    std::vector<GrantMap> grant_maps;  // this domain is the grantee
+  };
+  std::vector<Dom> doms;
+  uint32_t created = 0;
+  const uint64_t page = machine.memory().page_size();
+
+  auto make_dom = [&]() -> bool {
+    auto id = hv.CreateDomain("fuzz" + std::to_string(created), 32, /*privileged=*/created == 0);
+    ++created;
+    if (!id.ok()) {
+      return false;
+    }
+    Dom d;
+    d.id = *id;
+    doms.push_back(std::move(d));
+    return true;
+  };
+  EXPECT_TRUE(make_dom()) << "seed " << seed;
+  EXPECT_TRUE(make_dom()) << "seed " << seed;
+
+  auto drop_grants_with = [&](DomainId victim) {
+    // Unmap and end every active grant touching the victim, in both roles,
+    // before it dies — a granter death with live grantee PTEs is the E5
+    // liability defect, which this fuzzer is not probing for.
+    for (Dom& d : doms) {
+      for (size_t i = d.grant_maps.size(); i-- > 0;) {
+        const GrantMap gm = d.grant_maps[i];
+        if (gm.granter != victim && d.id != victim) {
+          continue;
+        }
+        (void)hv.HcGrantUnmap(d.id, gm.granter, gm.ref, gm.va);
+        (void)hv.HcGrantEnd(gm.granter, gm.ref);
+        d.grant_maps.erase(d.grant_maps.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+  };
+
+  for (uint32_t step = 0; step < steps; ++step) {
+    Dom& d = doms[rng.Below(doms.size())];
+    const uint64_t op = rng.Below(100);
+    if (op < 20) {  // mmu_update batch: map 1-3 fresh pages
+      std::vector<uvmm::MmuUpdate> updates;
+      const uint64_t n = 1 + rng.Below(3);
+      for (uint64_t i = 0; i < n; ++i) {
+        const hwsim::Vaddr va = d.next_mmu_va;
+        d.next_mmu_va += page;
+        updates.push_back(uvmm::MmuUpdate{va, static_cast<uvmm::Pfn>(rng.Below(kMmuPfns)), true,
+                                          rng.Chance(60)});
+      }
+      if (hv.HcMmuUpdate(d.id, updates) == Err::kNone) {
+        for (const auto& u : updates) {
+          d.mmu_mapped.push_back(u.va);
+        }
+      }
+    } else if (op < 35 && !d.mmu_mapped.empty()) {  // mmu_update unmap (batched shootdown)
+      const size_t pick = rng.Below(d.mmu_mapped.size());
+      const hwsim::Vaddr va = d.mmu_mapped[pick];
+      d.mmu_mapped.erase(d.mmu_mapped.begin() + static_cast<ptrdiff_t>(pick));
+      std::vector<uvmm::MmuUpdate> updates = {uvmm::MmuUpdate{va, 0, false, false}};
+      (void)hv.HcMmuUpdate(d.id, updates);
+    } else if (op < 48 && !d.mmu_mapped.empty()) {  // touch: fill this vCPU's TLB
+      uvmm::Domain* dom = hv.FindDomain(d.id);
+      machine.cpu().SetDomain(d.id);
+      machine.cpu().SwitchAddressSpace(&dom->space);
+      (void)machine.cpu().Translate(d.mmu_mapped[rng.Below(d.mmu_mapped.size())], false, false);
+    } else if (op < 58) {  // explicit guest-requested shootdown hypercall
+      std::vector<hwsim::Vaddr> vas;
+      if (!d.mmu_mapped.empty() && rng.Chance(80)) {
+        const uint64_t n = 1 + rng.Below(3);
+        for (uint64_t i = 0; i < n; ++i) {
+          vas.push_back(d.mmu_mapped[rng.Below(d.mmu_mapped.size())]);
+        }
+      }
+      if (rng.Chance(50)) {
+        (void)hv.HcTlbShootdown(d.id, vas);
+      } else {  // same flush, batched through a multicall
+        std::vector<uvmm::MulticallOp> ops;
+        for (hwsim::Vaddr va : vas) {
+          uvmm::MulticallOp op_td;
+          op_td.kind = uvmm::MulticallOp::Kind::kTlbShootdown;
+          op_td.va = va;
+          op_td.len = 1;
+          ops.push_back(op_td);
+        }
+        if (!ops.empty()) {
+          (void)hv.HcMulticall(d.id, ops);
+        }
+      }
+    } else if (op < 72 && doms.size() > 1) {  // grant access + map
+      Dom& grantee = doms[rng.Below(doms.size())];
+      if (grantee.id == d.id) {
+        continue;
+      }
+      auto ref = hv.HcGrantAccess(d.id, grantee.id,
+                                  kGrantBase + static_cast<uvmm::Pfn>(rng.Below(kGrantPfns)),
+                                  /*writable=*/true);
+      if (!ref.ok()) {
+        continue;
+      }
+      const hwsim::Vaddr va = grantee.next_grant_va;
+      grantee.next_grant_va += page;
+      if (hv.HcGrantMap(grantee.id, d.id, *ref, va, rng.Chance(50)) == Err::kNone) {
+        grantee.grant_maps.push_back(GrantMap{d.id, *ref, va});
+      } else {
+        (void)hv.HcGrantEnd(d.id, *ref);
+      }
+    } else if (op < 80 && !d.grant_maps.empty()) {  // grant unmap + end
+      const size_t pick = rng.Below(d.grant_maps.size());
+      const GrantMap gm = d.grant_maps[pick];
+      d.grant_maps.erase(d.grant_maps.begin() + static_cast<ptrdiff_t>(pick));
+      (void)hv.HcGrantUnmap(d.id, gm.granter, gm.ref, gm.va);
+      (void)hv.HcGrantEnd(gm.granter, gm.ref);
+    } else if (op < 86 && doms.size() > 1) {  // page flip (transfer)
+      Dom& peer = doms[rng.Below(doms.size())];
+      if (peer.id == d.id) {
+        continue;
+      }
+      auto slot = hv.HcGrantTransferSlot(
+          d.id, peer.id, kFlipBase + static_cast<uvmm::Pfn>(rng.Below(kFlipPfns)));
+      if (slot.ok()) {
+        (void)hv.HcGrantTransfer(peer.id, kFlipBase + static_cast<uvmm::Pfn>(rng.Below(kFlipPfns)),
+                                 d.id, *slot);
+      }
+    } else if (op < 92) {  // migrate
+      machine.SwitchVcpu(static_cast<uint32_t>(rng.Below(machine.num_vcpus())));
+    } else if (op < 96 && doms.size() < 5) {
+      (void)make_dom();
+    } else if (doms.size() > 2) {  // domain death (never dom0)
+      const size_t pick = 1 + rng.Below(doms.size() - 1);
+      const DomainId victim = doms[pick].id;
+      drop_grants_with(victim);
+      (void)hv.DestroyDomain(victim);
+      doms.erase(doms.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    if (step % 64 == 63) {
+      auditor.Checkpoint("fuzz-periodic");
+    }
+  }
+
+  FuzzResult out;
+  FinishDigest(machine, auditor, out);
+  return out;
+}
+
+// --- The seed bank ----------------------------------------------------------------
+
+constexpr uint64_t kDefaultSeeds = 32;
+constexpr uint32_t kSteps = 256;
+
+uint64_t SeedCount() {
+  if (const char* env = std::getenv("UKVM_FUZZ_SEEDS")) {
+    const long n = std::atol(env);
+    if (n > 0) {
+      return static_cast<uint64_t>(n);
+    }
+  }
+  return kDefaultSeeds;
+}
+
+using FuzzFn = FuzzResult (*)(uint64_t, uint32_t, bool);
+
+void RunSeedBank(FuzzFn fn, const char* stack) {
+  const uint64_t seeds = SeedCount();
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    const FuzzResult first = fn(seed, kSteps, /*incremental_tlb=*/true);
+    SCOPED_TRACE(std::string(stack) + " seed " + std::to_string(seed));
+    for (const std::string& report : first.reports) {
+      ADD_FAILURE() << report;
+    }
+    EXPECT_EQ(first.violations, 0u);
+    const FuzzResult second = fn(seed, kSteps, /*incremental_tlb=*/true);
+    EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
+  }
+}
+
+TEST(FuzzLifecycle, NativeSeedBankCleanAndDeterministic) { RunSeedBank(RunNativeFuzz, "native"); }
+
+TEST(FuzzLifecycle, UkernelSeedBankCleanAndDeterministic) {
+  RunSeedBank(RunUkernelFuzz, "ukernel");
+}
+
+TEST(FuzzLifecycle, VmmSeedBankCleanAndDeterministic) { RunSeedBank(RunVmmFuzz, "vmm"); }
+
+// The incremental checkpoint sweep must be a pure optimisation: identical
+// per-rule violation counts on the same fuzz history, never auditing more
+// entries than the full sweep per run, and strictly fewer across the bank
+// (a single flush-heavy history can legitimately tie — every entry at
+// every checkpoint is new since the last one) (E18 ROADMAP item).
+TEST(FuzzLifecycle, IncrementalTlbAuditMatchesFullSweep) {
+  const FuzzFn fns[] = {RunNativeFuzz, RunUkernelFuzz, RunVmmFuzz};
+  const char* names[] = {"native", "ukernel", "vmm"};
+  uint64_t total_incremental = 0;
+  uint64_t total_full = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      SCOPED_TRACE(std::string(names[i]) + " seed " + std::to_string(seed));
+      const FuzzResult incremental = fns[i](seed, kSteps, /*incremental_tlb=*/true);
+      const FuzzResult full = fns[i](seed, kSteps, /*incremental_tlb=*/false);
+      EXPECT_EQ(incremental.by_rule, full.by_rule);
+      EXPECT_EQ(incremental.violations, full.violations);
+      EXPECT_LE(incremental.tlb_audited, full.tlb_audited);
+      total_incremental += incremental.tlb_audited;
+      total_full += full.tlb_audited;
+    }
+  }
+  EXPECT_LT(total_incremental, total_full);
+}
+
+}  // namespace

@@ -268,5 +268,160 @@ TEST(Segmentation, DescriptorExcludes) {
   EXPECT_FALSE(high.Excludes(0x8FFF, 0x9000));
 }
 
+
+// --- E18: multi-vCPU machines and the TLB shootdown protocol -----------------
+
+TEST(MultiVcpu, ConstructionAndRoundRobin) {
+  Machine m(MakeX86Platform(), 1 << 20, 4);
+  EXPECT_EQ(m.num_vcpus(), 4u);
+  for (uint32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(m.cpu(v).vcpu_id(), v);
+  }
+  EXPECT_EQ(m.current_vcpu(), 0u);
+  EXPECT_EQ(m.SwitchVcpu(2), 0u);  // returns the previous index
+  EXPECT_EQ(m.current_vcpu(), 2u);
+  EXPECT_EQ(m.NextVcpu(), 3u);
+  EXPECT_EQ(m.NextVcpu(), 0u);  // wraps
+}
+
+TEST(MultiVcpu, PerVcpuAccountingMirrorsGlobal) {
+  Machine m(MakeX86Platform(), 1 << 20, 2);
+  m.cpu().SetDomain(DomainId(7));
+  m.Charge(100);
+  m.SwitchVcpu(1);
+  m.cpu().SetDomain(DomainId(7));
+  m.Charge(40);
+  EXPECT_EQ(m.accounting().CyclesOf(DomainId(7)), 140u);
+  EXPECT_EQ(m.vcpu_accounting(0).CyclesOf(DomainId(7)), 100u);
+  EXPECT_EQ(m.vcpu_accounting(1).CyclesOf(DomainId(7)), 40u);
+}
+
+TEST(MultiVcpu, SingleVcpuShootdownIsFree) {
+  Machine m(MakeX86Platform(), 1 << 20, 1);
+  PageTable space(12, 32);
+  m.cpu().SetDomain(DomainId(1));
+  const Vaddr vpn = 5;
+  const uint64_t before = m.Now();
+  const uint64_t id = m.TlbShootdown(&space, {&vpn, 1});
+  EXPECT_EQ(m.Now(), before);  // zero charges: E1-E17 stay byte-identical
+  EXPECT_TRUE(m.ShootdownComplete(id));
+  EXPECT_EQ(m.unacked_shootdowns(), 0u);
+  EXPECT_EQ(m.shootdown_stats().requests, 1u);
+  EXPECT_EQ(m.shootdown_stats().ipis_sent, 0u);
+}
+
+TEST(MultiVcpu, ShootdownFlushesRemoteTlbAndChargesProtocol) {
+  Machine m(MakeX86Platform(), 1 << 20, 4);
+  PageTable space(12, 32);
+  auto frame = m.memory().AllocFrame(DomainId(1));
+  ASSERT_TRUE(frame.ok());
+  const Vaddr va = 0x5000;
+  ASSERT_EQ(space.Map(va, *frame, PtePerms{true, true}), Err::kNone);
+
+  // vCPU 1 caches the translation.
+  m.SwitchVcpu(1);
+  m.cpu().SetDomain(DomainId(1));
+  m.cpu().SwitchAddressSpace(&space);
+  ASSERT_TRUE(m.cpu().Translate(va, false, false).ok());
+  const uint64_t key = space.VpnOf(va) ^ m.cpu().tlb_salt();
+  ASSERT_TRUE(m.cpu().tlb().Probe(key).has_value());
+
+  // vCPU 0 revokes the page: three IPIs out, then a spin on the slowest
+  // target (interrupt dispatch + one single-page flush).
+  m.SwitchVcpu(0);
+  m.cpu().SetDomain(DomainId(1));
+  const uint64_t before = m.Now();
+  const Vaddr vpn = space.VpnOf(va);
+  m.TlbShootdown(&space, {&vpn, 1});
+  const auto& c = m.costs();
+  EXPECT_EQ(m.Now() - before, 3 * c.ipi_send + c.interrupt_dispatch + c.tlb_flush_page);
+  EXPECT_FALSE(m.cpu(1).tlb().Probe(key).has_value());
+  EXPECT_EQ(m.shootdown_stats().ipis_sent, 3u);
+  EXPECT_EQ(m.shootdown_stats().remote_acks, 3u);
+}
+
+TEST(MultiVcpu, ShootdownIpiDeliveredOnVcpuSwitch) {
+  Machine m(MakeX86Platform(), 1 << 20, 2);
+  PageTable space(12, 32);
+  m.cpu().SetDomain(DomainId(1));
+  const Vaddr vpn = 9;
+  const uint64_t id = m.BeginTlbShootdown(&space, {&vpn, 1}, false);
+  EXPECT_FALSE(m.ShootdownComplete(id));
+  EXPECT_EQ(m.unacked_shootdowns(), 1u);
+  uint64_t seen_id = 0;
+  uint32_t seen_outstanding = 0;
+  m.ForEachUnackedShootdown([&](uint64_t i, uint32_t initiator, uint32_t outstanding) {
+    seen_id = i;
+    seen_outstanding = outstanding;
+    EXPECT_EQ(initiator, 0u);
+  });
+  EXPECT_EQ(seen_id, id);
+  EXPECT_EQ(seen_outstanding, 1u);
+
+  // Switching to the target drains its IPI queue, acking the request.
+  m.SwitchVcpu(1);
+  EXPECT_TRUE(m.ShootdownComplete(id));
+  EXPECT_EQ(m.unacked_shootdowns(), 0u);
+  m.SwitchVcpu(0);
+  m.WaitTlbShootdown(id);  // still charges the initiator's spin
+}
+
+TEST(MultiVcpu, SpaceDeathReleasesSaltForReuse) {
+  Machine m(MakeX86Platform(), 1 << 20, 2);
+  const uint64_t reuses_before = TlbSaltRegistry::reuses();
+  uint64_t salt_id = 0;
+  {
+    PageTable space(12, 32);
+    salt_id = space.tlb_salt() >> 32;
+    m.ShootdownSpaceDeath(&space);
+    ASSERT_EQ(m.dead_spaces().size(), 1u);
+    EXPECT_TRUE(m.dead_spaces()[0].flush_acked);
+    EXPECT_EQ(m.dead_spaces()[0].salt, salt_id << 32);
+    EXPECT_TRUE(m.IsDeadSpace(&space));
+    EXPECT_NE(m.FindDeadSpaceBySalt(salt_id << 32), nullptr);
+    // Released but not yet retired: the live table keeps its id.
+    EXPECT_FALSE(TlbSaltRegistry::IsQuarantined(salt_id));
+  }
+  // Retired after Release: the id is free again and the next table takes it.
+  EXPECT_FALSE(TlbSaltRegistry::IsQuarantined(salt_id));
+  PageTable reuser(12, 32);
+  EXPECT_EQ(reuser.tlb_salt() >> 32, salt_id);
+  EXPECT_EQ(TlbSaltRegistry::reuses(), reuses_before + 1);
+}
+
+TEST(MultiVcpu, SaltQuarantinedWithoutDeathShootdown) {
+  uint64_t salt_id = 0;
+  {
+    PageTable space(12, 32);
+    salt_id = space.tlb_salt() >> 32;
+  }
+  // Retired with no Release: quarantined, never handed out again.
+  EXPECT_TRUE(TlbSaltRegistry::IsQuarantined(salt_id));
+  PageTable next(12, 32);
+  EXPECT_NE(next.tlb_salt() >> 32, salt_id);
+}
+
+TEST(MultiVcpu, SpaceDeathShootdownIsIdempotent) {
+  Machine m(MakeX86Platform(), 1 << 20, 2);
+  PageTable space(12, 32);
+  m.ShootdownSpaceDeath(&space);
+  const uint64_t t = m.Now();
+  m.ShootdownSpaceDeath(&space);  // second death: no-op
+  EXPECT_EQ(m.Now(), t);
+  EXPECT_EQ(m.dead_spaces().size(), 1u);
+}
+
+TEST(MultiVcpu, IpiControllerLatchesIdempotently) {
+  IpiController ipis(2);
+  EXPECT_FALSE(ipis.Pending(1, IpiVector::kTlbShootdown));
+  ipis.Post(1, IpiVector::kTlbShootdown);
+  ipis.Post(1, IpiVector::kTlbShootdown);  // already latched
+  EXPECT_EQ(ipis.posted(), 1u);
+  EXPECT_TRUE(ipis.Pending(1, IpiVector::kTlbShootdown));
+  EXPECT_TRUE(ipis.TakePending(1, IpiVector::kTlbShootdown));
+  EXPECT_FALSE(ipis.TakePending(1, IpiVector::kTlbShootdown));
+  EXPECT_EQ(ipis.delivered(), 1u);
+}
+
 }  // namespace
 }  // namespace hwsim

@@ -507,7 +507,7 @@ TEST_F(VmmTest, HypercallTableIsThirteenEntries) {
   // §2.2's "rich variety of primitives", pinned as a compile-time fact.
   // Twelve classic entries plus multicall — the batching entry real Xen
   // also grew, and itself a data point for the "rich ABI" contrast.
-  EXPECT_EQ(kHypercallCount, 13u);
+  EXPECT_EQ(kHypercallCount, 14u);
 }
 
 TEST_F(VmmTest, DestroyedDomainRejectsHypercalls) {
