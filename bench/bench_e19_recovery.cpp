@@ -1,0 +1,324 @@
+// E19 — crash-tolerant split drivers: kill the storage backend mid-burst,
+// decompose the recovery latency, and prove exactly-once write semantics.
+//
+// E14 priced a *clean* restart (quiescent service, no work in flight). The
+// paper's liability argument (§3.1) is only honest if the backend can die
+// while requests are on the ring: the frontend must detect the death, the
+// supervisor must reclaim the corpse's grants and event channels, the
+// connection must be rebuilt xenbus-style, and every unacknowledged write
+// must be replayed — exactly once, even if the dead backend had already
+// committed it to the disk. This bench drives that full path on all three
+// architectures (microkernel block server, VMM + Parallax storage VM, VMM
+// with Dom0-hosted storage), killing the backend mid-burst several times
+// under a seeded fault storm, and reports:
+//
+//   - the recovery phases (detect / reclaim / reconnect / replay / e2e)
+//     from the recovery.* histograms the xenbus machinery records;
+//   - the exactly-once ledger arithmetic: journaled writes replayed,
+//     duplicate replays suppressed by the stack-owned recovery log, and
+//     applied_total == sum of acknowledged writes (zero lost, zero dup);
+//   - a full data read-back against a model of every write that was either
+//     acknowledged or journaled (the durable-eventually set).
+//
+// The storm includes NIC noise, disk latency spikes (burst windows where
+// every request is spiked), and spurious IRQs — but deliberately *not*
+// disk media errors: a media error is an answered failure the journal
+// resolves on the spot, so it is orthogonal to crash recovery, and keeping
+// it out keeps the "journaled => durable-eventually" ledger arithmetic
+// exact. Everything is seeded and deterministic: same kills, same storms,
+// same table on every run.
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/experiments/table.h"
+#include "src/hw/fault_injector.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+
+namespace {
+
+using ukvm::Err;
+
+constexpr uint64_t kLbas = 16;        // round-robin write targets
+constexpr int kKillCycles = 3;        // kill/recover cycles per stack
+constexpr int kWritesPerCycle = 24;   // burst length around each kill
+constexpr int kKillAtWrite = 8;       // burst index that arms the kill
+
+// Background noise plus a recurring latency storm; no media errors (see
+// the header comment) and no lost IRQs (a swallowed completion is retry
+// territory, E15's subject, not crash recovery).
+hwsim::FaultPlan StormPlan() {
+  hwsim::FaultPlan plan;
+  plan.seed = 0x20050605;  // one shared schedule, as in E15
+  plan.nic_tx_drop.probability = 0.02;
+  plan.nic_corrupt.probability = 0.01;
+  plan.disk_latency.probability = 0.05;
+  plan.disk_latency.burst_period = 8'000'000;
+  plan.disk_latency.burst_start = 1'000'000;
+  plan.disk_latency.burst_len = 2'000'000;
+  plan.disk_latency.burst_probability = 1.0;
+  plan.disk_latency_spike_cycles = 30'000;
+  plan.irq_spurious.probability = 0.01;
+  return plan;
+}
+
+// One crash-recoverable storage stack under the bench: the three
+// architectures differ only in how the backend dies and comes back.
+struct Target {
+  hwsim::Machine* machine = nullptr;
+  ucheck::Auditor* auditor = nullptr;
+  std::function<Err(uint64_t lba, std::span<const uint8_t>)> write;
+  std::function<Err(uint64_t lba, std::span<uint8_t>)> read;
+  std::function<void()> kill;
+  std::function<Err()> restart;
+  std::function<size_t()> journal_depth;
+  std::function<uint64_t()> applied_total;
+  std::function<uint64_t()> suppressed_total;
+  std::function<uint64_t()> acked_total;
+  std::function<uint64_t()> reconnects;
+  std::function<uint64_t()> replayed_total;
+  uint32_t block_size = 0;
+};
+
+struct PhaseStats {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t max = 0;
+};
+
+struct RunResult {
+  uint64_t writes_attempted = 0;
+  uint64_t writes_acked = 0;
+  uint64_t writes_journaled = 0;  // returned kDead but entered the journal
+  uint64_t reconnects = 0;
+  uint64_t replayed = 0;
+  uint64_t suppressed = 0;
+  uint64_t applied = 0;
+  uint64_t acked_ledger = 0;
+  uint64_t dma_cancelled = 0;
+  uint64_t journal_residue = 0;
+  uint64_t faults_injected = 0;
+  bool data_intact = true;
+  uint64_t violations = 0;
+  std::map<std::string, PhaseStats> phases;  // recovery.* histograms
+
+  bool ExactlyOnce() const {
+    return journal_residue == 0 && applied == acked_ledger && data_intact;
+  }
+};
+
+RunResult RunBurstsWithKills(Target& t) {
+  RunResult r;
+  hwsim::Machine& machine = *t.machine;
+  std::vector<uint8_t> block(t.block_size);
+  std::vector<uint8_t> back(t.block_size);
+  // lba -> fill byte of the last acknowledged-or-journaled write: the
+  // durable-eventually set. Journaled writes replay in id order before any
+  // post-restart write, so last-writer-wins matches issue order.
+  std::map<uint64_t, uint8_t> model;
+
+  uint8_t fill = 0;
+  for (int cycle = 0; cycle < kKillCycles; ++cycle) {
+    bool alive = true;
+    for (int i = 0; i < kWritesPerCycle; ++i) {
+      const uint64_t lba = static_cast<uint64_t>(i) % kLbas;
+      ++fill;
+      std::fill(block.begin(), block.end(), fill);
+      if (alive && i == kKillAtWrite) {
+        // Land inside the request's completion wait (disk fixed latency is
+        // ~100us): the backend dies with this write on the ring. The delay
+        // varies per cycle so the kill samples different interleavings —
+        // including the applied-but-unacknowledged one the recovery log
+        // exists for.
+        const uint64_t delay = (30 + 17 * static_cast<uint64_t>(cycle)) * hwsim::kCyclesPerUs;
+        machine.ScheduleAfter(delay, [&t] { t.kill(); });
+      }
+      const size_t depth_before = t.journal_depth();
+      const Err err = t.write(lba, block);
+      ++r.writes_attempted;
+      if (err == Err::kNone) {
+        ++r.writes_acked;
+        model[lba] = fill;
+      } else if (t.journal_depth() > depth_before) {
+        ++r.writes_journaled;
+        model[lba] = fill;
+      }
+      if (alive && i == kKillAtWrite) {
+        machine.RunUntilIdle();  // drain the kill + any orphaned completion
+        alive = false;
+      }
+    }
+    const Err restarted = t.restart();
+    if (restarted != Err::kNone) {
+      std::printf("FAIL: restart returned %s\n", ukvm::ErrName(restarted));
+      r.data_intact = false;
+      return r;
+    }
+    machine.RunFor(200 * hwsim::kCyclesPerUs);  // settle between cycles
+  }
+
+  // Full read-back of the durable-eventually set.
+  for (const auto& [lba, expect] : model) {
+    if (t.read(lba, back) != Err::kNone || back[0] != expect ||
+        back[t.block_size - 1] != expect) {
+      r.data_intact = false;
+      std::printf("FAIL: lba %llu read back %02x, expected %02x\n",
+                  static_cast<unsigned long long>(lba), back[0], expect);
+    }
+  }
+
+  r.reconnects = t.reconnects();
+  r.replayed = t.replayed_total();
+  r.suppressed = t.suppressed_total();
+  r.applied = t.applied_total();
+  r.acked_ledger = t.acked_total();
+  r.journal_residue = t.journal_depth();
+  r.dma_cancelled = machine.counters().Get("recovery.disk.dma_cancelled");
+  r.faults_injected = machine.counters().Get("fault.nic.tx_drop") +
+                      machine.counters().Get("fault.nic.corrupt") +
+                      machine.counters().Get("fault.disk.latency") +
+                      machine.counters().Get("fault.irq.spurious");
+  machine.tracer().ForEachHistogram([&r](const std::string& name, const ukvm::LogHistogram& h) {
+    if (name.starts_with("recovery.")) {
+      const ukvm::HistogramSnapshot s = h.Snapshot();
+      r.phases[name] = PhaseStats{s.count, s.p50, s.max};
+    }
+  });
+  if (t.auditor != nullptr) {
+    t.auditor->Checkpoint("e19-final");
+    r.violations = t.auditor->violation_count();
+    for (const std::string& report : t.auditor->ViolationReports()) {
+      std::printf("FAIL: %s\n", report.c_str());
+    }
+  }
+  return r;
+}
+
+RunResult RunUkernel() {
+  ustack::UkernelStack::Config config;
+  config.crash_recovery = true;
+  config.trace.enabled = true;
+  ustack::UkernelStack stack(config);
+  stack.ArmFaults(StormPlan());
+  auto* block = stack.guest(0).port->block();
+  Target t;
+  t.machine = &stack.machine();
+  t.auditor = stack.auditor();
+  t.block_size = block->block_size();
+  t.write = [&](uint64_t lba, std::span<const uint8_t> in) { return block->Write(lba, 1, in); };
+  t.read = [&](uint64_t lba, std::span<uint8_t> out) { return block->Read(lba, 1, out); };
+  t.kill = [&] { (void)stack.KillBlockServer(); };
+  t.restart = [&] { return stack.RestartBlockServer(); };
+  t.journal_depth = [&] { return stack.guest(0).port->blk_journal_depth(); };
+  t.applied_total = [&] { return stack.blk_recovery_log().applied_total(); };
+  t.suppressed_total = [&] { return stack.blk_recovery_log().suppressed_total(); };
+  t.acked_total = [&] { return stack.guest(0).port->blk_writes_acked_ok(); };
+  t.reconnects = [&] { return stack.guest(0).xenbus->reconnects(); };
+  t.replayed_total = [&] { return stack.guest(0).xenbus->replayed_total(); };
+  return RunBurstsWithKills(t);
+}
+
+RunResult RunVmm(bool parallax) {
+  ustack::VmmStack::Config config;
+  config.parallax_storage = parallax;
+  config.crash_recovery = true;
+  config.trace.enabled = true;
+  ustack::VmmStack stack(config);
+  stack.ArmFaults(StormPlan());
+  auto& front = *stack.guest(0).blkfront;
+  Target t;
+  t.machine = &stack.machine();
+  t.auditor = stack.auditor();
+  t.block_size = front.block_size();
+  t.write = [&](uint64_t lba, std::span<const uint8_t> in) { return front.Write(lba, 1, in); };
+  t.read = [&](uint64_t lba, std::span<uint8_t> out) { return front.Read(lba, 1, out); };
+  // Parallax: whole-VM death (grant reclamation + kDomainDead upcalls).
+  // Dom0-hosted: the driver crashes inside the surviving Dom0.
+  t.kill = [&] { parallax ? (void)stack.KillStorage() : (void)stack.CrashStorageService(); };
+  t.restart = [&] { return stack.RestartStorage(); };
+  t.journal_depth = [&] { return front.journal_depth(); };
+  t.applied_total = [&] { return stack.blk_recovery_log().applied_total(); };
+  t.suppressed_total = [&] { return stack.blk_recovery_log().suppressed_total(); };
+  t.acked_total = [&] { return front.writes_acked_ok(); };
+  t.reconnects = [&] { return front.xenbus().reconnects(); };
+  t.replayed_total = [&] { return front.xenbus().replayed_total(); };
+  return RunBurstsWithKills(t);
+}
+
+std::string Phase(const RunResult& r, const std::string& name) {
+  auto it = r.phases.find(name);
+  if (it == r.phases.end() || it->second.count == 0) {
+    return "-";
+  }
+  return uharness::FmtCycles(it->second.p50);
+}
+
+}  // namespace
+
+int main() {
+  uharness::PrintHeading(
+      "E19", "kill the storage backend mid-burst; reclaim, reconnect, replay exactly once");
+
+  struct Arch {
+    const char* name;
+    const char* unit;
+    RunResult r;
+  };
+  std::vector<Arch> archs;
+  archs.push_back({"ukernel", "user-level server task", RunUkernel()});
+  archs.push_back({"vmm + parallax", "whole storage VM", RunVmm(/*parallax=*/true)});
+  archs.push_back({"vmm dom0 storage", "driver inside Dom0", RunVmm(/*parallax=*/false)});
+
+  uharness::Table phases("recovery latency by phase (p50 over the kill cycles)",
+                         {"architecture", "replacement unit", "kills", "detect", "reclaim",
+                          "reconnect", "replay", "end-to-end"});
+  for (const Arch& a : archs) {
+    phases.AddRow({a.name, a.unit, uharness::FmtInt(a.r.reconnects), Phase(a.r, "recovery.detect"),
+                   Phase(a.r, "recovery.reclaim"), Phase(a.r, "recovery.reconnect"),
+                   Phase(a.r, "recovery.replay"), Phase(a.r, "recovery.e2e")});
+  }
+  phases.Print();
+
+  uharness::Table ledger("exactly-once ledger (zero lost, zero duplicated)",
+                         {"architecture", "writes", "acked", "journaled", "replayed",
+                          "dups suppressed", "dma cancelled", "applied==acked", "data intact"});
+  for (const Arch& a : archs) {
+    ledger.AddRow({a.name, uharness::FmtInt(a.r.writes_attempted),
+                   uharness::FmtInt(a.r.writes_acked), uharness::FmtInt(a.r.writes_journaled),
+                   uharness::FmtInt(a.r.replayed), uharness::FmtInt(a.r.suppressed),
+                   uharness::FmtInt(a.r.dma_cancelled),
+                   a.r.applied == a.r.acked_ledger ? "yes" : "NO",
+                   a.r.data_intact ? "yes" : "NO"});
+  }
+  ledger.Print();
+
+  std::printf(
+      "\nShape check: every architecture survives a backend killed with writes on the\n"
+      "ring. Detection is the frontend's kDead wake, reclamation is the supervisor\n"
+      "revoking the corpse's grants and channels (a whole domain for Parallax, a task\n"
+      "for the microkernel, a driver teardown inside Dom0), reconnect rebuilds the\n"
+      "rings xenbus-style, and replay settles the journal — with the stack-owned\n"
+      "recovery log suppressing any write the dead backend had already committed.\n"
+      "applied == acked and an intact read-back together mean zero lost and zero\n"
+      "duplicated writes, under the same seeded storm on every stack.\n");
+
+  uharness::WriteJsonIfRequested("E19");
+
+  bool ok = true;
+  for (const Arch& a : archs) {
+    if (!a.r.ExactlyOnce() || a.r.violations != 0 ||
+        a.r.reconnects != static_cast<uint64_t>(kKillCycles)) {
+      std::printf("FAIL: %s — exactly_once=%d violations=%llu reconnects=%llu\n", a.name,
+                  a.r.ExactlyOnce(), static_cast<unsigned long long>(a.r.violations),
+                  static_cast<unsigned long long>(a.r.reconnects));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

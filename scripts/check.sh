@@ -10,7 +10,10 @@
 #   5. E18 lifecycle fuzz sweep: the cross-stack fuzzer's full seed bank
 #      (UKVM_FUZZ_SEEDS, default 128 here vs 32 in plain ctest) under ASan,
 #      every seed auditor-clean and two-run deterministic;
-#   6. E17 tracing-overhead gate: bench_e17_trace_overhead exits non-zero
+#   6. E19 recovery fuzz sweep: the crash-recovery fuzzer (mid-flight
+#      backend kills, journal replay, exactly-once read-back) on all three
+#      storage stacks with the extended seed bank, under ASan;
+#   7. E17 tracing-overhead gate: bench_e17_trace_overhead exits non-zero
 #      if tracing perturbs simulated time by even one cycle, breaks span
 #      discipline, or attributes less than 95% of accounted cycles.
 #
@@ -21,12 +24,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== [1/6] strict build (-Werror, UKVM_CHECK=ON) + tests =="
+echo "== [1/7] strict build (-Werror, UKVM_CHECK=ON) + tests =="
 cmake -B build-check/werror -S . -DUKVM_WERROR=ON -DUKVM_CHECK=ON >/dev/null
 cmake --build build-check/werror -j"${JOBS}"
 ctest --test-dir build-check/werror -j"${JOBS}" --output-on-failure
 
-echo "== [2/6] clang-tidy over src/ =="
+echo "== [2/7] clang-tidy over src/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # The strict tree has a fresh compile_commands.json for it to use.
   cmake -B build-check/werror -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -36,21 +39,25 @@ else
   echo "clang-tidy not installed; skipping lint stage (build+tests still gate)."
 fi
 
-echo "== [3/6] ASan+UBSan build + tests =="
+echo "== [3/7] ASan+UBSan build + tests =="
 cmake -B build-check/asan -S . -DUKVM_SANITIZE=ON >/dev/null
 cmake --build build-check/asan -j"${JOBS}"
 ctest --test-dir build-check/asan -j"${JOBS}" --output-on-failure
 
-echo "== [4/6] TSan build + tests =="
+echo "== [4/7] TSan build + tests =="
 cmake -B build-check/tsan -S . -DUKVM_TSAN=ON >/dev/null
 cmake --build build-check/tsan -j"${JOBS}"
 ctest --test-dir build-check/tsan -j"${JOBS}" --output-on-failure
 
-echo "== [5/6] E18 lifecycle fuzz sweep (extended seed bank, ASan) =="
+echo "== [5/7] E18 lifecycle fuzz sweep (extended seed bank, ASan) =="
 UKVM_FUZZ_SEEDS="${UKVM_FUZZ_SEEDS:-128}" \
   build-check/asan/tests/ukvm_tests --gtest_filter='FuzzLifecycle.*'
 
-echo "== [6/6] E17 tracing zero-perturbation gate =="
+echo "== [6/7] E19 recovery fuzz sweep (extended seed bank, ASan) =="
+UKVM_FUZZ_SEEDS="${UKVM_FUZZ_SEEDS:-128}" \
+  build-check/asan/tests/ukvm_tests --gtest_filter='FuzzRecovery.*'
+
+echo "== [7/7] E17 tracing zero-perturbation gate =="
 cmake --build build-check/werror -j"${JOBS}" --target bench_e17_trace_overhead
 build-check/werror/bench/bench_e17_trace_overhead
 

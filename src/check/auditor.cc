@@ -152,6 +152,7 @@ void Auditor::Checkpoint(const std::string& phase) {
   invariants_.CheckShootdownAcks();
   invariants_.CheckFrameOwnership();
   invariants_.CheckPrivilegeDiscipline();
+  invariants_.CheckDeadDomainReclamation();
   if (grants_dirty_) {
     invariants_.CheckGrantRefcounts();
     grants_dirty_ = false;

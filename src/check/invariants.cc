@@ -65,6 +65,10 @@ const char* InvariantName(Invariant rule) {
       return "stale-tlb-after-destroy";
     case Invariant::kUnackedShootdown:
       return "unacked-shootdown";
+    case Invariant::kGrantHeldByDeadDomain:
+      return "grant-held-by-dead-domain";
+    case Invariant::kDanglingEventChannel:
+      return "dangling-event-channel";
   }
   return "?";
 }
@@ -360,6 +364,33 @@ void InvariantAuditor::CheckMapDbCoherence() {
   });
 }
 
+void InvariantAuditor::CheckDeadDomainReclamation() {
+  if (hv_ == nullptr) {
+    return;
+  }
+  hv_->gnttab().ForEachActive([&](const uvmm::GrantTable::GrantView& g) {
+    if (!hv_->DomainAlive(g.granter)) {
+      Flag(Invariant::kGrantHeldByDeadDomain,
+           Fmt("grant (granter %u, ref %u) survives its granter's destruction", g.granter.value(),
+               g.ref));
+    } else if (!hv_->DomainAlive(g.grantee)) {
+      Flag(Invariant::kGrantHeldByDeadDomain,
+           Fmt("grant (granter %u, ref %u) still names destroyed grantee %u", g.granter.value(),
+               g.ref, g.grantee.value()));
+    }
+  });
+  hv_->evtchn().ForEachChannel([&](const uvmm::EventChannelTable::ChannelView& c) {
+    if (!hv_->DomainAlive(c.owner)) {
+      Flag(Invariant::kDanglingEventChannel,
+           Fmt("port %u of destroyed domain %u is still allocated", c.port, c.owner.value()));
+    } else if (c.connected && !hv_->DomainAlive(c.remote_dom)) {
+      Flag(Invariant::kDanglingEventChannel,
+           Fmt("domain %u port %u is still connected to destroyed domain %u", c.owner.value(),
+               c.port, c.remote_dom.value()));
+    }
+  });
+}
+
 void InvariantAuditor::CheckUnmapFlushed(const hwsim::PageTable* space, hwsim::Vaddr vpn) {
   // The dead-space registry knows the salt of a destroyed space without
   // touching the (possibly freed) PageTable; only live spaces are
@@ -452,6 +483,7 @@ void InvariantAuditor::CheckAll() {
   CheckGrantRefcounts();
   CheckMapDbCoherence();
   CheckShootdownAcks();
+  CheckDeadDomainReclamation();
 }
 
 }  // namespace ucheck

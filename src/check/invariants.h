@@ -64,6 +64,8 @@ enum class Invariant : uint8_t {
   kDmaToPrivilegedFrame,       // device DMA targets a kernel/hypervisor frame
   kStaleTlbAfterDestroy,       // TLB entry attributable to a destroyed space
   kUnackedShootdown,           // shootdown round still awaiting vCPU acks
+  kGrantHeldByDeadDomain,      // active grant names a destroyed domain (E19)
+  kDanglingEventChannel,       // event channel references a destroyed domain
 };
 
 const char* InvariantName(Invariant rule);
@@ -120,6 +122,11 @@ class InvariantAuditor {
   // still outstanding at a checkpoint means some vCPU may serve stale
   // translations indefinitely.
   void CheckShootdownAcks();
+
+  // Domain-death reclamation (E19): after a DestroyDomain, no grant entry
+  // may name the corpse (as granter or grantee) and no event channel may
+  // still be owned by — or stay connected to — it.
+  void CheckDeadDomainReclamation();
 
   // Ownership + privilege scan of a single space (used by the paravirtual
   // PT-update hook, which knows which domain's table just changed).

@@ -53,8 +53,13 @@ ukvm::Result<uint64_t> Disk::Submit(Op op, uint64_t lba, uint32_t blocks, Paddr 
   busy_until_ = std::max(busy_until_, machine_.Now()) + service_time;
   machine_.AccountOnly(ukvm::kHardwareDomain, machine_.costs().DmaCost(bytes));
 
+  ++inflight_;
   machine_.ScheduleAt(busy_until_, [this, op, lba, bytes, mem_addr, request_id, injected,
-                                    irq_lost] {
+                                    irq_lost, epoch = cancel_epoch_] {
+    if (epoch != cancel_epoch_) {
+      return;  // cancelled by a quiesce; the DMA must not land
+    }
+    --inflight_;
     const uint64_t disk_off = lba * config_.block_size;
     if (injected == ukvm::Err::kNone) {
       if (op == Op::kRead) {
@@ -72,6 +77,14 @@ ukvm::Result<uint64_t> Disk::Submit(Op op, uint64_t lba, uint32_t blocks, Paddr 
     }
   });
   return request_id;
+}
+
+uint64_t Disk::CancelPending() {
+  const uint64_t cancelled = inflight_;
+  inflight_ = 0;
+  ++cancel_epoch_;
+  completions_.clear();
+  return cancelled;
 }
 
 std::optional<Disk::Completion> Disk::TakeCompletion() {

@@ -49,6 +49,14 @@ class Disk {
 
   std::optional<Completion> TakeCompletion();
 
+  // Crash-recovery quiesce (E19): abandons every queued-but-uncompleted
+  // request — its DMA never lands and its completion IRQ never fires — and
+  // drops undelivered completions, so a restarted driver can never be
+  // completed into memory it no longer owns. The mechanical model keeps
+  // spinning (busy_until_ stands). Returns the number of in-flight
+  // requests cancelled.
+  uint64_t CancelPending();
+
   // --- Fault injection ------------------------------------------------------
 
   // Attaches a fault injector (nullptr detaches). Not owned. Injected
@@ -80,6 +88,8 @@ class Disk {
   uint64_t next_request_id_ = 1;
   uint64_t busy_until_ = 0;  // requests are serviced serially
   uint64_t completed_ = 0;
+  uint64_t inflight_ = 0;
+  uint64_t cancel_epoch_ = 0;  // bumping it orphans scheduled completions
 };
 
 }  // namespace hwsim

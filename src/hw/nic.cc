@@ -55,7 +55,10 @@ ukvm::Err Nic::Transmit(Paddr addr, uint32_t len) {
 
   // TX completion after the DMA engine has drained the buffer. The device
   // cannot see a wire drop, so the completion fires either way.
-  machine_.ScheduleAfter(dma, [this, addr, len] {
+  machine_.ScheduleAfter(dma, [this, addr, len, epoch = cancel_epoch_] {
+    if (epoch != cancel_epoch_) {
+      return;  // quiesced: the driver that queued this is gone
+    }
     tx_completions_.push_back(NicTxCompletion{addr, len});
     RaiseIrq();
   });
@@ -114,10 +117,23 @@ void Nic::InjectPacket(std::span<const uint8_t> bytes) {
   const uint64_t dma = machine_.costs().DmaCost(len);
   machine_.AccountOnly(ukvm::kHardwareDomain, dma);
   ++rx_packets_;
-  machine_.ScheduleAfter(dma, [this, buffer, len] {
+  machine_.ScheduleAfter(dma, [this, buffer, len, epoch = cancel_epoch_] {
+    if (epoch != cancel_epoch_) {
+      return;  // quiesced: the posting driver is gone
+    }
     rx_completions_.push_back(NicRxCompletion{buffer.addr, len});
     RaiseIrq();
   });
+}
+
+uint64_t Nic::CancelPosted() {
+  const uint64_t forgotten = rx_buffers_.size();
+  rx_buffers_.clear();
+  rx_completions_.clear();
+  tx_completions_.clear();
+  irq_latched_ = false;
+  ++cancel_epoch_;
+  return forgotten;
 }
 
 void Nic::RaiseIrq() {

@@ -58,6 +58,12 @@ class Nic {
   std::optional<NicRxCompletion> TakeRxCompletion();
   std::optional<NicTxCompletion> TakeTxCompletion();
 
+  // Crash-recovery quiesce (E19): forgets every posted rx buffer (a later
+  // arrival must not DMA into memory the dead driver posted), drops queued
+  // completions, and orphans in-flight completion events. Packets already
+  // on the wire still reach the peer. Returns the rx buffers forgotten.
+  uint64_t CancelPosted();
+
   // The device's interrupt-enable register (NAPI-style mitigation: the
   // driver disables it, drains completions by polling, re-enables when the
   // rings run dry). While disabled, completion edges are latched instead of
@@ -116,6 +122,7 @@ class Nic {
   std::deque<NicTxCompletion> tx_completions_;
   bool irq_enabled_ = true;
   bool irq_latched_ = false;
+  uint64_t cancel_epoch_ = 0;  // bumping it orphans scheduled completions
   uint64_t tx_packets_ = 0;
   uint64_t rx_packets_ = 0;
   uint64_t rx_drops_ = 0;

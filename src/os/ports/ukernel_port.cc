@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <map>
 
 #include "src/core/log.h"
 #include "src/os/kernel.h"
@@ -76,12 +77,32 @@ class UkernelPort::IpcBlock : public BlockDevice {
     while (done < count) {
       const uint32_t chunk = std::min(count - done, max_blocks);
       const uint64_t bytes = uint64_t{chunk} * block_size_;
-      port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window,
-                       in.subspan(uint64_t{done} * block_size_, bytes));
-      IpcMessage msg = IpcMessage::Short(kBlkWriteLabel, lba + done, chunk);
+      const auto payload = in.subspan(uint64_t{done} * block_size_, bytes);
+      port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window, payload);
+      IpcMessage msg;
+      uint64_t id = 0;
+      if (crash_recovery_) {
+        // Journal before submitting; the entry lives until the server
+        // genuinely answers (any status), so a mid-call server death
+        // leaves it behind for ReplayJournal.
+        id = next_id_++;
+        journal_.emplace(id, JournalEntry{lba + done, chunk,
+                                          std::vector<uint8_t>(payload.begin(), payload.end())});
+        msg = IpcMessage::Short(kBlkWriteLabel, lba + done, chunk, id);
+      } else {
+        msg = IpcMessage::Short(kBlkWriteLabel, lba + done, chunk);
+      }
       msg.has_string = true;
       msg.string = ukern::StringItem{port_.w_.srv_window, static_cast<uint32_t>(bytes)};
       IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
+      if (id != 0 && reply.status != Err::kDead && reply.status != Err::kBadHandle) {
+        // The server answered (success or error): the write's fate is
+        // known, so the journal entry is resolved.
+        journal_.erase(id);
+        if (reply.status == Err::kNone && static_cast<int64_t>(reply.regs[0]) >= 0) {
+          ++writes_acked_ok_;
+        }
+      }
       if (reply.status != Err::kNone) {
         return reply.status;
       }
@@ -93,7 +114,43 @@ class UkernelPort::IpcBlock : public BlockDevice {
     return Err::kNone;
   }
 
+  // --- Crash recovery (E19) ---------------------------------------------------
+
+  void SetCrashRecovery(bool on) { crash_recovery_ = on; }
+
+  uint64_t ReplayJournal() {
+    uint64_t replayed = 0;
+    auto it = journal_.begin();
+    while (it != journal_.end()) {  // id order: writes land in submit order
+      const uint64_t id = it->first;
+      const JournalEntry& entry = it->second;
+      port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window, entry.payload);
+      IpcMessage msg = IpcMessage::Short(kBlkWriteLabel, entry.lba, entry.count, id);
+      msg.has_string = true;
+      msg.string =
+          ukern::StringItem{port_.w_.srv_window, static_cast<uint32_t>(entry.payload.size())};
+      IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
+      if (reply.status == Err::kDead || reply.status == Err::kBadHandle) {
+        break;  // the replacement died too; keep the rest for the next round
+      }
+      if (reply.status == Err::kNone && static_cast<int64_t>(reply.regs[0]) >= 0) {
+        ++writes_acked_ok_;
+      }
+      it = journal_.erase(it);
+      ++replayed;
+    }
+    return replayed;
+  }
+
+  uint64_t writes_acked_ok() const { return writes_acked_ok_; }
+  size_t journal_depth() const { return journal_.size(); }
+
  private:
+  struct JournalEntry {
+    uint64_t lba = 0;
+    uint32_t count = 0;
+    std::vector<uint8_t> payload;
+  };
   void FetchInfo() const {
     if (info_fetched_) {
       return;
@@ -111,6 +168,10 @@ class UkernelPort::IpcBlock : public BlockDevice {
   mutable bool info_fetched_ = false;
   mutable uint32_t block_size_ = 0;
   mutable uint64_t capacity_ = 0;
+  bool crash_recovery_ = false;
+  uint64_t next_id_ = 1;  // monotonic across restarts — replay reuses ids
+  std::map<uint64_t, JournalEntry> journal_;  // unacked writes, in id order
+  uint64_t writes_acked_ok_ = 0;
 };
 
 // Network device backed by IPC to the user-level net driver server.
@@ -189,6 +250,11 @@ BlockDevice* UkernelPort::block() { return block_dev_.get(); }
 ConsoleDevice* UkernelPort::console() { return console_dev_.get(); }
 
 void UkernelPort::SetBlockServer(ThreadId server) { w_.blk_server = server; }
+
+void UkernelPort::SetCrashRecovery(bool on) { block_dev_->SetCrashRecovery(on); }
+uint64_t UkernelPort::ReplayBlockJournal() { return block_dev_->ReplayJournal(); }
+uint64_t UkernelPort::blk_writes_acked_ok() const { return block_dev_->writes_acked_ok(); }
+size_t UkernelPort::blk_journal_depth() const { return block_dev_->journal_depth(); }
 
 void UkernelPort::SetNetServer(ThreadId server) {
   w_.net_server = server;

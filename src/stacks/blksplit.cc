@@ -57,6 +57,14 @@ void BlkBack::OnKick(BlkChannel& chan) {
     if (req->count == 0 || req->count > driver_.blocks_per_page() ||
         req->lba + req->count > chan.slice_blocks) {
       err = Err::kOutOfRange;
+    } else if (req->is_write && recovery_log_ != nullptr &&
+               recovery_log_->Applied(chan.guest, req->id)) {
+      // Journal replay of a write that landed before the crash: answer
+      // success from the ledger without touching the disk (exactly-once).
+      recovery_log_->CountSuppressed();
+      chan.ring->PushResponse(BlkResp{req->id, Err::kNone});
+      (void)hv_.HcEvtchnSend(backend_, chan.back_port);
+      continue;
     } else if (health_.ShouldFastFail()) {
       err = Err::kRetryExhausted;
     }
@@ -93,10 +101,14 @@ void BlkBack::OnKick(BlkChannel& chan) {
     const uint64_t abs_lba = chan.slice_base + req->lba;
     const uint64_t id = req->id;
     const uint32_t gref = req->gref;
+    const bool is_write = req->is_write;
     BlkChannel* chan_ptr = &chan;
-    auto done = [this, chan_ptr, id, gref, map_va](Err status) {
+    auto done = [this, chan_ptr, id, gref, map_va, is_write](Err status) {
       if (status == Err::kNone) {
         health_.RecordSuccess();
+        if (is_write && recovery_log_ != nullptr) {
+          recovery_log_->MarkApplied(chan_ptr->guest, id);
+        }
       } else {
         health_.RecordFailure();
       }
@@ -124,7 +136,7 @@ void BlkBack::OnKick(BlkChannel& chan) {
 BlkFront::BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest,
                    std::vector<uvmm::Pfn> pool, PortMux& mux)
     : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
-      free_pfns_(pool.begin(), pool.end()) {
+      free_pfns_(pool.begin(), pool.end()), xenbus_(machine, "blk", guest) {
   hist_blk_e2e_ = machine_.tracer().InternHistogram("blk.e2e");
 }
 
@@ -145,10 +157,115 @@ Err BlkFront::Connect(BlkBack& back) {
   }
   chan_->front_port = *port;
   mux_.Route(chan_->front_port, [this] { OnResponse(); });
+  xenbus_.OnConnected();  // first connect only; reconnects go via Reconnect
   return Err::kNone;
 }
 
+void BlkFront::OnBackendDead(DomainId dead) {
+  if (!crash_recovery_ || dead != backend_) {
+    return;
+  }
+  xenbus_.MarkFailure(machine_.Now());
+  // Dropping the channel wakes any in-flight DoRequest wait with kDead; the
+  // channel object itself dies with the backend. Journaled writes stay.
+  chan_ = nullptr;
+}
+
+Err BlkFront::Reconnect(BlkBack& back) {
+  Err err = Connect(back);
+  if (err != Err::kNone) {
+    return err;
+  }
+  xenbus_.OnReconnected();
+  // Replay unacknowledged writes in id order with their original ids; the
+  // backend's recovery log turns duplicates into success replies. A write
+  // the backend answers (any status) is resolved; if the backend dies again
+  // mid-replay the tail stays journaled for the next reconnect.
+  uint64_t replayed = 0;
+  std::vector<uint64_t> resolved;
+  for (const auto& [id, entry] : journal_) {
+    bool answered = false;
+    (void)ReplayWrite(id, entry, answered);
+    if (!answered) {
+      break;
+    }
+    resolved.push_back(id);
+    ++replayed;
+  }
+  for (uint64_t id : resolved) {
+    journal_.erase(id);
+  }
+  xenbus_.OnReplayed(replayed);
+  return Err::kNone;
+}
+
+Err BlkFront::ReplayWrite(uint64_t id, const JournalEntry& entry, bool& answered) {
+  answered = false;
+  if (chan_ == nullptr) {
+    return Err::kDead;
+  }
+  if (free_pfns_.empty()) {
+    return Err::kBusy;
+  }
+  uvmm::Domain* dom = hv_.FindDomain(guest_);
+  const uvmm::Pfn pfn = free_pfns_.front();
+  free_pfns_.pop_front();
+  auto mfn = dom->MfnOf(pfn);
+  assert(mfn.ok());
+  machine_.memory().Write(machine_.memory().FrameBase(*mfn), entry.payload);
+  machine_.ChargeCopy(entry.payload.size());
+  const uint64_t cache_key = uint64_t{pfn} * 2;  // writes grant read-only pages
+  uint32_t gref = 0;
+  bool cached_grant = false;
+  if (persistent_) {
+    if (auto hit = gref_cache_.LookupGrant(cache_key)) {
+      gref = *hit;
+      cached_grant = true;
+    }
+  }
+  if (!cached_grant) {
+    auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
+    if (!fresh.ok()) {
+      free_pfns_.push_back(pfn);
+      return fresh.error();
+    }
+    gref = *fresh;
+    if (persistent_) {
+      gref_cache_.InsertGrant(cache_key, gref);
+    }
+  }
+  chan_->ring->PushRequest(BlkReq{id, /*is_write=*/true, entry.lba, entry.count, gref});
+  Err err = hv_.HcEvtchnSend(guest_, chan_->front_port);
+  if (err == Err::kNone) {
+    err = machine_.WaitUntil([&] { return completed_.contains(id) || chan_ == nullptr; },
+                             2'000'000'000ull);
+  }
+  if (err == Err::kNone) {
+    if (completed_.contains(id)) {
+      answered = true;
+      err = completed_[id];
+      completed_.erase(id);
+      if (err == Err::kNone) {
+        ++writes_acked_ok_;
+      }
+    } else {
+      err = Err::kDead;  // woke because the backend died again
+    }
+  }
+  if (!persistent_) {
+    (void)hv_.HcGrantEnd(guest_, gref);
+  }
+  free_pfns_.push_back(pfn);
+  return err;
+}
+
 void BlkFront::OnResponse() {
+  if (chan_ == nullptr) {
+    // Late upcall from a backend that died after OnBackendDead dropped the
+    // channel (a crashed Dom0 driver can still fire queued events); the
+    // ring died with it, so there is nothing to pop.
+    return;
+  }
   while (auto resp = chan_->ring->PopResponse()) {
     completed_[resp->id] = resp->status;
   }
@@ -165,7 +282,11 @@ Err BlkFront::Write(uint64_t lba, uint32_t count, std::span<const uint8_t> in) {
 Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<uint8_t> out,
                         std::span<const uint8_t> in) {
   if (chan_ == nullptr) {
-    return Err::kWouldBlock;
+    // A never-connected frontend would block; in recovery mode a null
+    // channel means OnBackendDead dropped it, so report the death (the
+    // channel comes back via Reconnect). Journaling is skipped either way —
+    // the request never reached a ring.
+    return crash_recovery_ && backend_.valid() ? Err::kDead : Err::kWouldBlock;
   }
   if (block_size_ == 0) {
     return Err::kInvalidArgument;
@@ -225,14 +346,45 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       }
     }
     const uint64_t id = next_id_++;
+    if (crash_recovery_ && is_write) {
+      JournalEntry& entry = journal_[id];
+      entry.lba = lba + done;
+      entry.count = chunk;
+      const auto payload = in.subspan(uint64_t{done} * block_size_, bytes);
+      entry.payload.assign(payload.begin(), payload.end());
+    }
     chan_->ring->PushRequest(BlkReq{id, is_write, lba + done, chunk, gref});
     Err err = hv_.HcEvtchnSend(guest_, chan_->front_port);
     if (err == Err::kNone) {
-      err = machine_.WaitUntil([&] { return completed_.contains(id); }, 2'000'000'000ull);
+      if (crash_recovery_) {
+        // Also wake on backend death (OnBackendDead nulls the channel)
+        // instead of riding out the full timeout against a corpse.
+        err = machine_.WaitUntil([&] { return completed_.contains(id) || chan_ == nullptr; },
+                                 2'000'000'000ull);
+      } else {
+        err = machine_.WaitUntil([&] { return completed_.contains(id); }, 2'000'000'000ull);
+      }
     }
+    bool answered = false;
     if (err == Err::kNone) {
-      err = completed_[id];
-      completed_.erase(id);
+      if (completed_.contains(id)) {
+        answered = true;
+        err = completed_[id];
+        completed_.erase(id);
+      } else {
+        err = Err::kDead;  // recovery wake: the backend died under us
+      }
+    }
+    if (crash_recovery_ && is_write) {
+      if (answered) {
+        // The backend replied — the write's fate is known, nothing to replay.
+        journal_.erase(id);
+        if (err == Err::kNone) {
+          ++writes_acked_ok_;
+        }
+      }
+      // Unanswered (death or timeout): the entry stays journaled; Reconnect
+      // replays it and the recovery log keeps the disk exactly-once.
     }
     if (!persistent_) {
       (void)hv_.HcGrantEnd(guest_, gref);

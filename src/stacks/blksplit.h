@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/error.h"
@@ -21,6 +23,7 @@
 #include "src/os/arch_if.h"
 #include "src/stacks/port_mux.h"
 #include "src/stacks/watchdog.h"
+#include "src/stacks/xenbus.h"
 #include "src/stacks/xenring.h"
 #include "src/vmm/grant_table.h"
 #include "src/vmm/hypervisor.h"
@@ -67,6 +70,12 @@ class BlkBack {
   void SetDegradePolicy(const DegradePolicy& policy) { health_.SetPolicy(policy); }
   const ServiceHealth& health() const { return health_; }
 
+  // Attaches the stack-owned exactly-once ledger (nullptr detaches). With a
+  // log attached, completed writes are recorded and duplicate ids (journal
+  // replays of writes that did land before the crash) are answered success
+  // without re-touching the disk.
+  void SetRecoveryLog(BlkRecoveryLog* log) { recovery_log_ = log; }
+
   ukvm::DomainId backend() const { return backend_; }
   uint32_t block_size() const;
   uint64_t requests_served() const { return served_; }
@@ -83,6 +92,7 @@ class BlkBack {
   PortMux& mux_;
   std::vector<std::unique_ptr<BlkChannel>> channels_;
   ServiceHealth health_;
+  BlkRecoveryLog* recovery_log_ = nullptr;  // not owned; outlives the backend
   bool persistent_ = false;
   uvmm::GrantCache map_cache_;  // (guest, gref) -> backend map va
   uint32_t next_persistent_slot_ = 0;
@@ -112,9 +122,40 @@ class BlkFront : public minios::BlockDevice {
   void SetPersistentGrants(bool on) { persistent_ = on; }
   const uvmm::GrantCache& gref_cache() const { return gref_cache_; }
 
+  // --- Crash recovery (E19) -------------------------------------------------
+
+  // Off by default: without it every path below is inert and the frontend
+  // behaves byte-identically to the pre-E19 driver. With it, writes are
+  // journaled until acknowledged and replayed (same ids) after a reconnect.
+  void SetCrashRecovery(bool on) { crash_recovery_ = on; }
+
+  // The backend domain died (domain-dead upcall or supervisor decision):
+  // drop the stale channel so in-flight waits wake with kDead. Journaled
+  // writes are retained for replay.
+  void OnBackendDead(ukvm::DomainId dead);
+
+  // Rebuilds the connection against a restarted backend, then replays every
+  // journaled (unacknowledged) write with its original id; the backend's
+  // recovery log suppresses the ones that landed before the crash.
+  ukvm::Err Reconnect(BlkBack& back);
+
+  XenbusConn& xenbus() { return xenbus_; }
+  uint64_t writes_acked_ok() const { return writes_acked_ok_; }
+  size_t journal_depth() const { return journal_.size(); }
+
  private:
+  struct JournalEntry {
+    uint64_t lba = 0;      // slice-relative
+    uint32_t count = 0;    // blocks, fits one page
+    std::vector<uint8_t> payload;
+  };
+
   ukvm::Err DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<uint8_t> out,
                       std::span<const uint8_t> in);
+  // Re-issues one journaled write with its original id and waits for the
+  // acknowledgement. `answered` reports whether the backend replied at all
+  // (any status resolves the entry); kDead means it died again mid-replay.
+  ukvm::Err ReplayWrite(uint64_t id, const JournalEntry& entry, bool& answered);
   void OnResponse();
 
   hwsim::Machine& machine_;
@@ -128,9 +169,13 @@ class BlkFront : public minios::BlockDevice {
   uvmm::GrantCache gref_cache_;  // pfn*2+writable -> gref
   uint32_t block_size_ = 0;
   uint64_t capacity_ = 0;
-  uint64_t next_id_ = 1;
+  uint64_t next_id_ = 1;  // monotonic across reconnects — replay reuses ids
   uint32_t hist_blk_e2e_ = 0;  // "blk.e2e": request submit -> completion cycles
   std::unordered_map<uint64_t, ukvm::Err> completed_;  // id -> status
+  bool crash_recovery_ = false;
+  XenbusConn xenbus_;
+  std::map<uint64_t, JournalEntry> journal_;  // unacked writes, replayed in id order
+  uint64_t writes_acked_ok_ = 0;  // write chunks whose final status was kNone
 };
 
 }  // namespace ustack

@@ -289,8 +289,35 @@ void NetBack::DeliverOne(hwsim::Frame frame, uint32_t len) {
 NetFront::NetFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest,
                    std::vector<uvmm::Pfn> pool, PortMux& mux)
     : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
-      free_pfns_(pool.begin(), pool.end()) {
+      free_pfns_(pool.begin(), pool.end()), pool_(std::move(pool)),
+      xenbus_(machine, "net", guest) {
   hist_tx_e2e_ = machine_.tracer().InternHistogram("net.tx.e2e");
+}
+
+void NetFront::OnBackendDead(DomainId dead) {
+  if (!crash_recovery_ || dead != backend_) {
+    return;
+  }
+  xenbus_.MarkFailure(machine_.Now());
+  chan_ = nullptr;
+  // Every pfn that was staged for tx or advertised as an rx slot was parked
+  // with the dead backend; the hypervisor already revoked the grants, so the
+  // whole pool comes home. In-flight tx packets die with the backend (the
+  // NIC contract: upper layers retransmit), counted so the bench can report
+  // them.
+  tx_dropped_on_crash_ += tx_grants_.size();
+  tx_grants_.clear();
+  tx_gref_cache_.Clear();
+  free_pfns_.assign(pool_.begin(), pool_.end());
+}
+
+Err NetFront::Reconnect(NetBack& back) {
+  Err err = Connect(back);
+  if (err != Err::kNone) {
+    return err;
+  }
+  xenbus_.OnReconnected();
+  return Err::kNone;
 }
 
 Err NetFront::Connect(NetBack& back) {
@@ -319,6 +346,7 @@ Err NetFront::Connect(NetBack& back) {
     free_pfns_.pop_front();
     PostRxSlot(pfn, /*kick=*/false);
   }
+  xenbus_.OnConnected();  // first connect only; reconnects go via Reconnect
   return Err::kNone;
 }
 
@@ -393,6 +421,9 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
 }
 
 void NetFront::OnTxResponse() {
+  if (chan_ == nullptr) {
+    return;  // late upcall after OnBackendDead dropped the channel
+  }
   while (auto resp = chan_->tx_ring->PopResponse()) {
     if (!persistent_) {
       // Persistent grants stay live for the next send of the same page.
@@ -408,6 +439,9 @@ void NetFront::OnTxResponse() {
 }
 
 void NetFront::OnRxResponse() {
+  if (chan_ == nullptr) {
+    return;  // late upcall after OnBackendDead dropped the channel
+  }
   uvmm::Domain* dom = hv_.FindDomain(guest_);
   if (io_batch_ <= 1) {
     while (auto resp = chan_->rx_ring->PopResponse()) {

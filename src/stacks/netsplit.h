@@ -26,6 +26,7 @@
 #include "src/os/arch_if.h"
 #include "src/stacks/port_mux.h"
 #include "src/stacks/watchdog.h"
+#include "src/stacks/xenbus.h"
 #include "src/stacks/xenring.h"
 #include "src/vmm/grant_table.h"
 #include "src/vmm/hypervisor.h"
@@ -170,6 +171,24 @@ class NetFront : public minios::NetDevice {
   // hypercalls. Must match the backend's setting.
   void SetPersistentGrants(bool on) { persistent_ = on; }
 
+  // --- Crash recovery (E19) -------------------------------------------------
+
+  // Off by default (byte-identical). Network recovery is drop-and-
+  // retransmit: packets lost with the backend are *counted*, never
+  // replayed — upper layers own retransmission, as on a real NIC.
+  void SetCrashRecovery(bool on) { crash_recovery_ = on; }
+
+  // The backend domain died: reclaim every pfn parked in tx grants or
+  // advertised rx slots back into the free pool and drop the stale channel.
+  void OnBackendDead(ukvm::DomainId dead);
+
+  // Rebuilds rings, event channels, grants, and rx slots against a
+  // restarted backend.
+  ukvm::Err Reconnect(NetBack& back);
+
+  XenbusConn& xenbus() { return xenbus_; }
+  uint64_t tx_dropped_on_crash() const { return tx_dropped_on_crash_; }
+
   uint64_t tx_sent() const { return tx_sent_; }
   uint64_t rx_received() const { return rx_received_; }
   const uvmm::GrantCache& tx_gref_cache() const { return tx_gref_cache_; }
@@ -192,8 +211,12 @@ class NetFront : public minios::NetDevice {
   };
 
   std::deque<uvmm::Pfn> free_pfns_;
+  std::vector<uvmm::Pfn> pool_;  // the full I/O pool, for reclamation on crash
   std::unordered_map<uint32_t, TxGrant> tx_grants_;  // gref -> staging pfn + t0
   RecvHandler handler_;
+  bool crash_recovery_ = false;
+  XenbusConn xenbus_;
+  uint64_t tx_dropped_on_crash_ = 0;  // in-flight tx packets lost with a backend
   size_t io_batch_ = 1;
   bool persistent_ = false;
   uvmm::GrantCache tx_gref_cache_;  // staging pfn -> gref

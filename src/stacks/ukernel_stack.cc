@@ -48,6 +48,10 @@ UkernelStack::UkernelStack(Config config)
   block_server_ =
       std::make_unique<UkBlockServer>(machine_, *kernel_, *sigma0_, disk_, config.slice_blocks);
   machine_.tracer().RegisterDomain(block_server_->task(), "block-server");
+  crash_recovery_ = config.crash_recovery;
+  if (crash_recovery_) {
+    block_server_->SetRecoveryLog(&blk_recovery_log_);
+  }
   ApplyServerPolicies();
   for (uint32_t i = 0; i < config.num_guests; ++i) {
     guests_.push_back(MakeGuest("guest" + std::to_string(i)));
@@ -122,6 +126,11 @@ std::unique_ptr<UkernelStack::Guest> UkernelStack::MakeGuest(const std::string& 
   wiring.net_server = net_server_->thread();
 
   g->port = std::make_unique<minios::UkernelPort>(machine_, wiring);
+  if (crash_recovery_) {
+    g->port->SetCrashRecovery(true);
+    g->xenbus = std::make_unique<XenbusConn>(machine_, "uk-blk", g->os_task);
+    g->xenbus->OnConnected();
+  }
   g->os = std::make_unique<minios::Os>(machine_, *g->port, name);
   ukvm::ProfScope boot_frame(machine_.tracer(),
                              machine_.tracer().profiler().InternFrame("guest.boot"));
@@ -147,11 +156,38 @@ void UkernelStack::RouteWirePort(uint16_t wire_port, size_t i) {
   net_server_->RoutePort(wire_port, guest(i).net_rx_thread);
 }
 
-Err UkernelStack::KillBlockServer() { return kernel_->DestroyTask(block_server_->task()); }
+Err UkernelStack::KillBlockServer() {
+  const Err err = kernel_->DestroyTask(block_server_->task());
+  if (crash_recovery_ && err == Err::kNone) {
+    // Quiesce at the kill edge, not just at restart: the dead server's DMA
+    // sources (its staging/window frames) were freed with its task, so an
+    // in-flight request completing now would move garbage. Cancelled ops
+    // stay journaled on the client and replay after the restart.
+    machine_.counters().AddNamed("recovery.disk.dma_cancelled", disk_.CancelPending());
+    // The kill edge: the detection segment in each guest's recovery clock
+    // starts here, not at the watchdog's (later) failed probe.
+    for (auto& g : guests_) {
+      if (g->xenbus != nullptr) {
+        g->xenbus->MarkFailure(machine_.Now());
+      }
+    }
+  }
+  return err;
+}
 
 Err UkernelStack::KillNetServer() { return kernel_->DestroyTask(net_server_->task()); }
 
 Err UkernelStack::RestartBlockServer() {
+  if (crash_recovery_) {
+    for (auto& g : guests_) {
+      if (g->xenbus != nullptr) {
+        g->xenbus->OnDetected();
+      }
+    }
+    // Quiesce: the dead server's in-flight DMA must not complete into
+    // frames the replacement server is about to reuse as staging.
+    machine_.counters().AddNamed("recovery.disk.dma_cancelled", disk_.CancelPending());
+  }
   // Carry the slice table over: a fresh server must not hand client A's
   // slice to whichever client happens to speak first.
   auto slices = block_server_->slices();
@@ -162,9 +198,21 @@ Err UkernelStack::RestartBlockServer() {
   block_server_->RestoreSlices(std::move(slices), next_slice);
   block_server_->SetRetryPolicy(disk_retry_);
   block_server_->SetDegradePolicy(degrade_);
+  if (crash_recovery_) {
+    block_server_->SetRecoveryLog(&blk_recovery_log_);
+    for (auto& g : guests_) {
+      if (g->xenbus != nullptr) {
+        g->xenbus->OnReclaimed();
+      }
+    }
+  }
   for (auto& g : guests_) {
     if (g->port != nullptr) {
       g->port->SetBlockServer(block_server_->thread());
+      if (g->xenbus != nullptr) {
+        g->xenbus->OnReconnected();
+        g->xenbus->OnReplayed(g->port->ReplayBlockJournal());
+      }
     }
   }
   return Err::kNone;

@@ -22,6 +22,7 @@
 #include "src/os/ports/ukernel_port.h"
 #include "src/stacks/ukservers.h"
 #include "src/stacks/watchdog.h"
+#include "src/stacks/xenbus.h"
 #include "src/ukernel/kernel.h"
 
 namespace ustack {
@@ -50,6 +51,14 @@ class UkernelStack {
     // tracing off, the instrumented paths charge exactly the same simulated
     // cycles as before the tracer existed.
     ukvm::TraceConfig trace;
+    // E19 crash recovery — default off, so every pre-E19 path is
+    // byte-identical. On: block writes are journaled by the port and
+    // replayed (same ids) after RestartBlockServer; the stack-owned
+    // BlkRecoveryLog makes them exactly-once across server restarts; the
+    // restart path quiesces in-flight disk DMA before the replacement
+    // server attaches; each guest's uk-blk xenbus connection records the
+    // recovery phases.
+    bool crash_recovery = false;
   };
 
   struct Guest {
@@ -60,6 +69,9 @@ class UkernelStack {
     ukvm::ThreadId net_rx_thread;
     std::unique_ptr<minios::UkernelPort> port;
     std::unique_ptr<minios::Os> os;
+    // The uk-blk connection state machine (crash recovery only; the
+    // microkernel mirror of a frontend's xenbus conn).
+    std::unique_ptr<XenbusConn> xenbus;
     bool booted = false;
   };
 
@@ -100,6 +112,10 @@ class UkernelStack {
   ukvm::Err RestartBlockServer();
   ukvm::Err RestartNetServer();
 
+  // The stack-owned exactly-once write ledger (survives server restarts).
+  const BlkRecoveryLog& blk_recovery_log() const { return blk_recovery_log_; }
+  bool crash_recovery() const { return crash_recovery_; }
+
   // --- Health probes (service watchdog) ----------------------------------------
   // One request through the service's ordinary IPC interface, issued from a
   // dedicated monitor task (created lazily on first probe). kNone means the
@@ -131,6 +147,8 @@ class UkernelStack {
   std::vector<std::unique_ptr<Guest>> guests_;
   std::unordered_map<uint16_t, size_t> wire_routes_;  // re-applied on restart
   uint64_t slice_blocks_ = 8192;
+  bool crash_recovery_ = false;
+  BlkRecoveryLog blk_recovery_log_;
   udrv::RetryPolicy disk_retry_;
   udrv::RetryPolicy nic_retry_;
   DegradePolicy degrade_;

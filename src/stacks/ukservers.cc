@@ -319,7 +319,15 @@ IpcMessage UkBlockServer::Handle(ThreadId sender, IpcMessage msg) {
         state->first = true;
       });
       if (err == Err::kNone) {
-        err = machine_.WaitUntil([&] { return state->first; }, 2'000'000'000ull);
+        // Also wake if this server is destroyed mid-request (E19 crash
+        // injection): the completion will never arrive — the supervisor
+        // cancels the corpse's in-flight DMA — and the caller must see the
+        // death, not a stall.
+        err = machine_.WaitUntil([&] { return state->first || !kernel_.TaskAlive(task_); },
+                                 2'000'000'000ull);
+      }
+      if (err == Err::kNone && !state->first) {
+        return IpcMessage::Error(Err::kDead);
       }
       const Err status = state->second;
       if (err != Err::kNone || status != Err::kNone) {
@@ -348,6 +356,24 @@ IpcMessage UkBlockServer::Handle(ThreadId sender, IpcMessage msg) {
       if (msg.string_data.size() < uint64_t{count} * disk_.config().block_size) {
         return IpcMessage::Error(Err::kInvalidArgument);
       }
+      // Exactly-once (E19): regs[3] carries the client's journal id (0 =
+      // legacy client, no recovery). A replayed id that already hit the
+      // disk is acknowledged from the ledger without re-touching it.
+      const uint64_t req_id = msg.regs[3];
+      ukvm::DomainId client = ukvm::DomainId::Invalid();
+      if (req_id != 0 && recovery_log_ != nullptr) {
+        auto task = kernel_.TaskOf(sender);
+        if (task.ok()) {
+          client = *task;
+          if (recovery_log_->Applied(client, req_id)) {
+            recovery_log_->CountSuppressed();
+            IpcMessage reply;
+            reply.regs[0] = 0;
+            reply.reg_count = 1;
+            return reply;
+          }
+        }
+      }
       if (health_.ShouldFastFail()) {
         return IpcMessage::Error(Err::kRetryExhausted);
       }
@@ -361,7 +387,14 @@ IpcMessage UkBlockServer::Handle(ThreadId sender, IpcMessage msg) {
         state->first = true;
       });
       if (err == Err::kNone) {
-        err = machine_.WaitUntil([&] { return state->first; }, 2'000'000'000ull);
+        // Wake on our own death too (see the read path): the write's fate
+        // is then unknown — no MarkApplied — so the client's journal keeps
+        // the entry and the replay settles it after the restart.
+        err = machine_.WaitUntil([&] { return state->first || !kernel_.TaskAlive(task_); },
+                                 2'000'000'000ull);
+      }
+      if (err == Err::kNone && !state->first) {
+        return IpcMessage::Error(Err::kDead);
       }
       const Err status = state->second;
       if (err != Err::kNone || status != Err::kNone) {
@@ -370,6 +403,9 @@ IpcMessage UkBlockServer::Handle(ThreadId sender, IpcMessage msg) {
       }
       health_.RecordSuccess();
       ++served_;
+      if (req_id != 0 && recovery_log_ != nullptr && client.valid()) {
+        recovery_log_->MarkApplied(client, req_id);
+      }
       IpcMessage reply;
       reply.regs[0] = 0;
       reply.reg_count = 1;

@@ -22,6 +22,7 @@
 #include "src/hw/machine.h"
 #include "src/hw/nic.h"
 #include "src/stacks/watchdog.h"
+#include "src/stacks/xenbus.h"
 #include "src/ukernel/kernel.h"
 
 namespace ustack {
@@ -122,6 +123,13 @@ class UkBlockServer {
     next_slice_ = next_slice;
   }
 
+  // Attaches the stack-owned exactly-once ledger (nullptr detaches), the
+  // mirror of BlkBack::SetRecoveryLog. Write requests carrying a nonzero id
+  // in regs[3] are deduplicated against it (keyed by the sender's task):
+  // a journal replay of a write that landed before the crash is answered
+  // success without re-touching the disk.
+  void SetRecoveryLog(BlkRecoveryLog* log) { recovery_log_ = log; }
+
   uint64_t requests_served() const { return served_; }
 
  private:
@@ -142,6 +150,7 @@ class UkBlockServer {
   std::unordered_map<ukvm::DomainId, uint64_t> slices_;  // client task -> slice idx
   uint64_t next_slice_ = 0;
   ServiceHealth health_;
+  BlkRecoveryLog* recovery_log_ = nullptr;  // not owned; outlives the server
   uint64_t served_ = 0;
 };
 

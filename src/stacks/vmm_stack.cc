@@ -25,6 +25,10 @@ VmmStack::VmmStack(Config config)
   }
   hv_ = std::make_unique<uvmm::Hypervisor>(machine_);
   machine_.tracer().RegisterDomain(hv_->vmm_domain(), "xen");
+  crash_recovery_ = config.crash_recovery;
+  if (crash_recovery_) {
+    hv_->SetCrashRecovery(true);
+  }
 
   // --- Dom0: the privileged driver domain -----------------------------------
   auto dom0 = hv_->CreateDomain("Dom0", config.dom0_pages, /*privileged=*/true);
@@ -92,6 +96,10 @@ VmmStack::VmmStack(Config config)
   persistent_grants_ = config.persistent_grants;
   storage_pages_ = config.storage_pages;
   slice_blocks_ = config.slice_blocks;
+  net_driver_domain_ = config.net_driver_domain;
+  net_domain_pages_ = config.net_domain_pages;
+  rx_mode_ = config.rx_mode;
+  io_batch_ = config.io_batch;
   if (config.parallax_storage) {
     auto sd = hv_->CreateDomain("ParallaxVM", config.storage_pages, /*privileged=*/true);
     assert(sd.ok());
@@ -111,6 +119,9 @@ VmmStack::VmmStack(Config config)
   blkback_->SetDegradePolicy(degrade_);
   if (config.persistent_grants) {
     blkback_->SetPersistentGrants(true);
+  }
+  if (crash_recovery_) {
+    blkback_->SetRecoveryLog(&blk_recovery_log_);
   }
   auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
   assert(disk_port.ok());
@@ -168,11 +179,25 @@ std::unique_ptr<VmmStack::Guest> VmmStack::MakeGuest(const std::string& name,
   if (config.persistent_grants) {
     g->netfront->SetPersistentGrants(true);
   }
+  if (crash_recovery_) {
+    g->netfront->SetCrashRecovery(true);
+  }
   err = g->netfront->Connect(*netback_);
   assert(err == Err::kNone);
   g->blkfront = std::make_unique<BlkFront>(machine_, *hv_, g->domain, blk_pool, *g->mux);
   if (config.persistent_grants) {
     g->blkfront->SetPersistentGrants(true);
+  }
+  if (crash_recovery_) {
+    g->blkfront->SetCrashRecovery(true);
+    // Backend death reaches the guest as a kDomainDead upcall ("xenbus
+    // watch fired"); each frontend decides whether the corpse was its peer.
+    Guest* raw = g.get();
+    err = hv_->HcSetDomainDeadHandler(g->domain, [raw](ukvm::DomainId dead) {
+      raw->netfront->OnBackendDead(dead);
+      raw->blkfront->OnBackendDead(dead);
+    });
+    assert(err == Err::kNone);
   }
   err = g->blkfront->Connect(*blkback_);
   assert(err == Err::kNone);
@@ -199,9 +224,35 @@ Err VmmStack::RunAsApp(size_t i, const std::function<void()>& fn) {
 
 void VmmStack::RouteWirePort(uint16_t wire_port, size_t i) {
   netback_->RoutePort(wire_port, guest(i).domain);
+  // Remember the route so a net-domain restart can replay it into the
+  // replacement netback (latest registration wins, as in the live table).
+  std::erase_if(wire_routes_, [wire_port](const auto& r) { return r.first == wire_port; });
+  wire_routes_.emplace_back(wire_port, i);
 }
 
 Err VmmStack::KillStorage() { return hv_->DestroyDomain(storage_dom_); }
+
+Err VmmStack::CrashStorageService() {
+  if (parallax_) {
+    return KillStorage();
+  }
+  if (!crash_recovery_) {
+    return Err::kNotSupported;  // a dom0 driver crash has no legacy analogue
+  }
+  if (!hv_->DomainAlive(dom0_)) {
+    return Err::kDead;
+  }
+  // The blkback inside Dom0 stops answering; the old instance stays
+  // allocated until RestartStorage replaces it (mirroring a crashed driver
+  // process whose DMA the restart path must still quiesce). Detaching the
+  // frontends wakes their in-flight waits with kDead.
+  for (auto& g : guests_) {
+    if (hv_->DomainAlive(g->domain)) {
+      g->blkfront->OnBackendDead(storage_dom_);
+    }
+  }
+  return Err::kNone;
+}
 
 Err VmmStack::KillNetDomain() { return hv_->DestroyDomain(net_dom_); }
 
@@ -210,6 +261,17 @@ Err VmmStack::KillDom0() { return hv_->DestroyDomain(dom0_); }
 Err VmmStack::KillGuest(size_t i) { return hv_->DestroyDomain(guest(i).domain); }
 
 Err VmmStack::RestartStorage() {
+  if (crash_recovery_) {
+    // The supervisor has decided the backend is gone: advance each live
+    // frontend's xenbus machine and quiesce the disk's completion queue so
+    // no in-flight DMA queued by the dead backend lands after teardown.
+    for (auto& g : guests_) {
+      if (hv_->DomainAlive(g->domain)) {
+        g->blkfront->xenbus().OnDetected();
+      }
+    }
+    machine_.counters().AddNamed("recovery.disk.dma_cancelled", disk_.CancelPending());
+  }
   if (parallax_) {
     auto sd = hv_->CreateDomain("ParallaxVM-2", storage_pages_, /*privileged=*/true);
     if (!sd.ok()) {
@@ -231,6 +293,16 @@ Err VmmStack::RestartStorage() {
   if (persistent_grants_) {
     blkback_->SetPersistentGrants(true);
   }
+  if (crash_recovery_) {
+    // The exactly-once ledger outlives the backend — the replacement picks
+    // it up and suppresses replayed writes that already landed.
+    blkback_->SetRecoveryLog(&blk_recovery_log_);
+    for (auto& g : guests_) {
+      if (hv_->DomainAlive(g->domain)) {
+        g->blkfront->xenbus().OnReclaimed();
+      }
+    }
+  }
   auto disk_port = hv_->HcEvtchnAllocUnbound(storage_dom_, storage_dom_);
   if (!disk_port.ok()) {
     return disk_port.error();
@@ -239,7 +311,91 @@ Err VmmStack::RestartStorage() {
   UKVM_TRY(hv_->HcBindIrq(storage_dom_, disk_.line(), *disk_port));
   for (auto& g : guests_) {
     if (hv_->DomainAlive(g->domain)) {
-      UKVM_TRY(g->blkfront->Connect(*blkback_));
+      if (crash_recovery_) {
+        UKVM_TRY(g->blkfront->Reconnect(*blkback_));
+      } else {
+        UKVM_TRY(g->blkfront->Connect(*blkback_));
+      }
+    }
+  }
+  return Err::kNone;
+}
+
+Err VmmStack::RestartNetDomain() {
+  if (crash_recovery_) {
+    for (auto& g : guests_) {
+      if (hv_->DomainAlive(g->domain)) {
+        g->netfront->xenbus().OnDetected();
+      }
+    }
+    // Quiesce: forget posted rx buffers (a late arrival must not DMA into
+    // pages the dead driver posted) and orphan in-flight completions.
+    machine_.counters().AddNamed("recovery.nic.rx_forgotten", nic_.CancelPosted());
+  }
+  if (net_driver_domain_) {
+    auto nd = hv_->CreateDomain("NetDriverVM-2", net_domain_pages_, /*privileged=*/true);
+    if (!nd.ok()) {
+      return nd.error();
+    }
+    net_dom_ = *nd;
+    machine_.tracer().RegisterDomain(net_dom_, "NetDriverVM-2");
+    net_mux_ = std::make_unique<PortMux>();
+    UKVM_TRY(hv_->HcSetUpcall(net_dom_, net_mux_->AsUpcall()));
+  } else if (!hv_->DomainAlive(dom0_)) {
+    return Err::kDead;  // Dom0-hosted networking cannot outlive Dom0
+  }
+  PortMux& net_mux = net_driver_domain_ ? *net_mux_ : *dom0_mux_;
+  {
+    uvmm::Domain* nd = hv_->FindDomain(net_dom_);
+    std::vector<hwsim::Frame> pool;
+    for (uvmm::Pfn pfn = 0; pfn < 64; ++pfn) {
+      pool.push_back(nd->p2m[pfn]);
+    }
+    nic_driver_ = std::make_unique<udrv::NicDriver>(machine_, nic_, std::move(pool));
+    nic_driver_->SetRetryPolicy(nic_retry_);
+  }
+  netback_ = std::make_unique<NetBack>(machine_, *hv_, net_dom_, *nic_driver_, rx_mode_,
+                                       net_mux);
+  netback_->SetDegradePolicy(degrade_);
+  nic_driver_->SetRxCallback(
+      [this](hwsim::Frame frame, uint32_t len) { netback_->OnPacketReceived(frame, len); });
+  if (io_batch_ > 1) {
+    netback_->SetRxBatch(io_batch_);
+    nic_driver_->SetBatchDrainHook([this] { netback_->FlushRx(); });
+    nic_driver_->SetDeferredContext([this](const std::function<void()>& fn) {
+      (void)hv_->RunAsDomainKernel(net_dom_, fn);
+    });
+    nic_driver_->SetInterruptMitigation(true);
+  }
+  if (persistent_grants_) {
+    netback_->SetPersistentGrants(true);
+  }
+  auto nic_port = hv_->HcEvtchnAllocUnbound(net_dom_, net_dom_);
+  if (!nic_port.ok()) {
+    return nic_port.error();
+  }
+  net_mux.Route(*nic_port, [this] { nic_driver_->OnInterrupt(); });
+  UKVM_TRY(hv_->HcBindIrq(net_dom_, nic_.line(), *nic_port));
+  if (crash_recovery_) {
+    for (auto& g : guests_) {
+      if (hv_->DomainAlive(g->domain)) {
+        g->netfront->xenbus().OnReclaimed();
+      }
+    }
+  }
+  for (auto& g : guests_) {
+    if (hv_->DomainAlive(g->domain)) {
+      if (crash_recovery_) {
+        UKVM_TRY(g->netfront->Reconnect(*netback_));
+      } else {
+        UKVM_TRY(g->netfront->Connect(*netback_));
+      }
+    }
+  }
+  // The routing table died with the old netback; replay the recorded routes.
+  for (const auto& [wire_port, idx] : wire_routes_) {
+    if (idx < guests_.size() && hv_->DomainAlive(guests_[idx]->domain)) {
+      netback_->RoutePort(wire_port, guests_[idx]->domain);
     }
   }
   return Err::kNone;

@@ -434,8 +434,21 @@ IpcMessage Kernel::Call(ThreadId caller, ThreadId dest, IpcMessage msg) {
   }
 
   machine_.ledger().Record(mech_.ipc_call, c->task, d->task, machine_.Now() - t0, 0);
+  const DomainId dest_task = d->task;
 
   IpcMessage reply = InvokeHandler(*d, caller, std::move(delivered));
+
+  // The destination can be destroyed while handling the call (a supervisor
+  // killing a server task mid-request). Whatever the doomed handler
+  // returned is void: the caller observes the death, exactly as if the
+  // call had never been answered, and the stale Tcb is never dereferenced.
+  // The kernel synthesizes the error reply on the dead server's behalf, so
+  // the crossing ledger still sees a balanced call/reply pair.
+  d = FindThread(dest);
+  if (d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+    machine_.ledger().Record(mech_.ipc_reply, dest_task, c->task, 0, 0);
+    return fail(Err::kDead);
+  }
 
   // Reply path: transfer back to the caller.
   const uint64_t t1 = machine_.Now();

@@ -55,6 +55,11 @@ struct Domain {
   // Event-channel upcall (the guest's virtual-interrupt handler).
   std::function<void(uint32_t port)> evtchn_upcall;
 
+  // Domain-death notification (E19): called when a domain this one had a
+  // connected event channel to is destroyed. Registered only by crash-aware
+  // frontends; the default (unset) keeps the historical silent-dangle.
+  std::function<void(ukvm::DomainId dead)> domain_dead_upcall;
+
   // Guest page-fault handler.
   std::function<ukvm::Err(hwsim::Vaddr va, bool write)> pagefault_entry;
 

@@ -1,5 +1,6 @@
 #include "src/vmm/event_channel.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace uvmm {
@@ -139,6 +140,34 @@ void EventChannelTable::CloseAllOf(DomainId domain) {
     for (Port& p : vec) {
       if (p.allocated && p.connected && p.remote_dom == domain) {
         p.connected = false;
+      }
+    }
+  }
+}
+
+std::vector<DomainId> EventChannelTable::PeersOf(DomainId domain) const {
+  std::vector<DomainId> peers;
+  auto it = ports_.find(domain);
+  if (it == ports_.end()) {
+    return peers;
+  }
+  for (const Port& p : it->second) {
+    if (!p.allocated || !p.connected) {
+      continue;
+    }
+    if (std::find(peers.begin(), peers.end(), p.remote_dom) == peers.end()) {
+      peers.push_back(p.remote_dom);
+    }
+  }
+  return peers;
+}
+
+void EventChannelTable::ForEachChannel(const std::function<void(const ChannelView&)>& fn) const {
+  for (const auto& [dom, vec] : ports_) {
+    for (uint32_t port = 0; port < vec.size(); ++port) {
+      const Port& p = vec[port];
+      if (p.allocated) {
+        fn(ChannelView{dom, port, p.connected, p.remote_dom, p.remote_port, p.pending, p.masked});
       }
     }
   }

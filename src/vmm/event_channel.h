@@ -57,6 +57,25 @@ class EventChannelTable {
   // their ports become dangling (Send returns kDead).
   void CloseAllOf(ukvm::DomainId domain);
 
+  // The distinct domains `domain` has a connected channel to, in port order
+  // (deterministic). Collected by DestroyDomain *before* CloseAllOf so the
+  // kDomainDead upcall knows who to notify.
+  std::vector<ukvm::DomainId> PeersOf(ukvm::DomainId domain) const;
+
+  // A read-only view of one allocated port, for the invariant auditor.
+  struct ChannelView {
+    ukvm::DomainId owner;
+    uint32_t port = 0;
+    bool connected = false;
+    ukvm::DomainId remote_dom;
+    uint32_t remote_port = 0;
+    bool pending = false;
+    bool masked = false;
+  };
+
+  // Visits every allocated port of every domain.
+  void ForEachChannel(const std::function<void(const ChannelView&)>& fn) const;
+
   uint64_t sends() const { return sends_; }
   // Sends absorbed by an already-pending bit (no upcall scheduled).
   uint64_t coalesced_sends() const { return coalesced_sends_; }

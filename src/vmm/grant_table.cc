@@ -116,6 +116,7 @@ Err GrantTable::MapGrant(DomainId grantee, DomainId granter, uint32_t ref, hwsim
   machine_.Charge(machine_.costs().kernel_op + machine_.costs().pte_write);
   e->space.Map(va, *mfn, hwsim::PtePerms{write, /*user=*/true});
   ++entry->active_mappings;
+  entry->mapped_vas.push_back(va);
   machine_.ledger().Record(mech_map_, granter, grantee, 0, machine_.memory().page_size());
   if (audit_hook_) {
     audit_hook_();
@@ -142,6 +143,10 @@ Err GrantTable::UnmapGrant(DomainId grantee, DomainId granter, uint32_t ref, hws
   const hwsim::Vaddr unmapped_vpn = e->space.VpnOf(va);
   machine_.TlbShootdown(&e->space, {&unmapped_vpn, 1});
   --entry->active_mappings;
+  if (auto va_it = std::find(entry->mapped_vas.begin(), entry->mapped_vas.end(), va);
+      va_it != entry->mapped_vas.end()) {
+    entry->mapped_vas.erase(va_it);
+  }
   machine_.ledger().Record(mech_unmap_, grantee, granter, 0, 0);
   if (audit_hook_) {
     audit_hook_();
@@ -263,6 +268,66 @@ void GrantTable::DropAllOf(DomainId domain) {
   if (audit_hook_) {
     audit_hook_();
   }
+}
+
+GrantTable::ReclaimStats GrantTable::ReclaimDeadDomain(DomainId dead) {
+  ReclaimStats stats;
+  // Grants the dead domain issued: its frames are about to be freed, so any
+  // mapping a surviving grantee still holds must be torn out of its page
+  // table now — the grantee never cooperates with a crash. Shootdowns batch
+  // per grantee space (first-seen order, kept deterministic for the replay
+  // digests): one IPI round per victim, not one per page.
+  if (auto it = tables_.find(dead); it != tables_.end()) {
+    std::vector<std::pair<Domain*, std::vector<hwsim::Vaddr>>> victims;
+    for (Entry& entry : it->second) {
+      if (!entry.in_use) {
+        continue;
+      }
+      ++stats.grants_revoked;
+      if (entry.mapped_vas.empty()) {
+        continue;
+      }
+      Domain* e = resolve_(entry.grantee);
+      if (e == nullptr || !e->alive) {
+        continue;  // grantee died first; its space is already quarantined
+      }
+      auto victim = std::find_if(victims.begin(), victims.end(),
+                                 [e](const auto& v) { return v.first == e; });
+      if (victim == victims.end()) {
+        victims.emplace_back(e, std::vector<hwsim::Vaddr>{});
+        victim = std::prev(victims.end());
+      }
+      for (hwsim::Vaddr va : entry.mapped_vas) {
+        machine_.Charge(machine_.costs().kernel_op + machine_.costs().pte_write);
+        e->space.Unmap(va);
+        machine_.cpu().InvalidatePage(&e->space, e->space.VpnOf(va));
+        victim->second.push_back(e->space.VpnOf(va));
+        ++stats.mappings_unmapped;
+        machine_.ledger().Record(mech_unmap_, entry.grantee, dead, 0, 0);
+      }
+      entry.mapped_vas.clear();
+      entry.active_mappings = 0;
+    }
+    for (auto& [space_owner, vpns] : victims) {
+      machine_.TlbShootdown(&space_owner->space, vpns);
+    }
+    tables_.erase(it);
+  }
+  // Grants the dead domain held as grantee: its own space is in the
+  // machine's dead-space registry (ShootdownSpaceDeath), so the entries
+  // just clear — the granter's frames were never at risk.
+  for (auto& [granter, table] : tables_) {
+    for (Entry& entry : table) {
+      if (entry.in_use && entry.grantee == dead) {
+        entry = Entry{};
+        ++stats.grants_revoked;
+      }
+    }
+  }
+  if (audit_hook_) {
+    audit_hook_();
+  }
+  return stats;
 }
 
 // --- GrantCache -------------------------------------------------------------------

@@ -78,7 +78,21 @@ class GrantTable {
                                       ukvm::DomainId granter, uint32_t ref);
 
   // Drops all grants issued by or mapped by `domain` (domain destruction).
+  // Entries vanish from the table, but grantee-side PTEs installed through
+  // MapGrant stay behind — the historical behaviour, kept for the
+  // recovery-disabled path.
   void DropAllOf(ukvm::DomainId domain);
+
+  // Crash-recovery teardown (E19): like DropAllOf, but first force-revokes
+  // every live mapping of a grant the dead domain issued — unmapping the
+  // grantee's PTEs and shooting down its TLBs (one batched IPI round per
+  // grantee space, the E18 protocol) so no surviving domain keeps a window
+  // onto frames about to be freed and recycled.
+  struct ReclaimStats {
+    uint32_t grants_revoked = 0;
+    uint32_t mappings_unmapped = 0;
+  };
+  ReclaimStats ReclaimDeadDomain(ukvm::DomainId dead);
 
   // --- Batching ---------------------------------------------------------------
 
@@ -124,6 +138,9 @@ class GrantTable {
     bool writable = false;
     bool for_transfer = false;
     uint32_t active_mappings = 0;
+    // Where the grantee mapped this grant (one VA per active mapping), so
+    // ReclaimDeadDomain can force-unmap without the grantee's cooperation.
+    std::vector<hwsim::Vaddr> mapped_vas;
   };
 
   Entry* FindEntry(ukvm::DomainId granter, uint32_t ref);

@@ -123,6 +123,12 @@ Err Hypervisor::DestroyDomain(DomainId id) {
   if (dom == nullptr || !dom->alive) {
     return Err::kBadHandle;
   }
+  // Collect connected event-channel peers before teardown severs the
+  // channels: they are the domains owed a kDomainDead notification.
+  std::vector<DomainId> peers;
+  if (crash_recovery_) {
+    peers = evtchn_->PeersOf(id);
+  }
   machine_.ChargeTo(kVmmDomain, machine_.costs().kernel_op);
   dom->alive = false;
   // Address-space death: every vCPU must drop the domain's translations
@@ -130,7 +136,16 @@ Err Hypervisor::DestroyDomain(DomainId id) {
   // machine's dead-space registry and quarantine-releases its TLB salt.
   machine_.ShootdownSpaceDeath(&dom->space);
   evtchn_->CloseAllOf(id);
-  gnttab_->DropAllOf(id);
+  if (crash_recovery_) {
+    // Force-revoke everything the corpse granted or held: surviving
+    // grantees lose their PTEs (batched shootdown per victim space) so no
+    // window onto the freed frames outlives the domain.
+    const GrantTable::ReclaimStats stats = gnttab_->ReclaimDeadDomain(id);
+    machine_.counters().AddNamed("xen.reclaim.grants", stats.grants_revoked);
+    machine_.counters().AddNamed("xen.reclaim.unmaps", stats.mappings_unmapped);
+  } else {
+    gnttab_->DropAllOf(id);
+  }
   for (auto it = irq_bindings_.begin(); it != irq_bindings_.end();) {
     if (it->second.first == id) {
       it = irq_bindings_.erase(it);
@@ -149,6 +164,11 @@ Err Hypervisor::DestroyDomain(DomainId id) {
   if (machine_.cpu().current_domain() == id) {
     machine_.cpu().SetDomain(kVmmDomain);
     machine_.cpu().SetMode(hwsim::PrivLevel::kPrivileged);
+  }
+  // With the corpse fully reclaimed, tell the survivors. Peers that never
+  // registered a handler get the historical silence.
+  for (DomainId peer : peers) {
+    DeliverDomainDead(peer, id);
   }
   return Err::kNone;
 }
@@ -245,6 +265,16 @@ Err Hypervisor::HcSetUpcall(DomainId dom, std::function<void(uint32_t)> upcall) 
     return Err::kBadHandle;
   }
   d->evtchn_upcall = std::move(upcall);
+  HypercallEpilog(d);
+  return Err::kNone;
+}
+
+Err Hypervisor::HcSetDomainDeadHandler(DomainId dom, std::function<void(DomainId)> handler) {
+  Domain* d = HypercallProlog(dom, HypercallNr::kVcpuOp);
+  if (d == nullptr) {
+    return Err::kBadHandle;
+  }
+  d->domain_dead_upcall = std::move(handler);
   HypercallEpilog(d);
   return Err::kNone;
 }
@@ -646,6 +676,34 @@ void Hypervisor::DeliverUpcall(DomainId target, uint32_t port) {
   (void)evtchn_->ConsumePending(target, port);
   ++d->upcalls;
   d->evtchn_upcall(port);
+
+  if (prev != nullptr && prev->alive && prev != d) {
+    sched_.SwitchTo(*prev, prev_mode);
+  } else if (prev == d) {
+    machine_.cpu().SetMode(prev_mode);
+  } else {
+    machine_.cpu().SetDomain(prev_domain);
+    machine_.cpu().SetMode(prev_mode);
+  }
+}
+
+void Hypervisor::DeliverDomainDead(DomainId target, DomainId dead) {
+  Domain* d = FindDomain(target);
+  if (d == nullptr || !d->alive || !d->domain_dead_upcall) {
+    return;
+  }
+  // Same discipline as DeliverUpcall: save the interrupted context, run the
+  // handler at guest-kernel privilege, restore.
+  Domain* prev = sched_.current();
+  const hwsim::PrivLevel prev_mode = machine_.cpu().mode();
+  const DomainId prev_domain = machine_.cpu().current_domain();
+
+  ukvm::SpanScope span(machine_.tracer(), trace_upcall_name_, target);
+  ukvm::ProfScope frame(machine_.tracer(), trace_upcall_frame_);
+  machine_.Charge(machine_.costs().interrupt_dispatch);
+  sched_.SwitchTo(*d, hwsim::PrivLevel::kGuestKernel);
+  ++d->upcalls;
+  d->domain_dead_upcall(dead);
 
   if (prev != nullptr && prev->alive && prev != d) {
     sched_.SwitchTo(*prev, prev_mode);

@@ -128,6 +128,13 @@ class Hypervisor : public hwsim::TrapHandler {
   Domain* FindDomain(ukvm::DomainId dom);
   bool DomainAlive(ukvm::DomainId dom);
 
+  // E19 crash recovery. When enabled, DestroyDomain force-revokes the dead
+  // domain's grants (unmapping surviving grantees' PTEs, with E18-batched
+  // shootdowns) and delivers a kDomainDead upcall to every event-channel
+  // peer. Default off: the historical teardown, byte-identical to pre-E19.
+  void SetCrashRecovery(bool enabled) { crash_recovery_ = enabled; }
+  bool crash_recovery() const { return crash_recovery_; }
+
   // Visits every live domain (order unspecified); for the invariant auditor,
   // which also installs per-space audit hooks, hence the non-const refs.
   void ForEachDomain(const std::function<void(Domain&)>& fn);
@@ -147,6 +154,9 @@ class Hypervisor : public hwsim::TrapHandler {
                            std::function<ukvm::Err(hwsim::Vaddr, bool)> pagefault_entry,
                            bool request_fast_trap);
   ukvm::Err HcSetUpcall(ukvm::DomainId dom, std::function<void(uint32_t)> upcall);
+  // Registers the kDomainDead handler (VcpuOp, like the event upcall).
+  ukvm::Err HcSetDomainDeadHandler(ukvm::DomainId dom,
+                                   std::function<void(ukvm::DomainId)> handler);
   ukvm::Err HcSetExceptionHandler(ukvm::DomainId dom,
                                   std::function<ukvm::Err(hwsim::TrapFrame&)> handler);
   ukvm::Err HcSetSegment(ukvm::DomainId dom, hwsim::SegmentReg reg,
@@ -236,6 +246,8 @@ class Hypervisor : public hwsim::TrapHandler {
 
   // Event-channel upcall delivery (virtual interrupt into the target).
   void DeliverUpcall(ukvm::DomainId target, uint32_t port);
+  // kDomainDead delivery into a surviving peer (same save/switch/restore).
+  void DeliverDomainDead(ukvm::DomainId target, ukvm::DomainId dead);
 
   hwsim::Machine& machine_;
   Config config_;
@@ -249,6 +261,7 @@ class Hypervisor : public hwsim::TrapHandler {
   std::unordered_map<ukvm::IrqLine, std::pair<ukvm::DomainId, uint32_t>> irq_bindings_;
   uint32_t next_domain_id_ = 1;  // 0 is the hypervisor itself
   ukvm::DomainId dom0_ = ukvm::DomainId::Invalid();
+  bool crash_recovery_ = false;
 
   uint32_t mech_hypercall_ = 0;
   uint32_t mech_hypercall_ret_ = 0;

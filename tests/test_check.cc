@@ -304,6 +304,59 @@ TEST(CheckMutation, GrantMapIntoHypervisorHoleRejectedAndFlagged) {
   EXPECT_GE(CountInvariant(*stack.auditor(), Invariant::kHypervisorHoleMapping), 1u);
 }
 
+// --- E19: dead-domain reclamation ------------------------------------------------
+
+TEST(CheckMutation, GrantHeldByDeadDomainFlagged) {
+  ustack::VmmStack stack;
+  ASSERT_NE(stack.auditor(), nullptr);
+  const DomainId guest = stack.guest(0).domain;
+  // A live grant from the guest (the frontends keep several active).
+  auto ref = stack.hv().HcGrantAccess(guest, stack.dom0(), /*pfn=*/5, /*writable=*/true);
+  ASSERT_TRUE(ref.ok());
+  stack.auditor()->Checkpoint("clean");
+  ASSERT_EQ(CountInvariant(*stack.auditor(), Invariant::kGrantHeldByDeadDomain), 0u);
+
+  // Corruption: the granter "dies" without DestroyDomain's reclamation, so
+  // its grants survive the corpse.
+  uvmm::Domain* dom = stack.hv().FindDomain(guest);
+  ASSERT_NE(dom, nullptr);
+  dom->alive = false;
+  stack.auditor()->Checkpoint("mutation");
+  EXPECT_GE(CountInvariant(*stack.auditor(), Invariant::kGrantHeldByDeadDomain), 1u);
+  dom->alive = true;  // restore for orderly teardown
+}
+
+TEST(CheckMutation, DanglingEventChannelFlagged) {
+  ustack::VmmStack stack;
+  ASSERT_NE(stack.auditor(), nullptr);
+  const DomainId guest = stack.guest(0).domain;
+  stack.auditor()->Checkpoint("clean");
+  ASSERT_EQ(CountInvariant(*stack.auditor(), Invariant::kDanglingEventChannel), 0u);
+
+  // Corruption: the guest "dies" with its split-driver event channels (and
+  // the remote ends connected to them) still allocated.
+  uvmm::Domain* dom = stack.hv().FindDomain(guest);
+  ASSERT_NE(dom, nullptr);
+  dom->alive = false;
+  stack.auditor()->Checkpoint("mutation");
+  EXPECT_GE(CountInvariant(*stack.auditor(), Invariant::kDanglingEventChannel), 1u);
+  dom->alive = true;
+}
+
+TEST(CheckClean, DestroyDomainWithRecoveryLeavesNoDeadReferences) {
+  // The positive counterpart: with crash recovery on, DestroyDomain's
+  // reclamation must leave zero grants or channels naming the corpse.
+  ustack::VmmStack::Config config;
+  config.parallax_storage = true;
+  config.crash_recovery = true;
+  ustack::VmmStack stack(config);
+  ASSERT_NE(stack.auditor(), nullptr);
+  ASSERT_EQ(stack.KillStorage(), Err::kNone);
+  stack.auditor()->Checkpoint("after-kill");
+  EXPECT_EQ(CountInvariant(*stack.auditor(), Invariant::kGrantHeldByDeadDomain), 0u);
+  EXPECT_EQ(CountInvariant(*stack.auditor(), Invariant::kDanglingEventChannel), 0u);
+}
+
 // --- DMA rules ------------------------------------------------------------------
 
 TEST(CheckMutation, DmaToFreeFrameFlagged) {

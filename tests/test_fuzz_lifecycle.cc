@@ -22,10 +22,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +36,8 @@
 #include "src/check/invariants.h"
 #include "src/hw/machine.h"
 #include "src/hw/platform.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
 #include "src/ukernel/ipc.h"
 #include "src/ukernel/kernel.h"
 #include "src/ukernel/mapdb.h"
@@ -540,6 +545,214 @@ TEST(FuzzLifecycle, UkernelSeedBankCleanAndDeterministic) {
 }
 
 TEST(FuzzLifecycle, VmmSeedBankCleanAndDeterministic) { RunSeedBank(RunVmmFuzz, "vmm"); }
+
+// --- E19 crash-recovery fuzz ------------------------------------------------------
+//
+// Seeded sequences of block writes, read-verifies, backend kills (including
+// scheduled mid-flight kills that land inside a request's completion wait),
+// and reconnects, against all three crash-recoverable storage stacks. Per
+// seed:
+//  1. zero-loss / zero-dup: a per-lba model tracks every write that was
+//     acknowledged OR journaled; after the final reconnect the disk must
+//     match the model exactly, every journal must be empty, and the
+//     stack-owned recovery log's applied_total must equal the sum of
+//     acknowledged write chunks (a lost write or a double-applied replay
+//     breaks the equality);
+//  2. auditor-clean: no isolation invariant — including the E19
+//     dead-domain-reference rules — fires at any checkpoint;
+//  3. byte-identical determinism: two runs of a seed digest identically.
+
+// One crash-recoverable storage stack under fuzz: the three variants differ
+// only in how the backend dies and comes back.
+struct RecoveryTarget {
+  hwsim::Machine* machine = nullptr;
+  ucheck::Auditor* auditor = nullptr;
+  std::function<Err(uint64_t lba, std::span<const uint8_t>)> write;
+  std::function<Err(uint64_t lba, std::span<uint8_t>)> read;
+  std::function<void()> kill;
+  std::function<Err()> restart;
+  std::function<size_t()> journal_depth;
+  std::function<uint64_t()> applied_total;
+  std::function<uint64_t()> acked_total;
+  std::function<uint64_t()> reconnects;
+  uint32_t block_size = 0;
+};
+
+FuzzResult RunRecoveryFuzzOn(RecoveryTarget& t, uint64_t seed, uint32_t steps) {
+  SplitMix64 rng(seed * 2 + 1);
+  constexpr uint64_t kLbas = 40;  // well inside every stack's slice
+  std::map<uint64_t, uint8_t> model;  // lba -> fill byte of the last
+                                      // acknowledged-or-journaled write
+  bool alive = true;
+  std::vector<uint8_t> block(t.block_size);
+  std::vector<uint8_t> back(t.block_size);
+
+  auto do_write = [&](uint64_t lba, bool mid_flight_kill) {
+    const uint8_t fill = static_cast<uint8_t>(rng.Next() & 0xff);
+    std::fill(block.begin(), block.end(), fill);
+    if (mid_flight_kill) {
+      // Land inside the request's completion wait (disk fixed latency is
+      // 100us) or just after it — both interleavings must preserve the
+      // exactly-once invariant.
+      const uint64_t delay = (10 + rng.Below(120)) * hwsim::kCyclesPerUs;
+      t.machine->ScheduleAfter(delay, [&] { t.kill(); });
+    }
+    const size_t depth_before = t.journal_depth();
+    const Err err = t.write(lba, block);
+    // A write is durable-eventually iff it was acknowledged or journaled;
+    // journaled writes replay in id order before any post-restart write can
+    // be issued, so last-writer-wins ordering matches issue order.
+    if (err == Err::kNone || t.journal_depth() > depth_before) {
+      model[lba] = fill;
+    }
+    if (mid_flight_kill) {
+      // Drain the kill event (if the write returned first) and any orphaned
+      // completion the dead backend still had in flight — the
+      // applied-but-unacknowledged interleaving.
+      t.machine->RunUntilIdle();
+      alive = false;
+    }
+  };
+
+  for (uint32_t step = 0; step < steps; ++step) {
+    const uint64_t op = rng.Below(100);
+    const uint64_t lba = rng.Below(kLbas);
+    if (op < 40) {  // plain write
+      do_write(lba, /*mid_flight_kill=*/false);
+    } else if (op < 55 && alive) {  // read-verify against the model
+      const auto it = model.find(lba);
+      if (it != model.end() && t.read(lba, back) == Err::kNone) {
+        EXPECT_EQ(back[0], it->second) << "seed " << seed << " lba " << lba;
+        EXPECT_EQ(back[t.block_size - 1], it->second) << "seed " << seed;
+      }
+    } else if (op < 65 && alive) {  // mid-flight kill under a write
+      do_write(lba, /*mid_flight_kill=*/true);
+    } else if (op < 75 && alive) {  // quiescent kill
+      t.kill();
+      alive = false;
+    } else if (op < 90 && !alive) {  // reconnect
+      EXPECT_EQ(t.restart(), Err::kNone) << "seed " << seed;
+      alive = true;
+      EXPECT_EQ(t.journal_depth(), 0u) << "seed " << seed;
+    } else {  // let completions / upcalls drain
+      t.machine->RunFor((1 + rng.Below(200)) * hwsim::kCyclesPerUs);
+    }
+    if (step % 32 == 31 && t.auditor != nullptr) {
+      t.auditor->Checkpoint("recovery-fuzz-periodic");
+    }
+  }
+
+  // Final reconnect, then verify the three properties.
+  if (!alive) {
+    EXPECT_EQ(t.restart(), Err::kNone) << "seed " << seed;
+  }
+  EXPECT_EQ(t.journal_depth(), 0u) << "seed " << seed;
+  EXPECT_EQ(t.applied_total(), t.acked_total()) << "seed " << seed;
+
+  Digest d;
+  d.Mix(t.machine->Now());
+  for (const auto& [lba, fill] : model) {
+    EXPECT_EQ(t.read(lba, back), Err::kNone) << "seed " << seed << " lba " << lba;
+    EXPECT_EQ(back[0], fill) << "seed " << seed << " lba " << lba;
+    EXPECT_EQ(back[t.block_size - 1], fill) << "seed " << seed << " lba " << lba;
+    d.Mix(lba);
+    d.Mix(fill);
+  }
+  d.Mix(t.applied_total());
+  d.Mix(t.acked_total());
+  d.Mix(t.reconnects());
+  d.Mix(t.journal_depth());
+
+  FuzzResult out;
+  out.digest = d.value;
+  if (t.auditor != nullptr) {
+    t.auditor->Checkpoint("recovery-fuzz-final");
+    out.violations = t.auditor->violation_count();
+    out.reports = t.auditor->ViolationReports();
+  }
+  return out;
+}
+
+FuzzResult RunUkernelRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+  ustack::UkernelStack::Config config;
+  config.crash_recovery = true;
+  ustack::UkernelStack stack(config);
+  auto* block = stack.guest(0).port->block();
+  RecoveryTarget t;
+  t.machine = &stack.machine();
+  t.auditor = stack.auditor();
+  t.block_size = block->block_size();
+  t.write = [&](uint64_t lba, std::span<const uint8_t> in) { return block->Write(lba, 1, in); };
+  t.read = [&](uint64_t lba, std::span<uint8_t> out) { return block->Read(lba, 1, out); };
+  t.kill = [&] { (void)stack.KillBlockServer(); };
+  t.restart = [&] { return stack.RestartBlockServer(); };
+  t.journal_depth = [&] { return stack.guest(0).port->blk_journal_depth(); };
+  t.applied_total = [&] { return stack.blk_recovery_log().applied_total(); };
+  t.acked_total = [&] { return stack.guest(0).port->blk_writes_acked_ok(); };
+  t.reconnects = [&] { return stack.guest(0).xenbus->reconnects(); };
+  return RunRecoveryFuzzOn(t, seed, steps);
+}
+
+FuzzResult RunVmmRecoveryFuzz(uint64_t seed, uint32_t steps, bool parallax) {
+  ustack::VmmStack::Config config;
+  config.parallax_storage = parallax;
+  config.crash_recovery = true;
+  ustack::VmmStack stack(config);
+  auto& front = *stack.guest(0).blkfront;
+  RecoveryTarget t;
+  t.machine = &stack.machine();
+  t.auditor = stack.auditor();
+  t.block_size = front.block_size();
+  t.write = [&](uint64_t lba, std::span<const uint8_t> in) { return front.Write(lba, 1, in); };
+  t.read = [&](uint64_t lba, std::span<uint8_t> out) { return front.Read(lba, 1, out); };
+  // Parallax: whole-VM death (reclamation + kDomainDead upcalls). Dom0
+  // storage: a driver crash inside the surviving Dom0.
+  t.kill = [&] { parallax ? (void)stack.KillStorage() : (void)stack.CrashStorageService(); };
+  t.restart = [&] { return stack.RestartStorage(); };
+  t.journal_depth = [&] { return front.journal_depth(); };
+  t.applied_total = [&] { return stack.blk_recovery_log().applied_total(); };
+  t.acked_total = [&] { return front.writes_acked_ok(); };
+  t.reconnects = [&] { return front.xenbus().reconnects(); };
+  return RunRecoveryFuzzOn(t, seed, steps);
+}
+
+FuzzResult RunVmmParallaxRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+  return RunVmmRecoveryFuzz(seed, steps, /*parallax=*/true);
+}
+FuzzResult RunVmmDom0RecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+  return RunVmmRecoveryFuzz(seed, steps, /*parallax=*/false);
+}
+
+// Recovery fuzz: each seed boots a full stack (twice, for the determinism
+// check), so the default bank is smaller than the memory-path one; a longer
+// UKVM_FUZZ_SEEDS sweep scales it proportionally.
+constexpr uint32_t kRecoverySteps = 96;
+
+void RunRecoverySeedBank(FuzzFn fn, const char* stack) {
+  const uint64_t seeds = std::max<uint64_t>(4, SeedCount() / 4);
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE(std::string(stack) + " seed " + std::to_string(seed));
+    const FuzzResult first = fn(seed, kRecoverySteps, false);
+    for (const std::string& report : first.reports) {
+      ADD_FAILURE() << report;
+    }
+    EXPECT_EQ(first.violations, 0u);
+    const FuzzResult second = fn(seed, kRecoverySteps, false);
+    EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
+  }
+}
+
+TEST(FuzzRecovery, UkernelSeedBankCleanAndDeterministic) {
+  RunRecoverySeedBank(RunUkernelRecoveryFuzz, "ukernel");
+}
+
+TEST(FuzzRecovery, VmmParallaxSeedBankCleanAndDeterministic) {
+  RunRecoverySeedBank(RunVmmParallaxRecoveryFuzz, "vmm-parallax");
+}
+
+TEST(FuzzRecovery, VmmDom0SeedBankCleanAndDeterministic) {
+  RunRecoverySeedBank(RunVmmDom0RecoveryFuzz, "vmm-dom0");
+}
 
 // The incremental checkpoint sweep must be a pure optimisation: identical
 // per-rule violation counts on the same fuzz history, never auditing more
