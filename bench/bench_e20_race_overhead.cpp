@@ -1,0 +1,198 @@
+// E20: what happens-before race detection costs.
+//
+// The detector's contract mirrors the tracer's (E17): it observes the
+// simulation without perturbing it. No RaceSink method charges simulated
+// cycles, so a run with race detection on is cycle-for-cycle identical to
+// the same run with it off — the first gate asserts sim delta == 0 on
+// every row (the process exits nonzero otherwise, and scripts/check.sh
+// gates on it). The real cost is host wall-clock, reported as a ratio.
+//
+// The second gate is the detector's verdict itself: every stock split-driver
+// protocol here must run race-free (zero violations on every row). The
+// mutation self-tests in tests/test_race.cc cover the other direction —
+// that seeded protocol bugs do fire.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/experiments/table.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/stacks/vmm_stack.h"
+#include "src/workloads/netio.h"
+#include "src/workloads/oswork.h"
+
+namespace {
+
+struct RunResult {
+  uint64_t sim_cycles = 0;
+  double host_ms = 0;
+  uint64_t violations = 0;  // detector verdict (must be 0)
+  uint64_t edges = 0;       // release + acquire operations observed
+  uint64_t accesses = 0;    // shared slot/frame accesses checked
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename Stack>
+void Harvest(Stack& stack, RunResult& r) {
+  r.sim_cycles = stack.machine().Now();
+  if (stack.auditor() != nullptr && stack.auditor()->race() != nullptr) {
+    r.violations = stack.auditor()->violation_count();
+    const ucheck::RaceDetector::Stats s = stack.auditor()->race()->stats();
+    r.edges = s.releases + s.acquires;
+    r.accesses = s.shared_accesses;
+  }
+}
+
+RunResult RunVmmFlipReceive(bool race) {
+  ustack::VmmStack::Config config;
+  config.audit = false;
+  config.race_detect = race;
+  config.rx_mode = ustack::RxMode::kPageFlip;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    (void)os.NetBind(*pid, 40);
+    wire.StartStream(40, 1024, 20 * hwsim::kCyclesPerUs, 64);
+    uwork::RunUdpReceive(stack.machine(), os, *pid, 40, 64, 1'000'000'000ull);
+  });
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  Harvest(stack, r);
+  r.host_ms = MsSince(t0);
+  return r;
+}
+
+RunResult RunVmmBlkTraffic(bool race) {
+  ustack::VmmStack::Config config;
+  config.audit = false;
+  config.race_detect = race;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::VmmStack stack(config);
+  auto& front = *stack.guest(0).blkfront;
+  std::vector<uint8_t> block(front.block_size(), 0x5A);
+  std::vector<uint8_t> back(front.block_size(), 0);
+  for (uint64_t lba = 0; lba < 32; ++lba) {
+    (void)front.Write(lba, 1, block);
+  }
+  for (uint64_t lba = 0; lba < 32; ++lba) {
+    (void)front.Read(lba, 1, back);
+  }
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  Harvest(stack, r);
+  r.host_ms = MsSince(t0);
+  return r;
+}
+
+RunResult RunVmmBatchedCopyReceive(bool race) {
+  ustack::VmmStack::Config config;
+  config.audit = false;
+  config.race_detect = race;
+  config.rx_mode = ustack::RxMode::kGrantCopy;
+  config.io_batch = 8;
+  config.persistent_grants = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(41, 0);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    (void)os.NetBind(*pid, 41);
+    wire.StartStream(41, 1024, 20 * hwsim::kCyclesPerUs, 64);
+    uwork::RunUdpReceive(stack.machine(), os, *pid, 41, 64, 1'000'000'000ull);
+  });
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  Harvest(stack, r);
+  r.host_ms = MsSince(t0);
+  return r;
+}
+
+RunResult RunUkernelIpc(bool race) {
+  ustack::UkernelStack::Config config;
+  config.audit = false;
+  config.race_detect = race;
+  const auto t0 = std::chrono::steady_clock::now();
+  ustack::UkernelStack stack(config);
+  auto& os = stack.guest_os(0);
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("bench");
+    uwork::RunNullSyscalls(stack.machine(), os, *pid, 2000);
+  });
+  stack.machine().RunUntilIdle();
+  RunResult r;
+  Harvest(stack, r);
+  r.host_ms = MsSince(t0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  uharness::PrintHeading("E20",
+                         "race-detection overhead: vector clocks + ring discipline");
+
+  struct Shape {
+    const char* name;
+    std::function<RunResult(bool)> run;
+  };
+  const std::vector<Shape> shapes = {
+      {"E9 flip receive (vmm, 64 pkts page-flip)", RunVmmFlipReceive},
+      {"blk write/read (vmm, 32 blocks each way)", RunVmmBlkTraffic},
+      {"E16 batched copy receive (vmm, batch 8)", RunVmmBatchedCopyReceive},
+      {"E1 ipc-pingpong (ukernel, 2000 syscalls)", RunUkernelIpc},
+  };
+
+  uharness::Table table("race detection off vs on",
+                        {"workload", "sim cycles (off)", "sim cycles (on)", "sim delta",
+                         "host ms (off)", "host ms (on)", "host overhead", "hb edges",
+                         "accesses", "violations"});
+
+  bool sim_clean = true;
+  bool races_clean = true;
+  for (const Shape& shape : shapes) {
+    // Warm-up run to stabilise host timing (allocator, page cache).
+    (void)shape.run(false);
+    const RunResult off = shape.run(false);
+    const RunResult on = shape.run(true);
+    const int64_t delta =
+        static_cast<int64_t>(on.sim_cycles) - static_cast<int64_t>(off.sim_cycles);
+    if (delta != 0) {
+      sim_clean = false;
+    }
+    if (on.violations != 0) {
+      races_clean = false;
+    }
+    const double ratio = off.host_ms > 0 ? on.host_ms / off.host_ms : 0;
+    char overhead[32];
+    std::snprintf(overhead, sizeof overhead, "%.2fx", ratio);
+    char delta_str[32];
+    std::snprintf(delta_str, sizeof delta_str, "%lld", static_cast<long long>(delta));
+    table.AddRow({shape.name, uharness::FmtInt(off.sim_cycles),
+                  uharness::FmtInt(on.sim_cycles), delta_str,
+                  uharness::FmtDouble(off.host_ms, 1), uharness::FmtDouble(on.host_ms, 1),
+                  overhead, uharness::FmtInt(on.edges), uharness::FmtInt(on.accesses),
+                  uharness::FmtInt(on.violations)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nInvariant: detection must be invisible in simulated time (sim delta == 0 on\n"
+      "every row — no RaceSink method charges cycles) — %s. Stock protocols must be\n"
+      "race-free (violations == 0 on every row) — %s.\n",
+      sim_clean ? "holds" : "VIOLATED", races_clean ? "holds" : "VIOLATED");
+  uharness::WriteJsonIfRequested("E20");
+  return sim_clean && races_clean ? 0 : 1;
+}

@@ -2,7 +2,8 @@
 # Builds the bench suite and runs the experiments that export machine-readable
 # results (E1 IPC ping-pong, E3 Dom0 CPU accounting, E4 crossing counts, E16
 # batched datapath, E17 tracing overhead, E18 TLB shootdown scaling, E19
-# crash-recovery latency + exactly-once ledger). Each bench writes
+# crash-recovery latency + exactly-once ledger, E20 race-detection
+# overhead). Each bench writes
 # BENCH_<id>.json
 # into $OUT alongside its human-readable tables on stdout; E17 additionally
 # writes a Perfetto-loadable Chrome trace and flamegraph.pl collapsed stacks
@@ -19,7 +20,8 @@ BUILD="${BUILD:-build}"
 cmake -B "${BUILD}" -S . >/dev/null
 cmake --build "${BUILD}" -j"${JOBS}" --target \
   bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings bench_e16_batched_io \
-  bench_e17_trace_overhead bench_e18_shootdown bench_e19_recovery
+  bench_e17_trace_overhead bench_e18_shootdown bench_e19_recovery \
+  bench_e20_race_overhead
 
 mkdir -p "${OUT}"
 export UKVM_BENCH_JSON="${OUT}"
@@ -27,7 +29,7 @@ export UKVM_TRACE_DIR="${OUT}"
 
 for bench in bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings \
              bench_e16_batched_io bench_e17_trace_overhead bench_e18_shootdown \
-             bench_e19_recovery; do
+             bench_e19_recovery bench_e20_race_overhead; do
   echo "== ${bench} =="
   "${BUILD}/bench/${bench}"
   echo

@@ -2,8 +2,9 @@
 # The full static-analysis / sanitizer gate:
 #
 #   1. strict build (UKVM_WERROR=ON, UKVM_CHECK=ON) + complete test suite;
-#   2. clang-tidy over src/ with the repo's .clang-tidy (skipped with a
-#      notice when no clang-tidy binary is installed);
+#   2. clang-tidy over src/ with the repo's .clang-tidy, gating: every
+#      enabled check is an error (skipped with a notice when no clang-tidy
+#      binary is installed);
 #   3. AddressSanitizer+UBSan build (UKVM_SANITIZE=ON) + complete suite;
 #   4. ThreadSanitizer build (UKVM_TSAN=ON) + complete suite — the simulator
 #      is single-threaded by design, so any report is a design break;
@@ -15,7 +16,10 @@
 #      storage stacks with the extended seed bank, under ASan;
 #   7. E17 tracing-overhead gate: bench_e17_trace_overhead exits non-zero
 #      if tracing perturbs simulated time by even one cycle, breaks span
-#      discipline, or attributes less than 95% of accounted cycles.
+#      discipline, or attributes less than 95% of accounted cycles;
+#   8. E20 race-detection gate: bench_e20_race_overhead exits non-zero if
+#      the detector perturbs simulated time at all or any stock
+#      split-driver protocol reports a race.
 #
 # Exits non-zero if any stage that can run fails. Build trees live under
 # build-check/ so the default build/ is left alone.
@@ -24,41 +28,49 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== [1/7] strict build (-Werror, UKVM_CHECK=ON) + tests =="
+echo "== [1/8] strict build (-Werror, UKVM_CHECK=ON) + tests =="
 cmake -B build-check/werror -S . -DUKVM_WERROR=ON -DUKVM_CHECK=ON >/dev/null
 cmake --build build-check/werror -j"${JOBS}"
 ctest --test-dir build-check/werror -j"${JOBS}" --output-on-failure
 
-echo "== [2/7] clang-tidy over src/ =="
+echo "== [2/8] clang-tidy over src/ (gating) =="
 if command -v clang-tidy >/dev/null 2>&1; then
-  # The strict tree has a fresh compile_commands.json for it to use.
+  # The strict tree has a fresh compile_commands.json for it to use. The
+  # explicit --warnings-as-errors mirrors .clang-tidy's WarningsAsErrors so
+  # the stage gates even under an older clang-tidy that ignores the config
+  # key: any diagnostic fails the xargs pipeline and, via set -e, the script.
   cmake -B build-check/werror -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   find src -name '*.cc' -print0 |
-    xargs -0 -n1 -P"${JOBS}" clang-tidy -p build-check/werror --quiet
+    xargs -0 -n1 -P"${JOBS}" clang-tidy -p build-check/werror --quiet \
+      --warnings-as-errors='*'
 else
   echo "clang-tidy not installed; skipping lint stage (build+tests still gate)."
 fi
 
-echo "== [3/7] ASan+UBSan build + tests =="
+echo "== [3/8] ASan+UBSan build + tests =="
 cmake -B build-check/asan -S . -DUKVM_SANITIZE=ON >/dev/null
 cmake --build build-check/asan -j"${JOBS}"
 ctest --test-dir build-check/asan -j"${JOBS}" --output-on-failure
 
-echo "== [4/7] TSan build + tests =="
+echo "== [4/8] TSan build + tests =="
 cmake -B build-check/tsan -S . -DUKVM_TSAN=ON >/dev/null
 cmake --build build-check/tsan -j"${JOBS}"
 ctest --test-dir build-check/tsan -j"${JOBS}" --output-on-failure
 
-echo "== [5/7] E18 lifecycle fuzz sweep (extended seed bank, ASan) =="
+echo "== [5/8] E18 lifecycle fuzz sweep (extended seed bank, ASan) =="
 UKVM_FUZZ_SEEDS="${UKVM_FUZZ_SEEDS:-128}" \
   build-check/asan/tests/ukvm_tests --gtest_filter='FuzzLifecycle.*'
 
-echo "== [6/7] E19 recovery fuzz sweep (extended seed bank, ASan) =="
+echo "== [6/8] E19 recovery fuzz sweep (extended seed bank, ASan) =="
 UKVM_FUZZ_SEEDS="${UKVM_FUZZ_SEEDS:-128}" \
   build-check/asan/tests/ukvm_tests --gtest_filter='FuzzRecovery.*'
 
-echo "== [7/7] E17 tracing zero-perturbation gate =="
+echo "== [7/8] E17 tracing zero-perturbation gate =="
 cmake --build build-check/werror -j"${JOBS}" --target bench_e17_trace_overhead
 build-check/werror/bench/bench_e17_trace_overhead
+
+echo "== [8/8] E20 race-detection zero-perturbation gate =="
+cmake --build build-check/werror -j"${JOBS}" --target bench_e20_race_overhead
+build-check/werror/bench/bench_e20_race_overhead
 
 echo "check.sh: all stages passed."

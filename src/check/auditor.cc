@@ -33,6 +33,9 @@ Auditor::Auditor(hwsim::Machine& machine, Options options)
     machine_.SetDmaAuditHook(
         [this](const hwsim::Machine::DmaAccess& access) { invariants_.CheckDmaTarget(access); });
   }
+  if (options_.race_detect) {
+    race_ = std::make_unique<RaceDetector>(machine_);
+  }
 }
 
 Auditor::~Auditor() {
@@ -66,6 +69,9 @@ void Auditor::AttachUkernel(ukern::Kernel& kernel) {
 void Auditor::AttachVmm(uvmm::Hypervisor& hv) {
   hv_ = &hv;
   invariants_.AttachVmm(hv);
+  if (race_) {
+    race_->SetHubDomain(hv.vmm_domain());
+  }
   hv.gnttab().SetAuditHook([this] { grants_dirty_ = true; });
   // PT-update batches bypass no hooks (PtVirt goes through PageTable::Map/
   // Unmap), but the batch hook gives a consistent point to rescan just the
@@ -182,12 +188,20 @@ std::vector<std::string> Auditor::ViolationReports() const {
                       std::to_string(v.time) + " seq=" + std::to_string(v.seq) + " [" +
                       v.mechanism + "]: " + v.detail);
   }
+  if (race_) {
+    for (std::string& report : race_->ViolationReports()) {
+      reports.push_back(std::move(report));
+    }
+  }
   return reports;
 }
 
 void Auditor::ClearViolations() {
   invariants_.ClearViolations();
   lint_.ClearViolations();
+  if (race_) {
+    race_->ClearViolations();
+  }
   warned_ = 0;
 }
 

@@ -27,8 +27,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/check/invariants.h"
 #include "src/check/ledger_lint.h"
+#include "src/check/race.h"
 #include "src/hw/machine.h"
 #include "src/hw/paging.h"
 
@@ -60,6 +63,10 @@ class Auditor {
     // deferred-unmap drains, so coverage is unchanged; set false to force
     // the full sweep every time.
     bool incremental_tlb = true;
+    // Happens-before race detection over shared rings and grant-mapped
+    // frames (E20). Off by default: the detector costs host time but never
+    // simulated cycles, so results are identical either way.
+    bool race_detect = false;
   };
 
   explicit Auditor(hwsim::Machine& machine);  // default options
@@ -87,15 +94,18 @@ class Auditor {
   // `phase` labels the checkpoint in warnings.
   void Checkpoint(const std::string& phase);
 
-  // Violations found so far, across both checkers.
+  // Violations found so far, across all checkers.
   size_t violation_count() const {
-    return invariants_.violation_count() + lint_.violation_count();
+    return invariants_.violation_count() + lint_.violation_count() +
+           (race_ ? race_->violation_count() : 0);
   }
   std::vector<std::string> ViolationReports() const;
   void ClearViolations();
 
   InvariantAuditor& invariants() { return invariants_; }
   LedgerLint& lint() { return lint_; }
+  // Null unless Options.race_detect.
+  RaceDetector* race() { return race_.get(); }
   uint64_t checkpoints() const { return checkpoints_; }
   const Options& options() const { return options_; }
 
@@ -113,6 +123,7 @@ class Auditor {
   Options options_;
   InvariantAuditor invariants_;
   LedgerLint lint_;
+  std::unique_ptr<RaceDetector> race_;
   uint32_t trace_sink_id_ = 0;
   ukern::Kernel* kernel_ = nullptr;
   uvmm::Hypervisor* hv_ = nullptr;

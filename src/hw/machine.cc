@@ -211,6 +211,10 @@ uint64_t Machine::BeginTlbShootdown(const PageTable* space, std::span<const Vadd
     ++shootdown_stats_.ipis_sent;
     Charge(costs().ipi_send);
   }
+  if (race_sink_ != nullptr) {
+    // The IPI posts publish the request's flush list to every target.
+    race_sink_->Release(cpu().current_domain(), RaceEdgeKey(RaceEdgeKind::kIpi, id));
+  }
   shootdowns_.emplace(id, std::move(req));
   return id;
 }
@@ -242,6 +246,12 @@ void Machine::DeliverShootdownIpis(uint32_t vcpu) {
       req.max_target_cost = cost;
     }
     ++shootdown_stats_.remote_acks;
+    if (race_sink_ != nullptr) {
+      // The handler sees the initiator's history (IPI receipt) and its ack
+      // publishes its own back to the initiator's spin-wait.
+      race_sink_->Acquire(target.current_domain(), RaceEdgeKey(RaceEdgeKind::kIpi, id));
+      race_sink_->Release(target.current_domain(), RaceEdgeKey(RaceEdgeKind::kIpiAck, id));
+    }
   }
 }
 
@@ -257,6 +267,9 @@ void Machine::WaitTlbShootdown(uint64_t id) {
   }
   // The initiator spun until the slowest target acked.
   Charge(it->second.max_target_cost);
+  if (race_sink_ != nullptr) {
+    race_sink_->Acquire(cpu().current_domain(), RaceEdgeKey(RaceEdgeKind::kIpiAck, id));
+  }
   shootdowns_.erase(it);
 }
 

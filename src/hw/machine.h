@@ -29,6 +29,7 @@
 #include "src/hw/interrupts.h"
 #include "src/hw/memory.h"
 #include "src/hw/platform.h"
+#include "src/hw/race_sink.h"
 #include "src/hw/trap.h"
 
 namespace hwsim {
@@ -228,6 +229,18 @@ class Machine {
   // Called by device models for each page a DMA transfer touches.
   void NotifyDmaTarget(Paddr target, bool to_memory);
 
+  // --- Race detection (E20) --------------------------------------------------
+
+  // Observer for synchronization edges and shared-memory accesses; installed
+  // by the happens-before detector (src/check/race), nullptr to detach.
+  // Observation only — with or without a sink, charges are identical.
+  void SetRaceSink(RaceSink* sink) { race_sink_ = sink; }
+  RaceSink* race_sink() const { return race_sink_; }
+
+  // Deterministic per-machine identity for shared objects (descriptor
+  // rings) named in race-detector keys.
+  uint64_t AllocRaceObjectId() { return next_race_object_id_++; }
+
  private:
   struct Event {
     uint64_t time;
@@ -276,6 +289,8 @@ class Machine {
   uint32_t trace_irq_deliver_name_ = 0;
   TrapHandler* trap_handler_ = nullptr;
   std::function<void(const DmaAccess&)> dma_audit_hook_;
+  RaceSink* race_sink_ = nullptr;
+  uint64_t next_race_object_id_ = 1;
 
   uint64_t now_ = 0;
   EventId next_event_id_ = 1;

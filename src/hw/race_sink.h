@@ -1,0 +1,76 @@
+// Observation interface for the happens-before race detector (E20).
+//
+// The simulator's synchronization vocabulary is small and explicit: event
+// channels, shootdown IPIs, hypercall entry/exit, IPC crossings, and the
+// publish/observe protocol on shared-memory descriptor rings. Each of those
+// mechanisms reports its release/acquire halves here, and the code that
+// touches shared frames or ring slots reports the accesses; the detector
+// (src/check/race) runs vector clocks over the stream. Everything is pure
+// observation — implementations must never charge simulated cycles, so a
+// machine behaves byte-identically with or without a sink installed.
+
+#ifndef UKVM_SRC_HW_RACE_SINK_H_
+#define UKVM_SRC_HW_RACE_SINK_H_
+
+#include <cstdint>
+
+#include "src/core/ids.h"
+
+namespace hwsim {
+
+// Namespaces for the 64-bit edge keys: a synchronization slot is identified
+// by (kind, a, b), so e.g. an event channel's slot can never collide with a
+// shootdown round's even if their numeric ids coincide.
+enum class RaceEdgeKind : uint8_t {
+  kEvtchn = 1,   // a = target domain, b = target port
+  kIpi,          // a = shootdown request id (send -> handler)
+  kIpiAck,       // a = shootdown request id (handler -> initiator wait)
+  kHypercall,    // a = calling domain (degenerate self-edge, stats only)
+  kIpc,          // a = from domain, b = to domain (ledger crossings)
+  kRingReq,      // a = ring object id (request-side publish/observe)
+  kRingResp,     // a = ring object id (response-side publish/observe)
+  kFrame,        // a = physical frame, b = owner domain (shadow objects)
+};
+
+// Packs (kind, a, b) into one key: 8 bits of kind, 28 bits each of a and b.
+constexpr uint64_t RaceEdgeKey(RaceEdgeKind kind, uint64_t a, uint64_t b = 0) {
+  return (static_cast<uint64_t>(kind) << 56) | ((a & 0xFFF'FFFFull) << 28) |
+         (b & 0xFFF'FFFFull);
+}
+
+class RaceSink {
+ public:
+  virtual ~RaceSink() = default;
+
+  // Release/acquire halves of a synchronization edge: the releasing
+  // context's history becomes visible to every context that later acquires
+  // the same key. An acquire of a never-released key is a no-op.
+  virtual void Release(ukvm::DomainId ctx, uint64_t key) = 0;
+  virtual void Acquire(ukvm::DomainId ctx, uint64_t key) = 0;
+
+  // One access to shared state. `object`/`offset` name the cell (a ring
+  // side + slot index, or a frame keyed by RaceEdgeKind::kFrame); `what`
+  // labels the access site in violation reports.
+  virtual void SharedWrite(ukvm::DomainId ctx, uint64_t object, uint64_t offset,
+                           const char* what) = 0;
+  virtual void SharedRead(ukvm::DomainId ctx, uint64_t object, uint64_t offset,
+                          const char* what) = 0;
+
+  // Ring-index publish discipline: the producer publishes after writing
+  // descriptors (count = total entries ever published on this side); the
+  // consumer observes before reading slot `index`. Publish doubles as a
+  // release of `key`, a successful observe as an acquire. Returns false if
+  // `index` is not covered by any publish — the caller must then skip its
+  // SharedRead of the slot, so one protocol bug fires exactly one rule.
+  virtual void RingPublish(ukvm::DomainId ctx, uint64_t key, uint64_t count) = 0;
+  virtual bool RingObserve(ukvm::DomainId ctx, uint64_t key, uint64_t index) = 0;
+
+  // `ctx` was destroyed and its shared mappings force-revoked; the
+  // revocation orders the dead context's accesses before everything later,
+  // so they can no longer race.
+  virtual void ContextDead(ukvm::DomainId ctx) = 0;
+};
+
+}  // namespace hwsim
+
+#endif  // UKVM_SRC_HW_RACE_SINK_H_

@@ -15,6 +15,24 @@ constexpr hwsim::Vaddr kBlkMapBase = 0xE800'0000ull;
 constexpr uint32_t kBlkMapSlots = 64;
 constexpr size_t kRingCapacity = 64;
 
+// Reports one access to a grant-shared I/O page to the race sink, if any.
+// Keyed by (frame, current owner) so a recycled frame gets a fresh cell.
+void RaceFrameAccess(hwsim::Machine& machine, DomainId ctx, hwsim::Frame frame, bool write,
+                     const char* what) {
+  hwsim::RaceSink* rs = machine.race_sink();
+  if (rs == nullptr || !ctx.valid()) {
+    return;
+  }
+  const DomainId owner = machine.memory().OwnerOf(frame);
+  const uint64_t key = hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kFrame, frame,
+                                          owner.valid() ? owner.value() : 0);
+  if (write) {
+    rs->SharedWrite(ctx, key, 0, what);
+  } else {
+    rs->SharedRead(ctx, key, 0, what);
+  }
+}
+
 }  // namespace
 
 // --- BlkBack ---------------------------------------------------------------------
@@ -52,6 +70,9 @@ BlkChannel* BlkBack::Connect(DomainId guest) {
 }
 
 void BlkBack::OnKick(BlkChannel& chan) {
+  if (wedged_) {
+    return;  // alive but unresponsive; requests rot in the ring
+  }
   while (auto req = chan.ring->PopRequest()) {
     Err err = Err::kNone;
     if (req->count == 0 || req->count > driver_.blocks_per_page() ||
@@ -91,6 +112,10 @@ void BlkBack::OnKick(BlkChannel& chan) {
         const hwsim::Pte* pte = back_dom->space.Walk(map_va);
         assert(pte != nullptr && pte->present);
         frame = pte->frame;
+        if (req->is_write) {
+          // The disk DMA reads the guest's payload out of the mapped page.
+          RaceFrameAccess(machine_, backend_, frame, /*write=*/false, "blk.payload");
+        }
       }
     }
     if (err != Err::kNone) {
@@ -103,11 +128,16 @@ void BlkBack::OnKick(BlkChannel& chan) {
     const uint32_t gref = req->gref;
     const bool is_write = req->is_write;
     BlkChannel* chan_ptr = &chan;
-    auto done = [this, chan_ptr, id, gref, map_va, is_write](Err status) {
+    auto done = [this, chan_ptr, id, gref, map_va, is_write, frame](Err status) {
       if (status == Err::kNone) {
         health_.RecordSuccess();
         if (is_write && recovery_log_ != nullptr) {
           recovery_log_->MarkApplied(chan_ptr->guest, id);
+        }
+        if (!is_write) {
+          // The disk DMA filled the guest's page; this completion runs in
+          // device-event context, so the backend id is named explicitly.
+          RaceFrameAccess(machine_, backend_, frame, /*write=*/true, "blk.payload");
         }
       } else {
         health_.RecordFailure();
@@ -140,6 +170,102 @@ BlkFront::BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest
   hist_blk_e2e_ = machine_.tracer().InternHistogram("blk.e2e");
 }
 
+BlkFront::~BlkFront() {
+  StopLivenessProbe();  // a queued ProbeTick must not outlive `this`
+}
+
+Err BlkFront::ProbeBackend(uint64_t timeout_cycles) {
+  if (chan_ == nullptr) {
+    return Err::kWouldBlock;
+  }
+  const uint64_t id = next_id_++;
+  const uint64_t t0 = machine_.Now();
+  // Zero-block read: the backend's bounds check rejects it (kOutOfRange)
+  // straight from the kick handler, before any grant work. The status is
+  // irrelevant — any answer proves the backend is pumping its ring.
+  if (!chan_->ring->PushRequest(BlkReq{id, /*is_write=*/false, 0, 0, 0})) {
+    return Err::kBusy;
+  }
+  Err err = hv_.HcEvtchnSend(guest_, chan_->front_port);
+  if (err != Err::kNone) {
+    return err;
+  }
+  err = machine_.WaitUntil([&] { return completed_.contains(id) || chan_ == nullptr; },
+                           timeout_cycles);
+  if (completed_.contains(id)) {
+    completed_.erase(id);
+    return Err::kNone;
+  }
+  if (chan_ == nullptr) {
+    return Err::kDead;  // the backend died outright mid-probe
+  }
+  if (err == Err::kTimedOut || err == Err::kWouldBlock) {
+    // kWouldBlock: the event queue drained with no reply — the backend is
+    // just as wedged as on a timeout. Mark the failure at probe-issue time
+    // (the wedge predates the probe) and drive the conn to kClosing; this
+    // lands in the same recovery.detect histogram as supervisor detection.
+    ++probe_detections_;
+    xenbus_.MarkFailure(t0);
+    xenbus_.OnDetected();
+    return Err::kTimedOut;
+  }
+  return err;
+}
+
+void BlkFront::StartLivenessProbe(uint64_t interval_cycles, uint64_t timeout_cycles) {
+  StopLivenessProbe();
+  if (interval_cycles == 0) {
+    return;
+  }
+  probe_interval_ = interval_cycles;
+  probe_timeout_ = timeout_cycles;
+  probe_event_ = machine_.ScheduleAfter(probe_interval_, [this] { ProbeTick(); });
+  probe_event_armed_ = true;
+}
+
+void BlkFront::StopLivenessProbe() {
+  if (probe_event_armed_) {
+    machine_.CancelEvent(probe_event_);
+    probe_event_armed_ = false;
+  }
+  probe_interval_ = 0;
+  probe_inflight_ = false;
+}
+
+void BlkFront::ProbeTick() {
+  probe_event_armed_ = false;
+  if (probe_interval_ == 0) {
+    return;  // stopped while the tick was queued
+  }
+  // Judge the previous probe first.
+  if (probe_inflight_) {
+    if (completed_.contains(probe_id_)) {
+      completed_.erase(probe_id_);
+      probe_inflight_ = false;
+    } else if (chan_ == nullptr) {
+      probe_inflight_ = false;  // backend death already handled elsewhere
+    } else if (machine_.Now() >= probe_deadline_) {
+      probe_inflight_ = false;
+      ++probe_detections_;
+      xenbus_.MarkFailure(probe_sent_at_);
+      xenbus_.OnDetected();
+    }
+  }
+  // Issue the next one while the connection believes itself healthy.
+  if (!probe_inflight_ && chan_ != nullptr && xenbus_.connected()) {
+    const uint64_t id = next_id_++;
+    if (chan_->ring->PushRequest(BlkReq{id, /*is_write=*/false, 0, 0, 0}) &&
+        hv_.HcEvtchnSend(guest_, chan_->front_port) == Err::kNone) {
+      probe_inflight_ = true;
+      probe_id_ = id;
+      probe_sent_at_ = machine_.Now();
+      probe_deadline_ = machine_.Now() + probe_timeout_;
+    }
+  }
+  probe_event_ = machine_.ScheduleAfter(probe_interval_, [this] { ProbeTick(); });
+  probe_event_armed_ = true;
+}
+
 Err BlkFront::Connect(BlkBack& back) {
   chan_ = back.Connect(guest_);
   if (chan_ == nullptr) {
@@ -149,6 +275,7 @@ Err BlkFront::Connect(BlkBack& back) {
   // restart) must re-grant against the new one.
   gref_cache_.Clear();
   backend_ = back.backend();
+  chan_->ring->BindRaceEndpoints(guest_, backend_);
   block_size_ = back.block_size();
   capacity_ = chan_->slice_blocks;
   auto port = hv_.HcEvtchnBind(guest_, backend_, chan_->back_port);
@@ -214,6 +341,7 @@ Err BlkFront::ReplayWrite(uint64_t id, const JournalEntry& entry, bool& answered
   assert(mfn.ok());
   machine_.memory().Write(machine_.memory().FrameBase(*mfn), entry.payload);
   machine_.ChargeCopy(entry.payload.size());
+  RaceFrameAccess(machine_, guest_, *mfn, /*write=*/true, "blk.payload");
   const uint64_t cache_key = uint64_t{pfn} * 2;  // writes grant read-only pages
   uint32_t gref = 0;
   bool cached_grant = false;
@@ -320,6 +448,7 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       machine_.memory().Write(machine_.memory().FrameBase(*mfn),
                               in.subspan(uint64_t{done} * block_size_, bytes));
       machine_.ChargeCopy(bytes);
+      RaceFrameAccess(machine_, guest_, *mfn, /*write=*/true, "blk.payload");
     }
     // Persistent mode caches one grant per (pfn, direction); the backend's
     // mapping stays live, so the grant is never ended (EndGrant would see
@@ -390,6 +519,7 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       (void)hv_.HcGrantEnd(guest_, gref);
     }
     if (err == Err::kNone && !is_write) {
+      RaceFrameAccess(machine_, guest_, *mfn, /*write=*/false, "blk.payload");
       machine_.memory().Read(machine_.memory().FrameBase(*mfn),
                              out.subspan(uint64_t{done} * block_size_, bytes));
       machine_.ChargeCopy(bytes);

@@ -76,6 +76,12 @@ class BlkBack {
   // without re-touching the disk.
   void SetRecoveryLog(BlkRecoveryLog* log) { recovery_log_ = log; }
 
+  // Test hook: a wedged backend ignores ring kicks entirely — alive but
+  // unresponsive, the failure mode neither the domain-dead upcall nor the
+  // supervisor's kill-edge MarkFailure can see. The frontend liveness probe
+  // exists to detect exactly this.
+  void SetWedged(bool wedged) { wedged_ = wedged; }
+
   ukvm::DomainId backend() const { return backend_; }
   uint32_t block_size() const;
   uint64_t requests_served() const { return served_; }
@@ -93,6 +99,7 @@ class BlkBack {
   std::vector<std::unique_ptr<BlkChannel>> channels_;
   ServiceHealth health_;
   BlkRecoveryLog* recovery_log_ = nullptr;  // not owned; outlives the backend
+  bool wedged_ = false;
   bool persistent_ = false;
   uvmm::GrantCache map_cache_;  // (guest, gref) -> backend map va
   uint32_t next_persistent_slot_ = 0;
@@ -106,6 +113,7 @@ class BlkFront : public minios::BlockDevice {
   // `pool` are guest pfns used as I/O pages.
   BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, ukvm::DomainId guest,
            std::vector<uvmm::Pfn> pool, PortMux& mux);
+  ~BlkFront() override;  // cancels any armed liveness-probe event
 
   ukvm::Err Connect(BlkBack& back);
 
@@ -139,6 +147,27 @@ class BlkFront : public minios::BlockDevice {
   // recovery log suppresses the ones that landed before the crash.
   ukvm::Err Reconnect(BlkBack& back);
 
+  // --- Frontend-driven liveness probing (E19 follow-up) ---------------------
+  //
+  // A wedged-but-undead backend answers nothing, so neither the domain-dead
+  // upcall nor the supervisor's kill-edge MarkFailure fires. The probe is a
+  // zero-block read the backend rejects (kOutOfRange) straight from its kick
+  // handler — no grant work, no disk I/O; *any* answer proves liveness. No
+  // answer within the deadline marks the failure at probe-issue time and
+  // drives the xenbus conn to kClosing, feeding the same recovery.detect
+  // histogram as supervisor-side detection.
+
+  // One blocking probe. kNone: backend answered. kTimedOut: no answer within
+  // `timeout_cycles` (detection recorded). kDead: backend died mid-probe.
+  ukvm::Err ProbeBackend(uint64_t timeout_cycles);
+
+  // Issues a non-blocking probe every `interval_cycles`, each judged against
+  // a `timeout_cycles` deadline on a later tick. Survives reconnects; probes
+  // are only issued while the conn is kConnected.
+  void StartLivenessProbe(uint64_t interval_cycles, uint64_t timeout_cycles);
+  void StopLivenessProbe();
+  uint64_t probe_detections() const { return probe_detections_; }
+
   XenbusConn& xenbus() { return xenbus_; }
   uint64_t writes_acked_ok() const { return writes_acked_ok_; }
   size_t journal_depth() const { return journal_.size(); }
@@ -157,6 +186,7 @@ class BlkFront : public minios::BlockDevice {
   // (any status resolves the entry); kDead means it died again mid-replay.
   ukvm::Err ReplayWrite(uint64_t id, const JournalEntry& entry, bool& answered);
   void OnResponse();
+  void ProbeTick();
 
   hwsim::Machine& machine_;
   uvmm::Hypervisor& hv_;
@@ -176,6 +206,17 @@ class BlkFront : public minios::BlockDevice {
   XenbusConn xenbus_;
   std::map<uint64_t, JournalEntry> journal_;  // unacked writes, replayed in id order
   uint64_t writes_acked_ok_ = 0;  // write chunks whose final status was kNone
+
+  // Periodic liveness-probe state (StartLivenessProbe).
+  uint64_t probe_interval_ = 0;   // 0 = probing stopped
+  uint64_t probe_timeout_ = 0;
+  bool probe_inflight_ = false;
+  uint64_t probe_id_ = 0;
+  uint64_t probe_sent_at_ = 0;
+  uint64_t probe_deadline_ = 0;
+  hwsim::Machine::EventId probe_event_ = 0;
+  bool probe_event_armed_ = false;
+  uint64_t probe_detections_ = 0;
 };
 
 }  // namespace ustack

@@ -27,8 +27,10 @@ NativeStack::NativeStack(Config config)
   const ukvm::Err err = os_->Boot(/*format_disk=*/true);
   assert(err == ukvm::Err::kNone);
   (void)err;
-  if (config.audit) {
-    auditor_ = std::make_unique<ucheck::Auditor>(machine_);
+  if (config.audit || config.race_detect) {
+    ucheck::Auditor::Options opts;
+    opts.race_detect = config.race_detect;
+    auditor_ = std::make_unique<ucheck::Auditor>(machine_, opts);
   }
 }
 

@@ -28,6 +28,9 @@ class NativeStack {
     // Constructs the isolation auditor (src/check). The native stack has no
     // page tables, so only the ledger linter and DMA checks are live.
     bool audit = UKVM_CHECK_DEFAULT != 0;
+    // E20 happens-before race detection. The native stack shares no memory
+    // across domains, so this only exercises the edge bookkeeping.
+    bool race_detect = false;
     // E17 flight recorder / histograms / profiler (off by default).
     ukvm::TraceConfig trace;
   };

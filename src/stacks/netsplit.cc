@@ -22,6 +22,25 @@ constexpr hwsim::Vaddr kBackendMapBase = 0xE000'0000ull;
 constexpr uint32_t kBackendMapSlots = 64;
 constexpr size_t kRingCapacity = 256;
 
+// Reports one access to a grant-shared payload frame to the race sink, if
+// any. Keying by (frame, current owner) gives a recycled or flipped frame a
+// fresh shadow cell — ownership transfer is its own ordering.
+void RaceFrameAccess(hwsim::Machine& machine, DomainId ctx, hwsim::Frame frame, bool write,
+                     const char* what) {
+  hwsim::RaceSink* rs = machine.race_sink();
+  if (rs == nullptr || !ctx.valid()) {
+    return;
+  }
+  const DomainId owner = machine.memory().OwnerOf(frame);
+  const uint64_t key = hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kFrame, frame,
+                                          owner.valid() ? owner.value() : 0);
+  if (write) {
+    rs->SharedWrite(ctx, key, 0, what);
+  } else {
+    rs->SharedRead(ctx, key, 0, what);
+  }
+}
+
 }  // namespace
 
 // --- NetBack ---------------------------------------------------------------------
@@ -105,6 +124,7 @@ void NetBack::OnTxKick(NetChannel& chan) {
       uvmm::Domain* back_dom = hv_.FindDomain(backend_);
       const hwsim::Pte* pte = back_dom->space.Walk(map_va);
       assert(pte != nullptr && pte->present);
+      RaceFrameAccess(machine_, backend_, pte->frame, /*write=*/false, "net.tx.payload");
       err = driver_.SendFrame(pte->frame, req->len);
       if (err == Err::kNone) {
         health_.RecordSuccess();
@@ -328,6 +348,8 @@ Err NetFront::Connect(NetBack& back) {
   mode_ = back.mode();
   // The handshake carries the backend id out of band (as xenstore would).
   backend_ = back.backend();
+  chan_->tx_ring->BindRaceEndpoints(guest_, backend_);
+  chan_->rx_ring->BindRaceEndpoints(guest_, backend_);
 
   auto tx_port = hv_.HcEvtchnBind(guest_, backend_, chan_->back_tx_port);
   auto rx_port = hv_.HcEvtchnBind(guest_, backend_, chan_->back_rx_port);
@@ -387,6 +409,7 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
   assert(mfn.ok());
   machine_.memory().Write(machine_.memory().FrameBase(*mfn), packet);
   machine_.ChargeCopy(packet.size());
+  RaceFrameAccess(machine_, guest_, *mfn, /*write=*/true, "net.tx.payload");
 
   // Persistent mode recycles the staging page's access grant: after the
   // first send of a given pfn, steady state issues no grant hypercalls here.
@@ -451,6 +474,7 @@ void NetFront::OnRxResponse() {
           auto data = machine_.memory().FrameData(*mfn);
           // The guest network stack copies the payload out of the (flipped
           // or filled) page.
+          RaceFrameAccess(machine_, guest_, *mfn, /*write=*/false, "net.rx.payload");
           std::vector<uint8_t> bytes(data.begin(), data.begin() + resp->len);
           machine_.ChargeCopy(resp->len);
           ++rx_received_;
@@ -484,6 +508,7 @@ void NetFront::OnRxResponse() {
       auto mfn = dom->MfnOf(resp.pfn);
       if (mfn.ok()) {
         auto data = machine_.memory().FrameData(*mfn);
+        RaceFrameAccess(machine_, guest_, *mfn, /*write=*/false, "net.rx.payload");
         std::vector<uint8_t> bytes(data.begin(), data.begin() + resp.len);
         machine_.ChargeCopy(resp.len);
         ++rx_received_;

@@ -57,8 +57,10 @@ UkernelStack::UkernelStack(Config config)
     guests_.push_back(MakeGuest("guest" + std::to_string(i)));
   }
   machine_.cpu().SetInterruptsEnabled(true);
-  if (config.audit) {
-    auditor_ = std::make_unique<ucheck::Auditor>(machine_);
+  if (config.audit || config.race_detect) {
+    ucheck::Auditor::Options opts;
+    opts.race_detect = config.race_detect;
+    auditor_ = std::make_unique<ucheck::Auditor>(machine_, opts);
     auditor_->AttachUkernel(*kernel_);
   }
 }

@@ -47,6 +47,9 @@ class UkernelStack {
     // default follows the UKVM_CHECK build option; benches flip it off to
     // measure hook-free baselines.
     bool audit = UKVM_CHECK_DEFAULT != 0;
+    // E20 happens-before race detection (IPC-edge vector clocks). Off by
+    // default; charges no simulated cycles either way.
+    bool race_detect = false;
     // E17 flight recorder / histograms / profiler. Off by default; with
     // tracing off, the instrumented paths charge exactly the same simulated
     // cycles as before the tracer existed.

@@ -139,8 +139,10 @@ VmmStack::VmmStack(Config config)
     guests_.push_back(MakeGuest("DomU" + std::to_string(i + 1), config));
   }
 
-  if (config.audit) {
-    auditor_ = std::make_unique<ucheck::Auditor>(machine_);
+  if (config.audit || config.race_detect) {
+    ucheck::Auditor::Options opts;
+    opts.race_detect = config.race_detect;
+    auditor_ = std::make_unique<ucheck::Auditor>(machine_, opts);
     auditor_->AttachVmm(*hv_);
   }
 }

@@ -78,6 +78,10 @@ class VmmStack {
     // default follows the UKVM_CHECK build option; benches flip it off to
     // measure hook-free baselines.
     bool audit = UKVM_CHECK_DEFAULT != 0;
+    // E20 happens-before race detection over the split drivers' rings and
+    // grant-shared frames. Off by default; the detector charges no simulated
+    // cycles, so every measured result is byte-identical either way.
+    bool race_detect = false;
     // E17 flight recorder / histograms / profiler. Off by default; with
     // tracing off, the instrumented paths charge exactly the same simulated
     // cycles as before the tracer existed.

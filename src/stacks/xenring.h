@@ -5,6 +5,16 @@
 // stores; here the structure is a C++ queue and the cost model charges the
 // descriptor copies. Notification still travels out-of-band via event
 // channels — the ring is only the data plane.
+//
+// When the machine has a race sink installed (E20), the ring reports the
+// real protocol it models: the producer's slot stores (SharedWrite per
+// descriptor), its index publish (RingPublish — the release half), and the
+// consumer's index check (RingObserve — the acquire half) followed by its
+// slot loads (SharedRead). Absolute produced/consumed counters per side
+// stand in for the shared ring indices. BindRaceEndpoints names which
+// domain plays which role — the *current* domain is wrong for completions
+// that run in device-event context. SetRaceMutation seeds one protocol bug
+// for the detector's self-tests.
 
 #ifndef UKVM_SRC_STACKS_XENRING_H_
 #define UKVM_SRC_STACKS_XENRING_H_
@@ -19,10 +29,30 @@
 
 namespace ustack {
 
+// Seeded protocol violations for the race detector's mutation self-tests.
+// One-shot: the mutation applies to the next affected operation only.
+enum class RingMutation : uint8_t {
+  kNone = 0,
+  kSkipPublish,   // producer omits one index publish -> kRingReadBeforePublish
+  kEarlyPublish,  // producer publishes before the slot store -> kUnsyncedSharedAccess
+};
+
 template <typename Req, typename Resp>
 class XenRing {
  public:
   XenRing(hwsim::Machine& machine, size_t capacity) : machine_(machine), capacity_(capacity) {}
+
+  // Names the domains on each end for race reporting. Without this the ring
+  // stays uninstrumented even when a sink is installed.
+  void BindRaceEndpoints(ukvm::DomainId frontend, ukvm::DomainId backend) {
+    front_ = frontend;
+    back_ = backend;
+  }
+
+  void SetRaceMutation(RingMutation mutation) {
+    mutation_ = mutation;
+    mutation_used_ = false;
+  }
 
   // Frontend side.
   bool PushRequest(const Req& req) {
@@ -30,7 +60,9 @@ class XenRing {
       return false;
     }
     machine_.ChargeCopy(sizeof(Req));
+    RaceProduce(front_, ReqKey(), req_prod_, 1);
     requests_.push_back(req);
+    ++req_prod_;
     return true;
   }
   std::optional<Resp> PopResponse() {
@@ -38,8 +70,10 @@ class XenRing {
       return std::nullopt;
     }
     machine_.ChargeCopy(sizeof(Resp));
+    RaceConsume(front_, RespKey(), rsp_cons_, "ring.resp");
     Resp resp = responses_.front();
     responses_.pop_front();
+    ++rsp_cons_;
     return resp;
   }
 
@@ -49,8 +83,10 @@ class XenRing {
       return std::nullopt;
     }
     machine_.ChargeCopy(sizeof(Req));
+    RaceConsume(back_, ReqKey(), req_cons_, "ring.req");
     Req req = requests_.front();
     requests_.pop_front();
+    ++req_cons_;
     return req;
   }
   bool PushResponse(const Resp& resp) {
@@ -58,7 +94,9 @@ class XenRing {
       return false;
     }
     machine_.ChargeCopy(sizeof(Resp));
+    RaceProduce(back_, RespKey(), rsp_prod_, 1);
     responses_.push_back(resp);
+    ++rsp_prod_;
     return true;
   }
 
@@ -71,7 +109,9 @@ class XenRing {
     const size_t n = std::min(reqs.size(), capacity_ - requests_.size());
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Req));
+      RaceProduce(front_, ReqKey(), req_prod_, n);
       requests_.insert(requests_.end(), reqs.begin(), reqs.begin() + static_cast<ptrdiff_t>(n));
+      req_prod_ += n;
     }
     return n;
   }
@@ -80,8 +120,12 @@ class XenRing {
     std::vector<Req> out;
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Req));
+      for (size_t i = 0; i < n; ++i) {
+        RaceConsume(back_, ReqKey(), req_cons_ + i, "ring.req");
+      }
       out.assign(requests_.begin(), requests_.begin() + static_cast<ptrdiff_t>(n));
       requests_.erase(requests_.begin(), requests_.begin() + static_cast<ptrdiff_t>(n));
+      req_cons_ += n;
     }
     return out;
   }
@@ -89,8 +133,10 @@ class XenRing {
     const size_t n = std::min(resps.size(), capacity_ - responses_.size());
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Resp));
+      RaceProduce(back_, RespKey(), rsp_prod_, n);
       responses_.insert(responses_.end(), resps.begin(),
                         resps.begin() + static_cast<ptrdiff_t>(n));
+      rsp_prod_ += n;
     }
     return n;
   }
@@ -99,8 +145,12 @@ class XenRing {
     std::vector<Resp> out;
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Resp));
+      for (size_t i = 0; i < n; ++i) {
+        RaceConsume(front_, RespKey(), rsp_cons_ + i, "ring.resp");
+      }
       out.assign(responses_.begin(), responses_.begin() + static_cast<ptrdiff_t>(n));
       responses_.erase(responses_.begin(), responses_.begin() + static_cast<ptrdiff_t>(n));
+      rsp_cons_ += n;
     }
     return out;
   }
@@ -110,10 +160,100 @@ class XenRing {
   size_t capacity() const { return capacity_; }
 
  private:
+  bool RaceOn(ukvm::DomainId ctx) const {
+    return machine_.race_sink() != nullptr && ctx.valid();
+  }
+  uint64_t RingId() {
+    if (ring_id_ == 0) {
+      ring_id_ = machine_.AllocRaceObjectId();
+    }
+    return ring_id_;
+  }
+  uint64_t ReqKey() { return hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kRingReq, RingId()); }
+  uint64_t RespKey() { return hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kRingResp, RingId()); }
+  const char* SlotLabel(uint64_t key) const {
+    return (static_cast<hwsim::RaceEdgeKind>(key >> 56) == hwsim::RaceEdgeKind::kRingReq)
+               ? "ring.req"
+               : "ring.resp";
+  }
+  bool TakeMutation(RingMutation which) {
+    if (mutation_ != which || mutation_used_) {
+      return false;
+    }
+    mutation_used_ = true;
+    return true;
+  }
+
+  // Traffic from before the sink was installed (the detector attaches after
+  // boot, and frontends advertise rx buffers during it) is ordered history:
+  // mark everything already produced as published, with no context, so it
+  // neither fires kRingReadBeforePublish nor adds an artificial HB edge.
+  void RaceBaseline(hwsim::RaceSink& sink) {
+    if (race_baseline_done_) {
+      return;
+    }
+    race_baseline_done_ = true;
+    sink.RingPublish(ukvm::DomainId::Invalid(), ReqKey(), req_prod_);
+    sink.RingPublish(ukvm::DomainId::Invalid(), RespKey(), rsp_prod_);
+  }
+
+  // Producer protocol for `count` descriptors starting at absolute index
+  // `prod`: store each slot, then publish the new producer index.
+  void RaceProduce(ukvm::DomainId ctx, uint64_t key, uint64_t prod, size_t count) {
+    if (!RaceOn(ctx)) {
+      return;
+    }
+    hwsim::RaceSink& sink = *machine_.race_sink();
+    RaceBaseline(sink);
+    if (TakeMutation(RingMutation::kEarlyPublish)) {
+      // Bug under test: index published before the slot stores land.
+      sink.RingPublish(ctx, key, prod + count);
+      for (size_t i = 0; i < count; ++i) {
+        sink.SharedWrite(ctx, key, (prod + i) % capacity_, SlotLabel(key));
+      }
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      sink.SharedWrite(ctx, key, (prod + i) % capacity_, SlotLabel(key));
+    }
+    if (TakeMutation(RingMutation::kSkipPublish)) {
+      return;  // bug under test: slot stores with no index publish
+    }
+    sink.RingPublish(ctx, key, prod + count);
+  }
+
+  // Consumer protocol for the descriptor at absolute index `cons`: check
+  // the published index, then load the slot (skipped if unpublished, so a
+  // missing publish fires exactly one rule).
+  void RaceConsume(ukvm::DomainId ctx, uint64_t key, uint64_t cons, const char* what) {
+    if (!RaceOn(ctx)) {
+      return;
+    }
+    hwsim::RaceSink& sink = *machine_.race_sink();
+    RaceBaseline(sink);
+    if (sink.RingObserve(ctx, key, cons)) {
+      sink.SharedRead(ctx, key, cons % capacity_, what);
+    }
+  }
+
   hwsim::Machine& machine_;
   size_t capacity_;
   std::deque<Req> requests_;
   std::deque<Resp> responses_;
+
+  // Race instrumentation state. The absolute index counters model the
+  // shared req/rsp producer/consumer indices; they cost nothing and are
+  // maintained unconditionally.
+  ukvm::DomainId front_ = ukvm::DomainId::Invalid();
+  ukvm::DomainId back_ = ukvm::DomainId::Invalid();
+  uint64_t ring_id_ = 0;
+  uint64_t req_prod_ = 0;
+  uint64_t req_cons_ = 0;
+  uint64_t rsp_prod_ = 0;
+  uint64_t rsp_cons_ = 0;
+  RingMutation mutation_ = RingMutation::kNone;
+  bool mutation_used_ = false;
+  bool race_baseline_done_ = false;
 };
 
 }  // namespace ustack

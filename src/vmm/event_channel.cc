@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/hw/machine.h"
+
 namespace uvmm {
 
 using ukvm::DomainId;
 using ukvm::Err;
 using ukvm::Result;
 
-EventChannelTable::EventChannelTable(DeliverFn deliver) : deliver_(std::move(deliver)) {
+EventChannelTable::EventChannelTable(DeliverFn deliver, hwsim::Machine* machine)
+    : deliver_(std::move(deliver)), machine_(machine) {
   assert(deliver_);
 }
 
@@ -70,6 +73,14 @@ Err EventChannelTable::Send(DomainId caller, uint32_t port) {
     return Err::kDead;  // peer domain was destroyed
   }
   ++sends_;
+  if (machine_ != nullptr && machine_->race_sink() != nullptr) {
+    // Release half of send->upcall, fired on *every* successful Send — the
+    // pending bit latches, so the one eventual upcall acquires the joined
+    // history of the whole coalesced burst.
+    machine_->race_sink()->Release(
+        caller, hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kEvtchn, local->remote_dom.value(),
+                                   local->remote_port));
+  }
   if (trace_hook_) {
     trace_hook_(local->remote_dom, local->remote_port, remote->pending);
   }

@@ -17,6 +17,10 @@
 #include "src/core/error.h"
 #include "src/core/ids.h"
 
+namespace hwsim {
+class Machine;
+}
+
 namespace uvmm {
 
 class EventChannelTable {
@@ -25,7 +29,10 @@ class EventChannelTable {
   // interrupt into `target` for `port`.
   using DeliverFn = std::function<void(ukvm::DomainId target, uint32_t port)>;
 
-  explicit EventChannelTable(DeliverFn deliver);
+  // `machine`, when given, lets Send report the release half of the
+  // send->upcall happens-before edge to an installed race sink (E20). The
+  // acquire half fires in the hypervisor's upcall delivery.
+  explicit EventChannelTable(DeliverFn deliver, hwsim::Machine* machine = nullptr);
 
   // Creates a local port that `remote` may later bind to.
   ukvm::Result<uint32_t> AllocUnbound(ukvm::DomainId owner, ukvm::DomainId remote);
@@ -102,6 +109,7 @@ class EventChannelTable {
   Port* FindPort(ukvm::DomainId domain, uint32_t port);
 
   DeliverFn deliver_;
+  hwsim::Machine* machine_ = nullptr;
   std::function<void(ukvm::DomainId, uint32_t, bool)> trace_hook_;
   std::unordered_map<ukvm::DomainId, std::vector<Port>> ports_;
   uint64_t sends_ = 0;

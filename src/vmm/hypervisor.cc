@@ -55,7 +55,7 @@ Hypervisor::Hypervisor(hwsim::Machine& machine, Config config)
       exc_(machine, sched_, kVmmDomain, config.hole_base, config.hole_end),
       pt_virt_(machine, config.hole_base, config.hole_end) {
   evtchn_ = std::make_unique<EventChannelTable>(
-      [this](DomainId target, uint32_t port) { DeliverUpcall(target, port); });
+      [this](DomainId target, uint32_t port) { DeliverUpcall(target, port); }, &machine_);
   const uint32_t evtchn_trace_name = machine_.tracer().InternName("evtchn.send");
   evtchn_->SetTraceHook([this, evtchn_trace_name](DomainId target, uint32_t port,
                                                   bool coalesced) {
@@ -170,6 +170,11 @@ Err Hypervisor::DestroyDomain(DomainId id) {
   for (DomainId peer : peers) {
     DeliverDomainDead(peer, id);
   }
+  if (hwsim::RaceSink* rs = machine_.race_sink()) {
+    // The corpse's mappings were force-revoked with a shootdown above;
+    // that revocation orders its accesses before anything later.
+    rs->ContextDead(id);
+  }
   return Err::kNone;
 }
 
@@ -216,6 +221,13 @@ Domain* Hypervisor::HypercallProlog(DomainId dom, HypercallNr nr) {
   ++total_hypercalls_;
   ++hypercall_counts_[static_cast<size_t>(nr)];
   machine_.ledger().Record(mech_hypercall_, dom, kVmmDomain, machine_.costs().hypercall_entry, 0);
+  if (hwsim::RaceSink* rs = machine_.race_sink()) {
+    // Degenerate self-edge (release+acquire by the same context): entry and
+    // exit order nothing across domains — the detector must not let the VMM
+    // hub transitively serialize all guests, so the crossing events above
+    // are also excluded from its edge stream (SetHubDomain).
+    rs->Release(dom, hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kHypercall, dom.value()));
+  }
   return d;
 }
 
@@ -227,6 +239,9 @@ void Hypervisor::HypercallEpilog(Domain* dom) {
   if (dom != nullptr) {
     machine_.ledger().Record(mech_hypercall_ret_, kVmmDomain, dom->id,
                              machine_.costs().hypercall_return, 0);
+    if (hwsim::RaceSink* rs = machine_.race_sink()) {
+      rs->Acquire(dom->id, hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kHypercall, dom->id.value()));
+    }
   }
   assert(!hc_trace_stack_.empty());
   const HcTrace trace = hc_trace_stack_.back();
@@ -673,6 +688,11 @@ void Hypervisor::DeliverUpcall(DomainId target, uint32_t port) {
   ukvm::ProfScope frame(machine_.tracer(), trace_upcall_frame_);
   machine_.Charge(machine_.costs().interrupt_dispatch);
   sched_.SwitchTo(*d, hwsim::PrivLevel::kGuestKernel);
+  if (hwsim::RaceSink* rs = machine_.race_sink()) {
+    // Acquire half of send->upcall: one upcall covers every Send latched
+    // into the pending bit since the last consume.
+    rs->Acquire(target, hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kEvtchn, target.value(), port));
+  }
   (void)evtchn_->ConsumePending(target, port);
   ++d->upcalls;
   d->evtchn_upcall(port);

@@ -146,6 +146,7 @@ FuzzResult RunNativeFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
 
   Auditor::Options opts;
   opts.incremental_tlb = incremental_tlb;
+  opts.race_detect = true;  // E20: fuzz histories must stay race-free too
   Auditor auditor(machine, opts);
   const uint64_t page = machine.memory().page_size();
 
@@ -231,6 +232,7 @@ FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
   ukern::Kernel kernel(machine);
   Auditor::Options opts;
   opts.incremental_tlb = incremental_tlb;
+  opts.race_detect = true;  // E20: fuzz histories must stay race-free too
   Auditor auditor(machine, opts);
   auditor.AttachUkernel(kernel);
 
@@ -343,6 +345,7 @@ FuzzResult RunVmmFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
   uvmm::Hypervisor hv(machine);
   Auditor::Options opts;
   opts.incremental_tlb = incremental_tlb;
+  opts.race_detect = true;  // E20: fuzz histories must stay race-free too
   Auditor auditor(machine, opts);
   auditor.AttachVmm(hv);
 
@@ -676,6 +679,7 @@ FuzzResult RunRecoveryFuzzOn(RecoveryTarget& t, uint64_t seed, uint32_t steps) {
 FuzzResult RunUkernelRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
   ustack::UkernelStack::Config config;
   config.crash_recovery = true;
+  config.race_detect = true;  // E20: crash/replay histories must stay race-free
   ustack::UkernelStack stack(config);
   auto* block = stack.guest(0).port->block();
   RecoveryTarget t;
@@ -697,6 +701,7 @@ FuzzResult RunVmmRecoveryFuzz(uint64_t seed, uint32_t steps, bool parallax) {
   ustack::VmmStack::Config config;
   config.parallax_storage = parallax;
   config.crash_recovery = true;
+  config.race_detect = true;  // E20: crash/replay histories must stay race-free
   ustack::VmmStack stack(config);
   auto& front = *stack.guest(0).blkfront;
   RecoveryTarget t;
