@@ -62,6 +62,40 @@ void BM_UkernelNullIpc(benchmark::State& state) {
 }
 BENCHMARK(BM_UkernelNullIpc);
 
+void BM_UkernelNullIpcFastpath(benchmark::State& state) {
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 8 << 20);
+  ukern::Kernel kernel(machine);
+  kernel.SetIpcFastpath(true);
+  auto server_task = kernel.CreateTask(ukvm::ThreadId::Invalid());
+  auto server = kernel.CreateThread(*server_task, 128, [](ukvm::ThreadId, ukern::IpcMessage) {
+    return ukern::IpcMessage{};
+  });
+  auto client_task = kernel.CreateTask(ukvm::ThreadId::Invalid());
+  auto client = kernel.CreateThread(*client_task, 128, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Call(*client, *server, ukern::IpcMessage::Short(1)));
+  }
+}
+BENCHMARK(BM_UkernelNullIpcFastpath);
+
+// One "seed" = boot a full microkernel stack, push a small syscall workload
+// through it, tear it down — the unit the E18/E19 fuzz banks repeat. With
+// items_per_second this reports wall-clock seeds/sec, which is what sizes
+// how large a seed bank check.sh can afford.
+void BM_LifecycleSeed(benchmark::State& state) {
+  for (auto _ : state) {
+    ustack::UkernelStack stack;
+    auto pid = stack.guest_os(0).Spawn("seed");
+    (void)stack.kernel().ActivateThread(stack.guest(0).app_thread);
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(stack.guest_os(0).Null(*pid));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("seeds");
+}
+BENCHMARK(BM_LifecycleSeed);
+
 void BM_VmmHypercall(benchmark::State& state) {
   hwsim::Machine machine(hwsim::MakeX86Platform(), 8 << 20);
   uvmm::Hypervisor hv(machine);

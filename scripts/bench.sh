@@ -3,11 +3,17 @@
 # results (E1 IPC ping-pong, E3 Dom0 CPU accounting, E4 crossing counts, E16
 # batched datapath, E17 tracing overhead, E18 TLB shootdown scaling, E19
 # crash-recovery latency + exactly-once ledger, E20 race-detection
-# overhead). Each bench writes
+# overhead, E21 L4 fast-path IPC). Each bench writes
 # BENCH_<id>.json
 # into $OUT alongside its human-readable tables on stdout; E17 additionally
 # writes a Perfetto-loadable Chrome trace and flamegraph.pl collapsed stacks
 # into $OUT via UKVM_TRACE_DIR.
+#
+# After the deterministic suite, bench_simspeed reports *wall-clock* harness
+# throughput (host ns per simulated hot op; BM_LifecycleSeed's
+# items_per_second is fuzz seeds/sec). Wall-clock numbers vary by host, so
+# they are printed for tracking but never written into the bit-exact
+# BENCH_*.json set.
 #
 #   OUT=results ./scripts/bench.sh      # default OUT is bench-results/
 set -euo pipefail
@@ -21,7 +27,7 @@ cmake -B "${BUILD}" -S . >/dev/null
 cmake --build "${BUILD}" -j"${JOBS}" --target \
   bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings bench_e16_batched_io \
   bench_e17_trace_overhead bench_e18_shootdown bench_e19_recovery \
-  bench_e20_race_overhead
+  bench_e20_race_overhead bench_e21_ipc_fastpath bench_simspeed
 
 mkdir -p "${OUT}"
 export UKVM_BENCH_JSON="${OUT}"
@@ -29,11 +35,15 @@ export UKVM_TRACE_DIR="${OUT}"
 
 for bench in bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings \
              bench_e16_batched_io bench_e17_trace_overhead bench_e18_shootdown \
-             bench_e19_recovery bench_e20_race_overhead; do
+             bench_e19_recovery bench_e20_race_overhead bench_e21_ipc_fastpath; do
   echo "== ${bench} =="
   "${BUILD}/bench/${bench}"
   echo
 done
+
+echo "== bench_simspeed (wall-clock harness throughput; not in the bit-exact set) =="
+"${BUILD}/bench/bench_simspeed" --benchmark_min_time=0.05s
+echo
 
 echo "JSON results:"
 ls -1 "${OUT}"/BENCH_*.json

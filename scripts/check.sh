@@ -19,7 +19,18 @@
 #      discipline, or attributes less than 95% of accounted cycles;
 #   8. E20 race-detection gate: bench_e20_race_overhead exits non-zero if
 #      the detector perturbs simulated time at all or any stock
-#      split-driver protocol reports a race.
+#      split-driver protocol reports a race;
+#   9. E21 fast-path gate: bench_e21_ipc_fastpath exits non-zero unless the
+#      L4 fast path is >=2x on two platforms, the E1/E11 shapes improve,
+#      and a fastpath-on run is auditor/race-detector clean;
+#  10. perf-regression gate: every deterministic bench regenerates its
+#      BENCH_*.json into a scratch dir and the result is compared
+#      bit-exactly against the committed bench-results/ baselines — the
+#      sim is deterministic, so any drift is a perf regression (or an
+#      uncommitted baseline). E17/E20 are excluded: their JSONs carry
+#      wall-clock ns/span columns that legitimately vary run to run.
+#      Stages 9-10 use a default-config tree (build-check/bench) because
+#      UKVM_CHECK=ON changes charge sequences.
 #
 # Exits non-zero if any stage that can run fails. Build trees live under
 # build-check/ so the default build/ is left alone.
@@ -28,12 +39,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== [1/8] strict build (-Werror, UKVM_CHECK=ON) + tests =="
+echo "== [1/10] strict build (-Werror, UKVM_CHECK=ON) + tests =="
 cmake -B build-check/werror -S . -DUKVM_WERROR=ON -DUKVM_CHECK=ON >/dev/null
 cmake --build build-check/werror -j"${JOBS}"
 ctest --test-dir build-check/werror -j"${JOBS}" --output-on-failure
 
-echo "== [2/8] clang-tidy over src/ (gating) =="
+echo "== [2/10] clang-tidy over src/ (gating) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # The strict tree has a fresh compile_commands.json for it to use. The
   # explicit --warnings-as-errors mirrors .clang-tidy's WarningsAsErrors so
@@ -47,30 +58,64 @@ else
   echo "clang-tidy not installed; skipping lint stage (build+tests still gate)."
 fi
 
-echo "== [3/8] ASan+UBSan build + tests =="
+echo "== [3/10] ASan+UBSan build + tests =="
 cmake -B build-check/asan -S . -DUKVM_SANITIZE=ON >/dev/null
 cmake --build build-check/asan -j"${JOBS}"
 ctest --test-dir build-check/asan -j"${JOBS}" --output-on-failure
 
-echo "== [4/8] TSan build + tests =="
+echo "== [4/10] TSan build + tests =="
 cmake -B build-check/tsan -S . -DUKVM_TSAN=ON >/dev/null
 cmake --build build-check/tsan -j"${JOBS}"
 ctest --test-dir build-check/tsan -j"${JOBS}" --output-on-failure
 
-echo "== [5/8] E18 lifecycle fuzz sweep (extended seed bank, ASan) =="
+echo "== [5/10] E18 lifecycle fuzz sweep (extended seed bank, ASan) =="
 UKVM_FUZZ_SEEDS="${UKVM_FUZZ_SEEDS:-128}" \
   build-check/asan/tests/ukvm_tests --gtest_filter='FuzzLifecycle.*'
 
-echo "== [6/8] E19 recovery fuzz sweep (extended seed bank, ASan) =="
+echo "== [6/10] E19 recovery fuzz sweep (extended seed bank, ASan) =="
 UKVM_FUZZ_SEEDS="${UKVM_FUZZ_SEEDS:-128}" \
   build-check/asan/tests/ukvm_tests --gtest_filter='FuzzRecovery.*'
 
-echo "== [7/8] E17 tracing zero-perturbation gate =="
+echo "== [7/10] E17 tracing zero-perturbation gate =="
 cmake --build build-check/werror -j"${JOBS}" --target bench_e17_trace_overhead
 build-check/werror/bench/bench_e17_trace_overhead
 
-echo "== [8/8] E20 race-detection zero-perturbation gate =="
+echo "== [8/10] E20 race-detection zero-perturbation gate =="
 cmake --build build-check/werror -j"${JOBS}" --target bench_e20_race_overhead
 build-check/werror/bench/bench_e20_race_overhead
+
+# Stages 9-10 need the default configuration: the committed baselines were
+# produced without UKVM_CHECK's auditor hooks in the charge stream. Only the
+# benches whose JSON carries pure simulated-cycle data participate in the
+# bit-exact gate (E17/E20 also export wall-clock columns).
+DET_BENCHES="bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings \
+             bench_e16_batched_io bench_e18_shootdown bench_e19_recovery \
+             bench_e21_ipc_fastpath"
+DET_JSONS="BENCH_E1.json BENCH_E3.json BENCH_E4.json BENCH_E16.json \
+           BENCH_E18.json BENCH_E19.json BENCH_E21.json"
+cmake -B build-check/bench -S . >/dev/null
+# shellcheck disable=SC2086
+cmake --build build-check/bench -j"${JOBS}" --target ${DET_BENCHES}
+
+echo "== [9/10] E21 IPC fast-path gate =="
+build-check/bench/bench/bench_e21_ipc_fastpath
+
+echo "== [10/10] bench JSON bit-exact perf-regression gate =="
+rm -rf build-check/bench-json
+mkdir -p build-check/bench-json
+for bench in ${DET_BENCHES}; do
+  UKVM_BENCH_JSON=build-check/bench-json UKVM_TRACE_DIR=build-check/bench-json \
+    "build-check/bench/bench/${bench}" >/dev/null
+done
+for json in ${DET_JSONS}; do
+  baseline="bench-results/${json}"
+  regen="build-check/bench-json/${json}"
+  if ! cmp -s "${baseline}" "${regen}"; then
+    echo "PERF REGRESSION: ${baseline} no longer matches a fresh run:" >&2
+    diff -u "${baseline}" "${regen}" >&2 || true
+    exit 1
+  fi
+done
+echo "all deterministic bench JSONs regenerate bit-identically."
 
 echo "check.sh: all stages passed."

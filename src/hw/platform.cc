@@ -25,6 +25,7 @@ Platform MakeArmPlatform() {
   p.has_segmentation = false;
   p.software_loaded_tlb = false;
   p.has_guest_ring = false;
+  p.has_fcse = true;  // ARMv5 FCSE: PID-relocated small spaces switch for free
   p.irq_lines = 32;
   p.costs.trap_entry = 120;  // exception entry is cheap on ARM
   p.costs.trap_return = 100;

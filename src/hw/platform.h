@@ -36,6 +36,11 @@ struct Platform {
   bool has_guest_ring = false;       // a distinct privilege ring between the
                                      // kernel and user (x86 ring 1), needed
                                      // for classic paravirtualization
+  bool has_fcse = false;             // ARM Fast Context Switch Extension: a
+                                     // PID register relocates small address
+                                     // spaces, so switching between them
+                                     // needs neither a flush nor a segment
+                                     // reload (Wiggins/Heiser SA-1100 trick)
 
   uint32_t irq_lines = 16;
 

@@ -319,16 +319,43 @@ void NetFront::OnBackendDead(DomainId dead) {
     return;
   }
   xenbus_.MarkFailure(machine_.Now());
+  // Exactly-once rx read-back: responses already published in the ring
+  // carry payloads that landed in guest-visible memory before the backend
+  // died (the flip or copy had happened), so draining them now loses
+  // nothing — this is the receive-side mirror of the blk journal's
+  // "applied but unacknowledged" interleaving. Only responses whose
+  // payload cannot be reached count as dropped.
+  if (chan_ != nullptr) {
+    uvmm::Domain* dom = hv_.FindDomain(guest_);
+    while (auto resp = chan_->rx_ring->PopResponse()) {
+      ForgetOutstandingRxSlot(resp->pfn);
+      if (DeliverRxPayload(dom, resp->pfn, resp->len, resp->status)) {
+        ++rx_recovered_on_crash_;
+      } else if (resp->status == Err::kNone) {
+        ++rx_dropped_on_crash_;
+      }
+    }
+  }
   chan_ = nullptr;
   // Every pfn that was staged for tx or advertised as an rx slot was parked
-  // with the dead backend; the hypervisor already revoked the grants, so the
-  // whole pool comes home. In-flight tx packets die with the backend (the
-  // NIC contract: upper layers retransmit), counted so the bench can report
-  // them.
+  // with the dead backend; the hypervisor already revoked the grants. In-
+  // flight tx packets die with the backend (the NIC contract: upper layers
+  // retransmit), counted so the bench can report them.
   tx_dropped_on_crash_ += tx_grants_.size();
   tx_grants_.clear();
   tx_gref_cache_.Clear();
-  free_pfns_.assign(pool_.begin(), pool_.end());
+  // Advertised-but-unconsumed slots are journaled for exactly-once replay
+  // at Reconnect (the rx mirror of the blk write journal); the rest of the
+  // pool comes home to the free list.
+  rx_slot_journal_.assign(rx_outstanding_.begin(), rx_outstanding_.end());
+  rx_outstanding_.clear();
+  free_pfns_.clear();
+  for (uvmm::Pfn pfn : pool_) {
+    if (std::find(rx_slot_journal_.begin(), rx_slot_journal_.end(), pfn) ==
+        rx_slot_journal_.end()) {
+      free_pfns_.push_back(pfn);
+    }
+  }
 }
 
 Err NetFront::Reconnect(NetBack& back) {
@@ -336,11 +363,58 @@ Err NetFront::Reconnect(NetBack& back) {
   if (err != Err::kNone) {
     return err;
   }
+  // Replay the journaled rx slots exactly once: every slot the dead
+  // backend still owed a packet for is re-advertised to its replacement,
+  // so the guest's receive window survives the crash at full width.
+  const size_t replayed = rx_slot_journal_.size();
+  for (uvmm::Pfn pfn : rx_slot_journal_) {
+    PostRxSlot(pfn, /*kick=*/false);
+  }
+  rx_slot_journal_.clear();
+  rx_slots_replayed_ += replayed;
   xenbus_.OnReconnected();
+  if (replayed > 0) {
+    xenbus_.OnReplayed(replayed);
+  }
   return Err::kNone;
 }
 
+uint32_t NetFront::front_rx_port() const {
+  return chan_ != nullptr ? chan_->front_rx_port : 0;
+}
+
+bool NetFront::DeliverRxPayload(uvmm::Domain* dom, uint32_t pfn, uint32_t len, Err status) {
+  if (status != Err::kNone || dom == nullptr) {
+    return false;
+  }
+  auto mfn = dom->MfnOf(pfn);
+  if (!mfn.ok()) {
+    return false;
+  }
+  auto data = machine_.memory().FrameData(*mfn);
+  // The guest network stack copies the payload out of the (flipped or
+  // filled) page.
+  RaceFrameAccess(machine_, guest_, *mfn, /*write=*/false, "net.rx.payload");
+  std::vector<uint8_t> bytes(data.begin(), data.begin() + len);
+  machine_.ChargeCopy(len);
+  ++rx_received_;
+  if (handler_) {
+    handler_(bytes);
+  }
+  return true;
+}
+
+void NetFront::ForgetOutstandingRxSlot(uvmm::Pfn pfn) {
+  auto it = std::find(rx_outstanding_.begin(), rx_outstanding_.end(), pfn);
+  if (it != rx_outstanding_.end()) {
+    rx_outstanding_.erase(it);
+  }
+}
+
 Err NetFront::Connect(NetBack& back) {
+  // A fresh channel owes nothing: any outstanding-slot bookkeeping from a
+  // previous (legacy-restart) epoch is void.
+  rx_outstanding_.clear();
   chan_ = back.Connect(guest_);
   if (chan_ == nullptr) {
     return Err::kNoMemory;
@@ -382,6 +456,7 @@ void NetFront::PostRxSlot(uvmm::Pfn pfn, bool kick) {
     return;
   }
   chan_->rx_ring->PushRequest(NetRxReq{*ref, pfn});
+  rx_outstanding_.push_back(pfn);
   if (kick) {
     (void)hv_.HcEvtchnSend(guest_, chan_->front_rx_port);
   }
@@ -468,25 +543,13 @@ void NetFront::OnRxResponse() {
   uvmm::Domain* dom = hv_.FindDomain(guest_);
   if (io_batch_ <= 1) {
     while (auto resp = chan_->rx_ring->PopResponse()) {
-      if (resp->status == Err::kNone) {
-        auto mfn = dom->MfnOf(resp->pfn);
-        if (mfn.ok()) {
-          auto data = machine_.memory().FrameData(*mfn);
-          // The guest network stack copies the payload out of the (flipped
-          // or filled) page.
-          RaceFrameAccess(machine_, guest_, *mfn, /*write=*/false, "net.rx.payload");
-          std::vector<uint8_t> bytes(data.begin(), data.begin() + resp->len);
-          machine_.ChargeCopy(resp->len);
-          ++rx_received_;
-          if (handler_) {
-            handler_(bytes);
-          }
-        }
-      }
+      ForgetOutstandingRxSlot(resp->pfn);
+      (void)DeliverRxPayload(dom, resp->pfn, resp->len, resp->status);
       if (mode_ == RxMode::kGrantCopy) {
         if (persistent_) {
           // The writable slot grant survives the backend's copy; reuse it.
           chan_->rx_ring->PushRequest(NetRxReq{resp->ref, resp->pfn});
+          rx_outstanding_.push_back(resp->pfn);
           continue;
         }
         (void)hv_.HcGrantEnd(guest_, resp->ref);
@@ -504,19 +567,8 @@ void NetFront::OnRxResponse() {
   std::vector<uvmm::MulticallOp> ops;
   std::vector<NetRxReq> reqs;
   for (const NetRxResp& resp : resps) {
-    if (resp.status == Err::kNone) {
-      auto mfn = dom->MfnOf(resp.pfn);
-      if (mfn.ok()) {
-        auto data = machine_.memory().FrameData(*mfn);
-        RaceFrameAccess(machine_, guest_, *mfn, /*write=*/false, "net.rx.payload");
-        std::vector<uint8_t> bytes(data.begin(), data.begin() + resp.len);
-        machine_.ChargeCopy(resp.len);
-        ++rx_received_;
-        if (handler_) {
-          handler_(bytes);
-        }
-      }
-    }
+    ForgetOutstandingRxSlot(resp.pfn);
+    (void)DeliverRxPayload(dom, resp.pfn, resp.len, resp.status);
     if (mode_ == RxMode::kPageFlip) {
       uvmm::MulticallOp op;
       op.kind = uvmm::MulticallOp::Kind::kGrantTransferSlot;
@@ -553,6 +605,9 @@ void NetFront::OnRxResponse() {
   }
   if (!reqs.empty()) {
     chan_->rx_ring->PushRequests(std::span<const NetRxReq>(reqs));
+    for (const NetRxReq& req : reqs) {
+      rx_outstanding_.push_back(req.pfn);
+    }
   }
 }
 

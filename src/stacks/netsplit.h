@@ -189,6 +189,23 @@ class NetFront : public minios::NetDevice {
   XenbusConn& xenbus() { return xenbus_; }
   uint64_t tx_dropped_on_crash() const { return tx_dropped_on_crash_; }
 
+  // Rx-side crash accounting (the receive twin of tx_dropped_on_crash):
+  // packets whose response was in the ring when the backend died are
+  // *recovered* (their payload already landed in guest memory — the
+  // exactly-once read-back), not dropped; only undeliverable responses
+  // still count as dropped.
+  uint64_t rx_recovered_on_crash() const { return rx_recovered_on_crash_; }
+  uint64_t rx_dropped_on_crash() const { return rx_dropped_on_crash_; }
+  // Advertised-but-unconsumed rx slots journaled at backend death and
+  // re-advertised exactly once at Reconnect (the rx mirror of the blk
+  // write journal).
+  uint64_t rx_slots_replayed() const { return rx_slots_replayed_; }
+  size_t rx_slot_journal_depth() const { return rx_slot_journal_.size(); }
+
+  // The guest-side event-channel port rx upcalls arrive on (tests use this
+  // to pin crash interleavings by intercepting the upcall).
+  uint32_t front_rx_port() const;
+
   uint64_t tx_sent() const { return tx_sent_; }
   uint64_t rx_received() const { return rx_received_; }
   const uvmm::GrantCache& tx_gref_cache() const { return tx_gref_cache_; }
@@ -197,6 +214,10 @@ class NetFront : public minios::NetDevice {
   void PostRxSlot(uvmm::Pfn pfn, bool kick);
   void OnTxResponse();
   void OnRxResponse();
+  // Delivers one rx response's payload to the guest network stack; returns
+  // false when the payload cannot be reached (error status, bad pfn).
+  bool DeliverRxPayload(uvmm::Domain* dom, uint32_t pfn, uint32_t len, ukvm::Err status);
+  void ForgetOutstandingRxSlot(uvmm::Pfn pfn);
 
   hwsim::Machine& machine_;
   uvmm::Hypervisor& hv_;
@@ -217,6 +238,12 @@ class NetFront : public minios::NetDevice {
   bool crash_recovery_ = false;
   XenbusConn xenbus_;
   uint64_t tx_dropped_on_crash_ = 0;  // in-flight tx packets lost with a backend
+  // Rx-slot replay state (E21 satellite of the E19 exactly-once work).
+  std::deque<uvmm::Pfn> rx_outstanding_;    // slots currently advertised
+  std::vector<uvmm::Pfn> rx_slot_journal_;  // captured at death, replayed once
+  uint64_t rx_recovered_on_crash_ = 0;
+  uint64_t rx_dropped_on_crash_ = 0;
+  uint64_t rx_slots_replayed_ = 0;
   size_t io_batch_ = 1;
   bool persistent_ = false;
   uvmm::GrantCache tx_gref_cache_;  // staging pfn -> gref

@@ -62,6 +62,11 @@ class UkernelStack {
     // server attaches; each guest's uk-blk xenbus connection records the
     // recovery phases.
     bool crash_recovery = false;
+    // E21 L4 fast-path IPC — default off, so every pre-E21 charge sequence
+    // is byte-identical. On: short register-only Calls (including the OS
+    // servers' syscall redirection) take the Liedtke fast path; everything
+    // else falls back to the slow path unchanged.
+    bool ipc_fastpath = false;
   };
 
   struct Guest {

@@ -61,6 +61,12 @@ struct IpcMessage {
   // Error the kernel reports to the caller in the reply (kNone on success).
   ukvm::Err status = ukvm::Err::kNone;
 
+  // True when the whole payload fits in registers: no string item and no
+  // map/grant items. This is the message shape the E21 Liedtke fast path
+  // accepts without falling back (string items may still qualify via the
+  // temporary-mapping window; delegation never does).
+  bool IsRegisterOnly() const { return !has_string && map_items.empty(); }
+
   static IpcMessage Short(uint64_t op) {
     IpcMessage msg;
     msg.regs[0] = op;

@@ -162,7 +162,7 @@ Err Kernel::SetRecvBuffer(ThreadId thread, hwsim::Vaddr buffer, uint32_t len) {
 }
 
 Err Kernel::SetSmallSpace(DomainId task, bool small) {
-  if (small && !machine_.platform().has_segmentation) {
+  if (small && !machine_.platform().has_segmentation && !machine_.platform().has_fcse) {
     return Err::kNotSupported;
   }
   Task* t = FindTask(task);
@@ -261,8 +261,22 @@ Err Kernel::ActivateThread(ThreadId thread) {
     return Err::kDead;
   }
   machine_.ChargeTo(kKernelDomain, machine_.costs().schedule_decision);
+  if (lazy_queue_dirty_) {
+    DrainLazyRunQueue();
+  }
   LeaveKernelTo(thread);
   return Err::kNone;
+}
+
+void Kernel::DrainLazyRunQueue() {
+  // Lazy scheduling's deferred half: the fast path direct-switches without
+  // touching run_queue_, so by the next real schedule decision the queue
+  // may hold threads that are no longer ready. One sweep reconciles it.
+  fastpath_stats_.lazy_fixups += run_queue_.RemoveIf([this](ThreadId id) {
+    Tcb* t = FindThread(id);
+    return t == nullptr || t->state != ThreadState::kReady;
+  });
+  lazy_queue_dirty_ = false;
 }
 
 // --- IPC ----------------------------------------------------------------------
@@ -384,7 +398,228 @@ IpcMessage Kernel::InvokeHandler(Tcb& dest, ThreadId sender, IpcMessage&& delive
   return reply;
 }
 
+// --- E21: the L4 fast path -----------------------------------------------------
+//
+// Liedtke's short-IPC fast path [Lie93], structurally: the kernel is
+// entered through a minimal stub (fast_trap_entry — no full frame save),
+// the message stays in physical registers across the switch (zero copy
+// cost), the caller's time slice is donated to the receiver by a direct
+// process switch that never consults the scheduler, and the run queue is
+// fixed up lazily at the next real schedule decision. Single-page string
+// items ride a temporary-mapping window: one kernel PTE write plus one
+// charged copy instead of the walk-twice gather/scatter. Everything the
+// fast path cannot handle falls back to the slow path below, unchanged.
+
+void Kernel::EnterKernelFast() {
+  machine_.Charge(machine_.costs().fast_trap_entry);
+  machine_.cpu().SetDomain(kKernelDomain);
+  machine_.cpu().SetMode(hwsim::PrivLevel::kPrivileged);
+  machine_.cpu().SetInterruptsEnabled(false);
+}
+
+void Kernel::LeaveKernelFastTo(ThreadId thread) {
+  Tcb* tcb = FindThread(thread);
+  if (tcb == nullptr || tcb->state == ThreadState::kDead) {
+    current_thread_ = ThreadId::Invalid();
+    machine_.cpu().SetInterruptsEnabled(true);
+    return;
+  }
+  Task* task = FindTask(tcb->task);
+  assert(task != nullptr);
+  if (task->small_space) {
+    machine_.cpu().SwitchAddressSpaceSmall(&task->space);
+  } else {
+    machine_.cpu().SwitchAddressSpace(&task->space);
+  }
+  machine_.cpu().SetSegments(&task->segments);
+  machine_.cpu().SetDomain(task->id);
+  machine_.cpu().SetMode(hwsim::PrivLevel::kUser);
+  machine_.Charge(machine_.costs().fast_trap_return);
+  current_thread_ = thread;
+  tcb->state = ThreadState::kRunning;
+  machine_.cpu().SetInterruptsEnabled(true);
+  machine_.DeliverPendingInterrupts();
+}
+
+Kernel::FastpathVerdict Kernel::ClassifyFastpath(ThreadId caller, ThreadId dest,
+                                                 const IpcMessage& msg) {
+  Tcb* c = FindThread(caller);
+  Tcb* d = FindThread(dest);
+  // Error paths (bad handle, dead partner) keep the slow path's exact
+  // charge-and-reply discipline.
+  if (c == nullptr || d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+    return FastpathVerdict::kNotReady;
+  }
+  if (d->state != ThreadState::kWaiting || !d->handler) {
+    return FastpathVerdict::kNotReady;  // receiver not blocked in receive
+  }
+  if (!msg.map_items.empty()) {
+    return FastpathVerdict::kMapItem;  // delegation always goes slow
+  }
+  if (msg.has_string && msg.string.len > 0 && !FastStringEligible(*c, *d, msg)) {
+    return FastpathVerdict::kString;
+  }
+  return FastpathVerdict::kEligible;
+}
+
+bool Kernel::FastStringEligible(Tcb& sender, Tcb& receiver, const IpcMessage& msg) {
+  if (receiver.recv_buffer_len == 0 || msg.string.len > receiver.recv_buffer_len) {
+    return false;  // no receive window, or the slow path would truncate
+  }
+  Task* from = FindTask(sender.task);
+  Task* to = FindTask(receiver.task);
+  if (from == nullptr || to == nullptr) {
+    return false;
+  }
+  const uint64_t page = from->space.page_size();
+  const uint64_t len = msg.string.len;
+  // One temporary-mapping window covers one source and one destination
+  // page; a boundary-crossing string is "too long" for it.
+  if ((msg.string.snd_base & (page - 1)) + len > page) {
+    return false;
+  }
+  if ((receiver.recv_buffer & (page - 1)) + len > page) {
+    return false;
+  }
+  const hwsim::Pte* spte = from->space.Walk(msg.string.snd_base);
+  if (spte == nullptr || !spte->present) {
+    return false;  // would need the pager: slow path
+  }
+  const hwsim::Pte* dpte = to->space.Walk(receiver.recv_buffer);
+  return dpte != nullptr && dpte->present && dpte->writable;
+}
+
+uint64_t Kernel::FastTransferString(Tcb& sender, Tcb& receiver, const IpcMessage& msg,
+                                    IpcMessage& delivered) {
+  Task* from = FindTask(sender.task);
+  Task* to = FindTask(receiver.task);
+  assert(from != nullptr && to != nullptr);
+  const uint64_t page = from->space.page_size();
+  const uint32_t len = msg.string.len;
+  // One PTE write maps the source page into the kernel's copy window; the
+  // destination page is reached through the receiver's space directly, so
+  // a single charged copy replaces TransferString's per-page walk-twice
+  // gather/scatter.
+  machine_.Charge(machine_.costs().pte_write);
+  hwsim::Pte* spte = from->space.Walk(msg.string.snd_base);
+  hwsim::Pte* dpte = to->space.Walk(receiver.recv_buffer);
+  assert(spte != nullptr && dpte != nullptr);
+  spte->accessed = true;
+  dpte->accessed = true;
+  dpte->dirty = true;
+  std::vector<uint8_t> bytes(len);
+  const hwsim::Paddr src =
+      machine_.memory().FrameBase(spte->frame) + (msg.string.snd_base & (page - 1));
+  const hwsim::Paddr dst =
+      machine_.memory().FrameBase(dpte->frame) + (receiver.recv_buffer & (page - 1));
+  (void)machine_.memory().Read(src, std::span<uint8_t>(bytes));
+  (void)machine_.memory().Write(dst, std::span<const uint8_t>(bytes));
+  machine_.ChargeCopy(len);
+  delivered.string_data = std::move(bytes);
+  return len;
+}
+
+IpcMessage Kernel::CallFast(ThreadId caller, ThreadId dest, IpcMessage msg) {
+  Tcb* c = FindThread(caller);
+  Tcb* d = FindThread(dest);
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.call_name, c->task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.call_frame);
+  const uint64_t t0 = machine_.Now();
+  EnterKernelFast();
+  ++ipc_calls_;
+  ++fastpath_stats_.taken;
+
+  // Register transfer costs nothing: a short message never leaves the
+  // physical registers on its way across the direct process switch.
+  IpcMessage delivered = msg;
+  delivered.string_data.clear();
+  if (msg.has_string && msg.string.len > 0) {
+    const uint64_t moved = FastTransferString(*c, *d, msg, delivered);
+    machine_.ledger().Record(mech_.ipc_string, c->task, d->task, 0, moved);
+    ++fastpath_stats_.string_windows;
+  }
+  machine_.ledger().Record(mech_.ipc_call, c->task, d->task, machine_.Now() - t0, 0);
+  const DomainId dest_task = d->task;
+
+  // Direct process switch: the receiver runs on the caller's donated time
+  // slice; run_queue_ is deliberately left stale (lazy scheduling) and
+  // reconciled at the next real schedule decision.
+  lazy_queue_dirty_ = true;
+  const ThreadId prev = current_thread_;
+  LeaveKernelFastTo(dest);
+  IpcMessage reply = d->handler(caller, std::move(delivered));
+  ++d->messages_handled;
+  EnterKernelFast();
+  if (Tcb* dd = FindThread(dest); dd != nullptr && dd->state == ThreadState::kRunning) {
+    dd->state = ThreadState::kWaiting;
+  }
+  current_thread_ = prev;
+
+  // Same mid-call death discipline as the slow path: the kernel
+  // synthesizes the reply crossing on the dead server's behalf.
+  d = FindThread(dest);
+  if (d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+    machine_.ledger().Record(mech_.ipc_reply, dest_task, c->task, 0, 0);
+    IpcMessage err = IpcMessage::Error(Err::kDead);
+    LeaveKernelFastTo(caller);
+    return err;
+  }
+
+  if (!reply.IsRegisterOnly()) {
+    // Complex reply: only the return leg falls off the fast path; it runs
+    // the slow path's exact reply sequence.
+    ++fastpath_stats_.slow_replies;
+    const uint64_t t1 = machine_.Now();
+    machine_.Charge(machine_.costs().kernel_op);
+    ChargeRegTransfer(reply);
+    if (reply.has_string) {
+      auto moved = TransferString(*d, *c, reply, reply);
+      if (!moved.ok()) {
+        reply.status = moved.error();
+      } else {
+        machine_.ledger().Record(mech_.ipc_string, d->task, c->task, 0, *moved);
+      }
+    }
+    if (!reply.map_items.empty() && reply.status == Err::kNone) {
+      Task* from = FindTask(d->task);
+      Task* to = FindTask(c->task);
+      for (const MapItem& item : reply.map_items) {
+        if (Err err = ApplyMapItem(*from, *to, item); err != Err::kNone) {
+          reply.status = err;
+          break;
+        }
+        machine_.ledger().Record(mech_.ipc_map, d->task, c->task, 0,
+                                 uint64_t{item.pages} * from->space.page_size());
+      }
+    }
+    machine_.ledger().Record(mech_.ipc_reply, d->task, c->task, machine_.Now() - t1, 0);
+    LeaveKernelTo(caller);
+    return reply;
+  }
+
+  if (!test_skip_fastpath_reply_record_) {
+    machine_.ledger().Record(mech_.ipc_reply, d->task, c->task, 0, 0);
+  }
+  LeaveKernelFastTo(caller);
+  return reply;
+}
+
 IpcMessage Kernel::Call(ThreadId caller, ThreadId dest, IpcMessage msg) {
+  if (ipc_fastpath_) {
+    switch (ClassifyFastpath(caller, dest, msg)) {
+      case FastpathVerdict::kEligible:
+        return CallFast(caller, dest, std::move(msg));
+      case FastpathVerdict::kNotReady:
+        ++fastpath_stats_.fallback_not_ready;
+        break;
+      case FastpathVerdict::kMapItem:
+        ++fastpath_stats_.fallback_map;
+        break;
+      case FastpathVerdict::kString:
+        ++fastpath_stats_.fallback_string;
+        break;
+    }
+  }
   Tcb* c = FindThread(caller);
   Tcb* d = FindThread(dest);
   ukvm::SpanScope trace_span(machine_.tracer(), trace_.call_name,

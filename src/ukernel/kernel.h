@@ -78,7 +78,8 @@ class Kernel : public hwsim::TrapHandler {
   // Marks a task as a Liedtke small space [Lie95] (cited by the paper as
   // the microkernel answer to address-space-switch costs): switches into it
   // use segment remapping instead of a page-table reload + TLB flush.
-  // Requires segmentation; kNotSupported otherwise.
+  // Requires segmentation or ARM's FCSE PID relocation; kNotSupported
+  // otherwise.
   ukvm::Err SetSmallSpace(ukvm::DomainId task, bool small);
 
   bool TaskAlive(ukvm::DomainId task) const;
@@ -91,6 +92,35 @@ class Kernel : public hwsim::TrapHandler {
   // receiver's protection domain, returns the reply to `caller`. The reply's
   // `status` carries kernel-detected errors (dead partner, bad transfer).
   IpcMessage Call(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
+
+  // --- E21: the L4 fast path --------------------------------------------------
+
+  // When enabled, a short Call to a waiting receiver takes the Liedtke
+  // fast path: fast trap entry/exit, register transfer at zero copy cost
+  // (a short message stays in physical registers across the switch), a
+  // direct process switch donating the caller's time slice, lazy
+  // run-queue fixup, and a temporary-mapping window for single-page
+  // string items. Anything else — map/grant items, long or faulting
+  // strings, a receiver that is not blocked in receive — falls back to
+  // the slow path unchanged. Default off; with the knob off every charge
+  // sequence is byte-identical to the pre-E21 kernel.
+  void SetIpcFastpath(bool on) { ipc_fastpath_ = on; }
+  bool ipc_fastpath() const { return ipc_fastpath_; }
+
+  struct FastpathStats {
+    uint64_t taken = 0;               // calls whose request leg went fast
+    uint64_t slow_replies = 0;        // fast request, complex reply fell back
+    uint64_t string_windows = 0;      // strings moved via the temp-map window
+    uint64_t fallback_not_ready = 0;  // receiver not waiting / no handler / dead
+    uint64_t fallback_map = 0;        // map/grant items present
+    uint64_t fallback_string = 0;     // string too long, page-crossing, or faulting
+    uint64_t lazy_fixups = 0;         // stale run-queue entries reconciled
+  };
+  const FastpathStats& fastpath_stats() const { return fastpath_stats_; }
+
+  // Test-only mutation hook (E21 self-test): a fast path that "forgets" its
+  // reply crossing must be caught by the ledger lint as an unbalanced pair.
+  void TestSkipFastpathReplyRecord(bool skip) { test_skip_fastpath_reply_record_ = skip; }
 
   // One-way send (no reply transfer back).
   ukvm::Err Send(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
@@ -206,6 +236,30 @@ class Kernel : public hwsim::TrapHandler {
   // Invokes `dest`'s handler in its own domain and returns the reply.
   IpcMessage InvokeHandler(Tcb& dest, ukvm::ThreadId sender, IpcMessage&& delivered);
 
+  // --- E21 fast-path internals ----------------------------------------------
+
+  enum class FastpathVerdict : uint8_t { kEligible, kNotReady, kMapItem, kString };
+  // Pure lookups, no charging: decides whether this Call may take the fast
+  // path, or why it must not (the verdict indexes the fallback counters).
+  FastpathVerdict ClassifyFastpath(ukvm::ThreadId caller, ukvm::ThreadId dest,
+                                   const IpcMessage& msg);
+  // A string qualifies for the temporary-mapping window iff it fits the
+  // receive buffer untruncated, stays within one page on both sides, and
+  // both PTEs are already present (no pager round-trip needed).
+  bool FastStringEligible(Tcb& sender, Tcb& receiver, const IpcMessage& msg);
+  // One kernel-window PTE write + one charged copy; only called when
+  // FastStringEligible said yes. Returns bytes moved.
+  uint64_t FastTransferString(Tcb& sender, Tcb& receiver, const IpcMessage& msg,
+                              IpcMessage& delivered);
+  IpcMessage CallFast(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
+  // Fast-trap variants of EnterKernel/LeaveKernelTo: the short-IPC stub
+  // saves no full frame, so entry/exit cost fast_trap_* instead of trap_*.
+  void EnterKernelFast();
+  void LeaveKernelFastTo(ukvm::ThreadId thread);
+  // The real schedule decision reconciling run-queue entries the fast
+  // path left stale (lazy scheduling).
+  void DrainLazyRunQueue();
+
   // Clears a PTE, with TLB maintenance costs. Queues the page for the next
   // FlushShootdowns round so remote vCPUs drop it too.
   void RevokePte(ukvm::DomainId task, hwsim::Vaddr vpn);
@@ -238,6 +292,14 @@ class Kernel : public hwsim::TrapHandler {
   ukvm::ThreadId current_thread_ = ukvm::ThreadId::Invalid();
 
   uint64_t ipc_calls_ = 0;
+
+  // E21 fast-path state.
+  bool ipc_fastpath_ = false;
+  // Set when a fast path direct-switched without touching run_queue_;
+  // cleared by DrainLazyRunQueue at the next real schedule decision.
+  bool lazy_queue_dirty_ = false;
+  bool test_skip_fastpath_reply_record_ = false;
+  FastpathStats fastpath_stats_;
 };
 
 }  // namespace ukern

@@ -46,6 +46,37 @@ class BasicRunQueue {
     return std::nullopt;
   }
 
+  // Removes every queued id for which `pred` returns true; returns how
+  // many went. This is the reconciliation half of lazy scheduling (E21):
+  // the IPC fast path direct-switches without touching the queue, so stale
+  // entries are dropped in one sweep at the next real schedule decision.
+  template <typename Pred>
+  size_t RemoveIf(Pred&& pred) {
+    size_t removed = 0;
+    for (auto& [prio, bucket] : buckets_) {
+      for (auto it = bucket.begin(); it != bucket.end();) {
+        if (pred(*it)) {
+          it = bucket.erase(it);
+          --size_;
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return removed;
+  }
+
+  // Visits every queued id, highest priority first, FIFO within a bucket.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [prio, bucket] : buckets_) {
+      for (const IdT& id : bucket) {
+        fn(id);
+      }
+    }
+  }
+
   // Removes an id wherever it is queued (thread/process exit).
   void Remove(IdT id) {
     for (auto& [prio, bucket] : buckets_) {

@@ -1,0 +1,311 @@
+// E21 L4 IPC fast path: semantic equivalence with the slow path, the
+// pinned fallback triggers, lazy-scheduling reconciliation, and the
+// crossing-ledger mutation self-test.
+//
+// The fast path is an optimisation, never a semantic change: every test
+// here runs the same operation through a fastpath-off kernel and a
+// fastpath-on kernel and demands identical results — only the charged
+// cycle sequence may differ, and for eligible calls it must shrink.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/check/auditor.h"
+#include "src/check/ledger_lint.h"
+#include "src/hw/machine.h"
+#include "src/hw/platform.h"
+#include "src/stacks/ukernel_stack.h"
+#include "src/ukernel/ipc.h"
+#include "src/ukernel/kernel.h"
+#include "src/ukernel/task.h"
+#include "src/ukernel/thread.h"
+
+namespace {
+
+using ucheck::Auditor;
+using ucheck::LintRule;
+using ukvm::Err;
+using ukvm::ThreadId;
+
+constexpr hwsim::Vaddr kClientWin = 0x100000;
+constexpr hwsim::Vaddr kServerWin = 0x200000;
+
+// The E1 harness shape: two tasks, an echo server, mapped string windows.
+struct World {
+  hwsim::Machine machine;
+  std::unique_ptr<ukern::Kernel> kernel;
+  ukvm::DomainId client_task;
+  ukvm::DomainId server_task;
+  ThreadId client;
+  ThreadId server;
+
+  explicit World(bool fastpath, hwsim::Platform platform = hwsim::MakeX86Platform())
+      : machine(platform, 16 << 20) {
+    kernel = std::make_unique<ukern::Kernel>(machine);
+    kernel->SetIpcFastpath(fastpath);
+    auto make_side = [&](hwsim::Vaddr window, ukern::IpcHandler handler) {
+      auto task = kernel->CreateTask(ThreadId::Invalid());
+      auto thread = kernel->CreateThread(*task, 128, std::move(handler));
+      ukern::Task* t = kernel->FindTask(*task);
+      for (int i = 0; i < 4; ++i) {
+        auto frame = machine.memory().AllocFrame(*task);
+        const hwsim::Vaddr va = window + static_cast<uint64_t>(i) * machine.memory().page_size();
+        EXPECT_EQ(t->space.Map(va, *frame, hwsim::PtePerms{true, true}), Err::kNone);
+        kernel->mapdb().AddRoot(*task, t->space.VpnOf(va), *frame);
+      }
+      EXPECT_EQ(kernel->SetRecvBuffer(*thread, window,
+                                      4 * static_cast<uint32_t>(machine.memory().page_size())),
+                Err::kNone);
+      return std::pair{*task, *thread};
+    };
+    std::tie(server_task, server) =
+        make_side(kServerWin, [](ThreadId, ukern::IpcMessage msg) {
+          ukern::IpcMessage reply;
+          reply.regs[0] = msg.regs[0] + 1;
+          reply.reg_count = 1;
+          if (msg.has_string) {
+            reply.has_string = true;
+            reply.string = ukern::StringItem{kServerWin, msg.string.len};
+          }
+          return reply;
+        });
+    std::tie(client_task, client) = make_side(kClientWin, nullptr);
+  }
+
+  uint64_t TimedCall(ukern::IpcMessage msg, ukern::IpcMessage* out = nullptr) {
+    const uint64_t t0 = machine.Now();
+    ukern::IpcMessage reply = kernel->Call(client, server, std::move(msg));
+    EXPECT_EQ(reply.status, Err::kNone);
+    if (out != nullptr) {
+      *out = std::move(reply);
+    }
+    return machine.Now() - t0;
+  }
+};
+
+// --- Semantic equivalence ---------------------------------------------------------
+
+TEST(Fastpath, RegisterOnlyCallMatchesSlowPathResult) {
+  World off(false);
+  World on(true);
+  ukern::IpcMessage msg = ukern::IpcMessage::Short(41);
+  ukern::IpcMessage slow_reply;
+  ukern::IpcMessage fast_reply;
+  (void)off.TimedCall(msg, &slow_reply);
+  (void)on.TimedCall(msg, &fast_reply);
+  EXPECT_EQ(fast_reply.status, slow_reply.status);
+  EXPECT_EQ(fast_reply.reg_count, slow_reply.reg_count);
+  EXPECT_EQ(fast_reply.regs[0], slow_reply.regs[0]);
+  EXPECT_EQ(fast_reply.regs[0], 42u);
+  EXPECT_EQ(on.kernel->fastpath_stats().taken, 1u);
+  EXPECT_EQ(off.kernel->fastpath_stats().taken, 0u);
+  // Same messages handled, same server-side observation.
+  EXPECT_EQ(on.kernel->FindThread(on.server)->messages_handled,
+            off.kernel->FindThread(off.server)->messages_handled);
+}
+
+TEST(Fastpath, ShortStringUsesTempWindowAndMatchesSlowPath) {
+  World off(false);
+  World on(true);
+  // A 200-byte string inside one page: eligible for the temp-map window.
+  auto make_msg = [&](World& w) {
+    std::vector<uint8_t> payload(200);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(i * 7);
+    }
+    ukern::Task* t = w.kernel->FindTask(w.client_task);
+    const hwsim::Pte* pte = t->space.Walk(kClientWin);
+    EXPECT_EQ(w.machine.memory().Write(w.machine.memory().FrameBase(pte->frame), payload),
+              Err::kNone);
+    ukern::IpcMessage msg = ukern::IpcMessage::Short(1);
+    msg.has_string = true;
+    msg.string = ukern::StringItem{kClientWin, 200};
+    return msg;
+  };
+  ukern::IpcMessage slow_reply;
+  ukern::IpcMessage fast_reply;
+  const uint64_t slow = off.TimedCall(make_msg(off), &slow_reply);
+  const uint64_t fast = on.TimedCall(make_msg(on), &fast_reply);
+  EXPECT_EQ(on.kernel->fastpath_stats().string_windows, 1u);
+  EXPECT_EQ(on.kernel->fastpath_stats().fallback_string, 0u);
+  // The receiver observed the same bytes either way.
+  ASSERT_EQ(fast_reply.string_data.size(), slow_reply.string_data.size());
+  EXPECT_EQ(fast_reply.string_data, slow_reply.string_data);
+  // One PTE write + one copy beats the walk-twice gather/scatter.
+  EXPECT_LT(fast, slow);
+}
+
+// --- Pinned fallback triggers -----------------------------------------------------
+
+TEST(Fastpath, PageCrossingStringFallsBackToSlowPath) {
+  World on(true);
+  World off(false);
+  const uint32_t len = static_cast<uint32_t>(on.machine.memory().page_size()) + 64;
+  ukern::IpcMessage msg = ukern::IpcMessage::Short(7);
+  msg.has_string = true;
+  msg.string = ukern::StringItem{kClientWin, len};
+  ukern::IpcMessage fast_reply;
+  ukern::IpcMessage slow_reply;
+  const uint64_t fast = on.TimedCall(msg, &fast_reply);
+  const uint64_t slow = off.TimedCall(msg, &slow_reply);
+  EXPECT_EQ(on.kernel->fastpath_stats().fallback_string, 1u);
+  EXPECT_EQ(on.kernel->fastpath_stats().taken, 0u);
+  EXPECT_EQ(on.kernel->fastpath_stats().string_windows, 0u);
+  // Fallback is the slow path: identical result and identical cycle cost.
+  EXPECT_EQ(fast_reply.string_data, slow_reply.string_data);
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(Fastpath, MapItemFallsBackToSlowPath) {
+  World on(true);
+  World off(false);
+  ukern::IpcMessage msg = ukern::IpcMessage::Short(7);
+  msg.map_items.push_back(ukern::MapItem{kClientWin, 0x300000, 1, true, false});
+  ukern::IpcMessage fast_reply;
+  ukern::IpcMessage slow_reply;
+  const uint64_t fast = on.TimedCall(msg, &fast_reply);
+  const uint64_t slow = off.TimedCall(msg, &slow_reply);
+  EXPECT_EQ(on.kernel->fastpath_stats().fallback_map, 1u);
+  EXPECT_EQ(on.kernel->fastpath_stats().taken, 0u);
+  EXPECT_EQ(fast, slow);
+  // The delegation really happened: the receiver can touch the new page.
+  EXPECT_EQ(on.kernel->TouchPage(on.server, 0x300000, false), Err::kNone);
+}
+
+TEST(Fastpath, ReceiverNotReadyFallsBackToSlowPath) {
+  World on(true);
+  World off(false);
+  // The server is mid-quantum rather than blocked in receive: the fast
+  // path's direct switch would be wrong, so the call must take the slow
+  // path (which queues through the passive-server model either way).
+  on.kernel->FindThread(on.server)->state = ukern::ThreadState::kRunning;
+  off.kernel->FindThread(off.server)->state = ukern::ThreadState::kRunning;
+  ukern::IpcMessage fast_reply;
+  ukern::IpcMessage slow_reply;
+  const uint64_t fast = on.TimedCall(ukern::IpcMessage::Short(9), &fast_reply);
+  const uint64_t slow = off.TimedCall(ukern::IpcMessage::Short(9), &slow_reply);
+  EXPECT_EQ(on.kernel->fastpath_stats().fallback_not_ready, 1u);
+  EXPECT_EQ(on.kernel->fastpath_stats().taken, 0u);
+  EXPECT_EQ(fast_reply.regs[0], slow_reply.regs[0]);
+  EXPECT_EQ(fast, slow);
+}
+
+// --- The promised cycle reductions ------------------------------------------------
+
+TEST(Fastpath, SmallSpaceRoundTripAtLeastHalved) {
+  // The Liedtke configuration: both partners in small spaces, so the
+  // address-space switch is a segment remap and the trap sequence
+  // dominates. This is where the paper's 2x claim must hold.
+  World off(false);
+  World on(true);
+  for (World* w : {&off, &on}) {
+    ASSERT_EQ(w->kernel->SetSmallSpace(w->client_task, true), Err::kNone);
+    ASSERT_EQ(w->kernel->SetSmallSpace(w->server_task, true), Err::kNone);
+    (void)w->TimedCall(ukern::IpcMessage::Short(0));  // settle switch state
+  }
+  const uint64_t slow = off.TimedCall(ukern::IpcMessage::Short(1));
+  const uint64_t fast = on.TimedCall(ukern::IpcMessage::Short(1));
+  const auto& costs = on.machine.costs();
+  // Exactly two fast trap transits plus two 4-segment remaps, nothing else:
+  // no kernel_op, no schedule_decision, registers transfer for free.
+  EXPECT_EQ(fast, 2 * (costs.fast_trap_entry + 4 * costs.segment_reload + costs.fast_trap_return));
+  EXPECT_GE(slow, 2 * fast);
+}
+
+TEST(Fastpath, ArmFcseSmallSpaceSwitchIsFree) {
+  World off(false, hwsim::MakeArmPlatform());
+  World on(true, hwsim::MakeArmPlatform());
+  for (World* w : {&off, &on}) {
+    // ARMv5 has no segmentation; FCSE's PID relocation stands in for it.
+    ASSERT_EQ(w->kernel->SetSmallSpace(w->client_task, true), Err::kNone);
+    ASSERT_EQ(w->kernel->SetSmallSpace(w->server_task, true), Err::kNone);
+    (void)w->TimedCall(ukern::IpcMessage::Short(0));
+  }
+  const uint64_t slow = off.TimedCall(ukern::IpcMessage::Short(1));
+  const uint64_t fast = on.TimedCall(ukern::IpcMessage::Short(1));
+  const auto& costs = on.machine.costs();
+  // segment_reload is pinned at 0 on ARM, so the round trip is exactly the
+  // four fast trap transits — the FCSE switch itself charges nothing.
+  EXPECT_EQ(fast, 2 * (costs.fast_trap_entry + costs.fast_trap_return));
+  EXPECT_GE(slow, 2 * fast);
+}
+
+// --- Lazy scheduling --------------------------------------------------------------
+
+TEST(Fastpath, LazySchedulingReconcilesRunQueueAtNextDecision) {
+  World on(true);
+  // A stale entry: the server sits in the ready queue, then the fast path
+  // direct-switches through it (leaving it kWaiting) without ever touching
+  // the queue — Liedtke's lazy scheduling.
+  on.kernel->run_queue().Enqueue(on.server, 128);
+  ASSERT_EQ(on.kernel->run_queue().size(), 1u);
+  (void)on.TimedCall(ukern::IpcMessage::Short(1));
+  EXPECT_EQ(on.kernel->fastpath_stats().taken, 1u);
+  EXPECT_EQ(on.kernel->run_queue().size(), 1u) << "fast path must not touch the run queue";
+  // The next real schedule decision sweeps the stale entry.
+  EXPECT_EQ(on.kernel->ActivateThread(on.client), Err::kNone);
+  EXPECT_EQ(on.kernel->run_queue().size(), 0u);
+  EXPECT_EQ(on.kernel->fastpath_stats().lazy_fixups, 1u);
+}
+
+// --- Checker integration ----------------------------------------------------------
+
+size_t CountLint(Auditor& auditor, LintRule rule) {
+  size_t n = 0;
+  for (const auto& v : auditor.lint().violations()) {
+    if (v.rule == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(FastpathMutation, SkippedReplyRecordCaughtByCrossingLint) {
+  // A checker that never fires is indistinguishable from one that cannot:
+  // make the fast path "forget" its reply crossing and the ledger lint must
+  // flag the unbalanced call at the next quiescent point.
+  ustack::UkernelStack::Config config;
+  config.audit = true;
+  config.ipc_fastpath = true;
+  ustack::UkernelStack stack(config);
+  stack.kernel().TestSkipFastpathReplyRecord(true);
+  auto pid = stack.guest_os(0).Spawn("mutant");
+  ASSERT_EQ(stack.kernel().ActivateThread(stack.guest(0).app_thread), Err::kNone);
+  // Spawn's internal server calls leave the os thread kRunning, so the first
+  // syscall after it falls back (receiver not ready) and re-arms the receive
+  // posture; the boot traffic also took the fast path before the auditor
+  // attached. Delta the counter over several calls so the assertion is about
+  // *these* calls, not boot's.
+  const uint64_t taken_before = stack.kernel().fastpath_stats().taken;
+  for (int i = 0; i < 4; ++i) {
+    (void)stack.guest_os(0).Null(*pid);
+  }
+  ASSERT_GT(stack.kernel().fastpath_stats().taken, taken_before);
+  stack.auditor()->Checkpoint("mutated-quiescent");
+  EXPECT_GE(CountLint(*stack.auditor(), LintRule::kUnbalancedPair), 1u);
+}
+
+TEST(FastpathMutation, HonestFastpathIsLedgerClean) {
+  // The control: the unmutated fast path balances every call with a reply.
+  ustack::UkernelStack::Config config;
+  config.audit = true;
+  config.race_detect = true;
+  config.ipc_fastpath = true;
+  ustack::UkernelStack stack(config);
+  auto pid = stack.guest_os(0).Spawn("clean");
+  ASSERT_EQ(stack.kernel().ActivateThread(stack.guest(0).app_thread), Err::kNone);
+  const uint64_t taken_before = stack.kernel().fastpath_stats().taken;
+  for (int i = 0; i < 8; ++i) {
+    (void)stack.guest_os(0).Null(*pid);
+  }
+  ASSERT_GT(stack.kernel().fastpath_stats().taken, taken_before);
+  stack.auditor()->Checkpoint("honest-quiescent");
+  EXPECT_EQ(stack.auditor()->violation_count(), 0u);
+}
+
+}  // namespace

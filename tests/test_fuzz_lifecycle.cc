@@ -80,6 +80,7 @@ struct FuzzResult {
   std::vector<std::string> reports;
   uint64_t tlb_audited = 0;
   uint64_t tlb_skipped = 0;
+  uint64_t fastpath_taken = 0;  // E21: how often CallFast fired this run
   std::map<Invariant, size_t> by_rule;
 };
 
@@ -226,10 +227,12 @@ FuzzResult RunNativeFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
 
 // --- Microkernel: tasks, IPC map/grant items, recursive unmap --------------------
 
-FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+FuzzResult RunUkernelFuzzImpl(uint64_t seed, uint32_t steps, bool incremental_tlb,
+                              bool ipc_fastpath) {
   SplitMix64 rng(seed * 2 + 1);
   hwsim::Machine machine(PlatformForSeed(seed), 16ull * 1024 * 1024, VcpusForSeed(seed));
   ukern::Kernel kernel(machine);
+  kernel.SetIpcFastpath(ipc_fastpath);
   Auditor::Options opts;
   opts.incremental_tlb = incremental_tlb;
   opts.race_detect = true;  // E20: fuzz histories must stay race-free too
@@ -285,6 +288,13 @@ FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
       if (dst.task == t.task) {
         continue;
       }
+      if (rng.Chance(35)) {
+        // A plain short call: register-only, so with the fast path armed
+        // this is exactly the traffic CallFast direct-switches (and with it
+        // off, the same rng stream takes the slow path).
+        (void)kernel.Call(t.thread, dst.thread, ukern::IpcMessage::Short(step));
+        continue;
+      }
       const size_t pick = rng.Below(t.roots.size());
       const hwsim::Vaddr snd_va = t.roots[pick];
       const hwsim::Vaddr rcv_va = dst.next_va;
@@ -334,7 +344,20 @@ FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
 
   FuzzResult out;
   FinishDigest(machine, auditor, out);
+  out.fastpath_taken = kernel.fastpath_stats().taken;
   return out;
+}
+
+FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+  return RunUkernelFuzzImpl(seed, steps, incremental_tlb, /*ipc_fastpath=*/false);
+}
+
+// E21: the identical op stream with the fast path armed. The digests
+// legitimately differ from the fastpath-off bank (fewer cycles are
+// charged); what must hold is that each seed is auditor-clean and two-run
+// deterministic, exactly like the slow path.
+FuzzResult RunUkernelFastpathFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+  return RunUkernelFuzzImpl(seed, steps, incremental_tlb, /*ipc_fastpath=*/true);
 }
 
 // --- VMM: domains, grants, transfers, paravirtual PT updates ---------------------
@@ -547,6 +570,26 @@ TEST(FuzzLifecycle, UkernelSeedBankCleanAndDeterministic) {
   RunSeedBank(RunUkernelFuzz, "ukernel");
 }
 
+// E21: the same bank with the IPC fast path armed — every seed must stay
+// auditor-clean and two-run deterministic, and the fast path must actually
+// fire somewhere in the bank (otherwise this test proves nothing).
+TEST(FuzzLifecycle, UkernelFastpathSeedBankCleanAndDeterministic) {
+  const uint64_t seeds = SeedCount();
+  uint64_t taken = 0;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("ukernel-fastpath seed " + std::to_string(seed));
+    const FuzzResult first = RunUkernelFastpathFuzz(seed, kSteps, /*incremental_tlb=*/true);
+    for (const std::string& report : first.reports) {
+      ADD_FAILURE() << report;
+    }
+    EXPECT_EQ(first.violations, 0u);
+    const FuzzResult second = RunUkernelFastpathFuzz(seed, kSteps, /*incremental_tlb=*/true);
+    EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
+    taken += first.fastpath_taken;
+  }
+  EXPECT_GT(taken, 0u) << "the fast path never fired across the whole bank";
+}
+
 TEST(FuzzLifecycle, VmmSeedBankCleanAndDeterministic) { RunSeedBank(RunVmmFuzz, "vmm"); }
 
 // --- E19 crash-recovery fuzz ------------------------------------------------------
@@ -676,10 +719,11 @@ FuzzResult RunRecoveryFuzzOn(RecoveryTarget& t, uint64_t seed, uint32_t steps) {
   return out;
 }
 
-FuzzResult RunUkernelRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+FuzzResult RunUkernelRecoveryFuzzImpl(uint64_t seed, uint32_t steps, bool ipc_fastpath) {
   ustack::UkernelStack::Config config;
   config.crash_recovery = true;
   config.race_detect = true;  // E20: crash/replay histories must stay race-free
+  config.ipc_fastpath = ipc_fastpath;
   ustack::UkernelStack stack(config);
   auto* block = stack.guest(0).port->block();
   RecoveryTarget t;
@@ -694,7 +738,20 @@ FuzzResult RunUkernelRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
   t.applied_total = [&] { return stack.blk_recovery_log().applied_total(); };
   t.acked_total = [&] { return stack.guest(0).port->blk_writes_acked_ok(); };
   t.reconnects = [&] { return stack.guest(0).xenbus->reconnects(); };
-  return RunRecoveryFuzzOn(t, seed, steps);
+  FuzzResult out = RunRecoveryFuzzOn(t, seed, steps);
+  out.fastpath_taken = stack.kernel().fastpath_stats().taken;
+  return out;
+}
+
+FuzzResult RunUkernelRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+  return RunUkernelRecoveryFuzzImpl(seed, steps, /*ipc_fastpath=*/false);
+}
+
+// E21: crash/replay histories with the fast path armed. Every syscall that
+// reaches the block port rides CallFast; kills and journal replays must
+// leave each seed clean and two-run deterministic all the same.
+FuzzResult RunUkernelFastpathRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+  return RunUkernelRecoveryFuzzImpl(seed, steps, /*ipc_fastpath=*/true);
 }
 
 FuzzResult RunVmmRecoveryFuzz(uint64_t seed, uint32_t steps, bool parallax) {
@@ -749,6 +806,23 @@ void RunRecoverySeedBank(FuzzFn fn, const char* stack) {
 
 TEST(FuzzRecovery, UkernelSeedBankCleanAndDeterministic) {
   RunRecoverySeedBank(RunUkernelRecoveryFuzz, "ukernel");
+}
+
+TEST(FuzzRecovery, UkernelFastpathSeedBankCleanAndDeterministic) {
+  const uint64_t seeds = std::max<uint64_t>(4, SeedCount() / 4);
+  uint64_t taken = 0;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("ukernel-fastpath seed " + std::to_string(seed));
+    const FuzzResult first = RunUkernelFastpathRecoveryFuzz(seed, kRecoverySteps, false);
+    for (const std::string& report : first.reports) {
+      ADD_FAILURE() << report;
+    }
+    EXPECT_EQ(first.violations, 0u);
+    const FuzzResult second = RunUkernelFastpathRecoveryFuzz(seed, kRecoverySteps, false);
+    EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
+    taken += first.fastpath_taken;
+  }
+  EXPECT_GT(taken, 0u) << "the fast path never fired across the whole bank";
 }
 
 TEST(FuzzRecovery, VmmParallaxSeedBankCleanAndDeterministic) {

@@ -292,12 +292,51 @@ TEST(SmallSpaces, SemanticsUnchangedJustCheaper) {
   EXPECT_LT(small_cost, big_cost);
 }
 
-TEST(SmallSpaces, RequiresSegmentation) {
-  hwsim::Machine machine(hwsim::MakeArmPlatform(), 8 << 20);
+TEST(SmallSpaces, RequiresSegmentationOrFcse) {
+  // PowerPC has neither segment remapping nor an FCSE PID register: no
+  // mechanism exists to relocate a small space, so the kernel refuses.
+  hwsim::Machine machine(hwsim::MakePowerPcPlatform(), 8 << 20);
   ukern::Kernel kernel(machine);
   auto task = kernel.CreateTask(ThreadId::Invalid());
   EXPECT_EQ(kernel.SetSmallSpace(*task, true), Err::kNotSupported);
   EXPECT_EQ(kernel.SetSmallSpace(*task, false), Err::kNone);
+}
+
+TEST(SmallSpaces, ArmFcseSwitchIsFlushFree) {
+  // ARM's FCSE relocates small spaces through the PID register: switching
+  // between them costs no flush and no segment reloads (the Wiggins/Heiser
+  // fast address-space switch), so a small-small switch is free relative
+  // to the 900-cycle full switch + flush.
+  hwsim::Machine machine(hwsim::MakeArmPlatform(), 8 << 20);
+  ukern::Kernel kernel(machine);
+  auto server_task = kernel.CreateTask(ThreadId::Invalid());
+  auto server = kernel.CreateThread(*server_task, 128, [](ThreadId, ukern::IpcMessage m) {
+    ukern::IpcMessage r;
+    r.regs[0] = m.regs[0] + 1;
+    r.reg_count = 1;
+    return r;
+  });
+  auto client_task = kernel.CreateTask(ThreadId::Invalid());
+  auto client = kernel.CreateThread(*client_task, 128, nullptr);
+
+  const uint64_t t0 = machine.Now();
+  auto reply = kernel.Call(*client, *server, ukern::IpcMessage::Short(7));
+  const uint64_t big_cost = machine.Now() - t0;
+  EXPECT_EQ(reply.regs[0], 8u);
+
+  ASSERT_EQ(kernel.SetSmallSpace(*server_task, true), Err::kNone);
+  ASSERT_EQ(kernel.SetSmallSpace(*client_task, true), Err::kNone);
+  (void)kernel.Call(*client, *server, ukern::IpcMessage::Short(1));  // settle contexts
+  const uint64_t t1 = machine.Now();
+  reply = kernel.Call(*client, *server, ukern::IpcMessage::Short(9));
+  const uint64_t small_cost = machine.Now() - t1;
+  EXPECT_EQ(reply.regs[0], 10u);
+  EXPECT_LT(small_cost, big_cost);
+  // The whole address-space-switch cost is gone: both legs save the full
+  // 900-cycle switch plus the untagged flush.
+  const auto& costs = machine.costs();
+  EXPECT_EQ(big_cost - small_cost,
+            2 * (costs.address_space_switch + costs.tlb_flush_full));
 }
 
 }  // namespace

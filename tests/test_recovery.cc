@@ -362,6 +362,70 @@ TEST(Recovery, UkernelDuplicateReplayIsSuppressed) {
   EXPECT_EQ(stack.blk_recovery_log().applied_total(), UkAckedWrites(stack));
 }
 
+// --- E21 satellite: rx-slot replay across backend death ---------------------------
+
+TEST(Recovery, NetRxInFlightAtCrashDeliveredExactlyOnceAndSlotsReplayed) {
+  // Pins the nastiest interleaving: the backend flips a packet into the
+  // guest and pushes the rx response, but the guest's upcall has not run
+  // when the backend dies. The response must be read back exactly once at
+  // death (the payload already landed in guest memory), and every
+  // advertised-but-unconsumed rx slot must be journaled and re-advertised
+  // exactly once at reconnect — the rx mirror of the blk write journal.
+  ustack::VmmStack::Config config;
+  config.net_driver_domain = true;
+  config.crash_recovery = true;
+  ustack::VmmStack stack(config);
+  uwork::WireHost wire(stack.machine(), stack.nic());
+  stack.RouteWirePort(40, 0);
+  auto& front = *stack.guest(0).netfront;
+
+  ukvm::ProcessId pid{};
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    pid = *os.Spawn("rx");
+    ASSERT_EQ(os.NetBind(pid, 40), 0);
+  });
+
+  // Swallow the guest's rx upcall so the response stays in the ring: the
+  // packet is in guest memory, but the frontend has not consumed it.
+  ASSERT_NE(front.front_rx_port(), 0u);
+  stack.guest(0).mux->Route(front.front_rx_port(), [] {});
+  wire.StartStream(40, 64, 50 * hwsim::kCyclesPerUs, 1);
+  stack.machine().RunFor(500 * hwsim::kCyclesPerUs);
+  ASSERT_EQ(front.rx_received(), 0u) << "upcall should have been swallowed";
+
+  // Backend death: the drain recovers the parked response (exactly-once
+  // read-back) and journals the outstanding slots.
+  ASSERT_EQ(stack.KillNetDomain(), Err::kNone);
+  EXPECT_EQ(front.rx_recovered_on_crash(), 1u);
+  EXPECT_EQ(front.rx_dropped_on_crash(), 0u);
+  EXPECT_EQ(front.rx_received(), 1u);
+  EXPECT_GT(front.rx_slot_journal_depth(), 0u);
+  const size_t journaled = front.rx_slot_journal_depth();
+
+  ASSERT_EQ(stack.RestartNetDomain(), Err::kNone);
+  EXPECT_EQ(front.rx_slot_journal_depth(), 0u);
+  EXPECT_EQ(front.rx_slots_replayed(), journaled);
+
+  stack.RunAsApp(0, [&] {
+    auto& os = stack.guest_os(0);
+    // The crash-recovered packet is readable exactly once.
+    std::vector<uint8_t> buf(256);
+    EXPECT_EQ(os.NetRecv(pid, 40, buf), 64);
+    EXPECT_LT(os.NetRecv(pid, 40, buf), 0) << "recovered packet must not be duplicated";
+    // The replayed slots accept fresh traffic from the replacement backend.
+    wire.StartStream(40, 64, 50 * hwsim::kCyclesPerUs, 1);
+    stack.machine().RunFor(1000 * hwsim::kCyclesPerUs);
+    EXPECT_EQ(os.NetRecv(pid, 40, buf), 64);
+  });
+  EXPECT_EQ(front.rx_received(), 2u);
+
+  if (stack.auditor() != nullptr) {
+    stack.auditor()->Checkpoint("after-rx-slot-replay");
+    EXPECT_EQ(stack.auditor()->violation_count(), 0u);
+  }
+}
+
 // --- Knob off: legacy behavior ----------------------------------------------------
 
 TEST(Recovery, KnobOffKeepsLegacyRestartSemantics) {
