@@ -125,9 +125,11 @@ SoakResult Soak(StackT& stack, ustack::Watchdog& wd) {
   for (int round = 0; round < kRounds; ++round) {
     stack.RunAsApp(0, [&] {
       minios::Os& os = stack.guest_os(0);
-      const uwork::WorkloadResult churn =
-          uwork::RunFileChurn(machine, os, pid, /*files=*/2, /*bytes_per_file=*/256,
-                              "c" + std::to_string(round) + "_");
+      std::string prefix = "c";
+      prefix += std::to_string(round);
+      prefix += "_";
+      const uwork::WorkloadResult churn = uwork::RunFileChurn(
+          machine, os, pid, /*files=*/2, /*bytes_per_file=*/256, prefix);
       const uwork::WorkloadResult net =
           uwork::RunUdpSend(machine, os, pid, /*dst_port=*/7, /*payload_size=*/128, /*count=*/4);
       r.ops_attempted += churn.ops_attempted + net.ops_attempted;

@@ -174,6 +174,12 @@ void Auditor::Checkpoint(const std::string& phase) {
   for (size_t i = warned_; i < reports.size(); ++i) {
     UKVM_WARN("ukvm-check[%s]: %s", phase.c_str(), reports[i].c_str());
   }
+  if (warned_ == 0 && !reports.empty()) {
+    // First violation this machine has ever seen: capture the evidence
+    // (flight recorder, histograms, slowest request DAGs) while it is
+    // still in the retained windows.
+    machine_.PostMortemDump("auditor-violation");
+  }
   warned_ = reports.size();
 }
 

@@ -12,6 +12,7 @@ struct RecordedTable {
   std::string title;
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> rows;
+  bool host_time = false;
 };
 
 std::vector<RecordedTable>& JsonRegistry() {
@@ -60,7 +61,7 @@ void Table::AddRow(std::vector<std::string> cells) {
 }
 
 void Table::Print() const {
-  JsonRegistry().push_back(RecordedTable{title_, columns_, rows_});
+  JsonRegistry().push_back(RecordedTable{title_, columns_, rows_, host_time_});
   std::vector<size_t> widths(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) {
     widths[c] = columns_[c].size();
@@ -131,12 +132,10 @@ void PrintHeading(const std::string& experiment_id, const std::string& descripti
   std::printf("================================================================\n");
 }
 
-bool WriteJsonIfRequested(const std::string& experiment_id) {
-  const char* dir = std::getenv("UKVM_BENCH_JSON");
-  if (dir == nullptr || *dir == '\0') {
-    return false;
-  }
-  const std::string path = std::string(dir) + "/BENCH_" + experiment_id + ".json";
+namespace {
+
+bool WriteTableSet(const std::string& experiment_id, const std::string& path,
+                   const std::vector<const RecordedTable*>& tables) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "table: cannot write %s\n", path.c_str());
@@ -144,16 +143,15 @@ bool WriteJsonIfRequested(const std::string& experiment_id) {
   }
   std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"tables\": [\n",
                JsonEscape(experiment_id).c_str());
-  const auto& tables = JsonRegistry();
   for (size_t t = 0; t < tables.size(); ++t) {
     std::fprintf(f, "    {\n      \"title\": \"%s\",\n      \"columns\": ",
-                 JsonEscape(tables[t].title).c_str());
-    PrintJsonStringArray(f, tables[t].columns);
+                 JsonEscape(tables[t]->title).c_str());
+    PrintJsonStringArray(f, tables[t]->columns);
     std::fprintf(f, ",\n      \"rows\": [\n");
-    for (size_t r = 0; r < tables[t].rows.size(); ++r) {
+    for (size_t r = 0; r < tables[t]->rows.size(); ++r) {
       std::fprintf(f, "        ");
-      PrintJsonStringArray(f, tables[t].rows[r]);
-      std::fprintf(f, "%s\n", r + 1 == tables[t].rows.size() ? "" : ",");
+      PrintJsonStringArray(f, tables[t]->rows[r]);
+      std::fprintf(f, "%s\n", r + 1 == tables[t]->rows.size() ? "" : ",");
     }
     std::fprintf(f, "      ]\n    }%s\n", t + 1 == tables.size() ? "" : ",");
   }
@@ -161,6 +159,33 @@ bool WriteJsonIfRequested(const std::string& experiment_id) {
   std::fclose(f);
   std::printf("\n[json] wrote %s\n", path.c_str());
   return true;
+}
+
+}  // namespace
+
+bool WriteJsonIfRequested(const std::string& experiment_id) {
+  const char* dir = std::getenv("UKVM_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') {
+    return false;
+  }
+  std::vector<const RecordedTable*> det;
+  std::vector<const RecordedTable*> host;
+  for (const RecordedTable& table : JsonRegistry()) {
+    (table.host_time ? host : det).push_back(&table);
+  }
+  std::string det_path = dir;
+  det_path += "/BENCH_";
+  det_path += experiment_id;
+  det_path += ".json";
+  bool ok = WriteTableSet(experiment_id, det_path, det);
+  if (!host.empty()) {
+    std::string host_path = dir;
+    host_path += "/BENCH_";
+    host_path += experiment_id;
+    host_path += "_HOST.json";
+    ok = WriteTableSet(experiment_id, host_path, host) && ok;
+  }
+  return ok;
 }
 
 }  // namespace uharness

@@ -17,12 +17,20 @@ class Table {
   void AddRow(std::vector<std::string> cells);
   void Print() const;
 
+  // Flags this table as carrying host wall-clock measurements. Host-time
+  // tables are excluded from BENCH_<id>.json (which scripts/check.sh
+  // compares bit-exact across runs) and land in BENCH_<id>_HOST.json
+  // instead, so an experiment can report both deterministic counters and
+  // host overhead without breaking the determinism gate.
+  void MarkHostTime() { host_time_ = true; }
+
   size_t rows() const { return rows_.size(); }
 
  private:
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+  bool host_time_ = false;
 };
 
 // Number formatting helpers.
@@ -36,10 +44,12 @@ void PrintHeading(const std::string& experiment_id, const std::string& descripti
 
 // Machine-readable export: every Table::Print() also records the table in a
 // process-global registry. When the environment variable UKVM_BENCH_JSON
-// names a directory, this writes the registry as
-// <dir>/BENCH_<experiment_id>.json and returns true; otherwise it is a
-// no-op. Bench binaries call it once at the end of main (scripts/bench.sh
-// sets the variable and collects the files).
+// names a directory, this writes the registry's deterministic tables as
+// <dir>/BENCH_<experiment_id>.json and — if any table was MarkHostTime()d —
+// the host-time tables as <dir>/BENCH_<experiment_id>_HOST.json, returning
+// true; otherwise it is a no-op. Bench binaries call it once at the end of
+// main (scripts/bench.sh sets the variable and collects the files;
+// scripts/check.sh compares only the deterministic file bit-exact).
 bool WriteJsonIfRequested(const std::string& experiment_id);
 
 }  // namespace uharness

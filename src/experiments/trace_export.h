@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/reqtrace.h"
 #include "src/core/trace.h"
 
 namespace uharness {
@@ -40,6 +41,31 @@ uint64_t AttributedCycles(const ukvm::CycleProfiler& profiler);
 // otherwise a no-op (mirrors WriteJsonIfRequested in table.h).
 bool WriteTraceFilesIfRequested(const ukvm::Tracer& tracer, const std::string& tag,
                                 uint64_t cycles_per_us = 2000);
+
+// --- E22 request-trace exporters ---------------------------------------------
+//
+// Both are deterministic for the same reasons as ChromeTraceJson: the
+// request tracer stores only simulated time and interned ids, and the
+// retained-slowest list has a total order (e2e desc, id asc).
+
+// The K retained slowest requests as Chrome trace-event JSON: every DAG
+// node is a complete "X" event on its domain's track (args carry request
+// id, node index, parent, kind), and each parent->child edge that hops
+// domains becomes an "s"/"f" flow pair so Perfetto draws the causal arrows
+// across tracks. `tracer` supplies domain display names.
+std::string RequestTraceJson(const ukvm::RequestTrace& rt, const ukvm::Tracer& tracer,
+                             uint64_t cycles_per_us = 2000);
+
+// Per-request JSON table: lint verdict plus one row per retained request
+// with origin, e2e, critical-path breakdown by kind, and the named
+// critical-path segments.
+std::string RequestTableJson(const ukvm::RequestTrace& rt, const ukvm::Tracer& tracer);
+
+// When UKVM_TRACE_DIR names a directory, writes <dir>/REQTRACE_<tag>.json
+// (Perfetto flow view) and <dir>/REQTABLE_<tag>.json (per-request table).
+bool WriteRequestTraceFilesIfRequested(const ukvm::RequestTrace& rt,
+                                       const ukvm::Tracer& tracer, const std::string& tag,
+                                       uint64_t cycles_per_us = 2000);
 
 }  // namespace uharness
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "src/core/log.h"
 
@@ -22,6 +25,7 @@ Machine::Machine(Platform platform, uint64_t memory_bytes, uint32_t num_vcpus)
   }
   ledger_.SetTimeSource([this] { return now_; });
   tracer_.SetTimeSource([this] { return now_; });
+  reqtrace_.SetTimeSource([this] { return now_; });
   trace_idle_frame_ = tracer_.profiler().InternFrame("idle");
   trace_irq_assert_name_ = tracer_.InternName("irq.assert");
   trace_irq_deliver_name_ = tracer_.InternName("irq.deliver");
@@ -52,6 +56,22 @@ void Machine::DisableTracing() {
   tracer_.Disable();
 }
 
+void Machine::EnableRequestTracing(const ukvm::ReqTraceConfig& config) {
+  reqtrace_.Enable(config);
+  if (reqtrace_sink_id_ == 0) {
+    reqtrace_sink_id_ = ledger_.AddTraceSink(
+        [this](const ukvm::CrossingEvent& event) { reqtrace_.OnCrossing(event, ledger_); });
+  }
+}
+
+void Machine::DisableRequestTracing() {
+  if (reqtrace_sink_id_ != 0) {
+    ledger_.RemoveTraceSink(reqtrace_sink_id_);
+    reqtrace_sink_id_ = 0;
+  }
+  reqtrace_.Disable();
+}
+
 void Machine::Charge(uint64_t cycles) { ChargeTo(cpu().current_domain(), cycles); }
 
 void Machine::ChargeTo(ukvm::DomainId domain, uint64_t cycles) {
@@ -75,6 +95,12 @@ void Machine::AccountToVcpu(uint32_t vcpu, ukvm::DomainId domain, uint64_t cycle
   const ukvm::DomainId billed = domain.valid() ? domain : ukvm::kHardwareDomain;
   accounting_.Charge(billed, cycles);
   vcpu_accounting_[vcpu].Charge(billed, cycles);
+}
+
+void Machine::ChargeCopy(uint64_t bytes) {
+  const uint64_t t0 = now_;
+  Charge(costs().CopyCost(bytes));
+  reqtrace_.CopyLeaf(cpu().current_domain(), t0, now_, bytes);
 }
 
 Machine::EventId Machine::ScheduleAt(uint64_t time, std::function<void()> fn) {
@@ -109,7 +135,12 @@ bool Machine::RunNextEvent() {
       continue;
     }
     AdvanceClockTo(event.time);
+    // Event callbacks run on behalf of devices, not whatever request the
+    // interrupted code was serving: clear the ambient request around them
+    // so causality never leaks across a scheduling boundary.
+    const ukvm::ReqTraceRef ambient = reqtrace_.SwapCurrent(ukvm::ReqTraceRef{});
     event.fn();
+    reqtrace_.SwapCurrent(ambient);
     return true;
   }
   return false;
@@ -266,7 +297,9 @@ void Machine::WaitTlbShootdown(uint64_t id) {
     }
   }
   // The initiator spun until the slowest target acked.
+  const uint64_t spin_t0 = now_;
   Charge(it->second.max_target_cost);
+  reqtrace_.ShootdownLeaf(cpu().current_domain(), spin_t0, now_);
   if (race_sink_ != nullptr) {
     race_sink_->Acquire(cpu().current_domain(), RaceEdgeKey(RaceEdgeKind::kIpiAck, id));
   }
@@ -373,11 +406,64 @@ void Machine::DeliverPendingInterrupts() {
     return;
   }
   in_interrupt_delivery_ = true;
+  const ukvm::ReqTraceRef ambient = reqtrace_.SwapCurrent(ukvm::ReqTraceRef{});
   while (auto line = irq_controller_.TakePending()) {
     Charge(costs().interrupt_dispatch);
     trap_handler_->HandleInterrupt(*line);
   }
+  reqtrace_.SwapCurrent(ambient);
   in_interrupt_delivery_ = false;
+}
+
+void Machine::PostMortemDump(const char* reason) {
+  if (postmortem_dumped_) {
+    return;
+  }
+  postmortem_dumped_ = true;
+  const char* dir = std::getenv("UKVM_TRACE_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  // One file per dumping machine; a process-wide sequence number keeps
+  // multi-machine tests from clobbering each other's bundles.
+  static int sequence = 0;
+  const int seq = sequence++;
+  const std::string path =
+      std::string(dir) + "/POSTMORTEM_" + std::to_string(seq) + "_" + reason + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return;
+  }
+  std::fprintf(f, "post-mortem bundle: %s\nsim time: %llu cycles\n\n", reason,
+               static_cast<unsigned long long>(now_));
+
+  std::fprintf(f, "== histograms ==\n");
+  const auto dump_hist = [f](const std::string& name, const ukvm::LogHistogram& h) {
+    const ukvm::HistogramSnapshot s = h.Snapshot();
+    std::fprintf(f, "%s count=%llu min=%llu p50=%llu p90=%llu p99=%llu max=%llu\n",
+                 name.c_str(), static_cast<unsigned long long>(s.count),
+                 static_cast<unsigned long long>(s.min), static_cast<unsigned long long>(s.p50),
+                 static_cast<unsigned long long>(s.p90), static_cast<unsigned long long>(s.p99),
+                 static_cast<unsigned long long>(s.max));
+  };
+  tracer_.ForEachHistogram(dump_hist);
+  reqtrace_.ForEachHistogram(dump_hist);
+
+  std::fprintf(f, "\n== slowest requests ==\n%s", reqtrace_.SlowestReport().c_str());
+
+  std::fprintf(f, "\n== flight recorder (oldest first) ==\n");
+  tracer_.ForEachEvent([this, f](const ukvm::TraceEvent& event) {
+    std::fprintf(f, "seq=%llu t=%llu type=%u name=%s dom=%s dur=%llu a=%llu b=%llu\n",
+                 static_cast<unsigned long long>(event.seq),
+                 static_cast<unsigned long long>(event.time),
+                 static_cast<unsigned>(event.type), tracer_.Name(event.name).c_str(),
+                 tracer_.DomainName(event.domain).c_str(),
+                 static_cast<unsigned long long>(event.dur),
+                 static_cast<unsigned long long>(event.a),
+                 static_cast<unsigned long long>(event.b));
+  });
+  std::fclose(f);
+  UKVM_WARN("post-mortem bundle written: %s", path.c_str());
 }
 
 }  // namespace hwsim

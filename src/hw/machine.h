@@ -24,6 +24,7 @@
 #include "src/core/error.h"
 #include "src/core/ids.h"
 #include "src/core/metrics.h"
+#include "src/core/reqtrace.h"
 #include "src/core/trace.h"
 #include "src/hw/cpu.h"
 #include "src/hw/interrupts.h"
@@ -68,6 +69,8 @@ class Machine {
   ukvm::Counters& counters() { return counters_; }
   ukvm::Tracer& tracer() { return tracer_; }
   const ukvm::Tracer& tracer() const { return tracer_; }
+  ukvm::RequestTrace& reqtrace() { return reqtrace_; }
+  const ukvm::RequestTrace& reqtrace() const { return reqtrace_; }
 
   // Moves execution to another vCPU (bookkeeping only — the cost of getting
   // there, if any, is the caller's to model). Returns the previous index.
@@ -89,6 +92,21 @@ class Machine {
   void EnableTracing(const ukvm::TraceConfig& config);
   void DisableTracing();
 
+  // --- Request tracing (E22) ------------------------------------------------
+
+  // Arms the causal request tracer: hooks the ledger's trace stream and
+  // makes ChargeCopy / shootdown waits / the event loop feed per-request
+  // DAGs. Same contract as EnableTracing: observation only, zero charges,
+  // sim results byte-identical on or off (bench_e22_reqtrace).
+  void EnableRequestTracing(const ukvm::ReqTraceConfig& config);
+  void DisableRequestTracing();
+
+  // Post-mortem bundle: on the first auditor violation or watchdog trip the
+  // failure edge calls this to dump the flight-recorder ring, histogram
+  // snapshots, and the K slowest request DAGs into $UKVM_TRACE_DIR (no-op
+  // without the variable; at most one dump per machine).
+  void PostMortemDump(const char* reason);
+
   // --- Clock and cycle charging -------------------------------------------
 
   uint64_t Now() const { return now_; }
@@ -104,8 +122,9 @@ class Machine {
   // concurrently with the CPU, such as device DMA.
   void AccountOnly(ukvm::DomainId domain, uint64_t cycles);
 
-  // Charges the CPU cost of copying `bytes`.
-  void ChargeCopy(uint64_t bytes) { Charge(costs().CopyCost(bytes)); }
+  // Charges the CPU cost of copying `bytes` (and, with request tracing
+  // armed, attaches the copy interval to the ambient request).
+  void ChargeCopy(uint64_t bytes);
 
   // --- Event queue ---------------------------------------------------------
 
@@ -284,6 +303,9 @@ class Machine {
   ukvm::Counters counters_;
   ukvm::Tracer tracer_;
   uint32_t trace_sink_id_ = 0;
+  ukvm::RequestTrace reqtrace_;
+  uint32_t reqtrace_sink_id_ = 0;
+  bool postmortem_dumped_ = false;
   uint32_t trace_idle_frame_ = 0;
   uint32_t trace_irq_assert_name_ = 0;
   uint32_t trace_irq_deliver_name_ = 0;

@@ -13,8 +13,16 @@ class NativePort::NativeNet : public NetDevice {
   explicit NativeNet(NativePort& port) : port_(port) {}
 
   Err Send(std::span<const uint8_t> packet) override {
+    ukvm::ReqOriginScope req_scope(port_.machine_.reqtrace(), port_.req_tx_name_,
+                                   port_.os_domain_);
     // One copy: user payload into the driver's staging frame.
-    return port_.nic_driver_.SendCopy(packet);
+    const Err err = port_.nic_driver_.SendCopy(packet);
+    if (err == Err::kNone) {
+      port_.machine_.reqtrace().EndRequest(req_scope.ref());
+    } else {
+      port_.machine_.reqtrace().AbandonRequest(req_scope.ref());
+    }
+    return err;
   }
 
   void SetRecvHandler(RecvHandler handler) override {
@@ -53,20 +61,33 @@ class NativePort::NativeBlock : public BlockDevice {
     uint32_t done = 0;
     while (done < count) {
       const uint32_t chunk = std::min(count - done, port_.disk_driver_.blocks_per_page());
+      // One traced request per chunk; the DMA wait is its device leaf.
+      ukvm::ReqOriginScope req_scope(port_.machine_.reqtrace(), port_.req_read_name_,
+                                     port_.os_domain_);
       bool finished = false;
       Err status = Err::kNone;
-      UKVM_TRY(port_.disk_driver_.Read(lba + done, chunk, staging_, [&](Err s) {
+      const uint64_t submit_t0 = port_.machine_.Now();
+      Err err = port_.disk_driver_.Read(lba + done, chunk, staging_, [&](Err s) {
         status = s;
         finished = true;
-      }));
-      UKVM_TRY(port_.machine_.WaitUntil([&] { return finished; }, 1'000'000'000));
-      if (status != Err::kNone) {
-        return status;
+      });
+      if (err == Err::kNone) {
+        err = port_.machine_.WaitUntil([&] { return finished; }, 1'000'000'000);
+      }
+      port_.machine_.reqtrace().AddLeaf(port_.req_dev_name_, ukvm::ReqNodeKind::kDevice,
+                                        port_.os_domain_, submit_t0, port_.machine_.Now());
+      if (err == Err::kNone && status != Err::kNone) {
+        err = status;
+      }
+      if (err != Err::kNone) {
+        port_.machine_.reqtrace().AbandonRequest(req_scope.ref());
+        return err;
       }
       const uint64_t bytes = uint64_t{chunk} * bs;
       port_.machine_.memory().Read(port_.machine_.memory().FrameBase(staging_),
                                    out.subspan(uint64_t{done} * bs, bytes));
       port_.machine_.ChargeCopy(bytes);
+      port_.machine_.reqtrace().EndRequest(req_scope.ref());
       done += chunk;
     }
     return Err::kNone;
@@ -81,19 +102,31 @@ class NativePort::NativeBlock : public BlockDevice {
     while (done < count) {
       const uint32_t chunk = std::min(count - done, port_.disk_driver_.blocks_per_page());
       const uint64_t bytes = uint64_t{chunk} * bs;
+      ukvm::ReqOriginScope req_scope(port_.machine_.reqtrace(), port_.req_write_name_,
+                                     port_.os_domain_);
       port_.machine_.memory().Write(port_.machine_.memory().FrameBase(staging_),
                                     in.subspan(uint64_t{done} * bs, bytes));
       port_.machine_.ChargeCopy(bytes);
       bool finished = false;
       Err status = Err::kNone;
-      UKVM_TRY(port_.disk_driver_.Write(lba + done, chunk, staging_, [&](Err s) {
+      const uint64_t submit_t0 = port_.machine_.Now();
+      Err err = port_.disk_driver_.Write(lba + done, chunk, staging_, [&](Err s) {
         status = s;
         finished = true;
-      }));
-      UKVM_TRY(port_.machine_.WaitUntil([&] { return finished; }, 1'000'000'000));
-      if (status != Err::kNone) {
-        return status;
+      });
+      if (err == Err::kNone) {
+        err = port_.machine_.WaitUntil([&] { return finished; }, 1'000'000'000);
       }
+      port_.machine_.reqtrace().AddLeaf(port_.req_dev_name_, ukvm::ReqNodeKind::kDevice,
+                                        port_.os_domain_, submit_t0, port_.machine_.Now());
+      if (err == Err::kNone && status != Err::kNone) {
+        err = status;
+      }
+      if (err != Err::kNone) {
+        port_.machine_.reqtrace().AbandonRequest(req_scope.ref());
+        return err;
+      }
+      port_.machine_.reqtrace().EndRequest(req_scope.ref());
       done += chunk;
     }
     return Err::kNone;
@@ -129,6 +162,12 @@ NativePort::NativePort(hwsim::Machine& machine, hwsim::Nic& nic, hwsim::Disk& di
       disk_irq_(disk.line()) {
   mech_syscall_ = machine_.ledger().InternMechanism("native.syscall", ukvm::CrossingKind::kTrap);
   mech_irq_ = machine_.ledger().InternMechanism("native.irq", ukvm::CrossingKind::kInterrupt);
+  auto& rt = machine_.reqtrace();
+  req_syscall_name_ = rt.InternName("os.syscall");
+  req_tx_name_ = rt.InternName("net.tx");
+  req_read_name_ = rt.InternName("blk.read");
+  req_write_name_ = rt.InternName("blk.write");
+  req_dev_name_ = rt.InternName("disk.io");
   net_dev_ = std::make_unique<NativeNet>(*this);
   block_dev_ = std::make_unique<NativeBlock>(*this, pool.back());
   console_dev_ = std::make_unique<NativeConsole>(*this);
@@ -149,6 +188,7 @@ NativePort::~NativePort() {
 
 SyscallRet NativePort::InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& req) {
   const uint64_t t0 = machine_.Now();
+  ukvm::ReqOriginScope req_scope(machine_.reqtrace(), req_syscall_name_, os_domain_);
   // Native path: one trap-gate entry straight into the OS kernel — the same
   // hardware journey as Xen's fast shortcut, with no VMM in the way.
   machine_.Charge(machine_.costs().fast_trap_entry);
@@ -161,6 +201,7 @@ SyscallRet NativePort::InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& re
   machine_.Charge(machine_.costs().fast_trap_return);
   machine_.cpu().SetMode(hwsim::PrivLevel::kUser);
   machine_.ledger().Record(mech_syscall_, os_domain_, os_domain_, machine_.Now() - t0, 0);
+  machine_.reqtrace().EndRequest(req_scope.ref());
   machine_.DeliverPendingInterrupts();
   return ret;
 }

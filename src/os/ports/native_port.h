@@ -59,6 +59,12 @@ class NativePort : public ArchPort, public hwsim::TrapHandler {
   ukvm::IrqLine disk_irq_;
   uint32_t mech_syscall_ = 0;
   uint32_t mech_irq_ = 0;
+  // E22 interned request-trace names.
+  uint32_t req_syscall_name_ = 0;  // "os.syscall" origin
+  uint32_t req_tx_name_ = 0;       // "net.tx" origin
+  uint32_t req_read_name_ = 0;     // "blk.read" origin
+  uint32_t req_write_name_ = 0;    // "blk.write" origin
+  uint32_t req_dev_name_ = 0;      // "disk.io" device leaf
 
   std::unique_ptr<NativeNet> net_dev_;
   std::unique_ptr<NativeBlock> block_dev_;

@@ -21,7 +21,12 @@ using ukvm::ThreadId;
 // servers).
 class UkernelPort::IpcBlock : public BlockDevice {
  public:
-  explicit IpcBlock(UkernelPort& port) : port_(port) {}
+  explicit IpcBlock(UkernelPort& port) : port_(port) {
+    auto& rt = port_.machine_.reqtrace();
+    req_read_name_ = rt.InternName("blk.read");
+    req_write_name_ = rt.InternName("blk.write");
+    req_replay_name_ = rt.InternName("recovery.replay");
+  }
 
   uint32_t block_size() const override {
     FetchInfo();
@@ -45,19 +50,29 @@ class UkernelPort::IpcBlock : public BlockDevice {
     uint32_t done = 0;
     while (done < count) {
       const uint32_t chunk = std::min(count - done, max_blocks);
+      // One traced request per chunk; the kernel's string copy back into
+      // the reply attributes to it via the ambient scope (the IPC handler
+      // runs synchronously inside Call).
+      auto& rt = port_.machine_.reqtrace();
+      ukvm::ReqOriginScope req_scope(rt, req_read_name_,
+                                     port_.machine_.cpu().current_domain());
       IpcMessage msg = IpcMessage::Short(kBlkReadLabel, lba + done, chunk);
       IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
       if (reply.status != Err::kNone) {
+        rt.AbandonRequest(req_scope.ref());
         return reply.status;
       }
       if (static_cast<int64_t>(reply.regs[0]) < 0) {
+        rt.AbandonRequest(req_scope.ref());
         return ErrOf(static_cast<SyscallRet>(reply.regs[0]));
       }
       const uint64_t bytes = uint64_t{chunk} * block_size_;
       if (reply.string_data.size() < bytes) {
+        rt.AbandonRequest(req_scope.ref());
         return Err::kFault;
       }
       std::memcpy(out.data() + uint64_t{done} * block_size_, reply.string_data.data(), bytes);
+      rt.EndRequest(req_scope.ref());
       done += chunk;
     }
     return Err::kNone;
@@ -78,6 +93,9 @@ class UkernelPort::IpcBlock : public BlockDevice {
       const uint32_t chunk = std::min(count - done, max_blocks);
       const uint64_t bytes = uint64_t{chunk} * block_size_;
       const auto payload = in.subspan(uint64_t{done} * block_size_, bytes);
+      auto& rt = port_.machine_.reqtrace();
+      ukvm::ReqOriginScope req_scope(rt, req_write_name_,
+                                     port_.machine_.cpu().current_domain());
       port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window, payload);
       IpcMessage msg;
       uint64_t id = 0;
@@ -87,7 +105,8 @@ class UkernelPort::IpcBlock : public BlockDevice {
         // leaves it behind for ReplayJournal.
         id = next_id_++;
         journal_.emplace(id, JournalEntry{lba + done, chunk,
-                                          std::vector<uint8_t>(payload.begin(), payload.end())});
+                                          std::vector<uint8_t>(payload.begin(), payload.end()),
+                                          req_scope.ref()});
         msg = IpcMessage::Short(kBlkWriteLabel, lba + done, chunk, id);
       } else {
         msg = IpcMessage::Short(kBlkWriteLabel, lba + done, chunk);
@@ -95,7 +114,9 @@ class UkernelPort::IpcBlock : public BlockDevice {
       msg.has_string = true;
       msg.string = ukern::StringItem{port_.w_.srv_window, static_cast<uint32_t>(bytes)};
       IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.blk_server, msg);
-      if (id != 0 && reply.status != Err::kDead && reply.status != Err::kBadHandle) {
+      const bool answered =
+          reply.status != Err::kDead && reply.status != Err::kBadHandle;
+      if (id != 0 && answered) {
         // The server answered (success or error): the write's fate is
         // known, so the journal entry is resolved.
         journal_.erase(id);
@@ -103,6 +124,13 @@ class UkernelPort::IpcBlock : public BlockDevice {
           ++writes_acked_ok_;
         }
       }
+      const bool ok = reply.status == Err::kNone && static_cast<int64_t>(reply.regs[0]) >= 0;
+      if (ok) {
+        rt.EndRequest(req_scope.ref());
+      } else if (answered || id == 0) {
+        rt.AbandonRequest(req_scope.ref());
+      }
+      // Unanswered journaled writes stay live for ReplayJournal.
       if (reply.status != Err::kNone) {
         return reply.status;
       }
@@ -124,6 +152,13 @@ class UkernelPort::IpcBlock : public BlockDevice {
     while (it != journal_.end()) {  // id order: writes land in submit order
       const uint64_t id = it->first;
       const JournalEntry& entry = it->second;
+      // The replay re-issues the original request on its own DAG; handoffs
+      // that died with the old server are forgiven, and the whole replay
+      // call becomes a recovery leaf on the request's critical path.
+      auto& rt = port_.machine_.reqtrace();
+      rt.ForgiveHandoffs(entry.trace);
+      ukvm::ReqAdoptScope req_scope(rt, entry.trace);
+      const uint64_t replay_t0 = port_.machine_.Now();
       port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window, entry.payload);
       IpcMessage msg = IpcMessage::Short(kBlkWriteLabel, entry.lba, entry.count, id);
       msg.has_string = true;
@@ -133,6 +168,9 @@ class UkernelPort::IpcBlock : public BlockDevice {
       if (reply.status == Err::kDead || reply.status == Err::kBadHandle) {
         break;  // the replacement died too; keep the rest for the next round
       }
+      rt.AddLeafTo(entry.trace, req_replay_name_, ukvm::ReqNodeKind::kRecovery,
+                   port_.machine_.cpu().current_domain(), replay_t0, port_.machine_.Now());
+      rt.EndRequest(entry.trace);
       if (reply.status == Err::kNone && static_cast<int64_t>(reply.regs[0]) >= 0) {
         ++writes_acked_ok_;
       }
@@ -150,6 +188,7 @@ class UkernelPort::IpcBlock : public BlockDevice {
     uint64_t lba = 0;
     uint32_t count = 0;
     std::vector<uint8_t> payload;
+    ukvm::ReqTraceRef trace;  // E22: the write request, live until resolved
   };
   void FetchInfo() const {
     if (info_fetched_) {
@@ -172,22 +211,37 @@ class UkernelPort::IpcBlock : public BlockDevice {
   uint64_t next_id_ = 1;  // monotonic across restarts — replay reuses ids
   std::map<uint64_t, JournalEntry> journal_;  // unacked writes, in id order
   uint64_t writes_acked_ok_ = 0;
+  // E22 interned request-trace names.
+  uint32_t req_read_name_ = 0;
+  uint32_t req_write_name_ = 0;
+  uint32_t req_replay_name_ = 0;
 };
 
 // Network device backed by IPC to the user-level net driver server.
 class UkernelPort::IpcNet : public NetDevice {
  public:
-  explicit IpcNet(UkernelPort& port) : port_(port) {}
+  explicit IpcNet(UkernelPort& port) : port_(port) {
+    req_tx_name_ = port_.machine_.reqtrace().InternName("net.tx");
+  }
 
   Err Send(std::span<const uint8_t> packet) override {
     if (packet.size() > port_.w_.srv_window_len) {
       return Err::kInvalidArgument;
     }
+    auto& rt = port_.machine_.reqtrace();
+    ukvm::ReqOriginScope req_scope(rt, req_tx_name_,
+                                   port_.machine_.cpu().current_domain());
     port_.PokeWindow(port_.w_.os_thread, port_.w_.srv_window, packet);
     IpcMessage msg = IpcMessage::Short(kNetSendLabel);
     msg.has_string = true;
     msg.string = ukern::StringItem{port_.w_.srv_window, static_cast<uint32_t>(packet.size())};
     IpcMessage reply = port_.w_.kernel->Call(port_.w_.os_thread, port_.w_.net_server, msg);
+    const bool ok = reply.status == Err::kNone && static_cast<int64_t>(reply.regs[0]) >= 0;
+    if (ok) {
+      rt.EndRequest(req_scope.ref());
+    } else {
+      rt.AbandonRequest(req_scope.ref());
+    }
     if (reply.status != Err::kNone) {
       return reply.status;
     }
@@ -208,6 +262,7 @@ class UkernelPort::IpcNet : public NetDevice {
  private:
   UkernelPort& port_;
   RecvHandler handler_;
+  uint32_t req_tx_name_ = 0;  // E22 "net.tx" origin
 };
 
 class UkernelPort::PortConsole : public ConsoleDevice {
@@ -227,6 +282,7 @@ class UkernelPort::PortConsole : public ConsoleDevice {
 UkernelPort::UkernelPort(hwsim::Machine& machine, UkernelPortWiring wiring)
     : machine_(machine), w_(wiring) {
   assert(w_.kernel != nullptr);
+  req_syscall_name_ = machine_.reqtrace().InternName("os.syscall");
   net_dev_ = std::make_unique<IpcNet>(*this);
   block_dev_ = std::make_unique<IpcBlock>(*this);
   console_dev_ = std::make_unique<PortConsole>(*this);
@@ -313,14 +369,20 @@ SyscallRet UkernelPort::InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& r
     msg.has_string = true;
     msg.string = ukern::StringItem{w_.app_window, static_cast<uint32_t>(req.in.size())};
   }
+  // Every application system call is one traced request: the IPC to the OS
+  // server (and any nested driver-server work it charges) attributes here.
+  ukvm::ReqOriginScope req_scope(machine_.reqtrace(), req_syscall_name_,
+                                 machine_.cpu().current_domain());
   IpcMessage reply = w_.kernel->Call(w_.app_thread, w_.os_thread, msg);
   if (reply.status != Err::kNone) {
+    machine_.reqtrace().AbandonRequest(req_scope.ref());
     return RetOf(reply.status);
   }
   if (!req.out.empty() && !reply.string_data.empty()) {
     const size_t n = std::min(req.out.size(), reply.string_data.size());
     std::memcpy(req.out.data(), reply.string_data.data(), n);
   }
+  machine_.reqtrace().EndRequest(req_scope.ref());
   return static_cast<SyscallRet>(reply.regs[0]);
 }
 

@@ -106,6 +106,7 @@ class UkernelPort : public ArchPort {
   std::unique_ptr<IpcBlock> block_dev_;
   std::unique_ptr<PortConsole> console_dev_;
   std::vector<std::string> console_log_;
+  uint32_t req_syscall_name_ = 0;  // E22 "os.syscall" origin
 };
 
 }  // namespace minios

@@ -45,7 +45,9 @@ BlkBack::BlkBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend
       driver_(driver),
       slice_blocks_(slice_blocks),
       mux_(mux),
-      health_(machine, "vmm.blk") {}
+      health_(machine, "vmm.blk") {
+  req_dev_name_ = machine_.reqtrace().InternName("disk.io");
+}
 
 uint32_t BlkBack::block_size() const {
   return static_cast<uint32_t>(machine_.memory().page_size() / driver_.blocks_per_page());
@@ -74,6 +76,12 @@ void BlkBack::OnKick(BlkChannel& chan) {
     return;  // alive but unresponsive; requests rot in the ring
   }
   while (auto req = chan.ring->PopRequest()) {
+    // Adopt the guest's request so the grant work and the response stash
+    // (or the device completion below) land on its DAG.
+    const ukvm::ReqTraceRef req_ref = chan.ring->popped_traces().empty()
+                                          ? ukvm::ReqTraceRef{}
+                                          : chan.ring->popped_traces()[0];
+    ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), req_ref);
     Err err = Err::kNone;
     if (req->count == 0 || req->count > driver_.blocks_per_page() ||
         req->lba + req->count > chan.slice_blocks) {
@@ -128,7 +136,14 @@ void BlkBack::OnKick(BlkChannel& chan) {
     const uint32_t gref = req->gref;
     const bool is_write = req->is_write;
     BlkChannel* chan_ptr = &chan;
-    auto done = [this, chan_ptr, id, gref, map_va, is_write, frame](Err status) {
+    const uint64_t submit_t0 = machine_.Now();
+    auto done = [this, chan_ptr, id, gref, map_va, is_write, frame, req_ref,
+                 submit_t0](Err status) {
+      // Device completion runs in event context with no ambient request;
+      // re-adopt so the disk leaf and the response stash stay causal.
+      ukvm::ReqAdoptScope dev_scope(machine_.reqtrace(), req_ref);
+      machine_.reqtrace().AddLeaf(req_dev_name_, ukvm::ReqNodeKind::kDevice,
+                                  backend_, submit_t0, machine_.Now());
       if (status == Err::kNone) {
         health_.RecordSuccess();
         if (is_write && recovery_log_ != nullptr) {
@@ -168,6 +183,12 @@ BlkFront::BlkFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest
     : machine_(machine), hv_(hv), guest_(guest), mux_(mux),
       free_pfns_(pool.begin(), pool.end()), xenbus_(machine, "blk", guest) {
   hist_blk_e2e_ = machine_.tracer().InternHistogram("blk.e2e");
+  auto& rt = machine_.reqtrace();
+  req_write_name_ = rt.InternName("blk.write");
+  req_read_name_ = rt.InternName("blk.read");
+  req_rec_detect_name_ = rt.InternName("recovery.detect");
+  req_rec_reconnect_name_ = rt.InternName("recovery.reconnect");
+  req_rec_replay_name_ = rt.InternName("recovery.replay");
 }
 
 BlkFront::~BlkFront() {
@@ -304,6 +325,21 @@ Err BlkFront::Reconnect(BlkBack& back) {
     return err;
   }
   xenbus_.OnReconnected();
+  // Attach the recovery phases to every journaled request's DAG: the outage
+  // window [failure, detected] and the rebuild [detected, reconnected] are
+  // exactly where those requests' wall-clock went (E22). The replay segment
+  // is added per entry by ReplayWrite.
+  const RecoveryPhases phases = xenbus_.last_phases();
+  if (phases.valid()) {
+    for (const auto& [id, entry] : journal_) {
+      machine_.reqtrace().AddLeafTo(entry.trace, req_rec_detect_name_,
+                                    ukvm::ReqNodeKind::kRecovery, guest_, phases.failure_at,
+                                    phases.detected_at);
+      machine_.reqtrace().AddLeafTo(entry.trace, req_rec_reconnect_name_,
+                                    ukvm::ReqNodeKind::kRecovery, guest_, phases.detected_at,
+                                    phases.reconnected_at);
+    }
+  }
   // Replay unacknowledged writes in id order with their original ids; the
   // backend's recovery log turns duplicates into success replies. A write
   // the backend answers (any status) is resolved; if the backend dies again
@@ -334,6 +370,12 @@ Err BlkFront::ReplayWrite(uint64_t id, const JournalEntry& entry, bool& answered
   if (free_pfns_.empty()) {
     return Err::kBusy;
   }
+  // The replay re-issues the *original* request: re-adopt its trace so the
+  // second staging copy and ring traversal join the same DAG, and forgive
+  // the handoffs that died with the old backend (ring stash, lost upcall).
+  machine_.reqtrace().ForgiveHandoffs(entry.trace);
+  ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), entry.trace);
+  const uint64_t replay_t0 = machine_.Now();
   uvmm::Domain* dom = hv_.FindDomain(guest_);
   const uvmm::Pfn pfn = free_pfns_.front();
   free_pfns_.pop_front();
@@ -379,6 +421,12 @@ Err BlkFront::ReplayWrite(uint64_t id, const JournalEntry& entry, bool& answered
     } else {
       err = Err::kDead;  // woke because the backend died again
     }
+  }
+  if (answered) {
+    machine_.reqtrace().AddLeafTo(entry.trace, req_rec_replay_name_,
+                                  ukvm::ReqNodeKind::kRecovery, guest_, replay_t0,
+                                  machine_.Now());
+    machine_.reqtrace().EndRequest(entry.trace);
   }
   if (!persistent_) {
     (void)hv_.HcGrantEnd(guest_, gref);
@@ -442,6 +490,10 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
     free_pfns_.pop_front();
     auto mfn = dom->MfnOf(pfn);
     assert(mfn.ok());
+    // One traced request per chunk: the staging copy, grant, ring stash,
+    // kick, and (on reads) the payload copy-out all attribute to it.
+    ukvm::ReqOriginScope req_scope(machine_.reqtrace(),
+                                   is_write ? req_write_name_ : req_read_name_, guest_);
 
     if (is_write) {
       // Guest kernel copies the payload into the I/O page.
@@ -467,6 +519,7 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, writable);
       if (!fresh.ok()) {
         free_pfns_.push_back(pfn);
+        machine_.reqtrace().AbandonRequest(req_scope.ref());
         return fresh.error();
       }
       gref = *fresh;
@@ -481,6 +534,7 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       entry.count = chunk;
       const auto payload = in.subspan(uint64_t{done} * block_size_, bytes);
       entry.payload.assign(payload.begin(), payload.end());
+      entry.trace = req_scope.ref();
     }
     chan_->ring->PushRequest(BlkReq{id, is_write, lba + done, chunk, gref});
     Err err = hv_.HcEvtchnSend(guest_, chan_->front_port);
@@ -523,6 +577,13 @@ Err BlkFront::DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<u
       machine_.memory().Read(machine_.memory().FrameBase(*mfn),
                              out.subspan(uint64_t{done} * block_size_, bytes));
       machine_.ChargeCopy(bytes);
+    }
+    if (err == Err::kNone) {
+      machine_.reqtrace().EndRequest(req_scope.ref());
+    } else if (!(crash_recovery_ && is_write && !answered)) {
+      // Journaled-unanswered writes stay live: Reconnect's replay resolves
+      // them and their DAG gains the recovery-phase leaves.
+      machine_.reqtrace().AbandonRequest(req_scope.ref());
     }
     free_pfns_.push_back(pfn);
     if (err != Err::kNone) {

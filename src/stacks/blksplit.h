@@ -106,6 +106,7 @@ class BlkBack {
   uint64_t next_slice_ = 0;
   uint64_t map_counter_ = 0;
   uint64_t served_ = 0;
+  uint32_t req_dev_name_ = 0;  // E22 "disk.io" device leaf
 };
 
 class BlkFront : public minios::BlockDevice {
@@ -177,6 +178,7 @@ class BlkFront : public minios::BlockDevice {
     uint64_t lba = 0;      // slice-relative
     uint32_t count = 0;    // blocks, fits one page
     std::vector<uint8_t> payload;
+    ukvm::ReqTraceRef trace;  // E22: the write request, live until resolved
   };
 
   ukvm::Err DoRequest(bool is_write, uint64_t lba, uint32_t count, std::span<uint8_t> out,
@@ -201,6 +203,12 @@ class BlkFront : public minios::BlockDevice {
   uint64_t capacity_ = 0;
   uint64_t next_id_ = 1;  // monotonic across reconnects — replay reuses ids
   uint32_t hist_blk_e2e_ = 0;  // "blk.e2e": request submit -> completion cycles
+  // E22 interned request-trace names.
+  uint32_t req_write_name_ = 0;          // "blk.write" origin
+  uint32_t req_read_name_ = 0;           // "blk.read" origin
+  uint32_t req_rec_detect_name_ = 0;     // "recovery.detect" leaf
+  uint32_t req_rec_reconnect_name_ = 0;  // "recovery.reconnect" leaf
+  uint32_t req_rec_replay_name_ = 0;     // "recovery.replay" leaf
   std::unordered_map<uint64_t, ukvm::Err> completed_;  // id -> status
   bool crash_recovery_ = false;
   XenbusConn xenbus_;

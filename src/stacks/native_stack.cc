@@ -11,6 +11,9 @@ NativeStack::NativeStack(Config config)
   if (config.trace.enabled) {
     machine_.EnableTracing(config.trace);
   }
+  if (config.request_trace.enabled) {
+    machine_.EnableRequestTracing(config.request_trace);
+  }
   machine_.tracer().RegisterDomain(kOsDomain, "native-os");
   // Frames for NIC staging plus one disk staging frame.
   std::vector<hwsim::Frame> pool;

@@ -33,6 +33,8 @@ class NativeStack {
     bool race_detect = false;
     // E17 flight recorder / histograms / profiler (off by default).
     ukvm::TraceConfig trace;
+    // E22 causal request tracing (off by default; observation only).
+    ukvm::ReqTraceConfig request_trace;
   };
 
   explicit NativeStack(Config config);

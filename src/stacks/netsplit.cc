@@ -50,6 +50,9 @@ NetBack::NetBack(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId backend
     : machine_(machine), hv_(hv), backend_(backend), driver_(driver), mode_(mode), mux_(mux),
       health_(machine, "vmm.net") {
   hist_rx_backlog_ = machine_.tracer().InternHistogram("net.rx.backlog");
+  req_rx_name_ = machine_.reqtrace().InternName("net.rx");
+  req_flush_name_ = machine_.reqtrace().InternName("net.rx.flush");
+  req_dev_name_ = machine_.reqtrace().InternName("nic.send");
 }
 
 NetChannel* NetBack::Connect(DomainId guest) {
@@ -94,6 +97,12 @@ NetChannel* NetBack::ChannelFor(std::span<const uint8_t> packet) {
 void NetBack::OnTxKick(NetChannel& chan) {
   bool any = false;
   while (auto req = chan.tx_ring->PopRequest()) {
+    // Adopt the guest's tx request for the duration of this service step so
+    // the device leaf and the response's ring stash land on its DAG.
+    const ukvm::ReqTraceRef req_ref = chan.tx_ring->popped_traces().empty()
+                                          ? ukvm::ReqTraceRef{}
+                                          : chan.tx_ring->popped_traces()[0];
+    ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), req_ref);
     any = true;
     if (health_.ShouldFastFail()) {
       chan.tx_ring->PushResponse(NetTxResp{req->gref, Err::kRetryExhausted});
@@ -125,7 +134,10 @@ void NetBack::OnTxKick(NetChannel& chan) {
       const hwsim::Pte* pte = back_dom->space.Walk(map_va);
       assert(pte != nullptr && pte->present);
       RaceFrameAccess(machine_, backend_, pte->frame, /*write=*/false, "net.tx.payload");
+      const uint64_t dev_t0 = machine_.Now();
       err = driver_.SendFrame(pte->frame, req->len);
+      machine_.reqtrace().AddLeaf(req_dev_name_, ukvm::ReqNodeKind::kDevice, backend_, dev_t0,
+                                  machine_.Now());
       if (err == Err::kNone) {
         health_.RecordSuccess();
       } else {
@@ -147,7 +159,10 @@ void NetBack::OnTxKick(NetChannel& chan) {
 
 void NetBack::OnPacketReceived(hwsim::Frame frame, uint32_t len) {
   if (rx_batch_ > 1) {
-    rx_staged_.push_back(StagedRx{frame, len, machine_.Now()});
+    // The rx request is born when the wire hands us the packet; it then
+    // queues in the staging buffer until the flush delivers it.
+    const ukvm::ReqTraceRef trace = machine_.reqtrace().BeginRequest(req_rx_name_, backend_);
+    rx_staged_.push_back(StagedRx{frame, len, machine_.Now(), trace});
     if (rx_staged_.size() >= rx_batch_) {
       FlushRx();
     }
@@ -182,6 +197,7 @@ void NetBack::FlushRx() {
     if (chan == nullptr || !hv_.DomainAlive(chan->guest)) {
       ++rx_dropped_;
       driver_.RepostRx(staged[i].frame);
+      machine_.reqtrace().AbandonRequest(staged[i].trace);
       continue;
     }
     auto it = std::find_if(by_chan.begin(), by_chan.end(),
@@ -199,11 +215,14 @@ void NetBack::FlushRx() {
     std::vector<size_t> op_staged;  // staged index per op, parallel to ops
     std::vector<NetRxReq> op_reqs;
     std::vector<NetRxResp> resps;
+    std::vector<ukvm::ReqTraceRef> op_traces;    // rx request per op, parallel to ops
+    std::vector<ukvm::ReqTraceRef> resp_traces;  // rx request per response slot
     for (size_t k = 0; k < idx.size(); ++k) {
       const StagedRx& pkt = staged[idx[k]];
       if (k >= reqs.size()) {
         ++rx_dropped_;  // guest has no receive slot posted
         driver_.RepostRx(pkt.frame);
+        machine_.reqtrace().AbandonRequest(pkt.trace);
         continue;
       }
       auto local_pfn = back_dom->PfnOf(pkt.frame);
@@ -211,7 +230,9 @@ void NetBack::FlushRx() {
         ++rx_dropped_;
         driver_.RepostRx(pkt.frame);
         // The slot request is consumed; answer it so the guest recycles it.
+        // The response carries the trace: the frontend abandons it there.
         resps.push_back(NetRxResp{reqs[k].ref, reqs[k].pfn, 0, Err::kOutOfRange});
+        resp_traces.push_back(pkt.trace);
         continue;
       }
       uvmm::MulticallOp op;
@@ -231,11 +252,17 @@ void NetBack::FlushRx() {
       ops.push_back(op);
       op_staged.push_back(idx[k]);
       op_reqs.push_back(reqs[k]);
+      op_traces.push_back(pkt.trace);
     }
 
     // The whole burst's flips (or copies) cross into the hypervisor once;
-    // transfers inside share one deferred TLB shootdown.
+    // transfers inside share one deferred TLB shootdown. Every request in
+    // the burst shares the multicall span — the amortised cost shows up
+    // once per participant, at its true (shared) wall-clock width.
+    const uint64_t mc_t0 = machine_.Now();
     auto out = hv_.HcMulticall(backend_, ops);
+    machine_.reqtrace().AttachSharedSpan(op_traces, req_flush_name_, ukvm::ReqNodeKind::kCompute,
+                                         backend_, mc_t0, machine_.Now());
     for (size_t j = 0; j < ops.size(); ++j) {
       const StagedRx& pkt = staged[op_staged[j]];
       const Err st = j < out.results.size() ? out.results[j].status
@@ -252,8 +279,10 @@ void NetBack::FlushRx() {
         driver_.RepostRx(pkt.frame);
       }
       resps.push_back(NetRxResp{op_reqs[j].ref, op_reqs[j].pfn, pkt.len, st});
+      resp_traces.push_back(pkt.trace);
     }
     if (!resps.empty()) {
+      chan->rx_ring->SetPushTraceRefs(resp_traces);
       chan->rx_ring->PushResponses(std::span<const NetRxResp>(resps));
       // One notification covers the burst (and coalesces with any pending).
       (void)hv_.HcEvtchnSend(backend_, chan->back_rx_port);
@@ -262,15 +291,20 @@ void NetBack::FlushRx() {
 }
 
 void NetBack::DeliverOne(hwsim::Frame frame, uint32_t len) {
+  // Unbatched path: the rx request is born and serviced in one step; the
+  // scope makes the flip/copy crossings and the response stash its children.
+  ukvm::ReqOriginScope req_scope(machine_.reqtrace(), req_rx_name_, backend_);
   auto data = machine_.memory().FrameData(frame);
   NetChannel* chan = ChannelFor(data.subspan(0, len));
   if (chan == nullptr || !hv_.DomainAlive(chan->guest)) {
     ++rx_dropped_;
+    machine_.reqtrace().AbandonRequest(req_scope.ref());
     return;
   }
   auto req = chan->rx_ring->PopRequest();
   if (!req) {
     ++rx_dropped_;  // guest has no receive slot posted
+    machine_.reqtrace().AbandonRequest(req_scope.ref());
     return;
   }
 
@@ -278,6 +312,7 @@ void NetBack::DeliverOne(hwsim::Frame frame, uint32_t len) {
   auto local_pfn = back_dom->PfnOf(frame);
   if (!local_pfn.ok()) {
     ++rx_dropped_;
+    machine_.reqtrace().AbandonRequest(req_scope.ref());
     return;
   }
 
@@ -312,6 +347,7 @@ NetFront::NetFront(hwsim::Machine& machine, uvmm::Hypervisor& hv, DomainId guest
       free_pfns_(pool.begin(), pool.end()), pool_(std::move(pool)),
       xenbus_(machine, "net", guest) {
   hist_tx_e2e_ = machine_.tracer().InternHistogram("net.tx.e2e");
+  req_tx_name_ = machine_.reqtrace().InternName("net.tx");
 }
 
 void NetFront::OnBackendDead(DomainId dead) {
@@ -328,11 +364,22 @@ void NetFront::OnBackendDead(DomainId dead) {
   if (chan_ != nullptr) {
     uvmm::Domain* dom = hv_.FindDomain(guest_);
     while (auto resp = chan_->rx_ring->PopResponse()) {
+      const ukvm::ReqTraceRef req_ref = chan_->rx_ring->popped_traces().empty()
+                                            ? ukvm::ReqTraceRef{}
+                                            : chan_->rx_ring->popped_traces()[0];
+      ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), req_ref);
       ForgetOutstandingRxSlot(resp->pfn);
       if (DeliverRxPayload(dom, resp->pfn, resp->len, resp->status)) {
         ++rx_recovered_on_crash_;
-      } else if (resp->status == Err::kNone) {
-        ++rx_dropped_on_crash_;
+        // The notification upcall died with the backend; the read-back IS
+        // the delivery, so the dangling evtchn handoff is forgiven.
+        machine_.reqtrace().ForgiveHandoffs(req_ref);
+        machine_.reqtrace().EndRequest(req_ref);
+      } else {
+        if (resp->status == Err::kNone) {
+          ++rx_dropped_on_crash_;
+        }
+        machine_.reqtrace().AbandonRequest(req_ref);
       }
     }
   }
@@ -342,6 +389,9 @@ void NetFront::OnBackendDead(DomainId dead) {
   // flight tx packets die with the backend (the NIC contract: upper layers
   // retransmit), counted so the bench can report them.
   tx_dropped_on_crash_ += tx_grants_.size();
+  for (const auto& [gref, grant] : tx_grants_) {
+    machine_.reqtrace().AbandonRequest(grant.trace);
+  }
   tx_grants_.clear();
   tx_gref_cache_.Clear();
   // Advertised-but-unconsumed slots are journaled for exactly-once replay
@@ -475,6 +525,9 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
   if (free_pfns_.empty()) {
     return Err::kBusy;
   }
+  // The tx request is born here; the staging copy, the grant, the ring
+  // stash, and the kick all become its children via the ambient scope.
+  ukvm::ReqOriginScope req_scope(machine_.reqtrace(), req_tx_name_, guest_);
   uvmm::Domain* dom = hv_.FindDomain(guest_);
   const uvmm::Pfn pfn = free_pfns_.front();
   free_pfns_.pop_front();
@@ -496,6 +549,7 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
       auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
       if (!fresh.ok()) {
         free_pfns_.push_back(pfn);
+        machine_.reqtrace().AbandonRequest(req_scope.ref());
         return fresh.error();
       }
       gref = *fresh;
@@ -505,11 +559,12 @@ Err NetFront::Send(std::span<const uint8_t> packet) {
     auto fresh = hv_.HcGrantAccess(guest_, backend_, pfn, /*writable=*/false);
     if (!fresh.ok()) {
       free_pfns_.push_back(pfn);
+      machine_.reqtrace().AbandonRequest(req_scope.ref());
       return fresh.error();
     }
     gref = *fresh;
   }
-  tx_grants_[gref] = TxGrant{pfn, machine_.Now()};
+  tx_grants_[gref] = TxGrant{pfn, machine_.Now(), req_scope.ref()};
   chan_->tx_ring->PushRequest(NetTxReq{gref, static_cast<uint32_t>(packet.size())});
   const Err err = hv_.HcEvtchnSend(guest_, chan_->front_tx_port);
   if (err == Err::kNone) {
@@ -531,6 +586,7 @@ void NetFront::OnTxResponse() {
     if (it != tx_grants_.end()) {
       machine_.tracer().RecordLatency(hist_tx_e2e_, machine_.Now() - it->second.t0);
       free_pfns_.push_back(it->second.pfn);
+      machine_.reqtrace().EndRequest(it->second.trace);
       tx_grants_.erase(it);
     }
   }
@@ -543,8 +599,16 @@ void NetFront::OnRxResponse() {
   uvmm::Domain* dom = hv_.FindDomain(guest_);
   if (io_batch_ <= 1) {
     while (auto resp = chan_->rx_ring->PopResponse()) {
+      const ukvm::ReqTraceRef req_ref = chan_->rx_ring->popped_traces().empty()
+                                            ? ukvm::ReqTraceRef{}
+                                            : chan_->rx_ring->popped_traces()[0];
+      ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), req_ref);
       ForgetOutstandingRxSlot(resp->pfn);
-      (void)DeliverRxPayload(dom, resp->pfn, resp->len, resp->status);
+      if (DeliverRxPayload(dom, resp->pfn, resp->len, resp->status)) {
+        machine_.reqtrace().EndRequest(req_ref);
+      } else {
+        machine_.reqtrace().AbandonRequest(req_ref);
+      }
       if (mode_ == RxMode::kGrantCopy) {
         if (persistent_) {
           // The writable slot grant survives the backend's copy; reuse it.
@@ -564,11 +628,19 @@ void NetFront::OnRxResponse() {
   // consumed slot under a single multicall (flip mode needs fresh transfer
   // grants; copy mode ends+re-grants, or reuses the grant when persistent).
   auto resps = chan_->rx_ring->PopResponses(chan_->rx_ring->pending_responses());
+  const std::vector<ukvm::ReqTraceRef> popped = chan_->rx_ring->popped_traces();
   std::vector<uvmm::MulticallOp> ops;
   std::vector<NetRxReq> reqs;
-  for (const NetRxResp& resp : resps) {
+  for (size_t i = 0; i < resps.size(); ++i) {
+    const NetRxResp& resp = resps[i];
+    const ukvm::ReqTraceRef req_ref = i < popped.size() ? popped[i] : ukvm::ReqTraceRef{};
+    ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), req_ref);
     ForgetOutstandingRxSlot(resp.pfn);
-    (void)DeliverRxPayload(dom, resp.pfn, resp.len, resp.status);
+    if (DeliverRxPayload(dom, resp.pfn, resp.len, resp.status)) {
+      machine_.reqtrace().EndRequest(req_ref);
+    } else {
+      machine_.reqtrace().AbandonRequest(req_ref);
+    }
     if (mode_ == RxMode::kPageFlip) {
       uvmm::MulticallOp op;
       op.kind = uvmm::MulticallOp::Kind::kGrantTransferSlot;

@@ -118,6 +118,7 @@ class NetBack {
     hwsim::Frame frame = 0;
     uint32_t len = 0;
     uint64_t arrived = 0;  // Now() at staging, for the rx-backlog histogram
+    ukvm::ReqTraceRef trace;  // E22: the rx request minted at arrival
   };
 
   void DeliverOne(hwsim::Frame frame, uint32_t len);
@@ -143,6 +144,10 @@ class NetBack {
   uint64_t rx_dropped_ = 0;
   uint64_t rx_flushes_ = 0;
   uint32_t hist_rx_backlog_ = 0;  // "net.rx.backlog": staging -> delivery cycles
+  // E22 interned request-trace names.
+  uint32_t req_rx_name_ = 0;     // "net.rx" origin
+  uint32_t req_flush_name_ = 0;  // "net.rx.flush" shared multicall span
+  uint32_t req_dev_name_ = 0;    // "nic.send" device leaf
 };
 
 class NetFront : public minios::NetDevice {
@@ -229,6 +234,7 @@ class NetFront : public minios::NetDevice {
   struct TxGrant {
     uvmm::Pfn pfn = 0;
     uint64_t t0 = 0;  // Now() at Send, for the tx end-to-end histogram
+    ukvm::ReqTraceRef trace;  // E22: the tx request minted at Send
   };
 
   std::deque<uvmm::Pfn> free_pfns_;
@@ -250,6 +256,7 @@ class NetFront : public minios::NetDevice {
   uint64_t tx_sent_ = 0;
   uint64_t rx_received_ = 0;
   uint32_t hist_tx_e2e_ = 0;  // "net.tx.e2e": Send -> tx response cycles
+  uint32_t req_tx_name_ = 0;  // E22 "net.tx" origin name
 };
 
 }  // namespace ustack

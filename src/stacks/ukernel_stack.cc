@@ -32,6 +32,9 @@ UkernelStack::UkernelStack(Config config)
   if (config.trace.enabled) {
     machine_.EnableTracing(config.trace);
   }
+  if (config.request_trace.enabled) {
+    machine_.EnableRequestTracing(config.request_trace);
+  }
   slice_blocks_ = config.slice_blocks;
   disk_retry_ = config.disk_retry;
   nic_retry_ = config.nic_retry;

@@ -54,6 +54,9 @@ class UkernelStack {
     // tracing off, the instrumented paths charge exactly the same simulated
     // cycles as before the tracer existed.
     ukvm::TraceConfig trace;
+    // E22 causal request tracing: per-request DAGs across IPC calls, ring
+    // slots, and journal replay. Same discipline — observation only.
+    ukvm::ReqTraceConfig request_trace;
     // E19 crash recovery — default off, so every pre-E19 path is
     // byte-identical. On: block writes are journaled by the port and
     // replayed (same ids) after RestartBlockServer; the stack-owned

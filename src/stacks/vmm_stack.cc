@@ -17,6 +17,9 @@ VmmStack::VmmStack(Config config)
   if (config.trace.enabled) {
     machine_.EnableTracing(config.trace);
   }
+  if (config.request_trace.enabled) {
+    machine_.EnableRequestTracing(config.request_trace);
+  }
   disk_retry_ = config.disk_retry;
   nic_retry_ = config.nic_retry;
   degrade_ = config.degrade;

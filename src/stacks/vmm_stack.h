@@ -86,6 +86,10 @@ class VmmStack {
     // tracing off, the instrumented paths charge exactly the same simulated
     // cycles as before the tracer existed.
     ukvm::TraceConfig trace;
+    // E22 causal request tracing: per-request DAGs across ring slots, event
+    // channels, and recovery replay. Same discipline as `trace` — enabling
+    // it never changes a single simulated cycle.
+    ukvm::ReqTraceConfig request_trace;
   };
 
   struct Guest {

@@ -92,6 +92,9 @@ void Watchdog::RunProbe(Service& svc) {
     }
     return;
   }
+  // Capture the evidence before restarting: the flight recorder and the
+  // slowest-request DAGs still hold the window that led to the trip.
+  machine_.PostMortemDump("watchdog-restart");
   svc.restart();
   ++svc.stats.restarts;
   machine_.counters().AddNamed("watchdog.restart");

@@ -82,6 +82,19 @@ enum class XenbusState : uint8_t {
 
 const char* XenbusStateName(XenbusState state);
 
+// Timestamps of the most recent completed recovery, captured at
+// OnReconnected before the failure mark is re-armed. Drivers use it to
+// attach recovery-phase leaves to the request DAGs of journaled work (E22):
+// detect = [failure_at, detected_at], reclaim = [detected_at, reclaimed_at],
+// reconnect = [reclaimed_at, reconnected_at].
+struct RecoveryPhases {
+  uint64_t failure_at = 0;
+  uint64_t detected_at = 0;
+  uint64_t reclaimed_at = 0;
+  uint64_t reconnected_at = 0;
+  bool valid() const { return reconnected_at != 0; }
+};
+
 class XenbusConn {
  public:
   // `service` names the connection in traces ("blk", "net", "uk-blk", ...);
@@ -127,6 +140,7 @@ class XenbusConn {
   uint64_t reconnects() const { return reconnects_; }
   uint64_t replayed_total() const { return replayed_total_; }
   const std::string& service() const { return service_; }
+  const RecoveryPhases& last_phases() const { return last_phases_; }
 
  private:
   void Transition(XenbusState next);
@@ -142,6 +156,7 @@ class XenbusConn {
   uint64_t reconnected_at_ = 0;
   uint64_t reconnects_ = 0;
   uint64_t replayed_total_ = 0;
+  RecoveryPhases last_phases_;
 
   uint32_t trace_state_name_ = 0;     // instant per transition
   uint32_t trace_recovery_name_ = 0;  // span over detect..reconnect

@@ -15,6 +15,14 @@
 // domain plays which role — the *current* domain is wrong for completions
 // that run in device-event context. SetRaceMutation seeds one protocol bug
 // for the detector's self-tests.
+//
+// When the machine has request tracing armed (E22), every push also stashes
+// the ambient request's id in the machine's shadow side-table, keyed by the
+// same absolute index the race discipline uses; every pop consumes the
+// stash, which appends a ring-wait queue node to the owning request's DAG
+// and hands the caller its ref via popped_traces(). Batched pushes can
+// carry per-slot refs (SetPushTraceRefs) because a flush serves many
+// requests in one call.
 
 #ifndef UKVM_SRC_STACKS_XENRING_H_
 #define UKVM_SRC_STACKS_XENRING_H_
@@ -42,6 +50,17 @@ class XenRing {
  public:
   XenRing(hwsim::Machine& machine, size_t capacity) : machine_(machine), capacity_(capacity) {}
 
+  // The channel (and its in-flight slots) dies with the ring — an E19
+  // backend crash, not a lost propagation point. Settle the trace
+  // side-table so journaled requests replayed later still lint clean.
+  ~XenRing() {
+    if (ring_id_ != 0) {
+      machine_.reqtrace().RingDropped(ring_id_);
+    }
+  }
+  XenRing(const XenRing&) = delete;
+  XenRing& operator=(const XenRing&) = delete;
+
   // Names the domains on each end for race reporting. Without this the ring
   // stays uninstrumented even when a sink is installed.
   void BindRaceEndpoints(ukvm::DomainId frontend, ukvm::DomainId backend) {
@@ -61,16 +80,19 @@ class XenRing {
     }
     machine_.ChargeCopy(sizeof(Req));
     RaceProduce(front_, ReqKey(), req_prod_, 1);
+    TraceStash(ukvm::RingSide::kRequest, req_prod_);
     requests_.push_back(req);
     ++req_prod_;
     return true;
   }
   std::optional<Resp> PopResponse() {
+    popped_traces_.clear();
     if (responses_.empty()) {
       return std::nullopt;
     }
     machine_.ChargeCopy(sizeof(Resp));
     RaceConsume(front_, RespKey(), rsp_cons_, "ring.resp");
+    popped_traces_.push_back(TraceConsume(ukvm::RingSide::kResponse, rsp_cons_, front_));
     Resp resp = responses_.front();
     responses_.pop_front();
     ++rsp_cons_;
@@ -79,11 +101,13 @@ class XenRing {
 
   // Backend side.
   std::optional<Req> PopRequest() {
+    popped_traces_.clear();
     if (requests_.empty()) {
       return std::nullopt;
     }
     machine_.ChargeCopy(sizeof(Req));
     RaceConsume(back_, ReqKey(), req_cons_, "ring.req");
+    popped_traces_.push_back(TraceConsume(ukvm::RingSide::kRequest, req_cons_, back_));
     Req req = requests_.front();
     requests_.pop_front();
     ++req_cons_;
@@ -95,6 +119,7 @@ class XenRing {
     }
     machine_.ChargeCopy(sizeof(Resp));
     RaceProduce(back_, RespKey(), rsp_prod_, 1);
+    TraceStash(ukvm::RingSide::kResponse, rsp_prod_);
     responses_.push_back(resp);
     ++rsp_prod_;
     return true;
@@ -110,18 +135,22 @@ class XenRing {
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Req));
       RaceProduce(front_, ReqKey(), req_prod_, n);
+      TraceStashBatch(ukvm::RingSide::kRequest, req_prod_, n);
       requests_.insert(requests_.end(), reqs.begin(), reqs.begin() + static_cast<ptrdiff_t>(n));
       req_prod_ += n;
     }
+    push_refs_.clear();
     return n;
   }
   std::vector<Req> PopRequests(size_t max) {
+    popped_traces_.clear();
     const size_t n = std::min(max, requests_.size());
     std::vector<Req> out;
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Req));
       for (size_t i = 0; i < n; ++i) {
         RaceConsume(back_, ReqKey(), req_cons_ + i, "ring.req");
+        popped_traces_.push_back(TraceConsume(ukvm::RingSide::kRequest, req_cons_ + i, back_));
       }
       out.assign(requests_.begin(), requests_.begin() + static_cast<ptrdiff_t>(n));
       requests_.erase(requests_.begin(), requests_.begin() + static_cast<ptrdiff_t>(n));
@@ -134,19 +163,23 @@ class XenRing {
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Resp));
       RaceProduce(back_, RespKey(), rsp_prod_, n);
+      TraceStashBatch(ukvm::RingSide::kResponse, rsp_prod_, n);
       responses_.insert(responses_.end(), resps.begin(),
                         resps.begin() + static_cast<ptrdiff_t>(n));
       rsp_prod_ += n;
     }
+    push_refs_.clear();
     return n;
   }
   std::vector<Resp> PopResponses(size_t max) {
+    popped_traces_.clear();
     const size_t n = std::min(max, responses_.size());
     std::vector<Resp> out;
     if (n > 0) {
       machine_.ChargeCopy(n * sizeof(Resp));
       for (size_t i = 0; i < n; ++i) {
         RaceConsume(front_, RespKey(), rsp_cons_ + i, "ring.resp");
+        popped_traces_.push_back(TraceConsume(ukvm::RingSide::kResponse, rsp_cons_ + i, front_));
       }
       out.assign(responses_.begin(), responses_.begin() + static_cast<ptrdiff_t>(n));
       responses_.erase(responses_.begin(), responses_.begin() + static_cast<ptrdiff_t>(n));
@@ -158,6 +191,16 @@ class XenRing {
   size_t pending_requests() const { return requests_.size(); }
   size_t pending_responses() const { return responses_.size(); }
   size_t capacity() const { return capacity_; }
+
+  // --- Request-trace plumbing -------------------------------------------------
+
+  // Per-slot request refs for the *next* batched push (slot i gets refs[i];
+  // missing entries fall back to the ambient request). Consumed by the push.
+  void SetPushTraceRefs(std::vector<ukvm::ReqTraceRef> refs) { push_refs_ = std::move(refs); }
+
+  // Refs of the requests whose slots the last Pop* call consumed, in pop
+  // order (invalid entries for untraced slots). Valid until the next pop.
+  const std::vector<ukvm::ReqTraceRef>& popped_traces() const { return popped_traces_; }
 
  private:
   bool RaceOn(ukvm::DomainId ctx) const {
@@ -176,6 +219,31 @@ class XenRing {
                ? "ring.req"
                : "ring.resp";
   }
+  bool TraceOn() const { return machine_.reqtrace().enabled(); }
+  void TraceStash(ukvm::RingSide side, uint64_t index) {
+    if (TraceOn()) {
+      machine_.reqtrace().RingStash(RingId(), side, index);
+    }
+  }
+  void TraceStashBatch(ukvm::RingSide side, uint64_t first, size_t count) {
+    if (!TraceOn()) {
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (i < push_refs_.size()) {
+        machine_.reqtrace().RingStashRef(RingId(), side, first + i, push_refs_[i]);
+      } else {
+        machine_.reqtrace().RingStash(RingId(), side, first + i);
+      }
+    }
+  }
+  ukvm::ReqTraceRef TraceConsume(ukvm::RingSide side, uint64_t index, ukvm::DomainId ctx) {
+    if (!TraceOn()) {
+      return ukvm::ReqTraceRef{};
+    }
+    return machine_.reqtrace().RingConsume(RingId(), side, index, ctx);
+  }
+
   bool TakeMutation(RingMutation which) {
     if (mutation_ != which || mutation_used_) {
       return false;
@@ -254,6 +322,11 @@ class XenRing {
   RingMutation mutation_ = RingMutation::kNone;
   bool mutation_used_ = false;
   bool race_baseline_done_ = false;
+
+  // Request-trace plumbing (E22): per-slot refs for the next batched push
+  // and the refs consumed by the last pop.
+  std::vector<ukvm::ReqTraceRef> push_refs_;
+  std::vector<ukvm::ReqTraceRef> popped_traces_;
 };
 
 }  // namespace ustack

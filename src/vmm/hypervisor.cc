@@ -60,6 +60,9 @@ Hypervisor::Hypervisor(hwsim::Machine& machine, Config config)
   evtchn_->SetTraceHook([this, evtchn_trace_name](DomainId target, uint32_t port,
                                                   bool coalesced) {
     machine_.tracer().Instant(evtchn_trace_name, target, port, coalesced ? 1 : 0);
+    // E22: latch the sending request on the channel until the upcall
+    // delivers (DeliverUpcall adopts it).
+    machine_.reqtrace().ChannelStash(target, port, coalesced);
   });
   gnttab_ = std::make_unique<GrantTable>(
       machine_, [this](DomainId dom) { return FindDomain(dom); });
@@ -693,6 +696,12 @@ void Hypervisor::DeliverUpcall(DomainId target, uint32_t port) {
     // into the pending bit since the last consume.
     rs->Acquire(target, hwsim::RaceEdgeKey(hwsim::RaceEdgeKind::kEvtchn, target.value(), port));
   }
+  // E22: the upcall handler runs on behalf of whichever request kicked the
+  // channel — adopt its stash (a crossing node [send, now]) for the scope
+  // of the handler so ring pops and copies attach to the right DAG.
+  const ukvm::ReqTraceRef req_ref =
+      machine_.reqtrace().ChannelAdopt(target, port, target);
+  ukvm::ReqAdoptScope req_scope(machine_.reqtrace(), req_ref);
   (void)evtchn_->ConsumePending(target, port);
   ++d->upcalls;
   d->evtchn_upcall(port);
