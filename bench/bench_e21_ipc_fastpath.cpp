@@ -45,6 +45,10 @@ struct PingPong {
       : machine(platform, 16 << 20) {
     kernel = std::make_unique<ukern::Kernel>(machine);
     kernel->SetIpcFastpath(fastpath);
+    // This bench is the E21 historical record: pin the Call-only feature
+    // set so its committed tables stay bit-identical. bench_e23_replywait
+    // measures the full family against this baseline.
+    kernel->SetFastpathFeatures(ukern::Kernel::FastpathFeatures::CallOnly());
     auto MakeSide = [&](hwsim::Vaddr window, ukern::IpcHandler handler) {
       auto task = kernel->CreateTask(ThreadId::Invalid());
       auto thread = kernel->CreateThread(*task, 128, std::move(handler));
@@ -106,6 +110,7 @@ uint64_t NullSyscallMean(bool fastpath) {
   ustack::UkernelStack::Config config;
   config.audit = false;  // hook-free baseline, as in the other benches
   config.ipc_fastpath = fastpath;
+  config.fastpath_features = ukern::Kernel::FastpathFeatures::CallOnly();
   ustack::UkernelStack stack(config);
   auto pid = stack.guest_os(0).Spawn("bench");
   (void)stack.kernel().ActivateThread(stack.guest(0).app_thread);

@@ -3,7 +3,8 @@
 # results (E1 IPC ping-pong, E3 Dom0 CPU accounting, E4 crossing counts, E16
 # batched datapath, E17 tracing overhead, E18 TLB shootdown scaling, E19
 # crash-recovery latency + exactly-once ledger, E20 race-detection
-# overhead, E21 L4 fast-path IPC, E22 causal request tracing). Each bench
+# overhead, E21 L4 fast-path IPC, E22 causal request tracing, E23 the
+# completed fast-path family). Each bench
 # writes BENCH_<id>.json into $OUT alongside its human-readable tables on
 # stdout; E17/E20 split their host wall-clock columns into a separate
 # BENCH_<id>_HOST.json so the deterministic tables stay bit-exact. E17
@@ -29,7 +30,8 @@ cmake -B "${BUILD}" -S . >/dev/null
 cmake --build "${BUILD}" -j"${JOBS}" --target \
   bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings bench_e16_batched_io \
   bench_e17_trace_overhead bench_e18_shootdown bench_e19_recovery \
-  bench_e20_race_overhead bench_e21_ipc_fastpath bench_e22_reqtrace bench_simspeed
+  bench_e20_race_overhead bench_e21_ipc_fastpath bench_e22_reqtrace \
+  bench_e23_replywait bench_simspeed
 
 mkdir -p "${OUT}"
 export UKVM_BENCH_JSON="${OUT}"
@@ -38,7 +40,7 @@ export UKVM_TRACE_DIR="${OUT}"
 for bench in bench_e1_ipc_pingpong bench_e3_dom0_cpu bench_e4_crossings \
              bench_e16_batched_io bench_e17_trace_overhead bench_e18_shootdown \
              bench_e19_recovery bench_e20_race_overhead bench_e21_ipc_fastpath \
-             bench_e22_reqtrace; do
+             bench_e22_reqtrace bench_e23_replywait; do
   echo "== ${bench} =="
   "${BUILD}/bench/${bench}"
   echo

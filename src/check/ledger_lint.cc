@@ -74,6 +74,10 @@ LedgerLint::MechanismInfo LedgerLint::Classify(uint32_t id) const {
       {"l4.ipc.call", PairRole::kOpens, 0},
       {"l4.pf.ipc", PairRole::kOpens, 0},
       {"l4.ipc.reply", PairRole::kCloses, 0},
+      // E23: the coalesced reply-and-wait crossing closes the same group a
+      // fast Call opened — a fast path that forgets it leaves the pair
+      // unbalanced, which is exactly what the mutation test checks.
+      {"l4.ipc.replywait", PairRole::kCloses, 0},
       {"xen.hypercall", PairRole::kOpens, 1},
       {"xen.hypercall.return", PairRole::kCloses, 1},
       {"xen.syscall.reflect", PairRole::kOpens, 2},

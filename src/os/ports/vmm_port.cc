@@ -23,6 +23,7 @@ class VmmPort::HvConsole : public ConsoleDevice {
 VmmPort::VmmPort(hwsim::Machine& machine, uvmm::Hypervisor& hv, ukvm::DomainId guest,
                  NetDevice* net_frontend, BlockDevice* block_frontend, bool request_fast_trap)
     : machine_(machine), hv_(hv), guest_(guest), net_(net_frontend), block_(block_frontend) {
+  req_syscall_name_ = machine_.reqtrace().InternName("os.syscall");
   console_dev_ = std::make_unique<HvConsole>(hv_, guest_);
   const Err err = hv_.HcSetTrapTable(
       guest_,
@@ -51,7 +52,14 @@ SyscallRet VmmPort::InvokeSyscall(Os& os, ukvm::ProcessId pid, SyscallReq& req) 
   frame.vector = hwsim::TrapVector::kSyscall;
   frame.regs[0] = static_cast<uint64_t>(req.nr);
   frame.from_user = true;
+  // E22: every guest system call — reflected through the hypervisor or
+  // riding the fast trap gate — is one traced request; any frontend work
+  // the guest kernel does inside attributes to it via the ambient scope.
+  // An OS-level error return is still a completed syscall.
+  ukvm::ReqOriginScope req_scope(machine_.reqtrace(), req_syscall_name_,
+                                 machine_.cpu().current_domain());
   const uint64_t ret = hv_.GuestSyscall(guest_, frame);
+  machine_.reqtrace().EndRequest(req_scope.ref());
   req_ = nullptr;
   machine_.DeliverPendingInterrupts();
   return static_cast<SyscallRet>(ret);

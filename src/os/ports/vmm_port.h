@@ -60,6 +60,11 @@ class VmmPort : public ArchPort {
   Os* os_ = nullptr;
   ukvm::ProcessId pid_ = ukvm::ProcessId::Invalid();
   SyscallReq* req_ = nullptr;
+
+  // E22: request-trace origin for the trap-and-reflect syscall path, so the
+  // VMM stack's control path parents into the request DAG like the ukernel
+  // port's syscalls do.
+  uint32_t req_syscall_name_ = 0;
 };
 
 }  // namespace minios

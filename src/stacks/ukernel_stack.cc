@@ -44,6 +44,7 @@ UkernelStack::UkernelStack(Config config)
   }
   kernel_ = std::make_unique<ukern::Kernel>(machine_);
   kernel_->SetIpcFastpath(config.ipc_fastpath);
+  kernel_->SetFastpathFeatures(config.fastpath_features);
   machine_.tracer().RegisterDomain(kernel_->kernel_domain(), "l4-kernel");
   sigma0_ = std::make_unique<Sigma0>(machine_, *kernel_);
   machine_.tracer().RegisterDomain(sigma0_->task(), "sigma0");

@@ -70,6 +70,11 @@ class UkernelStack {
     // servers' syscall redirection) take the Liedtke fast path; everything
     // else falls back to the slow path unchanged.
     bool ipc_fastpath = false;
+    // E23: which members of the Liedtke family ride along when the fast
+    // path is on. Defaults to the full family (reply-wait coalescing,
+    // Send/Notify stubs, pager fault IPC, pinned string window);
+    // FastpathFeatures::CallOnly() reproduces the E21 behaviour exactly.
+    ukern::Kernel::FastpathFeatures fastpath_features;
   };
 
   struct Guest {

@@ -18,6 +18,7 @@ Kernel::Kernel(hwsim::Machine& machine) : machine_(machine) {
   auto& ledger = machine_.ledger();
   mech_.ipc_call = ledger.InternMechanism("l4.ipc.call", CrossingKind::kSyncCall);
   mech_.ipc_reply = ledger.InternMechanism("l4.ipc.reply", CrossingKind::kSyncReply);
+  mech_.ipc_replywait = ledger.InternMechanism("l4.ipc.replywait", CrossingKind::kSyncReply);
   mech_.ipc_send = ledger.InternMechanism("l4.ipc.send", CrossingKind::kSyncCall);
   mech_.ipc_string = ledger.InternMechanism("l4.ipc.string", CrossingKind::kDataTransfer);
   mech_.ipc_map = ledger.InternMechanism("l4.ipc.map", CrossingKind::kResourceDelegate);
@@ -39,6 +40,8 @@ Kernel::Kernel(hwsim::Machine& machine) : machine_(machine) {
   trace_.irq_frame = prof.InternFrame("l4.irq.ipc");
   trace_.pf_name = tracer.InternName("l4.pf.ipc");
   trace_.pf_frame = prof.InternFrame("l4.pf.ipc");
+  req_pf_name_ = machine_.reqtrace().InternName("l4.pf");
+  string_windows_.resize(machine_.num_vcpus());
   machine_.SetTrapHandler(this);
 }
 
@@ -370,6 +373,7 @@ Err Kernel::ApplyMapItem(Task& from, Task& to, const MapItem& item) {
     if (item.grant) {
       UKVM_TRY(mapdb_.MoveNode(node, to.id, rcv_vpn));
       from.space.Unmap(snd_va);
+      InvalidateStringWindow(from.space, snd_vpn);
       machine_.Charge(machine_.costs().pte_write);
       // Salt-aware flush: on tagged-TLB platforms (and for small spaces)
       // the granter's entries outlive address-space switches. Remote vCPUs
@@ -499,8 +503,24 @@ uint64_t Kernel::FastTransferString(Tcb& sender, Tcb& receiver, const IpcMessage
   // One PTE write maps the source page into the kernel's copy window; the
   // destination page is reached through the receiver's space directly, so
   // a single charged copy replaces TransferString's per-page walk-twice
-  // gather/scatter.
-  machine_.Charge(machine_.costs().pte_write);
+  // gather/scatter. E23: with the pinned window armed, this vCPU remembers
+  // which source page its window maps — a burst of strings from the same
+  // page pays the PTE write once and every later transfer rides the pin.
+  bool pinned = false;
+  if (features_.pinned_window) {
+    StringWindow& win = string_windows_[machine_.current_vcpu()];
+    const uint64_t inst = from->space.instance_id();
+    const hwsim::Vaddr vpn = from->space.VpnOf(msg.string.snd_base);
+    if (win.valid && win.space_instance == inst && win.vpn == vpn) {
+      pinned = true;
+      ++fastpath_stats_.window_pins;
+    } else {
+      win = StringWindow{inst, vpn, true};
+    }
+  }
+  if (!pinned) {
+    machine_.Charge(machine_.costs().pte_write);
+  }
   hwsim::Pte* spte = from->space.Walk(msg.string.snd_base);
   hwsim::Pte* dpte = to->space.Walk(receiver.recv_buffer);
   assert(spte != nullptr && dpte != nullptr);
@@ -517,6 +537,16 @@ uint64_t Kernel::FastTransferString(Tcb& sender, Tcb& receiver, const IpcMessage
   machine_.ChargeCopy(len);
   delivered.string_data = std::move(bytes);
   return len;
+}
+
+void Kernel::InvalidateStringWindow(const hwsim::PageTable& space, hwsim::Vaddr vpn) {
+  // Pure bookkeeping — never charges. Instance ids are never recycled, so
+  // matching on them can never confuse a dead space with a live one.
+  for (StringWindow& win : string_windows_) {
+    if (win.valid && win.space_instance == space.instance_id() && win.vpn == vpn) {
+      win.valid = false;
+    }
+  }
 }
 
 IpcMessage Kernel::CallFast(ThreadId caller, ThreadId dest, IpcMessage msg) {
@@ -549,6 +579,30 @@ IpcMessage Kernel::CallFast(ThreadId caller, ThreadId dest, IpcMessage msg) {
   LeaveKernelFastTo(dest);
   IpcMessage reply = d->handler(caller, std::move(delivered));
   ++d->messages_handled;
+
+  // E23 reply-wait coalescing: the handler's return IS the server's
+  // reply-and-wait-next syscall, and its stub is still resident from the
+  // call leg — so a register-only reply from a living server never pays a
+  // second kernel entry. The server parks straight back into receive
+  // (no scheduler pass) and the direct switch to the caller costs one
+  // fast_trap_return. The shape must be decided BEFORE charging re-entry
+  // so every fallback leg below stays charge-identical to reply_wait=off.
+  d = FindThread(dest);
+  const bool server_alive =
+      d != nullptr && d->state != ThreadState::kDead && TaskAlive(d->task);
+  if (features_.reply_wait && server_alive && reply.IsRegisterOnly()) {
+    ++fastpath_stats_.replywait_coalesced;
+    if (d->state == ThreadState::kRunning) {
+      d->state = ThreadState::kWaiting;
+    }
+    current_thread_ = prev;
+    if (!test_skip_replywait_record_) {
+      machine_.ledger().Record(mech_.ipc_replywait, d->task, c->task, 0, 0);
+    }
+    LeaveKernelFastTo(caller);
+    return reply;
+  }
+
   EnterKernelFast();
   if (Tcb* dd = FindThread(dest); dd != nullptr && dd->state == ThreadState::kRunning) {
     dd->state = ThreadState::kWaiting;
@@ -557,8 +611,7 @@ IpcMessage Kernel::CallFast(ThreadId caller, ThreadId dest, IpcMessage msg) {
 
   // Same mid-call death discipline as the slow path: the kernel
   // synthesizes the reply crossing on the dead server's behalf.
-  d = FindThread(dest);
-  if (d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
+  if (!server_alive) {
     machine_.ledger().Record(mech_.ipc_reply, dest_task, c->task, 0, 0);
     IpcMessage err = IpcMessage::Error(Err::kDead);
     LeaveKernelFastTo(caller);
@@ -714,7 +767,43 @@ IpcMessage Kernel::Call(ThreadId caller, ThreadId dest, IpcMessage msg) {
   return reply;
 }
 
+Err Kernel::SendFast(ThreadId caller, ThreadId dest, IpcMessage msg) {
+  Tcb* c = FindThread(caller);
+  Tcb* d = FindThread(dest);
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.send_name, c->task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.send_frame);
+  EnterKernelFast();
+  ++ipc_calls_;
+  ++fastpath_stats_.send_fast;
+  // Register transfer costs nothing — the short message stays in physical
+  // registers across the direct switch; the one-way crossing is recorded
+  // (l4.ipc.send is pairing-exempt by design) and the receiver runs on the
+  // sender's donated slice with the run queue left stale.
+  machine_.ledger().Record(mech_.ipc_send, c->task, d->task, 0, 0);
+  lazy_queue_dirty_ = true;
+  const ThreadId prev = current_thread_;
+  LeaveKernelFastTo(dest);
+  (void)d->handler(caller, std::move(msg));
+  ++d->messages_handled;
+  EnterKernelFast();
+  if (Tcb* dd = FindThread(dest); dd != nullptr && dd->state == ThreadState::kRunning) {
+    dd->state = ThreadState::kWaiting;
+  }
+  current_thread_ = prev;
+  LeaveKernelFastTo(caller);
+  return Err::kNone;
+}
+
 Err Kernel::Send(ThreadId caller, ThreadId dest, IpcMessage msg) {
+  if (ipc_fastpath_ && features_.send) {
+    // Only the register-only shape rides the stubs; strings and map items
+    // keep the slow path's exact charge-and-reply discipline.
+    if (!msg.has_string && msg.map_items.empty() &&
+        ClassifyFastpath(caller, dest, msg) == FastpathVerdict::kEligible) {
+      return SendFast(caller, dest, std::move(msg));
+    }
+    ++fastpath_stats_.send_slow;
+  }
   Tcb* c = FindThread(caller);
   Tcb* d = FindThread(dest);
   ukvm::SpanScope trace_span(machine_.tracer(), trace_.send_name,
@@ -747,10 +836,50 @@ Err Kernel::Send(ThreadId caller, ThreadId dest, IpcMessage msg) {
   return Err::kNone;
 }
 
+Err Kernel::NotifyFast(Tcb& dest, uint64_t bits) {
+  ukvm::SpanScope trace_span(machine_.tracer(), trace_.notify_name, dest.task);
+  ukvm::ProfScope trace_frame(machine_.tracer(), trace_.notify_frame);
+  ++fastpath_stats_.notify_fast;
+  // The latch discipline is identical to the slow path: new bits merge into
+  // the pending set first, and the handler consumes the whole merged set.
+  // The mutation hook delivers only the fresh bits — anything latched while
+  // the receiver was busy is silently lost, which the differential
+  // fast-vs-slow fuzzer must flag as an end-state divergence.
+  if (!test_skip_notify_latch_) {
+    dest.pending_notify_bits |= bits;
+  }
+  ++dest.notifications;
+  machine_.ledger().Record(mech_.ipc_notify, machine_.cpu().current_domain(), dest.task, 0, 0);
+  const ThreadId prev = current_thread_;
+  lazy_queue_dirty_ = true;
+  LeaveKernelFastTo(dest.id);
+  uint64_t pending = dest.pending_notify_bits;
+  if (test_skip_notify_latch_) {
+    pending = bits;
+  }
+  dest.pending_notify_bits = 0;
+  dest.notify_handler(pending);
+  EnterKernelFast();
+  current_thread_ = prev;
+  if (prev.valid()) {
+    LeaveKernelFastTo(prev);
+  }
+  return Err::kNone;
+}
+
 Err Kernel::Notify(ThreadId dest, uint64_t bits) {
   Tcb* d = FindThread(dest);
   if (d == nullptr || d->state == ThreadState::kDead || !TaskAlive(d->task)) {
     return Err::kDead;
+  }
+  if (ipc_fastpath_ && features_.notify) {
+    // Fast delivery needs a receiver blocked in receive with a notify
+    // handler; everything else (latch-only, busy receiver) falls back to
+    // the slow path's exact charge sequence.
+    if (d->state == ThreadState::kWaiting && d->notify_handler) {
+      return NotifyFast(*d, bits);
+    }
+    ++fastpath_stats_.notify_slow;
   }
   ukvm::SpanScope trace_span(machine_.tracer(), trace_.notify_name, d->task);
   ukvm::ProfScope trace_frame(machine_.tracer(), trace_.notify_frame);
@@ -799,6 +928,7 @@ void Kernel::RevokePte(DomainId task, hwsim::Vaddr vpn) {
     return;
   }
   t->space.Unmap(vpn << t->space.page_shift());
+  InvalidateStringWindow(t->space, vpn);
   machine_.ChargeTo(kKernelDomain, machine_.costs().pte_write);
   // Salt-aware flush: tagged-TLB entries and small-space entries survive
   // address-space switches, so the current-space check alone is not enough.
@@ -859,6 +989,29 @@ Err Kernel::Unmap(DomainId task, hwsim::Vaddr va, uint32_t pages, bool include_s
 }
 
 Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
+  // E22 follow-up: a fault that arrives outside any traced request (a bare
+  // TouchPage, a reflected guest fault) mints its own origin so paging
+  // control paths parent into the request DAG; a fault inside a request
+  // (an OS server touching client memory mid-syscall) stays attributed to
+  // that request. Request tracing never charges simulated cycles, so the
+  // sim results are byte-identical either way.
+  ukvm::RequestTrace& rt = machine_.reqtrace();
+  if (!rt.enabled() || rt.current().valid()) {
+    return DoResolveFault(thread, va, write);
+  }
+  Tcb* tcb = FindThread(thread);
+  const DomainId origin_domain = tcb != nullptr ? tcb->task : DomainId::Invalid();
+  ukvm::ReqOriginScope origin(rt, req_pf_name_, origin_domain);
+  const Err err = DoResolveFault(thread, va, write);
+  if (err == Err::kNone) {
+    rt.EndRequest(origin.ref());
+  } else {
+    rt.AbandonRequest(origin.ref());
+  }
+  return err;
+}
+
+Err Kernel::DoResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
   Tcb* tcb = FindThread(thread);
   if (tcb == nullptr) {
     return Err::kBadHandle;
@@ -870,10 +1023,12 @@ Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
   if (!task->pager.valid()) {
     return Err::kFault;
   }
-  Tcb* pager = FindThread(task->pager);
+  const ThreadId pager_id = task->pager;
+  Tcb* pager = FindThread(pager_id);
   if (pager == nullptr || pager->state == ThreadState::kDead || !TaskAlive(pager->task)) {
     return Err::kDead;  // pager gone: the fault is unresolvable
   }
+  const DomainId pager_task_id = pager->task;
 
   ukvm::SpanScope trace_span(machine_.tracer(), trace_.pf_name, tcb->task);
   ukvm::ProfScope trace_frame(machine_.tracer(), trace_.pf_frame);
@@ -881,7 +1036,37 @@ Err Kernel::ResolveFault(ThreadId thread, hwsim::Vaddr va, bool write) {
   // Synthesized page-fault IPC, as the L4 pager protocol specifies.
   IpcMessage fault = IpcMessage::Short(kPageFaultLabel, va, write ? 1 : 0);
   machine_.ledger().Record(mech_.pf_ipc, tcb->task, pager->task, 0, 0);
-  IpcMessage reply = InvokeHandler(*pager, thread, std::move(fault));
+  IpcMessage reply;
+  if (ipc_fastpath_ && features_.fault_ipc && pager->state == ThreadState::kWaiting &&
+      pager->handler) {
+    // E23: the fault IPC rides the fast stubs. The fault trap itself stays
+    // a full-cost hardware trap (TouchPage charges trap_entry/trap_return
+    // around us); only the two kernel/pager crossings go fast, with the
+    // run queue left stale across the direct switch.
+    ++fastpath_stats_.fault_fast;
+    lazy_queue_dirty_ = true;
+    const ThreadId prev = current_thread_;
+    LeaveKernelFastTo(pager_id);
+    reply = pager->handler(thread, std::move(fault));
+    ++pager->messages_handled;
+    EnterKernelFast();
+    if (Tcb* p = FindThread(pager_id); p != nullptr && p->state == ThreadState::kRunning) {
+      p->state = ThreadState::kWaiting;
+    }
+    current_thread_ = prev;
+  } else {
+    reply = InvokeHandler(*pager, thread, std::move(fault));
+  }
+  // E23 bugfix, mirroring Call's mid-call death discipline: the pager can
+  // be destroyed while handling the fault (a supervisor killing it
+  // mid-request). Whatever the doomed handler returned is void — its map
+  // items are never applied — and the kernel synthesizes the reply
+  // crossing on the dead pager's behalf so the pf pairing stays balanced.
+  pager = FindThread(pager_id);
+  if (pager == nullptr || pager->state == ThreadState::kDead || !TaskAlive(pager->task)) {
+    machine_.ledger().Record(mech_.ipc_reply, pager_task_id, tcb->task, machine_.Now() - t0, 0);
+    return Err::kDead;
+  }
   // The pager did answer — even an error reply is a reply, so record it
   // before bailing or the call/reply pairing goes unbalanced.
   machine_.ledger().Record(mech_.ipc_reply, pager->task, tcb->task, machine_.Now() - t0, 0);

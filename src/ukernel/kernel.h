@@ -107,6 +107,22 @@ class Kernel : public hwsim::TrapHandler {
   void SetIpcFastpath(bool on) { ipc_fastpath_ = on; }
   bool ipc_fastpath() const { return ipc_fastpath_; }
 
+  // E23: the rest of the Liedtke family. Which members are armed when the
+  // fast path is on; `Call` itself is the base member and is implied by
+  // SetIpcFastpath. Default is the full family; CallOnly() reproduces the
+  // E21 configuration exactly (bench_e21 pins it so its committed numbers
+  // stay bit-identical).
+  struct FastpathFeatures {
+    bool reply_wait = true;     // server reply + next receive fuse into one crossing
+    bool send = true;           // register-only Send rides the fast stubs
+    bool notify = true;         // Notify to a waiting receiver rides the fast stubs
+    bool fault_ipc = true;      // the pager's fault IPC rides the fast stubs
+    bool pinned_window = true;  // per-vCPU pinned temp-map string window
+    static FastpathFeatures CallOnly() { return {false, false, false, false, false}; }
+  };
+  void SetFastpathFeatures(const FastpathFeatures& f) { features_ = f; }
+  const FastpathFeatures& fastpath_features() const { return features_; }
+
   struct FastpathStats {
     uint64_t taken = 0;               // calls whose request leg went fast
     uint64_t slow_replies = 0;        // fast request, complex reply fell back
@@ -115,12 +131,26 @@ class Kernel : public hwsim::TrapHandler {
     uint64_t fallback_map = 0;        // map/grant items present
     uint64_t fallback_string = 0;     // string too long, page-crossing, or faulting
     uint64_t lazy_fixups = 0;         // stale run-queue entries reconciled
+    // E23 family counters.
+    uint64_t replywait_coalesced = 0;  // reply legs fused with the next receive
+    uint64_t send_fast = 0;            // sends delivered through the fast stubs
+    uint64_t send_slow = 0;            // fastpath-on sends that fell back
+    uint64_t notify_fast = 0;          // notifies delivered through the fast stubs
+    uint64_t notify_slow = 0;          // fastpath-on notifies that fell back
+    uint64_t fault_fast = 0;           // pager fault IPCs on the fast stubs
+    uint64_t window_pins = 0;          // string PTE writes skipped via the pinned window
   };
   const FastpathStats& fastpath_stats() const { return fastpath_stats_; }
 
   // Test-only mutation hook (E21 self-test): a fast path that "forgets" its
   // reply crossing must be caught by the ledger lint as an unbalanced pair.
   void TestSkipFastpathReplyRecord(bool skip) { test_skip_fastpath_reply_record_ = skip; }
+  // E23 mutation hooks, one per new discipline: a coalesced reply that drops
+  // its `l4.ipc.replywait` crossing must be caught by the ledger lint; a
+  // fast notify that delivers only the fresh bits (dropping the latched
+  // ones) must be caught by the differential fast-vs-slow fuzzer.
+  void TestSkipReplyWaitRecord(bool skip) { test_skip_replywait_record_ = skip; }
+  void TestSkipNotifyLatch(bool skip) { test_skip_notify_latch_ = skip; }
 
   // One-way send (no reply transfer back).
   ukvm::Err Send(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
@@ -191,6 +221,7 @@ class Kernel : public hwsim::TrapHandler {
   struct MechanismIds {
     uint32_t ipc_call;
     uint32_t ipc_reply;
+    uint32_t ipc_replywait;
     uint32_t ipc_send;
     uint32_t ipc_string;
     uint32_t ipc_map;
@@ -252,6 +283,13 @@ class Kernel : public hwsim::TrapHandler {
   uint64_t FastTransferString(Tcb& sender, Tcb& receiver, const IpcMessage& msg,
                               IpcMessage& delivered);
   IpcMessage CallFast(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
+  // E23: register-only one-way send / notify delivery through the fast
+  // stubs; only called after the dispatcher verified eligibility.
+  ukvm::Err SendFast(ukvm::ThreadId caller, ukvm::ThreadId dest, IpcMessage msg);
+  ukvm::Err NotifyFast(Tcb& dest, uint64_t bits);
+  // E23: drops any per-vCPU pinned string window covering (space, vpn) —
+  // revocation and grant both move the frame out from under the pin.
+  void InvalidateStringWindow(const hwsim::PageTable& space, hwsim::Vaddr vpn);
   // Fast-trap variants of EnterKernel/LeaveKernelTo: the short-IPC stub
   // saves no full frame, so entry/exit cost fast_trap_* instead of trap_*.
   void EnterKernelFast();
@@ -270,7 +308,11 @@ class Kernel : public hwsim::TrapHandler {
   // the whole revocation batch.
   void FlushShootdowns();
 
+  // ResolveFault mints an E22 request-trace origin ("l4.pf") when no request
+  // is already in flight, then delegates to DoResolveFault for the actual
+  // pager protocol.
   ukvm::Err ResolveFault(ukvm::ThreadId thread, hwsim::Vaddr va, bool write);
+  ukvm::Err DoResolveFault(ukvm::ThreadId thread, hwsim::Vaddr va, bool write);
 
   hwsim::Machine& machine_;
   MechanismIds mech_;
@@ -295,11 +337,27 @@ class Kernel : public hwsim::TrapHandler {
 
   // E21 fast-path state.
   bool ipc_fastpath_ = false;
+  FastpathFeatures features_;
   // Set when a fast path direct-switched without touching run_queue_;
   // cleared by DrainLazyRunQueue at the next real schedule decision.
   bool lazy_queue_dirty_ = false;
   bool test_skip_fastpath_reply_record_ = false;
+  bool test_skip_replywait_record_ = false;
+  bool test_skip_notify_latch_ = false;
   FastpathStats fastpath_stats_;
+
+  // E23: one pinned temp-map string window per vCPU. The pin remembers
+  // which source page the window currently maps (space identity is the
+  // PageTable's never-recycled instance id, so a dead space can never alias
+  // a live one); a burst of strings from the same page pays the window PTE
+  // write once. The E22 request-trace origin name for pager fault IPC.
+  struct StringWindow {
+    uint64_t space_instance = 0;
+    hwsim::Vaddr vpn = 0;
+    bool valid = false;
+  };
+  std::vector<StringWindow> string_windows_;
+  uint32_t req_pf_name_ = 0;
 };
 
 }  // namespace ukern

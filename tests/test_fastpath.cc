@@ -44,10 +44,15 @@ struct World {
   ThreadId client;
   ThreadId server;
 
-  explicit World(bool fastpath, hwsim::Platform platform = hwsim::MakeX86Platform())
-      : machine(platform, 16 << 20) {
+  // `features` selects which members of the Liedtke family are armed when
+  // `fastpath` is on: the default is the full E23 family;
+  // FastpathFeatures::CallOnly() reproduces E21 exactly.
+  explicit World(bool fastpath, hwsim::Platform platform = hwsim::MakeX86Platform(),
+                 ukern::Kernel::FastpathFeatures features = {}, uint32_t num_vcpus = 1)
+      : machine(platform, 16 << 20, num_vcpus) {
     kernel = std::make_unique<ukern::Kernel>(machine);
     kernel->SetIpcFastpath(fastpath);
+    kernel->SetFastpathFeatures(features);
     auto make_side = [&](hwsim::Vaddr window, ukern::IpcHandler handler) {
       auto task = kernel->CreateTask(ThreadId::Invalid());
       auto thread = kernel->CreateThread(*task, 128, std::move(handler));
@@ -200,9 +205,11 @@ TEST(Fastpath, ReceiverNotReadyFallsBackToSlowPath) {
 TEST(Fastpath, SmallSpaceRoundTripAtLeastHalved) {
   // The Liedtke configuration: both partners in small spaces, so the
   // address-space switch is a segment remap and the trap sequence
-  // dominates. This is where the paper's 2x claim must hold.
+  // dominates. This is where the paper's 2x claim must hold. Pinned to the
+  // Call-only feature set: this is the E21 arithmetic record; the family's
+  // coalesced shape is pinned in ReplyWait* below.
   World off(false);
-  World on(true);
+  World on(true, hwsim::MakeX86Platform(), ukern::Kernel::FastpathFeatures::CallOnly());
   for (World* w : {&off, &on}) {
     ASSERT_EQ(w->kernel->SetSmallSpace(w->client_task, true), Err::kNone);
     ASSERT_EQ(w->kernel->SetSmallSpace(w->server_task, true), Err::kNone);
@@ -219,7 +226,7 @@ TEST(Fastpath, SmallSpaceRoundTripAtLeastHalved) {
 
 TEST(Fastpath, ArmFcseSmallSpaceSwitchIsFree) {
   World off(false, hwsim::MakeArmPlatform());
-  World on(true, hwsim::MakeArmPlatform());
+  World on(true, hwsim::MakeArmPlatform(), ukern::Kernel::FastpathFeatures::CallOnly());
   for (World* w : {&off, &on}) {
     // ARMv5 has no segmentation; FCSE's PID relocation stands in for it.
     ASSERT_EQ(w->kernel->SetSmallSpace(w->client_task, true), Err::kNone);
@@ -272,6 +279,10 @@ TEST(FastpathMutation, SkippedReplyRecordCaughtByCrossingLint) {
   ustack::UkernelStack::Config config;
   config.audit = true;
   config.ipc_fastpath = true;
+  // Call-only: with reply-wait armed the register-only reply leg records
+  // l4.ipc.replywait instead, so this E21 hook would never fire (its E23
+  // sibling is SkippedReplyWaitRecordCaughtByCrossingLint below).
+  config.fastpath_features = ukern::Kernel::FastpathFeatures::CallOnly();
   ustack::UkernelStack stack(config);
   stack.kernel().TestSkipFastpathReplyRecord(true);
   auto pid = stack.guest_os(0).Spawn("mutant");
@@ -286,6 +297,312 @@ TEST(FastpathMutation, SkippedReplyRecordCaughtByCrossingLint) {
     (void)stack.guest_os(0).Null(*pid);
   }
   ASSERT_GT(stack.kernel().fastpath_stats().taken, taken_before);
+  stack.auditor()->Checkpoint("mutated-quiescent");
+  EXPECT_GE(CountLint(*stack.auditor(), LintRule::kUnbalancedPair), 1u);
+}
+
+// --- E23: the rest of the Liedtke family ------------------------------------------
+
+TEST(Fastpath, ReplyWaitCoalescesReplyAndReceiveOnArmFcse) {
+  // The server's handler return IS its reply-and-wait: the stub that carried
+  // the request is still resident, so a register-only reply from a living
+  // server re-enters the kernel for free and the server parks in receive
+  // without a scheduler pass. On ARM FCSE (switches free, segment_reload 0)
+  // the round trip collapses from four fast transits to three:
+  //   Call-only:  2 * (fast_trap_entry + fast_trap_return)
+  //   family:     fast_trap_entry + 2 * fast_trap_return
+  World callonly(true, hwsim::MakeArmPlatform(), ukern::Kernel::FastpathFeatures::CallOnly());
+  World family(true, hwsim::MakeArmPlatform());
+  for (World* w : {&callonly, &family}) {
+    ASSERT_EQ(w->kernel->SetSmallSpace(w->client_task, true), Err::kNone);
+    ASSERT_EQ(w->kernel->SetSmallSpace(w->server_task, true), Err::kNone);
+    (void)w->TimedCall(ukern::IpcMessage::Short(0));  // settle switch state
+  }
+  ukern::IpcMessage co_reply;
+  ukern::IpcMessage fam_reply;
+  const uint64_t co = callonly.TimedCall(ukern::IpcMessage::Short(1), &co_reply);
+  const uint64_t fam = family.TimedCall(ukern::IpcMessage::Short(1), &fam_reply);
+  const auto& costs = family.machine.costs();
+  EXPECT_EQ(co, 2 * (costs.fast_trap_entry + costs.fast_trap_return));
+  EXPECT_EQ(fam, costs.fast_trap_entry + 2 * costs.fast_trap_return);
+  EXPECT_GE(static_cast<double>(co) / static_cast<double>(fam), 1.3);
+  // Identical observable result; both settle and timed calls coalesced.
+  EXPECT_EQ(fam_reply.regs[0], co_reply.regs[0]);
+  EXPECT_EQ(family.kernel->fastpath_stats().replywait_coalesced, 2u);
+  EXPECT_EQ(callonly.kernel->fastpath_stats().replywait_coalesced, 0u);
+  // The server is parked back in receive, exactly as the slow path leaves it.
+  EXPECT_EQ(family.kernel->FindThread(family.server)->state, ukern::ThreadState::kWaiting);
+}
+
+TEST(Fastpath, RegisterOnlySendMatchesSlowPathAndIsCheaper) {
+  World off(false);
+  World on(true);
+  uint64_t cycles[2];
+  uint64_t seen[2] = {0, 0};
+  int i = 0;
+  for (World* w : {&off, &on}) {
+    uint64_t* slot = &seen[i];
+    ASSERT_EQ(w->kernel->SetThreadHandler(w->server,
+                                          [slot](ThreadId, ukern::IpcMessage msg) {
+                                            *slot = msg.regs[0];
+                                            return ukern::IpcMessage{};
+                                          }),
+              Err::kNone);
+    const uint64_t t0 = w->machine.Now();
+    EXPECT_EQ(w->kernel->Send(w->client, w->server, ukern::IpcMessage::Short(77)), Err::kNone);
+    cycles[i++] = w->machine.Now() - t0;
+  }
+  EXPECT_EQ(seen[0], 77u);
+  EXPECT_EQ(seen[1], seen[0]);
+  EXPECT_EQ(on.kernel->fastpath_stats().send_fast, 1u);
+  EXPECT_EQ(off.kernel->fastpath_stats().send_fast, 0u);
+  EXPECT_LT(cycles[1], cycles[0]);
+  // Same end state: the receiver is parked back in receive either way.
+  EXPECT_EQ(on.kernel->FindThread(on.server)->state,
+            off.kernel->FindThread(off.server)->state);
+  EXPECT_EQ(on.kernel->FindThread(on.server)->messages_handled,
+            off.kernel->FindThread(off.server)->messages_handled);
+}
+
+TEST(Fastpath, NotifyToWaitingReceiverMatchesSlowPathAndIsCheaper) {
+  World off(false);
+  World on(true);
+  uint64_t cycles[2];
+  std::vector<uint64_t> delivered[2];
+  int i = 0;
+  for (World* w : {&off, &on}) {
+    std::vector<uint64_t>* log = &delivered[i];
+    ASSERT_EQ(w->kernel->SetNotifyHandler(w->server,
+                                          [log](uint64_t bits) { log->push_back(bits); }),
+              Err::kNone);
+    const uint64_t t0 = w->machine.Now();
+    EXPECT_EQ(w->kernel->Notify(w->server, 0b101), Err::kNone);
+    cycles[i++] = w->machine.Now() - t0;
+  }
+  EXPECT_EQ(delivered[0], (std::vector<uint64_t>{0b101}));
+  EXPECT_EQ(delivered[1], delivered[0]);
+  EXPECT_EQ(on.kernel->fastpath_stats().notify_fast, 1u);
+  EXPECT_EQ(off.kernel->fastpath_stats().notify_fast, 0u);
+  EXPECT_LT(cycles[1], cycles[0]);
+  // Consumed latch and counted delivery, identically.
+  EXPECT_EQ(on.kernel->FindThread(on.server)->pending_notify_bits, 0u);
+  EXPECT_EQ(on.kernel->FindThread(on.server)->notifications,
+            off.kernel->FindThread(off.server)->notifications);
+}
+
+TEST(Fastpath, NotifyBitsMergeWhileReceiverIsMidFastCall) {
+  // Interleaving pin: bits latched while the receiver had no handler must
+  // merge with bits notified mid-call, and the fast path must deliver the
+  // same merged set the slow path does.
+  World off(false);
+  World on(true);
+  std::vector<uint64_t> delivered[2];
+  int i = 0;
+  for (World* w : {&off, &on}) {
+    // Latch 0x1 while the client has no notify handler: stays pending.
+    ASSERT_EQ(w->kernel->Notify(w->client, 0x1), Err::kNone);
+    std::vector<uint64_t>* log = &delivered[i];
+    ASSERT_EQ(w->kernel->SetNotifyHandler(w->client,
+                                          [log](uint64_t bits) { log->push_back(bits); }),
+              Err::kNone);
+    // The server notifies the client with 0x2 while the client is blocked in
+    // its own fast Call to that server.
+    ukern::Kernel* k = w->kernel.get();
+    const ThreadId client = w->client;
+    ASSERT_EQ(w->kernel->SetThreadHandler(w->server,
+                                          [k, client](ThreadId, ukern::IpcMessage msg) {
+                                            EXPECT_EQ(k->Notify(client, 0x2), Err::kNone);
+                                            ukern::IpcMessage reply;
+                                            reply.regs[0] = msg.regs[0] + 1;
+                                            reply.reg_count = 1;
+                                            return reply;
+                                          }),
+              Err::kNone);
+    ukern::IpcMessage reply = w->kernel->Call(w->client, w->server, ukern::IpcMessage::Short(4));
+    EXPECT_EQ(reply.status, Err::kNone);
+    EXPECT_EQ(reply.regs[0], 5u);
+    ++i;
+  }
+  // One delivery of the merged set, identical in both worlds.
+  EXPECT_EQ(delivered[0], (std::vector<uint64_t>{0x3}));
+  EXPECT_EQ(delivered[1], delivered[0]);
+  EXPECT_GE(on.kernel->fastpath_stats().notify_fast, 1u);
+  EXPECT_EQ(on.kernel->FindThread(on.client)->pending_notify_bits,
+            off.kernel->FindThread(off.client)->pending_notify_bits);
+}
+
+TEST(Fastpath, ServerDeathBetweenReplyAndReceiveSynthesizesReply) {
+  // Interleaving pin: the coalesced path fuses the reply with the next
+  // receive — but if the server dies inside its handler there is no one to
+  // park in receive, and the register-only reply it computed is void. Both
+  // worlds must agree: the caller sees kDead from a kernel-synthesized
+  // reply, and the crossing ledger stays balanced.
+  for (bool fastpath : {false, true}) {
+    World w(fastpath);
+    ucheck::Auditor::Options opts;
+    ucheck::Auditor auditor(w.machine, opts);
+    auditor.AttachUkernel(*w.kernel);
+    ukern::Kernel* k = w.kernel.get();
+    const ThreadId self = w.server;
+    ASSERT_EQ(w.kernel->SetThreadHandler(w.server,
+                                         [k, self](ThreadId, ukern::IpcMessage) {
+                                           EXPECT_EQ(k->DestroyThread(self), Err::kNone);
+                                           ukern::IpcMessage reply;
+                                           reply.regs[0] = 99;
+                                           reply.reg_count = 1;
+                                           return reply;
+                                         }),
+              Err::kNone);
+    ukern::IpcMessage reply = w.kernel->Call(w.client, w.server, ukern::IpcMessage::Short(1));
+    EXPECT_EQ(reply.status, Err::kDead);
+    if (fastpath) {
+      EXPECT_EQ(w.kernel->fastpath_stats().taken, 1u);
+      // Never coalesced: the death check runs before the coalesce decision.
+      EXPECT_EQ(w.kernel->fastpath_stats().replywait_coalesced, 0u);
+    }
+    auditor.Checkpoint("after-death");
+    EXPECT_EQ(auditor.violation_count(), 0u);
+  }
+}
+
+TEST(Fastpath, PinnedWindowAmortisesBurstAndEvictsAcrossVcpus) {
+  // The per-vCPU pinned window: the second same-page string in a burst
+  // skips the temp-map PTE write; switching vCPUs must not let one vCPU
+  // ride a window pinned on another.
+  World on(true, hwsim::MakeX86Platform(), {}, /*num_vcpus=*/2);
+  ukern::IpcMessage msg = ukern::IpcMessage::Short(1);
+  msg.has_string = true;
+  msg.string = ukern::StringItem{kClientWin, 200};
+  const uint64_t c1 = on.TimedCall(msg);
+  EXPECT_EQ(on.kernel->fastpath_stats().window_pins, 0u);
+  const uint64_t c2 = on.TimedCall(msg);
+  EXPECT_EQ(on.kernel->fastpath_stats().window_pins, 1u);
+  // The pin saves exactly the temp-map PTE write, nothing else.
+  EXPECT_EQ(c1 - c2, on.machine.costs().pte_write);
+  // vCPU 1 has its own (empty) window: no pin on its first string.
+  on.machine.SwitchVcpu(1);
+  (void)on.TimedCall(msg);
+  EXPECT_EQ(on.kernel->fastpath_stats().window_pins, 1u);
+  (void)on.TimedCall(msg);
+  EXPECT_EQ(on.kernel->fastpath_stats().window_pins, 2u);
+
+  // Contrast: with the pin disabled (E21 Call-only), every string pays the
+  // PTE write and a burst is flat.
+  World callonly(true, hwsim::MakeX86Platform(), ukern::Kernel::FastpathFeatures::CallOnly());
+  const uint64_t k1 = callonly.TimedCall(msg);
+  const uint64_t k2 = callonly.TimedCall(msg);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(callonly.kernel->fastpath_stats().window_pins, 0u);
+}
+
+// The pager fault-IPC harness: a pager task whose handler maps a fresh page
+// per fault, and a faulting task bound to it.
+struct PagedWorld {
+  hwsim::Machine machine;
+  std::unique_ptr<ukern::Kernel> kernel;
+  ukvm::DomainId pager_task;
+  ThreadId pager;
+  ukvm::DomainId task;
+  ThreadId thread;
+  int faults_served = 0;
+  bool kill_pager_on_fault = false;
+
+  explicit PagedWorld(bool fastpath) : machine(hwsim::MakeX86Platform(), 16 << 20) {
+    kernel = std::make_unique<ukern::Kernel>(machine);
+    kernel->SetIpcFastpath(fastpath);
+    auto pt = kernel->CreateTask(ThreadId::Invalid());
+    pager_task = *pt;
+    auto pth = kernel->CreateThread(*pt, 255, [this](ThreadId, ukern::IpcMessage msg) {
+      ++faults_served;
+      if (kill_pager_on_fault) {
+        // The pager's task dies while the fault IPC is in flight: whatever
+        // we return here is void (a dead pager cannot map anything).
+        EXPECT_EQ(kernel->DestroyTask(pager_task), Err::kNone);
+        return ukern::IpcMessage{};
+      }
+      const hwsim::Vaddr fault_va = msg.regs[1];
+      auto frame = machine.memory().AllocFrame(pager_task);
+      EXPECT_TRUE(frame.ok());
+      ukern::Task* t = kernel->FindTask(pager_task);
+      const hwsim::Vaddr src = machine.memory().FrameBase(*frame);
+      EXPECT_EQ(t->space.Map(src, *frame, hwsim::PtePerms{true, true}), Err::kNone);
+      kernel->mapdb().AddRoot(pager_task, t->space.VpnOf(src), *frame);
+      ukern::IpcMessage reply;
+      reply.map_items.push_back(ukern::MapItem{
+          src, fault_va & ~(machine.memory().page_size() - 1), 1, true, false});
+      return reply;
+    });
+    pager = *pth;
+    auto ft = kernel->CreateTask(pager);
+    task = *ft;
+    auto fth = kernel->CreateThread(*ft, 100, nullptr);
+    thread = *fth;
+  }
+};
+
+TEST(Fastpath, PagerFaultIpcRidesFastStubs) {
+  PagedWorld off(false);
+  PagedWorld on(true);
+  uint64_t cycles[2];
+  int i = 0;
+  for (PagedWorld* w : {&off, &on}) {
+    const uint64_t t0 = w->machine.Now();
+    EXPECT_EQ(w->kernel->TouchPage(w->thread, 0x555000, /*write=*/true), Err::kNone);
+    cycles[i++] = w->machine.Now() - t0;
+    // The mapping really arrived: a second touch is a TLB-walk hit.
+    EXPECT_EQ(w->kernel->TouchPage(w->thread, 0x555800, true), Err::kNone);
+    EXPECT_EQ(w->faults_served, 1);
+  }
+  EXPECT_EQ(on.kernel->fastpath_stats().fault_fast, 1u);
+  EXPECT_EQ(off.kernel->fastpath_stats().fault_fast, 0u);
+  // Only the two kernel<->pager crossings went fast; the hardware fault
+  // trap and the pager's mapping work are charged identically.
+  const auto& costs = on.machine.costs();
+  EXPECT_EQ(cycles[0] - cycles[1], (costs.trap_entry - costs.fast_trap_entry) +
+                                       (costs.trap_return - costs.fast_trap_return));
+}
+
+TEST(Fastpath, PagerDeathMidFaultIpcSynthesizesReply) {
+  // Interleaving pin: the pager dies while handling the fault. The kernel
+  // synthesizes the reply crossing on its behalf, the faulter sees kDead,
+  // no mapping is applied, and the ledger stays balanced — identically on
+  // the fast and slow fault paths.
+  for (bool fastpath : {false, true}) {
+    PagedWorld w(fastpath);
+    ucheck::Auditor::Options opts;
+    ucheck::Auditor auditor(w.machine, opts);
+    auditor.AttachUkernel(*w.kernel);
+    w.kill_pager_on_fault = true;
+    EXPECT_EQ(w.kernel->TouchPage(w.thread, 0x555000, true), Err::kDead);
+    EXPECT_EQ(w.faults_served, 1);
+    if (fastpath) {
+      EXPECT_EQ(w.kernel->fastpath_stats().fault_fast, 1u);
+    }
+    // The doomed handler's reply was void: nothing was mapped.
+    ukern::Task* t = w.kernel->FindTask(w.task);
+    const hwsim::Pte* pte = t->space.Walk(0x555000);
+    EXPECT_TRUE(pte == nullptr || !pte->present);
+    auditor.Checkpoint("after-pager-death");
+    EXPECT_EQ(auditor.violation_count(), 0u);
+  }
+}
+
+TEST(FastpathMutation, SkippedReplyWaitRecordCaughtByCrossingLint) {
+  // The E23 sibling of SkippedReplyRecordCaughtByCrossingLint: the coalesced
+  // reply-receive leg records l4.ipc.replywait to close the call pairing.
+  // Make it "forget" and the ledger lint must flag the unbalanced call.
+  ustack::UkernelStack::Config config;
+  config.audit = true;
+  config.ipc_fastpath = true;  // full family: register-only replies coalesce
+  ustack::UkernelStack stack(config);
+  stack.kernel().TestSkipReplyWaitRecord(true);
+  auto pid = stack.guest_os(0).Spawn("mutant");
+  ASSERT_EQ(stack.kernel().ActivateThread(stack.guest(0).app_thread), Err::kNone);
+  const uint64_t coalesced_before = stack.kernel().fastpath_stats().replywait_coalesced;
+  for (int i = 0; i < 4; ++i) {
+    (void)stack.guest_os(0).Null(*pid);
+  }
+  ASSERT_GT(stack.kernel().fastpath_stats().replywait_coalesced, coalesced_before);
   stack.auditor()->Checkpoint("mutated-quiescent");
   EXPECT_GE(CountLint(*stack.auditor(), LintRule::kUnbalancedPair), 1u);
 }

@@ -80,7 +80,8 @@ struct FuzzResult {
   std::vector<std::string> reports;
   uint64_t tlb_audited = 0;
   uint64_t tlb_skipped = 0;
-  uint64_t fastpath_taken = 0;  // E21: how often CallFast fired this run
+  uint64_t fastpath_taken = 0;      // E21: how often CallFast fired this run
+  uint64_t fastpath_replywait = 0;  // E23: how often the reply-receive coalesced
   std::map<Invariant, size_t> by_rule;
 };
 
@@ -228,11 +229,13 @@ FuzzResult RunNativeFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
 // --- Microkernel: tasks, IPC map/grant items, recursive unmap --------------------
 
 FuzzResult RunUkernelFuzzImpl(uint64_t seed, uint32_t steps, bool incremental_tlb,
-                              bool ipc_fastpath) {
+                              bool ipc_fastpath,
+                              ukern::Kernel::FastpathFeatures features = {}) {
   SplitMix64 rng(seed * 2 + 1);
   hwsim::Machine machine(PlatformForSeed(seed), 16ull * 1024 * 1024, VcpusForSeed(seed));
   ukern::Kernel kernel(machine);
   kernel.SetIpcFastpath(ipc_fastpath);
+  kernel.SetFastpathFeatures(features);
   Auditor::Options opts;
   opts.incremental_tlb = incremental_tlb;
   opts.race_detect = true;  // E20: fuzz histories must stay race-free too
@@ -345,6 +348,7 @@ FuzzResult RunUkernelFuzzImpl(uint64_t seed, uint32_t steps, bool incremental_tl
   FuzzResult out;
   FinishDigest(machine, auditor, out);
   out.fastpath_taken = kernel.fastpath_stats().taken;
+  out.fastpath_replywait = kernel.fastpath_stats().replywait_coalesced;
   return out;
 }
 
@@ -352,12 +356,19 @@ FuzzResult RunUkernelFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
   return RunUkernelFuzzImpl(seed, steps, incremental_tlb, /*ipc_fastpath=*/false);
 }
 
-// E21: the identical op stream with the fast path armed. The digests
+// E21/E23: the identical op stream with the fast path armed. The digests
 // legitimately differ from the fastpath-off bank (fewer cycles are
 // charged); what must hold is that each seed is auditor-clean and two-run
 // deterministic, exactly like the slow path.
 FuzzResult RunUkernelFastpathFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
   return RunUkernelFuzzImpl(seed, steps, incremental_tlb, /*ipc_fastpath=*/true);
+}
+
+// E23: the same bank restricted to the E21 Call-only feature subset — the
+// family knobs must be independently disengageable.
+FuzzResult RunUkernelCallOnlyFuzz(uint64_t seed, uint32_t steps, bool incremental_tlb) {
+  return RunUkernelFuzzImpl(seed, steps, incremental_tlb, /*ipc_fastpath=*/true,
+                            ukern::Kernel::FastpathFeatures::CallOnly());
 }
 
 // --- VMM: domains, grants, transfers, paravirtual PT updates ---------------------
@@ -570,24 +581,44 @@ TEST(FuzzLifecycle, UkernelSeedBankCleanAndDeterministic) {
   RunSeedBank(RunUkernelFuzz, "ukernel");
 }
 
-// E21: the same bank with the IPC fast path armed — every seed must stay
-// auditor-clean and two-run deterministic, and the fast path must actually
-// fire somewhere in the bank (otherwise this test proves nothing).
+// E21/E23: the same bank with the IPC fast path armed, in both feature
+// configurations (full family and the E21 Call-only subset) — every seed
+// must stay auditor-clean and two-run deterministic, and each configuration
+// must actually exercise its paths (otherwise this test proves nothing).
 TEST(FuzzLifecycle, UkernelFastpathSeedBankCleanAndDeterministic) {
   const uint64_t seeds = SeedCount();
-  uint64_t taken = 0;
-  for (uint64_t seed = 1; seed <= seeds; ++seed) {
-    SCOPED_TRACE("ukernel-fastpath seed " + std::to_string(seed));
-    const FuzzResult first = RunUkernelFastpathFuzz(seed, kSteps, /*incremental_tlb=*/true);
-    for (const std::string& report : first.reports) {
-      ADD_FAILURE() << report;
+  struct Config {
+    const char* label;
+    FuzzFn fn;
+  };
+  const Config configs[] = {
+      {"family", RunUkernelFastpathFuzz},
+      {"call-only", RunUkernelCallOnlyFuzz},
+  };
+  for (const Config& config : configs) {
+    uint64_t taken = 0;
+    uint64_t replywait = 0;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+      SCOPED_TRACE(std::string("ukernel-fastpath-") + config.label + " seed " +
+                   std::to_string(seed));
+      const FuzzResult first = config.fn(seed, kSteps, /*incremental_tlb=*/true);
+      for (const std::string& report : first.reports) {
+        ADD_FAILURE() << report;
+      }
+      EXPECT_EQ(first.violations, 0u);
+      const FuzzResult second = config.fn(seed, kSteps, /*incremental_tlb=*/true);
+      EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
+      taken += first.fastpath_taken;
+      replywait += first.fastpath_replywait;
     }
-    EXPECT_EQ(first.violations, 0u);
-    const FuzzResult second = RunUkernelFastpathFuzz(seed, kSteps, /*incremental_tlb=*/true);
-    EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
-    taken += first.fastpath_taken;
+    EXPECT_GT(taken, 0u) << config.label
+                         << ": the fast path never fired across the whole bank";
+    if (std::string(config.label) == "family") {
+      EXPECT_GT(replywait, 0u) << "reply-wait coalescing never fired across the bank";
+    } else {
+      EXPECT_EQ(replywait, 0u) << "call-only must never coalesce";
+    }
   }
-  EXPECT_GT(taken, 0u) << "the fast path never fired across the whole bank";
 }
 
 TEST(FuzzLifecycle, VmmSeedBankCleanAndDeterministic) { RunSeedBank(RunVmmFuzz, "vmm"); }
@@ -719,11 +750,13 @@ FuzzResult RunRecoveryFuzzOn(RecoveryTarget& t, uint64_t seed, uint32_t steps) {
   return out;
 }
 
-FuzzResult RunUkernelRecoveryFuzzImpl(uint64_t seed, uint32_t steps, bool ipc_fastpath) {
+FuzzResult RunUkernelRecoveryFuzzImpl(uint64_t seed, uint32_t steps, bool ipc_fastpath,
+                                      ukern::Kernel::FastpathFeatures features = {}) {
   ustack::UkernelStack::Config config;
   config.crash_recovery = true;
   config.race_detect = true;  // E20: crash/replay histories must stay race-free
   config.ipc_fastpath = ipc_fastpath;
+  config.fastpath_features = features;
   ustack::UkernelStack stack(config);
   auto* block = stack.guest(0).port->block();
   RecoveryTarget t;
@@ -740,6 +773,7 @@ FuzzResult RunUkernelRecoveryFuzzImpl(uint64_t seed, uint32_t steps, bool ipc_fa
   t.reconnects = [&] { return stack.guest(0).xenbus->reconnects(); };
   FuzzResult out = RunRecoveryFuzzOn(t, seed, steps);
   out.fastpath_taken = stack.kernel().fastpath_stats().taken;
+  out.fastpath_replywait = stack.kernel().fastpath_stats().replywait_coalesced;
   return out;
 }
 
@@ -747,11 +781,16 @@ FuzzResult RunUkernelRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
   return RunUkernelRecoveryFuzzImpl(seed, steps, /*ipc_fastpath=*/false);
 }
 
-// E21: crash/replay histories with the fast path armed. Every syscall that
-// reaches the block port rides CallFast; kills and journal replays must
-// leave each seed clean and two-run deterministic all the same.
+// E21/E23: crash/replay histories with the fast path armed. Every syscall
+// that reaches the block port rides CallFast; kills and journal replays
+// must leave each seed clean and two-run deterministic all the same.
 FuzzResult RunUkernelFastpathRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
   return RunUkernelRecoveryFuzzImpl(seed, steps, /*ipc_fastpath=*/true);
+}
+
+FuzzResult RunUkernelCallOnlyRecoveryFuzz(uint64_t seed, uint32_t steps, bool) {
+  return RunUkernelRecoveryFuzzImpl(seed, steps, /*ipc_fastpath=*/true,
+                                    ukern::Kernel::FastpathFeatures::CallOnly());
 }
 
 FuzzResult RunVmmRecoveryFuzz(uint64_t seed, uint32_t steps, bool parallax) {
@@ -810,19 +849,39 @@ TEST(FuzzRecovery, UkernelSeedBankCleanAndDeterministic) {
 
 TEST(FuzzRecovery, UkernelFastpathSeedBankCleanAndDeterministic) {
   const uint64_t seeds = std::max<uint64_t>(4, SeedCount() / 4);
-  uint64_t taken = 0;
-  for (uint64_t seed = 1; seed <= seeds; ++seed) {
-    SCOPED_TRACE("ukernel-fastpath seed " + std::to_string(seed));
-    const FuzzResult first = RunUkernelFastpathRecoveryFuzz(seed, kRecoverySteps, false);
-    for (const std::string& report : first.reports) {
-      ADD_FAILURE() << report;
+  struct Config {
+    const char* label;
+    FuzzFn fn;
+    bool family;
+  };
+  const Config configs[] = {
+      {"family", RunUkernelFastpathRecoveryFuzz, true},
+      {"call-only", RunUkernelCallOnlyRecoveryFuzz, false},
+  };
+  for (const Config& config : configs) {
+    uint64_t taken = 0;
+    uint64_t replywait = 0;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+      SCOPED_TRACE(std::string("ukernel-fastpath-") + config.label + " seed " +
+                   std::to_string(seed));
+      const FuzzResult first = config.fn(seed, kRecoverySteps, false);
+      for (const std::string& report : first.reports) {
+        ADD_FAILURE() << report;
+      }
+      EXPECT_EQ(first.violations, 0u);
+      const FuzzResult second = config.fn(seed, kRecoverySteps, false);
+      EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
+      taken += first.fastpath_taken;
+      replywait += first.fastpath_replywait;
     }
-    EXPECT_EQ(first.violations, 0u);
-    const FuzzResult second = RunUkernelFastpathRecoveryFuzz(seed, kRecoverySteps, false);
-    EXPECT_EQ(first.digest, second.digest) << "nondeterministic run";
-    taken += first.fastpath_taken;
+    EXPECT_GT(taken, 0u) << config.label
+                         << ": the fast path never fired across the whole bank";
+    if (config.family) {
+      EXPECT_GT(replywait, 0u) << "reply-wait coalescing never fired across the bank";
+    } else {
+      EXPECT_EQ(replywait, 0u) << "call-only must never coalesce";
+    }
   }
-  EXPECT_GT(taken, 0u) << "the fast path never fired across the whole bank";
 }
 
 TEST(FuzzRecovery, VmmParallaxSeedBankCleanAndDeterministic) {

@@ -12,9 +12,13 @@
 
 #include "src/core/reqtrace.h"
 #include "src/experiments/trace_export.h"
+#include "src/hw/machine.h"
+#include "src/hw/platform.h"
 #include "src/stacks/native_stack.h"
 #include "src/stacks/ukernel_stack.h"
 #include "src/stacks/vmm_stack.h"
+#include "src/ukernel/kernel.h"
+#include "src/ukernel/task.h"
 #include "src/workloads/netio.h"
 #include "src/workloads/oswork.h"
 
@@ -230,6 +234,81 @@ TEST(ReqTraceE2E, ExportsCarryRequestStructure) {
   EXPECT_NE(vmm.table.find("\"lint\""), std::string::npos);
   EXPECT_NE(vmm.table.find("blk.write"), std::string::npos);
   EXPECT_NE(vmm.table.find("critical_path"), std::string::npos);
+}
+
+// --- E23 follow-up: origins the E22 cut missed -----------------------------------
+
+TEST(ReqTraceE2E, BareFaultMintsPageFaultOrigin) {
+  // A page fault that arrives outside any traced request (a bare TouchPage)
+  // must mint its own "l4.pf" origin so the pager protocol parents into the
+  // request DAG instead of vanishing.
+  hwsim::Machine machine(hwsim::MakeX86Platform(), 16 << 20);
+  ukern::Kernel kernel(machine);
+  ukvm::ReqTraceConfig config;
+  config.enabled = true;
+  machine.EnableRequestTracing(config);
+
+  auto pager_task = kernel.CreateTask(ukvm::ThreadId::Invalid());
+  ASSERT_TRUE(pager_task.ok());
+  auto pager = kernel.CreateThread(*pager_task, 255, [&](ukvm::ThreadId, ukern::IpcMessage msg) {
+    const hwsim::Vaddr fault_va = msg.regs[1];
+    auto frame = machine.memory().AllocFrame(*pager_task);
+    EXPECT_TRUE(frame.ok());
+    ukern::Task* pt = kernel.FindTask(*pager_task);
+    const hwsim::Vaddr src = machine.memory().FrameBase(*frame);
+    EXPECT_EQ(pt->space.Map(src, *frame, hwsim::PtePerms{true, true}), Err::kNone);
+    kernel.mapdb().AddRoot(*pager_task, pt->space.VpnOf(src), *frame);
+    ukern::IpcMessage reply;
+    reply.map_items.push_back(
+        ukern::MapItem{src, fault_va & ~(machine.memory().page_size() - 1), 1, true, false});
+    return reply;
+  });
+  ASSERT_TRUE(pager.ok());
+  auto task = kernel.CreateTask(*pager);
+  auto thread = kernel.CreateThread(*task, 100, nullptr);
+  ASSERT_TRUE(thread.ok());
+
+  ASSERT_EQ(kernel.TouchPage(*thread, 0x555000, /*write=*/true), Err::kNone);
+  const ukvm::ReqTraceLint lint = machine.reqtrace().Lint();
+  EXPECT_EQ(lint.completed, 1u);
+  EXPECT_EQ(lint.fully_parented, 1u);
+  EXPECT_NE(machine.reqtrace().SlowestReport().find("l4.pf"), std::string::npos)
+      << machine.reqtrace().SlowestReport();
+
+  // An unresolvable fault abandons its origin rather than completing it.
+  auto orphan_task = kernel.CreateTask(ukvm::ThreadId::Invalid());
+  auto orphan = kernel.CreateThread(*orphan_task, 100, nullptr);
+  EXPECT_EQ(kernel.TouchPage(*orphan, 0x700000, false), Err::kFault);
+  EXPECT_EQ(machine.reqtrace().Lint().completed, 1u);
+}
+
+TEST(ReqTraceE2E, VmmSyscallPathMintsOrigins) {
+  // The VMM port's trap-and-reflect syscall path mints an "os.syscall"
+  // origin per guest system call, like the ukernel port already does — the
+  // E22 cut left the VMM stack's control path origin-less.
+  ustack::VmmStack::Config config;
+  config.trace.enabled = true;
+  config.request_trace.enabled = true;
+  // Guest boot mints long blk.write requests; keep enough DAGs that the
+  // short syscall requests still appear in the slowest-K table.
+  config.request_trace.k_slowest = 64;
+  ustack::VmmStack stack(config);
+  auto& os = stack.guest_os(0);
+  const uint64_t completed_before = stack.machine().reqtrace().Lint().completed;
+  (void)stack.RunAsApp(0, [&] {
+    auto pid = os.Spawn("app");
+    for (int i = 0; i < 8; ++i) {
+      (void)os.Null(*pid);
+    }
+  });
+  stack.machine().RunUntilIdle();
+  const ukvm::ReqTraceLint lint = stack.machine().reqtrace().Lint();
+  // Eight Nulls: at least eight syscall-origin requests completed.
+  EXPECT_GE(lint.completed, completed_before + 8);
+  EXPECT_EQ(lint.completed, lint.fully_parented);
+  const std::string table =
+      uharness::RequestTableJson(stack.machine().reqtrace(), stack.machine().tracer());
+  EXPECT_NE(table.find("os.syscall"), std::string::npos) << table;
 }
 
 // --- Mutation self-tests ---------------------------------------------------------
